@@ -1,0 +1,159 @@
+//! Fig. 11: average DRAM accesses per operation of the six dataflows in
+//! the CONV layers of AlexNet, for PE array sizes 256/512/1024 and batch
+//! sizes 1/16/64.
+
+use crate::experiments::sweep::{self, SweepPoint};
+use crate::table::TextTable;
+use eyeriss_dataflow::DataflowKind;
+
+/// One bar of Fig. 11: reads and writes per op, or `None` if the dataflow
+/// cannot operate.
+#[derive(Debug, Clone, Copy)]
+pub struct DramBar {
+    /// DRAM reads per operation.
+    pub reads_per_op: f64,
+    /// DRAM writes per operation.
+    pub writes_per_op: f64,
+}
+
+/// The data of one subplot (fixed PE count).
+#[derive(Debug, Clone)]
+pub struct Fig11Panel {
+    /// PE array size (256, 512 or 1024).
+    pub num_pes: usize,
+    /// Batch sizes, one per bar group.
+    pub batches: Vec<usize>,
+    /// `bars[batch_idx][dataflow_idx]` in sweep/`DataflowKind::ALL` order.
+    pub bars: Vec<Vec<Option<DramBar>>>,
+}
+
+/// Computes one Fig. 11 subplot from a sweep slice.
+pub fn panel_from(points: &[SweepPoint]) -> Fig11Panel {
+    let num_pes = points.first().map(|p| p.num_pes).unwrap_or(0);
+    let batches = points.iter().map(|p| p.batch).collect();
+    let bars = points
+        .iter()
+        .map(|p| {
+            p.runs
+                .iter()
+                .map(|r| {
+                    r.as_ref().map(|run| DramBar {
+                        reads_per_op: run.dram_reads_per_op(),
+                        writes_per_op: run.dram_writes_per_op(),
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    Fig11Panel { num_pes, batches, bars }
+}
+
+/// Runs one subplot (a, b or c) at the given PE count.
+pub fn run_at(num_pes: usize) -> Fig11Panel {
+    panel_from(&sweep::conv_sweep_at(num_pes))
+}
+
+/// Runs all three subplots.
+pub fn run() -> Vec<Fig11Panel> {
+    sweep::CONV_PE_SIZES.iter().map(|&p| run_at(p)).collect()
+}
+
+/// Renders a subplot as the paper's grouped bars.
+pub fn render(panel: &Fig11Panel) -> String {
+    let mut t = TextTable::new(vec![
+        "dataflow".into(),
+        "N".into(),
+        "reads/op".into(),
+        "writes/op".into(),
+        "total/op".into(),
+    ]);
+    for (di, kind) in DataflowKind::ALL.iter().enumerate() {
+        for (bi, &batch) in panel.batches.iter().enumerate() {
+            match panel.bars[bi][di] {
+                Some(bar) => t.row(vec![
+                    kind.label().into(),
+                    batch.to_string(),
+                    format!("{:.5}", bar.reads_per_op),
+                    format!("{:.5}", bar.writes_per_op),
+                    format!("{:.5}", bar.reads_per_op + bar.writes_per_op),
+                ]),
+                None => t.row(vec![
+                    kind.label().into(),
+                    batch.to_string(),
+                    "—".into(),
+                    "—".into(),
+                    "cannot operate".into(),
+                ]),
+            }
+        }
+    }
+    format!(
+        "Fig. 11 — DRAM accesses/op, CONV layers, {} PEs\n{}",
+        panel.num_pes,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_and_osc_have_highest_dram_traffic() {
+        // Section VII-B: "RS, OSA, OSB and NLR have significantly lower
+        // DRAM accesses than WS and OSC".
+        let panel = run_at(256);
+        let n16 = &panel.bars[1];
+        let total =
+            |i: usize| n16[i].map(|b| b.reads_per_op + b.writes_per_op).unwrap();
+        let low = [0usize, 2, 3, 5]; // RS, OSA, OSB, NLR
+        let high = [1usize, 4]; // WS, OSC
+        for &h in &high {
+            for &l in &low {
+                assert!(
+                    total(h) > total(l),
+                    "{} ({:.4}) not above {} ({:.4})",
+                    DataflowKind::ALL[h],
+                    total(h),
+                    DataflowKind::ALL[l],
+                    total(l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_16_reduces_dram_vs_batch_1() {
+        // "Increasing N from 1 to 16 reduces DRAM accesses for all
+        // dataflows since it gives more filter reuse."
+        let panel = run_at(256);
+        for (di, kind) in DataflowKind::ALL.iter().enumerate() {
+            let (Some(b1), Some(b16)) = (panel.bars[0][di], panel.bars[1][di]) else {
+                continue;
+            };
+            assert!(
+                b16.reads_per_op + b16.writes_per_op
+                    <= (b1.reads_per_op + b1.writes_per_op) * 1.0001,
+                "{kind} got worse from N=1 to N=16"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_arrays_help_ws_most() {
+        // "The benefit is most significant on WS and OSC."
+        let p256 = run_at(256);
+        let p1024 = run_at(1024);
+        let ws = 1usize;
+        let n16 = 1usize;
+        let small = p256.bars[n16][ws].unwrap().reads_per_op;
+        let large = p1024.bars[n16][ws].unwrap().reads_per_op;
+        assert!(large < small, "WS DRAM did not drop with array size");
+    }
+
+    #[test]
+    fn render_marks_infeasible_ws() {
+        let s = render(&run_at(256));
+        assert!(s.contains("cannot operate"));
+    }
+}

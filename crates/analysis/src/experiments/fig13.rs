@@ -1,0 +1,111 @@
+//! Fig. 13: normalized energy-delay product (EDP) of the six dataflows in
+//! the CONV layers, normalized to RS at 256 PEs and batch 1.
+//!
+//! "EDP is used to verify that a dataflow does not achieve high energy
+//! efficiency by sacrificing processing parallelism"; the delay is the
+//! reciprocal of the number of active PEs.
+
+use crate::experiments::sweep::{self, SweepPoint};
+use crate::table::TextTable;
+use eyeriss_dataflow::DataflowKind;
+
+/// One subplot of Fig. 13 (fixed PE count).
+#[derive(Debug, Clone)]
+pub struct Fig13Panel {
+    /// PE array size.
+    pub num_pes: usize,
+    /// Batch sizes, one per bar group.
+    pub batches: Vec<usize>,
+    /// `edp[batch_idx][dataflow_idx]`, normalized; `None` = cannot operate.
+    pub edp: Vec<Vec<Option<f64>>>,
+}
+
+/// Computes one subplot from sweep points with an explicit EDP reference.
+pub fn panel_from(points: &[SweepPoint], reference_edp: f64) -> Fig13Panel {
+    let num_pes = points.first().map(|p| p.num_pes).unwrap_or(0);
+    let batches = points.iter().map(|p| p.batch).collect();
+    let edp = points
+        .iter()
+        .map(|p| {
+            p.runs
+                .iter()
+                .map(|r| r.as_ref().map(|run| run.edp_per_op() / reference_edp))
+                .collect()
+        })
+        .collect();
+    Fig13Panel { num_pes, batches, edp }
+}
+
+/// Runs one subplot at the given PE count.
+pub fn run_at(num_pes: usize) -> Fig13Panel {
+    let reference = sweep::rs_conv_reference().edp_per_op();
+    panel_from(&sweep::conv_sweep_at(num_pes), reference)
+}
+
+/// Runs all three subplots.
+pub fn run() -> Vec<Fig13Panel> {
+    sweep::CONV_PE_SIZES.iter().map(|&p| run_at(p)).collect()
+}
+
+/// Renders one subplot.
+pub fn render(panel: &Fig13Panel) -> String {
+    let mut t = TextTable::new(vec!["dataflow".into(), "N".into(), "norm. EDP".into()]);
+    for (di, kind) in DataflowKind::ALL.iter().enumerate() {
+        for (bi, &batch) in panel.batches.iter().enumerate() {
+            let cell = match panel.edp[bi][di] {
+                Some(v) => format!("{v:.3}"),
+                None => "cannot operate".into(),
+            };
+            t.row(vec![kind.label().into(), batch.to_string(), cell]);
+        }
+    }
+    format!(
+        "Fig. 13 — normalized EDP, CONV layers, {} PEs\n{}",
+        panel.num_pes,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_has_lowest_edp() {
+        // "Compared with the other dataflows, RS has the lowest EDP."
+        for panel in [run_at(256), run_at(1024)] {
+            for row in &panel.edp {
+                let rs = row[0].unwrap();
+                for (di, v) in row.iter().enumerate().skip(1) {
+                    if let Some(v) = v {
+                        assert!(
+                            *v > rs,
+                            "{} EDP {v:.2} not above RS {rs:.2} at {} PEs",
+                            DataflowKind::ALL[di],
+                            panel.num_pes
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn osa_and_osc_blow_up_at_batch_1_on_large_arrays() {
+        // "OSA and OSC show high EDP at batch size of 1 due to low PE
+        // utilization, especially at larger array sizes."
+        let p1024 = run_at(1024);
+        let n1 = &p1024.edp[0];
+        let rs = n1[0].unwrap();
+        let osa = n1[2].unwrap();
+        let osc = n1[4].unwrap();
+        assert!(osa > 3.0 * rs, "OSA {osa:.2} vs RS {rs:.2}");
+        assert!(osc > 3.0 * rs, "OSC {osc:.2} vs RS {rs:.2}");
+    }
+
+    #[test]
+    fn reference_point_is_one() {
+        let panel = run_at(256);
+        assert!((panel.edp[0][0].unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fig. 14: the FC-layer comparison at 1024 PEs, batch sizes 16/64/256:
+//! (a) DRAM accesses/op, (b) energy/op by level, (c) energy/op by data
+//! type, (d) normalized EDP. Energy and EDP are normalized to RS at the
+//! first plotted batch (16) so the bars land on the paper's visual scale;
+//! at batch 1 "the energy consumptions of all dataflows are dominated by
+//! DRAM accesses for weights and are approximately the same".
+
+use crate::experiments::sweep::{self, SweepPoint};
+use crate::experiments::{fig11, fig12, fig13};
+use eyeriss_dataflow::DataflowKind;
+
+/// All four panels of Fig. 14.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// Panel (a): DRAM accesses per op.
+    pub dram: fig11::Fig11Panel,
+    /// Panels (b)+(c): energy by level and by type.
+    pub energy: fig12::Fig12Panel,
+    /// Panel (d): normalized EDP.
+    pub edp: fig13::Fig13Panel,
+    /// The raw sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the full Fig. 14 experiment.
+pub fn run() -> Fig14 {
+    let points = sweep::fc_sweep();
+    let reference = sweep::rs_fc_reference();
+    let dram = fig11::panel_from(&points);
+    let energy = fig12::panel_from(&points, reference.energy_per_op());
+    let edp = fig13::panel_from(&points, reference.edp_per_op());
+    Fig14 {
+        dram,
+        energy,
+        edp,
+        points,
+    }
+}
+
+/// Renders all four panels.
+pub fn render(data: &Fig14) -> String {
+    let mut out = String::new();
+    out.push_str("=== Fig. 14 — FC layers of AlexNet, 1024 PEs, N in {16, 64, 256} ===\n");
+    out.push_str(&render_panel_a(data));
+    out.push('\n');
+    // The by-level/by-type renderers are shared with Fig. 12; relabel
+    // their workload for the FC panels.
+    out.push_str(
+        &fig12::render_by_level(&data.energy)
+            .replace("Fig. 12 —", "Fig. 14b —")
+            .replace("CONV layers", "FC layers"),
+    );
+    out.push('\n');
+    out.push_str(
+        &fig12::render_by_type(&data.energy)
+            .replace("Fig. 12d —", "Fig. 14c —")
+            .replace("CONV layers", "FC layers"),
+    );
+    out.push('\n');
+    out.push_str(&render_panel_d(data));
+    out
+}
+
+fn render_panel_a(data: &Fig14) -> String {
+    use crate::table::TextTable;
+    let mut t = TextTable::new(vec![
+        "dataflow".into(),
+        "N".into(),
+        "reads/op".into(),
+        "writes/op".into(),
+    ]);
+    for (di, kind) in DataflowKind::ALL.iter().enumerate() {
+        for (bi, &batch) in sweep::FC_BATCHES.iter().enumerate() {
+            match data.dram.bars[bi][di] {
+                Some(bar) => t.row(vec![
+                    kind.label().into(),
+                    batch.to_string(),
+                    format!("{:.5}", bar.reads_per_op),
+                    format!("{:.5}", bar.writes_per_op),
+                ]),
+                None => t.row(vec![
+                    kind.label().into(),
+                    batch.to_string(),
+                    "cannot operate".into(),
+                    "—".into(),
+                ]),
+            }
+        }
+    }
+    format!("Fig. 14a — DRAM accesses/op, FC layers\n{}", t.render())
+}
+
+fn render_panel_d(data: &Fig14) -> String {
+    use crate::table::TextTable;
+    let mut t = TextTable::new(vec!["dataflow".into(), "N".into(), "norm. EDP".into()]);
+    for (di, kind) in DataflowKind::ALL.iter().enumerate() {
+        for (bi, &batch) in sweep::FC_BATCHES.iter().enumerate() {
+            let cell = match data.edp.edp[bi][di] {
+                Some(v) => format!("{v:.3}"),
+                None => "cannot operate".into(),
+            };
+            t.row(vec![kind.label().into(), batch.to_string(), cell]);
+        }
+    }
+    format!("Fig. 14d — normalized EDP, FC layers\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_wins_fc_on_all_three_metrics() {
+        // Section VII-C: "the RS dataflow has the lowest DRAM accesses,
+        // energy consumption and EDP in the FC layers."
+        let data = run();
+        for bi in 0..sweep::FC_BATCHES.len() {
+            let rs_dram = data.dram.bars[bi][0]
+                .map(|b| b.reads_per_op + b.writes_per_op)
+                .unwrap();
+            let rs_energy = data.energy.bars[bi][0].as_ref().unwrap().total();
+            let rs_edp = data.edp.edp[bi][0].unwrap();
+            for di in 1..DataflowKind::ALL.len() {
+                if let Some(b) = data.dram.bars[bi][di] {
+                    assert!(
+                        b.reads_per_op + b.writes_per_op >= rs_dram * 0.999,
+                        "{} DRAM below RS at N={}",
+                        DataflowKind::ALL[di],
+                        sweep::FC_BATCHES[bi]
+                    );
+                }
+                if let Some(b) = &data.energy.bars[bi][di] {
+                    assert!(b.total() > rs_energy, "{}", DataflowKind::ALL[di]);
+                }
+                if let Some(v) = data.edp.edp[bi][di] {
+                    assert!(v > rs_edp, "{}", DataflowKind::ALL[di]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rs_at_least_1_3x_better_at_batch_16() {
+        // "The RS dataflow is at least 1.3x more energy efficient than
+        // other dataflows at a batch size of 16."
+        let data = run();
+        let rs = data.energy.bars[0][0].as_ref().unwrap().total();
+        for di in 1..DataflowKind::ALL.len() {
+            if let Some(b) = &data.energy.bars[0][di] {
+                let ratio = b.total() / rs;
+                assert!(
+                    ratio > 1.1,
+                    "{} ratio {ratio:.2} too close to RS",
+                    DataflowKind::ALL[di]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn osa_edp_is_catastrophic_on_fc() {
+        // Fig. 14d annotates OSA at 168x and 85x: off the chart.
+        let data = run();
+        let rs = data.edp.edp[0][0].unwrap();
+        let osa = data.edp.edp[0][2].unwrap();
+        assert!(osa > 20.0 * rs, "OSA EDP {osa:.1} vs RS {rs:.2}");
+    }
+
+    #[test]
+    fn batch_growth_improves_everyone() {
+        // "Increasing batch size helps to improve energy efficiency of all
+        // dataflows due to more filter reuse."
+        let data = run();
+        for di in 0..DataflowKind::ALL.len() {
+            let (Some(b16), Some(b256)) = (
+                data.energy.bars[0][di].as_ref(),
+                data.energy.bars[2][di].as_ref(),
+            ) else {
+                continue;
+            };
+            assert!(
+                b256.total() <= b16.total() * 1.001,
+                "{} got worse with batch",
+                DataflowKind::ALL[di]
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fig. 15: trading processing area against storage area for the RS
+//! dataflow under a fixed total area (Section VII-D).
+//!
+//! The fixed total area is anchored at the 256-PE setup with the Eq. (2)
+//! baseline storage area, plus the PE logic itself. The paper's annotated
+//! points imply the PE logic consumes ~54% of that total (264/288 PEs
+//! leave 40% for storage; 32 PEs leave 93%), i.e. each PE's datapath costs
+//! about 0.21% of the total. We sweep the PE count from 32 to 288,
+//! reassign the freed logic area to storage, try several RF sizes, and
+//! keep the RF/buffer split with the lowest CONV energy.
+
+use crate::metrics::DataflowRun;
+use crate::runner;
+use eyeriss_arch::{area, AcceleratorConfig, GridDims};
+use eyeriss_dataflow::DataflowKind;
+use eyeriss_nn::alexnet;
+
+/// Storage fraction of the total chip area at the 256-PE anchor, chosen to
+/// match the paper's annotated operating points (~46%).
+const STORAGE_FRACTION_AT_256: f64 = 0.46;
+
+/// One swept operating point.
+#[derive(Debug, Clone)]
+pub struct Fig15Point {
+    /// PE count of this allocation.
+    pub num_pes: usize,
+    /// The RF size per PE that minimized energy.
+    pub rf_bytes: f64,
+    /// The resulting global buffer size in bytes.
+    pub buffer_bytes: f64,
+    /// Fraction of total chip area spent on storage.
+    pub storage_fraction: f64,
+    /// Energy per op (normalized across the sweep by the caller).
+    pub energy_per_op: f64,
+    /// Delay per op (reciprocal of op-weighted active PEs).
+    pub delay_per_op: f64,
+    /// The full run behind the numbers.
+    pub run: DataflowRun,
+}
+
+/// PE counts swept (the paper sweeps 32 to 288).
+pub const PE_SWEEP: [usize; 9] = [32, 64, 96, 128, 160, 192, 224, 256, 288];
+
+/// Candidate RF sizes per PE, in bytes (the paper's annotations show
+/// 0.5 kB at large arrays up to 1.0 kB at 32 PEs).
+pub const RF_CANDIDATES: [f64; 4] = [256.0, 512.0, 768.0, 1024.0];
+
+/// Runs the Fig. 15 sweep on the AlexNet CONV layers at batch 16.
+pub fn run() -> Vec<Fig15Point> {
+    let storage_at_256 = area::baseline_storage_area(256);
+    let total_area = storage_at_256 / STORAGE_FRACTION_AT_256;
+    let pe_logic_area = (total_area - storage_at_256) / 256.0;
+    let layers = alexnet::conv_layers();
+
+    let mut out = Vec::new();
+    for &pes in &PE_SWEEP {
+        let storage_budget = total_area - pes as f64 * pe_logic_area;
+        if storage_budget <= 0.0 {
+            continue;
+        }
+        let mut best: Option<Fig15Point> = None;
+        for &rf in &RF_CANDIDATES {
+            let rf_area = pes as f64 * area::storage_area(rf);
+            let buffer_bytes = area::buffer_bytes_for_area(storage_budget - rf_area);
+            if buffer_bytes < 1024.0 {
+                continue;
+            }
+            // 16 rows keeps CONV1's 11 filter rows mappable even on small
+            // arrays (every swept PE count is a multiple of 16).
+            let hw = AcceleratorConfig {
+                grid: GridDims::new(16, pes / 16),
+                rf_bytes_per_pe: rf,
+                buffer_bytes,
+            };
+            let Some(run) = runner::run_layers_on(DataflowKind::RowStationary, &layers, 16, &hw)
+            else {
+                continue;
+            };
+            let point = Fig15Point {
+                num_pes: pes,
+                rf_bytes: rf,
+                buffer_bytes,
+                storage_fraction: storage_budget / total_area,
+                energy_per_op: run.energy_per_op(),
+                delay_per_op: run.delay_per_op(),
+                run,
+            };
+            if best
+                .as_ref()
+                .map(|b| point.energy_per_op < b.energy_per_op)
+                .unwrap_or(true)
+            {
+                best = Some(point);
+            }
+        }
+        if let Some(b) = best {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Renders the sweep as (delay, energy) pairs normalized to the minimum
+/// of each axis, mirroring the Fig. 15 scatter.
+pub fn render(points: &[Fig15Point]) -> String {
+    use crate::table::TextTable;
+    let e_min = points
+        .iter()
+        .map(|p| p.energy_per_op)
+        .fold(f64::INFINITY, f64::min);
+    let d_min = points
+        .iter()
+        .map(|p| p.delay_per_op)
+        .fold(f64::INFINITY, f64::min);
+    let mut t = TextTable::new(vec![
+        "PEs".into(),
+        "RF/PE (kB)".into(),
+        "buffer (kB)".into(),
+        "storage area %".into(),
+        "norm. delay".into(),
+        "norm. energy/op".into(),
+    ]);
+    for p in points {
+        t.row(vec![
+            p.num_pes.to_string(),
+            format!("{:.2}", p.rf_bytes / 1024.0),
+            format!("{:.0}", p.buffer_bytes / 1024.0),
+            format!("{:.0}", p.storage_fraction * 100.0),
+            format!("{:.2}", p.delay_per_op / d_min),
+            format!("{:.4}", p.energy_per_op / e_min),
+        ]);
+    }
+    format!(
+        "Fig. 15 — RS energy vs delay under fixed total area (AlexNet CONV, N=16)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_points() {
+        let pts = run();
+        assert!(pts.len() >= 7, "only {} points", pts.len());
+    }
+
+    #[test]
+    fn throughput_scales_much_faster_than_energy() {
+        // Section VII-D: "although the throughput increases by more than
+        // 10x ... the energy cost only increases by 13%".
+        let pts = run();
+        let first = pts.first().unwrap(); // 32 PEs
+        let last = pts.last().unwrap(); // 288 PEs
+        let speedup = first.delay_per_op / last.delay_per_op;
+        let energy_ratio = last.energy_per_op / first.energy_per_op;
+        assert!(speedup > 5.0, "speedup only {speedup:.1}x");
+        assert!(
+            energy_ratio < 1.35,
+            "energy grew {energy_ratio:.2}x, paper says ~13%"
+        );
+    }
+
+    #[test]
+    fn small_arrays_get_bigger_buffers() {
+        // The annotated points: 32 PEs -> ~643 kB buffer, 288 -> ~53 kB.
+        let pts = run();
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(first.buffer_bytes > 3.0 * last.buffer_bytes);
+        assert!(first.storage_fraction > last.storage_fraction);
+    }
+
+    #[test]
+    fn render_has_one_row_per_point() {
+        let pts = run();
+        let s = render(&pts);
+        assert_eq!(s.lines().count(), pts.len() + 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 7b: on-chip storage allocation per dataflow under the fixed
+//! Eq. (2) area budget (256 PEs).
+
+use crate::table::TextTable;
+use eyeriss_arch::AcceleratorConfig;
+use eyeriss_dataflow::DataflowKind;
+
+/// Storage allocation of one dataflow.
+#[derive(Debug, Clone, Copy)]
+pub struct Allocation {
+    /// The dataflow.
+    pub kind: DataflowKind,
+    /// Total RF bytes across all PEs.
+    pub rf_total_bytes: f64,
+    /// Global buffer bytes.
+    pub buffer_bytes: f64,
+}
+
+impl Allocation {
+    /// Total on-chip storage.
+    pub fn total_bytes(&self) -> f64 {
+        self.rf_total_bytes + self.buffer_bytes
+    }
+}
+
+/// Computes the Fig. 7b allocations for `num_pes` PEs.
+pub fn run(num_pes: usize) -> Vec<Allocation> {
+    DataflowKind::ALL
+        .iter()
+        .map(|&kind| {
+            let hw = AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes());
+            Allocation {
+                kind,
+                rf_total_bytes: num_pes as f64 * hw.rf_bytes_per_pe,
+                buffer_bytes: hw.buffer_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Renders the allocations as the Fig. 7b bar data (kB).
+pub fn render(allocations: &[Allocation]) -> String {
+    let mut t = TextTable::new(vec![
+        "dataflow".into(),
+        "buffer (kB)".into(),
+        "total RF (kB)".into(),
+        "total (kB)".into(),
+    ]);
+    for a in allocations {
+        t.row(vec![
+            a.kind.label().into(),
+            format!("{:.1}", a.buffer_bytes / 1024.0),
+            format!("{:.1}", a.rf_total_bytes / 1024.0),
+            format!("{:.1}", a.total_bytes() / 1024.0),
+        ]);
+    }
+    format!("Fig. 7b — storage allocation under fixed area\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_gets_the_baseline_split() {
+        let a = run(256);
+        let rs = &a[0];
+        assert_eq!(rs.kind, DataflowKind::RowStationary);
+        assert!((rs.buffer_bytes - 128.0 * 1024.0).abs() < 200.0);
+        assert_eq!(rs.rf_total_bytes, 256.0 * 512.0);
+    }
+
+    #[test]
+    fn buffer_ratio_spans_paper_range() {
+        // "For the global buffer alone, the size difference is up to 2.6x."
+        let a = run(256);
+        let min = a.iter().map(|x| x.buffer_bytes).fold(f64::INFINITY, f64::min);
+        let max = a.iter().map(|x| x.buffer_bytes).fold(0.0, f64::max);
+        let ratio = max / min;
+        assert!((2.2..=3.0).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn render_lists_all_dataflows() {
+        let s = render(&run(256));
+        for k in DataflowKind::ALL {
+            assert!(s.contains(k.label()));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment runners: one module per evaluation table/figure.
+//!
+//! Each module exposes a `run()` producing structured series and a
+//! `render()` producing the plain-text equivalent of the paper's plot.
+//! The DESIGN.md experiment index maps each figure to its module.
+//!
+//! | Figure | Module | Content |
+//! |--------|--------|---------|
+//! | Fig. 7  | [`fig7`]  | storage allocation per dataflow under fixed area |
+//! | Fig. 10 | [`fig10`] | RS per-layer energy breakdown on AlexNet |
+//! | Fig. 11 | [`fig11`] | DRAM accesses/op, 6 dataflows, CONV sweep |
+//! | Fig. 12 | [`fig12`] | energy/op by level and by data type, CONV sweep |
+//! | Fig. 13 | [`fig13`] | normalized EDP, CONV sweep |
+//! | Fig. 14 | [`fig14`] | FC-layer comparison at 1024 PEs |
+//! | Fig. 15 | [`fig15`] | processing-vs-storage area allocation for RS |
+//! | ablation | [`rf_sweep`] | the Section VI-B "512 B RF is optimal" design choice |
+//! | ablation | [`sensitivity`] | dataflow ranking under perturbed Table IV costs |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig7;
+pub mod rf_sweep;
+pub mod sensitivity;
+pub mod sweep;

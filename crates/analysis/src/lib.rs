@@ -1,0 +1,32 @@
+//! The energy-efficiency analysis framework of the Eyeriss paper
+//! (Section VI-C) and the experiment runners for every evaluation figure.
+//!
+//! * [`metrics`] — per-layer and aggregated results: normalized energy per
+//!   operation, DRAM accesses per operation, delay and energy-delay
+//!   product, with breakdowns by hierarchy level and by data type.
+//! * [`runner`] — maps a list of layers for one dataflow under the
+//!   fixed-area comparison setup of Section VI-B.
+//! * [`experiments`] — one module per paper figure (7, 10-15), each
+//!   producing structured series plus a plain-text rendering of the same
+//!   rows the paper plots.
+//! * [`table`] — minimal text-table rendering used by the reports.
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_analysis::runner;
+//! use eyeriss_dataflow::DataflowKind;
+//!
+//! // RS on AlexNet CONV layers: 256 PEs, batch 16 (the Fig. 10 setup).
+//! let run = runner::run_conv_layers(DataflowKind::RowStationary, 16, 256).unwrap();
+//! assert!(run.energy_per_op() > 1.0); // at least the MAC itself
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod table;
+
+pub use metrics::{DataflowRun, LayerRun};
+pub use runner::{run_conv_layers, run_fc_layers, run_layers, run_layers_on};

@@ -1,0 +1,229 @@
+//! Storage area model: the Fig. 7a area-per-byte curve and the Eq. (2)
+//! baseline storage-area budget.
+//!
+//! The dataflow comparison of Section VI-B fixes total hardware area and
+//! processing parallelism: all dataflows get the same number of PEs and the
+//! same *storage area*, but may split it differently between RF and global
+//! buffer. Because smaller memories cost more area per byte (Fig. 7a —
+//! flip-flop-based register files at the small end, SRAM at the large end),
+//! dataflows that demand large RFs end up with less total on-chip storage
+//! (Fig. 7b; the paper quotes up to an 80 kB total spread and a 2.6x global
+//! buffer ratio between NLR and RS).
+//!
+//! The curve below is a log-log interpolated table calibrated to reproduce
+//! those two quotes; see `DESIGN.md` for the calibration.
+
+/// Anchor points (bytes, normalized area per byte) of the Fig. 7a curve.
+///
+/// Below the first anchor the cost saturates at the flip-flop value; above
+/// the last it saturates at the large-SRAM value.
+const CURVE: [(f64, f64); 11] = [
+    (2.0, 14.0),
+    (16.0, 13.0),
+    (32.0, 12.0),
+    (64.0, 10.0),
+    (128.0, 7.0),
+    (256.0, 4.5),
+    (512.0, 2.83),
+    (1024.0, 2.5),
+    (8192.0, 2.2),
+    (65536.0, 2.0),
+    (262144.0, 1.9),
+];
+
+/// Normalized area per byte for a memory of `bytes` capacity (Fig. 7a).
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_arch::area;
+///
+/// // Small flip-flop storage costs much more per byte than a big SRAM.
+/// assert!(area::area_per_byte(16.0) > 5.0 * area::area_per_byte(131_072.0));
+/// ```
+pub fn area_per_byte(bytes: f64) -> f64 {
+    assert!(bytes.is_finite() && bytes >= 0.0, "invalid size {bytes}");
+    if bytes <= CURVE[0].0 {
+        return CURVE[0].1;
+    }
+    if bytes >= CURVE[CURVE.len() - 1].0 {
+        return CURVE[CURVE.len() - 1].1;
+    }
+    let mut i = 0;
+    while CURVE[i + 1].0 < bytes {
+        i += 1;
+    }
+    let (x0, y0) = CURVE[i];
+    let (x1, y1) = CURVE[i + 1];
+    // Log-linear interpolation in size, linear in cost.
+    let t = (bytes.ln() - x0.ln()) / (x1.ln() - x0.ln());
+    y0 + t * (y1 - y0)
+}
+
+/// Total normalized area of a memory of `bytes` capacity.
+///
+/// Zero bytes occupy zero area (NLR has no RF at all).
+pub fn storage_area(bytes: f64) -> f64 {
+    if bytes <= 0.0 {
+        0.0
+    } else {
+        bytes * area_per_byte(bytes)
+    }
+}
+
+/// Bytes per RF in the Eq. (2) baseline (512 B).
+pub const BASELINE_RF_BYTES: f64 = 512.0;
+
+/// The baseline storage area for `num_pes` PEs, per Eq. (2):
+///
+/// ```text
+/// #PE x Area(512B RF) + Area((#PE x 512B) global buffer)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_arch::area;
+///
+/// // 256 PEs -> the baseline assumes a 128 kB global buffer.
+/// let a = area::baseline_storage_area(256);
+/// assert!(a > area::storage_area(256.0 * 512.0));
+/// ```
+pub fn baseline_storage_area(num_pes: usize) -> f64 {
+    let rf_area = num_pes as f64 * storage_area(BASELINE_RF_BYTES);
+    let buffer_area = storage_area(num_pes as f64 * BASELINE_RF_BYTES);
+    rf_area + buffer_area
+}
+
+/// Solves for the largest global buffer (in bytes) whose area fits in
+/// `area_budget`, by bisection on the monotone `storage_area` function.
+///
+/// Returns 0 when the budget is non-positive.
+pub fn buffer_bytes_for_area(area_budget: f64) -> f64 {
+    if area_budget <= 0.0 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while storage_area(hi) < area_budget {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if storage_area(mid) < area_budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Splits the Eq. (2) baseline area for `num_pes` PEs into a per-PE RF of
+/// `rf_bytes_per_pe` plus the largest global buffer fitting in the rest.
+///
+/// This is how each dataflow's storage is provisioned for the comparison
+/// (Fig. 7b): the RF requirement is fixed by the dataflow, the buffer gets
+/// whatever area remains.
+///
+/// Returns the global buffer size in bytes (0 if the RFs exhaust the area).
+pub fn buffer_bytes_under_baseline(num_pes: usize, rf_bytes_per_pe: f64) -> f64 {
+    let budget = baseline_storage_area(num_pes);
+    let rf_area = num_pes as f64 * storage_area(rf_bytes_per_pe);
+    buffer_bytes_for_area(budget - rf_area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        let mut b = 2.0;
+        while b < 1e7 {
+            let a = area_per_byte(b);
+            assert!(a <= prev + 1e-12, "area/byte rose at {b}");
+            prev = a;
+            b *= 1.3;
+        }
+    }
+
+    #[test]
+    fn baseline_rs_buffer_is_512b_per_pe() {
+        // RS keeps the 512 B RF, so its buffer must come out at #PE x 512 B.
+        for pes in [256usize, 512, 1024] {
+            let buf = buffer_bytes_under_baseline(pes, BASELINE_RF_BYTES);
+            let expect = pes as f64 * 512.0;
+            assert!(
+                (buf - expect).abs() / expect < 1e-6,
+                "{pes} PEs: {buf} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn nlr_buffer_ratio_matches_paper() {
+        // Paper: buffer size difference "up to 2.6x" — NLR (no RF) vs RS.
+        let rs = buffer_bytes_under_baseline(256, 512.0);
+        let nlr = buffer_bytes_under_baseline(256, 0.0);
+        let ratio = nlr / rs;
+        assert!(
+            (2.3..=2.9).contains(&ratio),
+            "NLR/RS buffer ratio {ratio:.2} outside paper's ~2.6x"
+        );
+    }
+
+    #[test]
+    fn total_storage_spread_near_80kb() {
+        // Paper: "difference in total on-chip storage size can go up to 80kB"
+        // between dataflows at 256 PEs.
+        let rs_total = 256.0 * 512.0 + buffer_bytes_under_baseline(256, 512.0);
+        let nlr_total = buffer_bytes_under_baseline(256, 0.0);
+        let spread_kb = (nlr_total - rs_total) / 1024.0;
+        assert!(
+            (50.0..=110.0).contains(&spread_kb),
+            "total storage spread {spread_kb:.1} kB far from paper's 80 kB"
+        );
+    }
+
+    #[test]
+    fn buffer_solver_inverts_area() {
+        for bytes in [1024.0, 65536.0, 250000.0, 400000.0] {
+            let area = storage_area(bytes);
+            let solved = buffer_bytes_for_area(area);
+            assert!((solved - bytes).abs() / bytes < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_buffer() {
+        assert_eq!(buffer_bytes_for_area(0.0), 0.0);
+        assert_eq!(buffer_bytes_for_area(-5.0), 0.0);
+        assert_eq!(storage_area(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_storage_area_monotone(a in 1.0f64..1e6, b in 1.0f64..1e6) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(storage_area(lo) <= storage_area(hi) + 1e-9);
+        }
+
+        #[test]
+        fn prop_solver_roundtrip(bytes in 16.0f64..1e6) {
+            let solved = buffer_bytes_for_area(storage_area(bytes));
+            prop_assert!((solved - bytes).abs() / bytes < 1e-5);
+        }
+
+        #[test]
+        fn prop_bigger_rf_smaller_buffer(rf in 0.0f64..2048.0) {
+            let b0 = buffer_bytes_under_baseline(256, rf);
+            let b1 = buffer_bytes_under_baseline(256, rf + 64.0);
+            prop_assert!(b1 <= b0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Ablation studies beyond the paper's figures: the Section VI-B RF-size
+//! design choice and the Section VI-D energy-cost sensitivity discussion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::{rf_sweep, sensitivity};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", rf_sweep::render(&rf_sweep::run(256)));
+    println!("{}", sensitivity::render(&sensitivity::run()));
+    c.bench_function("ablation_rf_sweep_256pe", |b| {
+        b.iter(|| black_box(rf_sweep::run(black_box(256))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 10: RS energy breakdown across the storage hierarchy for all
+//! AlexNet layers (256 PEs, 512 B RF, 128 kB buffer, batch 16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig10;
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig10::render(&fig10::run()));
+    // Kernel: the per-layer mapping optimization behind one bar.
+    let conv2 = alexnet::conv_layers()[1].shape;
+    let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+    let em = EnergyModel::table_iv();
+    c.bench_function("fig10_rs_map_conv2", |b| {
+        b.iter(|| {
+            black_box(best_mapping(
+                DataflowKind::RowStationary,
+                black_box(&conv2),
+                16,
+                &hw,
+                &em,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 11: average DRAM accesses/op of the six dataflows in the CONV
+//! layers, for 256/512/1024 PEs and batches 1/16/64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig11;
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for panel in fig11::run() {
+        println!("{}", fig11::render(&panel));
+    }
+    c.bench_function("fig11_ws_conv_sweep_point", |b| {
+        b.iter(|| black_box(run_conv_layers(DataflowKind::WeightStationary, 16, 256)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 12: normalized energy/op of the six dataflows in the CONV layers,
+//! broken down by hierarchy level (a-c) and by data type (d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig12;
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for panel in fig12::run() {
+        println!("{}", fig12::render_by_level(&panel));
+        if panel.num_pes == 1024 {
+            println!("{}", fig12::render_by_type(&panel));
+        }
+    }
+    c.bench_function("fig12_nlr_conv_sweep_point", |b| {
+        b.iter(|| black_box(run_conv_layers(DataflowKind::NoLocalReuse, 16, 256)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 13: normalized energy-delay product of the six dataflows in the
+//! CONV layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig13;
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for panel in fig13::run() {
+        println!("{}", fig13::render(&panel));
+    }
+    c.bench_function("fig13_rs_conv_sweep_point", |b| {
+        b.iter(|| black_box(run_conv_layers(DataflowKind::RowStationary, 16, 256)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 14: the FC-layer comparison at 1024 PEs (DRAM/op, energy by
+//! level and type, EDP) for batches 16/64/256.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig14;
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig14::render(&fig14::run()));
+    c.bench_function("fig14_rs_fc_sweep_point", |b| {
+        b.iter(|| black_box(run_fc_layers(DataflowKind::RowStationary, 16, 1024)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

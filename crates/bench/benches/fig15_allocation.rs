@@ -1,0 +1,35 @@
+//! Fig. 15: RS energy vs delay when trading PE count against storage
+//! under a fixed total area.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig15;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig15::render(&fig15::run()));
+    c.bench_function("fig15_single_point", |b| {
+        b.iter(|| {
+            // One allocation point: RS CONV mapping on a 160-PE config.
+            use eyeriss::prelude::*;
+            let hw = AcceleratorConfig {
+                grid: GridDims::new(16, 10),
+                rf_bytes_per_pe: 768.0,
+                buffer_bytes: 311.0 * 1024.0,
+            };
+            let layers = alexnet::conv_layers();
+            black_box(eyeriss::analysis::run_layers_on(
+                DataflowKind::RowStationary,
+                &layers,
+                16,
+                &hw,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 7: the area/byte trade-off and the per-dataflow storage
+//! allocation under the fixed Eq. (2) area budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::analysis::experiments::fig7;
+use eyeriss::arch::area;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig7::render(&fig7::run(256)));
+    c.bench_function("fig7_allocation_256pe", |b| {
+        b.iter(|| black_box(fig7::run(black_box(256))))
+    });
+    c.bench_function("fig7_area_solver", |b| {
+        b.iter(|| black_box(area::buffer_bytes_for_area(black_box(1.0e6))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! The chip-verification path (Section VII-A): simulate row-stationary
+//! execution with real data, confirm bit-exactness and the measured
+//! RF-dominance, and benchmark simulated throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let em = EnergyModel::table_iv();
+    let shape = LayerShape::conv(32, 16, 15, 3, 1).unwrap();
+    let input = synth::ifmap(&shape, 1, 1);
+    let weights = synth::filters(&shape, 2);
+    let bias = synth::biases(&shape, 3);
+
+    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+    let run = chip.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+    let golden = reference::conv_accumulate(&shape, 1, &input, &weights, &bias);
+    assert_eq!(run.psums, golden);
+    println!(
+        "chip verification: {} MACs bit-exact; RF:(buffer+array) energy = {:.2} \
+         (chip measured ~4:1); utilization {:.1}%",
+        run.stats.macs,
+        run.stats.rf_to_onchip_rest_ratio(&em),
+        100.0 * run.stats.utilization(168)
+    );
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(shape.macs(1)));
+    group.bench_function("rs_conv3_geometry_168pe", |b| {
+        b.iter(|| {
+            let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+            black_box(chip.run_conv(&shape, 1, &input, &weights, &bias).unwrap())
+        })
+    });
+    group.bench_function("rs_conv3_geometry_gated_sparse", |b| {
+        let sparse = synth::sparse_ifmap(&shape, 1, 9, 0.7);
+        b.iter(|| {
+            let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip())
+                .zero_gating(true)
+                .rlc(true);
+            black_box(chip.run_conv(&shape, 1, &sparse, &weights, &bias).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

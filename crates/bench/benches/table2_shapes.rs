@@ -1,0 +1,54 @@
+//! Table II: the AlexNet CONV/FC shape configurations, plus a benchmark
+//! of the golden direct convolution those shapes are evaluated with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eyeriss::prelude::*;
+use std::hint::black_box;
+
+fn print_table2() {
+    println!("Table II — CONV/FC layer shape configurations in AlexNet");
+    println!(
+        "{:<6} {:>5} {:>4} {:>5} {:>5} {:>4} {:>12}",
+        "Layer", "H", "R", "E", "C", "M/U", "MACs (N=1)"
+    );
+    for layer in alexnet::all_layers() {
+        let s = &layer.shape;
+        println!(
+            "{:<6} {:>5} {:>4} {:>5} {:>5} {:>4} {:>12}",
+            layer.name,
+            s.h,
+            s.r,
+            s.e,
+            s.c,
+            format!("{}/{}", s.m, s.u),
+            s.macs(1)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    // Golden convolution on a CONV3-geometry layer (scaled for bench time).
+    let shape = LayerShape::conv(32, 16, 15, 3, 1).unwrap();
+    let input = synth::ifmap(&shape, 1, 1);
+    let weights = synth::filters(&shape, 2);
+    let bias = synth::biases(&shape, 3);
+    c.bench_function("golden_conv_conv3_geometry", |b| {
+        b.iter(|| {
+            black_box(reference::conv_accumulate(
+                &shape,
+                1,
+                black_box(&input),
+                black_box(&weights),
+                &bias,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! # eyeriss — a Rust reproduction of the Eyeriss spatial architecture
+//!
+//! This crate is the facade over a from-scratch reproduction of
+//! *Eyeriss: A Spatial Architecture for Energy-Efficient Dataflow for
+//! Convolutional Neural Networks* (Chen, Emer, Sze — ISCA 2016):
+//!
+//! * [`nn`] — CNN substrate: Table I/II shapes, Q8.8 tensors, golden
+//!   CONV/FC/POOL references.
+//! * [`arch`] — the Table IV energy hierarchy, Fig. 7a area model and
+//!   accelerator configurations.
+//! * [`dataflow`] — the six dataflow mapping spaces (RS, WS, OSA, OSB,
+//!   OSC, NLR) with exact access counting and the Section VI-C optimizer.
+//! * [`analysis`] — experiment runners regenerating every evaluation
+//!   figure (7, 10–15).
+//! * [`sim`] — a functional chip simulator executing the row-stationary
+//!   dataflow bit-exactly against the golden reference.
+//!
+//! # Quickstart
+//!
+//! Map AlexNet CONV3 onto a 256-PE accelerator with every dataflow and
+//! compare energy:
+//!
+//! ```
+//! use eyeriss::prelude::*;
+//!
+//! let shape = LayerShape::conv(384, 256, 15, 3, 1)?; // AlexNet CONV3
+//! let em = EnergyModel::table_iv();
+//! let mut results = Vec::new();
+//! for kind in DataflowKind::ALL {
+//!     let hw = comparison_hardware(kind, 256);
+//!     if let Some(best) = best_mapping(kind, &shape, 16, &hw, &em) {
+//!         results.push((kind, best.profile.total_energy(&em)));
+//!     }
+//! }
+//! let rs = results[0].1;
+//! assert!(results.iter().skip(1).all(|&(_, e)| e > rs), "RS wins");
+//! # Ok::<(), eyeriss::nn::ShapeError>(())
+//! ```
+//!
+//! Simulate a layer on the fabricated chip's configuration and verify the
+//! result bit-exactly:
+//!
+//! ```
+//! use eyeriss::prelude::*;
+//!
+//! let shape = LayerShape::conv(8, 4, 13, 3, 2)?;
+//! let input = synth::ifmap(&shape, 1, 1);
+//! let weights = synth::filters(&shape, 2);
+//! let bias = synth::biases(&shape, 3);
+//!
+//! let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+//! let run = chip.run_conv(&shape, 1, &input, &weights, &bias)?;
+//! assert_eq!(run.psums, reference::conv_accumulate(&shape, 1, &input, &weights, &bias));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use eyeriss_analysis as analysis;
+pub use eyeriss_arch as arch;
+pub use eyeriss_dataflow as dataflow;
+pub use eyeriss_nn as nn;
+pub use eyeriss_sim as sim;
+
+/// One-stop imports for the common workflows.
+pub mod prelude {
+    pub use eyeriss_analysis::{run_conv_layers, run_fc_layers, run_layers, DataflowRun};
+    pub use eyeriss_arch::energy::{EnergyModel, Level};
+    pub use eyeriss_arch::{AcceleratorConfig, DataType, GridDims};
+    pub use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
+    pub use eyeriss_dataflow::{DataflowKind, MappingCandidate};
+    pub use eyeriss_nn::{alexnet, reference, synth, Fix16, LayerShape, Tensor4};
+    pub use eyeriss_sim::{Accelerator, SimStats};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let shape = LayerShape::conv(4, 3, 9, 3, 1).unwrap();
+        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+        let best = best_mapping(
+            DataflowKind::RowStationary,
+            &shape,
+            1,
+            &hw,
+            &EnergyModel::table_iv(),
+        )
+        .unwrap();
+        assert!(best.profile.alu_ops > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Candidate mappings produced by the dataflow models.
+
+use eyeriss_arch::access::LayerAccessProfile;
+use std::fmt;
+
+/// The mapping parameters of a candidate, for display and debugging.
+///
+/// Each variant carries the dataflow-specific knobs described in the module
+/// docs of [`crate::rs`], [`crate::ws`], etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingParams {
+    /// Row stationary: images `n`, filters/PE `p`, channels/PE `q`,
+    /// strip width `e`, vertical sets `r`, horizontal sets `t`, and whether
+    /// filters (rather than ifmaps) are the buffer-resident data type.
+    RowStationary {
+        /// Images interleaved per pass.
+        n: usize,
+        /// Filters interleaved per PE.
+        p: usize,
+        /// Channels interleaved per PE.
+        q: usize,
+        /// Ofmap rows per logical-set strip.
+        e: usize,
+        /// Logical sets stacked vertically (channel groups).
+        r: usize,
+        /// Logical sets stacked horizontally (filter groups).
+        t: usize,
+        /// Buffer residency: `true` keeps the pass's filter group resident
+        /// across batch/strip loops, `false` keeps the ifmap strip resident
+        /// across filter groups.
+        filter_resident: bool,
+    },
+    /// Weight stationary: parallel filter planes `g_m` and channel planes
+    /// `g_c` (each occupying an RxR PE block).
+    WeightStationary {
+        /// Filter planes mapped in parallel.
+        g_m: usize,
+        /// Channel planes mapped in parallel.
+        g_c: usize,
+    },
+    /// OSA (SOC-MOP): ofmap tile `e_x x e_y` and images in parallel.
+    OutputStationaryA {
+        /// Ofmap tile height.
+        e_x: usize,
+        /// Ofmap tile width.
+        e_y: usize,
+        /// Images processed in parallel.
+        n_par: usize,
+    },
+    /// OSB (MOC-MOP): parallel ofmap channels and 1-D pixel strip length.
+    OutputStationaryB {
+        /// Ofmap channels in parallel.
+        o_m: usize,
+        /// Ofmap pixels per 1-D strip.
+        o_p: usize,
+    },
+    /// OSC (MOC-SOP): parallel ofmap channels and images.
+    OutputStationaryC {
+        /// Ofmap channels in parallel.
+        o_m: usize,
+        /// Images processed in parallel.
+        n_par: usize,
+    },
+    /// NLR: channel groups `g_c`, filters per group `g_w`, and whether the
+    /// ifmap plane is buffer-resident.
+    NoLocalReuse {
+        /// PE groups reading different input channels.
+        g_c: usize,
+        /// PEs per group (different filters, shared ifmap broadcast).
+        g_w: usize,
+        /// Whether a full ifmap plane stays resident in the buffer.
+        ifmap_resident: bool,
+    },
+}
+
+impl fmt::Display for MappingParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MappingParams::RowStationary {
+                n,
+                p,
+                q,
+                e,
+                r,
+                t,
+                filter_resident,
+            } => write!(
+                f,
+                "RS(n={n}, p={p}, q={q}, e={e}, r={r}, t={t}, resident={})",
+                if filter_resident { "filter" } else { "ifmap" }
+            ),
+            MappingParams::WeightStationary { g_m, g_c } => {
+                write!(f, "WS(g_m={g_m}, g_c={g_c})")
+            }
+            MappingParams::OutputStationaryA { e_x, e_y, n_par } => {
+                write!(f, "OSA(e_x={e_x}, e_y={e_y}, n_par={n_par})")
+            }
+            MappingParams::OutputStationaryB { o_m, o_p } => {
+                write!(f, "OSB(o_m={o_m}, o_p={o_p})")
+            }
+            MappingParams::OutputStationaryC { o_m, n_par } => {
+                write!(f, "OSC(o_m={o_m}, n_par={n_par})")
+            }
+            MappingParams::NoLocalReuse {
+                g_c,
+                g_w,
+                ifmap_resident,
+            } => write!(
+                f,
+                "NLR(g_c={g_c}, g_w={g_w}, ifmap_resident={ifmap_resident})"
+            ),
+        }
+    }
+}
+
+/// One feasible mapping of a layer onto the accelerator: its exact access
+/// profile, how many PEs it keeps busy, and the parameters that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingCandidate {
+    /// Exact aggregate access counts for the whole layer.
+    pub profile: LayerAccessProfile,
+    /// PEs doing useful work (drives the EDP delay term, Section VII-B).
+    pub active_pes: usize,
+    /// The mapping parameters.
+    pub params: MappingParams,
+}
+
+impl MappingCandidate {
+    /// Delay proxy: total MACs divided by active PEs ("the delay is
+    /// calculated as the reciprocal of number of active PEs" at fixed work).
+    pub fn delay(&self) -> f64 {
+        self.profile.alu_ops / self.active_pes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_every_knob() {
+        let p = MappingParams::RowStationary {
+            n: 1,
+            p: 2,
+            q: 3,
+            e: 4,
+            r: 5,
+            t: 6,
+            filter_resident: true,
+        };
+        let s = p.to_string();
+        for needle in ["n=1", "p=2", "q=3", "e=4", "r=5", "t=6", "filter"] {
+            assert!(s.contains(needle), "{s} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn delay_scales_inverse_active_pes() {
+        let mut profile = LayerAccessProfile::new();
+        profile.alu_ops = 1000.0;
+        let c1 = MappingCandidate {
+            profile,
+            active_pes: 10,
+            params: MappingParams::OutputStationaryC { o_m: 10, n_par: 1 },
+        };
+        let c2 = MappingCandidate {
+            active_pes: 100,
+            ..c1.clone()
+        };
+        assert_eq!(c1.delay(), 100.0);
+        assert_eq!(c2.delay(), 10.0);
+    }
+}

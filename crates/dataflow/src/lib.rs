@@ -1,0 +1,50 @@
+//! CNN dataflow taxonomy and mapping spaces for the Eyeriss reproduction.
+//!
+//! Implements Section IV (the taxonomy of existing dataflows), Section V
+//! (the row-stationary dataflow) and the per-dataflow simulation models of
+//! Section VI-A. Each dataflow is a parameterized *mapping space*: given a
+//! layer shape, a batch size and an accelerator configuration it enumerates
+//! candidate mappings, each with exact aggregate access counts per data
+//! type across the four-level hierarchy. The optimizer of Section VI-C
+//! (in [`search`]) picks the most energy-efficient candidate.
+//!
+//! | Dataflow | Data handling (Table III) | Module |
+//! |----------|---------------------------|--------|
+//! | RS   | all reuse types at RF; conv reuse + psum accumulation in array | [`rs`] |
+//! | WS   | weights stationary in RF; psums to array/buffer | [`ws`] |
+//! | OSA  | SOC-MOP: psum stationary; conv reuse in array | [`os_a`] |
+//! | OSB  | MOC-MOP: psum stationary; conv + ifmap reuse in array | [`os_b`] |
+//! | OSC  | MOC-SOP: psum stationary; ifmap reuse in array | [`os_c`] |
+//! | NLR  | no RF; ifmap reuse + psum accumulation in array | [`nlr`] |
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_dataflow::{DataflowKind, search};
+//! use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+//! use eyeriss_nn::LayerShape;
+//!
+//! let shape = LayerShape::conv(96, 3, 227, 11, 4)?; // AlexNet CONV1
+//! let hw = AcceleratorConfig::under_baseline_area(256, DataflowKind::RowStationary.rf_bytes());
+//! let best = search::best_mapping(DataflowKind::RowStationary, &shape, 16, &hw,
+//!                                 &EnergyModel::table_iv()).unwrap();
+//! assert!(best.active_pes > 0 && best.active_pes <= 256);
+//! # Ok::<(), eyeriss_nn::ShapeError>(())
+//! ```
+
+pub mod candidate;
+pub mod kind;
+pub mod model;
+pub mod nlr;
+pub mod os_a;
+pub mod os_b;
+pub mod os_c;
+pub mod rs;
+pub mod search;
+pub mod split;
+pub mod ws;
+
+pub use candidate::MappingCandidate;
+pub use kind::DataflowKind;
+pub use model::DataflowModel;
+pub use split::ReuseSplit;

@@ -1,0 +1,123 @@
+//! The dataflow model interface and shared enumeration helpers.
+
+use crate::candidate::MappingCandidate;
+use crate::kind::DataflowKind;
+use eyeriss_arch::config::AcceleratorConfig;
+use eyeriss_nn::LayerShape;
+
+/// A parameterized dataflow mapping space (Section VI-A).
+///
+/// Implementations enumerate every candidate mapping of a layer onto the
+/// given hardware, producing exact aggregate access counts. Infeasible
+/// layers yield an empty vector — this is how WS "cannot even operate" at
+/// batch 64 with 256 PEs (Fig. 11a).
+pub trait DataflowModel {
+    /// Which dataflow this model implements.
+    fn kind(&self) -> DataflowKind;
+
+    /// Enumerates feasible mappings of `shape` with batch size `n` on `hw`.
+    fn mappings(
+        &self,
+        shape: &LayerShape,
+        n: usize,
+        hw: &AcceleratorConfig,
+    ) -> Vec<MappingCandidate>;
+}
+
+/// Returns the model implementing `kind`.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_dataflow::{model, DataflowKind};
+/// let m = model::model_for(DataflowKind::NoLocalReuse);
+/// assert_eq!(m.kind(), DataflowKind::NoLocalReuse);
+/// ```
+pub fn model_for(kind: DataflowKind) -> Box<dyn DataflowModel> {
+    match kind {
+        DataflowKind::RowStationary => Box::new(crate::rs::RowStationaryModel),
+        DataflowKind::WeightStationary => Box::new(crate::ws::WeightStationaryModel),
+        DataflowKind::OutputStationaryA => Box::new(crate::os_a::OutputStationaryAModel),
+        DataflowKind::OutputStationaryB => Box::new(crate::os_b::OutputStationaryBModel),
+        DataflowKind::OutputStationaryC => Box::new(crate::os_c::OutputStationaryCModel),
+        DataflowKind::NoLocalReuse => Box::new(crate::nlr::NoLocalReuseModel),
+    }
+}
+
+/// Ceiling division for mapping-fold counts.
+pub(crate) fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// Candidate tiling factors for a dimension of extent `dim` under `cap`.
+///
+/// Uses divisors of `dim` (perfect tilings), powers of two (common
+/// hardware folds) and the clamps `{1, min(dim, cap)}`, deduplicated and
+/// sorted. Keeps search spaces small without losing the optima the paper's
+/// framework would find.
+pub(crate) fn factor_candidates(dim: usize, cap: usize) -> Vec<usize> {
+    assert!(dim > 0, "dimension must be non-zero");
+    let cap = cap.max(1);
+    let bound = dim.min(cap);
+    let mut out = Vec::new();
+    // Divisors of dim up to bound.
+    let mut k = 1usize;
+    while k * k <= dim {
+        if dim.is_multiple_of(k) {
+            if k <= bound {
+                out.push(k);
+            }
+            let other = dim / k;
+            if other <= bound {
+                out.push(other);
+            }
+        }
+        k += 1;
+    }
+    // Powers of two up to bound.
+    let mut p = 1usize;
+    while p <= bound {
+        out.push(p);
+        p *= 2;
+    }
+    out.push(bound);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_candidates_cover_divisors_and_pow2() {
+        let c = factor_candidates(55, 16);
+        assert!(c.contains(&1) && c.contains(&5) && c.contains(&11));
+        assert!(c.contains(&8) && c.contains(&16));
+        assert!(!c.contains(&55), "55 exceeds the cap");
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+    }
+
+    #[test]
+    fn factor_candidates_clamped() {
+        assert_eq!(factor_candidates(1, 100), vec![1]);
+        let c = factor_candidates(100, 1);
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn ceil_div_rounds_up() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(1, 4), 1);
+    }
+
+    #[test]
+    fn model_for_covers_all_kinds() {
+        for kind in DataflowKind::ALL {
+            assert_eq!(model_for(kind).kind(), kind);
+        }
+    }
+}

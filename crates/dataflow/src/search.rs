@@ -1,0 +1,166 @@
+//! The mapping optimizer of Section VI-C.
+//!
+//! "For each dataflow, there exists a set of parameters ... that describes
+//! the optimal mapping in terms of energy efficiency under a given CNN
+//! layer shape. It is obtained through an optimization process with
+//! objective functions defined in Eq. (3) and (4), constrained by the
+//! hardware resources." Here the optimization is an exhaustive scan of the
+//! (divisor-pruned) candidate space each model enumerates.
+
+use crate::candidate::MappingCandidate;
+use crate::kind::DataflowKind;
+use crate::model::model_for;
+use eyeriss_arch::config::AcceleratorConfig;
+use eyeriss_arch::energy::EnergyModel;
+use eyeriss_nn::LayerShape;
+
+/// The optimization objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize total normalized energy (the paper's default).
+    Energy,
+    /// Minimize energy x delay (used for the EDP discussion).
+    EnergyDelayProduct,
+}
+
+/// Finds the best mapping of `shape` (batch `n`) for `kind` on `hw`,
+/// minimizing energy under `model`. Returns `None` when the dataflow cannot
+/// operate (e.g. WS at batch 64 on 256 PEs, Fig. 11a).
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_dataflow::{search, DataflowKind};
+/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+/// use eyeriss_nn::LayerShape;
+///
+/// let shape = LayerShape::conv(384, 256, 15, 3, 1)?; // CONV3
+/// let hw = AcceleratorConfig::under_baseline_area(256, DataflowKind::NoLocalReuse.rf_bytes());
+/// let best = search::best_mapping(DataflowKind::NoLocalReuse, &shape, 16, &hw,
+///                                 &EnergyModel::table_iv());
+/// assert!(best.is_some());
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+pub fn best_mapping(
+    kind: DataflowKind,
+    shape: &LayerShape,
+    n: usize,
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+) -> Option<MappingCandidate> {
+    best_mapping_with(kind, shape, n, hw, energy, Objective::Energy)
+}
+
+/// [`best_mapping`] with an explicit objective.
+pub fn best_mapping_with(
+    kind: DataflowKind,
+    shape: &LayerShape,
+    n: usize,
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+    objective: Objective,
+) -> Option<MappingCandidate> {
+    let model = model_for(kind);
+    let score = |c: &MappingCandidate| -> f64 {
+        let e = c.profile.total_energy(energy);
+        match objective {
+            Objective::Energy => e,
+            Objective::EnergyDelayProduct => e * c.delay(),
+        }
+    };
+    let cands: Vec<MappingCandidate> = model
+        .mappings(shape, n, hw)
+        .into_iter()
+        .filter(|c| c.profile.is_valid())
+        .collect();
+    let best = cands
+        .iter()
+        .map(&score)
+        .fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return None;
+    }
+    // Near-ties in the objective are broken toward PE utilization: the
+    // paper notes RS's "mapping of 1D convolution primitives efficiently
+    // utilizes available PEs", and its Fig. 13 delays presume mappings
+    // that fill the array when doing so costs (almost) nothing.
+    cands
+        .into_iter()
+        .filter(|c| score(c) <= best * UTILIZATION_TIE_BAND)
+        .max_by(|a, b| {
+            a.active_pes
+                .cmp(&b.active_pes)
+                .then_with(|| score(b).partial_cmp(&score(a)).expect("finite scores"))
+        })
+}
+
+/// Candidates within this factor of the optimal objective are considered
+/// tied and resolved by active-PE count.
+const UTILIZATION_TIE_BAND: f64 = 1.10;
+
+/// Convenience: the hardware a dataflow gets under the fixed-area
+/// comparison of Section VI-B (its own RF size, the rest as buffer).
+pub fn comparison_hardware(kind: DataflowKind, num_pes: usize) -> AcceleratorConfig {
+    AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeriss_nn::alexnet;
+
+    #[test]
+    fn rs_beats_others_on_conv_aggregate() {
+        // The headline claim, at one operating point: RS total CONV energy
+        // at 256 PEs / batch 16 is lower than every other dataflow's.
+        let em = EnergyModel::table_iv();
+        let conv = alexnet::conv_layers();
+        let total = |kind: DataflowKind| -> Option<f64> {
+            let hw = comparison_hardware(kind, 256);
+            let mut sum = 0.0;
+            for layer in &conv {
+                sum += best_mapping(kind, &layer.shape, 16, &hw, &em)?
+                    .profile
+                    .total_energy(&em);
+            }
+            Some(sum)
+        };
+        let rs = total(DataflowKind::RowStationary).expect("RS feasible");
+        for kind in DataflowKind::ALL.into_iter().skip(1) {
+            if let Some(e) = total(kind) {
+                assert!(
+                    rs < e,
+                    "{kind}: RS {rs:.3e} not below {e:.3e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edp_objective_never_picks_lower_utilization_for_worse_energy_delay() {
+        let em = EnergyModel::table_iv();
+        let conv5 = &alexnet::conv_layers()[4].shape;
+        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+        let by_energy =
+            best_mapping(DataflowKind::RowStationary, conv5, 16, &hw, &em).unwrap();
+        let by_edp = best_mapping_with(
+            DataflowKind::RowStationary,
+            conv5,
+            16,
+            &hw,
+            &em,
+            Objective::EnergyDelayProduct,
+        )
+        .unwrap();
+        let edp = |c: &MappingCandidate| c.profile.total_energy(&em) * c.delay();
+        assert!(edp(&by_edp) <= edp(&by_energy) + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let em = EnergyModel::table_iv();
+        let conv1 = &alexnet::conv_layers()[0].shape;
+        let hw = comparison_hardware(DataflowKind::WeightStationary, 256);
+        assert!(best_mapping(DataflowKind::WeightStationary, conv1, 64, &hw, &em).is_none());
+    }
+}

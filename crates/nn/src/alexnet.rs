@@ -1,0 +1,124 @@
+//! AlexNet CONV/FC layer shape configurations (Table II of the paper).
+//!
+//! AlexNet is the benchmark network used for every experiment in the paper's
+//! evaluation. The shapes below are the *padded* shapes of Table II (Caffe
+//! variant \[39\]): e.g. CONV1's 227 is the padded input size.
+//!
+//! Note the grouped convolutions of the original AlexNet are reflected in
+//! Table II's channel counts (CONV2 sees C = 48, CONV4/5 see C = 192).
+
+use crate::shape::{LayerShape, NamedLayer};
+
+/// The five CONV layers of AlexNet (Table II rows CONV1–CONV5).
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::alexnet;
+/// let conv = alexnet::conv_layers();
+/// let names: Vec<&str> = conv.iter().map(|l| l.name.as_str()).collect();
+/// assert_eq!(names, ["CONV1", "CONV2", "CONV3", "CONV4", "CONV5"]);
+/// ```
+pub fn conv_layers() -> Vec<NamedLayer> {
+    // (name, M, C, H, R, U) taken verbatim from Table II.
+    let rows: [(&str, usize, usize, usize, usize, usize); 5] = [
+        ("CONV1", 96, 3, 227, 11, 4),
+        ("CONV2", 256, 48, 31, 5, 1),
+        ("CONV3", 384, 256, 15, 3, 1),
+        ("CONV4", 384, 192, 15, 3, 1),
+        ("CONV5", 256, 192, 15, 3, 1),
+    ];
+    rows.iter()
+        .map(|&(name, m, c, h, r, u)| {
+            NamedLayer::new(
+                name,
+                LayerShape::conv(m, c, h, r, u).expect("Table II shapes are valid"),
+            )
+        })
+        .collect()
+}
+
+/// The three FC layers of AlexNet (Table II rows FC1–FC3).
+///
+/// FC1 consumes the 6x6x256 output of the last pooling stage; FC2 and FC3
+/// are plain 4096-wide matrix-vector products.
+pub fn fc_layers() -> Vec<NamedLayer> {
+    let rows: [(&str, usize, usize, usize); 3] = [
+        ("FC1", 4096, 256, 6),
+        ("FC2", 4096, 4096, 1),
+        ("FC3", 1000, 4096, 1),
+    ];
+    rows.iter()
+        .map(|&(name, m, c, h)| {
+            NamedLayer::new(
+                name,
+                LayerShape::fully_connected(m, c, h).expect("Table II shapes are valid"),
+            )
+        })
+        .collect()
+}
+
+/// All eight CONV + FC layers in network order.
+pub fn all_layers() -> Vec<NamedLayer> {
+    let mut v = conv_layers();
+    v.extend(fc_layers());
+    v
+}
+
+/// Expected ofmap sizes per Table II, used as a self-check.
+pub const EXPECTED_E: [(&str, usize); 8] = [
+    ("CONV1", 55),
+    ("CONV2", 27),
+    ("CONV3", 13),
+    ("CONV4", 13),
+    ("CONV5", 13),
+    ("FC1", 1),
+    ("FC2", 1),
+    ("FC3", 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_shapes_match_paper() {
+        // Table II column E.
+        for (layer, (name, e)) in all_layers().iter().zip(EXPECTED_E) {
+            assert_eq!(layer.name, name);
+            assert_eq!(layer.shape.e, e, "{name} ofmap size");
+        }
+    }
+
+    #[test]
+    fn conv_dominates_operations() {
+        // Section III-B: "CONV layers account for over 90% of the overall
+        // operations" in AlexNet.
+        let conv_macs: u64 = conv_layers().iter().map(|l| l.shape.macs(1)).sum();
+        let fc_macs: u64 = fc_layers().iter().map(|l| l.shape.macs(1)).sum();
+        let frac = conv_macs as f64 / (conv_macs + fc_macs) as f64;
+        assert!(frac > 0.9, "CONV fraction was {frac}");
+    }
+
+    #[test]
+    fn fc_holds_most_weights() {
+        // Section III-B: "FC layers use most of the filter weights".
+        let conv_w: u64 = conv_layers().iter().map(|l| l.shape.filter_words()).sum();
+        let fc_w: u64 = fc_layers().iter().map(|l| l.shape.filter_words()).sum();
+        assert!(fc_w > 10 * conv_w);
+    }
+
+    #[test]
+    fn conv1_operation_count() {
+        // CONV1: 96 x 3 x 11^2 x 55^2 MACs ~ 105.4 M per image.
+        let c1 = &conv_layers()[0].shape;
+        assert_eq!(c1.macs(1), 105_415_200);
+    }
+
+    #[test]
+    fn fc_layers_are_fc_shaped() {
+        for l in fc_layers() {
+            assert!(l.shape.is_fc_shaped(), "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for shape validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when layer shape parameters are inconsistent.
+///
+/// The constraints come from Table I of the paper: the ofmap size must
+/// satisfy `E = (H - R + U) / U`, FC layers must have `H = R`, `E = 1`,
+/// `U = 1`, and every dimension must be non-zero.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::{LayerShape, LayerKind};
+///
+/// // 5x5 filter cannot stride evenly over a 12-pixel input with stride 4.
+/// let err = LayerShape::conv(1, 1, 12, 5, 4).unwrap_err();
+/// assert!(err.to_string().contains("stride"));
+/// # let _ = LayerKind::Conv;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ShapeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_message() {
+        let e = ShapeError::new("invalid layer shape");
+        assert_eq!(e.to_string(), "invalid layer shape");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<ShapeError>();
+        assert_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! CNN substrate for the Eyeriss (ISCA 2016) reproduction.
+//!
+//! This crate provides everything the dataflow models and the chip simulator
+//! need from the neural-network side, implemented from scratch:
+//!
+//! * [`fixed`] — 16-bit fixed-point (Q8.8) arithmetic matching the precision
+//!   of the fabricated Eyeriss chip (Fig. 4 of the paper).
+//! * [`shape`] — the CONV/FC layer shape parameters of Table I and all
+//!   derived exact operation/data counts.
+//! * [`alexnet`] — the AlexNet shape configurations of Table II, the
+//!   benchmark network used throughout the paper's evaluation.
+//! * [`tensor`] — dense 4-D tensors for ifmaps, filters, ofmaps.
+//! * [`reference`](mod@reference) — a golden direct-convolution implementation of Eq. (1)
+//!   plus FC, max-pool and ReLU layers, used to verify the simulator
+//!   bit-exactly.
+//! * [`im2col`] — an independent im2col + GEMM convolution used to
+//!   cross-check the golden reference.
+//! * [`synth`] — deterministic synthetic tensor generation (the paper's
+//!   results depend only on layer shapes, not trained values).
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_nn::alexnet;
+//!
+//! let layers = alexnet::conv_layers();
+//! assert_eq!(layers.len(), 5);
+//! // CONV1 processes a padded 227x227 input with 11x11 filters at stride 4.
+//! assert_eq!(layers[0].shape.h, 227);
+//! assert_eq!(layers[0].shape.r, 11);
+//! assert_eq!(layers[0].shape.u, 4);
+//! ```
+
+pub mod alexnet;
+pub mod error;
+pub mod fixed;
+pub mod im2col;
+pub mod network;
+pub mod reference;
+pub mod shape;
+pub mod synth;
+pub mod tensor;
+pub mod vgg;
+
+pub use error::ShapeError;
+pub use fixed::Fix16;
+pub use shape::{LayerKind, LayerShape};
+pub use tensor::Tensor4;

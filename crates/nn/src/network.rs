@@ -1,0 +1,291 @@
+//! Whole-network abstraction: an ordered stack of CONV/POOL/FC stages
+//! with shape inference and a pure-software forward pass.
+//!
+//! CNNs are "constructed by stacking multiple computation layers as a
+//! directed acyclic graph" (Section III-A); this module models the linear
+//! stacks the paper evaluates. Each CONV/FC stage owns its weights and is
+//! followed by the implicit ACT (ReLU) layer; POOL stages are
+//! weight-free.
+
+use crate::error::ShapeError;
+use crate::fixed::Fix16;
+use crate::reference;
+use crate::shape::{LayerKind, LayerShape};
+use crate::synth;
+use crate::tensor::Tensor4;
+
+/// One stage of a network.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name (e.g. `"CONV1"`).
+    pub name: String,
+    /// The stage's layer shape.
+    pub shape: LayerShape,
+    /// Filter bank for CONV/FC stages (`None` for POOL).
+    pub weights: Option<Tensor4<Fix16>>,
+    /// Biases for CONV/FC stages.
+    pub bias: Option<Vec<Fix16>>,
+    /// Whether a ReLU activation follows (true for CONV/FC per §III-A;
+    /// the final classifier stage usually omits it).
+    pub relu: bool,
+}
+
+/// A feed-forward network: an ordered list of stages whose shapes chain.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::network::NetworkBuilder;
+///
+/// let net = NetworkBuilder::new(3, 19)
+///     .conv("C1", 8, 3, 2)?
+///     .pool("P1", 3, 2)?
+///     .fully_connected("FC", 10)?
+///     .build(7);
+/// assert_eq!(net.stages().len(), 3);
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    stages: Vec<Stage>,
+    input_channels: usize,
+    input_size: usize,
+}
+
+impl Network {
+    /// The network's stages in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Input dimensions `(channels, height/width)`.
+    pub fn input_dims(&self) -> (usize, usize) {
+        (self.input_channels, self.input_size)
+    }
+
+    /// Total MACs of a forward pass at batch `n` (POOL comparisons are
+    /// counted as operations too, as in Section V-D).
+    pub fn total_ops(&self, n: usize) -> u64 {
+        self.stages.iter().map(|s| s.shape.macs(n)).sum()
+    }
+
+    /// Pure-software forward pass on batch `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input dimensions.
+    pub fn forward(&self, n: usize, input: &Tensor4<Fix16>) -> Tensor4<Fix16> {
+        assert_eq!(
+            input.dims(),
+            [n, self.input_channels, self.input_size, self.input_size],
+            "network input dims mismatch"
+        );
+        let mut act = input.clone();
+        for stage in &self.stages {
+            act = match stage.shape.kind {
+                LayerKind::Pool => reference::max_pool(&stage.shape, n, &act),
+                LayerKind::Conv | LayerKind::FullyConnected => {
+                    let w = stage.weights.as_ref().expect("weighted stage");
+                    let b = stage.bias.as_ref().expect("weighted stage");
+                    let psums = reference::conv_accumulate(&stage.shape, n, &act, w, b);
+                    reference::quantize(&psums, stage.relu)
+                }
+            };
+        }
+        act
+    }
+}
+
+/// Builder with shape inference: each stage consumes the previous stage's
+/// output dimensions.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    specs: Vec<StageSpec>,
+    input_channels: usize,
+    input_size: usize,
+    cur_channels: usize,
+    cur_size: usize,
+}
+
+#[derive(Debug, Clone)]
+enum StageSpec {
+    Weighted {
+        name: String,
+        shape: LayerShape,
+        relu: bool,
+    },
+    Pool {
+        name: String,
+        shape: LayerShape,
+    },
+}
+
+impl NetworkBuilder {
+    /// Starts a network taking `channels x size x size` inputs.
+    pub fn new(channels: usize, size: usize) -> Self {
+        NetworkBuilder {
+            specs: Vec::new(),
+            input_channels: channels,
+            input_size: size,
+            cur_channels: channels,
+            cur_size: size,
+        }
+    }
+
+    /// Appends a CONV stage with `m` filters of `r x r` at stride `u`,
+    /// followed by ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors are deferred to [`NetworkBuilder::build`]-time via the
+    /// returned `Result` of this method.
+    pub fn conv(mut self, name: &str, m: usize, r: usize, u: usize) -> Result<Self, ShapeError> {
+        let shape = LayerShape::conv(m, self.cur_channels, self.cur_size, r, u)?;
+        self.cur_channels = m;
+        self.cur_size = shape.e;
+        self.specs.push(StageSpec::Weighted {
+            name: name.into(),
+            shape,
+            relu: true,
+        });
+        Ok(self)
+    }
+
+    /// Appends a max-pool stage with an `r x r` window at stride `u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the window does not tile the plane.
+    pub fn pool(mut self, name: &str, r: usize, u: usize) -> Result<Self, ShapeError> {
+        let shape = LayerShape::pool(self.cur_channels, self.cur_size, r, u)?;
+        self.cur_size = shape.e;
+        self.specs.push(StageSpec::Pool {
+            name: name.into(),
+            shape,
+        });
+        Ok(self)
+    }
+
+    /// Appends a fully-connected classifier stage with `m` outputs
+    /// (no trailing ReLU).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if dimensions are degenerate.
+    pub fn fully_connected(mut self, name: &str, m: usize) -> Result<Self, ShapeError> {
+        let shape = LayerShape::fully_connected(m, self.cur_channels, self.cur_size)?;
+        self.cur_channels = m;
+        self.cur_size = 1;
+        self.specs.push(StageSpec::Weighted {
+            name: name.into(),
+            shape,
+            relu: false,
+        });
+        Ok(self)
+    }
+
+    /// Materializes the network, generating seeded weights and biases for
+    /// every weighted stage.
+    pub fn build(self, seed: u64) -> Network {
+        let stages = self
+            .specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                StageSpec::Weighted { name, shape, relu } => Stage {
+                    name,
+                    weights: Some(synth::filters(&shape, seed.wrapping_add(2 * i as u64))),
+                    bias: Some(synth::biases(&shape, seed.wrapping_add(2 * i as u64 + 1))),
+                    shape,
+                    relu,
+                },
+                StageSpec::Pool { name, shape } => Stage {
+                    name,
+                    shape,
+                    weights: None,
+                    bias: None,
+                    relu: false,
+                },
+            })
+            .collect();
+        Network {
+            stages,
+            input_channels: self.input_channels,
+            input_size: self.input_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .pool("P1", 3, 2)
+            .unwrap()
+            .conv("C2", 12, 3, 1)
+            .unwrap()
+            .fully_connected("FC", 10)
+            .unwrap()
+            .build(7)
+    }
+
+    #[test]
+    fn shapes_chain_correctly() {
+        let net = tiny_net();
+        let s = net.stages();
+        assert_eq!(s[0].shape.e, 9);
+        assert_eq!(s[1].shape.e, 4);
+        assert_eq!(s[2].shape.e, 2);
+        assert_eq!(s[3].shape.c, 12);
+        assert_eq!(s[3].shape.h, 2);
+    }
+
+    #[test]
+    fn forward_produces_logit_tensor() {
+        let net = tiny_net();
+        let input = synth::ifmap(&net.stages()[0].shape, 2, 4);
+        let out = net.forward(2, &input);
+        assert_eq!(out.dims(), [2, 10, 1, 1]);
+    }
+
+    #[test]
+    fn relu_applied_to_hidden_stages_only() {
+        let net = tiny_net();
+        assert!(net.stages()[0].relu);
+        assert!(!net.stages()[3].relu, "classifier must keep raw logits");
+        let input = synth::ifmap(&net.stages()[0].shape, 1, 9);
+        let logits = net.forward(1, &input);
+        // ReLU on the final stage would force all logits >= 0; raw logits
+        // of a random net should include negatives.
+        assert!(logits.iter().any(|v| v.raw() < 0), "suspiciously non-negative logits");
+    }
+
+    #[test]
+    fn total_ops_sums_stages() {
+        let net = tiny_net();
+        let by_hand: u64 = net.stages().iter().map(|s| s.shape.macs(3)).sum();
+        assert_eq!(net.total_ops(3), by_hand);
+    }
+
+    #[test]
+    fn mismatched_input_shape_is_rejected() {
+        let net = tiny_net();
+        let bad = Tensor4::<Fix16>::zeros([1, 3, 18, 18]);
+        let result = std::panic::catch_unwind(|| net.forward(1, &bad));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_propagates_shape_errors() {
+        // 19 -> conv stride 2 gives 9; a 4x4 pool at stride 3 cannot tile 9.
+        let r = NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .pool("P1", 4, 3);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Layer shape parameters (Table I of the paper) and derived exact counts.
+//!
+//! All energy results in the paper are driven by *exact* read/write counts
+//! computed from the layer shape, so this module is the single source of
+//! truth for operation and data-volume arithmetic.
+
+use crate::error::ShapeError;
+
+/// The kind of a CNN layer, following Section III-A of the paper.
+///
+/// NORM layers are intentionally unsupported ("we believe support for the
+/// NORM layer can be omitted due to its reduced usage in recent CNNs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// High-dimensional convolution (Eq. (1)).
+    Conv,
+    /// Fully-connected layer: a CONV layer with `H = R`, `E = 1`, `U = 1`.
+    FullyConnected,
+    /// Max-pooling layer: Eq. (1) with MAC replaced by MAX and
+    /// `N = M = C = 1` per plane (Section V-D).
+    Pool,
+}
+
+impl LayerKind {
+    /// Short display name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerKind::Conv => "CONV",
+            LayerKind::FullyConnected => "FC",
+            LayerKind::Pool => "POOL",
+        }
+    }
+}
+
+/// Shape parameters of a CONV/FC layer (Table I).
+///
+/// Batch size `N` is *not* part of the shape: the paper sweeps it as an
+/// experiment parameter, so all derived counts take `n` as an argument.
+///
+/// Square planes are assumed, as in the paper: the ifmap is `H x H`, the
+/// filter `R x R` and the ofmap `E x E`.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::LayerShape;
+///
+/// // AlexNet CONV3: 13x13 ofmap, 3x3 filters, 256 -> 384 channels.
+/// let s = LayerShape::conv(384, 256, 15, 3, 1)?;
+/// assert_eq!(s.e, 13);
+/// assert_eq!(s.macs(1), 384 * 256 * 3 * 3 * 13 * 13);
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Layer kind (CONV, FC or POOL).
+    pub kind: LayerKind,
+    /// Number of 3-D filters / ofmap channels (`M`).
+    pub m: usize,
+    /// Number of ifmap/filter channels (`C`).
+    pub c: usize,
+    /// Padded ifmap plane width/height (`H`).
+    pub h: usize,
+    /// Filter plane width/height (`R`).
+    pub r: usize,
+    /// Ofmap plane width/height (`E`), derived as `(H - R + U) / U`.
+    pub e: usize,
+    /// Convolution stride (`U`).
+    pub u: usize,
+}
+
+impl LayerShape {
+    /// Creates a CONV layer shape, deriving and validating `E`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any dimension is zero, the filter is larger
+    /// than the ifmap, or the stride does not evenly tile the ifmap
+    /// (`(H - R) % U != 0`).
+    pub fn conv(m: usize, c: usize, h: usize, r: usize, u: usize) -> Result<Self, ShapeError> {
+        if m == 0 || c == 0 || h == 0 || r == 0 || u == 0 {
+            return Err(ShapeError::new("layer dimensions must be non-zero"));
+        }
+        if r > h {
+            return Err(ShapeError::new(format!(
+                "filter size {r} exceeds ifmap size {h}"
+            )));
+        }
+        if !(h - r).is_multiple_of(u) {
+            return Err(ShapeError::new(format!(
+                "stride {u} does not evenly tile ifmap {h} with filter {r}"
+            )));
+        }
+        let e = (h - r) / u + 1;
+        Ok(LayerShape {
+            kind: LayerKind::Conv,
+            m,
+            c,
+            h,
+            r,
+            e,
+            u,
+        })
+    }
+
+    /// Creates a fully-connected layer shape.
+    ///
+    /// FC layers are CONV layers with `H = R`, so a single spatial ifmap size
+    /// is taken; `E = 1` and `U = 1` follow automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any dimension is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eyeriss_nn::LayerShape;
+    /// let fc = LayerShape::fully_connected(4096, 256, 6)?;
+    /// assert_eq!(fc.e, 1);
+    /// assert_eq!(fc.h, fc.r);
+    /// # Ok::<(), eyeriss_nn::ShapeError>(())
+    /// ```
+    pub fn fully_connected(m: usize, c: usize, h: usize) -> Result<Self, ShapeError> {
+        if m == 0 || c == 0 || h == 0 {
+            return Err(ShapeError::new("layer dimensions must be non-zero"));
+        }
+        Ok(LayerShape {
+            kind: LayerKind::FullyConnected,
+            m,
+            c,
+            h,
+            r: h,
+            e: 1,
+            u: 1,
+        })
+    }
+
+    /// Creates a max-pooling layer shape over `c` independent planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] under the same conditions as [`LayerShape::conv`].
+    pub fn pool(c: usize, h: usize, r: usize, u: usize) -> Result<Self, ShapeError> {
+        let conv = LayerShape::conv(1, c, h, r, u)?;
+        Ok(LayerShape {
+            kind: LayerKind::Pool,
+            ..conv
+        })
+    }
+
+    // ----- exact derived counts -------------------------------------------
+
+    /// Total MAC operations for batch size `n`: `N·M·C·R²·E²` (Eq. (1)).
+    pub fn macs(&self, n: usize) -> u64 {
+        n as u64
+            * self.m as u64
+            * self.c as u64
+            * (self.r * self.r) as u64
+            * (self.e * self.e) as u64
+    }
+
+    /// Number of filter weight words: `M·C·R²`.
+    pub fn filter_words(&self) -> u64 {
+        self.m as u64 * self.c as u64 * (self.r * self.r) as u64
+    }
+
+    /// Number of ifmap words for batch size `n`: `N·C·H²`.
+    pub fn ifmap_words(&self, n: usize) -> u64 {
+        n as u64 * self.c as u64 * (self.h * self.h) as u64
+    }
+
+    /// Number of ofmap words for batch size `n`: `N·M·E²`.
+    pub fn ofmap_words(&self, n: usize) -> u64 {
+        n as u64 * self.m as u64 * (self.e * self.e) as u64
+    }
+
+    /// Times each filter weight is used per batch of `n`: `N·E²`.
+    ///
+    /// This is the total reuse the dataflows split into `(a, b, c, d)`.
+    pub fn uses_per_weight(&self, n: usize) -> u64 {
+        n as u64 * (self.e * self.e) as u64
+    }
+
+    /// Average times each ifmap value feeds a MAC: `MACs / (N·C·H²)`.
+    ///
+    /// Exact in aggregate; border pixels individually see fewer uses.
+    pub fn avg_uses_per_ifmap(&self, n: usize) -> f64 {
+        self.macs(n) as f64 / self.ifmap_words(n) as f64
+    }
+
+    /// Partial sums reduced into one ofmap value: `C·R²` (Section III-B).
+    pub fn accumulations_per_ofmap(&self) -> u64 {
+        self.c as u64 * (self.r * self.r) as u64
+    }
+
+    /// Number of ifmap rows an `e_strip`-row ofmap strip needs:
+    /// `(e_strip - 1)·U + R` (halo included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e_strip` is zero or exceeds `E`.
+    pub fn ifmap_rows_for_strip(&self, e_strip: usize) -> usize {
+        assert!(
+            e_strip >= 1 && e_strip <= self.e,
+            "strip height {e_strip} outside 1..={}",
+            self.e
+        );
+        (e_strip - 1) * self.u + self.r
+    }
+
+    /// Ratio of ifmap rows fetched when the plane is processed in
+    /// `ceil(E / e_strip)` strips, relative to fetching each row once.
+    ///
+    /// Strips overlap by `R - U` rows, so the total rows touched are
+    /// `sum over strips of ((rows of strip - 1)·U + R)`, clamped to `H` for
+    /// the final partial strip.
+    pub fn strip_refetch_factor(&self, e_strip: usize) -> f64 {
+        let mut rows = 0usize;
+        let mut remaining = self.e;
+        while remaining > 0 {
+            let s = remaining.min(e_strip);
+            rows += self.ifmap_rows_for_strip(s);
+            remaining -= s;
+        }
+        rows as f64 / self.h as f64
+    }
+
+    /// True when this shape follows the FC constraints (`H = R`, `E = 1`).
+    pub fn is_fc_shaped(&self) -> bool {
+        self.h == self.r && self.e == 1 && self.u == 1
+    }
+}
+
+/// A named layer: shape plus a human-readable identifier like `"CONV1"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NamedLayer {
+    /// Display name used in tables (e.g. `"CONV3"`).
+    pub name: String,
+    /// The layer shape.
+    pub shape: LayerShape,
+}
+
+impl NamedLayer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, shape: LayerShape) -> Self {
+        NamedLayer {
+            name: name.into(),
+            shape,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv_derives_e() {
+        let s = LayerShape::conv(96, 3, 227, 11, 4).unwrap();
+        assert_eq!(s.e, 55);
+    }
+
+    #[test]
+    fn conv_rejects_zero_dims() {
+        assert!(LayerShape::conv(0, 3, 227, 11, 4).is_err());
+        assert!(LayerShape::conv(96, 3, 227, 11, 0).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_uneven_stride() {
+        assert!(LayerShape::conv(1, 1, 12, 5, 4).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_oversized_filter() {
+        assert!(LayerShape::conv(1, 1, 3, 5, 1).is_err());
+    }
+
+    #[test]
+    fn fc_is_fc_shaped() {
+        let fc = LayerShape::fully_connected(1000, 4096, 1).unwrap();
+        assert!(fc.is_fc_shaped());
+        assert_eq!(fc.macs(1), 1000 * 4096);
+    }
+
+    #[test]
+    fn counts_match_hand_calc() {
+        // CONV2 of AlexNet: M=256, C=48, H=31, R=5, U=1 -> E=27.
+        let s = LayerShape::conv(256, 48, 31, 5, 1).unwrap();
+        assert_eq!(s.e, 27);
+        assert_eq!(s.macs(1), 256 * 48 * 25 * 729);
+        assert_eq!(s.filter_words(), 256 * 48 * 25);
+        assert_eq!(s.ifmap_words(2), 2 * 48 * 31 * 31);
+        assert_eq!(s.ofmap_words(1), 256 * 729);
+        assert_eq!(s.uses_per_weight(16), 16 * 729);
+        assert_eq!(s.accumulations_per_ofmap(), 48 * 25);
+    }
+
+    #[test]
+    fn strip_rows_include_halo() {
+        let s = LayerShape::conv(1, 1, 31, 5, 1).unwrap();
+        assert_eq!(s.ifmap_rows_for_strip(1), 5);
+        assert_eq!(s.ifmap_rows_for_strip(27), 31);
+    }
+
+    #[test]
+    fn full_plane_strip_has_no_refetch() {
+        let s = LayerShape::conv(1, 1, 31, 5, 1).unwrap();
+        assert!((s.strip_refetch_factor(s.e) - 1.0).abs() < 1e-12);
+        // Strips of 1 row refetch heavily: 27 strips x 5 rows / 31 rows.
+        assert!(s.strip_refetch_factor(1) > 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strip height")]
+    fn strip_zero_panics() {
+        let s = LayerShape::conv(1, 1, 31, 5, 1).unwrap();
+        s.ifmap_rows_for_strip(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_e_consistent(h in 1usize..64, r in 1usize..12, u in 1usize..5,
+                             m in 1usize..8, c in 1usize..8) {
+            prop_assume!(r <= h && (h - r) % u == 0);
+            let s = LayerShape::conv(m, c, h, r, u).unwrap();
+            prop_assert_eq!((s.e - 1) * u + r, h);
+        }
+
+        #[test]
+        fn prop_macs_equal_ifmap_uses(h in 4usize..40, r in 1usize..6,
+                                      m in 1usize..6, c in 1usize..6,
+                                      n in 1usize..4) {
+            prop_assume!(r <= h);
+            let s = LayerShape::conv(m, c, h, r, 1).unwrap();
+            // Aggregate identity: MACs = ifmap words x average uses.
+            let lhs = s.macs(n) as f64;
+            let rhs = s.ifmap_words(n) as f64 * s.avg_uses_per_ifmap(n);
+            prop_assert!((lhs - rhs).abs() / lhs < 1e-9);
+        }
+
+        #[test]
+        fn prop_strip_factor_at_least_one(h in 6usize..50, r in 1usize..6,
+                                          strip in 1usize..40) {
+            prop_assume!(r <= h);
+            let s = LayerShape::conv(1, 1, h, r, 1).unwrap();
+            let strip = strip.min(s.e).max(1);
+            prop_assert!(s.strip_refetch_factor(strip) >= 1.0 - 1e-12);
+        }
+    }
+}

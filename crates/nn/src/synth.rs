@@ -1,0 +1,119 @@
+//! Deterministic synthetic tensor generation.
+//!
+//! The paper's energy results depend only on layer *shapes* (all R/W counts
+//! are exact functions of Table II), so trained AlexNet weights are not
+//! required. For functional verification of the simulator any values work;
+//! we generate small, seeded, reproducible fixed-point values. Sparsity can
+//! be injected to exercise the chip's zero-gating/RLC path (Section V-E) —
+//! ReLU layers make real activation maps highly sparse.
+
+use crate::fixed::Fix16;
+use crate::shape::LayerShape;
+use crate::tensor::Tensor4;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw magnitude bound for generated values (~±0.5 in Q8.8), chosen so
+/// AlexNet-sized accumulations stay far from `i32` overflow.
+const RAW_BOUND: i16 = 128;
+
+fn gen_tensor(dims: [usize; 4], seed: u64, sparsity: f64) -> Tensor4<Fix16> {
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity {sparsity} outside [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        if sparsity > 0.0 && rng.gen_bool(sparsity) {
+            data.push(Fix16::ZERO);
+        } else {
+            data.push(Fix16::from_raw(rng.gen_range(-RAW_BOUND..=RAW_BOUND)));
+        }
+    }
+    Tensor4::from_vec(dims, data)
+}
+
+/// Generates a dense ifmap batch `[n][C][H][H]` for `shape`.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::{synth, LayerShape};
+/// let s = LayerShape::conv(4, 3, 9, 3, 1)?;
+/// let a = synth::ifmap(&s, 2, 42);
+/// let b = synth::ifmap(&s, 2, 42);
+/// assert_eq!(a, b); // seeded => reproducible
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+pub fn ifmap(shape: &LayerShape, n: usize, seed: u64) -> Tensor4<Fix16> {
+    gen_tensor([n, shape.c, shape.h, shape.h], seed, 0.0)
+}
+
+/// Generates an ifmap batch where roughly `sparsity` of values are zero,
+/// mimicking post-ReLU activation sparsity.
+pub fn sparse_ifmap(shape: &LayerShape, n: usize, seed: u64, sparsity: f64) -> Tensor4<Fix16> {
+    gen_tensor([n, shape.c, shape.h, shape.h], seed, sparsity)
+}
+
+/// Generates a filter bank `[M][C][R][R]` for `shape`.
+pub fn filters(shape: &LayerShape, seed: u64) -> Tensor4<Fix16> {
+    gen_tensor([shape.m, shape.c, shape.r, shape.r], seed, 0.0)
+}
+
+/// Generates one bias per ofmap channel.
+pub fn biases(shape: &LayerShape, seed: u64) -> Vec<Fix16> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00b1_a5e5);
+    (0..shape.m)
+        .map(|_| Fix16::from_raw(rng.gen_range(-RAW_BOUND..=RAW_BOUND)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> LayerShape {
+        LayerShape::conv(4, 3, 11, 3, 2).unwrap()
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let s = shape();
+        assert_eq!(ifmap(&s, 2, 1), ifmap(&s, 2, 1));
+        assert_eq!(filters(&s, 2), filters(&s, 2));
+        assert_eq!(biases(&s, 3), biases(&s, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = shape();
+        assert_ne!(ifmap(&s, 1, 1), ifmap(&s, 1, 2));
+    }
+
+    #[test]
+    fn sparsity_injects_zeros() {
+        let s = shape();
+        let t = sparse_ifmap(&s, 1, 9, 0.7);
+        let zeros = t.iter().filter(|v| v.is_zero()).count();
+        let frac = zeros as f64 / t.len() as f64;
+        assert!((0.55..0.85).contains(&frac), "zero fraction {frac}");
+    }
+
+    #[test]
+    fn dense_has_few_zeros() {
+        let s = shape();
+        let t = ifmap(&s, 1, 9);
+        let zeros = t.iter().filter(|v| v.is_zero()).count();
+        // 1/257 chance per element; allow generous slack.
+        assert!(zeros < t.len() / 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparsity_out_of_range_panics() {
+        let s = shape();
+        let _ = sparse_ifmap(&s, 1, 0, 1.5);
+    }
+}

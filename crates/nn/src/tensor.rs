@@ -1,0 +1,217 @@
+//! Dense 4-D tensors for fmaps and filter banks.
+//!
+//! Both fmaps and filters in a CONV layer are 4-D (Section III-A): a batch
+//! of 3-D ifmaps `[N][C][H][H]`, a bank of 3-D filters `[M][C][R][R]` and a
+//! batch of 3-D ofmaps `[N][M][E][E]`. One generic row-major container
+//! covers all three.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major 4-D tensor.
+///
+/// Indexing is `(d0, d1, d2, d3)`; for an ifmap that reads as
+/// `(image, channel, row, column)`.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::Tensor4;
+///
+/// let mut t = Tensor4::zeros([1, 2, 3, 3]);
+/// t[(0, 1, 2, 2)] = 7i32;
+/// assert_eq!(t[(0, 1, 2, 2)], 7);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tensor4<T> {
+    dims: [usize; 4],
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor4<T> {
+    /// Creates a tensor filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count overflows `usize`.
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .expect("tensor dimensions overflow");
+        Tensor4 {
+            dims,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Creates a tensor from existing data in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn from_vec(dims: [usize; 4], data: Vec<T>) -> Self {
+        let len: usize = dims.iter().product();
+        assert_eq!(
+            data.len(),
+            len,
+            "data length {} does not match dims {:?}",
+            data.len(),
+            dims
+        );
+        Tensor4 { dims, data }
+    }
+
+    /// Builds a tensor by evaluating `f` at every index.
+    pub fn from_fn(dims: [usize; 4], mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut t = Tensor4::zeros(dims);
+        for i0 in 0..dims[0] {
+            for i1 in 0..dims[1] {
+                for i2 in 0..dims[2] {
+                    for i3 in 0..dims[3] {
+                        t[(i0, i1, i2, i3)] = f(i0, i1, i2, i3);
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+impl<T> Tensor4<T> {
+    /// The four dimensions.
+    #[inline]
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major offset of an index.
+    #[inline]
+    fn offset(&self, i: (usize, usize, usize, usize)) -> usize {
+        debug_assert!(
+            i.0 < self.dims[0] && i.1 < self.dims[1] && i.2 < self.dims[2] && i.3 < self.dims[3],
+            "index {i:?} out of bounds for dims {:?}",
+            self.dims
+        );
+        ((i.0 * self.dims[1] + i.1) * self.dims[2] + i.2) * self.dims[3] + i.3
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterates over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Borrows one contiguous innermost row `[d0][d1][d2][..]`.
+    #[inline]
+    pub fn row(&self, i0: usize, i1: usize, i2: usize) -> &[T] {
+        let w = self.dims[3];
+        let start = ((i0 * self.dims[1] + i1) * self.dims[2] + i2) * w;
+        &self.data[start..start + w]
+    }
+}
+
+impl<T> Index<(usize, usize, usize, usize)> for Tensor4<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: (usize, usize, usize, usize)) -> &T {
+        let off = self.offset(i);
+        &self.data[off]
+    }
+}
+
+impl<T> IndexMut<(usize, usize, usize, usize)> for Tensor4<T> {
+    #[inline]
+    fn index_mut(&mut self, i: (usize, usize, usize, usize)) -> &mut T {
+        let off = self.offset(i);
+        &mut self.data[off]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Tensor4<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor4 {{ dims: {:?}, len: {} }}",
+            self.dims,
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_index_roundtrip() {
+        let mut t: Tensor4<i32> = Tensor4::zeros([2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        t[(1, 2, 3, 4)] = 42;
+        assert_eq!(t[(1, 2, 3, 4)], 42);
+        assert_eq!(t[(0, 0, 0, 0)], 0);
+    }
+
+    #[test]
+    fn from_fn_visits_all_indices() {
+        let t = Tensor4::from_fn([2, 2, 2, 2], |a, b, c, d| (a * 8 + b * 4 + c * 2 + d) as u8);
+        assert_eq!(t.as_slice(), (0u8..16).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn row_is_contiguous() {
+        let t = Tensor4::from_fn([1, 2, 3, 4], |_, i1, i2, i3| (i1 * 12 + i2 * 4 + i3) as i32);
+        assert_eq!(t.row(0, 1, 2), &[20, 21, 22, 23]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn from_vec_checks_len() {
+        let _ = Tensor4::from_vec([2, 2, 2, 2], vec![0i32; 15]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t: Tensor4<i32> = Tensor4::zeros([1, 1, 1, 1]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_offset_bijective(d in proptest::array::uniform4(1usize..5)) {
+            let t = Tensor4::from_fn(d, |a, b, c, e| {
+                ((a * d[1] + b) * d[2] + c) * d[3] + e
+            });
+            // from_fn writes the flat offset at each index; reading the slice
+            // back must give 0..len in order iff offset() is the row-major
+            // bijection.
+            let expect: Vec<usize> = (0..t.len()).collect();
+            prop_assert_eq!(t.as_slice(), expect.as_slice());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! VGG-16 layer shape configurations (Simonyan & Zisserman \[3\]).
+//!
+//! The paper cites VGG16 alongside AlexNet as a network whose CONV layers
+//! account for over 90% of operations (Section III-B) and motivates
+//! omitting NORM support by its absence in VGG/ResNet. We include its
+//! shapes so the analysis framework can be exercised on a second, deeper
+//! benchmark: all 3x3 filters at stride 1, with pad-1 inputs (H = output
+//! of the previous stage + 2).
+
+use crate::shape::{LayerShape, NamedLayer};
+
+/// The thirteen CONV layers of VGG-16, with padded input sizes.
+pub fn conv_layers() -> Vec<NamedLayer> {
+    // (name, M, C, H_padded, R, U); ofmap E = H - 2 for 3x3/stride-1.
+    let rows: [(&str, usize, usize, usize); 13] = [
+        ("CONV1_1", 64, 3, 226),
+        ("CONV1_2", 64, 64, 226),
+        ("CONV2_1", 128, 64, 114),
+        ("CONV2_2", 128, 128, 114),
+        ("CONV3_1", 256, 128, 58),
+        ("CONV3_2", 256, 256, 58),
+        ("CONV3_3", 256, 256, 58),
+        ("CONV4_1", 512, 256, 30),
+        ("CONV4_2", 512, 512, 30),
+        ("CONV4_3", 512, 512, 30),
+        ("CONV5_1", 512, 512, 16),
+        ("CONV5_2", 512, 512, 16),
+        ("CONV5_3", 512, 512, 16),
+    ];
+    rows.iter()
+        .map(|&(name, m, c, h)| {
+            NamedLayer::new(
+                name,
+                LayerShape::conv(m, c, h, 3, 1).expect("VGG-16 shapes are valid"),
+            )
+        })
+        .collect()
+}
+
+/// The three FC layers of VGG-16.
+pub fn fc_layers() -> Vec<NamedLayer> {
+    let rows: [(&str, usize, usize, usize); 3] = [
+        ("FC6", 4096, 512, 7),
+        ("FC7", 4096, 4096, 1),
+        ("FC8", 1000, 4096, 1),
+    ];
+    rows.iter()
+        .map(|&(name, m, c, h)| {
+            NamedLayer::new(
+                name,
+                LayerShape::fully_connected(m, c, h).expect("VGG-16 shapes are valid"),
+            )
+        })
+        .collect()
+}
+
+/// All sixteen weight layers in network order.
+pub fn all_layers() -> Vec<NamedLayer> {
+    let mut v = conv_layers();
+    v.extend(fc_layers());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_weight_layers() {
+        assert_eq!(all_layers().len(), 16);
+    }
+
+    #[test]
+    fn ofmap_sizes_follow_the_stage_plan() {
+        // Stages produce 224, 112, 56, 28, 14 pixel planes.
+        let expected = [224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14];
+        for (layer, e) in conv_layers().iter().zip(expected) {
+            assert_eq!(layer.shape.e, e, "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn conv_dominates_even_more_than_alexnet() {
+        // Section III-B: CONV layers account for over 90% of operations in
+        // "most of the widely used CNNs, such as AlexNet and VGG16".
+        let conv: u64 = conv_layers().iter().map(|l| l.shape.macs(1)).sum();
+        let fc: u64 = fc_layers().iter().map(|l| l.shape.macs(1)).sum();
+        let frac = conv as f64 / (conv + fc) as f64;
+        assert!(frac > 0.99, "VGG CONV fraction {frac}");
+    }
+
+    #[test]
+    fn vgg_is_an_order_of_magnitude_bigger_than_alexnet() {
+        let vgg: u64 = conv_layers().iter().map(|l| l.shape.macs(1)).sum();
+        let alex: u64 = crate::alexnet::conv_layers()
+            .iter()
+            .map(|l| l.shape.macs(1))
+            .sum();
+        assert!(vgg > 10 * alex);
+    }
+}

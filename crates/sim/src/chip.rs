@@ -1,0 +1,665 @@
+//! The accelerator: pass orchestration of the row-stationary dataflow
+//! over the PE array, global buffer and NoCs.
+//!
+//! The simulator executes real Q8.8 data and is bit-exact against the
+//! golden reference, while measuring every word moved across the
+//! hierarchy. The second-phase folding loop order follows the mapping's
+//! residency policy (Section V-B): either the filter group stays in the
+//! buffer across batch/strip loops, or the ifmap strip stays resident
+//! across filter groups.
+
+use crate::dram::DramModel;
+use crate::error::SimError;
+use crate::gbuf::GlobalBuffer;
+use crate::noc::{MulticastBus, PsumChain};
+use crate::passes::RsMapping;
+use crate::pe::Pe;
+use crate::rlc;
+use crate::stats::SimStats;
+use eyeriss_arch::config::AcceleratorConfig;
+use eyeriss_nn::{reference, Fix16, LayerKind, LayerShape, Tensor4};
+
+/// The result of simulating one layer.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// Full-precision psums `[N][M][E][E]`, bit-exact against
+    /// [`eyeriss_nn::reference::conv_accumulate`].
+    pub psums: Tensor4<i32>,
+    /// Measured statistics.
+    pub stats: SimStats,
+    /// The mapping that was executed.
+    pub mapping: RsMapping,
+}
+
+impl LayerRun {
+    /// The quantized, ReLU-activated ofmap (what the chip writes back).
+    pub fn ofmap(&self) -> Tensor4<Fix16> {
+        reference::quantize(&self.psums, true)
+    }
+}
+
+/// The simulated Eyeriss accelerator.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_sim::Accelerator;
+/// use eyeriss_arch::AcceleratorConfig;
+///
+/// let acc = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+/// assert_eq!(acc.config().num_pes(), 168);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    zero_gating: bool,
+    rlc_enabled: bool,
+    dram: DramModel,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with sparsity features disabled.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Accelerator {
+            config,
+            zero_gating: false,
+            rlc_enabled: false,
+            dram: DramModel::default(),
+        }
+    }
+
+    /// Overrides the DRAM bandwidth model.
+    pub fn dram(mut self, dram: DramModel) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Enables zero-gating of the PE datapaths (Section V-E).
+    pub fn zero_gating(mut self, on: bool) -> Self {
+        self.zero_gating = on;
+        self
+    }
+
+    /// Enables run-length compression of activation DRAM traffic.
+    pub fn rlc(mut self, on: bool) -> Self {
+        self.rlc_enabled = on;
+        self
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Runs one CONV or FC layer, returning bit-exact psums and measured
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no feasible mapping exists or a capacity is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`.
+    pub fn run_conv(
+        &mut self,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<LayerRun, SimError> {
+        assert_eq!(
+            input.dims(),
+            [n_batch, shape.c, shape.h, shape.h],
+            "ifmap dims mismatch"
+        );
+        assert_eq!(
+            weights.dims(),
+            [shape.m, shape.c, shape.r, shape.r],
+            "filter dims mismatch"
+        );
+        assert_eq!(bias.len(), shape.m, "bias length mismatch");
+
+        let mapping = RsMapping::plan(shape, n_batch, &self.config)?;
+        let mut engine = Engine::new(self, shape, n_batch, mapping, input, weights);
+        engine.run()?;
+        let mut psums = engine.out;
+        // Bias is added once per ofmap value; the paper's accounting
+        // ignores its (negligible) movement energy.
+        for z in 0..n_batch {
+            for f in 0..shape.m {
+                let b = bias[f].to_accum();
+                for x in 0..shape.e {
+                    for y in 0..shape.e {
+                        psums[(z, f, x, y)] += b;
+                    }
+                }
+            }
+        }
+        let mut stats = engine.stats;
+        if self.rlc_enabled {
+            let in_ratio = rlc::encode(input.as_slice()).ratio();
+            let ofmap = reference::quantize(&psums, true);
+            let out_ratio = rlc::encode(ofmap.as_slice()).ratio();
+            let compressed = stats.profile.ifmap.dram_reads / in_ratio
+                + stats.profile.filter.dram_reads
+                + stats.profile.psum.dram_writes / out_ratio;
+            stats.dram_compressed_words = Some(compressed.round() as u64);
+        }
+        Ok(LayerRun {
+            psums,
+            stats,
+            mapping,
+        })
+    }
+
+    /// Runs a POOL layer by swapping the MAC for a MAX comparison
+    /// (Section V-D), plane by plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not a pooling shape or dimensions disagree.
+    pub fn run_pool(
+        &mut self,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+    ) -> (Tensor4<Fix16>, SimStats) {
+        assert_eq!(shape.kind, LayerKind::Pool, "shape must be a POOL layer");
+        let out = reference::max_pool(shape, n_batch, input);
+        let outputs = (n_batch * shape.c * shape.e * shape.e) as u64;
+        let window = (shape.r * shape.r) as u64;
+        let mut stats = SimStats::default();
+        stats.profile.ifmap.dram_reads = (n_batch * shape.c * shape.h * shape.h) as f64;
+        stats.profile.ifmap.buffer_reads = stats.profile.ifmap.dram_reads;
+        stats.profile.ifmap.rf_reads = (outputs * window) as f64;
+        stats.profile.psum.dram_writes = outputs as f64;
+        stats.profile.alu_ops = (outputs * window) as f64;
+        stats.macs = outputs * window;
+        let active = (shape.e * shape.e).min(self.config.num_pes()) as u64;
+        stats.cycles = (outputs * window).div_ceil(active);
+        (out, stats)
+    }
+}
+
+/// Internal per-layer execution state.
+struct Engine<'a> {
+    shape: &'a LayerShape,
+    n_batch: usize,
+    mapping: RsMapping,
+    input: &'a Tensor4<Fix16>,
+    weights: &'a Tensor4<Fix16>,
+    out: Tensor4<i32>,
+    pes: Vec<Pe>,
+    grid_cols: usize,
+    glb: GlobalBuffer,
+    filter_bus: MulticastBus,
+    ifmap_bus: MulticastBus,
+    chain: PsumChain,
+    stats: SimStats,
+    folds: (usize, usize, usize, usize),
+    filters_from_dram: bool,
+    dram: DramModel,
+    pending_dram_words: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        acc: &Accelerator,
+        shape: &'a LayerShape,
+        n_batch: usize,
+        mapping: RsMapping,
+        input: &'a Tensor4<Fix16>,
+        weights: &'a Tensor4<Fix16>,
+    ) -> Self {
+        let rf_words = acc.config.rf_words_per_pe();
+        let grid = acc.config.grid;
+        let mut pes: Vec<Pe> = (0..grid.count())
+            .map(|_| Pe::new(rf_words, rf_words))
+            .collect();
+        for pe in &mut pes {
+            pe.set_zero_gating(acc.zero_gating);
+        }
+        let folds = mapping.fold_counts(shape, n_batch);
+        Engine {
+            shape,
+            n_batch,
+            mapping,
+            input,
+            weights,
+            out: Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]),
+            pes,
+            grid_cols: grid.cols,
+            glb: GlobalBuffer::new(acc.config.buffer_words()),
+            filter_bus: MulticastBus::new(),
+            ifmap_bus: MulticastBus::new(),
+            chain: PsumChain::new(),
+            stats: SimStats::default(),
+            folds,
+            filters_from_dram: !mapping.filter_resident,
+            dram: acc.dram,
+            pending_dram_words: 0,
+        }
+    }
+
+    fn pe_at(&mut self, row: usize, col: usize) -> &mut Pe {
+        &mut self.pes[row * self.grid_cols + col]
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        let (ngs, mgs, cgs, sgs) = self.folds;
+        if self.mapping.filter_resident {
+            for mg in 0..mgs {
+                self.stage_filter_group(mg)?;
+                for ng in 0..ngs {
+                    for sg in 0..sgs {
+                        self.reserve_strip_psums(mg, ng, sg, false)?;
+                        for cg in 0..cgs {
+                            self.stage_ifmap_slice(ng, sg, cg)?;
+                            self.run_pass(mg, ng, sg, cg)?;
+                        }
+                        self.writeback_strip(mg..mg + 1, ng, sg);
+                        self.glb.release_psums();
+                    }
+                }
+            }
+        } else {
+            for ng in 0..ngs {
+                for sg in 0..sgs {
+                    self.reserve_strip_psums(0, ng, sg, true)?;
+                    for cg in 0..cgs {
+                        self.stage_ifmap_slice(ng, sg, cg)?;
+                        for mg in 0..mgs {
+                            self.run_pass(mg, ng, sg, cg)?;
+                        }
+                    }
+                    self.writeback_strip(0..mgs, ng, sg);
+                    self.glb.release_psums();
+                }
+            }
+        }
+        // Fold PE counters into the profile.
+        let mut pe_total = crate::pe::PeStats::default();
+        for pe in &self.pes {
+            pe_total.merge(&pe.stats);
+        }
+        self.stats.macs = pe_total.macs;
+        self.stats.skipped_macs = pe_total.skipped_macs;
+        self.stats.profile.alu_ops = pe_total.macs as f64;
+        self.stats.profile.ifmap.rf_reads = pe_total.ifmap_reads as f64;
+        self.stats.profile.filter.rf_reads = pe_total.filter_reads as f64;
+        self.stats.profile.filter.rf_writes = pe_total.filter_writes as f64;
+        self.stats.profile.psum.rf_reads = pe_total.psum_reads as f64;
+        self.stats.profile.psum.rf_writes = pe_total.psum_writes as f64;
+        self.stats.profile.filter.array_hops = self.filter_bus.stats.word_hops as f64;
+        self.stats.profile.ifmap.array_hops = self.ifmap_bus.stats.word_hops as f64;
+        self.stats.profile.psum.array_hops = self.chain.stats.word_hops as f64;
+        self.stats.dram_raw_words = (self.stats.profile.dram_reads()
+            + self.stats.profile.dram_writes())
+        .round() as u64;
+        debug_assert!(self.stats.profile.is_valid());
+        Ok(())
+    }
+
+    /// Loads a filter group (all channels) into the buffer, once per group.
+    fn stage_filter_group(&mut self, mg: usize) -> Result<(), SimError> {
+        let mut words = 0usize;
+        for sh in 0..self.mapping.t {
+            let fs = self.mapping.filters_of(self.shape, mg, sh);
+            words += fs.len() * self.shape.c * self.shape.r * self.shape.r;
+        }
+        self.stats.profile.filter.dram_reads += words as f64;
+        self.pending_dram_words += words as u64;
+        self.glb.stage_filters(words)
+    }
+
+    /// Reserves the strip's psum tile in the buffer (only needed when the
+    /// accumulation folds over more than one channel group).
+    fn reserve_strip_psums(
+        &mut self,
+        mg: usize,
+        ng: usize,
+        sg: usize,
+        all_filters: bool,
+    ) -> Result<(), SimError> {
+        let (_, _, cgs, _) = self.folds;
+        if cgs <= 1 || self.shape.is_fc_shaped() {
+            // Completed spatially / retained in the RF: no buffer tile.
+            return Ok(());
+        }
+        let imgs = self.mapping.images_of(self.n_batch, ng).len();
+        let rows = self.mapping.ofmap_rows_of(self.shape, sg).len();
+        let filters = if all_filters {
+            self.shape.m
+        } else {
+            (0..self.mapping.t)
+                .map(|sh| self.mapping.filters_of(self.shape, mg, sh).len())
+                .sum()
+        };
+        self.glb.reserve_psums(imgs * filters * rows * self.shape.e)
+    }
+
+    /// Fetches the ifmap rows a (batch group, strip, channel group) pass
+    /// needs from DRAM into the buffer.
+    fn stage_ifmap_slice(&mut self, ng: usize, sg: usize, cg: usize) -> Result<(), SimError> {
+        let imgs = self.mapping.images_of(self.n_batch, ng).len();
+        let yrows = self.mapping.ofmap_rows_of(self.shape, sg);
+        let rows_needed = (yrows.len() - 1) * self.shape.u + self.shape.r;
+        let mut channels = 0usize;
+        for sv in 0..self.mapping.r {
+            channels += self.mapping.channels_of(self.shape, cg, sv).len();
+        }
+        let words = imgs * channels * rows_needed * self.shape.h;
+        self.stats.profile.ifmap.dram_reads += words as f64;
+        self.pending_dram_words += words as u64;
+        self.glb.stage_ifmap(words)
+    }
+
+    /// Executes one processing pass: filter loads, ifmap multicast, the
+    /// 1-D primitives, vertical accumulation and psum folding.
+    fn run_pass(&mut self, mg: usize, ng: usize, sg: usize, cg: usize) -> Result<(), SimError> {
+        let shape = *self.shape;
+        let map = self.mapping;
+        let (_, _, cgs, _) = self.folds;
+        let imgs = map.images_of(self.n_batch, ng);
+        let yrows = map.ofmap_rows_of(&shape, sg);
+        let e_cols = yrows.len();
+        if e_cols == 0 || imgs.is_empty() {
+            return Ok(());
+        }
+        let (r_filt, u, e_dim, h) = (shape.r, shape.u, shape.e, shape.h);
+
+        // ---- reset and load stationary filter rows -------------------------
+        for sv in 0..map.r {
+            for i in 0..r_filt {
+                for sh in 0..map.t {
+                    for yy in 0..e_cols {
+                        self.pe_at(sv * r_filt + i, sh * map.e + yy).reset_pass();
+                    }
+                }
+            }
+        }
+        for sv in 0..map.r {
+            let cs = map.channels_of(&shape, cg, sv);
+            for sh in 0..map.t {
+                let fs = map.filters_of(&shape, mg, sh);
+                for i in 0..r_filt {
+                    for f in fs.clone() {
+                        for c in cs.clone() {
+                            if self.filters_from_dram {
+                                self.stats.profile.filter.dram_reads += r_filt as f64;
+                                self.pending_dram_words += r_filt as u64;
+                            } else {
+                                self.glb.read_words(r_filt);
+                                self.stats.profile.filter.buffer_reads += r_filt as f64;
+                            }
+                            self.filter_bus.multicast(r_filt, e_cols);
+                            let row: Vec<Fix16> = self.weights.row(f, c, i).to_vec();
+                            for yy in 0..e_cols {
+                                self.pe_at(sv * r_filt + i, sh * map.e + yy)
+                                    .load_filter_row(&row)
+                                    .map_err(|over| {
+                                        SimError::new(format!(
+                                            "filter spad overflow by {over} words"
+                                        ))
+                                    })?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- ifmap multicast (diagonal within sets, shared across t) -------
+        let rows_needed = (e_cols - 1) * u + r_filt;
+        for sv in 0..map.r {
+            let cs = map.channels_of(&shape, cg, sv);
+            for _z in imgs.clone() {
+                for _c in cs.clone() {
+                    for local_h in 0..rows_needed {
+                        let consumers = (0..e_cols)
+                            .filter(|yy| {
+                                local_h >= u * yy && local_h - u * yy < r_filt
+                            })
+                            .count();
+                        if consumers == 0 {
+                            continue;
+                        }
+                        self.glb.read_words(h);
+                        self.stats.profile.ifmap.buffer_reads += h as f64;
+                        self.ifmap_bus.multicast(h, consumers * map.t);
+                    }
+                }
+            }
+        }
+
+        // ---- compute: 1-D primitives + vertical accumulation ---------------
+        let mut max_set_ops = 0u64;
+        for sh in 0..map.t {
+            let fs = map.filters_of(&shape, mg, sh);
+            for (yy, y) in yrows.clone().enumerate() {
+                for f in fs.clone() {
+                    for z in imgs.clone() {
+                        let mut row_acc = vec![0i32; e_dim];
+                        let mut chain_len = 0usize;
+                        for sv in 0..map.r {
+                            let cs = map.channels_of(&shape, cg, sv);
+                            if cs.is_empty() {
+                                continue;
+                            }
+                            chain_len += r_filt;
+                            for i in 0..r_filt {
+                                let pe_row = sv * r_filt + i;
+                                let pe_col = sh * map.e + yy;
+                                for c in cs.clone() {
+                                    let row_index =
+                                        ((f - fs.start) * cs.len() + (c - cs.start)) * r_filt;
+                                    let ifmap_row: Vec<Fix16> =
+                                        self.input.row(z, c, u * y + i).to_vec();
+                                    self.pe_at(pe_row, pe_col).run_primitive(
+                                        row_index,
+                                        &ifmap_row,
+                                        u,
+                                        true,
+                                        &mut row_acc,
+                                    );
+                                }
+                            }
+                        }
+                        if chain_len > 0 {
+                            self.chain.accumulate(e_dim, chain_len);
+                        }
+                        // Fold into the strip psums (through the buffer when
+                        // the accumulation spans channel groups).
+                        if cgs > 1 {
+                            if cg > 0 {
+                                self.glb.read_words(e_dim);
+                                self.stats.profile.psum.buffer_reads += e_dim as f64;
+                            }
+                            if cg + 1 < cgs {
+                                self.glb.write_words(e_dim);
+                                self.stats.profile.psum.buffer_writes += e_dim as f64;
+                            }
+                        }
+                        for (x, v) in row_acc.iter().enumerate() {
+                            self.out[(z, f, y, x)] += v;
+                        }
+                    }
+                }
+            }
+            // Busiest set bounds the pass latency.
+            let set_ops = (imgs.len() * fs.len() * e_dim * r_filt) as u64
+                * (0..map.r)
+                    .map(|sv| map.channels_of(&shape, cg, sv).len())
+                    .max()
+                    .unwrap_or(0) as u64;
+            max_set_ops = max_set_ops.max(set_ops);
+        }
+        self.stats.cycles += max_set_ops;
+        // Double buffering overlaps this pass's DRAM traffic with its
+        // compute; only the excess stalls the array.
+        self.stats.stall_cycles += self
+            .dram
+            .stall_cycles(self.pending_dram_words, max_set_ops);
+        self.pending_dram_words = 0;
+        Ok(())
+    }
+
+    /// Writes the completed strip psums back to DRAM.
+    fn writeback_strip(&mut self, mgs: std::ops::Range<usize>, ng: usize, sg: usize) {
+        let imgs = self.mapping.images_of(self.n_batch, ng).len();
+        let rows = self.mapping.ofmap_rows_of(self.shape, sg).len();
+        let mut filters = 0usize;
+        for mg in mgs {
+            for sh in 0..self.mapping.t {
+                filters += self.mapping.filters_of(self.shape, mg, sh).len();
+            }
+        }
+        let words = imgs * filters * rows * self.shape.e;
+        self.stats.profile.psum.dram_writes += words as f64;
+        self.pending_dram_words += words as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeriss_nn::{alexnet, synth};
+
+    fn small_chip() -> AcceleratorConfig {
+        AcceleratorConfig {
+            grid: eyeriss_arch::GridDims::new(6, 8),
+            rf_bytes_per_pe: 512.0,
+            buffer_bytes: 32.0 * 1024.0,
+        }
+    }
+
+    fn run_and_check(shape: &LayerShape, n: usize, config: AcceleratorConfig) -> LayerRun {
+        let input = synth::ifmap(shape, n, 11);
+        let weights = synth::filters(shape, 12);
+        let bias = synth::biases(shape, 13);
+        let mut acc = Accelerator::new(config);
+        let run = acc.run_conv(shape, n, &input, &weights, &bias).unwrap();
+        let golden = reference::conv_accumulate(shape, n, &input, &weights, &bias);
+        assert_eq!(run.psums, golden, "simulator diverged from golden model");
+        run
+    }
+
+    #[test]
+    fn bit_exact_on_strided_conv() {
+        let shape = LayerShape::conv(6, 3, 19, 3, 2).unwrap();
+        run_and_check(&shape, 2, small_chip());
+    }
+
+    #[test]
+    fn bit_exact_on_multi_strip_layer() {
+        // E = 13 exceeds the 8-wide array -> strip mining exercised.
+        let shape = LayerShape::conv(4, 5, 15, 3, 1).unwrap();
+        run_and_check(&shape, 1, small_chip());
+    }
+
+    #[test]
+    fn bit_exact_on_fc_shape() {
+        let shape = LayerShape::fully_connected(10, 6, 4).unwrap();
+        run_and_check(&shape, 3, small_chip());
+    }
+
+    #[test]
+    fn bit_exact_on_scaled_alexnet_conv3() {
+        // CONV3 geometry (3x3, 13x13 ofmap) at reduced channel counts.
+        let shape = LayerShape::conv(8, 6, 15, 3, 1).unwrap();
+        let run = run_and_check(&shape, 2, AcceleratorConfig::eyeriss_chip());
+        assert_eq!(run.stats.macs, shape.macs(2));
+    }
+
+    #[test]
+    fn mac_count_matches_shape() {
+        let shape = LayerShape::conv(5, 4, 11, 3, 2).unwrap();
+        let run = run_and_check(&shape, 2, small_chip());
+        assert_eq!(run.stats.macs, shape.macs(2));
+        assert_eq!(run.stats.profile.psum.dram_writes, shape.ofmap_words(2) as f64);
+    }
+
+    #[test]
+    fn zero_gating_skips_but_matches() {
+        let shape = LayerShape::conv(4, 3, 12, 3, 1).unwrap();
+        let input = synth::sparse_ifmap(&shape, 1, 5, 0.6);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+        let golden = reference::conv_accumulate(&shape, 1, &input, &weights, &bias);
+
+        let mut acc = Accelerator::new(small_chip()).zero_gating(true);
+        let run = acc.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        assert_eq!(run.psums, golden);
+        assert!(run.stats.gating_fraction() > 0.4);
+        assert_eq!(run.stats.macs + run.stats.skipped_macs, shape.macs(1));
+    }
+
+    #[test]
+    fn rlc_reduces_sparse_dram_traffic() {
+        let shape = LayerShape::conv(4, 3, 12, 3, 1).unwrap();
+        let input = synth::sparse_ifmap(&shape, 1, 5, 0.7);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+        let mut acc = Accelerator::new(small_chip()).rlc(true);
+        let run = acc.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        assert!(
+            run.stats.compression_ratio() > 1.2,
+            "ratio {}",
+            run.stats.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn pool_layer_matches_reference() {
+        let shape = LayerShape::pool(3, 8, 2, 2).unwrap();
+        let input = synth::ifmap(&shape, 2, 3);
+        let mut acc = Accelerator::new(small_chip());
+        let (out, stats) = acc.run_pool(&shape, 2, &input);
+        assert_eq!(out, reference::max_pool(&shape, 2, &input));
+        assert_eq!(stats.macs, (2 * 3 * 4 * 4 * 4) as u64);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let shape = LayerShape::conv(8, 6, 15, 3, 1).unwrap();
+        let run = run_and_check(&shape, 2, small_chip());
+        let util = run.stats.utilization(48);
+        assert!(util > 0.05 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn chip_runs_alexnet_conv1_slice() {
+        // CONV1 geometry (11x11, stride 4) with few filters/channels.
+        let shape = LayerShape::conv(4, 3, 227, 11, 4).unwrap();
+        let run = run_and_check(&shape, 1, AcceleratorConfig::eyeriss_chip());
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn rf_dominates_onchip_energy_for_conv() {
+        use eyeriss_arch::energy::EnergyModel;
+        // The chip-verification claim of Section VII-A: RF : (buffer+array)
+        // is roughly 4:1 for CONV layers under RS.
+        let shape = LayerShape::conv(16, 8, 19, 3, 1).unwrap();
+        let run = run_and_check(&shape, 4, AcceleratorConfig::eyeriss_chip());
+        let ratio = run.stats.rf_to_onchip_rest_ratio(&EnergyModel::table_iv());
+        assert!(
+            (1.5..=10.0).contains(&ratio),
+            "RF:on-chip-rest ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn alexnet_layer_mappings_execute_on_chip() {
+        // Shape-preserving shrink of every AlexNet CONV layer (smaller M/C,
+        // same R/U geometry) to keep runtimes reasonable.
+        for layer in alexnet::conv_layers() {
+            let s = &layer.shape;
+            let shrunk = LayerShape::conv(4, s.c.min(4), s.h.min(31 + s.r - 1), s.r, s.u);
+            let Ok(shape) = shrunk else { continue };
+            run_and_check(&shape, 1, AcceleratorConfig::eyeriss_chip());
+        }
+    }
+}

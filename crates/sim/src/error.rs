@@ -1,0 +1,47 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a layer cannot be mapped or executed on the modeled
+/// chip (e.g. the filter is taller than the PE array, or a scratchpad
+/// capacity would be exceeded by the chosen mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        SimError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_message() {
+        assert_eq!(
+            SimError::new("no feasible mapping").to_string(),
+            "no feasible mapping"
+        );
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

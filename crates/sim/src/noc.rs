@@ -1,0 +1,100 @@
+//! The three on-chip networks of the Eyeriss architecture (Section V-E):
+//! global multicast NoCs for filters and ifmaps, and the local PE-to-PE
+//! chain for psums.
+//!
+//! The chip tags each PE with a (row, col) ID and buses deliver packets to
+//! all PEs whose tag matches; here the tag sets are computed from the
+//! mapping (horizontal rows for filters — Fig. 6a, diagonals for ifmaps —
+//! Fig. 6b, columns for psums — Fig. 6c) and the networks count word
+//! deliveries (array-level hops in the Table IV accounting).
+
+/// Counters for one network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Multicast/chain transactions issued.
+    pub transactions: u64,
+    /// Word deliveries summed over receiving PEs (the array-hop count).
+    pub word_hops: u64,
+}
+
+/// A multicast bus: one source transaction delivers `words` to each of
+/// `receivers` PEs.
+#[derive(Debug, Clone, Default)]
+pub struct MulticastBus {
+    /// Delivery counters.
+    pub stats: NocStats,
+}
+
+impl MulticastBus {
+    /// Creates an idle bus.
+    pub fn new() -> Self {
+        MulticastBus::default()
+    }
+
+    /// Records a multicast of `words` words to `receivers` PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no receivers — the mapping should never
+    /// multicast into the void.
+    pub fn multicast(&mut self, words: usize, receivers: usize) {
+        assert!(receivers > 0, "multicast needs at least one receiver");
+        self.stats.transactions += 1;
+        self.stats.word_hops += (words * receivers) as u64;
+    }
+}
+
+/// The vertical psum chain: words hop PE-to-PE up a column.
+#[derive(Debug, Clone, Default)]
+pub struct PsumChain {
+    /// Delivery counters.
+    pub stats: NocStats,
+}
+
+impl PsumChain {
+    /// Creates an idle chain.
+    pub fn new() -> Self {
+        PsumChain::default()
+    }
+
+    /// Records the spatial accumulation of a `words`-wide psum row along a
+    /// chain of `length` PEs: `length - 1` hop steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty.
+    pub fn accumulate(&mut self, words: usize, length: usize) {
+        assert!(length > 0, "psum chain must contain at least one PE");
+        self.stats.transactions += 1;
+        self.stats.word_hops += (words * (length - 1)) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_counts_words_times_receivers() {
+        let mut bus = MulticastBus::new();
+        bus.multicast(11, 4);
+        bus.multicast(5, 1);
+        assert_eq!(bus.stats.transactions, 2);
+        assert_eq!(bus.stats.word_hops, 44 + 5);
+    }
+
+    #[test]
+    fn chain_counts_length_minus_one() {
+        let mut chain = PsumChain::new();
+        chain.accumulate(13, 3);
+        assert_eq!(chain.stats.word_hops, 26);
+        chain.accumulate(13, 1); // single PE: no hops
+        assert_eq!(chain.stats.word_hops, 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one receiver")]
+    fn empty_multicast_panics() {
+        MulticastBus::new().multicast(4, 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The processing engine: scratchpads, the 1-D convolution primitive of
+//! Fig. 5, and zero-gating (Section V-E).
+//!
+//! Each PE owns three scratchpads, sized like the fabricated chip's
+//! (224-word filter spad, 12-word ifmap window, 24-word psum spad scale
+//! with the configured RF): filter rows stay stationary, ifmap pixels
+//! stream through an R-deep sliding window, and psums accumulate locally
+//! before being passed up the column.
+
+use eyeriss_nn::Fix16;
+
+/// Per-PE access counters, split by data type so the simulator can build
+/// a [`eyeriss_arch::access::LayerAccessProfile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// MACs actually executed.
+    pub macs: u64,
+    /// MACs skipped by zero-gating (ifmap operand was zero).
+    pub skipped_macs: u64,
+    /// Ifmap window reads.
+    pub ifmap_reads: u64,
+    /// Filter scratchpad reads.
+    pub filter_reads: u64,
+    /// Filter scratchpad fills.
+    pub filter_writes: u64,
+    /// Psum scratchpad reads.
+    pub psum_reads: u64,
+    /// Psum scratchpad writes.
+    pub psum_writes: u64,
+}
+
+impl PeStats {
+    /// Merges another PE's counters into this one.
+    pub fn merge(&mut self, other: &PeStats) {
+        self.macs += other.macs;
+        self.skipped_macs += other.skipped_macs;
+        self.ifmap_reads += other.ifmap_reads;
+        self.filter_reads += other.filter_reads;
+        self.filter_writes += other.filter_writes;
+        self.psum_reads += other.psum_reads;
+        self.psum_writes += other.psum_writes;
+    }
+
+    /// All scratchpad reads.
+    pub fn rf_reads(&self) -> u64 {
+        self.ifmap_reads + self.filter_reads + self.psum_reads
+    }
+
+    /// All scratchpad writes.
+    pub fn rf_writes(&self) -> u64 {
+        self.filter_writes + self.psum_writes
+    }
+}
+
+/// One processing engine.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_sim::pe::Pe;
+/// use eyeriss_nn::Fix16;
+///
+/// let mut pe = Pe::new(224, 24);
+/// pe.load_filter_row(&[Fix16::ONE; 3]).unwrap();
+/// let ifmap = [Fix16::ONE; 5];
+/// let mut psums = vec![0i32; 3];
+/// pe.run_primitive(0, &ifmap, 1, true, &mut psums);
+/// assert!(psums.iter().all(|&p| p == Fix16::ONE.wide_mul(Fix16::ONE) * 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pe {
+    filter_spad: Vec<Fix16>,
+    filter_capacity: usize,
+    psum_capacity: usize,
+    /// Whether zero-valued ifmap pixels gate the datapath.
+    zero_gating: bool,
+    /// Access counters.
+    pub stats: PeStats,
+}
+
+impl Pe {
+    /// Creates a PE with the given scratchpad capacities (in words).
+    pub fn new(filter_capacity: usize, psum_capacity: usize) -> Self {
+        Pe {
+            filter_spad: Vec::new(),
+            filter_capacity,
+            psum_capacity,
+            zero_gating: false,
+            stats: PeStats::default(),
+        }
+    }
+
+    /// Enables or disables zero-gating of the MAC datapath.
+    pub fn set_zero_gating(&mut self, on: bool) {
+        self.zero_gating = on;
+    }
+
+    /// Psum scratchpad capacity in words.
+    pub fn psum_capacity(&self) -> usize {
+        self.psum_capacity
+    }
+
+    /// Clears stationary state between passes (counters are kept).
+    pub fn reset_pass(&mut self) {
+        self.filter_spad.clear();
+    }
+
+    /// Loads one filter row into the stationary scratchpad, returning its
+    /// starting index.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the overflow amount if the spad capacity would be
+    /// exceeded — the mapping should have prevented this.
+    pub fn load_filter_row(&mut self, row: &[Fix16]) -> Result<usize, usize> {
+        if self.filter_spad.len() + row.len() > self.filter_capacity {
+            return Err(self.filter_spad.len() + row.len() - self.filter_capacity);
+        }
+        let start = self.filter_spad.len();
+        self.filter_spad.extend_from_slice(row);
+        self.stats.filter_writes += row.len() as u64;
+        Ok(start)
+    }
+
+    /// Number of filter words currently resident.
+    pub fn filter_words(&self) -> usize {
+        self.filter_spad.len()
+    }
+
+    /// Runs one 1-D convolution primitive (Fig. 5): slides the filter row
+    /// at `row_index` over `ifmap_row` with `stride`, accumulating into
+    /// `psums` (one accumulator per output position).
+    ///
+    /// `accumulate_locally` marks whether the psum updates happen in this
+    /// PE's scratchpad (true for interleaved primitives) — it only affects
+    /// the access counting, not the arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_index` does not address a loaded row, the psum row is
+    /// empty, or the ifmap row is shorter than the slide span.
+    pub fn run_primitive(
+        &mut self,
+        row_index: usize,
+        ifmap_row: &[Fix16],
+        stride: usize,
+        accumulate_locally: bool,
+        psums: &mut [i32],
+    ) {
+        let slides = psums.len().checked_sub(1).expect("psum row must be non-empty");
+        let r = ifmap_row
+            .len()
+            .checked_sub(slides * stride)
+            .expect("ifmap row shorter than slide span");
+        assert!(
+            row_index + r <= self.filter_spad.len(),
+            "filter row {row_index}+{r} not resident ({} loaded)",
+            self.filter_spad.len()
+        );
+        let filter_row = &self.filter_spad[row_index..row_index + r];
+        for (x, psum) in psums.iter_mut().enumerate() {
+            let window = &ifmap_row[x * stride..x * stride + r];
+            for (w, i) in filter_row.iter().zip(window) {
+                // The ifmap pixel is always read to be inspected; the
+                // filter read, multiply and psum update are gated when it
+                // is zero (Section V-E).
+                self.stats.ifmap_reads += 1;
+                if self.zero_gating && i.is_zero() {
+                    self.stats.skipped_macs += 1;
+                    continue;
+                }
+                self.stats.filter_reads += 1;
+                if accumulate_locally {
+                    self.stats.psum_reads += 1;
+                    self.stats.psum_writes += 1;
+                }
+                *psum += i.wide_mul(*w);
+                self.stats.macs += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeriss_nn::synth;
+    use eyeriss_nn::LayerShape;
+
+    fn f(v: f32) -> Fix16 {
+        Fix16::from_f32(v)
+    }
+
+    #[test]
+    fn primitive_matches_direct_1d_conv() {
+        let shape = LayerShape::conv(1, 1, 9, 3, 2).unwrap();
+        let input = synth::ifmap(&shape, 1, 7);
+        let weights = synth::filters(&shape, 8);
+        let mut pe = Pe::new(64, 8);
+        pe.load_filter_row(weights.row(0, 0, 0)).unwrap();
+        let mut psums = vec![0i32; shape.e];
+        pe.run_primitive(0, input.row(0, 0, 0), shape.u, true, &mut psums);
+        for x in 0..shape.e {
+            let mut acc = 0i32;
+            for j in 0..3 {
+                acc += input[(0, 0, 0, 2 * x + j)].wide_mul(weights[(0, 0, 0, j)]);
+            }
+            assert_eq!(psums[x], acc, "at {x}");
+        }
+    }
+
+    #[test]
+    fn zero_gating_preserves_results() {
+        let mut gated = Pe::new(16, 8);
+        gated.set_zero_gating(true);
+        let mut plain = Pe::new(16, 8);
+        let row = [f(1.0), f(-2.0), f(0.5)];
+        gated.load_filter_row(&row).unwrap();
+        plain.load_filter_row(&row).unwrap();
+        let ifmap = [f(1.0), Fix16::ZERO, f(3.0), Fix16::ZERO, f(-1.0)];
+        let mut a = vec![0i32; 3];
+        let mut b = vec![0i32; 3];
+        gated.run_primitive(0, &ifmap, 1, true, &mut a);
+        plain.run_primitive(0, &ifmap, 1, true, &mut b);
+        assert_eq!(a, b);
+        assert!(gated.stats.skipped_macs > 0);
+        assert_eq!(gated.stats.macs + gated.stats.skipped_macs, plain.stats.macs);
+        // Gated MACs read neither the filter nor the psum.
+        assert!(gated.stats.filter_reads < plain.stats.filter_reads);
+    }
+
+    #[test]
+    fn filter_spad_capacity_enforced() {
+        let mut pe = Pe::new(4, 8);
+        assert!(pe.load_filter_row(&[Fix16::ZERO; 3]).is_ok());
+        assert_eq!(pe.load_filter_row(&[Fix16::ZERO; 3]), Err(2));
+    }
+
+    #[test]
+    fn reset_pass_clears_filters_keeps_stats() {
+        let mut pe = Pe::new(8, 8);
+        pe.load_filter_row(&[Fix16::ONE; 4]).unwrap();
+        let writes = pe.stats.filter_writes;
+        pe.reset_pass();
+        assert_eq!(pe.filter_words(), 0);
+        assert_eq!(pe.stats.filter_writes, writes);
+    }
+
+    #[test]
+    fn mac_counting_is_exact() {
+        let mut pe = Pe::new(8, 8);
+        pe.load_filter_row(&[f(1.0), f(1.0), f(1.0)]).unwrap();
+        let ifmap = [f(1.0); 7];
+        let mut psums = vec![0i32; 5];
+        pe.run_primitive(0, &ifmap, 1, true, &mut psums);
+        assert_eq!(pe.stats.macs, 15); // E=5 slides x R=3 taps
+        assert_eq!(pe.stats.ifmap_reads, 15);
+        assert_eq!(pe.stats.filter_reads, 15);
+        assert_eq!(pe.stats.psum_reads, 15);
+        assert_eq!(pe.stats.psum_writes, 15);
+        assert_eq!(pe.stats.filter_writes, 3);
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = PeStats {
+            macs: 1,
+            skipped_macs: 2,
+            ifmap_reads: 3,
+            filter_reads: 4,
+            filter_writes: 5,
+            psum_reads: 6,
+            psum_writes: 7,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.macs, 2);
+        assert_eq!(a.rf_reads(), 2 * (3 + 4 + 6));
+        assert_eq!(a.rf_writes(), 2 * (5 + 7));
+    }
+}

@@ -1,0 +1,198 @@
+//! Run-length compression (RLC) of sparse activation data (Section V-E).
+//!
+//! The Eyeriss chip compresses DRAM traffic by encoding runs of zeros:
+//! each 64-bit word packs three (5-bit run, 16-bit level) pairs plus a
+//! continuation flag in the LSB. ReLU layers make activation maps highly
+//! sparse, so this "compresses the data to reduce data movement" on top of
+//! the dataflow savings.
+//!
+//! Format per 64-bit word (LSB to MSB):
+//! `[flag:1][run0:5][level0:16][run1:5][level1:16][run2:5][level2:16]`;
+//! the flag is 1 on the final word and trailing unused pairs in the final
+//! word are zero-filled (decode stops at the original length).
+
+use eyeriss_nn::Fix16;
+
+/// Maximum zero-run length per pair (5-bit field).
+pub const MAX_RUN: usize = 31;
+
+/// An RLC-compressed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compressed {
+    /// Packed 64-bit code words.
+    pub words: Vec<u64>,
+    /// Number of original 16-bit values.
+    pub original_len: usize,
+}
+
+impl Compressed {
+    /// Compression ratio: original bits / compressed bits (>1 is smaller).
+    pub fn ratio(&self) -> f64 {
+        if self.words.is_empty() {
+            return 1.0;
+        }
+        (self.original_len as f64 * 16.0) / (self.words.len() as f64 * 64.0)
+    }
+
+    /// Size of the compressed stream in 16-bit DRAM words.
+    pub fn dram_words(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+/// Encodes a slice of Q8.8 values.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_sim::rlc;
+/// use eyeriss_nn::Fix16;
+///
+/// let mut data = vec![Fix16::ZERO; 100];
+/// data[50] = Fix16::ONE;
+/// let packed = rlc::encode(&data);
+/// assert_eq!(rlc::decode(&packed), data);
+/// assert!(packed.ratio() > 3.0); // mostly zeros compress well
+/// ```
+pub fn encode(values: &[Fix16]) -> Compressed {
+    let mut pairs: Vec<(u8, u16)> = Vec::new();
+    let mut run = 0usize;
+    for v in values {
+        if v.is_zero() && run < MAX_RUN {
+            run += 1;
+            continue;
+        }
+        pairs.push((run as u8, v.raw() as u16));
+        run = 0;
+    }
+    if run > 0 {
+        // Trailing zeros: emit them as a run ending in a zero level.
+        pairs.push((run as u8, 0));
+    }
+    let mut words = Vec::with_capacity(pairs.len().div_ceil(3).max(1));
+    for chunk in pairs.chunks(3) {
+        let mut w: u64 = 0;
+        for (i, &(r, lvl)) in chunk.iter().enumerate() {
+            let shift = 1 + i * 21;
+            w |= ((r as u64) & 0x1f) << shift;
+            w |= (lvl as u64) << (shift + 5);
+        }
+        words.push(w);
+    }
+    if words.is_empty() {
+        words.push(0);
+    }
+    *words.last_mut().expect("non-empty") |= 1; // final-word flag
+    Compressed {
+        words,
+        original_len: values.len(),
+    }
+}
+
+/// Decodes an RLC stream back to the original values.
+///
+/// # Panics
+///
+/// Panics if the stream is malformed (decodes past `original_len` plus a
+/// trailing run, or the final flag is missing).
+pub fn decode(c: &Compressed) -> Vec<Fix16> {
+    let mut out = Vec::with_capacity(c.original_len);
+    for (wi, w) in c.words.iter().enumerate() {
+        let is_last = wi + 1 == c.words.len();
+        assert_eq!(w & 1 == 1, is_last, "final-word flag misplaced");
+        for i in 0..3 {
+            if out.len() >= c.original_len {
+                break;
+            }
+            let shift = 1 + i * 21;
+            let run = ((w >> shift) & 0x1f) as usize;
+            let level = ((w >> (shift + 5)) & 0xffff) as u16;
+            for _ in 0..run {
+                out.push(Fix16::ZERO);
+            }
+            if out.len() < c.original_len {
+                out.push(Fix16::from_raw(level as i16));
+            }
+        }
+    }
+    // A final zero run may be encoded implicitly.
+    while out.len() < c.original_len {
+        out.push(Fix16::ZERO);
+    }
+    assert_eq!(out.len(), c.original_len, "malformed RLC stream");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data: Vec<Fix16> = [0i16, 0, 5, 0, -3, 7, 0, 0, 0, 0]
+            .iter()
+            .map(|&r| Fix16::from_raw(r))
+            .collect();
+        assert_eq!(decode(&encode(&data)), data);
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let data: Vec<Fix16> = Vec::new();
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+    }
+
+    #[test]
+    fn all_zero_compresses_hard() {
+        let data = vec![Fix16::ZERO; 3100];
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+        assert!(c.ratio() > 10.0, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn dense_data_expands_modestly() {
+        let data: Vec<Fix16> = (1..=300).map(Fix16::from_raw).collect();
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+        // One pair (21 bits) per dense value: worst case ~4/3 expansion.
+        assert!(c.ratio() > 0.7, "ratio {}", c.ratio());
+    }
+
+    #[test]
+    fn long_runs_split_at_31() {
+        let mut data = vec![Fix16::ZERO; 40];
+        data.push(Fix16::ONE);
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(raw in proptest::collection::vec(-300i16..300, 0..200),
+                          sparsify in 0u8..4) {
+            let data: Vec<Fix16> = raw
+                .iter()
+                .map(|&r| {
+                    if sparsify > 0 && r.rem_euclid(sparsify as i16 + 1) != 0 {
+                        Fix16::ZERO
+                    } else {
+                        Fix16::from_raw(r)
+                    }
+                })
+                .collect();
+            prop_assert_eq!(decode(&encode(&data)), data);
+        }
+
+        #[test]
+        fn prop_sparser_is_smaller(n in 50usize..300) {
+            let dense: Vec<Fix16> = (0..n).map(|i| Fix16::from_raw(i as i16 + 1)).collect();
+            let sparse: Vec<Fix16> = (0..n)
+                .map(|i| if i % 8 == 0 { Fix16::ONE } else { Fix16::ZERO })
+                .collect();
+            prop_assert!(encode(&sparse).words.len() <= encode(&dense).words.len());
+        }
+    }
+}

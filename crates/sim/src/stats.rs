@@ -1,0 +1,130 @@
+//! Measured statistics from a simulated layer run.
+
+use eyeriss_arch::access::LayerAccessProfile;
+use eyeriss_arch::energy::{EnergyModel, Level};
+
+/// Everything the simulator measures while executing one layer.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Word-level access counts per hierarchy level and data type,
+    /// directly comparable with the analytical model's profiles.
+    pub profile: LayerAccessProfile,
+    /// Compute cycles (busiest PE per pass, 1 MAC/cycle, summed over
+    /// passes). Zero-gated MACs still occupy their cycle — the chip gates
+    /// energy, not time.
+    pub cycles: u64,
+    /// Stall cycles where double-buffered DRAM transfers exceeded the
+    /// overlapping compute (Section VI-B's latency-hiding claim).
+    pub stall_cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// MACs skipped by zero-gating.
+    pub skipped_macs: u64,
+    /// Raw DRAM traffic in 16-bit words (reads + writes).
+    pub dram_raw_words: u64,
+    /// DRAM traffic after run-length compression, if RLC was enabled.
+    pub dram_compressed_words: Option<u64>,
+}
+
+impl SimStats {
+    /// Average PE utilization: useful MACs per (cycle x PE).
+    pub fn utilization(&self, num_pes: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.macs + self.skipped_macs) as f64 / (self.cycles as f64 * num_pes as f64)
+    }
+
+    /// Normalized data-movement + compute energy under `model`.
+    pub fn energy(&self, model: &EnergyModel) -> f64 {
+        self.profile.total_energy(model)
+    }
+
+    /// Ratio of RF energy to on-chip-rest (buffer + array) energy — the
+    /// quantity the paper verifies against the chip (~4:1 in CONV layers,
+    /// Section VII-A).
+    pub fn rf_to_onchip_rest_ratio(&self, model: &EnergyModel) -> f64 {
+        let rf = self.profile.energy_at_level(model, Level::Rf);
+        let rest = self.profile.energy_at_level(model, Level::Buffer)
+            + self.profile.energy_at_level(model, Level::Array);
+        rf / rest
+    }
+
+    /// Total wall-clock cycles including DRAM stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles + self.stall_cycles
+    }
+
+    /// Fraction of time lost to DRAM stalls (0 when latency hiding works,
+    /// as Section VI-B expects).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_cycles() == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.total_cycles() as f64
+        }
+    }
+
+    /// Fraction of MACs eliminated by zero-gating.
+    pub fn gating_fraction(&self) -> f64 {
+        let total = self.macs + self.skipped_macs;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_macs as f64 / total as f64
+        }
+    }
+
+    /// DRAM traffic reduction from RLC (raw / compressed), 1.0 if RLC off.
+    pub fn compression_ratio(&self) -> f64 {
+        match self.dram_compressed_words {
+            Some(c) if c > 0 => self.dram_raw_words as f64 / c as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_gating() {
+        let s = SimStats {
+            macs: 75,
+            skipped_macs: 25,
+            cycles: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(s.utilization(10), 1.0);
+        assert_eq!(s.gating_fraction(), 0.25);
+    }
+
+    #[test]
+    fn compression_defaults_to_one() {
+        let mut s = SimStats {
+            dram_raw_words: 1000,
+            ..SimStats::default()
+        };
+        assert_eq!(s.compression_ratio(), 1.0);
+        s.dram_compressed_words = Some(250);
+        assert_eq!(s.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_utilization() {
+        assert_eq!(SimStats::default().utilization(16), 0.0);
+        assert_eq!(SimStats::default().stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_fraction_combines_cycles() {
+        let s = SimStats {
+            cycles: 75,
+            stall_cycles: 25,
+            ..SimStats::default()
+        };
+        assert_eq!(s.total_cycles(), 100);
+        assert_eq!(s.stall_fraction(), 0.25);
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces Fig. 7b (storage allocation) and Fig. 10 (RS energy
+//! breakdown across the hierarchy for every AlexNet layer).
+//!
+//! Run with: `cargo run --release --example alexnet_energy`
+
+use eyeriss::analysis::experiments::{fig10, fig7};
+
+fn main() {
+    let allocations = fig7::run(256);
+    println!("{}", fig7::render(&allocations));
+
+    let breakdown = fig10::run();
+    println!("{}", fig10::render(&breakdown));
+
+    // The two qualitative observations of Section VII-A.
+    let conv: f64 = breakdown.layers[..5].iter().map(|l| l.total()).sum();
+    let all: f64 = breakdown.layers.iter().map(|l| l.total()).sum();
+    println!(
+        "CONV layers consume {:.0}% of total AlexNet energy (paper: ~80%).",
+        100.0 * conv / all
+    );
+    let rf: f64 = breakdown.layers[..5].iter().map(|l| l.by_level[3]).sum();
+    let rest: f64 = breakdown.layers[..5]
+        .iter()
+        .map(|l| l.by_level[1] + l.by_level[2])
+        .sum();
+    println!(
+        "CONV RF : on-chip-rest energy ratio = {:.1} (chip measurement: ~4:1).",
+        rf / rest
+    );
+}

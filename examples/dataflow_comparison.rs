@@ -1,0 +1,23 @@
+//! Reproduces the dataflow comparison: Fig. 11 (DRAM accesses/op),
+//! Fig. 12 (energy/op by level and data type) and Fig. 13 (EDP) on the
+//! CONV layers, plus Fig. 14 on the FC layers.
+//!
+//! Run with: `cargo run --release --example dataflow_comparison [pe_count]`
+//! (default 256; pass 512 or 1024 for the other subplots).
+
+use eyeriss::analysis::experiments::{fig11, fig12, fig13, fig14};
+
+fn main() {
+    let num_pes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+
+    println!("{}", fig11::render(&fig11::run_at(num_pes)));
+    let energy = fig12::run_at(num_pes);
+    println!("{}", fig12::render_by_level(&energy));
+    println!("{}", fig12::render_by_type(&energy));
+    println!("{}", fig13::render(&fig13::run_at(num_pes)));
+
+    println!("{}", fig14::render(&fig14::run()));
+}

@@ -1,0 +1,144 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! across crates (shapes from `nn`, hardware from `arch`, mappings from
+//! `dataflow`, metrics from `analysis`).
+
+use eyeriss::analysis::experiments::sweep;
+use eyeriss::prelude::*;
+
+/// Section VII-B / conclusions: "the RS dataflow is 1.4x to 2.5x more
+/// energy efficient in convolutional layers" than every other dataflow.
+/// Our reimplementation must land RS strictly best, with ratios in a
+/// band around the paper's (the mapper and memory models are rebuilt
+/// from the text, so exact factors shift slightly).
+#[test]
+fn rs_energy_advantage_in_conv_layers() {
+    for pes in [256usize, 512, 1024] {
+        for batch in [1usize, 16, 64] {
+            let rs = run_conv_layers(DataflowKind::RowStationary, batch, pes)
+                .expect("RS always operates");
+            for kind in DataflowKind::ALL.into_iter().skip(1) {
+                let Some(other) = run_conv_layers(kind, batch, pes) else {
+                    continue;
+                };
+                let ratio = other.energy_per_op() / rs.energy_per_op();
+                assert!(
+                    ratio > 1.0,
+                    "{kind} beat RS at {pes} PEs, N={batch} (ratio {ratio:.2})"
+                );
+                assert!(
+                    ratio < 4.0,
+                    "{kind} implausibly bad at {pes} PEs, N={batch} (ratio {ratio:.2})"
+                );
+            }
+        }
+    }
+}
+
+/// The headline band itself at the paper's central operating points.
+#[test]
+fn rs_advantage_band_at_batch_16() {
+    let rs = run_conv_layers(DataflowKind::RowStationary, 16, 256).unwrap();
+    let mut ratios = Vec::new();
+    for kind in DataflowKind::ALL.into_iter().skip(1) {
+        if let Some(other) = run_conv_layers(kind, 16, 256) {
+            ratios.push(other.energy_per_op() / rs.energy_per_op());
+        }
+    }
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    // Paper: 1.4x to 2.5x. Allow a reimplementation margin.
+    assert!(min > 1.2, "weakest advantage {min:.2} below band");
+    assert!(max < 3.2, "strongest advantage {max:.2} above band");
+}
+
+/// Conclusions: "at least 1.3x more energy efficient in fully-connected
+/// layers for batch sizes of at least 16" — checked with a margin since
+/// the DRAM floor dominates FC and compresses ratios.
+#[test]
+fn rs_energy_advantage_in_fc_layers() {
+    for batch in [16usize, 64, 256] {
+        let rs = run_fc_layers(DataflowKind::RowStationary, batch, 1024).unwrap();
+        for kind in DataflowKind::ALL.into_iter().skip(1) {
+            let Some(other) = run_fc_layers(kind, batch, 1024) else {
+                continue;
+            };
+            let ratio = other.energy_per_op() / rs.energy_per_op();
+            assert!(
+                ratio > 1.05,
+                "{kind} too close to RS on FC at N={batch} (ratio {ratio:.2})"
+            );
+        }
+    }
+}
+
+/// Fig. 11a: WS cannot operate at batch 64 on 256 PEs but recovers on
+/// larger arrays, and everything else always operates.
+#[test]
+fn ws_feasibility_boundary() {
+    assert!(run_conv_layers(DataflowKind::WeightStationary, 64, 256).is_none());
+    assert!(run_conv_layers(DataflowKind::WeightStationary, 64, 512).is_some());
+    assert!(run_conv_layers(DataflowKind::WeightStationary, 64, 1024).is_some());
+    for kind in DataflowKind::ALL {
+        if kind != DataflowKind::WeightStationary {
+            assert!(run_conv_layers(kind, 64, 256).is_some(), "{kind}");
+        }
+    }
+}
+
+/// Fig. 13: RS has the lowest EDP at every operating point.
+#[test]
+fn rs_lowest_edp() {
+    for pes in [256usize, 1024] {
+        for batch in [1usize, 16] {
+            let rs = run_conv_layers(DataflowKind::RowStationary, batch, pes).unwrap();
+            for kind in DataflowKind::ALL.into_iter().skip(1) {
+                if let Some(other) = run_conv_layers(kind, batch, pes) {
+                    assert!(
+                        other.edp_per_op() > rs.edp_per_op(),
+                        "{kind} EDP beat RS at {pes} PEs, N={batch}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Section VII-B: batch growth from 1 to 16 reduces DRAM accesses/op for
+/// every dataflow; the paper notes saturation beyond that.
+#[test]
+fn batch_scaling_reduces_dram() {
+    for kind in DataflowKind::ALL {
+        let (Some(n1), Some(n16)) = (
+            run_conv_layers(kind, 1, 512),
+            run_conv_layers(kind, 16, 512),
+        ) else {
+            continue;
+        };
+        assert!(
+            n16.dram_accesses_per_op() <= n1.dram_accesses_per_op() * 1.0001,
+            "{kind} DRAM/op rose with batch"
+        );
+    }
+}
+
+/// Section VII-D: scaling the PE array from 32 to 288 under fixed area
+/// buys order-of-magnitude throughput for a small energy increase.
+#[test]
+fn area_allocation_tradeoff() {
+    use eyeriss::analysis::experiments::fig15;
+    let pts = fig15::run();
+    assert!(pts.len() >= 8, "sweep too sparse: {}", pts.len());
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    assert!(first.delay_per_op / last.delay_per_op > 5.0);
+    assert!(last.energy_per_op / first.energy_per_op < 1.35);
+}
+
+/// The Fig. 12/13 normalization reference is self-consistent.
+#[test]
+fn sweep_reference_is_rs_at_256_batch_1() {
+    let reference = sweep::rs_conv_reference();
+    assert_eq!(reference.kind, DataflowKind::RowStationary);
+    assert_eq!(reference.num_pes, 256);
+    assert_eq!(reference.batch, 1);
+}
