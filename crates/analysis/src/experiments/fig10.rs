@@ -38,13 +38,8 @@ pub struct Fig10 {
 
 /// Runs the Fig. 10 experiment.
 pub fn run() -> Fig10 {
-    let run = runner::run_layers(
-        DataflowKind::RowStationary,
-        &alexnet::all_layers(),
-        16,
-        256,
-    )
-    .expect("RS is feasible on all AlexNet layers");
+    let run = runner::run_layers(DataflowKind::RowStationary, &alexnet::all_layers(), 16, 256)
+        .expect("RS is feasible on all AlexNet layers");
     let layers = run
         .layers
         .iter()

@@ -45,7 +45,11 @@ pub fn panel_from(points: &[SweepPoint]) -> Fig11Panel {
                 .collect()
         })
         .collect();
-    Fig11Panel { num_pes, batches, bars }
+    Fig11Panel {
+        num_pes,
+        batches,
+        bars,
+    }
 }
 
 /// Runs one subplot (a, b or c) at the given PE count.
@@ -104,8 +108,7 @@ mod tests {
         // DRAM accesses than WS and OSC".
         let panel = run_at(256);
         let n16 = &panel.bars[1];
-        let total =
-            |i: usize| n16[i].map(|b| b.reads_per_op + b.writes_per_op).unwrap();
+        let total = |i: usize| n16[i].map(|b| b.reads_per_op + b.writes_per_op).unwrap();
         let low = [0usize, 2, 3, 5]; // RS, OSA, OSB, NLR
         let high = [1usize, 4]; // WS, OSC
         for &h in &high {

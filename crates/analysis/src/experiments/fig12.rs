@@ -62,7 +62,11 @@ pub fn panel_from(points: &[SweepPoint], reference_energy_per_op: f64) -> Fig12P
                 .collect()
         })
         .collect();
-    Fig12Panel { num_pes, batches, bars }
+    Fig12Panel {
+        num_pes,
+        batches,
+        bars,
+    }
 }
 
 /// Runs one subplot at the given PE count.

@@ -33,7 +33,11 @@ pub fn panel_from(points: &[SweepPoint], reference_edp: f64) -> Fig13Panel {
                 .collect()
         })
         .collect();
-    Fig13Panel { num_pes, batches, edp }
+    Fig13Panel {
+        num_pes,
+        batches,
+        edp,
+    }
 }
 
 /// Runs one subplot at the given PE count.

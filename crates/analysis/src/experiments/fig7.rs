@@ -54,7 +54,10 @@ pub fn render(allocations: &[Allocation]) -> String {
             format!("{:.1}", a.total_bytes() / 1024.0),
         ]);
     }
-    format!("Fig. 7b — storage allocation under fixed area\n{}", t.render())
+    format!(
+        "Fig. 7b — storage allocation under fixed area\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -74,7 +77,10 @@ mod tests {
     fn buffer_ratio_spans_paper_range() {
         // "For the global buffer alone, the size difference is up to 2.6x."
         let a = run(256);
-        let min = a.iter().map(|x| x.buffer_bytes).fold(f64::INFINITY, f64::min);
+        let min = a
+            .iter()
+            .map(|x| x.buffer_bytes)
+            .fold(f64::INFINITY, f64::min);
         let max = a.iter().map(|x| x.buffer_bytes).fold(0.0, f64::max);
         let ratio = max / min;
         assert!((2.2..=3.0).contains(&ratio), "ratio {ratio:.2}");

@@ -15,7 +15,9 @@
 //! | Fig. 15 | [`fig15`] | processing-vs-storage area allocation for RS |
 //! | ablation | [`rf_sweep`] | the Section VI-B "512 B RF is optimal" design choice |
 //! | ablation | [`sensitivity`] | dataflow ranking under perturbed Table IV costs |
+//! | extension | [`cluster_scaling`] | 1/2/4/8-array partitioned scaling (beyond the paper) |
 
+pub mod cluster_scaling;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -35,8 +35,7 @@ pub fn run(num_pes: usize) -> Vec<RfPoint> {
         .iter()
         .filter_map(|&rf_bytes| {
             let hw = AcceleratorConfig::under_baseline_area(num_pes, rf_bytes);
-            let run =
-                runner::run_layers_on(DataflowKind::RowStationary, &layers, 16, &hw)?;
+            let run = runner::run_layers_on(DataflowKind::RowStationary, &layers, 16, &hw)?;
             Some(RfPoint {
                 rf_bytes,
                 buffer_bytes: hw.buffer_bytes,
@@ -104,7 +103,10 @@ mod tests {
     #[test]
     fn tiny_rf_is_clearly_worse() {
         let pts = run(256);
-        let tiny = pts.iter().find(|p| p.rf_bytes <= 128.0).expect("small point");
+        let tiny = pts
+            .iter()
+            .find(|p| p.rf_bytes <= 128.0)
+            .expect("small point");
         let at_512 = pts.iter().find(|p| p.rf_bytes == 512.0).unwrap();
         assert!(
             tiny.energy_per_op > at_512.energy_per_op * 1.02,

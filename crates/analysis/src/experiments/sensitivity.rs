@@ -45,11 +45,26 @@ impl Scenario {
 pub fn scenarios() -> Vec<(String, EnergyModel)> {
     vec![
         ("Table IV".into(), EnergyModel::table_iv()),
-        ("DRAM x0.5".into(), EnergyModel::new(100.0, 6.0, 2.0, 1.0, 1.0)),
-        ("DRAM x2".into(), EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0)),
-        ("Buffer x0.5".into(), EnergyModel::new(200.0, 3.0, 2.0, 1.0, 1.0)),
-        ("Buffer x2".into(), EnergyModel::new(200.0, 12.0, 4.0, 1.0, 1.0)),
-        ("Flat on-chip".into(), EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0)),
+        (
+            "DRAM x0.5".into(),
+            EnergyModel::new(100.0, 6.0, 2.0, 1.0, 1.0),
+        ),
+        (
+            "DRAM x2".into(),
+            EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0),
+        ),
+        (
+            "Buffer x0.5".into(),
+            EnergyModel::new(200.0, 3.0, 2.0, 1.0, 1.0),
+        ),
+        (
+            "Buffer x2".into(),
+            EnergyModel::new(200.0, 12.0, 4.0, 1.0, 1.0),
+        ),
+        (
+            "Flat on-chip".into(),
+            EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0),
+        ),
     ]
 }
 
@@ -89,9 +104,7 @@ pub fn run() -> Vec<Scenario> {
         .map(|(label, model)| {
             let energy_per_op = DataflowKind::ALL
                 .iter()
-                .map(|&k| {
-                    run_with_model(k, &layers, 16, 256, &model).map(|r| r.energy_per_op())
-                })
+                .map(|&k| run_with_model(k, &layers, 16, 256, &model).map(|r| r.energy_per_op()))
                 .collect();
             Scenario {
                 label,

@@ -44,10 +44,23 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
 /// one row per (run, layer) with energy by level and type plus DRAM/op.
 pub fn runs_to_csv(runs: &[DataflowRun]) -> String {
     let header = [
-        "dataflow", "num_pes", "batch", "layer", "macs", "active_pes",
-        "energy", "dram_reads", "dram_writes",
-        "e_dram", "e_buffer", "e_array", "e_rf", "e_alu",
-        "e_ifmap", "e_filter", "e_psum",
+        "dataflow",
+        "num_pes",
+        "batch",
+        "layer",
+        "macs",
+        "active_pes",
+        "energy",
+        "dram_reads",
+        "dram_writes",
+        "e_dram",
+        "e_buffer",
+        "e_array",
+        "e_rf",
+        "e_alu",
+        "e_ifmap",
+        "e_filter",
+        "e_psum",
     ];
     let mut rows = Vec::new();
     for run in runs {

@@ -292,10 +292,7 @@ mod tests {
         let mut p = LayerAccessProfile::new();
         p.ifmap = sample();
         p.filter = sample();
-        let by_type: f64 = DataType::ALL
-            .iter()
-            .map(|&t| p.energy_of_type(&m, t))
-            .sum();
+        let by_type: f64 = DataType::ALL.iter().map(|&t| p.energy_of_type(&m, t)).sum();
         assert!((by_type - p.data_energy(&m)).abs() < 1e-9);
     }
 

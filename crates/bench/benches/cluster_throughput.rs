@@ -1,0 +1,54 @@
+//! Cluster throughput: the same layer executed on 1/2/4 arrays, per
+//! elementary partition, on the functional simulator. Wall-clock gains
+//! come from `eyeriss-par` running one thread per array; simulated
+//! cluster cycles drop with the partition's parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eyeriss::cluster::{Cluster, Partition, SharedDram};
+use eyeriss::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let shape = LayerShape::conv(16, 8, 31, 5, 2).unwrap();
+    let n = 4usize;
+    let input = synth::ifmap(&shape, n, 1);
+    let weights = synth::filters(&shape, 2);
+    let bias = synth::biases(&shape, 3);
+
+    // Sanity: the partitioned run is bit-exact before we time it.
+    let golden = reference::conv_accumulate(&shape, n, &input, &weights, &bias);
+    let probe = Cluster::new(4, AcceleratorConfig::eyeriss_chip())
+        .run_conv(Partition::Batch, &shape, n, &input, &weights, &bias)
+        .unwrap();
+    assert_eq!(probe.psums, golden);
+
+    let mut group = c.benchmark_group("cluster");
+    group.throughput(Throughput::Elements(shape.macs(n)));
+    for arrays in [1usize, 2, 4] {
+        for partition in [
+            Partition::Batch,
+            Partition::OfmapChannel,
+            Partition::FmapTile,
+        ] {
+            let name = format!("{partition}_{arrays}x");
+            group.bench_function(&name, |b| {
+                b.iter(|| {
+                    let cluster = Cluster::new(arrays, AcceleratorConfig::eyeriss_chip())
+                        .shared_dram(SharedDram::scaled(arrays));
+                    std::hint::black_box(
+                        cluster
+                            .run_conv(partition, &shape, n, &input, &weights, &bias)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Error type for cluster partitioning and execution.
+
+use eyeriss_sim::SimError;
+use std::fmt;
+
+/// Why a partition could not be formed or executed.
+#[derive(Debug, Clone)]
+pub enum ClusterError {
+    /// The partition cannot split this layer over this many arrays
+    /// (e.g. batch partitioning with fewer images than arrays).
+    Infeasible(String),
+    /// An array's simulator failed on its sub-problem.
+    Sim(SimError),
+}
+
+impl ClusterError {
+    /// Builds an infeasibility error.
+    pub fn infeasible(msg: impl Into<String>) -> Self {
+        ClusterError::Infeasible(msg.into())
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Infeasible(m) => write!(f, "infeasible partition: {m}"),
+            ClusterError::Sim(e) => write!(f, "array simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}

@@ -1,0 +1,381 @@
+//! The parallel cluster executor.
+//!
+//! Runs one partitioned layer across `M` independent
+//! [`eyeriss_sim::Accelerator`]s — one OS thread per array via
+//! `eyeriss-par` — then reassembles the per-tile psums into the full
+//! ofmap **bit-exactly** and aggregates per-array statistics under the
+//! shared-DRAM contention model.
+
+use crate::contention::SharedDram;
+use crate::error::ClusterError;
+use crate::partition::{split, Partition, SubProblem, Tile};
+use crate::stats::{merge_stats, ClusterStats};
+use eyeriss_arch::AcceleratorConfig;
+use eyeriss_nn::{reference, Fix16, LayerShape, Tensor4};
+use eyeriss_sim::{Accelerator, SimStats};
+
+/// The result of one cluster-level layer execution.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// The partition that was executed.
+    pub partition: Partition,
+    /// Full-precision psums `[N][M][E][E]`, bit-exact against a
+    /// single-array [`Accelerator::run_conv`] of the same layer.
+    pub psums: Tensor4<i32>,
+    /// Per-array measurements plus contention accounting.
+    pub stats: ClusterStats,
+}
+
+impl ClusterRun {
+    /// The quantized, ReLU-activated ofmap (what the cluster writes back).
+    pub fn ofmap(&self) -> Tensor4<Fix16> {
+        reference::quantize(&self.psums, true)
+    }
+}
+
+/// A cluster of identical Eyeriss arrays behind one shared DRAM channel.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_cluster::{Cluster, Partition};
+/// use eyeriss_arch::AcceleratorConfig;
+/// use eyeriss_nn::{reference, synth, LayerShape};
+/// use eyeriss_sim::Accelerator;
+///
+/// let shape = LayerShape::conv(8, 3, 13, 3, 2)?;
+/// let input = synth::ifmap(&shape, 4, 1);
+/// let weights = synth::filters(&shape, 2);
+/// let bias = synth::biases(&shape, 3);
+///
+/// let cluster = Cluster::new(4, AcceleratorConfig::eyeriss_chip());
+/// let run = cluster.run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)?;
+/// assert_eq!(run.psums, reference::conv_accumulate(&shape, 4, &input, &weights, &bias));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    arrays: usize,
+    config: AcceleratorConfig,
+    shared_dram: SharedDram,
+    zero_gating: bool,
+    rlc: bool,
+}
+
+impl Cluster {
+    /// Creates a cluster of `arrays` identical arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize, config: AcceleratorConfig) -> Self {
+        assert!(arrays > 0, "cluster needs at least one array");
+        Cluster {
+            arrays,
+            config,
+            shared_dram: SharedDram::eyeriss_chip(),
+            zero_gating: false,
+            rlc: false,
+        }
+    }
+
+    /// Overrides the shared DRAM channel model.
+    pub fn shared_dram(mut self, dram: SharedDram) -> Self {
+        self.shared_dram = dram;
+        self
+    }
+
+    /// Enables zero-gating on every array.
+    pub fn zero_gating(mut self, on: bool) -> Self {
+        self.zero_gating = on;
+        self
+    }
+
+    /// Enables run-length compression on every array's DRAM traffic.
+    pub fn rlc(mut self, on: bool) -> Self {
+        self.rlc = on;
+        self
+    }
+
+    /// Number of arrays.
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// The per-array accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Runs one CONV or FC layer partitioned over the cluster.
+    ///
+    /// Each array executes its tiles sequentially on a private
+    /// [`Accelerator`]; arrays run concurrently. The reassembled psums
+    /// are bit-exact against the single-array simulator because every
+    /// partition is output-disjoint (see [`crate::partition`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition cannot split this layer over the cluster,
+    /// or any array's simulation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`.
+    pub fn run_conv(
+        &self,
+        partition: Partition,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<ClusterRun, ClusterError> {
+        assert_eq!(
+            input.dims(),
+            [n_batch, shape.c, shape.h, shape.h],
+            "ifmap dims mismatch"
+        );
+        assert_eq!(
+            weights.dims(),
+            [shape.m, shape.c, shape.r, shape.r],
+            "filter dims mismatch"
+        );
+        assert_eq!(bias.len(), shape.m, "bias length mismatch");
+
+        let subs = split(partition, shape, n_batch, self.arrays)?;
+
+        type TileOut = (Tile, Tensor4<i32>);
+        let per_array: Vec<Result<(Vec<TileOut>, SimStats), ClusterError>> =
+            eyeriss_par::par_map(subs, |sub: SubProblem| {
+                let mut acc = Accelerator::new(self.config)
+                    .zero_gating(self.zero_gating)
+                    .rlc(self.rlc);
+                let mut outs = Vec::with_capacity(sub.tiles.len());
+                let mut stats = SimStats::default();
+                for tile in sub.tiles {
+                    let t_input = tile_input(input, shape, &tile);
+                    let t_weights = tile_weights(weights, shape, &tile);
+                    let t_bias = &bias[tile.m0..tile.m0 + tile.shape.m];
+                    let run = acc.run_conv(&tile.shape, tile.n, &t_input, &t_weights, t_bias)?;
+                    merge_stats(&mut stats, &run.stats);
+                    outs.push((tile, run.psums));
+                }
+                Ok((outs, stats))
+            });
+
+        let mut psums = Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]);
+        let mut stats = ClusterStats::default();
+        for result in per_array {
+            let (outs, array_stats) = result?;
+            stats.per_array.push(array_stats);
+            for (tile, tile_psums) in outs {
+                for z in 0..tile.n {
+                    for f in 0..tile.shape.m {
+                        for y in 0..tile.keep_y {
+                            for x in 0..tile.keep_x {
+                                psums[(tile.img0 + z, tile.m0 + f, tile.y0 + y, tile.x0 + x)] =
+                                    tile_psums[(z, f, y, x)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Shared-channel contention on top of the critical-path array.
+        stats.contention_stalls = self
+            .shared_dram
+            .contention_stall(stats.dram_words(), stats.critical_cycles());
+
+        Ok(ClusterRun {
+            partition,
+            psums,
+            stats,
+        })
+    }
+}
+
+/// Extracts the ifmap slice a tile needs: its image range and — for
+/// spatial tiles — the halo-exact window starting at ofmap row/column
+/// `(y0, x0)`, zero-padded where a square-padded edge tile reads past the
+/// plane (those outputs are cropped on reassembly).
+fn tile_input(input: &Tensor4<Fix16>, orig: &LayerShape, tile: &Tile) -> Tensor4<Fix16> {
+    let s = &tile.shape;
+    if tile.y0 == 0 && tile.x0 == 0 && s.h == orig.h && tile.img0 == 0 && tile.n == input.dims()[0]
+    {
+        return input.clone();
+    }
+    let (row0, col0) = (tile.y0 * orig.u, tile.x0 * orig.u);
+    Tensor4::from_fn([tile.n, s.c, s.h, s.h], |z, c, i, j| {
+        let (gi, gj) = (row0 + i, col0 + j);
+        if gi < orig.h && gj < orig.h {
+            input[(tile.img0 + z, c, gi, gj)]
+        } else {
+            Fix16::ZERO
+        }
+    })
+}
+
+/// Extracts the filter-bank slice `m0..m0 + shape.m` a tile needs.
+fn tile_weights(weights: &Tensor4<Fix16>, orig: &LayerShape, tile: &Tile) -> Tensor4<Fix16> {
+    if tile.m0 == 0 && tile.shape.m == orig.m {
+        return weights.clone();
+    }
+    let s = &tile.shape;
+    Tensor4::from_fn([s.m, s.c, s.r, s.r], |f, c, i, j| {
+        weights[(tile.m0 + f, c, i, j)]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+    use eyeriss_nn::synth;
+
+    fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            grid: eyeriss_arch::GridDims::new(6, 8),
+            rf_bytes_per_pe: 512.0,
+            buffer_bytes: 32.0 * 1024.0,
+        }
+    }
+
+    fn check_bit_exact(shape: &LayerShape, n: usize, arrays: usize, p: Partition) -> ClusterRun {
+        let input = synth::ifmap(shape, n, 31);
+        let weights = synth::filters(shape, 32);
+        let bias = synth::biases(shape, 33);
+        let cluster = Cluster::new(arrays, small_config());
+        let run = cluster
+            .run_conv(p, shape, n, &input, &weights, &bias)
+            .unwrap();
+        let golden = reference::conv_accumulate(shape, n, &input, &weights, &bias);
+        assert_eq!(run.psums, golden, "{p} diverged on {arrays} arrays");
+        run
+    }
+
+    #[test]
+    fn batch_partition_is_bit_exact() {
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let run = check_bit_exact(&shape, 5, 2, Partition::Batch);
+        assert_eq!(run.stats.per_array.len(), 2);
+        assert_eq!(run.stats.macs(), shape.macs(5));
+    }
+
+    #[test]
+    fn channel_partition_is_bit_exact() {
+        let shape = LayerShape::conv(10, 4, 11, 3, 2).unwrap();
+        check_bit_exact(&shape, 2, 4, Partition::OfmapChannel);
+    }
+
+    #[test]
+    fn fmap_partition_is_bit_exact() {
+        let shape = LayerShape::conv(4, 3, 15, 3, 1).unwrap(); // E = 13
+        let run = check_bit_exact(&shape, 2, 4, Partition::FmapTile);
+        // Padded edge tiles compute extra (cropped) outputs.
+        assert!(run.stats.macs() >= shape.macs(2));
+    }
+
+    #[test]
+    fn hybrid_partition_is_bit_exact() {
+        let shape = LayerShape::conv(9, 2, 9, 3, 2).unwrap();
+        check_bit_exact(
+            &shape,
+            4,
+            4,
+            Partition::Hybrid {
+                batch_ways: 2,
+                channel_ways: 2,
+            },
+        );
+    }
+
+    #[test]
+    fn fc_channel_partition_is_bit_exact() {
+        let shape = LayerShape::fully_connected(12, 6, 4).unwrap();
+        check_bit_exact(&shape, 3, 3, Partition::OfmapChannel);
+    }
+
+    #[test]
+    fn every_enumerated_partition_is_bit_exact() {
+        let shape = LayerShape::conv(8, 3, 11, 3, 2).unwrap();
+        for arrays in [2usize, 4] {
+            for p in partition::enumerate(&shape, 4, arrays) {
+                check_bit_exact(&shape, 4, arrays, p);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_features_survive_partitioning() {
+        let shape = LayerShape::conv(6, 3, 12, 3, 1).unwrap();
+        let input = synth::sparse_ifmap(&shape, 4, 7, 0.6);
+        let weights = synth::filters(&shape, 8);
+        let bias = synth::biases(&shape, 9);
+        let cluster = Cluster::new(2, small_config()).zero_gating(true).rlc(true);
+        let run = cluster
+            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .unwrap();
+        let golden = reference::conv_accumulate(&shape, 4, &input, &weights, &bias);
+        assert_eq!(run.psums, golden);
+        let skipped: u64 = run.stats.per_array.iter().map(|s| s.skipped_macs).sum();
+        assert!(skipped > 0, "zero-gating inactive");
+    }
+
+    #[test]
+    fn contention_stalls_appear_under_scarce_bandwidth() {
+        let shape = LayerShape::conv(8, 4, 13, 3, 1).unwrap();
+        let input = synth::ifmap(&shape, 4, 3);
+        let weights = synth::filters(&shape, 4);
+        let bias = synth::biases(&shape, 5);
+        let starved = Cluster::new(4, small_config())
+            .shared_dram(SharedDram::new(0.05))
+            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .unwrap();
+        let ample = Cluster::new(4, small_config())
+            .shared_dram(SharedDram::scaled(4))
+            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .unwrap();
+        assert!(starved.stats.contention_stalls > 0);
+        assert!(starved.stats.cluster_cycles() > ample.stats.cluster_cycles());
+    }
+
+    #[test]
+    fn single_array_cluster_matches_accelerator_stats() {
+        let shape = LayerShape::conv(5, 3, 11, 3, 2).unwrap();
+        let input = synth::ifmap(&shape, 2, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let cluster = Cluster::new(1, small_config());
+        let crun = cluster
+            .run_conv(Partition::Batch, &shape, 2, &input, &weights, &bias)
+            .unwrap();
+        let mut acc = Accelerator::new(small_config());
+        let arun = acc.run_conv(&shape, 2, &input, &weights, &bias).unwrap();
+        assert_eq!(crun.psums, arun.psums);
+        assert_eq!(crun.stats.per_array[0].cycles, arun.stats.cycles);
+        assert_eq!(crun.stats.macs(), arun.stats.macs);
+    }
+
+    #[test]
+    fn ofmap_applies_relu_quantization() {
+        let shape = LayerShape::conv(4, 2, 9, 3, 2).unwrap();
+        let run = check_bit_exact(&shape, 2, 2, Partition::Batch);
+        let quantized = run.ofmap();
+        assert!(quantized.iter().all(|v| v.raw() >= 0), "ReLU not applied");
+    }
+
+    #[test]
+    fn infeasible_partition_reports_error() {
+        let shape = LayerShape::conv(4, 2, 9, 3, 2).unwrap();
+        let input = synth::ifmap(&shape, 1, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let cluster = Cluster::new(4, small_config());
+        let err = cluster
+            .run_conv(Partition::Batch, &shape, 1, &input, &weights, &bias)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Infeasible(_)));
+    }
+}

@@ -1,0 +1,510 @@
+//! Workload partitioning across multiple Eyeriss arrays.
+//!
+//! A [`Partition`] splits one CONV/FC layer into per-array
+//! [`SubProblem`]s, each a list of [`Tile`]s that are themselves complete
+//! `LayerShape` problems a single [`eyeriss_sim::Accelerator`] can run.
+//! The four schemes follow the partitioning taxonomy of TETRIS/nn-dataflow
+//! (batch, output-channel, fmap-tile and hybrid partitioning), adapted to
+//! this workspace's square-plane layer shapes:
+//!
+//! * **Batch** — each array processes a contiguous slice of the images.
+//!   No data is shared between arrays except filters (each array fetches
+//!   the full filter bank).
+//! * **Ofmap channel** — each array produces a contiguous slice of the
+//!   `M` ofmap channels. The ifmap batch is replicated to every array;
+//!   filters are divided.
+//! * **Fmap tile** — the ofmap plane is cut into a `k x k` grid of
+//!   spatial tiles distributed round-robin over the arrays. Each tile
+//!   pulls exactly the ifmap halo it needs. Non-square edge tiles are
+//!   padded up to the enclosing square sub-problem and cropped on
+//!   reassembly, preserving bit-exactness.
+//! * **Hybrid** — a `batch_ways x channel_ways` grid combining the first
+//!   two schemes, for layers where neither dimension alone has enough
+//!   parallelism (the TETRIS observation that hybrid schemes win on
+//!   mid-network layers).
+//!
+//! Every scheme is *output-disjoint*: each ofmap value is produced by
+//! exactly one tile from exactly the same inputs the single-array run
+//! uses, so reassembled psums are bit-exact by construction (`i32`
+//! accumulation is order-independent across disjoint outputs).
+
+use crate::error::ClusterError;
+use eyeriss_nn::{LayerKind, LayerShape};
+use std::fmt;
+use std::ops::Range;
+
+/// A strategy for splitting one layer over `M` arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// Split the image batch `N`.
+    Batch,
+    /// Split the ofmap channels `M`.
+    OfmapChannel,
+    /// Tile the ofmap plane spatially.
+    FmapTile,
+    /// Split batch and ofmap channels jointly on a
+    /// `batch_ways x channel_ways` array grid.
+    Hybrid {
+        /// Ways the batch is split.
+        batch_ways: usize,
+        /// Ways the ofmap channels are split.
+        channel_ways: usize,
+    },
+}
+
+impl Partition {
+    /// The three elementary strategies (the hybrid family is enumerated
+    /// per array count by [`enumerate`]).
+    pub const ELEMENTARY: [Partition; 3] = [
+        Partition::Batch,
+        Partition::OfmapChannel,
+        Partition::FmapTile,
+    ];
+
+    /// Short display label ("batch", "ofmap-ch", "fmap-tile", "hybrid2x2").
+    pub fn label(&self) -> String {
+        match self {
+            Partition::Batch => "batch".to_string(),
+            Partition::OfmapChannel => "ofmap-ch".to_string(),
+            Partition::FmapTile => "fmap-tile".to_string(),
+            Partition::Hybrid {
+                batch_ways,
+                channel_ways,
+            } => format!("hybrid{batch_ways}x{channel_ways}"),
+        }
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One unit of work for one array: a complete layer problem that is a
+/// slice of the original layer.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// The sub-layer shape this tile executes (same `R`/`U` as the
+    /// original; possibly reduced `M`, `H`/`E`).
+    pub shape: LayerShape,
+    /// Images in this tile.
+    pub n: usize,
+    /// First image index in the original batch.
+    pub img0: usize,
+    /// First ofmap-channel index in the original layer.
+    pub m0: usize,
+    /// First ofmap row this tile produces.
+    pub y0: usize,
+    /// First ofmap column this tile produces.
+    pub x0: usize,
+    /// Ofmap rows kept on reassembly (`<= shape.e`; smaller for padded
+    /// edge tiles).
+    pub keep_y: usize,
+    /// Ofmap columns kept on reassembly.
+    pub keep_x: usize,
+}
+
+impl Tile {
+    /// A tile covering the whole plane of `shape` for images
+    /// `img0..img0+n` and channels `m0..m0+shape.m`.
+    fn full_plane(shape: LayerShape, n: usize, img0: usize, m0: usize) -> Self {
+        Tile {
+            shape,
+            n,
+            img0,
+            m0,
+            y0: 0,
+            x0: 0,
+            keep_y: shape.e,
+            keep_x: shape.e,
+        }
+    }
+
+    /// MAC operations this tile executes.
+    pub fn macs(&self) -> u64 {
+        self.shape.macs(self.n)
+    }
+}
+
+/// The tiles assigned to one array. May be empty (an idle array) when a
+/// layer has less parallelism than the cluster has arrays.
+#[derive(Debug, Clone)]
+pub struct SubProblem {
+    /// Which array runs these tiles.
+    pub array_id: usize,
+    /// Tiles executed sequentially on that array.
+    pub tiles: Vec<Tile>,
+}
+
+/// Splits `0..total` into `parts` contiguous chunks whose sizes differ by
+/// at most one (larger chunks first).
+pub(crate) fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    debug_assert!(parts >= 1 && total >= parts);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Builds the `m0..` channel-slice sub-shape of `shape`.
+fn channel_slice_shape(shape: &LayerShape, m_len: usize) -> Result<LayerShape, ClusterError> {
+    let sub = match shape.kind {
+        LayerKind::Conv => LayerShape::conv(m_len, shape.c, shape.h, shape.r, shape.u),
+        LayerKind::FullyConnected => LayerShape::fully_connected(m_len, shape.c, shape.h),
+        LayerKind::Pool => {
+            return Err(ClusterError::infeasible(
+                "POOL layers are not channel-partitionable (M = 1)",
+            ))
+        }
+    };
+    sub.map_err(|e| ClusterError::infeasible(format!("channel slice: {e}")))
+}
+
+/// Splits `shape` (batch `n`) over `arrays` arrays under `partition`.
+///
+/// Returns one [`SubProblem`] per array, in array order. Arrays beyond
+/// the layer's available parallelism receive empty tile lists (fmap
+/// tiling only); the elementary batch/channel splits instead report
+/// [`ClusterError::Infeasible`] when the split dimension is too small,
+/// so the partition search can discard them.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_cluster::partition::{split, Partition};
+/// use eyeriss_nn::LayerShape;
+///
+/// let conv1 = LayerShape::conv(96, 3, 227, 11, 4)?; // AlexNet CONV1
+/// let subs = split(Partition::OfmapChannel, &conv1, 4, 4)?;
+/// assert_eq!(subs.len(), 4);
+/// assert_eq!(subs.iter().map(|s| s.tiles[0].shape.m).sum::<usize>(), 96);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn split(
+    partition: Partition,
+    shape: &LayerShape,
+    n: usize,
+    arrays: usize,
+) -> Result<Vec<SubProblem>, ClusterError> {
+    if arrays == 0 {
+        return Err(ClusterError::infeasible("cluster has zero arrays"));
+    }
+    if n == 0 {
+        return Err(ClusterError::infeasible("batch size is zero"));
+    }
+    if shape.kind == LayerKind::Pool {
+        return Err(ClusterError::infeasible(
+            "POOL layers are executed per-array, not cluster-partitioned",
+        ));
+    }
+    if arrays == 1 {
+        return Ok(vec![SubProblem {
+            array_id: 0,
+            tiles: vec![Tile::full_plane(*shape, n, 0, 0)],
+        }]);
+    }
+    match partition {
+        Partition::Batch => {
+            if n < arrays {
+                return Err(ClusterError::infeasible(format!(
+                    "batch {n} smaller than {arrays} arrays"
+                )));
+            }
+            Ok(chunk_ranges(n, arrays)
+                .into_iter()
+                .enumerate()
+                .map(|(a, imgs)| SubProblem {
+                    array_id: a,
+                    tiles: vec![Tile::full_plane(*shape, imgs.len(), imgs.start, 0)],
+                })
+                .collect())
+        }
+        Partition::OfmapChannel => {
+            if shape.m < arrays {
+                return Err(ClusterError::infeasible(format!(
+                    "{} ofmap channels smaller than {arrays} arrays",
+                    shape.m
+                )));
+            }
+            chunk_ranges(shape.m, arrays)
+                .into_iter()
+                .enumerate()
+                .map(|(a, ms)| {
+                    let sub = channel_slice_shape(shape, ms.len())?;
+                    Ok(SubProblem {
+                        array_id: a,
+                        tiles: vec![Tile::full_plane(sub, n, 0, ms.start)],
+                    })
+                })
+                .collect()
+        }
+        Partition::FmapTile => fmap_tiles(shape, n, arrays),
+        Partition::Hybrid {
+            batch_ways,
+            channel_ways,
+        } => {
+            if batch_ways * channel_ways != arrays {
+                return Err(ClusterError::infeasible(format!(
+                    "hybrid {batch_ways}x{channel_ways} does not cover {arrays} arrays"
+                )));
+            }
+            if n < batch_ways {
+                return Err(ClusterError::infeasible(format!(
+                    "batch {n} smaller than {batch_ways} batch ways"
+                )));
+            }
+            if shape.m < channel_ways {
+                return Err(ClusterError::infeasible(format!(
+                    "{} ofmap channels smaller than {channel_ways} channel ways",
+                    shape.m
+                )));
+            }
+            let img_chunks = chunk_ranges(n, batch_ways);
+            let m_chunks = chunk_ranges(shape.m, channel_ways);
+            let mut out = Vec::with_capacity(arrays);
+            for (bi, imgs) in img_chunks.iter().enumerate() {
+                for (ci, ms) in m_chunks.iter().enumerate() {
+                    let sub = channel_slice_shape(shape, ms.len())?;
+                    out.push(SubProblem {
+                        array_id: bi * channel_ways + ci,
+                        tiles: vec![Tile {
+                            shape: sub,
+                            n: imgs.len(),
+                            img0: imgs.start,
+                            m0: ms.start,
+                            y0: 0,
+                            x0: 0,
+                            keep_y: sub.e,
+                            keep_x: sub.e,
+                        }],
+                    });
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Spatial ofmap tiling: a `k x k` grid with `k = ceil(sqrt(arrays))`
+/// (clamped to `E`), tiles dealt round-robin.
+fn fmap_tiles(
+    shape: &LayerShape,
+    n: usize,
+    arrays: usize,
+) -> Result<Vec<SubProblem>, ClusterError> {
+    if shape.kind != LayerKind::Conv {
+        return Err(ClusterError::infeasible(
+            "fmap tiling needs a spatial ofmap plane (CONV layers only)",
+        ));
+    }
+    if shape.e < 2 {
+        return Err(ClusterError::infeasible(format!(
+            "ofmap plane {0}x{0} too small to tile",
+            shape.e
+        )));
+    }
+    let mut k = 1usize;
+    while k * k < arrays {
+        k += 1;
+    }
+    let k = k.min(shape.e);
+    let rows = chunk_ranges(shape.e, k);
+    let cols = rows.clone();
+    let mut subs: Vec<SubProblem> = (0..arrays)
+        .map(|a| SubProblem {
+            array_id: a,
+            tiles: Vec::new(),
+        })
+        .collect();
+    for (ti, ys) in rows.iter().enumerate() {
+        for (tj, xs) in cols.iter().enumerate() {
+            // Pad the tile up to its enclosing square sub-problem; the
+            // extra rows/columns are cropped on reassembly.
+            let side = ys.len().max(xs.len());
+            let sub_h = (side - 1) * shape.u + shape.r;
+            let sub = LayerShape::conv(shape.m, shape.c, sub_h, shape.r, shape.u)
+                .map_err(|e| ClusterError::infeasible(format!("fmap tile: {e}")))?;
+            debug_assert_eq!(sub.e, side);
+            let tile_idx = ti * k + tj;
+            subs[tile_idx % arrays].tiles.push(Tile {
+                shape: sub,
+                n,
+                img0: 0,
+                m0: 0,
+                y0: ys.start,
+                x0: xs.start,
+                keep_y: ys.len(),
+                keep_x: xs.len(),
+            });
+        }
+    }
+    Ok(subs)
+}
+
+/// Enumerates every partition of `shape` (batch `n`) that [`split`]
+/// accepts for `arrays` arrays: the three elementary schemes plus all
+/// `batch_ways x channel_ways` hybrid factorizations of the array count.
+pub fn enumerate(shape: &LayerShape, n: usize, arrays: usize) -> Vec<Partition> {
+    let mut out = Vec::new();
+    for p in Partition::ELEMENTARY {
+        if split(p, shape, n, arrays).is_ok() {
+            out.push(p);
+        }
+    }
+    let mut bw = 2usize;
+    while bw * 2 <= arrays {
+        if arrays.is_multiple_of(bw) {
+            let p = Partition::Hybrid {
+                batch_ways: bw,
+                channel_ways: arrays / bw,
+            };
+            if split(p, shape, n, arrays).is_ok() {
+                out.push(p);
+            }
+        }
+        bw += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv1() -> LayerShape {
+        LayerShape::conv(96, 3, 227, 11, 4).unwrap()
+    }
+
+    #[test]
+    fn chunks_cover_and_balance() {
+        let chunks = chunk_ranges(10, 3);
+        assert_eq!(chunks, vec![0..4, 4..7, 7..10]);
+        let chunks = chunk_ranges(8, 8);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn batch_split_slices_images() {
+        let subs = split(Partition::Batch, &conv1(), 6, 4).unwrap();
+        assert_eq!(subs.len(), 4);
+        let total: usize = subs.iter().map(|s| s.tiles[0].n).sum();
+        assert_eq!(total, 6);
+        assert_eq!(subs[0].tiles[0].n, 2); // larger chunks first
+        assert_eq!(subs[3].tiles[0].img0, 5);
+    }
+
+    #[test]
+    fn batch_split_needs_enough_images() {
+        assert!(split(Partition::Batch, &conv1(), 3, 4).is_err());
+    }
+
+    #[test]
+    fn channel_split_preserves_m() {
+        let subs = split(Partition::OfmapChannel, &conv1(), 1, 8).unwrap();
+        let total: usize = subs.iter().map(|s| s.tiles[0].shape.m).sum();
+        assert_eq!(total, 96);
+        assert_eq!(subs[1].tiles[0].m0, 12);
+    }
+
+    #[test]
+    fn fmap_tiles_cover_the_plane() {
+        let shape = LayerShape::conv(4, 3, 15, 3, 1).unwrap(); // E = 13
+        let subs = split(Partition::FmapTile, &shape, 2, 4).unwrap();
+        let mut covered = vec![vec![false; 13]; 13];
+        for sub in &subs {
+            for t in &sub.tiles {
+                for y in 0..t.keep_y {
+                    for x in 0..t.keep_x {
+                        assert!(!covered[t.y0 + y][t.x0 + x], "tile overlap");
+                        covered[t.y0 + y][t.x0 + x] = true;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&c| c), "uncovered ofmap");
+    }
+
+    #[test]
+    fn fmap_edge_tiles_pad_to_square() {
+        let shape = LayerShape::conv(2, 2, 8, 2, 2).unwrap(); // E = 4
+        let subs = split(Partition::FmapTile, &shape, 1, 4).unwrap();
+        for sub in &subs {
+            for t in &sub.tiles {
+                assert!(t.keep_y <= t.shape.e && t.keep_x <= t.shape.e);
+                assert_eq!(t.shape.e, t.keep_y.max(t.keep_x));
+            }
+        }
+    }
+
+    #[test]
+    fn fmap_tiling_rejects_fc() {
+        let fc = LayerShape::fully_connected(16, 8, 4).unwrap();
+        assert!(split(Partition::FmapTile, &fc, 4, 2).is_err());
+    }
+
+    #[test]
+    fn hybrid_grid_covers_arrays() {
+        let p = Partition::Hybrid {
+            batch_ways: 2,
+            channel_ways: 2,
+        };
+        let subs = split(p, &conv1(), 4, 4).unwrap();
+        assert_eq!(subs.len(), 4);
+        let macs: u64 = subs.iter().flat_map(|s| &s.tiles).map(Tile::macs).sum();
+        assert_eq!(macs, conv1().macs(4));
+    }
+
+    #[test]
+    fn single_array_is_the_identity_split() {
+        for p in Partition::ELEMENTARY {
+            let subs = split(p, &conv1(), 2, 1).unwrap();
+            assert_eq!(subs.len(), 1);
+            assert_eq!(subs[0].tiles[0].shape, conv1());
+        }
+    }
+
+    #[test]
+    fn enumerate_includes_hybrids_when_divisible() {
+        let parts = enumerate(&conv1(), 8, 4);
+        assert!(parts.contains(&Partition::Batch));
+        assert!(parts.contains(&Partition::OfmapChannel));
+        assert!(parts.contains(&Partition::FmapTile));
+        assert!(parts.contains(&Partition::Hybrid {
+            batch_ways: 2,
+            channel_ways: 2
+        }));
+        // Batch too small for hybrids with batch_ways > n.
+        let parts = enumerate(&conv1(), 1, 4);
+        assert!(!parts.contains(&Partition::Batch));
+        assert!(parts.iter().all(|p| !matches!(p, Partition::Hybrid { .. })));
+    }
+
+    #[test]
+    fn every_split_conserves_macs() {
+        let shape = LayerShape::conv(12, 5, 19, 3, 2).unwrap();
+        for arrays in [2usize, 3, 4, 8] {
+            for p in enumerate(&shape, 6, arrays) {
+                let subs = split(p, &shape, 6, arrays).unwrap();
+                assert_eq!(subs.len(), arrays, "{p}");
+                let covered: u64 = subs
+                    .iter()
+                    .flat_map(|s| &s.tiles)
+                    .map(|t| {
+                        (t.n * t.shape.m * t.keep_y * t.keep_x) as u64
+                            * t.shape.accumulations_per_ofmap()
+                    })
+                    .sum();
+                // Kept outputs (not padded ones) must account for every MAC
+                // of the original layer exactly once.
+                assert_eq!(covered, shape.macs(6), "{p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Cluster-level (partition, mapping) co-optimization.
+//!
+//! Composes the partition space of [`crate::partition`] with the
+//! per-array mapping optimizer of [`eyeriss_dataflow::search`]
+//! (Section VI-C of the paper): for every feasible partition of a layer,
+//! each distinct sub-problem is mapped optimally onto its array, and the
+//! partition is scored by total energy and cluster delay under the
+//! shared-DRAM contention model. The best `(partition, mapping)` pair is
+//! picked per layer under an energy or energy-delay-product objective —
+//! the TETRIS-style scheduling loop, one level above the paper's
+//! single-array optimizer.
+
+use crate::contention::SharedDram;
+use crate::partition::{enumerate, split, Partition, Tile};
+use eyeriss_arch::access::LayerAccessProfile;
+use eyeriss_arch::config::AcceleratorConfig;
+use eyeriss_arch::energy::EnergyModel;
+use eyeriss_dataflow::search::{best_mapping_with, Objective};
+use eyeriss_dataflow::{DataflowKind, MappingCandidate};
+use eyeriss_nn::LayerShape;
+use std::collections::HashMap;
+
+/// One tile with its optimal per-array mapping.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// The tile.
+    pub tile: Tile,
+    /// The energy-optimal mapping of that tile on one array.
+    pub mapping: MappingCandidate,
+}
+
+/// The planned work of one array.
+#[derive(Debug, Clone)]
+pub struct ArrayPlan {
+    /// Which array.
+    pub array_id: usize,
+    /// Planned tiles, executed sequentially.
+    pub tiles: Vec<TilePlan>,
+}
+
+impl ArrayPlan {
+    /// Delay proxy of this array: the sum of its tiles' mapping delays
+    /// (MACs / active PEs, the Section VII-B delay model).
+    pub fn delay(&self) -> f64 {
+        self.tiles.iter().map(|t| t.mapping.delay()).sum()
+    }
+
+    /// Total analytic energy of this array's tiles.
+    pub fn energy(&self, em: &EnergyModel) -> f64 {
+        self.tiles
+            .iter()
+            .map(|t| t.mapping.profile.total_energy(em))
+            .sum()
+    }
+}
+
+/// A fully planned layer: one partition, per-array optimal mappings and
+/// the cluster-level cost model evaluated.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// The chosen partition.
+    pub partition: Partition,
+    /// Number of arrays planned for.
+    pub arrays: usize,
+    /// Per-array plans, in array order (idle arrays have no tiles).
+    pub per_array: Vec<ArrayPlan>,
+    /// Total analytic energy across arrays (MAC units). Energy is
+    /// additive — partitioning buys delay, not energy.
+    pub energy: f64,
+    /// Cluster delay: critical-path array delay, floored by the shared
+    /// DRAM channel's aggregate transfer time.
+    pub delay: f64,
+    /// The shared-channel transfer component of [`ClusterPlan::delay`].
+    pub dram_delay: f64,
+}
+
+impl ClusterPlan {
+    /// Energy-delay product of the planned layer.
+    pub fn edp(&self) -> f64 {
+        self.energy * self.delay
+    }
+
+    /// Aggregate access profile across every planned tile.
+    pub fn total_profile(&self) -> LayerAccessProfile {
+        profile_of(&self.per_array)
+    }
+
+    /// True when the shared DRAM channel, not compute, bounds the delay.
+    pub fn bandwidth_bound(&self) -> bool {
+        self.dram_delay >= self.delay
+    }
+}
+
+/// Sums the access profiles of every tile across `per_array`.
+fn profile_of(per_array: &[ArrayPlan]) -> LayerAccessProfile {
+    let mut p = LayerAccessProfile::new();
+    for a in per_array {
+        for t in &a.tiles {
+            p.accumulate(&t.mapping.profile);
+        }
+    }
+    p
+}
+
+/// Plans one specific `partition` of `shape` (batch `n`) over `arrays`
+/// arrays of configuration `hw`, optimizing each distinct sub-problem
+/// with the `kind` mapping space. Returns `None` when the partition is
+/// infeasible or any tile has no feasible mapping.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_partition(
+    kind: DataflowKind,
+    partition: Partition,
+    shape: &LayerShape,
+    n: usize,
+    arrays: usize,
+    hw: &AcceleratorConfig,
+    em: &EnergyModel,
+    shared: &SharedDram,
+    objective: Objective,
+) -> Option<ClusterPlan> {
+    let subs = split(partition, shape, n, arrays).ok()?;
+    // Distinct (shape, n) sub-problems repeat across arrays (balanced
+    // chunking yields at most two distinct sizes per dimension); memoize
+    // the mapping search.
+    let mut memo: HashMap<(LayerShape, usize), Option<MappingCandidate>> = HashMap::new();
+    let mut per_array = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let mut tiles = Vec::with_capacity(sub.tiles.len());
+        for tile in sub.tiles {
+            let mapping = memo
+                .entry((tile.shape, tile.n))
+                .or_insert_with(|| best_mapping_with(kind, &tile.shape, tile.n, hw, em, objective))
+                .clone()?;
+            tiles.push(TilePlan { tile, mapping });
+        }
+        per_array.push(ArrayPlan {
+            array_id: sub.array_id,
+            tiles,
+        });
+    }
+    let energy: f64 = per_array.iter().map(|a| a.energy(em)).sum();
+    let compute_delay = per_array
+        .iter()
+        .map(ArrayPlan::delay)
+        .fold(0.0f64, f64::max);
+    let dram_delay = shared.transfer_delay(profile_of(&per_array).dram_accesses());
+    Some(ClusterPlan {
+        partition,
+        arrays,
+        per_array,
+        energy,
+        delay: compute_delay.max(dram_delay),
+        dram_delay,
+    })
+}
+
+/// Plans `shape` over the cluster, searching every feasible partition and
+/// returning the best under `objective`. Returns `None` only when no
+/// partition of this layer is feasible at all.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_cluster::{plan_layer, SharedDram};
+/// use eyeriss_dataflow::search::Objective;
+/// use eyeriss_dataflow::DataflowKind;
+/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+/// use eyeriss_nn::LayerShape;
+///
+/// let conv3 = LayerShape::conv(384, 256, 15, 3, 1)?;
+/// let hw = AcceleratorConfig::eyeriss_chip();
+/// let plan = plan_layer(
+///     DataflowKind::RowStationary, &conv3, 16, 4, &hw,
+///     &EnergyModel::table_iv(), &SharedDram::scaled(4),
+///     Objective::EnergyDelayProduct,
+/// ).expect("CONV3 partitions over 4 arrays");
+/// assert_eq!(plan.arrays, 4);
+/// assert!(plan.delay > 0.0);
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn plan_layer(
+    kind: DataflowKind,
+    shape: &LayerShape,
+    n: usize,
+    arrays: usize,
+    hw: &AcceleratorConfig,
+    em: &EnergyModel,
+    shared: &SharedDram,
+    objective: Objective,
+) -> Option<ClusterPlan> {
+    let score = |p: &ClusterPlan| -> f64 {
+        match objective {
+            Objective::Energy => p.energy,
+            Objective::EnergyDelayProduct => p.edp(),
+        }
+    };
+    enumerate(shape, n, arrays)
+        .into_iter()
+        .filter_map(|p| plan_partition(kind, p, shape, n, arrays, hw, em, shared, objective))
+        .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> AcceleratorConfig {
+        AcceleratorConfig::eyeriss_chip()
+    }
+
+    fn plan(
+        partition: Partition,
+        shape: &LayerShape,
+        n: usize,
+        arrays: usize,
+    ) -> Option<ClusterPlan> {
+        plan_partition(
+            DataflowKind::RowStationary,
+            partition,
+            shape,
+            n,
+            arrays,
+            &hw(),
+            &EnergyModel::table_iv(),
+            &SharedDram::scaled(arrays),
+            Objective::Energy,
+        )
+    }
+
+    #[test]
+    fn batch_partition_divides_delay() {
+        let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
+        let one = plan(Partition::Batch, &conv3, 16, 1).unwrap();
+        let four = plan(Partition::Batch, &conv3, 16, 4).unwrap();
+        assert!(four.delay < one.delay * 0.5, "no speedup from 4 arrays");
+        // Energy does not parallelize away; mapping smaller batches can
+        // shift it somewhat, but it must stay in the same regime.
+        assert!((0.5..2.0).contains(&(four.energy / one.energy)));
+    }
+
+    #[test]
+    fn plan_layer_picks_the_best_partition() {
+        let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
+        let em = EnergyModel::table_iv();
+        let shared = SharedDram::scaled(4);
+        let best = plan_layer(
+            DataflowKind::RowStationary,
+            &conv3,
+            16,
+            4,
+            &hw(),
+            &em,
+            &shared,
+            Objective::Energy,
+        )
+        .unwrap();
+        for p in enumerate(&conv3, 16, 4) {
+            if let Some(candidate) = plan_partition(
+                DataflowKind::RowStationary,
+                p,
+                &conv3,
+                16,
+                4,
+                &hw(),
+                &em,
+                &shared,
+                Objective::Energy,
+            ) {
+                assert!(best.energy <= candidate.energy * (1.0 + 1e-9), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fc_layer_plans_via_channel_partition() {
+        let fc = LayerShape::fully_connected(4096, 256, 6).unwrap();
+        let plan = plan_layer(
+            DataflowKind::RowStationary,
+            &fc,
+            16,
+            8,
+            &hw(),
+            &EnergyModel::table_iv(),
+            &SharedDram::scaled(8),
+            Objective::Energy,
+        )
+        .unwrap();
+        assert_eq!(plan.per_array.len(), 8);
+        assert!(plan.per_array.iter().all(|a| !a.tiles.is_empty()));
+    }
+
+    #[test]
+    fn scarce_shared_bandwidth_becomes_the_bound() {
+        let conv1 = LayerShape::conv(96, 3, 227, 11, 4).unwrap();
+        let p = plan_partition(
+            DataflowKind::RowStationary,
+            Partition::OfmapChannel,
+            &conv1,
+            4,
+            4,
+            &hw(),
+            &EnergyModel::table_iv(),
+            &SharedDram::new(0.001),
+            Objective::EnergyDelayProduct,
+        )
+        .unwrap();
+        assert!(p.bandwidth_bound());
+        assert!(p.delay >= p.dram_delay);
+    }
+
+    #[test]
+    fn batch_one_rejects_batch_partition_but_plans_others() {
+        let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
+        assert!(plan(Partition::Batch, &conv3, 1, 4).is_none());
+        assert!(plan(Partition::OfmapChannel, &conv3, 1, 4).is_some());
+        assert!(plan(Partition::FmapTile, &conv3, 1, 4).is_some());
+    }
+
+    #[test]
+    fn profile_aggregates_all_tiles() {
+        let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
+        let p = plan(Partition::OfmapChannel, &conv3, 4, 4).unwrap();
+        let profile = p.total_profile();
+        assert_eq!(profile.alu_ops, conv3.macs(4) as f64);
+        assert!(profile.is_valid());
+    }
+}

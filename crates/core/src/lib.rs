@@ -14,6 +14,9 @@
 //!   figure (7, 10–15).
 //! * [`sim`] — a functional chip simulator executing the row-stationary
 //!   dataflow bit-exactly against the golden reference.
+//! * [`cluster`] — multi-array partitioning and parallel scheduling:
+//!   batch/channel/tile/hybrid partitions co-optimized with the mapping
+//!   search and executed bit-exactly across arrays (beyond the paper).
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@
 
 pub use eyeriss_analysis as analysis;
 pub use eyeriss_arch as arch;
+pub use eyeriss_cluster as cluster;
 pub use eyeriss_dataflow as dataflow;
 pub use eyeriss_nn as nn;
 pub use eyeriss_sim as sim;
@@ -65,6 +69,7 @@ pub mod prelude {
     pub use eyeriss_analysis::{run_conv_layers, run_fc_layers, run_layers, DataflowRun};
     pub use eyeriss_arch::energy::{EnergyModel, Level};
     pub use eyeriss_arch::{AcceleratorConfig, DataType, GridDims};
+    pub use eyeriss_cluster::{plan_layer, Cluster, ClusterRun, Partition, SharedDram};
     pub use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
     pub use eyeriss_dataflow::{DataflowKind, MappingCandidate};
     pub use eyeriss_nn::{alexnet, reference, synth, Fix16, LayerShape, Tensor4};

@@ -44,9 +44,7 @@ impl DataflowModel for NoLocalReuseModel {
         for &g_c in &factor_candidates(shape.c, pes) {
             for &g_w in &factor_candidates(shape.m, pes / g_c) {
                 for ifmap_resident in [true, false] {
-                    if let Some(c) =
-                        evaluate(shape, n_batch, g_c, g_w, ifmap_resident, buf_words)
-                    {
+                    if let Some(c) = evaluate(shape, n_batch, g_c, g_w, ifmap_resident, buf_words) {
                         out.push(c);
                     }
                 }

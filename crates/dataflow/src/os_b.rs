@@ -38,7 +38,11 @@ impl DataflowModel for OutputStationaryBModel {
         let mut out = Vec::new();
         // For FC layers (E = 1) the "multiple ofmap pixels" of MOC-MOP come
         // from different images of the batch instead of one plane.
-        let pixel_dim = if shape.is_fc_shaped() { n_batch } else { shape.e };
+        let pixel_dim = if shape.is_fc_shaped() {
+            n_batch
+        } else {
+            shape.e
+        };
         for &o_m in &factor_candidates(shape.m, pes) {
             for &o_p in &factor_candidates(pixel_dim, pes / o_m) {
                 if shape.is_fc_shaped() {
@@ -48,8 +52,7 @@ impl DataflowModel for OutputStationaryBModel {
                     continue;
                 }
                 for plane_resident in [true, false] {
-                    if let Some(c) = evaluate(shape, n_batch, o_m, o_p, plane_resident, buf_words)
-                    {
+                    if let Some(c) = evaluate(shape, n_batch, o_m, o_p, plane_resident, buf_words) {
                         out.push(c);
                     }
                 }
@@ -67,14 +70,19 @@ fn evaluate(
     plane_resident: bool,
     buf_words: usize,
 ) -> Option<MappingCandidate> {
-    let (m_dim, c_dim, h, r_filt, e_dim, u) = (shape.m, shape.c, shape.h, shape.r, shape.e, shape.u);
+    let (m_dim, c_dim, h, r_filt, e_dim, u) =
+        (shape.m, shape.c, shape.h, shape.r, shape.e, shape.u);
     let strips = ceil_div(e_dim, o_p);
     // Receptive band of one strip: R ifmap rows by the strip's halo width.
     let band = r_filt * ((o_p - 1) * u + r_filt);
 
     // The o_m filters' weights sit in the buffer for the whole layer pass.
     let filter_tile = o_m * c_dim * r_filt * r_filt;
-    let ifmap_tile = if plane_resident { c_dim * h * h } else { c_dim * band };
+    let ifmap_tile = if plane_resident {
+        c_dim * h * h
+    } else {
+        c_dim * band
+    };
     if filter_tile + ifmap_tile > buf_words {
         return None;
     }
@@ -95,14 +103,12 @@ fn evaluate(
     // With plane residency the image loop is outermost, so filter groups
     // cycle through once per image unless the whole bank stays on chip.
     let bank_words = shape.filter_words() as usize;
-    profile.filter.dram_reads = if plane_resident
-        && m_groups > 1.0
-        && bank_words + ifmap_tile > buf_words
-    {
-        filter_words * n_batch as f64
-    } else {
-        filter_words
-    };
+    profile.filter.dram_reads =
+        if plane_resident && m_groups > 1.0 && bank_words + ifmap_tile > buf_words {
+            filter_words * n_batch as f64
+        } else {
+            filter_words
+        };
     profile.filter.buffer_reads = macs / o_p as f64;
     profile.filter.array_hops = macs;
 

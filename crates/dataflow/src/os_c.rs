@@ -67,7 +67,11 @@ fn evaluate(
 
     // The active filter group's weights plus the receptive windows of the
     // current position must be staged on chip.
-    let filter_tile = if weights_resident { o_m * window } else { 2 * window };
+    let filter_tile = if weights_resident {
+        o_m * window
+    } else {
+        2 * window
+    };
     let ifmap_tile = n_par * window;
     if filter_tile + ifmap_tile > buf_words {
         return None;
@@ -140,7 +144,10 @@ mod tests {
         let conv2 = &alexnet::conv_layers()[1].shape;
         let b = best(conv2, 16, 256);
         let per_op = b.profile.dram_accesses() / conv2.macs(16) as f64;
-        assert!(per_op > 0.003, "OSC CONV DRAM/op {per_op:.5} suspiciously low");
+        assert!(
+            per_op > 0.003,
+            "OSC CONV DRAM/op {per_op:.5} suspiciously low"
+        );
     }
 
     #[test]

@@ -68,15 +68,27 @@ pub fn best_mapping_with(
             Objective::EnergyDelayProduct => e * c.delay(),
         }
     };
-    let cands: Vec<MappingCandidate> = model
-        .mappings(shape, n, hw)
-        .into_iter()
-        .filter(|c| c.profile.is_valid())
-        .collect();
-    let best = cands
-        .iter()
-        .map(&score)
-        .fold(f64::INFINITY, f64::min);
+    // The exhaustive scan is the hot path of every sweep experiment:
+    // validate and score candidates across all cores, keeping the
+    // selection itself sequential (it is a cheap fold). Small spaces stay
+    // sequential — thread spawn would dominate.
+    let screen = |c: MappingCandidate| -> Option<(MappingCandidate, f64)> {
+        if !c.profile.is_valid() {
+            return None;
+        }
+        let s = score(&c);
+        Some((c, s))
+    };
+    let cands = model.mappings(shape, n, hw);
+    let scored: Vec<(MappingCandidate, f64)> = if cands.len() >= PAR_SCAN_THRESHOLD {
+        eyeriss_par::par_map(cands, screen)
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        cands.into_iter().filter_map(screen).collect()
+    };
+    let best = scored.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
     if !best.is_finite() {
         return None;
     }
@@ -84,15 +96,19 @@ pub fn best_mapping_with(
     // paper notes RS's "mapping of 1D convolution primitives efficiently
     // utilizes available PEs", and its Fig. 13 delays presume mappings
     // that fill the array when doing so costs (almost) nothing.
-    cands
+    scored
         .into_iter()
-        .filter(|c| score(c) <= best * UTILIZATION_TIE_BAND)
-        .max_by(|a, b| {
+        .filter(|(_, s)| *s <= best * UTILIZATION_TIE_BAND)
+        .max_by(|(a, sa), (b, sb)| {
             a.active_pes
                 .cmp(&b.active_pes)
-                .then_with(|| score(b).partial_cmp(&score(a)).expect("finite scores"))
+                .then_with(|| sb.partial_cmp(sa).expect("finite scores"))
         })
+        .map(|(c, _)| c)
 }
+
+/// Candidate spaces at least this large are screened in parallel.
+const PAR_SCAN_THRESHOLD: usize = 192;
 
 /// Candidates within this factor of the optimal objective are considered
 /// tied and resolved by active-PE count.
@@ -128,10 +144,7 @@ mod tests {
         let rs = total(DataflowKind::RowStationary).expect("RS feasible");
         for kind in DataflowKind::ALL.into_iter().skip(1) {
             if let Some(e) = total(kind) {
-                assert!(
-                    rs < e,
-                    "{kind}: RS {rs:.3e} not below {e:.3e}"
-                );
+                assert!(rs < e, "{kind}: RS {rs:.3e} not below {e:.3e}");
             }
         }
     }
@@ -141,8 +154,7 @@ mod tests {
         let em = EnergyModel::table_iv();
         let conv5 = &alexnet::conv_layers()[4].shape;
         let hw = comparison_hardware(DataflowKind::RowStationary, 256);
-        let by_energy =
-            best_mapping(DataflowKind::RowStationary, conv5, 16, &hw, &em).unwrap();
+        let by_energy = best_mapping(DataflowKind::RowStationary, conv5, 16, &hw, &em).unwrap();
         let by_edp = best_mapping_with(
             DataflowKind::RowStationary,
             conv5,

@@ -134,7 +134,9 @@ mod tests {
         // exceed even WS's enlarged buffer.
         let conv1 = &alexnet::conv_layers()[0].shape;
         assert!(
-            WeightStationaryModel.mappings(conv1, 64, &hw(256)).is_empty(),
+            WeightStationaryModel
+                .mappings(conv1, 64, &hw(256))
+                .is_empty(),
             "CONV1 must be infeasible at N=64 on 256 PEs"
         );
     }
@@ -142,7 +144,9 @@ mod tests {
     #[test]
     fn feasible_on_conv1_at_batch_16_with_256_pes() {
         let conv1 = &alexnet::conv_layers()[0].shape;
-        assert!(!WeightStationaryModel.mappings(conv1, 16, &hw(256)).is_empty());
+        assert!(!WeightStationaryModel
+            .mappings(conv1, 16, &hw(256))
+            .is_empty());
     }
 
     #[test]
@@ -150,7 +154,9 @@ mod tests {
         // Figs. 11b/c show WS operating at batch 64 on larger arrays,
         // whose baseline area buys a bigger buffer.
         let conv1 = &alexnet::conv_layers()[0].shape;
-        assert!(!WeightStationaryModel.mappings(conv1, 64, &hw(1024)).is_empty());
+        assert!(!WeightStationaryModel
+            .mappings(conv1, 64, &hw(1024))
+            .is_empty());
     }
 
     #[test]
@@ -205,6 +211,8 @@ mod tests {
     #[test]
     fn infeasible_when_block_exceeds_array() {
         let shape = LayerShape::conv(4, 4, 40, 20, 1).unwrap(); // 400-PE block
-        assert!(WeightStationaryModel.mappings(&shape, 1, &hw(256)).is_empty());
+        assert!(WeightStationaryModel
+            .mappings(&shape, 1, &hw(256))
+            .is_empty());
     }
 }

@@ -261,7 +261,10 @@ mod tests {
         let logits = net.forward(1, &input);
         // ReLU on the final stage would force all logits >= 0; raw logits
         // of a random net should include negatives.
-        assert!(logits.iter().any(|v| v.raw() < 0), "suspiciously non-negative logits");
+        assert!(
+            logits.iter().any(|v| v.raw() < 0),
+            "suspiciously non-negative logits"
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Minimal data-parallelism for the Eyeriss workspace.
+//!
+//! The cluster executor and the mapping-search hot path want a rayon-style
+//! `par_iter().map().collect()`, but this workspace builds offline with no
+//! external crates, so this module provides the one primitive they need:
+//! an order-preserving parallel map built on [`std::thread::scope`]. Work
+//! is split into one contiguous chunk per worker — the workloads here
+//! (scoring mapping candidates, simulating per-array sub-problems) are
+//! uniform enough that static chunking is within noise of work stealing.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads a parallel call will use (the machine's
+/// available parallelism, at least 1).
+pub fn num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Spawns at most [`num_threads`] scoped threads, each owning one
+/// contiguous chunk. Falls back to a plain sequential map for a single
+/// item or a single hardware thread. Panics in `f` propagate to the
+/// caller (the scope joins all workers first).
+///
+/// # Example
+///
+/// ```
+/// let squares = eyeriss_par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `workers` contiguous chunks whose sizes differ by <= 1.
+    let len = items.len();
+    let base = len / workers;
+    let extra = len % workers;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    debug_assert!(rest.is_empty());
+
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let n = 10_000usize;
+        let out = par_map((0..n).collect(), |x| x * 2);
+        assert_eq!(out, (0..n).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map((0..997usize).collect(), |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 997);
+        assert_eq!(counter.load(Ordering::Relaxed), 997);
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert_eq!(par_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![7u8], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = par_map((0..1000u32).collect(), |x| {
+            assert!(x != 500, "boom");
+            x
+        });
+    }
+}

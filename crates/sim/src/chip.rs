@@ -295,9 +295,8 @@ impl<'a> Engine<'a> {
         self.stats.profile.filter.array_hops = self.filter_bus.stats.word_hops as f64;
         self.stats.profile.ifmap.array_hops = self.ifmap_bus.stats.word_hops as f64;
         self.stats.profile.psum.array_hops = self.chain.stats.word_hops as f64;
-        self.stats.dram_raw_words = (self.stats.profile.dram_reads()
-            + self.stats.profile.dram_writes())
-        .round() as u64;
+        self.stats.dram_raw_words =
+            (self.stats.profile.dram_reads() + self.stats.profile.dram_writes()).round() as u64;
         debug_assert!(self.stats.profile.is_valid());
         Ok(())
     }
@@ -419,9 +418,7 @@ impl<'a> Engine<'a> {
                 for _c in cs.clone() {
                     for local_h in 0..rows_needed {
                         let consumers = (0..e_cols)
-                            .filter(|yy| {
-                                local_h >= u * yy && local_h - u * yy < r_filt
-                            })
+                            .filter(|yy| local_h >= u * yy && local_h - u * yy < r_filt)
                             .count();
                         if consumers == 0 {
                             continue;
@@ -499,9 +496,7 @@ impl<'a> Engine<'a> {
         self.stats.cycles += max_set_ops;
         // Double buffering overlaps this pass's DRAM traffic with its
         // compute; only the excess stalls the array.
-        self.stats.stall_cycles += self
-            .dram
-            .stall_cycles(self.pending_dram_words, max_set_ops);
+        self.stats.stall_cycles += self.dram.stall_cycles(self.pending_dram_words, max_set_ops);
         self.pending_dram_words = 0;
         Ok(())
     }
@@ -578,7 +573,10 @@ mod tests {
         let shape = LayerShape::conv(5, 4, 11, 3, 2).unwrap();
         let run = run_and_check(&shape, 2, small_chip());
         assert_eq!(run.stats.macs, shape.macs(2));
-        assert_eq!(run.stats.profile.psum.dram_writes, shape.ofmap_words(2) as f64);
+        assert_eq!(
+            run.stats.profile.psum.dram_writes,
+            shape.ofmap_words(2) as f64
+        );
     }
 
     #[test]

@@ -147,7 +147,10 @@ impl Pe {
         accumulate_locally: bool,
         psums: &mut [i32],
     ) {
-        let slides = psums.len().checked_sub(1).expect("psum row must be non-empty");
+        let slides = psums
+            .len()
+            .checked_sub(1)
+            .expect("psum row must be non-empty");
         let r = ifmap_row
             .len()
             .checked_sub(slides * stride)
@@ -224,7 +227,10 @@ mod tests {
         plain.run_primitive(0, &ifmap, 1, true, &mut b);
         assert_eq!(a, b);
         assert!(gated.stats.skipped_macs > 0);
-        assert_eq!(gated.stats.macs + gated.stats.skipped_macs, plain.stats.macs);
+        assert_eq!(
+            gated.stats.macs + gated.stats.skipped_macs,
+            plain.stats.macs
+        );
         // Gated MACs read neither the filter nor the psum.
         assert!(gated.stats.filter_reads < plain.stats.filter_reads);
     }

@@ -133,8 +133,8 @@ mod tests {
         let input = synth::ifmap(&shape, 2, 55);
         let weights = synth::filters(&shape, 56);
         let bias = synth::biases(&shape, 57);
-        let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip())
-            .dram(DramModel::eyeriss_chip());
+        let mut chip =
+            Accelerator::new(AcceleratorConfig::eyeriss_chip()).dram(DramModel::eyeriss_chip());
         let run = chip.run_conv(&shape, 2, &input, &weights, &bias).unwrap();
         let stall = run.stats.stall_fraction();
         assert!(stall < 0.2, "stall fraction {stall:.2} too high");
@@ -144,10 +144,10 @@ mod tests {
     fn starved_dram_stalls_the_array() {
         let net = tiny_net();
         let input = synth::ifmap(&net.stages()[0].shape, 1, 55);
-        let mut fast = Accelerator::new(AcceleratorConfig::eyeriss_chip())
-            .dram(DramModel::new(64.0));
-        let mut slow = Accelerator::new(AcceleratorConfig::eyeriss_chip())
-            .dram(DramModel::new(0.01));
+        let mut fast =
+            Accelerator::new(AcceleratorConfig::eyeriss_chip()).dram(DramModel::new(64.0));
+        let mut slow =
+            Accelerator::new(AcceleratorConfig::eyeriss_chip()).dram(DramModel::new(0.01));
         let f = run_network(&mut fast, &net, 1, &input).unwrap();
         let s = run_network(&mut slow, &net, 1, &input).unwrap();
         // Same computation, same answer...

@@ -1,0 +1,58 @@
+//! Extension: scale one Eyeriss array to a multi-array cluster.
+//!
+//! Partitions AlexNet (and optionally VGG-16) CONV layers across
+//! 1/2/4/8 arrays under batch / ofmap-channel / fmap-tile / searched
+//! partitioning, then executes a CONV1-geometry slice on the functional
+//! cluster executor — verifying the partitioned ofmap is bit-exact
+//! against the single-array simulator — and prints per-array
+//! energy/cycle aggregates.
+//!
+//! Run with: `cargo run --release --example cluster_scaling [--vgg]`
+
+use eyeriss::analysis::experiments::cluster_scaling;
+use eyeriss::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Analytic scaling sweep -----------------------------------------
+    println!(
+        "{}",
+        cluster_scaling::render(&cluster_scaling::run_alexnet())
+    );
+    if std::env::args().any(|a| a == "--vgg") {
+        println!("{}", cluster_scaling::render(&cluster_scaling::run_vgg()));
+    }
+
+    // ---- 2. Functional execution: bit-exact across 4 arrays ----------------
+    let conv1 = LayerShape::conv(8, 3, 227, 11, 4)?; // CONV1 geometry slice
+    let n = 4;
+    let input = synth::ifmap(&conv1, n, 42);
+    let weights = synth::filters(&conv1, 43);
+    let bias = synth::biases(&conv1, 44);
+    let golden = reference::conv_accumulate(&conv1, n, &input, &weights, &bias);
+
+    for partition in [
+        Partition::Batch,
+        Partition::OfmapChannel,
+        Partition::FmapTile,
+    ] {
+        let cluster =
+            Cluster::new(4, AcceleratorConfig::eyeriss_chip()).shared_dram(SharedDram::scaled(4));
+        let run = cluster.run_conv(partition, &conv1, n, &input, &weights, &bias)?;
+        assert_eq!(run.psums, golden, "{partition} diverged");
+        println!(
+            "{partition:>9} over 4 arrays: bit-exact; cluster cycles {:>9} \
+             (imbalance {:.2}, contention {})",
+            run.stats.cluster_cycles(),
+            run.stats.imbalance(),
+            run.stats.contention_stalls,
+        );
+    }
+
+    // ---- 3. Measured per-array aggregates across cluster sizes -------------
+    println!();
+    println!(
+        "{}",
+        cluster_scaling::render_sim(&cluster_scaling::simulate())
+    );
+    Ok(())
+}

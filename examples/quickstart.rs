@@ -10,7 +10,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conv3 = LayerShape::conv(384, 256, 15, 3, 1)?;
     let em = EnergyModel::table_iv();
     println!("AlexNet CONV3 on a 256-PE spatial architecture, batch 16:");
-    println!("{:>4}  {:>12}  {:>10}  {:>10}", "flow", "energy/MAC", "DRAM/op", "active PEs");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>10}",
+        "flow", "energy/MAC", "DRAM/op", "active PEs"
+    );
     for kind in DataflowKind::ALL {
         let hw = comparison_hardware(kind, 256);
         match best_mapping(kind, &conv3, 16, &hw, &em) {
@@ -41,12 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = reference::conv_accumulate(&small, 2, &input, &weights, &bias);
     assert_eq!(run.psums, golden);
 
-    println!("\nSimulated {} MACs on the 168-PE chip — bit-exact against the golden model.", run.stats.macs);
-    println!("mapping: n={} p={} q={} e={} r={} t={}",
-        run.mapping.n, run.mapping.p, run.mapping.q,
-        run.mapping.e, run.mapping.r, run.mapping.t);
-    println!("cycles: {}   utilization: {:.1}%",
-        run.stats.cycles, 100.0 * run.stats.utilization(168));
+    println!(
+        "\nSimulated {} MACs on the 168-PE chip — bit-exact against the golden model.",
+        run.stats.macs
+    );
+    println!(
+        "mapping: n={} p={} q={} e={} r={} t={}",
+        run.mapping.n, run.mapping.p, run.mapping.q, run.mapping.e, run.mapping.r, run.mapping.t
+    );
+    println!(
+        "cycles: {}   utilization: {:.1}%",
+        run.stats.cycles,
+        100.0 * run.stats.utilization(168)
+    );
     println!(
         "measured RF : (buffer+array) energy ratio = {:.2} (chip measured ~4:1 for CONV)",
         run.stats.rf_to_onchip_rest_ratio(&em)

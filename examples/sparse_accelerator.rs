@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bias = synth::biases(&shape, 8);
     let em = EnergyModel::table_iv();
 
-    println!("CONV layer {}x{} filters, sweeping ifmap sparsity:", shape.r, shape.r);
+    println!(
+        "CONV layer {}x{} filters, sweeping ifmap sparsity:",
+        shape.r, shape.r
+    );
     println!(
         "{:>9}  {:>10}  {:>12}  {:>12}  {:>12}",
         "sparsity", "MACs gated", "RLC ratio", "energy/MAC", "vs dense"

@@ -58,12 +58,16 @@ impl Net {
         chip: &mut Accelerator,
     ) -> (Tensor4<Fix16>, Vec<SimStats>) {
         let mut all_stats = Vec::new();
-        let r1 = chip.run_conv(&self.conv1, n, input, &self.w1, &self.b1).unwrap();
+        let r1 = chip
+            .run_conv(&self.conv1, n, input, &self.w1, &self.b1)
+            .unwrap();
         all_stats.push(r1.stats.clone());
         let a1 = r1.ofmap();
         let (p1, pool_stats) = chip.run_pool(&self.pool1, n, &a1);
         all_stats.push(pool_stats);
-        let r2 = chip.run_conv(&self.conv2, n, &p1, &self.w2, &self.b2).unwrap();
+        let r2 = chip
+            .run_conv(&self.conv2, n, &p1, &self.w2, &self.b2)
+            .unwrap();
         all_stats.push(r2.stats.clone());
         let a2 = r2.ofmap();
         let rf = chip.run_conv(&self.fc, n, &a2, &self.wf, &self.bf).unwrap();

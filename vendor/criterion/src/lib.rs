@@ -1,0 +1,205 @@
+//! API-compatible subset of `criterion` for offline builds.
+//!
+//! Each `bench_function` runs its routine `sample_size` times (after one
+//! warm-up call), reports mean / min / max wall-clock time per iteration,
+//! and derives element throughput when set. There is no statistical
+//! analysis, outlier rejection or HTML report — swap the path dependency
+//! for the real crates.io `criterion` to get those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{rate}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+    );
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("in_group", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn durations_format_by_scale() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,449 @@
+//! API-compatible subset of `proptest` for offline builds.
+//!
+//! Implements the surface this workspace uses — the [`proptest!`] macro,
+//! `prop_assert*` / `prop_assume!`, range/tuple/mapped strategies,
+//! [`arbitrary::any`], [`array::uniform4`] and [`collection::vec`] — as
+//! plain seeded random sampling. Unlike the real crate there is **no
+//! shrinking** and no failure persistence: a failing case panics with the
+//! sampled inputs' debug representation instead of a minimized one.
+//! Sampling is deterministic per test (seeded from the test name), so
+//! failures reproduce across runs.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values (subset of `proptest::strategy::Strategy`).
+    ///
+    /// Real proptest separates strategies from value trees to support
+    /// shrinking; this stand-in samples values directly.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0 => 0, S1 => 1);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+
+    /// Strategy for a whole primitive type's range (see [`crate::arbitrary::any`]).
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    macro_rules! impl_any_int {
+        ($($ty:ty),+ $(,)?) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+                }
+            }
+        )+};
+    }
+
+    impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// Strategy covering the full range of `T` (subset of `proptest::arbitrary::any`).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: super::strategy::Strategy,
+    {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `[S::Value; 4]` (subset of `proptest::array::uniform4`).
+    pub fn uniform4<S: Strategy>(s: S) -> Uniform4<S> {
+        Uniform4 { inner: s }
+    }
+
+    /// Strategy produced by [`uniform4`].
+    pub struct Uniform4<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            [
+                self.inner.sample(rng),
+                self.inner.sample(rng),
+                self.inner.sample(rng),
+                self.inner.sample(rng),
+            ]
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with length drawn from `size` (subset of
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-block configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the heavier
+            // simulator-driven properties fast while still sweeping the
+            // space (all workspace uses are either cheap or override this).
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass (subset of `TestCaseError`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// A `prop_assert*` failed; the test panics.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// True for [`TestCaseError::Reject`].
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Result type each generated test case evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test generator, seeded from the test's name so
+    /// different properties explore different sequences but each run of
+    /// the suite reproduces exactly.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests (subset of `proptest::proptest!`).
+///
+/// Supports the `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg(<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(50).max(1000);
+            while accepted < cfg.cases {
+                if attempts >= max_attempts {
+                    panic!(
+                        "proptest '{}': too many rejections ({} accepted of {} wanted after {} attempts)",
+                        stringify!($name), accepted, cfg.cases, attempts
+                    );
+                }
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let case: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match case {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(e) if e.is_rejection() => continue,
+                    ::core::result::Result::Err(e) => panic!(
+                        "proptest '{}' failed: {}\n(no shrinking in the offline stand-in; inputs above are as sampled)",
+                        stringify!($name), e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case's inputs, causing a redraw.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..10, y in -5i16..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(v in (1usize..4, 1usize..4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..16).contains(&v));
+        }
+
+        #[test]
+        fn assume_redraws(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_size(v in crate::collection::vec(0i16..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn arrays_sample_elementwise(a in crate::array::uniform4(1usize..5)) {
+            prop_assert!(a.iter().all(|&e| (1..5).contains(&e)));
+        }
+
+        #[test]
+        fn any_covers_type(x in any::<i16>()) {
+            // Round-trips through i32 losslessly; exercises the Any strategy.
+            prop_assert_eq!(i16::try_from(i32::from(x)), Ok(x));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("t");
+        let mut b = crate::test_runner::rng_for("t");
+        let s = 0usize..1000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Marker-trait stand-in for `serde`, for offline builds.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus the derive attributes to compile. The traits are inert markers;
+//! the derives (re-exported from the sibling `serde_derive` stub) expand
+//! to nothing. Swap this path dependency for the real crates.io `serde`
+//! to get actual serialization support.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Inert marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Inert marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
