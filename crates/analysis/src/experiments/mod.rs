@@ -16,6 +16,7 @@
 //! | ablation | [`rf_sweep`] | the Section VI-B "512 B RF is optimal" design choice |
 //! | ablation | [`sensitivity`] | dataflow ranking under perturbed Table IV costs |
 //! | extension | [`cluster_scaling`] | 1/2/4/8-array partitioned scaling (beyond the paper) |
+//! | extension | [`serving`] | plan-cache compilation reports and the offered-load serving sweep |
 
 pub mod cluster_scaling;
 pub mod fig10;
@@ -27,4 +28,5 @@ pub mod fig15;
 pub mod fig7;
 pub mod rf_sweep;
 pub mod sensitivity;
+pub mod serving;
 pub mod sweep;

@@ -1,0 +1,390 @@
+//! Serving (beyond the paper): plan compilation on real networks and an
+//! offered-load sweep on the `eyeriss-serve` runtime.
+//!
+//! Two views, mirroring [`super::cluster_scaling`]'s analytic/measured
+//! split:
+//!
+//! * [`compile_alexnet`] / [`compile_vgg`] — the **plan-compilation
+//!   report**: every CONV layer of the network is compiled through the
+//!   content-keyed plan cache, showing which layers share plans (VGG's
+//!   stacked 3×3 stages) and the per-layer `(partition, mapping)` each
+//!   plan chose.
+//! * [`sweep_synthetic`] — the **measured offered-load sweep**: an
+//!   open-loop client drives a live [`eyeriss_serve::Server`] at
+//!   multiples of its calibrated capacity and records achieved
+//!   throughput plus p50/p99 latency at each point — the canonical
+//!   latency/throughput serving curve.
+
+use crate::table::TextTable;
+use eyeriss_arch::AcceleratorConfig;
+use eyeriss_nn::network::{Network, NetworkBuilder};
+use eyeriss_nn::shape::NamedLayer;
+use eyeriss_nn::{alexnet, synth, vgg};
+use eyeriss_serve::{BatchPolicy, CacheStats, PlanCompiler, ServeConfig, Server, ServerStats};
+use std::time::{Duration, Instant};
+
+/// One compiled layer of a [`CompileReport`].
+#[derive(Debug, Clone)]
+pub struct LayerPlanRow {
+    /// Layer name.
+    pub name: String,
+    /// Chosen partition label.
+    pub partition: String,
+    /// Analytic cluster delay (MAC-time units).
+    pub delay: f64,
+    /// Analytic energy (normalized units).
+    pub energy: f64,
+    /// Whether the shared DRAM channel bounds this layer.
+    pub bandwidth_bound: bool,
+}
+
+/// Plan compilation of one network's CONV layers through the plan cache.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Network name.
+    pub network: String,
+    /// Cluster width compiled for.
+    pub arrays: usize,
+    /// Batch size compiled for.
+    pub batch: usize,
+    /// One row per layer, in network order.
+    pub layers: Vec<LayerPlanRow>,
+    /// Cache counters after compiling the whole network.
+    pub cache: CacheStats,
+    /// Wall-clock compile time.
+    pub compile_time: Duration,
+}
+
+impl CompileReport {
+    /// Summed analytic delay — the capacity model's per-inference cost.
+    pub fn analytic_delay(&self) -> f64 {
+        self.layers.iter().map(|l| l.delay).sum()
+    }
+}
+
+fn compile_layers(
+    network: &str,
+    layers: &[NamedLayer],
+    arrays: usize,
+    batch: usize,
+) -> CompileReport {
+    let compiler = PlanCompiler::new(arrays, AcceleratorConfig::eyeriss_chip());
+    let start = Instant::now();
+    let plans = compiler
+        .compile_layers(layers, batch)
+        .expect("paper networks plan on small clusters");
+    let compile_time = start.elapsed();
+    CompileReport {
+        network: network.to_string(),
+        arrays,
+        batch,
+        layers: plans
+            .into_iter()
+            .map(|(name, plan)| LayerPlanRow {
+                name,
+                partition: plan.partition.label(),
+                delay: plan.delay,
+                energy: plan.energy,
+                bandwidth_bound: plan.bandwidth_bound(),
+            })
+            .collect(),
+        cache: compiler.cache().stats(),
+        compile_time,
+    }
+}
+
+/// Compiles AlexNet's five CONV layers (batch 4, four arrays).
+pub fn compile_alexnet() -> CompileReport {
+    compile_layers("AlexNet", &alexnet::conv_layers(), 4, 4)
+}
+
+/// Compiles VGG-16's thirteen CONV layers (batch 1, two arrays): the
+/// repeated-shape showcase — only nine distinct plans are searched.
+pub fn compile_vgg() -> CompileReport {
+    compile_layers("VGG-16", &vgg::conv_layers(), 2, 1)
+}
+
+/// Renders a compile report as a text table.
+pub fn render_compile(report: &CompileReport) -> String {
+    let mut t = TextTable::new(vec![
+        "layer".into(),
+        "partition".into(),
+        "delay".into(),
+        "energy".into(),
+        "BW-bound".into(),
+    ]);
+    for l in &report.layers {
+        t.row(vec![
+            l.name.clone(),
+            l.partition.clone(),
+            format!("{:.3e}", l.delay),
+            format!("{:.3e}", l.energy),
+            if l.bandwidth_bound { "yes" } else { "" }.into(),
+        ]);
+    }
+    format!(
+        "Plan compilation — {} CONV layers, batch {}, {} arrays\n\
+         {} searches, {} cache hits (hit rate {:.0}%), compiled in {:.0} ms\n{}",
+        report.network,
+        report.batch,
+        report.arrays,
+        report.cache.misses,
+        report.cache.hits,
+        report.cache.hit_rate() * 100.0,
+        report.compile_time.as_secs_f64() * 1e3,
+        t.render()
+    )
+}
+
+/// One operating point of the offered-load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Offered arrival rate, requests/second.
+    pub offered_rps: f64,
+    /// Requests completed (all of them — the client blocks, it does not
+    /// shed).
+    pub completed: usize,
+    /// Achieved throughput: completions / (first submit → last
+    /// completion).
+    pub achieved_rps: f64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+    /// Mean time spent queued.
+    pub mean_queue: Duration,
+    /// Mean executed batch size at this load.
+    pub mean_batch: f64,
+}
+
+/// The measured latency/throughput curve of one server configuration.
+#[derive(Debug, Clone)]
+pub struct ServingSweep {
+    /// Network name.
+    pub network: String,
+    /// Calibrated single-server capacity estimate, requests/second.
+    pub capacity_rps: f64,
+    /// One point per offered load, in increasing-load order.
+    pub points: Vec<LoadPoint>,
+}
+
+impl ServingSweep {
+    /// True when achieved throughput is non-decreasing (within
+    /// `tolerance`, e.g. `0.15`) across the increasing-load points —
+    /// i.e. the server scales up to saturation and then holds its
+    /// saturated throughput instead of collapsing.
+    pub fn throughput_is_monotone(&self, tolerance: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].achieved_rps >= w[0].achieved_rps * (1.0 - tolerance))
+    }
+}
+
+/// The small synthetic network the measured sweep serves: big enough
+/// that one inference costs measurable simulation time, small enough to
+/// sweep in seconds.
+pub fn synthetic_net() -> Network {
+    NetworkBuilder::new(3, 31)
+        .conv("C1", 12, 3, 2)
+        .expect("valid synthetic stage")
+        .pool("P1", 3, 2)
+        .expect("valid synthetic stage")
+        .conv("C2", 16, 3, 1)
+        .expect("valid synthetic stage")
+        .fully_connected("FC", 10)
+        .expect("valid synthetic stage")
+        .build(17)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        arrays: 2,
+        workers: 2,
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+        },
+        queue_capacity: 64,
+        hw: AcceleratorConfig::eyeriss_chip(),
+    }
+}
+
+/// Runs `requests` open-loop requests at `offered_rps` against a fresh
+/// server for `net` (sharing `compiler`'s plan cache, so only the first
+/// point of a sweep pays any searches), returning the completed-run
+/// statistics and the client-observed makespan.
+fn drive(
+    net: &Network,
+    cfg: &ServeConfig,
+    compiler: &PlanCompiler,
+    offered_rps: f64,
+    requests: usize,
+) -> (ServerStats, Duration) {
+    let shape = net.stages()[0].shape;
+    let server = Server::start_with_compiler(net.clone(), cfg.clone(), compiler.clone());
+    // Compile plans for every batch size the batcher can form, then warm
+    // the execution path, so the sweep measures steady-state serving —
+    // no mid-measurement plan search at any load point (and, from the
+    // second drive on, no searches at all: the cache is shared).
+    server.prewarm().expect("synthetic network plans");
+    for warm in 0..2 {
+        let input = synth::ifmap(&shape, 1, 1000 + warm);
+        server
+            .submit(input)
+            .expect("warmup submit")
+            .wait()
+            .expect("warmup inference");
+    }
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(requests);
+    for i in 0..requests {
+        // Absolute pacing: sleep to the schedule, not between submits,
+        // so submit latency does not skew the offered rate.
+        let due = start + interval * i as u32;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let input = synth::ifmap(&shape, 1, i as u64);
+        handles.push(server.submit(input).expect("open-loop submit"));
+    }
+    for handle in handles {
+        handle.wait().expect("open-loop inference");
+    }
+    let makespan = start.elapsed();
+    let mut stats = server.shutdown();
+    // Drop the warmup records so percentiles reflect the measured load.
+    stats.records.retain(|r| r.id >= 2);
+    (stats, makespan)
+}
+
+/// Calibrates a capacity estimate: the steady-state rate of one worker
+/// pool fed as fast as it can drain (a burst of full batches).
+fn calibrate(net: &Network, cfg: &ServeConfig, compiler: &PlanCompiler) -> f64 {
+    let burst = (cfg.workers * cfg.policy.max_batch * 2).max(8);
+    // An absurdly high offered rate degenerates into a burst.
+    let (_, makespan) = drive(net, cfg, compiler, 1e6, burst);
+    burst as f64 / makespan.as_secs_f64()
+}
+
+/// Sweeps offered load over `multiples` of the calibrated capacity with
+/// `requests` open-loop requests per point. One plan cache is shared
+/// across every point's server, so only calibration pays the searches.
+pub fn sweep_network(
+    net: &Network,
+    name: &str,
+    cfg: &ServeConfig,
+    multiples: &[f64],
+    requests: usize,
+) -> ServingSweep {
+    let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+    let capacity_rps = calibrate(net, cfg, &compiler);
+    let points = multiples
+        .iter()
+        .map(|&mult| {
+            let offered = (capacity_rps * mult).max(1.0);
+            let (stats, makespan) = drive(net, cfg, &compiler, offered, requests);
+            LoadPoint {
+                offered_rps: offered,
+                completed: stats.completed(),
+                achieved_rps: stats.completed() as f64 / makespan.as_secs_f64(),
+                p50: stats.p50(),
+                p99: stats.p99(),
+                mean_queue: stats.mean_queue(),
+                mean_batch: stats.mean_batch(),
+            }
+        })
+        .collect();
+    ServingSweep {
+        network: name.to_string(),
+        capacity_rps,
+        points,
+    }
+}
+
+/// The default measured sweep: the synthetic network at 0.25/0.5/1/2/4×
+/// calibrated capacity, 32 requests per point.
+pub fn sweep_synthetic() -> ServingSweep {
+    sweep_network(
+        &synthetic_net(),
+        "synthetic",
+        &serve_config(),
+        &[0.25, 0.5, 1.0, 2.0, 4.0],
+        32,
+    )
+}
+
+/// Renders a sweep as a text table.
+pub fn render_sweep(sweep: &ServingSweep) -> String {
+    let mut t = TextTable::new(vec![
+        "offered rps".into(),
+        "achieved rps".into(),
+        "p50".into(),
+        "p99".into(),
+        "mean queue".into(),
+        "mean batch".into(),
+    ]);
+    for p in &sweep.points {
+        t.row(vec![
+            format!("{:.0}", p.offered_rps),
+            format!("{:.0}", p.achieved_rps),
+            format!("{:.2} ms", p.p50.as_secs_f64() * 1e3),
+            format!("{:.2} ms", p.p99.as_secs_f64() * 1e3),
+            format!("{:.2} ms", p.mean_queue.as_secs_f64() * 1e3),
+            format!("{:.2}", p.mean_batch),
+        ]);
+    }
+    format!(
+        "Offered-load sweep — {} network, capacity ≈ {:.0} rps\n{}",
+        sweep.network,
+        sweep.capacity_rps,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_compile_report_hits_the_cache() {
+        let report = compile_vgg();
+        assert_eq!(report.layers.len(), 13);
+        assert_eq!(report.cache.misses, 9, "9 distinct VGG CONV shapes");
+        assert_eq!(report.cache.hits, 4);
+        assert!(report.cache.hit_rate() > 0.0);
+        assert!(report.analytic_delay() > 0.0);
+        assert!(render_compile(&report).contains("cache hits"));
+    }
+
+    #[test]
+    fn alexnet_compile_report_covers_every_layer() {
+        let report = compile_alexnet();
+        assert_eq!(report.layers.len(), 5);
+        // AlexNet's five CONV shapes are all distinct: no hits expected.
+        assert_eq!(report.cache.misses, 5);
+        assert!(report.layers.iter().all(|l| l.delay > 0.0));
+    }
+
+    #[test]
+    fn small_sweep_records_latency_and_throughput() {
+        // A reduced sweep keeps the measured test quick; the full-size
+        // monotonicity claim is exercised by the root serving test.
+        let sweep = sweep_network(
+            &synthetic_net(),
+            "synthetic",
+            &serve_config(),
+            &[0.5, 4.0],
+            8,
+        );
+        assert!(sweep.capacity_rps > 0.0);
+        assert_eq!(sweep.points.len(), 2);
+        for p in &sweep.points {
+            assert_eq!(p.completed, 8);
+            assert!(p.achieved_rps > 0.0);
+            assert!(p.p99 >= p.p50);
+        }
+        assert!(render_sweep(&sweep).contains("achieved rps"));
+    }
+}

@@ -3,10 +3,11 @@
 
 use crate::metrics::{DataflowRun, LayerRun};
 use eyeriss_arch::energy::EnergyModel;
-use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
+use eyeriss_dataflow::search::{best_mappings_with, comparison_hardware, Objective};
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::alexnet;
 use eyeriss_nn::shape::NamedLayer;
+use eyeriss_nn::LayerShape;
 
 /// Optimizes `kind` over `layers` at batch `batch` on a `num_pes` array.
 ///
@@ -32,9 +33,13 @@ pub fn run_layers_on(
     hw: &eyeriss_arch::AcceleratorConfig,
 ) -> Option<DataflowRun> {
     let em = EnergyModel::table_iv();
+    // Repeated shapes (all of VGG's stacked 3x3 stages, say) share one
+    // search through the deduplicating batch entry point.
+    let problems: Vec<(LayerShape, usize)> = layers.iter().map(|l| (l.shape, batch)).collect();
+    let mappings = best_mappings_with(kind, &problems, hw, &em, Objective::Energy);
     let mut out = Vec::with_capacity(layers.len());
-    for layer in layers {
-        let best = best_mapping(kind, &layer.shape, batch, hw, &em)?;
+    for (layer, best) in layers.iter().zip(mappings) {
+        let best = best?;
         out.push(LayerRun {
             name: layer.name.clone(),
             macs: layer.shape.macs(batch) as f64,

@@ -1,0 +1,70 @@
+//! Serving latency: plan-cache hit vs miss compile cost, and end-to-end
+//! request latency through the server at batch sizes 1 and 4.
+//!
+//! The cache-miss case runs the full `(partition, mapping)` search; the
+//! hit case is a hash lookup — the gap is the configuration cost the
+//! serving runtime amortizes across requests.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eyeriss::prelude::*;
+use eyeriss::serve::ServeConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let shape = LayerShape::conv(16, 8, 31, 5, 2).unwrap();
+    let hw = AcceleratorConfig::eyeriss_chip();
+
+    let mut group = c.benchmark_group("serve");
+
+    group.bench_function("plan_compile_miss", |b| {
+        b.iter(|| {
+            // Fresh compiler: every compile is a full search.
+            let compiler = PlanCompiler::new(2, hw);
+            std::hint::black_box(compiler.compile_layer(&shape, 4).unwrap())
+        })
+    });
+
+    let warm = PlanCompiler::new(2, hw);
+    warm.compile_layer(&shape, 4).unwrap();
+    group.bench_function("plan_compile_hit", |b| {
+        b.iter(|| std::hint::black_box(warm.compile_layer(&shape, 4).unwrap()))
+    });
+
+    // End-to-end: submit -> batch -> planned cluster execution -> response.
+    let net = eyeriss::analysis::experiments::serving::synthetic_net();
+    let in_shape = net.stages()[0].shape;
+    for max_batch in [1usize, 4] {
+        let mut cfg = ServeConfig::new();
+        cfg.policy = BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(1),
+        };
+        let server = Server::start(net.clone(), cfg);
+        // Warm the plan cache out of band.
+        server
+            .submit(synth::ifmap(&in_shape, 1, 0))
+            .unwrap()
+            .wait()
+            .unwrap();
+        group.throughput(Throughput::Elements(max_batch as u64));
+        group.bench_function(&format!("e2e_batch{max_batch}"), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..max_batch)
+                    .map(|i| server.submit(synth::ifmap(&in_shape, 1, i as u64)).unwrap())
+                    .collect();
+                for handle in handles {
+                    std::hint::black_box(handle.wait().unwrap());
+                }
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

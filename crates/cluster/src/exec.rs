@@ -9,6 +9,7 @@
 use crate::contention::SharedDram;
 use crate::error::ClusterError;
 use crate::partition::{split, Partition, SubProblem, Tile};
+use crate::plan::ClusterPlan;
 use crate::stats::{merge_stats, ClusterStats};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_nn::{reference, Fix16, LayerShape, Tensor4};
@@ -144,7 +145,57 @@ impl Cluster {
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
         let subs = split(partition, shape, n_batch, self.arrays)?;
+        self.execute_subproblems(partition, shape, n_batch, subs, input, weights, bias)
+    }
 
+    /// Executes one layer from a precompiled [`ClusterPlan`] — the
+    /// serving path: partitioning and mapping search already happened at
+    /// plan-compile time, so this only validates that the plan matches
+    /// `(shape, n_batch)` and this cluster's width, then runs the tiles.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ClusterError::Infeasible`] if the plan was compiled
+    /// for a different layer shape, batch size or array count, or if any
+    /// array's simulation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`.
+    pub fn run_planned(
+        &self,
+        plan: &ClusterPlan,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<ClusterRun, ClusterError> {
+        if plan.arrays != self.arrays {
+            return Err(ClusterError::infeasible(format!(
+                "plan compiled for {} arrays, cluster has {}",
+                plan.arrays, self.arrays
+            )));
+        }
+        let subs = plan.subproblems();
+        validate_coverage(&subs, shape, n_batch)?;
+        self.execute_subproblems(plan.partition, shape, n_batch, subs, input, weights, bias)
+    }
+
+    /// Runs prepared sub-problems — one thread per array — and
+    /// reassembles psums and statistics. Shared tail of
+    /// [`Cluster::run_conv`] and [`Cluster::run_planned`].
+    #[allow(clippy::too_many_arguments)]
+    fn execute_subproblems(
+        &self,
+        partition: Partition,
+        shape: &LayerShape,
+        n_batch: usize,
+        subs: Vec<SubProblem>,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<ClusterRun, ClusterError> {
         type TileOut = (Tile, Tensor4<i32>);
         let per_array: Vec<Result<(Vec<TileOut>, SimStats), ClusterError>> =
             eyeriss_par::par_map(subs, |sub: SubProblem| {
@@ -215,6 +266,42 @@ fn tile_input(input: &Tensor4<Fix16>, orig: &LayerShape, tile: &Tile) -> Tensor4
             Fix16::ZERO
         }
     })
+}
+
+/// Checks that `subs` describe exactly the output volume of `(shape, n)`:
+/// every tile stays in bounds, shares the layer's kernel geometry, and
+/// the kept outputs sum to the full `n·M·E²` volume. Disjointness holds
+/// by construction for plans built from [`crate::partition::split`]; the
+/// volume check catches a plan compiled for a different layer or batch.
+fn validate_coverage(
+    subs: &[SubProblem],
+    shape: &LayerShape,
+    n: usize,
+) -> Result<(), ClusterError> {
+    let mut kept: u64 = 0;
+    for tile in subs.iter().flat_map(|s| &s.tiles) {
+        let in_bounds = tile.img0 + tile.n <= n
+            && tile.m0 + tile.shape.m <= shape.m
+            && tile.y0 + tile.keep_y <= shape.e
+            && tile.x0 + tile.keep_x <= shape.e
+            && tile.keep_y <= tile.shape.e
+            && tile.keep_x <= tile.shape.e;
+        let same_kernel =
+            tile.shape.c == shape.c && tile.shape.r == shape.r && tile.shape.u == shape.u;
+        if !in_bounds || !same_kernel {
+            return Err(ClusterError::infeasible(
+                "plan does not match this layer shape/batch",
+            ));
+        }
+        kept += (tile.n * tile.shape.m * tile.keep_y * tile.keep_x) as u64;
+    }
+    let want = n as u64 * shape.m as u64 * (shape.e * shape.e) as u64;
+    if kept != want {
+        return Err(ClusterError::infeasible(format!(
+            "plan covers {kept} outputs, layer has {want}"
+        )));
+    }
+    Ok(())
 }
 
 /// Extracts the filter-bank slice `m0..m0 + shape.m` a tile needs.
@@ -364,6 +451,79 @@ mod tests {
         let run = check_bit_exact(&shape, 2, 2, Partition::Batch);
         let quantized = run.ofmap();
         assert!(quantized.iter().all(|v| v.raw() >= 0), "ReLU not applied");
+    }
+
+    #[test]
+    fn planned_execution_is_bit_exact_and_reusable() {
+        use crate::plan::plan_layer;
+        use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_dataflow::search::Objective;
+        use eyeriss_dataflow::DataflowKind;
+
+        let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let hw = small_config();
+        let plan = plan_layer(
+            DataflowKind::RowStationary,
+            &shape,
+            4,
+            2,
+            &hw,
+            &EnergyModel::table_iv(),
+            &SharedDram::scaled(2),
+            Objective::EnergyDelayProduct,
+        )
+        .unwrap();
+        let cluster = Cluster::new(2, hw);
+        // The same compiled plan serves several requests.
+        for seed in [5u64, 6, 7] {
+            let input = synth::ifmap(&shape, 4, seed);
+            let weights = synth::filters(&shape, seed + 100);
+            let bias = synth::biases(&shape, seed + 200);
+            let run = cluster
+                .run_planned(&plan, &shape, 4, &input, &weights, &bias)
+                .unwrap();
+            let golden = reference::conv_accumulate(&shape, 4, &input, &weights, &bias);
+            assert_eq!(run.psums, golden, "planned run diverged (seed {seed})");
+            assert_eq!(run.partition, plan.partition);
+        }
+    }
+
+    #[test]
+    fn planned_execution_rejects_mismatched_plan() {
+        use crate::plan::plan_layer;
+        use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_dataflow::search::Objective;
+        use eyeriss_dataflow::DataflowKind;
+
+        let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let hw = small_config();
+        let plan = plan_layer(
+            DataflowKind::RowStationary,
+            &shape,
+            4,
+            2,
+            &hw,
+            &EnergyModel::table_iv(),
+            &SharedDram::scaled(2),
+            Objective::Energy,
+        )
+        .unwrap();
+        // Wrong cluster width.
+        let wide = Cluster::new(4, hw);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let err = wide
+            .run_planned(&plan, &shape, 4, &input, &weights, &bias)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Infeasible(_)));
+        // Wrong batch for the plan (tensors sized for the claimed batch).
+        let cluster = Cluster::new(2, hw);
+        let input2 = synth::ifmap(&shape, 2, 1);
+        let err = cluster
+            .run_planned(&plan, &shape, 2, &input2, &weights, &bias)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Infeasible(_)));
     }
 
     #[test]

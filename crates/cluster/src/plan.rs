@@ -11,14 +11,13 @@
 //! single-array optimizer.
 
 use crate::contention::SharedDram;
-use crate::partition::{enumerate, split, Partition, Tile};
+use crate::partition::{enumerate, split, Partition, SubProblem, Tile};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::energy::EnergyModel;
-use eyeriss_dataflow::search::{best_mapping_with, Objective};
+use eyeriss_dataflow::search::{MappingMemo, Objective};
 use eyeriss_dataflow::{DataflowKind, MappingCandidate};
 use eyeriss_nn::LayerShape;
-use std::collections::HashMap;
 
 /// One tile with its optimal per-array mapping.
 #[derive(Debug, Clone)]
@@ -89,6 +88,20 @@ impl ClusterPlan {
     pub fn bandwidth_bound(&self) -> bool {
         self.dram_delay >= self.delay
     }
+
+    /// Reconstructs the executor sub-problems this plan describes (each
+    /// array's tiles, in array order), so a runtime can execute a cached
+    /// plan via [`crate::Cluster::run_planned`] without re-partitioning
+    /// or re-searching.
+    pub fn subproblems(&self) -> Vec<SubProblem> {
+        self.per_array
+            .iter()
+            .map(|a| SubProblem {
+                array_id: a.array_id,
+                tiles: a.tiles.iter().map(|t| t.tile.clone()).collect(),
+            })
+            .collect()
+    }
 }
 
 /// Sums the access profiles of every tile across `per_array`.
@@ -118,19 +131,32 @@ pub fn plan_partition(
     shared: &SharedDram,
     objective: Objective,
 ) -> Option<ClusterPlan> {
+    let mut memo = MappingMemo::new(hw, em, objective);
+    plan_partition_memo(&mut memo, kind, partition, shape, n, arrays, em, shared)
+}
+
+/// [`plan_partition`] against a caller-owned [`MappingMemo`], so distinct
+/// `(shape, n)` sub-problems — which repeat both *within* a partition
+/// (balanced chunking yields at most two distinct sizes per dimension)
+/// and *across* the partitions a layer search enumerates — are each
+/// mapped exactly once.
+#[allow(clippy::too_many_arguments)]
+fn plan_partition_memo(
+    memo: &mut MappingMemo<'_>,
+    kind: DataflowKind,
+    partition: Partition,
+    shape: &LayerShape,
+    n: usize,
+    arrays: usize,
+    em: &EnergyModel,
+    shared: &SharedDram,
+) -> Option<ClusterPlan> {
     let subs = split(partition, shape, n, arrays).ok()?;
-    // Distinct (shape, n) sub-problems repeat across arrays (balanced
-    // chunking yields at most two distinct sizes per dimension); memoize
-    // the mapping search.
-    let mut memo: HashMap<(LayerShape, usize), Option<MappingCandidate>> = HashMap::new();
     let mut per_array = Vec::with_capacity(subs.len());
     for sub in subs {
         let mut tiles = Vec::with_capacity(sub.tiles.len());
         for tile in sub.tiles {
-            let mapping = memo
-                .entry((tile.shape, tile.n))
-                .or_insert_with(|| best_mapping_with(kind, &tile.shape, tile.n, hw, em, objective))
-                .clone()?;
+            let mapping = memo.best(kind, &tile.shape, tile.n)?;
             tiles.push(TilePlan { tile, mapping });
         }
         per_array.push(ArrayPlan {
@@ -195,9 +221,13 @@ pub fn plan_layer(
             Objective::EnergyDelayProduct => p.edp(),
         }
     };
+    // One memo across every enumerated partition: sub-shapes recur from
+    // partition to partition (idle splits, balanced chunk sizes), so the
+    // shared memo turns the layer search into one scan per distinct tile.
+    let mut memo = MappingMemo::new(hw, em, objective);
     enumerate(shape, n, arrays)
         .into_iter()
-        .filter_map(|p| plan_partition(kind, p, shape, n, arrays, hw, em, shared, objective))
+        .filter_map(|p| plan_partition_memo(&mut memo, kind, p, shape, n, arrays, em, shared))
         .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
 }
 

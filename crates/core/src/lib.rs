@@ -17,6 +17,9 @@
 //! * [`cluster`] — multi-array partitioning and parallel scheduling:
 //!   batch/channel/tile/hybrid partitions co-optimized with the mapping
 //!   search and executed bit-exactly across arrays (beyond the paper).
+//! * [`serve`] — the inference-serving runtime: plan compilation into a
+//!   content-keyed cache, dynamic batching and a multi-array scheduler
+//!   with per-request latency accounting (beyond the paper).
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@ pub use eyeriss_arch as arch;
 pub use eyeriss_cluster as cluster;
 pub use eyeriss_dataflow as dataflow;
 pub use eyeriss_nn as nn;
+pub use eyeriss_serve as serve;
 pub use eyeriss_sim as sim;
 
 /// One-stop imports for the common workflows.
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
     pub use eyeriss_dataflow::{DataflowKind, MappingCandidate};
     pub use eyeriss_nn::{alexnet, reference, synth, Fix16, LayerShape, Tensor4};
+    pub use eyeriss_serve::{BatchPolicy, PlanCompiler, ServeConfig, Server};
     pub use eyeriss_sim::{Accelerator, SimStats};
 }
 

@@ -1,7 +1,31 @@
 //! Candidate mappings produced by the dataflow models.
 
+use crate::kind::DataflowKind;
 use eyeriss_arch::access::LayerAccessProfile;
 use std::fmt;
+
+/// A [`MappingParams`] value was interrogated as the wrong dataflow's
+/// variant. Carrying both sides lets callers (e.g. a serving worker
+/// validating a cached plan) report the mismatch instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamsMismatch {
+    /// The variant the caller asked for.
+    pub expected: DataflowKind,
+    /// The variant the candidate actually carries.
+    pub actual: DataflowKind,
+}
+
+impl fmt::Display for ParamsMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping params are {} but {} was requested",
+            self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParamsMismatch {}
 
 /// The mapping parameters of a candidate, for display and debugging.
 ///
@@ -71,6 +95,32 @@ pub enum MappingParams {
         /// Whether a full ifmap plane stays resident in the buffer.
         ifmap_resident: bool,
     },
+}
+
+impl MappingParams {
+    /// The dataflow whose knobs this variant carries.
+    pub fn kind(&self) -> DataflowKind {
+        match self {
+            MappingParams::RowStationary { .. } => DataflowKind::RowStationary,
+            MappingParams::WeightStationary { .. } => DataflowKind::WeightStationary,
+            MappingParams::OutputStationaryA { .. } => DataflowKind::OutputStationaryA,
+            MappingParams::OutputStationaryB { .. } => DataflowKind::OutputStationaryB,
+            MappingParams::OutputStationaryC { .. } => DataflowKind::OutputStationaryC,
+            MappingParams::NoLocalReuse { .. } => DataflowKind::NoLocalReuse,
+        }
+    }
+
+    /// Checks that the params belong to `expected`, returning the typed
+    /// [`ParamsMismatch`] otherwise — the non-panicking alternative to
+    /// destructuring a single variant with a `panic!` fallback.
+    pub fn expect_kind(&self, expected: DataflowKind) -> Result<&MappingParams, ParamsMismatch> {
+        let actual = self.kind();
+        if actual == expected {
+            Ok(self)
+        } else {
+            Err(ParamsMismatch { expected, actual })
+        }
+    }
 }
 
 impl fmt::Display for MappingParams {
@@ -152,6 +202,22 @@ mod tests {
         for needle in ["n=1", "p=2", "q=3", "e=4", "r=5", "t=6", "filter"] {
             assert!(s.contains(needle), "{s} missing {needle}");
         }
+    }
+
+    #[test]
+    fn kind_matches_variant() {
+        let p = MappingParams::OutputStationaryC { o_m: 4, n_par: 2 };
+        assert_eq!(p.kind(), DataflowKind::OutputStationaryC);
+        assert!(p.expect_kind(DataflowKind::OutputStationaryC).is_ok());
+    }
+
+    #[test]
+    fn expect_kind_mismatch_is_a_typed_error() {
+        let p = MappingParams::WeightStationary { g_m: 2, g_c: 3 };
+        let err = p.expect_kind(DataflowKind::RowStationary).unwrap_err();
+        assert_eq!(err.expected, DataflowKind::RowStationary);
+        assert_eq!(err.actual, DataflowKind::WeightStationary);
+        assert!(err.to_string().contains("WS"));
     }
 
     #[test]

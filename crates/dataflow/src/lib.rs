@@ -44,7 +44,7 @@ pub mod search;
 pub mod split;
 pub mod ws;
 
-pub use candidate::MappingCandidate;
+pub use candidate::{MappingCandidate, MappingParams, ParamsMismatch};
 pub use kind::DataflowKind;
 pub use model::DataflowModel;
 pub use split::ReuseSplit;

@@ -170,19 +170,24 @@ mod tests {
     }
 
     #[test]
-    fn fc_ifmap_reads_have_no_conv_penalty() {
+    fn fc_ifmap_reads_have_no_conv_penalty() -> Result<(), crate::candidate::ParamsMismatch> {
         // FC layers have R = H: each position reads the whole input once,
         // so OSC's window refetch penalty vanishes (it suits FC).
         let fc2 = &alexnet::fc_layers()[1].shape;
         let b = best(fc2, 16, 1024);
-        let MappingParams::OutputStationaryC { o_m, .. } = b.params else {
-            panic!("wrong params variant");
+        // A non-OSC candidate propagates as the typed mismatch instead of
+        // aborting; after `?` the variant is guaranteed.
+        let &MappingParams::OutputStationaryC { o_m, .. } =
+            b.params.expect_kind(DataflowKind::OutputStationaryC)?
+        else {
+            unreachable!("expect_kind verified the variant")
         };
         let groups = (fc2.m as f64 / o_m as f64).ceil();
         assert_eq!(
             b.profile.ifmap.dram_reads,
             fc2.ifmap_words(16) as f64 * groups
         );
+        Ok(())
     }
 
     #[test]

@@ -13,9 +13,10 @@ use crate::model::model_for;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::energy::EnergyModel;
 use eyeriss_nn::LayerShape;
+use std::collections::HashMap;
 
 /// The optimization objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Objective {
     /// Minimize total normalized energy (the paper's default).
     Energy,
@@ -107,6 +108,98 @@ pub fn best_mapping_with(
         .map(|(c, _)| c)
 }
 
+/// A memoizing front-end over [`best_mapping_with`] for workloads that
+/// search many layers against one fixed `(hardware, energy, objective)`
+/// operating point — the in-crate counterpart of a serving plan cache.
+///
+/// Networks repeat layer shapes heavily (VGG-16's thirteen CONV layers
+/// collapse to nine distinct shapes; cluster partitions produce at most
+/// two distinct tile sizes per dimension), so keying on
+/// `(kind, shape, batch)` lets every repeat share one exhaustive scan.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_dataflow::{search::{MappingMemo, Objective}, DataflowKind};
+/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+/// use eyeriss_nn::LayerShape;
+///
+/// let hw = AcceleratorConfig::eyeriss_chip();
+/// let em = EnergyModel::table_iv();
+/// let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
+/// let shape = LayerShape::conv(64, 32, 16, 3, 1)?;
+/// let a = memo.best(DataflowKind::RowStationary, &shape, 4);
+/// let b = memo.best(DataflowKind::RowStationary, &shape, 4); // cached
+/// assert_eq!(a, b);
+/// assert_eq!((memo.searches(), memo.hits()), (1, 1));
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+#[derive(Debug)]
+pub struct MappingMemo<'a> {
+    hw: &'a AcceleratorConfig,
+    energy: &'a EnergyModel,
+    objective: Objective,
+    cache: HashMap<(DataflowKind, LayerShape, usize), Option<MappingCandidate>>,
+    hits: usize,
+}
+
+impl<'a> MappingMemo<'a> {
+    /// Creates an empty memo pinned to one operating point.
+    pub fn new(hw: &'a AcceleratorConfig, energy: &'a EnergyModel, objective: Objective) -> Self {
+        MappingMemo {
+            hw,
+            energy,
+            objective,
+            cache: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// The best mapping of `(kind, shape, n)`, searching at most once per
+    /// distinct key.
+    pub fn best(
+        &mut self,
+        kind: DataflowKind,
+        shape: &LayerShape,
+        n: usize,
+    ) -> Option<MappingCandidate> {
+        if let Some(cached) = self.cache.get(&(kind, *shape, n)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let found = best_mapping_with(kind, shape, n, self.hw, self.energy, self.objective);
+        self.cache.insert((kind, *shape, n), found.clone());
+        found
+    }
+
+    /// Distinct searches actually performed.
+    pub fn searches(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Lookups answered from the memo without a search.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
+/// Optimizes a whole list of `(shape, batch)` problems for `kind`,
+/// deduplicating identical entries so each distinct shape is searched
+/// exactly once. Result `i` corresponds to `problems[i]`.
+pub fn best_mappings_with(
+    kind: DataflowKind,
+    problems: &[(LayerShape, usize)],
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+    objective: Objective,
+) -> Vec<Option<MappingCandidate>> {
+    let mut memo = MappingMemo::new(hw, energy, objective);
+    problems
+        .iter()
+        .map(|(shape, n)| memo.best(kind, shape, *n))
+        .collect()
+}
+
 /// Candidate spaces at least this large are screened in parallel.
 const PAR_SCAN_THRESHOLD: usize = 192;
 
@@ -166,6 +259,62 @@ mod tests {
         .unwrap();
         let edp = |c: &MappingCandidate| c.profile.total_energy(&em) * c.delay();
         assert!(edp(&by_edp) <= edp(&by_energy) + 1e-6);
+    }
+
+    #[test]
+    fn batch_entry_point_dedups_repeated_shapes() {
+        // VGG-16 repeats shapes (CONV3_2 == CONV3_3 etc.); the batch entry
+        // point must search each distinct shape once and still return one
+        // result per input, positionally.
+        let em = EnergyModel::table_iv();
+        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+        let conv = alexnet::conv_layers();
+        let problems: Vec<(eyeriss_nn::LayerShape, usize)> = vec![
+            (conv[2].shape, 4),
+            (conv[4].shape, 4),
+            (conv[2].shape, 4), // duplicate of [0]
+            (conv[2].shape, 1), // same shape, different batch: distinct
+        ];
+        let results = best_mappings_with(
+            DataflowKind::RowStationary,
+            &problems,
+            &hw,
+            &em,
+            Objective::Energy,
+        );
+        assert_eq!(results.len(), 4);
+        assert_eq!(
+            results[0], results[2],
+            "duplicate shapes must share a result"
+        );
+        assert_ne!(results[0], results[3], "different batches stay distinct");
+        for (r, (shape, n)) in results.iter().zip(&problems) {
+            let direct = best_mapping(DataflowKind::RowStationary, shape, *n, &hw, &em);
+            assert_eq!(r, &direct, "memoized result differs from direct search");
+        }
+    }
+
+    #[test]
+    fn memo_counts_hits_and_searches() {
+        let em = EnergyModel::table_iv();
+        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+        let conv5 = alexnet::conv_layers()[4].shape;
+        let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
+        for _ in 0..3 {
+            memo.best(DataflowKind::RowStationary, &conv5, 16);
+        }
+        // Infeasible results are memoized too.
+        let ws_hw = comparison_hardware(DataflowKind::WeightStationary, 256);
+        let mut ws_memo = MappingMemo::new(&ws_hw, &em, Objective::Energy);
+        let conv1 = alexnet::conv_layers()[0].shape;
+        assert!(ws_memo
+            .best(DataflowKind::WeightStationary, &conv1, 64)
+            .is_none());
+        assert!(ws_memo
+            .best(DataflowKind::WeightStationary, &conv1, 64)
+            .is_none());
+        assert_eq!((memo.searches(), memo.hits()), (1, 2));
+        assert_eq!((ws_memo.searches(), ws_memo.hits()), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Dynamic batching: coalescing queued requests into one cluster
+//! execution.
+//!
+//! Batching amortizes per-layer configuration and filter traffic across
+//! requests — the same effect the paper reports for OSC/WS ("energy
+//! consumption improves significantly with batch sizes larger than 1",
+//! Section VII-B) — at the cost of queueing latency. The
+//! [`BatchPolicy`] bounds both sides: a batch closes when it reaches
+//! `max_batch` requests or when `max_wait` has elapsed since its first
+//! request, whichever comes first.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// Bounds on how long and how wide a forming batch may grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests coalesced into one execution.
+    pub max_batch: usize,
+    /// Maximum time the first request of a batch waits for company.
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// A policy that never waits: every request executes alone
+    /// (batch size 1).
+    pub fn unbatched() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Collects the next batch from `rx` under `policy`.
+///
+/// Blocks until at least one item arrives, then drains further items
+/// until the batch is full or the deadline passes. Returns `None` once
+/// the channel is disconnected *and* empty — the shutdown signal.
+pub fn collect_batch<T>(rx: &Receiver<T>, policy: &BatchPolicy) -> Option<Vec<T>> {
+    let first = rx.recv().ok()?;
+    let deadline = Instant::now() + policy.max_wait;
+    let mut batch = vec![first];
+    while batch.len() < policy.max_batch.max(1) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // Deadline passed: take only what is already queued.
+            match rx.try_recv() {
+                Ok(item) => batch.push(item),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv_timeout(remaining) {
+                Ok(item) => batch.push(item),
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn fills_up_to_max_batch_from_queued_items() {
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+        };
+        assert_eq!(collect_batch(&rx, &policy), Some(vec![0, 1, 2, 3]));
+        assert_eq!(collect_batch(&rx, &policy), Some(vec![4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn unbatched_policy_takes_one_item() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(collect_batch(&rx, &BatchPolicy::unbatched()), Some(vec![1]));
+        assert_eq!(collect_batch(&rx, &BatchPolicy::unbatched()), Some(vec![2]));
+    }
+
+    #[test]
+    fn zero_wait_takes_only_already_queued_items() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+        };
+        // Both items are queued before collection begins, so a zero-wait
+        // policy still drains them without blocking.
+        assert_eq!(collect_batch(&rx, &policy), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn disconnect_before_any_item_signals_shutdown() {
+        let (tx, rx) = mpsc::channel::<u32>();
+        drop(tx);
+        assert_eq!(collect_batch(&rx, &BatchPolicy::default()), None);
+    }
+
+    #[test]
+    fn disconnect_mid_batch_returns_partial_batch() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(7).unwrap();
+        drop(tx);
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+        };
+        assert_eq!(collect_batch(&rx, &policy), Some(vec![7]));
+        assert_eq!(collect_batch(&rx, &policy), None);
+    }
+
+    #[test]
+    fn deadline_closes_a_partial_batch() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(1).unwrap();
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(10),
+        };
+        let start = Instant::now();
+        let batch = collect_batch(&rx, &policy).unwrap();
+        assert_eq!(batch, vec![1]);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must bound the wait"
+        );
+        drop(tx);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the serving runtime.
+
+use eyeriss_cluster::ClusterError;
+use eyeriss_sim::SimError;
+use std::fmt;
+
+/// Why a request could not be compiled, scheduled or executed.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// No feasible `(partition, mapping)` exists for a layer on the
+    /// configured cluster, so no plan can be compiled.
+    NoPlan(String),
+    /// A request's input tensor does not match the served network.
+    Input(String),
+    /// The submission queue is full (only returned by the non-blocking
+    /// [`crate::Server::try_submit`]; the blocking path waits instead).
+    Saturated,
+    /// The server is shutting down (or already gone) and the request
+    /// cannot be accepted or completed.
+    ShutDown,
+    /// The cluster executor failed on a batch.
+    Cluster(ClusterError),
+    /// A single-array simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoPlan(m) => write!(f, "no feasible plan: {m}"),
+            ServeError::Input(m) => write!(f, "bad request input: {m}"),
+            ServeError::Saturated => write!(f, "submission queue is full"),
+            ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
+            ServeError::Sim(e) => write!(f, "array simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        ServeError::Cluster(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        assert!(ServeError::NoPlan("x".into()).to_string().contains("x"));
+        assert!(ServeError::Saturated.to_string().contains("full"));
+        assert!(ServeError::ShutDown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ServeError>();
+    }
+}

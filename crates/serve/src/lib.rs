@@ -1,0 +1,66 @@
+//! `eyeriss-serve` — an inference-serving runtime over the Eyeriss
+//! reproduction.
+//!
+//! The paper optimizes per-layer dataflow mappings offline and runs them
+//! on one fixed 168-PE array; sustained serving throughput instead comes
+//! from *amortizing* configuration cost and keeping every array busy
+//! across requests (the direction Eyeriss v2 and the ROADMAP north star
+//! point at). This crate turns the workspace's mapping search
+//! (`eyeriss-dataflow`), bit-exact simulator (`eyeriss-sim`) and
+//! multi-array partitioning (`eyeriss-cluster`) into a service:
+//!
+//! * [`plan`] — the **plan compiler**: runs the `(partition, mapping)`
+//!   co-optimization once per distinct layer problem and stores the
+//!   immutable [`ClusterPlan`](eyeriss_cluster::ClusterPlan) in a
+//!   content-keyed [`PlanCache`], so repeated shapes (VGG's stacked 3×3
+//!   layers) and repeated requests never re-search.
+//! * [`batch`] — the **dynamic batcher**: coalesces compatible queued
+//!   requests up to a batch-size/deadline bound into one cluster
+//!   execution.
+//! * [`runtime`] — the **scheduler**: an MPSC submission queue with
+//!   backpressure feeding a pool of workers, each executing batches on a
+//!   private multi-array [`Cluster`](eyeriss_cluster::Cluster) from
+//!   cached plans via `run_planned`, with per-request
+//!   queue/compile/execute latency accounting.
+//! * [`metrics`] — latency breakdowns, p50/p99 percentiles and
+//!   server-lifetime statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_serve::{BatchPolicy, ServeConfig, Server};
+//! use eyeriss_nn::network::NetworkBuilder;
+//! use eyeriss_nn::synth;
+//! use std::time::Duration;
+//!
+//! let net = NetworkBuilder::new(3, 19)
+//!     .conv("C1", 8, 3, 2)?
+//!     .fully_connected("FC", 10)?
+//!     .build(7);
+//! let shape = net.stages()[0].shape;
+//! let golden = net.clone();
+//!
+//! let mut cfg = ServeConfig::new();
+//! cfg.policy = BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(5) };
+//! let server = Server::start(net, cfg);
+//!
+//! let input = synth::ifmap(&shape, 1, 42);
+//! let response = server.submit(input.clone())?.wait()?;
+//! assert_eq!(response.output, golden.forward(1, &input)); // bit-exact
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batch;
+pub mod error;
+pub mod metrics;
+pub mod plan;
+pub mod runtime;
+
+pub use batch::BatchPolicy;
+pub use error::ServeError;
+pub use metrics::{percentile, LatencyBreakdown, RequestRecord, ServerStats};
+pub use plan::{CacheStats, CompiledPlan, Footprint, PlanCache, PlanCompiler, PlanKey, StagePlan};
+pub use runtime::{RequestHandle, Response, ServeConfig, Server};

@@ -1,0 +1,194 @@
+//! Per-request latency accounting and server-level aggregates.
+
+use crate::plan::CacheStats;
+use std::time::Duration;
+
+/// Where one request's latency went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Submission to batch dispatch (queueing + batch formation wait).
+    pub queue: Duration,
+    /// Plan-search time charged to this request's batch (zero on full
+    /// plan-cache hits).
+    pub compile: Duration,
+    /// Cluster execution time of the batch (shared by its members).
+    pub execute: Duration,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency.
+    pub fn total(&self) -> Duration {
+        self.queue + self.compile + self.execute
+    }
+}
+
+/// One completed request, as recorded by the worker that executed it.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Simulated cluster cycles of the batch (all stages).
+    pub sim_cycles: u64,
+}
+
+/// Nearest-rank percentile of `samples` (`q` in `[0, 1]`), `ZERO` when
+/// empty. Sorts a copy; fine for end-of-run reporting.
+pub fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Everything a server measured over its lifetime, returned by
+/// [`crate::Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// One record per completed request.
+    pub records: Vec<RequestRecord>,
+    /// Wall-clock time from server start to shutdown.
+    pub elapsed: Duration,
+    /// Plan-cache hit/miss counters.
+    pub cache: CacheStats,
+}
+
+impl ServerStats {
+    /// Completed request count.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Completed requests per second of server lifetime.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / secs
+        }
+    }
+
+    fn totals(&self) -> Vec<Duration> {
+        self.records.iter().map(|r| r.latency.total()).collect()
+    }
+
+    /// Median end-to-end latency.
+    pub fn p50(&self) -> Duration {
+        percentile(&self.totals(), 0.50)
+    }
+
+    /// 99th-percentile end-to-end latency.
+    pub fn p99(&self) -> Duration {
+        percentile(&self.totals(), 0.99)
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.records.is_empty() {
+            return Duration::ZERO;
+        }
+        self.totals().iter().sum::<Duration>() / self.records.len() as u32
+    }
+
+    /// Mean time spent queued (batch-formation wait included).
+    pub fn mean_queue(&self) -> Duration {
+        if self.records.is_empty() {
+            return Duration::ZERO;
+        }
+        self.records
+            .iter()
+            .map(|r| r.latency.queue)
+            .sum::<Duration>()
+            / self.records.len() as u32
+    }
+
+    /// Largest batch any request rode in.
+    pub fn max_batch(&self) -> usize {
+        self.records.iter().map(|r| r.batch_size).max().unwrap_or(0)
+    }
+
+    /// Mean batch size over completed requests.
+    pub fn mean_batch(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.batch_size).sum::<usize>() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn record(id: u64, queue_ms: u64, batch: usize) -> RequestRecord {
+        RequestRecord {
+            id,
+            batch_size: batch,
+            latency: LatencyBreakdown {
+                queue: ms(queue_ms),
+                compile: ms(1),
+                execute: ms(2),
+            },
+            sim_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&samples, 0.50), ms(50));
+        assert_eq!(percentile(&samples, 0.99), ms(99));
+        assert_eq!(percentile(&samples, 1.0), ms(100));
+        assert_eq!(percentile(&samples, 0.0), ms(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 0.99), ms(7));
+    }
+
+    #[test]
+    fn breakdown_totals_add_up() {
+        let r = record(0, 10, 4);
+        assert_eq!(r.latency.total(), ms(13));
+    }
+
+    #[test]
+    fn stats_aggregate_records() {
+        let stats = ServerStats {
+            records: vec![record(0, 0, 1), record(1, 10, 2), record(2, 20, 2)],
+            elapsed: Duration::from_secs(2),
+            cache: CacheStats { hits: 3, misses: 1 },
+        };
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.throughput_rps(), 1.5);
+        assert_eq!(stats.p50(), ms(13));
+        assert_eq!(stats.max_batch(), 2);
+        assert!((stats.mean_batch() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.mean_queue(), ms(10));
+        assert!(stats.p99() >= stats.p50());
+        assert_eq!(stats.cache.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn empty_stats_are_defined() {
+        let stats = ServerStats {
+            records: Vec::new(),
+            elapsed: Duration::ZERO,
+            cache: CacheStats::default(),
+        };
+        assert_eq!(stats.completed(), 0);
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.p50(), Duration::ZERO);
+        assert_eq!(stats.mean_latency(), Duration::ZERO);
+        assert_eq!(stats.mean_batch(), 0.0);
+    }
+}

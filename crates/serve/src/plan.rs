@@ -1,0 +1,538 @@
+//! The plan compiler and content-keyed plan cache.
+//!
+//! The Eyeriss paper optimizes mappings per layer shape *offline*
+//! (Section VI-C); a serving system must amortize that optimization
+//! across requests. [`PlanCompiler`] runs the
+//! `eyeriss_cluster::plan_layer` search — partition × per-array mapping
+//! co-optimization — once per distinct problem and stores the resulting
+//! immutable [`ClusterPlan`] in a [`PlanCache`] keyed by problem
+//! *content* `(layer shape, batch, array count, dataflow, objective,
+//! hardware fingerprint)`. Repeated shapes (all of VGG-16's stacked 3×3
+//! stages) and repeated requests then never re-search: the runtime
+//! executes cached plans via [`eyeriss_cluster::Cluster::run_planned`].
+
+use crate::error::ServeError;
+use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::AcceleratorConfig;
+use eyeriss_cluster::{plan_layer, ClusterPlan, SharedDram};
+use eyeriss_dataflow::search::Objective;
+use eyeriss_dataflow::DataflowKind;
+use eyeriss_nn::network::Network;
+use eyeriss_nn::shape::NamedLayer;
+use eyeriss_nn::{LayerKind, LayerShape};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Content key of one compiled layer plan. Two problems collide exactly
+/// when the search would provably return the same plan: same layer
+/// shape, batch, cluster width, mapping space, objective and per-array
+/// hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    shape: LayerShape,
+    n: usize,
+    arrays: usize,
+    kind: DataflowKind,
+    objective: Objective,
+    grid: (usize, usize),
+    rf_bits: u64,
+    buffer_bits: u64,
+}
+
+impl PlanKey {
+    /// Builds the content key for one layer problem.
+    pub fn new(
+        shape: &LayerShape,
+        n: usize,
+        arrays: usize,
+        kind: DataflowKind,
+        objective: Objective,
+        hw: &AcceleratorConfig,
+    ) -> Self {
+        PlanKey {
+            shape: *shape,
+            n,
+            arrays,
+            kind,
+            objective,
+            grid: (hw.grid.rows, hw.grid.cols),
+            rf_bits: hw.rf_bytes_per_pe.to_bits(),
+            buffer_bits: hw.buffer_bytes.to_bits(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full plan search.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A thread-safe, content-keyed cache of compiled [`ClusterPlan`]s.
+///
+/// Shared via `Arc` between the compiler and every serving worker; the
+/// expensive search runs *outside* the lock, so concurrent workers are
+/// never serialized behind another worker's compilation (a race on the
+/// same key wastes one duplicate search, kept deliberately for
+/// simplicity — both racers insert identical immutable plans).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<ClusterPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for `key`, or computes, stores and
+    /// returns it via `compile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compile`'s error; failures are not cached.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<ClusterPlan, ServeError>,
+    ) -> Result<Arc<ClusterPlan>, ServeError> {
+        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let plan = Arc::new(compile()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Ok(Arc::clone(plans.entry(key).or_insert(plan)))
+    }
+
+    /// Number of distinct plans stored.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True when no plan has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// On-chip/working-set footprint of one layer at a given batch, in
+/// 16-bit words (what a scheduler would reserve in the global buffer
+/// hierarchy for staging this stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Ifmap words (`N·C·H²`).
+    pub ifmap_words: u64,
+    /// Filter words (`M·C·R²`; zero for POOL).
+    pub filter_words: u64,
+    /// Ofmap words (`N·M·E²`).
+    pub ofmap_words: u64,
+}
+
+impl Footprint {
+    fn of(shape: &LayerShape, n: usize) -> Self {
+        Footprint {
+            ifmap_words: shape.ifmap_words(n),
+            filter_words: match shape.kind {
+                LayerKind::Pool => 0,
+                _ => shape.filter_words(),
+            },
+            ofmap_words: shape.ofmap_words(n),
+        }
+    }
+
+    /// Total words across the three tensors.
+    pub fn total_words(&self) -> u64 {
+        self.ifmap_words + self.filter_words + self.ofmap_words
+    }
+}
+
+/// One stage of a [`CompiledPlan`].
+#[derive(Debug, Clone)]
+pub enum StagePlan {
+    /// A weighted CONV/FC stage with its compiled cluster plan.
+    Layer {
+        /// Stage name (e.g. `"CONV1"`).
+        name: String,
+        /// The stage's layer shape.
+        shape: LayerShape,
+        /// Whether ReLU follows the stage.
+        relu: bool,
+        /// The immutable compiled `(partition, mapping)` plan.
+        plan: Arc<ClusterPlan>,
+        /// Working-set footprint at the compiled batch.
+        footprint: Footprint,
+    },
+    /// A weight-free POOL stage (executed per-array, never partitioned).
+    Pool {
+        /// Stage name.
+        name: String,
+        /// The pool shape.
+        shape: LayerShape,
+    },
+}
+
+impl StagePlan {
+    /// The stage's name.
+    pub fn name(&self) -> &str {
+        match self {
+            StagePlan::Layer { name, .. } | StagePlan::Pool { name, .. } => name,
+        }
+    }
+}
+
+/// An immutable, fully compiled execution plan for one network at one
+/// batch size on one cluster configuration.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Batch size the plan was compiled for.
+    pub batch: usize,
+    /// Cluster width the plan was compiled for.
+    pub arrays: usize,
+    /// Per-stage plans, in network order.
+    pub stages: Vec<StagePlan>,
+    /// Wall-clock time of the whole compile, dominated by plan searches
+    /// on cache misses (a fully warmed compile still pays the cache
+    /// lookups and stage assembly, typically microseconds).
+    pub compile_time: Duration,
+    /// Distinct searches this compile ran (cache misses).
+    pub searched: u64,
+    /// Stages answered from the plan cache.
+    pub cached: u64,
+}
+
+impl CompiledPlan {
+    /// Summed analytic cluster delay across weighted stages (the model's
+    /// per-layer critical-path delay, in MAC-time units) — the capacity
+    /// estimate an admission controller would use.
+    pub fn analytic_delay(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                StagePlan::Layer { plan, .. } => Some(plan.delay),
+                StagePlan::Pool { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Summed analytic energy across weighted stages.
+    pub fn analytic_energy(&self) -> f64 {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                StagePlan::Layer { plan, .. } => Some(plan.energy),
+                StagePlan::Pool { .. } => None,
+            })
+            .sum()
+    }
+
+    /// The largest per-stage working set, in words.
+    pub fn peak_footprint_words(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                StagePlan::Layer { footprint, .. } => Some(footprint.total_words()),
+                StagePlan::Pool { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Compiles layer problems into immutable [`ClusterPlan`]s through a
+/// shared [`PlanCache`].
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_serve::PlanCompiler;
+/// use eyeriss_arch::AcceleratorConfig;
+/// use eyeriss_nn::LayerShape;
+///
+/// let compiler = PlanCompiler::new(2, AcceleratorConfig::eyeriss_chip());
+/// let shape = LayerShape::conv(16, 8, 11, 3, 2)?;
+/// let first = compiler.compile_layer(&shape, 4)?;
+/// let again = compiler.compile_layer(&shape, 4)?; // cache hit
+/// assert_eq!(first.partition, again.partition);
+/// assert_eq!(compiler.cache().stats().hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanCompiler {
+    hw: AcceleratorConfig,
+    em: EnergyModel,
+    kind: DataflowKind,
+    objective: Objective,
+    arrays: usize,
+    shared: SharedDram,
+    cache: Arc<PlanCache>,
+}
+
+impl PlanCompiler {
+    /// Creates a compiler for a cluster of `arrays` arrays of
+    /// configuration `hw`, with the serving defaults: row-stationary
+    /// mapping space, energy-delay-product objective, Table IV energy
+    /// costs and a shared DRAM channel scaled to the cluster width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn new(arrays: usize, hw: AcceleratorConfig) -> Self {
+        assert!(arrays > 0, "compiler needs at least one array");
+        PlanCompiler {
+            hw,
+            em: EnergyModel::table_iv(),
+            kind: DataflowKind::RowStationary,
+            objective: Objective::EnergyDelayProduct,
+            arrays,
+            shared: SharedDram::scaled(arrays),
+            cache: Arc::new(PlanCache::new()),
+        }
+    }
+
+    /// Overrides the optimization objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Shares an existing plan cache (e.g. across server restarts).
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Cluster width this compiler plans for.
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// The per-array hardware configuration.
+    pub fn hw(&self) -> &AcceleratorConfig {
+        &self.hw
+    }
+
+    /// Compiles (or fetches) the plan for one weighted layer at batch
+    /// `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoPlan`] for POOL shapes and for layers with
+    /// no feasible `(partition, mapping)` on this cluster.
+    pub fn compile_layer(
+        &self,
+        shape: &LayerShape,
+        n: usize,
+    ) -> Result<Arc<ClusterPlan>, ServeError> {
+        if shape.kind == LayerKind::Pool {
+            return Err(ServeError::NoPlan(
+                "POOL stages are executed per-array, not planned".into(),
+            ));
+        }
+        let key = PlanKey::new(shape, n, self.arrays, self.kind, self.objective, &self.hw);
+        self.cache.get_or_compile(key, || {
+            plan_layer(
+                self.kind,
+                shape,
+                n,
+                self.arrays,
+                &self.hw,
+                &self.em,
+                &self.shared,
+                self.objective,
+            )
+            .ok_or_else(|| {
+                ServeError::NoPlan(format!(
+                    "no feasible partition/mapping for {}x{}x{} (batch {n}) on {} arrays",
+                    shape.m, shape.c, shape.h, self.arrays
+                ))
+            })
+        })
+    }
+
+    /// Compiles a whole network for batch `n`: one plan per weighted
+    /// stage (distinct shapes searched once), POOL stages passed through.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any weighted stage has no feasible plan.
+    pub fn compile_network(&self, net: &Network, n: usize) -> Result<CompiledPlan, ServeError> {
+        let before = self.cache.stats();
+        let start = Instant::now();
+        let mut stages = Vec::with_capacity(net.stages().len());
+        for stage in net.stages() {
+            stages.push(match stage.shape.kind {
+                LayerKind::Pool => StagePlan::Pool {
+                    name: stage.name.clone(),
+                    shape: stage.shape,
+                },
+                LayerKind::Conv | LayerKind::FullyConnected => StagePlan::Layer {
+                    name: stage.name.clone(),
+                    shape: stage.shape,
+                    relu: stage.relu,
+                    plan: self.compile_layer(&stage.shape, n)?,
+                    footprint: Footprint::of(&stage.shape, n),
+                },
+            });
+        }
+        let after = self.cache.stats();
+        Ok(CompiledPlan {
+            batch: n,
+            arrays: self.arrays,
+            stages,
+            compile_time: start.elapsed(),
+            searched: after.misses - before.misses,
+            cached: after.hits - before.hits,
+        })
+    }
+
+    /// Compiles a list of named layers (e.g. `eyeriss_nn::vgg::conv_layers`)
+    /// at batch `n`, sharing the cache across repeated shapes. Returns
+    /// the plans in input order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first layer with no feasible plan.
+    pub fn compile_layers(
+        &self,
+        layers: &[NamedLayer],
+        n: usize,
+    ) -> Result<Vec<(String, Arc<ClusterPlan>)>, ServeError> {
+        layers
+            .iter()
+            .map(|l| Ok((l.name.clone(), self.compile_layer(&l.shape, n)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeriss_nn::network::NetworkBuilder;
+
+    fn small_hw() -> AcceleratorConfig {
+        AcceleratorConfig {
+            grid: eyeriss_arch::GridDims::new(6, 8),
+            rf_bytes_per_pe: 512.0,
+            buffer_bytes: 32.0 * 1024.0,
+        }
+    }
+
+    #[test]
+    fn repeated_layers_hit_the_cache() {
+        let compiler = PlanCompiler::new(2, small_hw());
+        let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let a = compiler.compile_layer(&shape, 4).unwrap();
+        let b = compiler.compile_layer(&shape, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same plan");
+        let stats = compiler.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(compiler.cache().len(), 1);
+    }
+
+    #[test]
+    fn distinct_batches_and_widths_are_distinct_plans() {
+        let cache = Arc::new(PlanCache::new());
+        let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let two = PlanCompiler::new(2, small_hw()).with_cache(Arc::clone(&cache));
+        let four = PlanCompiler::new(4, small_hw()).with_cache(Arc::clone(&cache));
+        two.compile_layer(&shape, 2).unwrap();
+        two.compile_layer(&shape, 4).unwrap();
+        four.compile_layer(&shape, 4).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn network_compile_reports_search_vs_cache_split() {
+        let net = NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .conv("C2", 8, 3, 2)
+            .unwrap()
+            .build(7);
+        let compiler = PlanCompiler::new(2, small_hw());
+        let first = compiler.compile_network(&net, 2).unwrap();
+        assert_eq!(first.stages.len(), 2);
+        assert_eq!((first.searched, first.cached), (2, 0));
+        // Recompiling the same network is free: every stage hits.
+        let second = compiler.compile_network(&net, 2).unwrap();
+        assert_eq!((second.searched, second.cached), (0, 2));
+        assert!(second.compile_time <= first.compile_time);
+        assert!(first.analytic_delay() > 0.0);
+        assert!(first.analytic_energy() > 0.0);
+        assert!(first.peak_footprint_words() > 0);
+    }
+
+    #[test]
+    fn pool_shapes_are_rejected_but_networks_pass_them_through() {
+        let compiler = PlanCompiler::new(2, small_hw());
+        let pool = LayerShape::pool(3, 9, 3, 3).unwrap();
+        assert!(matches!(
+            compiler.compile_layer(&pool, 1),
+            Err(ServeError::NoPlan(_))
+        ));
+        let net = NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .pool("P1", 3, 2)
+            .unwrap()
+            .build(7);
+        let plan = compiler.compile_network(&net, 2).unwrap();
+        assert!(matches!(plan.stages[1], StagePlan::Pool { .. }));
+        assert_eq!(plan.stages[1].name(), "P1");
+    }
+
+    #[test]
+    fn vgg_repeated_shapes_compile_once() {
+        // The canonical serving win: VGG-16 has 13 CONV layers but only
+        // 9 distinct shapes, so 4 compiles come free.
+        let compiler = PlanCompiler::new(1, AcceleratorConfig::eyeriss_chip());
+        let layers = eyeriss_nn::vgg::conv_layers();
+        let plans = compiler.compile_layers(&layers, 1).unwrap();
+        assert_eq!(plans.len(), 13);
+        let stats = compiler.cache().stats();
+        assert_eq!(stats.misses, 9, "9 distinct VGG CONV shapes");
+        assert_eq!(stats.hits, 4, "4 repeated shapes served from cache");
+        assert!(stats.hit_rate() > 0.0);
+    }
+}

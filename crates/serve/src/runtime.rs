@@ -1,0 +1,568 @@
+//! The request runtime: submission queue, dynamic batcher and the
+//! multi-array scheduler.
+//!
+//! ```text
+//!  submit()──►[bounded MPSC queue]──►batcher──►[bounded batch queue]─┬─►worker 0 (Cluster of A arrays)
+//!   blocks when full (backpressure)   coalesces up to               ├─►worker 1 (Cluster of A arrays)
+//!                                     max_batch / max_wait          └─►worker W-1
+//! ```
+//!
+//! Each worker owns a private [`eyeriss_cluster::Cluster`] — array-level
+//! parallelism inside a batch flows through `eyeriss-par`'s
+//! thread-per-array executor — and executes batches from precompiled
+//! plans fetched from the shared [`crate::PlanCache`]. Every completed
+//! request carries a queue/compile/execute latency breakdown; the
+//! server aggregates p50/p99 and throughput in [`ServerStats`].
+
+use crate::batch::{collect_batch, BatchPolicy};
+use crate::error::ServeError;
+use crate::metrics::{LatencyBreakdown, RequestRecord, ServerStats};
+use crate::plan::PlanCompiler;
+use eyeriss_arch::AcceleratorConfig;
+use eyeriss_cluster::Cluster;
+use eyeriss_nn::network::Network;
+use eyeriss_nn::{reference, Fix16, LayerKind, Tensor4};
+use eyeriss_sim::Accelerator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server sizing and batching policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated arrays per worker cluster.
+    pub arrays: usize,
+    /// Worker threads (each owning one cluster). The simulated-array
+    /// pool is `workers x arrays`.
+    pub workers: usize,
+    /// Dynamic batching bounds.
+    pub policy: BatchPolicy,
+    /// Submission-queue depth; a full queue blocks [`Server::submit`]
+    /// (backpressure) and fails [`Server::try_submit`].
+    pub queue_capacity: usize,
+    /// Per-array hardware configuration.
+    pub hw: AcceleratorConfig,
+}
+
+impl ServeConfig {
+    /// A small default: two workers of two arrays each, default batching
+    /// bounds, and the fabricated chip's per-array configuration.
+    pub fn new() -> Self {
+        ServeConfig {
+            arrays: 2,
+            workers: 2.min(eyeriss_par::num_threads()).max(1),
+            policy: BatchPolicy::default(),
+            queue_capacity: 64,
+            hw: AcceleratorConfig::eyeriss_chip(),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::new()
+    }
+}
+
+/// One in-flight request.
+struct Pending {
+    id: u64,
+    input: Tensor4<Fix16>,
+    submitted: Instant,
+    tx: Sender<Result<Response, ServeError>>,
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request id assigned at submission.
+    pub id: u64,
+    /// The network output for this request (`[1][M][E][E]`), bit-exact
+    /// against a single-array simulation of the same input.
+    pub output: Tensor4<Fix16>,
+    /// Where this request's latency went.
+    pub latency: LatencyBreakdown,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+}
+
+/// The caller's side of one submitted request.
+#[derive(Debug)]
+pub struct RequestHandle {
+    id: u64,
+    rx: Receiver<Result<Response, ServeError>>,
+}
+
+impl RequestHandle {
+    /// The request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the worker's error for this batch, or
+    /// [`ServeError::ShutDown`] if the server dropped the request.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+    }
+}
+
+/// An inference server for one network.
+///
+/// # Example
+///
+/// ```no_run
+/// use eyeriss_serve::{ServeConfig, Server};
+/// use eyeriss_nn::network::NetworkBuilder;
+/// use eyeriss_nn::synth;
+///
+/// let net = NetworkBuilder::new(3, 19).conv("C1", 8, 3, 2)?.build(7);
+/// let input = synth::ifmap(&net.stages()[0].shape, 1, 42);
+/// let server = Server::start(net, ServeConfig::new());
+/// let response = server.submit(input)?.wait()?;
+/// println!("request {} done in {:?}", response.id, response.latency.total());
+/// let stats = server.shutdown();
+/// assert_eq!(stats.completed(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    submit_tx: SyncSender<Pending>,
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    records: Arc<Mutex<Vec<RequestRecord>>>,
+    compiler: Arc<PlanCompiler>,
+    net: Arc<Network>,
+    max_batch: usize,
+    started: Instant,
+    next_id: AtomicU64,
+    input_dims: (usize, usize),
+}
+
+impl Server {
+    /// Starts batcher and worker threads serving `net` with a fresh plan
+    /// cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.arrays` or `cfg.workers` is zero.
+    pub fn start(net: Network, cfg: ServeConfig) -> Self {
+        let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+        Server::start_with_compiler(net, cfg, compiler)
+    }
+
+    /// [`Server::start`] with a caller-provided compiler, so a warm
+    /// [`crate::PlanCache`] can be shared across server restarts (or
+    /// across servers) via [`PlanCompiler::with_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero or the compiler's cluster width
+    /// disagrees with `cfg.arrays`.
+    pub fn start_with_compiler(net: Network, cfg: ServeConfig, compiler: PlanCompiler) -> Self {
+        assert!(cfg.workers > 0, "server needs at least one worker");
+        assert_eq!(
+            compiler.arrays(),
+            cfg.arrays,
+            "compiler cluster width must match the server's"
+        );
+        let net = Arc::new(net);
+        let compiler = Arc::new(compiler);
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let input_dims = net.input_dims();
+
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
+        // The batch queue is bounded by the worker count so that a slow
+        // pool pushes back through the batcher into the submission queue.
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Pending>>(cfg.workers);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let policy = cfg.policy;
+        let batcher = std::thread::spawn(move || {
+            while let Some(batch) = collect_batch(&submit_rx, &policy) {
+                if batch_tx.send(batch).is_err() {
+                    break; // workers are gone
+                }
+            }
+        });
+
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let rx = Arc::clone(&batch_rx);
+                let net = Arc::clone(&net);
+                let compiler = Arc::clone(&compiler);
+                let records = Arc::clone(&records);
+                let cluster = Cluster::new(cfg.arrays, cfg.hw);
+                let pool_chip = Accelerator::new(cfg.hw);
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &net, &compiler, &cluster, pool_chip, &records)
+                })
+            })
+            .collect();
+
+        Server {
+            submit_tx,
+            batcher,
+            workers,
+            records,
+            compiler,
+            net,
+            max_batch: cfg.policy.max_batch.max(1),
+            started: Instant::now(),
+            next_id: AtomicU64::new(0),
+            input_dims,
+        }
+    }
+
+    /// Compiles the served network's plans for every batch size the
+    /// batcher can form (`1..=max_batch`), so no request ever pays a
+    /// plan search at serving time. Returns one [`CompiledPlan`] per
+    /// batch size, in increasing-size order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any weighted stage has no feasible plan at some batch
+    /// size.
+    pub fn prewarm(&self) -> Result<Vec<crate::plan::CompiledPlan>, ServeError> {
+        (1..=self.max_batch)
+            .map(|n| self.compiler.compile_network(&self.net, n))
+            .collect()
+    }
+
+    fn pending(&self, input: Tensor4<Fix16>) -> Result<(Pending, RequestHandle), ServeError> {
+        let (c, h) = self.input_dims;
+        if input.dims() != [1, c, h, h] {
+            return Err(ServeError::Input(format!(
+                "expected [1, {c}, {h}, {h}], got {:?}",
+                input.dims()
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        Ok((
+            Pending {
+                id,
+                input,
+                submitted: Instant::now(),
+                tx,
+            },
+            RequestHandle { id, rx },
+        ))
+    }
+
+    /// Submits one single-image request (`[1][C][H][H]`), blocking while
+    /// the submission queue is full — the backpressure path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatched input dimensions or a shut-down server.
+    pub fn submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
+        let (pending, handle) = self.pending(input)?;
+        self.submit_tx
+            .send(pending)
+            .map_err(|_| ServeError::ShutDown)?;
+        Ok(handle)
+    }
+
+    /// Non-blocking [`Server::submit`]: a full queue returns
+    /// [`ServeError::Saturated`] immediately instead of waiting (load
+    /// shedding for open-loop clients).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when the queue is full, plus every
+    /// [`Server::submit`] failure mode.
+    pub fn try_submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
+        let (pending, handle) = self.pending(input)?;
+        match self.submit_tx.try_send(pending) {
+            Ok(()) => Ok(handle),
+            Err(TrySendError::Full(_)) => Err(ServeError::Saturated),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShutDown),
+        }
+    }
+
+    /// Snapshot of the plan-cache counters.
+    pub fn cache_stats(&self) -> crate::plan::CacheStats {
+        self.compiler.cache().stats()
+    }
+
+    /// Drains in-flight requests, stops every thread and returns the
+    /// lifetime statistics.
+    pub fn shutdown(self) -> ServerStats {
+        let Server {
+            submit_tx,
+            batcher,
+            workers,
+            records,
+            compiler,
+            started,
+            ..
+        } = self;
+        drop(submit_tx); // batcher drains the queue, then exits
+        let _ = batcher.join();
+        for w in workers {
+            let _ = w.join();
+        }
+        let records = std::mem::take(&mut *records.lock().expect("records poisoned"));
+        ServerStats {
+            records,
+            elapsed: started.elapsed(),
+            cache: compiler.cache().stats(),
+        }
+    }
+}
+
+/// One worker: picks whole batches off the shared queue and executes
+/// them on its private cluster until the queue disconnects.
+fn worker_loop(
+    batch_rx: &Mutex<Receiver<Vec<Pending>>>,
+    net: &Network,
+    compiler: &PlanCompiler,
+    cluster: &Cluster,
+    mut pool_chip: Accelerator,
+    records: &Mutex<Vec<RequestRecord>>,
+) {
+    loop {
+        // Holding the lock only while *waiting* serializes batch pickup,
+        // not batch processing.
+        let batch = {
+            let rx = batch_rx.lock().expect("batch queue poisoned");
+            rx.recv()
+        };
+        let Ok(batch) = batch else { break };
+        match run_batch(net, compiler, cluster, &mut pool_chip, &batch) {
+            Ok(done) => {
+                let mut recs = records.lock().expect("records poisoned");
+                for (pending, response) in batch.into_iter().zip(done) {
+                    recs.push(RequestRecord {
+                        id: response.0.id,
+                        batch_size: response.0.batch_size,
+                        latency: response.0.latency,
+                        sim_cycles: response.1,
+                    });
+                    let _ = pending.tx.send(Ok(response.0));
+                }
+            }
+            Err(e) => {
+                for pending in batch {
+                    let _ = pending.tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Executes one batch end-to-end; returns one `(response, sim_cycles)`
+/// per request, in batch order.
+fn run_batch(
+    net: &Network,
+    compiler: &PlanCompiler,
+    cluster: &Cluster,
+    pool_chip: &mut Accelerator,
+    batch: &[Pending],
+) -> Result<Vec<(Response, u64)>, ServeError> {
+    let started = Instant::now();
+    let b = batch.len();
+    let (c, h) = net.input_dims();
+    // Stack the single-image requests into one [b][C][H][H] batch.
+    let mut act = Tensor4::from_fn([b, c, h, h], |z, ch, i, j| batch[z].input[(0, ch, i, j)]);
+
+    let mut compile = std::time::Duration::ZERO;
+    let mut sim_cycles = 0u64;
+    for stage in net.stages() {
+        match stage.shape.kind {
+            LayerKind::Pool => {
+                let (out, stats) = pool_chip.run_pool(&stage.shape, b, &act);
+                sim_cycles += stats.total_cycles();
+                act = out;
+            }
+            LayerKind::Conv | LayerKind::FullyConnected => {
+                let t0 = Instant::now();
+                let plan = compiler.compile_layer(&stage.shape, b)?;
+                compile += t0.elapsed();
+                let weights = stage.weights.as_ref().expect("weighted stage");
+                let bias = stage.bias.as_ref().expect("weighted stage");
+                let run = cluster.run_planned(&plan, &stage.shape, b, &act, weights, bias)?;
+                sim_cycles += run.stats.cluster_cycles();
+                act = reference::quantize(&run.psums, stage.relu);
+            }
+        }
+    }
+    let execute = started.elapsed().saturating_sub(compile);
+
+    let [_, m, e, _] = act.dims();
+    Ok(batch
+        .iter()
+        .enumerate()
+        .map(|(z, pending)| {
+            let output = Tensor4::from_fn([1, m, e, e], |_, f, y, x| act[(z, f, y, x)]);
+            let latency = LatencyBreakdown {
+                queue: started.duration_since(pending.submitted),
+                compile,
+                execute,
+            };
+            (
+                Response {
+                    id: pending.id,
+                    output,
+                    latency,
+                    batch_size: b,
+                },
+                sim_cycles,
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeriss_arch::GridDims;
+    use eyeriss_nn::network::NetworkBuilder;
+    use eyeriss_nn::synth;
+    use std::time::Duration;
+
+    fn tiny_net() -> Network {
+        NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .pool("P1", 3, 2)
+            .unwrap()
+            .conv("C2", 12, 3, 1)
+            .unwrap()
+            .fully_connected("FC", 10)
+            .unwrap()
+            .build(7)
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            arrays: 2,
+            workers: 2,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(20),
+            },
+            queue_capacity: 16,
+            hw: AcceleratorConfig {
+                grid: GridDims::new(6, 8),
+                rf_bytes_per_pe: 512.0,
+                buffer_bytes: 32.0 * 1024.0,
+            },
+        }
+    }
+
+    #[test]
+    fn serves_requests_bit_exactly_with_breakdown() {
+        let net = tiny_net();
+        let golden_net = net.clone();
+        let server = Server::start(net, small_cfg());
+        let shape = golden_net.stages()[0].shape;
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let input = synth::ifmap(&shape, 1, 100 + i);
+                (i, server.submit(input).unwrap())
+            })
+            .collect();
+        for (i, handle) in handles {
+            let input = synth::ifmap(&shape, 1, 100 + i);
+            let golden = golden_net.forward(1, &input);
+            let response = handle.wait().unwrap();
+            assert_eq!(response.output, golden, "request {i} diverged");
+            assert!(response.batch_size >= 1);
+            assert!(response.latency.total() >= response.latency.execute);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed(), 6);
+        assert!(stats.p99() >= stats.p50());
+        // Every weighted stage went through the plan cache (batch sizes
+        // may differ between batches, so only misses are deterministic).
+        assert!(stats.cache.misses > 0);
+        assert!(stats.records.iter().all(|r| r.sim_cycles > 0));
+    }
+
+    #[test]
+    fn rejects_wrong_input_dims() {
+        let server = Server::start(tiny_net(), small_cfg());
+        let bad = Tensor4::<Fix16>::zeros([1, 3, 18, 18]);
+        assert!(matches!(server.submit(bad), Err(ServeError::Input(_))));
+        let batch_of_two = Tensor4::<Fix16>::zeros([2, 3, 19, 19]);
+        assert!(matches!(
+            server.try_submit(batch_of_two),
+            Err(ServeError::Input(_))
+        ));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let server = Server::start(net, small_cfg());
+        let handles: Vec<_> = (0..8)
+            .map(|i| server.submit(synth::ifmap(&shape, 1, i)).unwrap())
+            .collect();
+        let stats = server.shutdown(); // must not drop queued work
+        assert_eq!(stats.completed(), 8);
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn prewarm_compiles_every_batch_size_and_survives_restart() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let cfg = small_cfg();
+        let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+        let cache = Arc::clone(compiler.cache());
+
+        let server = Server::start_with_compiler(net.clone(), cfg.clone(), compiler);
+        let plans = server.prewarm().unwrap();
+        assert_eq!(plans.len(), 4, "one compiled plan per batch size 1..=4");
+        assert!(plans.iter().all(|p| p.analytic_delay() > 0.0));
+        let warmed = server.cache_stats();
+        // 3 weighted stages x 4 batch sizes, all distinct problems.
+        assert_eq!(warmed.misses, 12);
+        // A warmed server never searches at request time.
+        let response = server.submit(synth::ifmap(&shape, 1, 5)).unwrap();
+        response.wait().unwrap();
+        assert_eq!(server.cache_stats().misses, warmed.misses);
+        server.shutdown();
+
+        // Restart sharing the same cache: prewarm is now free.
+        let compiler = PlanCompiler::new(cfg.arrays, cfg.hw).with_cache(cache);
+        let restarted = Server::start_with_compiler(net, cfg, compiler);
+        let replans = restarted.prewarm().unwrap();
+        assert!(replans.iter().all(|p| p.searched == 0), "all hits");
+        assert_eq!(restarted.cache_stats().misses, warmed.misses);
+        restarted.shutdown();
+    }
+
+    #[test]
+    fn unbatched_policy_means_batch_size_one() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let mut cfg = small_cfg();
+        cfg.policy = BatchPolicy::unbatched();
+        cfg.workers = 1;
+        let server = Server::start(net, cfg);
+        let handles: Vec<_> = (0..3)
+            .map(|i| server.submit(synth::ifmap(&shape, 1, i)).unwrap())
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().batch_size, 1);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.max_batch(), 1);
+        // Batches of 1 and batches of n share one plan cache only when
+        // sizes repeat; with unbatched policy every request is size 1, so
+        // after the first request every stage plan is a hit.
+        assert!(stats.cache.hits >= stats.cache.misses);
+    }
+}

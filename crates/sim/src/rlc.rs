@@ -169,6 +169,62 @@ mod tests {
         assert_eq!(decode(&c), data);
     }
 
+    #[test]
+    fn run_of_exactly_max_run_zeros() {
+        // A run of exactly 31 zeros saturates the 5-bit field in a single
+        // (run, level) pair.
+        let mut data = vec![Fix16::ZERO; MAX_RUN];
+        data.push(Fix16::ONE);
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+        assert_eq!(c.words.len(), 1, "31 zeros + level fit one pair");
+    }
+
+    #[test]
+    fn run_of_exactly_max_run_plus_one_zeros() {
+        // 32 zeros must split into a saturated pair (31, 0) plus the
+        // 32nd zero starting the next pair's run.
+        let mut data = vec![Fix16::ZERO; MAX_RUN + 1];
+        data.push(Fix16::ONE);
+        let c = encode(&data);
+        assert_eq!(decode(&c), data);
+        let run0 = ((c.words[0] >> 1) & 0x1f) as usize;
+        assert_eq!(run0, MAX_RUN, "first pair must carry a saturated run");
+    }
+
+    #[test]
+    fn trailing_zero_runs_at_the_31_32_boundary() {
+        // All-zero tails of exactly 31 and 32 values: the encoder's
+        // trailing-run and implicit-final-run paths both roundtrip.
+        for tail in [MAX_RUN, MAX_RUN + 1] {
+            let mut data = vec![Fix16::ONE];
+            data.extend(std::iter::repeat_n(Fix16::ZERO, tail));
+            let c = encode(&data);
+            assert_eq!(decode(&c), data, "tail of {tail} zeros");
+        }
+    }
+
+    #[test]
+    fn all_zero_inputs_at_boundary_lengths() {
+        for len in [1usize, MAX_RUN, MAX_RUN + 1, 3 * MAX_RUN, 96] {
+            let data = vec![Fix16::ZERO; len];
+            let c = encode(&data);
+            assert_eq!(decode(&c), data, "all-zero length {len}");
+            assert_eq!(c.original_len, len);
+        }
+    }
+
+    #[test]
+    fn zero_length_input_ratio_is_neutral() {
+        let c = encode(&[]);
+        assert_eq!(c.original_len, 0);
+        assert_eq!(decode(&c), Vec::<Fix16>::new());
+        // The flag word still exists; ratio stays consistent with the
+        // definition (0 original bits / 64 compressed bits = 0).
+        assert_eq!(c.dram_words(), c.words.len() * 4);
+        assert!(c.ratio() >= 0.0);
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(raw in proptest::collection::vec(-300i16..300, 0..200),
@@ -183,7 +239,16 @@ mod tests {
                     }
                 })
                 .collect();
-            prop_assert_eq!(decode(&encode(&data)), data);
+            let c = encode(&data);
+            prop_assert_eq!(decode(&c), data);
+            // ratio() must agree with the packed stream's actual size.
+            let expect = if c.words.is_empty() {
+                1.0
+            } else {
+                (c.original_len as f64 * 16.0) / (c.words.len() as f64 * 64.0)
+            };
+            prop_assert!((c.ratio() - expect).abs() < 1e-12);
+            prop_assert_eq!(c.dram_words(), c.words.len() * 4);
         }
 
         #[test]

@@ -1,0 +1,90 @@
+//! Extension: serve inference traffic on a multi-array Eyeriss cluster.
+//!
+//! Demonstrates the `eyeriss-serve` runtime end to end:
+//!
+//! 1. **Plan compilation** — AlexNet and VGG-16 CONV layers compiled
+//!    through the content-keyed plan cache (VGG's repeated 3×3 shapes
+//!    are searched once and then hit the cache).
+//! 2. **An open-loop client** — paced request arrivals against a live
+//!    server, swept across offered loads, reporting achieved throughput
+//!    and p50/p99 latency at each point.
+//! 3. **One traced request** — a single inference with its
+//!    queue/compile/execute latency breakdown, verified bit-exact
+//!    against the pure-software reference.
+//!
+//! Run with: `cargo run --release --example serving [--smoke]`
+//! (`--smoke` skips the heavier sweeps for CI.)
+
+use eyeriss::analysis::experiments::serving;
+use eyeriss::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // ---- 1. Plan compilation through the content-keyed cache ---------------
+    println!("{}", serving::render_compile(&serving::compile_vgg()));
+    if !smoke {
+        println!("{}", serving::render_compile(&serving::compile_alexnet()));
+    }
+
+    // ---- 2. Open-loop offered-load sweep ------------------------------------
+    let sweep = if smoke {
+        serving::sweep_network(
+            &serving::synthetic_net(),
+            "synthetic (smoke)",
+            &ServeConfig::new(),
+            &[0.5, 2.0],
+            12,
+        )
+    } else {
+        serving::sweep_synthetic()
+    };
+    println!("{}", serving::render_sweep(&sweep));
+    for point in &sweep.points {
+        assert!(point.completed > 0 && point.p99 >= point.p50);
+    }
+    if !smoke {
+        // Wall-clock monotonicity needs a quiet machine; the CI smoke run
+        // only checks the structural properties above.
+        assert!(
+            sweep.throughput_is_monotone(0.25),
+            "throughput curve collapsed under load"
+        );
+    }
+
+    // ---- 3. One traced request, bit-exact -----------------------------------
+    let net = serving::synthetic_net();
+    let shape = net.stages()[0].shape;
+    let golden_net = net.clone();
+    let mut cfg = ServeConfig::new();
+    cfg.policy = BatchPolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+    };
+    let server = Server::start(net, cfg);
+    let input = synth::ifmap(&shape, 1, 99);
+    let response = server.submit(input.clone())?.wait()?;
+    assert_eq!(
+        response.output,
+        golden_net.forward(1, &input),
+        "served output must be bit-exact"
+    );
+    println!(
+        "request {} (batch of {}): queue {:.2} ms, compile {:.2} ms, execute {:.2} ms",
+        response.id,
+        response.batch_size,
+        response.latency.queue.as_secs_f64() * 1e3,
+        response.latency.compile.as_secs_f64() * 1e3,
+        response.latency.execute.as_secs_f64() * 1e3,
+    );
+    let stats = server.shutdown();
+    println!(
+        "server lifetime: {} requests, plan cache {} searches / {} hits ({:.0}% hit rate)",
+        stats.completed(),
+        stats.cache.misses,
+        stats.cache.hits,
+        stats.cache.hit_rate() * 100.0,
+    );
+    Ok(())
+}
