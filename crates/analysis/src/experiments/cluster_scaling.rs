@@ -3,7 +3,7 @@
 //!
 //! Two complementary views:
 //!
-//! * [`run`] — the analytic sweep: every CONV layer of AlexNet or VGG-16
+//! * [`run_alexnet`]/[`run_vgg`] — the analytic sweep: every CONV layer
 //!   is `(partition, mapping)`-planned by `eyeriss_cluster::plan` on each
 //!   cluster size, for each fixed elementary strategy plus the free
 //!   per-layer search. Reports energy/op, delay/op and speedup.
@@ -16,10 +16,11 @@ use eyeriss_arch::energy::EnergyModel;
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::partition::Partition;
 use eyeriss_cluster::{plan_layer, plan_partition, Cluster, SharedDram};
+use eyeriss_dataflow::registry::builtin;
 use eyeriss_dataflow::search::Objective;
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::shape::NamedLayer;
-use eyeriss_nn::{alexnet, synth, vgg, LayerShape};
+use eyeriss_nn::{alexnet, synth, vgg, LayerProblem, LayerShape};
 
 /// Cluster sizes swept.
 pub const ARRAY_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -128,12 +129,13 @@ fn point_for(
     let mut delay = 0.0f64;
     let mut bound = 0usize;
     for layer in layers {
+        let rs = builtin(DataflowKind::RowStationary);
+        let problem = LayerProblem::new(layer.shape, BATCH);
         let plan = match strategy {
             Some(p) => plan_partition(
-                DataflowKind::RowStationary,
+                rs,
                 p,
-                &layer.shape,
-                BATCH,
+                &problem,
                 arrays,
                 hw,
                 em,
@@ -141,9 +143,8 @@ fn point_for(
                 Objective::EnergyDelayProduct,
             )?,
             None => plan_layer(
-                DataflowKind::RowStationary,
-                &layer.shape,
-                BATCH,
+                rs,
+                &problem,
                 arrays,
                 hw,
                 em,
@@ -252,7 +253,8 @@ pub fn simulate_shape(shape: &LayerShape, n: usize) -> Vec<SimPoint> {
         for p in Partition::ELEMENTARY {
             let cluster = Cluster::new(arrays, AcceleratorConfig::eyeriss_chip())
                 .shared_dram(SharedDram::scaled(arrays));
-            let Ok(run) = cluster.run_conv(p, shape, n, &input, &weights, &bias) else {
+            let problem = LayerProblem::new(*shape, n);
+            let Ok(run) = cluster.execute_partition(p, &problem, &input, &weights, &bias) else {
                 continue;
             };
             out.push(SimPoint {

@@ -11,10 +11,12 @@
 use crate::metrics::DataflowRun;
 use eyeriss_arch::energy::EnergyModel;
 use eyeriss_arch::AcceleratorConfig;
-use eyeriss_dataflow::search::best_mapping;
+use eyeriss_dataflow::registry::builtin;
+use eyeriss_dataflow::search::{optimize, Objective};
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::alexnet;
 use eyeriss_nn::shape::NamedLayer;
+use eyeriss_nn::LayerProblem;
 
 /// One perturbed cost model and the resulting per-dataflow energies.
 #[derive(Debug, Clone)]
@@ -78,7 +80,13 @@ fn run_with_model(
     let hw = AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes());
     let mut out = Vec::with_capacity(layers.len());
     for layer in layers {
-        let best = best_mapping(kind, &layer.shape, batch, &hw, em)?;
+        let best = optimize(
+            builtin(kind),
+            &LayerProblem::new(layer.shape, batch),
+            &hw,
+            em,
+            Objective::Energy,
+        )?;
         out.push(crate::metrics::LayerRun {
             name: layer.name.clone(),
             macs: layer.shape.macs(batch) as f64,

@@ -1,9 +1,13 @@
 //! Result containers and derived metrics for dataflow comparisons.
+//!
+//! Mapping parameters are interrogated through the typed
+//! [`LayerRun::params_of`] accessor — a [`ParamsMismatch`] error, never
+//! a `panic!`, when a run carries another dataflow's knobs.
 
 use eyeriss_arch::access::{DataType, LayerAccessProfile};
 use eyeriss_arch::energy::{EnergyModel, Level};
 use eyeriss_dataflow::candidate::MappingParams;
-use eyeriss_dataflow::DataflowKind;
+use eyeriss_dataflow::{DataflowKind, ParamsMismatch};
 
 /// The optimized mapping of one layer.
 #[derive(Debug, Clone)]
@@ -29,6 +33,18 @@ impl LayerRun {
     /// Delay proxy of this layer: MACs / active PEs (Section VII-B).
     pub fn delay(&self) -> f64 {
         self.macs / self.active_pes as f64
+    }
+
+    /// The winning params interrogated as `kind`'s variant — the typed
+    /// replacement for destructuring one variant with a `panic!`/
+    /// `unreachable!` fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamsMismatch`] when this run was optimized under a different
+    /// dataflow.
+    pub fn params_of(&self, kind: DataflowKind) -> Result<&MappingParams, ParamsMismatch> {
+        self.params.expect_kind(kind)
     }
 }
 
@@ -180,6 +196,18 @@ mod tests {
         assert_eq!(r.total_delay(), 1.0 + 6.0);
         assert_eq!(r.delay_per_op(), 7.0 / 400.0);
         assert!((r.edp_per_op() - r.energy_per_op() * r.delay_per_op()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_accessor_is_typed() {
+        let r = dummy_run();
+        assert!(r.layers[0]
+            .params_of(DataflowKind::OutputStationaryC)
+            .is_ok());
+        let err = r.layers[0]
+            .params_of(DataflowKind::RowStationary)
+            .unwrap_err();
+        assert_eq!(err.actual, DataflowKind::OutputStationaryC.id());
     }
 
     #[test]

@@ -3,11 +3,12 @@
 
 use crate::metrics::{DataflowRun, LayerRun};
 use eyeriss_arch::energy::EnergyModel;
-use eyeriss_dataflow::search::{best_mappings_with, comparison_hardware, Objective};
+use eyeriss_dataflow::registry::builtin;
+use eyeriss_dataflow::search::{optimize_all, Objective};
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::alexnet;
 use eyeriss_nn::shape::NamedLayer;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::LayerProblem;
 
 /// Optimizes `kind` over `layers` at batch `batch` on a `num_pes` array.
 ///
@@ -19,7 +20,7 @@ pub fn run_layers(
     batch: usize,
     num_pes: usize,
 ) -> Option<DataflowRun> {
-    let hw = comparison_hardware(kind, num_pes);
+    let hw = builtin(kind).comparison_hardware(num_pes);
     run_layers_on(kind, layers, batch, &hw)
 }
 
@@ -35,8 +36,11 @@ pub fn run_layers_on(
     let em = EnergyModel::table_iv();
     // Repeated shapes (all of VGG's stacked 3x3 stages, say) share one
     // search through the deduplicating batch entry point.
-    let problems: Vec<(LayerShape, usize)> = layers.iter().map(|l| (l.shape, batch)).collect();
-    let mappings = best_mappings_with(kind, &problems, hw, &em, Objective::Energy);
+    let problems: Vec<LayerProblem> = layers
+        .iter()
+        .map(|l| LayerProblem::new(l.shape, batch))
+        .collect();
+    let mappings = optimize_all(builtin(kind), &problems, hw, &em, Objective::Energy);
     let mut out = Vec::with_capacity(layers.len());
     for (layer, best) in layers.iter().zip(mappings) {
         let best = best?;

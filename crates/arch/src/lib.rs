@@ -31,6 +31,7 @@ pub mod access;
 pub mod area;
 pub mod config;
 pub mod energy;
+pub mod wire;
 
 pub use access::{AccessCounts, DataType, LayerAccessProfile};
 pub use config::{AcceleratorConfig, GridDims};

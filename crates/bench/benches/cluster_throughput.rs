@@ -10,6 +10,7 @@ use eyeriss::prelude::*;
 fn bench(c: &mut Criterion) {
     let shape = LayerShape::conv(16, 8, 31, 5, 2).unwrap();
     let n = 4usize;
+    let problem = LayerProblem::new(shape, n);
     let input = synth::ifmap(&shape, n, 1);
     let weights = synth::filters(&shape, 2);
     let bias = synth::biases(&shape, 3);
@@ -17,7 +18,7 @@ fn bench(c: &mut Criterion) {
     // Sanity: the partitioned run is bit-exact before we time it.
     let golden = reference::conv_accumulate(&shape, n, &input, &weights, &bias);
     let probe = Cluster::new(4, AcceleratorConfig::eyeriss_chip())
-        .run_conv(Partition::Batch, &shape, n, &input, &weights, &bias)
+        .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
         .unwrap();
     assert_eq!(probe.psums, golden);
 
@@ -36,7 +37,7 @@ fn bench(c: &mut Criterion) {
                         .shared_dram(SharedDram::scaled(arrays));
                     std::hint::black_box(
                         cluster
-                            .run_conv(partition, &shape, n, &input, &weights, &bias)
+                            .execute_partition(partition, &problem, &input, &weights, &bias)
                             .unwrap(),
                     )
                 })

@@ -9,19 +9,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!("{}", fig10::render(&fig10::run()));
     // Kernel: the per-layer mapping optimization behind one bar.
-    let conv2 = alexnet::conv_layers()[1].shape;
-    let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+    let rs = registry::builtin(DataflowKind::RowStationary);
+    let conv2 = LayerProblem::new(alexnet::conv_layers()[1].shape, 16);
+    let hw = rs.comparison_hardware(256);
     let em = EnergyModel::table_iv();
     c.bench_function("fig10_rs_map_conv2", |b| {
-        b.iter(|| {
-            black_box(best_mapping(
-                DataflowKind::RowStationary,
-                black_box(&conv2),
-                16,
-                &hw,
-                &em,
-            ))
-        })
+        b.iter(|| black_box(optimize(rs, black_box(&conv2), &hw, &em, Objective::Energy)))
     });
 }
 

@@ -1,5 +1,6 @@
 //! Error type for cluster partitioning and execution.
 
+use eyeriss_dataflow::DataflowError;
 use eyeriss_sim::SimError;
 use std::fmt;
 
@@ -11,6 +12,9 @@ pub enum ClusterError {
     Infeasible(String),
     /// An array's simulator failed on its sub-problem.
     Sim(SimError),
+    /// The dataflow layer rejected a mapping (params mismatch, unknown
+    /// dataflow, invalid candidate).
+    Dataflow(DataflowError),
 }
 
 impl ClusterError {
@@ -25,6 +29,7 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::Infeasible(m) => write!(f, "infeasible partition: {m}"),
             ClusterError::Sim(e) => write!(f, "array simulation failed: {e}"),
+            ClusterError::Dataflow(e) => write!(f, "dataflow rejected the mapping: {e}"),
         }
     }
 }
@@ -34,5 +39,11 @@ impl std::error::Error for ClusterError {}
 impl From<SimError> for ClusterError {
     fn from(e: SimError) -> Self {
         ClusterError::Sim(e)
+    }
+}
+
+impl From<DataflowError> for ClusterError {
+    fn from(e: DataflowError) -> Self {
+        ClusterError::Dataflow(e)
     }
 }

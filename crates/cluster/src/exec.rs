@@ -12,7 +12,7 @@ use crate::partition::{split, Partition, SubProblem, Tile};
 use crate::plan::ClusterPlan;
 use crate::stats::{merge_stats, ClusterStats};
 use eyeriss_arch::AcceleratorConfig;
-use eyeriss_nn::{reference, Fix16, LayerShape, Tensor4};
+use eyeriss_nn::{reference, Fix16, LayerProblem, LayerShape, Tensor4};
 use eyeriss_sim::{Accelerator, SimStats};
 
 /// The result of one cluster-level layer execution.
@@ -41,16 +41,17 @@ impl ClusterRun {
 /// ```
 /// use eyeriss_cluster::{Cluster, Partition};
 /// use eyeriss_arch::AcceleratorConfig;
-/// use eyeriss_nn::{reference, synth, LayerShape};
+/// use eyeriss_nn::{reference, synth, LayerProblem, LayerShape};
 /// use eyeriss_sim::Accelerator;
 ///
 /// let shape = LayerShape::conv(8, 3, 13, 3, 2)?;
+/// let problem = LayerProblem::new(shape, 4);
 /// let input = synth::ifmap(&shape, 4, 1);
 /// let weights = synth::filters(&shape, 2);
 /// let bias = synth::biases(&shape, 3);
 ///
 /// let cluster = Cluster::new(4, AcceleratorConfig::eyeriss_chip());
-/// let run = cluster.run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)?;
+/// let run = cluster.execute_partition(Partition::Batch, &problem, &input, &weights, &bias)?;
 /// assert_eq!(run.psums, reference::conv_accumulate(&shape, 4, &input, &weights, &bias));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -108,7 +109,8 @@ impl Cluster {
         &self.config
     }
 
-    /// Runs one CONV or FC layer partitioned over the cluster.
+    /// Runs one CONV or FC layer problem partitioned over the cluster
+    /// with an explicitly chosen partition.
     ///
     /// Each array executes its tiles sequentially on a private
     /// [`Accelerator`]; arrays run concurrently. The reassembled psums
@@ -122,16 +124,16 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if tensor dimensions disagree with `shape`.
-    pub fn run_conv(
+    /// Panics if tensor dimensions disagree with the problem.
+    pub fn execute_partition(
         &self,
         partition: Partition,
-        shape: &LayerShape,
-        n_batch: usize,
+        problem: &LayerProblem,
         input: &Tensor4<Fix16>,
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
     ) -> Result<ClusterRun, ClusterError> {
+        let (shape, n_batch) = (&problem.shape, problem.batch);
         assert_eq!(
             input.dims(),
             [n_batch, shape.c, shape.h, shape.h],
@@ -148,10 +150,11 @@ impl Cluster {
         self.execute_subproblems(partition, shape, n_batch, subs, input, weights, bias)
     }
 
-    /// Executes one layer from a precompiled [`ClusterPlan`] — the
-    /// serving path: partitioning and mapping search already happened at
-    /// plan-compile time, so this only validates that the plan matches
-    /// `(shape, n_batch)` and this cluster's width, then runs the tiles.
+    /// Executes one layer problem from a precompiled [`ClusterPlan`] —
+    /// the serving path: partitioning and mapping search already happened
+    /// at plan-compile time (possibly in a *previous process*, with the
+    /// plan reloaded from disk), so this only validates that the plan
+    /// matches `problem` and this cluster's width, then runs the tiles.
     ///
     /// # Errors
     ///
@@ -161,12 +164,11 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// Panics if tensor dimensions disagree with `shape`.
-    pub fn run_planned(
+    /// Panics if tensor dimensions disagree with the problem.
+    pub fn execute(
         &self,
         plan: &ClusterPlan,
-        shape: &LayerShape,
-        n_batch: usize,
+        problem: &LayerProblem,
         input: &Tensor4<Fix16>,
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
@@ -178,13 +180,65 @@ impl Cluster {
             )));
         }
         let subs = plan.subproblems();
-        validate_coverage(&subs, shape, n_batch)?;
-        self.execute_subproblems(plan.partition, shape, n_batch, subs, input, weights, bias)
+        validate_coverage(&subs, &problem.shape, problem.batch)?;
+        self.execute_subproblems(
+            plan.partition,
+            &problem.shape,
+            problem.batch,
+            subs,
+            input,
+            weights,
+            bias,
+        )
+    }
+
+    /// Runs one CONV or FC layer partitioned over the cluster.
+    #[deprecated(
+        note = "use `Cluster::execute_partition` with a `LayerProblem` (or `Engine::run`)"
+    )]
+    #[allow(clippy::missing_errors_doc)]
+    pub fn run_conv(
+        &self,
+        partition: Partition,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<ClusterRun, ClusterError> {
+        self.execute_partition(
+            partition,
+            &LayerProblem::new(*shape, n_batch),
+            input,
+            weights,
+            bias,
+        )
+    }
+
+    /// Executes one layer from a precompiled [`ClusterPlan`].
+    #[deprecated(note = "use `Cluster::execute` with a `LayerProblem` (or `Engine::run`)")]
+    #[allow(clippy::missing_errors_doc)]
+    pub fn run_planned(
+        &self,
+        plan: &ClusterPlan,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<ClusterRun, ClusterError> {
+        self.execute(
+            plan,
+            &LayerProblem::new(*shape, n_batch),
+            input,
+            weights,
+            bias,
+        )
     }
 
     /// Runs prepared sub-problems — one thread per array — and
     /// reassembles psums and statistics. Shared tail of
-    /// [`Cluster::run_conv`] and [`Cluster::run_planned`].
+    /// [`Cluster::execute_partition`] and [`Cluster::execute`].
     #[allow(clippy::too_many_arguments)]
     fn execute_subproblems(
         &self,
@@ -335,7 +389,7 @@ mod tests {
         let bias = synth::biases(shape, 33);
         let cluster = Cluster::new(arrays, small_config());
         let run = cluster
-            .run_conv(p, shape, n, &input, &weights, &bias)
+            .execute_partition(p, &LayerProblem::new(*shape, n), &input, &weights, &bias)
             .unwrap();
         let golden = reference::conv_accumulate(shape, n, &input, &weights, &bias);
         assert_eq!(run.psums, golden, "{p} diverged on {arrays} arrays");
@@ -402,7 +456,13 @@ mod tests {
         let bias = synth::biases(&shape, 9);
         let cluster = Cluster::new(2, small_config()).zero_gating(true).rlc(true);
         let run = cluster
-            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .execute_partition(
+                Partition::Batch,
+                &LayerProblem::new(shape, 4),
+                &input,
+                &weights,
+                &bias,
+            )
             .unwrap();
         let golden = reference::conv_accumulate(&shape, 4, &input, &weights, &bias);
         assert_eq!(run.psums, golden);
@@ -418,11 +478,23 @@ mod tests {
         let bias = synth::biases(&shape, 5);
         let starved = Cluster::new(4, small_config())
             .shared_dram(SharedDram::new(0.05))
-            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .execute_partition(
+                Partition::Batch,
+                &LayerProblem::new(shape, 4),
+                &input,
+                &weights,
+                &bias,
+            )
             .unwrap();
         let ample = Cluster::new(4, small_config())
             .shared_dram(SharedDram::scaled(4))
-            .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+            .execute_partition(
+                Partition::Batch,
+                &LayerProblem::new(shape, 4),
+                &input,
+                &weights,
+                &bias,
+            )
             .unwrap();
         assert!(starved.stats.contention_stalls > 0);
         assert!(starved.stats.cluster_cycles() > ample.stats.cluster_cycles());
@@ -436,7 +508,13 @@ mod tests {
         let bias = synth::biases(&shape, 3);
         let cluster = Cluster::new(1, small_config());
         let crun = cluster
-            .run_conv(Partition::Batch, &shape, 2, &input, &weights, &bias)
+            .execute_partition(
+                Partition::Batch,
+                &LayerProblem::new(shape, 2),
+                &input,
+                &weights,
+                &bias,
+            )
             .unwrap();
         let mut acc = Accelerator::new(small_config());
         let arun = acc.run_conv(&shape, 2, &input, &weights, &bias).unwrap();
@@ -457,15 +535,16 @@ mod tests {
     fn planned_execution_is_bit_exact_and_reusable() {
         use crate::plan::plan_layer;
         use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_dataflow::registry::builtin;
         use eyeriss_dataflow::search::Objective;
         use eyeriss_dataflow::DataflowKind;
 
         let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
         let hw = small_config();
         let plan = plan_layer(
-            DataflowKind::RowStationary,
-            &shape,
-            4,
+            builtin(DataflowKind::RowStationary),
+            &problem,
             2,
             &hw,
             &EnergyModel::table_iv(),
@@ -480,7 +559,7 @@ mod tests {
             let weights = synth::filters(&shape, seed + 100);
             let bias = synth::biases(&shape, seed + 200);
             let run = cluster
-                .run_planned(&plan, &shape, 4, &input, &weights, &bias)
+                .execute(&plan, &problem, &input, &weights, &bias)
                 .unwrap();
             let golden = reference::conv_accumulate(&shape, 4, &input, &weights, &bias);
             assert_eq!(run.psums, golden, "planned run diverged (seed {seed})");
@@ -492,15 +571,16 @@ mod tests {
     fn planned_execution_rejects_mismatched_plan() {
         use crate::plan::plan_layer;
         use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_dataflow::registry::builtin;
         use eyeriss_dataflow::search::Objective;
         use eyeriss_dataflow::DataflowKind;
 
         let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
         let hw = small_config();
         let plan = plan_layer(
-            DataflowKind::RowStationary,
-            &shape,
-            4,
+            builtin(DataflowKind::RowStationary),
+            &problem,
             2,
             &hw,
             &EnergyModel::table_iv(),
@@ -514,16 +594,39 @@ mod tests {
         let weights = synth::filters(&shape, 2);
         let bias = synth::biases(&shape, 3);
         let err = wide
-            .run_planned(&plan, &shape, 4, &input, &weights, &bias)
+            .execute(&plan, &problem, &input, &weights, &bias)
             .unwrap_err();
         assert!(matches!(err, ClusterError::Infeasible(_)));
         // Wrong batch for the plan (tensors sized for the claimed batch).
         let cluster = Cluster::new(2, hw);
         let input2 = synth::ifmap(&shape, 2, 1);
         let err = cluster
-            .run_planned(&plan, &shape, 2, &input2, &weights, &bias)
+            .execute(
+                &plan,
+                &LayerProblem::new(shape, 2),
+                &input2,
+                &weights,
+                &bias,
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::Infeasible(_)));
+
+        // The old entry points remain as deprecated shims for one release.
+        #[allow(deprecated)]
+        {
+            let input = synth::ifmap(&shape, 4, 1);
+            let ok = cluster
+                .run_planned(&plan, &shape, 4, &input, &weights, &bias)
+                .unwrap();
+            let direct = cluster
+                .execute(&plan, &problem, &input, &weights, &bias)
+                .unwrap();
+            assert_eq!(ok.psums, direct.psums);
+            let conv = cluster
+                .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
+                .unwrap();
+            assert_eq!(conv.psums, direct.psums);
+        }
     }
 
     #[test]
@@ -534,7 +637,13 @@ mod tests {
         let bias = synth::biases(&shape, 3);
         let cluster = Cluster::new(4, small_config());
         let err = cluster
-            .run_conv(Partition::Batch, &shape, 1, &input, &weights, &bias)
+            .execute_partition(
+                Partition::Batch,
+                &LayerProblem::new(shape, 1),
+                &input,
+                &weights,
+                &bias,
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::Infeasible(_)));
     }

@@ -27,15 +27,16 @@
 //! ```
 //! use eyeriss_cluster::{Cluster, Partition};
 //! use eyeriss_arch::AcceleratorConfig;
-//! use eyeriss_nn::{reference, synth, LayerShape};
+//! use eyeriss_nn::{reference, synth, LayerProblem, LayerShape};
 //!
 //! let conv1 = LayerShape::conv(4, 3, 227, 11, 4)?; // CONV1 geometry slice
+//! let problem = LayerProblem::new(conv1, 4);
 //! let input = synth::ifmap(&conv1, 4, 1);
 //! let weights = synth::filters(&conv1, 2);
 //! let bias = synth::biases(&conv1, 3);
 //!
 //! let cluster = Cluster::new(4, AcceleratorConfig::eyeriss_chip());
-//! let run = cluster.run_conv(Partition::FmapTile, &conv1, 4, &input, &weights, &bias)?;
+//! let run = cluster.execute_partition(Partition::FmapTile, &problem, &input, &weights, &bias)?;
 //! assert_eq!(run.psums, reference::conv_accumulate(&conv1, 4, &input, &weights, &bias));
 //! println!("{} arrays, {} cycles", run.stats.per_array.len(), run.stats.cluster_cycles());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -47,6 +48,7 @@ pub mod exec;
 pub mod partition;
 pub mod plan;
 pub mod stats;
+pub mod wire;
 
 pub use contention::SharedDram;
 pub use error::ClusterError;

@@ -83,7 +83,7 @@ impl fmt::Display for Partition {
 
 /// One unit of work for one array: a complete layer problem that is a
 /// slice of the original layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tile {
     /// The sub-layer shape this tile executes (same `R`/`U` as the
     /// original; possibly reduced `M`, `H`/`E`).
@@ -129,7 +129,7 @@ impl Tile {
 
 /// The tiles assigned to one array. May be empty (an idle array) when a
 /// layer has less parallelism than the cluster has arrays.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubProblem {
     /// Which array runs these tiles.
     pub array_id: usize,

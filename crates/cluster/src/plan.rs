@@ -8,7 +8,9 @@
 //! shared-DRAM contention model. The best `(partition, mapping)` pair is
 //! picked per layer under an energy or energy-delay-product objective —
 //! the TETRIS-style scheduling loop, one level above the paper's
-//! single-array optimizer.
+//! single-array optimizer. The planner is generic over
+//! [`&dyn Dataflow`](Dataflow): it co-optimizes any registered mapping
+//! space, not just the builtin six.
 
 use crate::contention::SharedDram;
 use crate::partition::{enumerate, split, Partition, SubProblem, Tile};
@@ -16,11 +18,11 @@ use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::energy::EnergyModel;
 use eyeriss_dataflow::search::{MappingMemo, Objective};
-use eyeriss_dataflow::{DataflowKind, MappingCandidate};
-use eyeriss_nn::LayerShape;
+use eyeriss_dataflow::{Dataflow, MappingCandidate};
+use eyeriss_nn::LayerProblem;
 
 /// One tile with its optimal per-array mapping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TilePlan {
     /// The tile.
     pub tile: Tile,
@@ -29,7 +31,7 @@ pub struct TilePlan {
 }
 
 /// The planned work of one array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayPlan {
     /// Which array.
     pub array_id: usize,
@@ -55,7 +57,12 @@ impl ArrayPlan {
 
 /// A fully planned layer: one partition, per-array optimal mappings and
 /// the cluster-level cost model evaluated.
-#[derive(Debug, Clone)]
+///
+/// Serializable through [`crate::wire`] with a versioned schema, so a
+/// serving plan cache can persist compiled plans across restarts and a
+/// cold process re-executes them bit-exactly without a single mapping
+/// search.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterPlan {
     /// The chosen partition.
     pub partition: Partition,
@@ -91,7 +98,7 @@ impl ClusterPlan {
 
     /// Reconstructs the executor sub-problems this plan describes (each
     /// array's tiles, in array order), so a runtime can execute a cached
-    /// plan via [`crate::Cluster::run_planned`] without re-partitioning
+    /// plan via [`crate::Cluster::execute`] without re-partitioning
     /// or re-searching.
     pub fn subproblems(&self) -> Vec<SubProblem> {
         self.per_array
@@ -115,16 +122,15 @@ fn profile_of(per_array: &[ArrayPlan]) -> LayerAccessProfile {
     p
 }
 
-/// Plans one specific `partition` of `shape` (batch `n`) over `arrays`
-/// arrays of configuration `hw`, optimizing each distinct sub-problem
-/// with the `kind` mapping space. Returns `None` when the partition is
-/// infeasible or any tile has no feasible mapping.
+/// Plans one specific `partition` of `problem` over `arrays` arrays of
+/// configuration `hw`, optimizing each distinct sub-problem within
+/// `df`'s mapping space. Returns `None` when the partition is infeasible
+/// or any tile has no feasible mapping.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_partition(
-    kind: DataflowKind,
+    df: &dyn Dataflow,
     partition: Partition,
-    shape: &LayerShape,
-    n: usize,
+    problem: &LayerProblem,
     arrays: usize,
     hw: &AcceleratorConfig,
     em: &EnergyModel,
@@ -132,31 +138,29 @@ pub fn plan_partition(
     objective: Objective,
 ) -> Option<ClusterPlan> {
     let mut memo = MappingMemo::new(hw, em, objective);
-    plan_partition_memo(&mut memo, kind, partition, shape, n, arrays, em, shared)
+    plan_partition_memo(&mut memo, df, partition, problem, arrays, em, shared)
 }
 
 /// [`plan_partition`] against a caller-owned [`MappingMemo`], so distinct
-/// `(shape, n)` sub-problems — which repeat both *within* a partition
-/// (balanced chunking yields at most two distinct sizes per dimension)
-/// and *across* the partitions a layer search enumerates — are each
-/// mapped exactly once.
-#[allow(clippy::too_many_arguments)]
+/// tile problems — which repeat both *within* a partition (balanced
+/// chunking yields at most two distinct sizes per dimension) and
+/// *across* the partitions a layer search enumerates — are each mapped
+/// exactly once.
 fn plan_partition_memo(
     memo: &mut MappingMemo<'_>,
-    kind: DataflowKind,
+    df: &dyn Dataflow,
     partition: Partition,
-    shape: &LayerShape,
-    n: usize,
+    problem: &LayerProblem,
     arrays: usize,
     em: &EnergyModel,
     shared: &SharedDram,
 ) -> Option<ClusterPlan> {
-    let subs = split(partition, shape, n, arrays).ok()?;
+    let subs = split(partition, &problem.shape, problem.batch, arrays).ok()?;
     let mut per_array = Vec::with_capacity(subs.len());
     for sub in subs {
         let mut tiles = Vec::with_capacity(sub.tiles.len());
         for tile in sub.tiles {
-            let mapping = memo.best(kind, &tile.shape, tile.n)?;
+            let mapping = memo.best(df, &LayerProblem::new(tile.shape, tile.n))?;
             tiles.push(TilePlan { tile, mapping });
         }
         per_array.push(ArrayPlan {
@@ -180,8 +184,8 @@ fn plan_partition_memo(
     })
 }
 
-/// Plans `shape` over the cluster, searching every feasible partition and
-/// returning the best under `objective`. Returns `None` only when no
+/// Plans `problem` over the cluster, searching every feasible partition
+/// and returning the best under `objective`. Returns `None` only when no
 /// partition of this layer is feasible at all.
 ///
 /// # Example
@@ -189,14 +193,14 @@ fn plan_partition_memo(
 /// ```
 /// use eyeriss_cluster::{plan_layer, SharedDram};
 /// use eyeriss_dataflow::search::Objective;
-/// use eyeriss_dataflow::DataflowKind;
+/// use eyeriss_dataflow::{registry, DataflowKind};
 /// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
-/// use eyeriss_nn::LayerShape;
+/// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
-/// let conv3 = LayerShape::conv(384, 256, 15, 3, 1)?;
+/// let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
 /// let hw = AcceleratorConfig::eyeriss_chip();
 /// let plan = plan_layer(
-///     DataflowKind::RowStationary, &conv3, 16, 4, &hw,
+///     registry::builtin(DataflowKind::RowStationary), &conv3, 4, &hw,
 ///     &EnergyModel::table_iv(), &SharedDram::scaled(4),
 ///     Objective::EnergyDelayProduct,
 /// ).expect("CONV3 partitions over 4 arrays");
@@ -204,11 +208,9 @@ fn plan_partition_memo(
 /// assert!(plan.delay > 0.0);
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
 /// ```
-#[allow(clippy::too_many_arguments)]
 pub fn plan_layer(
-    kind: DataflowKind,
-    shape: &LayerShape,
-    n: usize,
+    df: &dyn Dataflow,
+    problem: &LayerProblem,
     arrays: usize,
     hw: &AcceleratorConfig,
     em: &EnergyModel,
@@ -225,18 +227,25 @@ pub fn plan_layer(
     // partition to partition (idle splits, balanced chunk sizes), so the
     // shared memo turns the layer search into one scan per distinct tile.
     let mut memo = MappingMemo::new(hw, em, objective);
-    enumerate(shape, n, arrays)
+    enumerate(&problem.shape, problem.batch, arrays)
         .into_iter()
-        .filter_map(|p| plan_partition_memo(&mut memo, kind, p, shape, n, arrays, em, shared))
+        .filter_map(|p| plan_partition_memo(&mut memo, df, p, problem, arrays, em, shared))
         .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eyeriss_dataflow::registry::builtin;
+    use eyeriss_dataflow::DataflowKind;
+    use eyeriss_nn::LayerShape;
 
     fn hw() -> AcceleratorConfig {
         AcceleratorConfig::eyeriss_chip()
+    }
+
+    fn rs() -> &'static dyn Dataflow {
+        builtin(DataflowKind::RowStationary)
     }
 
     fn plan(
@@ -246,10 +255,9 @@ mod tests {
         arrays: usize,
     ) -> Option<ClusterPlan> {
         plan_partition(
-            DataflowKind::RowStationary,
+            rs(),
             partition,
-            shape,
-            n,
+            &LayerProblem::new(*shape, n),
             arrays,
             &hw(),
             &EnergyModel::table_iv(),
@@ -271,32 +279,14 @@ mod tests {
 
     #[test]
     fn plan_layer_picks_the_best_partition() {
-        let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
+        let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1).unwrap(), 16);
         let em = EnergyModel::table_iv();
         let shared = SharedDram::scaled(4);
-        let best = plan_layer(
-            DataflowKind::RowStationary,
-            &conv3,
-            16,
-            4,
-            &hw(),
-            &em,
-            &shared,
-            Objective::Energy,
-        )
-        .unwrap();
-        for p in enumerate(&conv3, 16, 4) {
-            if let Some(candidate) = plan_partition(
-                DataflowKind::RowStationary,
-                p,
-                &conv3,
-                16,
-                4,
-                &hw(),
-                &em,
-                &shared,
-                Objective::Energy,
-            ) {
+        let best = plan_layer(rs(), &conv3, 4, &hw(), &em, &shared, Objective::Energy).unwrap();
+        for p in enumerate(&conv3.shape, 16, 4) {
+            if let Some(candidate) =
+                plan_partition(rs(), p, &conv3, 4, &hw(), &em, &shared, Objective::Energy)
+            {
                 assert!(best.energy <= candidate.energy * (1.0 + 1e-9), "{p}");
             }
         }
@@ -304,11 +294,10 @@ mod tests {
 
     #[test]
     fn fc_layer_plans_via_channel_partition() {
-        let fc = LayerShape::fully_connected(4096, 256, 6).unwrap();
+        let fc = LayerProblem::new(LayerShape::fully_connected(4096, 256, 6).unwrap(), 16);
         let plan = plan_layer(
-            DataflowKind::RowStationary,
+            rs(),
             &fc,
-            16,
             8,
             &hw(),
             &EnergyModel::table_iv(),
@@ -322,12 +311,11 @@ mod tests {
 
     #[test]
     fn scarce_shared_bandwidth_becomes_the_bound() {
-        let conv1 = LayerShape::conv(96, 3, 227, 11, 4).unwrap();
+        let conv1 = LayerProblem::new(LayerShape::conv(96, 3, 227, 11, 4).unwrap(), 4);
         let p = plan_partition(
-            DataflowKind::RowStationary,
+            rs(),
             Partition::OfmapChannel,
             &conv1,
-            4,
             4,
             &hw(),
             &EnergyModel::table_iv(),

@@ -5,59 +5,79 @@
 //! Convolutional Neural Networks* (Chen, Emer, Sze — ISCA 2016):
 //!
 //! * [`nn`] — CNN substrate: Table I/II shapes, Q8.8 tensors, golden
-//!   CONV/FC/POOL references.
+//!   CONV/FC/POOL references, and the shared [`LayerProblem`]/[`Workload`]
+//!   vocabulary.
 //! * [`arch`] — the Table IV energy hierarchy, Fig. 7a area model and
 //!   accelerator configurations.
-//! * [`dataflow`] — the six dataflow mapping spaces (RS, WS, OSA, OSB,
-//!   OSC, NLR) with exact access counting and the Section VI-C optimizer.
+//! * [`dataflow`] — the open [`Dataflow`] trait, the six builtin mapping
+//!   spaces (RS, WS, OSA, OSB, OSC, NLR), the [`DataflowRegistry`] and
+//!   the Section VI-C optimizer (generic over any registered space).
 //! * [`analysis`] — experiment runners regenerating every evaluation
 //!   figure (7, 10–15).
 //! * [`sim`] — a functional chip simulator executing the row-stationary
 //!   dataflow bit-exactly against the golden reference.
-//! * [`cluster`] — multi-array partitioning and parallel scheduling:
-//!   batch/channel/tile/hybrid partitions co-optimized with the mapping
-//!   search and executed bit-exactly across arrays (beyond the paper).
+//! * [`cluster`] — multi-array partitioning and parallel scheduling
+//!   (beyond the paper).
 //! * [`serve`] — the inference-serving runtime: plan compilation into a
-//!   content-keyed cache, dynamic batching and a multi-array scheduler
-//!   with per-request latency accounting (beyond the paper).
+//!   content-keyed cache (persistable to disk), dynamic batching and a
+//!   multi-array scheduler (beyond the paper).
+//!
+//! The public API is the [`Engine`] façade: one typed builder, three
+//! execution tiers (`simulate` / `run` / `serve`) and a shared,
+//! persistable plan cache.
 //!
 //! # Quickstart
 //!
-//! Map AlexNet CONV3 onto a 256-PE accelerator with every dataflow and
-//! compare energy:
+//! ```
+//! use eyeriss::{Engine, Objective};
+//! use eyeriss::prelude::*;
+//!
+//! // One engine = one deployment: hardware, cluster width, objective,
+//! // mapping space (any registered `Dataflow`; row stationary default).
+//! let engine = Engine::builder()
+//!     .hardware(AcceleratorConfig::eyeriss_chip())
+//!     .arrays(2)
+//!     .objective(Objective::EnergyDelayProduct)
+//!     .build()?;
+//!
+//! // Search tier: optimal mapping + compiled cluster plan, cached.
+//! let conv = LayerProblem::new(LayerShape::conv(8, 4, 13, 3, 2)?, 2);
+//! let best = engine.best_mapping(&conv)?;
+//! assert!(best.active_pes > 0);
+//! let plan = engine.plan(&conv)?;
+//!
+//! // Execution tiers are bit-exact against the golden reference.
+//! let input = synth::ifmap(&conv.shape, 2, 1);
+//! let weights = synth::filters(&conv.shape, 2);
+//! let bias = synth::biases(&conv.shape, 3);
+//! let golden = reference::conv_accumulate(&conv.shape, 2, &input, &weights, &bias);
+//! assert_eq!(engine.simulate(&conv, &input, &weights, &bias)?.psums, golden);
+//! assert_eq!(engine.run(&conv, &input, &weights, &bias)?.psums, golden);
+//! assert_eq!(plan.arrays, 2);
+//! # Ok::<(), eyeriss::EngineError>(())
+//! ```
+//!
+//! Compare the six dataflows on AlexNet CONV3 under the paper's
+//! fixed-area comparison:
 //!
 //! ```
 //! use eyeriss::prelude::*;
+//! use eyeriss::Objective;
+//! use eyeriss::dataflow::search;
 //!
-//! let shape = LayerShape::conv(384, 256, 15, 3, 1)?; // AlexNet CONV3
+//! let problem = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
 //! let em = EnergyModel::table_iv();
+//! let reg = DataflowRegistry::builtin();
 //! let mut results = Vec::new();
-//! for kind in DataflowKind::ALL {
-//!     let hw = comparison_hardware(kind, 256);
-//!     if let Some(best) = best_mapping(kind, &shape, 16, &hw, &em) {
-//!         results.push((kind, best.profile.total_energy(&em)));
+//! for df in reg.iter() {
+//!     let hw = df.comparison_hardware(256);
+//!     if let Some(best) = search::optimize(df.as_ref(), &problem, &hw, &em, Objective::Energy) {
+//!         results.push((df.id(), best.profile.total_energy(&em)));
 //!     }
 //! }
 //! let rs = results[0].1;
 //! assert!(results.iter().skip(1).all(|&(_, e)| e > rs), "RS wins");
 //! # Ok::<(), eyeriss::nn::ShapeError>(())
-//! ```
-//!
-//! Simulate a layer on the fabricated chip's configuration and verify the
-//! result bit-exactly:
-//!
-//! ```
-//! use eyeriss::prelude::*;
-//!
-//! let shape = LayerShape::conv(8, 4, 13, 3, 2)?;
-//! let input = synth::ifmap(&shape, 1, 1);
-//! let weights = synth::filters(&shape, 2);
-//! let bias = synth::biases(&shape, 3);
-//!
-//! let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
-//! let run = chip.run_conv(&shape, 1, &input, &weights, &bias)?;
-//! assert_eq!(run.psums, reference::conv_accumulate(&shape, 1, &input, &weights, &bias));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use eyeriss_analysis as analysis;
@@ -67,17 +87,71 @@ pub use eyeriss_dataflow as dataflow;
 pub use eyeriss_nn as nn;
 pub use eyeriss_serve as serve;
 pub use eyeriss_sim as sim;
+pub use eyeriss_wire as wire;
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{Engine, EngineBuilder, ServeOptions};
+pub use error::{BuildError, EngineError};
+
+// The façade's shared vocabulary, re-exported at the crate root.
+pub use eyeriss_dataflow::search::Objective;
+pub use eyeriss_dataflow::{Dataflow, DataflowId, DataflowKind, DataflowRegistry};
+pub use eyeriss_nn::{LayerProblem, Workload};
+
+/// # Migration guide: the pre-`Engine` API → the builder-first API
+///
+/// Version 0.1's three generations of entry points remain available as
+/// thin `#[deprecated]` shims for one release. Migrate as follows:
+///
+/// | Old entry point | New API |
+/// |---|---|
+/// | `search::best_mapping(kind, &shape, n, &hw, &em)` | `engine.best_mapping(&LayerProblem::new(shape, n))`, or `search::optimize(registry::builtin(kind), &problem, &hw, &em, objective)` |
+/// | `search::best_mapping_with(kind, …, objective)` | same as above — the objective is part of the engine/builder |
+/// | `search::best_mappings_with(kind, &[(shape, n)], …)` | `search::optimize_all(df, &[LayerProblem], …)` |
+/// | `search::comparison_hardware(kind, pes)` | `registry::builtin(kind).comparison_hardware(pes)` (any `Dataflow` has it) |
+/// | `model::model_for(kind)` | `registry::builtin(kind)` or `DataflowRegistry::builtin().get(id)` |
+/// | `Cluster::run_conv(partition, &shape, n, …)` | `engine.run(&problem, …)`, or `Cluster::execute_partition(partition, &problem, …)` |
+/// | `Cluster::run_planned(&plan, &shape, n, …)` | `engine.run(&problem, …)` (plans cached), or `Cluster::execute(&plan, &problem, …)` |
+/// | `plan_layer(kind, &shape, n, arrays, …)` | `engine.plan(&problem)` (cached), or `plan_layer(df, &problem, arrays, …)` |
+/// | `Server::start(net, cfg)` | still available — or `engine.serve(net)` to share the engine's plan cache and dataflow |
+/// | `PlanCompiler::new(arrays, hw)` | still available — or let `Engine::builder()` wire it |
+///
+/// Two semantic changes to be aware of:
+///
+/// 1. **Batch size lives in [`LayerProblem`].** Every search/plan/run
+///    call takes one `problem` value instead of a `(shape, n)` pair, so
+///    caches and persisted plans agree on problem identity.
+/// 2. **Dataflows are open.** `DataflowKind` still names the paper's
+///    six, but everything dispatches through the [`Dataflow`] trait;
+///    `MappingParams::kind()` now returns `Option<DataflowKind>`
+///    (`None` for registered extensions) and `params.dataflow()` is the
+///    total function. `ParamsMismatch` carries [`DataflowId`]s.
+///
+/// Persisted artifacts are new in this release: [`Engine::save_plans`] /
+/// [`Engine::load_plans`] (or `PlanCache::save`/`load`) round-trip every
+/// compiled plan through a versioned on-disk schema with bit-exact
+/// re-execution.
+pub mod migration {}
 
 /// One-stop imports for the common workflows.
 pub mod prelude {
+    pub use crate::engine::{Engine, EngineBuilder, ServeOptions};
+    pub use crate::error::{BuildError, EngineError};
     pub use eyeriss_analysis::{run_conv_layers, run_fc_layers, run_layers, DataflowRun};
     pub use eyeriss_arch::energy::{EnergyModel, Level};
     pub use eyeriss_arch::{AcceleratorConfig, DataType, GridDims};
     pub use eyeriss_cluster::{plan_layer, Cluster, ClusterRun, Partition, SharedDram};
-    pub use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
-    pub use eyeriss_dataflow::{DataflowKind, MappingCandidate};
-    pub use eyeriss_nn::{alexnet, reference, synth, Fix16, LayerShape, Tensor4};
-    pub use eyeriss_serve::{BatchPolicy, PlanCompiler, ServeConfig, Server};
+    pub use eyeriss_dataflow::registry;
+    pub use eyeriss_dataflow::search::{optimize, Objective};
+    pub use eyeriss_dataflow::{
+        Dataflow, DataflowId, DataflowKind, DataflowRegistry, MappingCandidate,
+    };
+    pub use eyeriss_nn::{
+        alexnet, reference, synth, Fix16, LayerProblem, LayerShape, Tensor4, Workload,
+    };
+    pub use eyeriss_serve::{BatchPolicy, PlanCache, PlanCompiler, ServeConfig, Server};
     pub use eyeriss_sim::{Accelerator, SimStats};
 }
 
@@ -87,9 +161,19 @@ mod tests {
 
     #[test]
     fn facade_reexports_work_together() {
+        let engine = Engine::builder().build().unwrap();
+        let problem = LayerProblem::new(LayerShape::conv(4, 3, 9, 3, 1).unwrap(), 1);
+        let best = engine.best_mapping(&problem).unwrap();
+        assert!(best.profile.alu_ops > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_compile_and_agree() {
+        use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
         let shape = LayerShape::conv(4, 3, 9, 3, 1).unwrap();
         let hw = comparison_hardware(DataflowKind::RowStationary, 256);
-        let best = best_mapping(
+        let old = best_mapping(
             DataflowKind::RowStationary,
             &shape,
             1,
@@ -97,6 +181,14 @@ mod tests {
             &EnergyModel::table_iv(),
         )
         .unwrap();
-        assert!(best.profile.alu_ops > 0.0);
+        let new = optimize(
+            registry::builtin(DataflowKind::RowStationary),
+            &LayerProblem::new(shape, 1),
+            &hw,
+            &EnergyModel::table_iv(),
+            Objective::Energy,
+        )
+        .unwrap();
+        assert_eq!(old, new);
     }
 }

@@ -1,5 +1,6 @@
 //! Candidate mappings produced by the dataflow models.
 
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
 use eyeriss_arch::access::LayerAccessProfile;
 use std::fmt;
@@ -9,10 +10,10 @@ use std::fmt;
 /// validating a cached plan) report the mismatch instead of aborting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamsMismatch {
-    /// The variant the caller asked for.
-    pub expected: DataflowKind,
-    /// The variant the candidate actually carries.
-    pub actual: DataflowKind,
+    /// The dataflow the caller asked for.
+    pub expected: DataflowId,
+    /// The dataflow the candidate actually carries.
+    pub actual: DataflowId,
 }
 
 impl fmt::Display for ParamsMismatch {
@@ -95,31 +96,58 @@ pub enum MappingParams {
         /// Whether a full ifmap plane stays resident in the buffer.
         ifmap_resident: bool,
     },
+    /// Knobs of a dataflow registered *outside* the paper's taxonomy
+    /// (a [`crate::Dataflow`] implementation beyond the builtin six).
+    /// Up to four generic knobs, interpreted by the owning dataflow.
+    Custom {
+        /// The owning dataflow's identity.
+        id: DataflowId,
+        /// Dataflow-specific knob values.
+        knobs: [usize; 4],
+    },
 }
 
 impl MappingParams {
-    /// The dataflow whose knobs this variant carries.
-    pub fn kind(&self) -> DataflowKind {
+    /// The identity of the dataflow whose knobs this value carries.
+    pub fn dataflow(&self) -> DataflowId {
         match self {
-            MappingParams::RowStationary { .. } => DataflowKind::RowStationary,
-            MappingParams::WeightStationary { .. } => DataflowKind::WeightStationary,
-            MappingParams::OutputStationaryA { .. } => DataflowKind::OutputStationaryA,
-            MappingParams::OutputStationaryB { .. } => DataflowKind::OutputStationaryB,
-            MappingParams::OutputStationaryC { .. } => DataflowKind::OutputStationaryC,
-            MappingParams::NoLocalReuse { .. } => DataflowKind::NoLocalReuse,
+            MappingParams::Custom { id, .. } => *id,
+            other => other
+                .kind()
+                .expect("every non-custom variant maps to a builtin kind")
+                .id(),
+        }
+    }
+
+    /// The builtin [`DataflowKind`] of this variant, or `None` for
+    /// [`MappingParams::Custom`] params of a registered extension.
+    pub fn kind(&self) -> Option<DataflowKind> {
+        match self {
+            MappingParams::RowStationary { .. } => Some(DataflowKind::RowStationary),
+            MappingParams::WeightStationary { .. } => Some(DataflowKind::WeightStationary),
+            MappingParams::OutputStationaryA { .. } => Some(DataflowKind::OutputStationaryA),
+            MappingParams::OutputStationaryB { .. } => Some(DataflowKind::OutputStationaryB),
+            MappingParams::OutputStationaryC { .. } => Some(DataflowKind::OutputStationaryC),
+            MappingParams::NoLocalReuse { .. } => Some(DataflowKind::NoLocalReuse),
+            MappingParams::Custom { .. } => None,
         }
     }
 
     /// Checks that the params belong to `expected`, returning the typed
     /// [`ParamsMismatch`] otherwise — the non-panicking alternative to
     /// destructuring a single variant with a `panic!` fallback.
-    pub fn expect_kind(&self, expected: DataflowKind) -> Result<&MappingParams, ParamsMismatch> {
-        let actual = self.kind();
+    pub fn expect_dataflow(&self, expected: DataflowId) -> Result<&MappingParams, ParamsMismatch> {
+        let actual = self.dataflow();
         if actual == expected {
             Ok(self)
         } else {
             Err(ParamsMismatch { expected, actual })
         }
+    }
+
+    /// [`MappingParams::expect_dataflow`] keyed by the closed taxonomy.
+    pub fn expect_kind(&self, expected: DataflowKind) -> Result<&MappingParams, ParamsMismatch> {
+        self.expect_dataflow(expected.id())
     }
 }
 
@@ -159,6 +187,13 @@ impl fmt::Display for MappingParams {
                 f,
                 "NLR(g_c={g_c}, g_w={g_w}, ifmap_resident={ifmap_resident})"
             ),
+            MappingParams::Custom { id, knobs } => {
+                write!(
+                    f,
+                    "{id}(k0={}, k1={}, k2={}, k3={})",
+                    knobs[0], knobs[1], knobs[2], knobs[3]
+                )
+            }
         }
     }
 }
@@ -207,7 +242,8 @@ mod tests {
     #[test]
     fn kind_matches_variant() {
         let p = MappingParams::OutputStationaryC { o_m: 4, n_par: 2 };
-        assert_eq!(p.kind(), DataflowKind::OutputStationaryC);
+        assert_eq!(p.kind(), Some(DataflowKind::OutputStationaryC));
+        assert_eq!(p.dataflow(), DataflowKind::OutputStationaryC.id());
         assert!(p.expect_kind(DataflowKind::OutputStationaryC).is_ok());
     }
 
@@ -215,9 +251,27 @@ mod tests {
     fn expect_kind_mismatch_is_a_typed_error() {
         let p = MappingParams::WeightStationary { g_m: 2, g_c: 3 };
         let err = p.expect_kind(DataflowKind::RowStationary).unwrap_err();
-        assert_eq!(err.expected, DataflowKind::RowStationary);
-        assert_eq!(err.actual, DataflowKind::WeightStationary);
+        assert_eq!(err.expected, DataflowKind::RowStationary.id());
+        assert_eq!(err.actual, DataflowKind::WeightStationary.id());
         assert!(err.to_string().contains("WS"));
+    }
+
+    #[test]
+    fn custom_params_carry_an_open_identity() {
+        let toy = DataflowId::new("TOY");
+        let p = MappingParams::Custom {
+            id: toy,
+            knobs: [1, 2, 3, 4],
+        };
+        assert_eq!(p.kind(), None);
+        assert_eq!(p.dataflow(), toy);
+        assert!(p.expect_dataflow(toy).is_ok());
+        let err = p
+            .expect_dataflow(DataflowKind::RowStationary.id())
+            .unwrap_err();
+        assert_eq!(err.actual, toy);
+        let s = p.to_string();
+        assert!(s.contains("TOY") && s.contains("k2=3"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The open `Dataflow` trait: one interface over every mapping space.
+//!
+//! The paper frames each dataflow as "a set of parameters ... that
+//! describes the optimal mapping in terms of energy efficiency", all
+//! searched by one optimizer (Section VI-C). This trait is that framing
+//! made literal: a dataflow *is* anything that can enumerate candidate
+//! mappings, re-derive the model for given parameters, and validate a
+//! candidate against hardware. The optimizer ([`crate::search`]), the
+//! cluster planner and the serving plan compiler are generic over
+//! `&dyn Dataflow`, so new spaces (Eyeriss v2's flexible RS, a
+//! serial-accumulation OS variant) plug in through the
+//! [`crate::DataflowRegistry`] without touching any of them.
+
+use crate::candidate::MappingCandidate;
+use crate::error::DataflowError;
+use crate::id::DataflowId;
+use eyeriss_arch::config::AcceleratorConfig;
+use eyeriss_nn::LayerProblem;
+
+/// A parameterized dataflow mapping space (Section VI-A, opened up).
+///
+/// The three required operations mirror the optimizer's contract:
+///
+/// * [`enumerate`](Dataflow::enumerate) — the candidate mappings of a
+///   problem on given hardware (empty when the dataflow cannot operate);
+/// * [`model`](Dataflow::model) — re-derive the full candidate (access
+///   profile, active PEs) for *known* parameters, used to check
+///   deserialized plans against the live model;
+/// * [`validate`](Dataflow::validate) — feasibility screening of one
+///   candidate, the typed replacement for `panic!` on params mismatch.
+pub trait Dataflow: Send + Sync {
+    /// Stable identity; the registry, memo and plan caches key on this.
+    fn id(&self) -> DataflowId;
+
+    /// Per-PE register file requirement in bytes (drives the Fig. 7b
+    /// fixed-area storage split).
+    fn rf_bytes(&self) -> f64;
+
+    /// Enumerates every feasible mapping of `problem` on `hw`, each with
+    /// exact aggregate access counts. An empty vector means the dataflow
+    /// cannot operate at this point (WS at batch 64 on 256 PEs, Fig. 11a).
+    fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate>;
+
+    /// Re-derives the candidate for known `params`.
+    ///
+    /// The default scans [`enumerate`](Dataflow::enumerate) for an exact
+    /// parameter match; spaces with a closed-form model can override.
+    ///
+    /// # Errors
+    ///
+    /// [`DataflowError::Mismatch`] when `params` belong to another
+    /// dataflow, [`DataflowError::NoSuchMapping`] when they are not in
+    /// this space for `problem`.
+    fn model(
+        &self,
+        params: &crate::candidate::MappingParams,
+        problem: &LayerProblem,
+        hw: &AcceleratorConfig,
+    ) -> Result<MappingCandidate, DataflowError> {
+        params.expect_dataflow(self.id())?;
+        self.enumerate(problem, hw)
+            .into_iter()
+            .find(|c| c.params == *params)
+            .ok_or_else(|| DataflowError::NoSuchMapping {
+                dataflow: self.id(),
+                detail: format!(
+                    "{params} for {}x{}x{} (batch {})",
+                    problem.shape.m, problem.shape.c, problem.shape.h, problem.batch
+                ),
+            })
+    }
+
+    /// Screens one candidate for feasibility on `hw`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataflowError::Mismatch`] for foreign parameters,
+    /// [`DataflowError::InvalidCandidate`] for degenerate PE counts or
+    /// non-finite access counts.
+    fn validate(
+        &self,
+        candidate: &MappingCandidate,
+        hw: &AcceleratorConfig,
+    ) -> Result<(), DataflowError> {
+        candidate.params.expect_dataflow(self.id())?;
+        if candidate.active_pes == 0 || candidate.active_pes > hw.num_pes() {
+            return Err(DataflowError::InvalidCandidate {
+                dataflow: self.id(),
+                detail: format!(
+                    "{} active PEs outside 1..={}",
+                    candidate.active_pes,
+                    hw.num_pes()
+                ),
+            });
+        }
+        if !candidate.profile.is_valid() {
+            return Err(DataflowError::InvalidCandidate {
+                dataflow: self.id(),
+                detail: "non-finite or negative access counts".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The hardware this dataflow gets under the fixed-area comparison of
+    /// Section VI-B: its own RF requirement, the rest of the Eq. (2)
+    /// baseline storage area as buffer.
+    fn comparison_hardware(&self, num_pes: usize) -> AcceleratorConfig {
+        AcceleratorConfig::under_baseline_area(num_pes, self.rf_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::MappingParams;
+    use crate::kind::DataflowKind;
+    use crate::registry;
+    use eyeriss_nn::LayerShape;
+
+    fn problem() -> LayerProblem {
+        LayerProblem::new(LayerShape::conv(8, 4, 13, 3, 2).unwrap(), 2)
+    }
+
+    #[test]
+    fn model_rederives_enumerated_candidates() {
+        let df = registry::builtin(DataflowKind::RowStationary);
+        let hw = df.comparison_hardware(256);
+        let p = problem();
+        let cands = df.enumerate(&p, &hw);
+        assert!(!cands.is_empty());
+        for c in cands.iter().take(4) {
+            let again = df.model(&c.params, &p, &hw).unwrap();
+            assert_eq!(&again, c, "model() must reproduce enumerate()'s candidate");
+        }
+    }
+
+    #[test]
+    fn model_rejects_foreign_params() {
+        let rs = registry::builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let ws_params = MappingParams::WeightStationary { g_m: 1, g_c: 1 };
+        let err = rs.model(&ws_params, &problem(), &hw).unwrap_err();
+        assert!(matches!(err, DataflowError::Mismatch(_)));
+    }
+
+    #[test]
+    fn model_rejects_out_of_space_params() {
+        let rs = registry::builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        // Absurd knobs no enumeration would produce.
+        let params = MappingParams::RowStationary {
+            n: 999,
+            p: 999,
+            q: 999,
+            e: 999,
+            r: 999,
+            t: 999,
+            filter_resident: true,
+        };
+        let err = rs.model(&params, &problem(), &hw).unwrap_err();
+        assert!(matches!(err, DataflowError::NoSuchMapping { .. }));
+    }
+
+    #[test]
+    fn validate_screens_pe_counts_and_profiles() {
+        let rs = registry::builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let p = problem();
+        let good = rs.enumerate(&p, &hw).into_iter().next().unwrap();
+        assert!(rs.validate(&good, &hw).is_ok());
+
+        let mut too_many = good.clone();
+        too_many.active_pes = hw.num_pes() + 1;
+        assert!(matches!(
+            rs.validate(&too_many, &hw),
+            Err(DataflowError::InvalidCandidate { .. })
+        ));
+
+        let mut bad_profile = good.clone();
+        bad_profile.profile.alu_ops = f64::NAN;
+        assert!(matches!(
+            rs.validate(&bad_profile, &hw),
+            Err(DataflowError::InvalidCandidate { .. })
+        ));
+
+        let mut foreign = good;
+        foreign.params = MappingParams::WeightStationary { g_m: 1, g_c: 1 };
+        assert!(matches!(
+            rs.validate(&foreign, &hw),
+            Err(DataflowError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn comparison_hardware_matches_fixed_area_split() {
+        for kind in DataflowKind::ALL {
+            let df = registry::builtin(kind);
+            let hw = df.comparison_hardware(256);
+            let direct = AcceleratorConfig::under_baseline_area(256, kind.rf_bytes());
+            assert_eq!(hw, direct, "{kind}");
+        }
+    }
+}

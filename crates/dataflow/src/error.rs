@@ -1,0 +1,112 @@
+//! Typed errors of the dataflow layer.
+//!
+//! Everything that used to be a `panic!("wrong params variant")` or an
+//! `unreachable!` on a [`crate::MappingParams`] mismatch is one of these
+//! variants instead, so callers holding cached or deserialized plans can
+//! report *which* dataflow disagreed rather than aborting the process.
+
+use crate::candidate::ParamsMismatch;
+use crate::id::DataflowId;
+use std::fmt;
+
+/// Why a dataflow operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// No dataflow with this label is registered.
+    Unknown(String),
+    /// A dataflow with this id is already registered.
+    Duplicate(DataflowId),
+    /// Mapping parameters belong to a different dataflow than the one
+    /// interrogating them.
+    Mismatch(ParamsMismatch),
+    /// The given parameters are not in this dataflow's mapping space for
+    /// the given problem.
+    NoSuchMapping {
+        /// The dataflow that was asked.
+        dataflow: DataflowId,
+        /// What was looked for.
+        detail: String,
+    },
+    /// A candidate fails this dataflow's feasibility checks.
+    InvalidCandidate {
+        /// The dataflow that rejected it.
+        dataflow: DataflowId,
+        /// Why.
+        detail: String,
+    },
+    /// No feasible mapping exists for a problem (the dataflow "cannot
+    /// operate" at this operating point, like WS at batch 64 on 256 PEs).
+    NoMapping {
+        /// The dataflow that was searched.
+        dataflow: DataflowId,
+        /// The problem, rendered for the message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Unknown(label) => {
+                write!(f, "no dataflow registered under {label:?}")
+            }
+            DataflowError::Duplicate(id) => {
+                write!(f, "dataflow {id} is already registered")
+            }
+            DataflowError::Mismatch(m) => m.fmt(f),
+            DataflowError::NoSuchMapping { dataflow, detail } => {
+                write!(f, "{dataflow} has no such mapping: {detail}")
+            }
+            DataflowError::InvalidCandidate { dataflow, detail } => {
+                write!(f, "{dataflow} rejected the candidate: {detail}")
+            }
+            DataflowError::NoMapping { dataflow, detail } => {
+                write!(f, "{dataflow} has no feasible mapping for {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+impl From<ParamsMismatch> for DataflowError {
+    fn from(m: ParamsMismatch) -> Self {
+        DataflowError::Mismatch(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        let id = DataflowId::new("RS");
+        assert!(DataflowError::Unknown("X".into()).to_string().contains("X"));
+        assert!(DataflowError::Duplicate(id).to_string().contains("RS"));
+        assert!(DataflowError::NoSuchMapping {
+            dataflow: id,
+            detail: "p=9".into()
+        }
+        .to_string()
+        .contains("p=9"));
+        assert!(DataflowError::InvalidCandidate {
+            dataflow: id,
+            detail: "zero PEs".into()
+        }
+        .to_string()
+        .contains("zero PEs"));
+        assert!(DataflowError::NoMapping {
+            dataflow: id,
+            detail: "conv1".into()
+        }
+        .to_string()
+        .contains("feasible"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DataflowError>();
+    }
+}

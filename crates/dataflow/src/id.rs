@@ -1,0 +1,87 @@
+//! Open-world dataflow identity.
+//!
+//! [`crate::DataflowKind`] is the paper's *closed* taxonomy — exactly the
+//! six dataflows of Table III, used wherever figures are reproduced.
+//! [`DataflowId`] is the *open* identity the optimizer, the cluster
+//! planner and the serving plan cache key on: any type implementing
+//! [`crate::Dataflow`] names itself with one, so new dataflows (a
+//! v2-style flexible RS, a serial-accumulation variant) participate in
+//! every search and cache without the core crates learning their names.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Stable identity of a dataflow mapping space.
+///
+/// Compares and hashes by label *content*, so two ids built from equal
+/// strings are interchangeable as cache keys.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_dataflow::{DataflowId, DataflowKind};
+///
+/// const TOY: DataflowId = DataflowId::new("TOY");
+/// assert_eq!(TOY.label(), "TOY");
+/// assert_ne!(TOY, DataflowKind::RowStationary.id());
+/// assert_eq!(DataflowKind::RowStationary.id(), DataflowId::new("RS"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DataflowId(&'static str);
+
+impl DataflowId {
+    /// Creates an id from a static label.
+    ///
+    /// Labels are the serialization format of the id (plan caches store
+    /// them on disk), so pick short, stable, unique names.
+    pub const fn new(label: &'static str) -> Self {
+        DataflowId(label)
+    }
+
+    /// The id's label.
+    pub fn label(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for DataflowId {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for DataflowId {}
+
+impl Hash for DataflowId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Display for DataflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_is_by_content() {
+        // Two ids from different string constants with equal content.
+        let a = DataflowId::new("RS");
+        let b = DataflowId::new(stringify!(RS));
+        assert_eq!(a, b);
+        let mut map = HashMap::new();
+        map.insert(a, 1);
+        assert_eq!(map.get(&b), Some(&1));
+    }
+
+    #[test]
+    fn display_is_the_label() {
+        assert_eq!(DataflowId::new("OSB").to_string(), "OSB");
+    }
+}

@@ -1,5 +1,6 @@
 //! The dataflow taxonomy of Section IV and Table III.
 
+use crate::id::DataflowId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +34,19 @@ impl DataflowKind {
         DataflowKind::OutputStationaryC,
         DataflowKind::NoLocalReuse,
     ];
+
+    /// The open-world identity of this builtin dataflow — what the
+    /// optimizer, memo and plan caches key on. Extensions registered
+    /// through [`crate::DataflowRegistry`] coin their own ids.
+    pub fn id(self) -> DataflowId {
+        DataflowId::new(self.label())
+    }
+
+    /// The builtin kind carrying `label`, if any (the inverse of
+    /// [`DataflowKind::label`], used when decoding persisted plans).
+    pub fn from_label(label: &str) -> Option<DataflowKind> {
+        DataflowKind::ALL.into_iter().find(|k| k.label() == label)
+    }
 
     /// The figure label ("RS", "WS", "OSA", "OSB", "OSC", "NLR").
     pub fn label(self) -> &'static str {
@@ -114,5 +128,14 @@ mod tests {
     #[test]
     fn display_equals_label() {
         assert_eq!(DataflowKind::OutputStationaryB.to_string(), "OSB");
+    }
+
+    #[test]
+    fn id_and_label_are_inverses() {
+        for k in DataflowKind::ALL {
+            assert_eq!(k.id().label(), k.label());
+            assert_eq!(DataflowKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(DataflowKind::from_label("TOY"), None);
     }
 }

@@ -17,34 +17,48 @@
 //! | OSC  | MOC-SOP: psum stationary; ifmap reuse in array | [`os_c`] |
 //! | NLR  | no RF; ifmap reuse + psum accumulation in array | [`nlr`] |
 //!
+//! Each mapping space implements the open [`Dataflow`] trait and is
+//! looked up through the [`DataflowRegistry`]; the optimizer in
+//! [`search`] is generic over `&dyn Dataflow`, so spaces registered
+//! beyond the paper's six are searched without any optimizer changes.
+//!
 //! # Example
 //!
 //! ```
-//! use eyeriss_dataflow::{DataflowKind, search};
-//! use eyeriss_arch::{AcceleratorConfig, EnergyModel};
-//! use eyeriss_nn::LayerShape;
+//! use eyeriss_dataflow::{registry, search, DataflowKind};
+//! use eyeriss_dataflow::search::Objective;
+//! use eyeriss_arch::EnergyModel;
+//! use eyeriss_nn::{LayerProblem, LayerShape};
 //!
-//! let shape = LayerShape::conv(96, 3, 227, 11, 4)?; // AlexNet CONV1
-//! let hw = AcceleratorConfig::under_baseline_area(256, DataflowKind::RowStationary.rf_bytes());
-//! let best = search::best_mapping(DataflowKind::RowStationary, &shape, 16, &hw,
-//!                                 &EnergyModel::table_iv()).unwrap();
+//! let rs = registry::builtin(DataflowKind::RowStationary);
+//! let problem = LayerProblem::new(LayerShape::conv(96, 3, 227, 11, 4)?, 16); // CONV1
+//! let best = search::optimize(rs, &problem, &rs.comparison_hardware(256),
+//!                             &EnergyModel::table_iv(), Objective::Energy).unwrap();
 //! assert!(best.active_pes > 0 && best.active_pes <= 256);
 //! # Ok::<(), eyeriss_nn::ShapeError>(())
 //! ```
 
 pub mod candidate;
+pub mod dataflow;
+pub mod error;
+pub mod id;
 pub mod kind;
 pub mod model;
 pub mod nlr;
 pub mod os_a;
 pub mod os_b;
 pub mod os_c;
+pub mod registry;
 pub mod rs;
 pub mod search;
 pub mod split;
+pub mod wire;
 pub mod ws;
 
 pub use candidate::{MappingCandidate, MappingParams, ParamsMismatch};
+pub use dataflow::Dataflow;
+pub use error::DataflowError;
+pub use id::DataflowId;
 pub use kind::DataflowKind;
-pub use model::DataflowModel;
+pub use registry::DataflowRegistry;
 pub use split::ReuseSplit;

@@ -1,47 +1,17 @@
-//! The dataflow model interface and shared enumeration helpers.
+//! Shared enumeration helpers and the legacy model lookup.
+//!
+//! The old closed `DataflowModel` trait collapsed into the open
+//! [`Dataflow`] trait (see [`crate::dataflow`]); this module keeps the
+//! enumeration arithmetic the six builtin spaces share, plus a
+//! deprecated shim for the old kind-based lookup.
 
-use crate::candidate::MappingCandidate;
+use crate::dataflow::Dataflow;
 use crate::kind::DataflowKind;
-use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_nn::LayerShape;
 
-/// A parameterized dataflow mapping space (Section VI-A).
-///
-/// Implementations enumerate every candidate mapping of a layer onto the
-/// given hardware, producing exact aggregate access counts. Infeasible
-/// layers yield an empty vector — this is how WS "cannot even operate" at
-/// batch 64 with 256 PEs (Fig. 11a).
-pub trait DataflowModel {
-    /// Which dataflow this model implements.
-    fn kind(&self) -> DataflowKind;
-
-    /// Enumerates feasible mappings of `shape` with batch size `n` on `hw`.
-    fn mappings(
-        &self,
-        shape: &LayerShape,
-        n: usize,
-        hw: &AcceleratorConfig,
-    ) -> Vec<MappingCandidate>;
-}
-
-/// Returns the model implementing `kind`.
-///
-/// # Example
-///
-/// ```
-/// use eyeriss_dataflow::{model, DataflowKind};
-/// let m = model::model_for(DataflowKind::NoLocalReuse);
-/// assert_eq!(m.kind(), DataflowKind::NoLocalReuse);
-/// ```
-pub fn model_for(kind: DataflowKind) -> Box<dyn DataflowModel> {
-    match kind {
-        DataflowKind::RowStationary => Box::new(crate::rs::RowStationaryModel),
-        DataflowKind::WeightStationary => Box::new(crate::ws::WeightStationaryModel),
-        DataflowKind::OutputStationaryA => Box::new(crate::os_a::OutputStationaryAModel),
-        DataflowKind::OutputStationaryB => Box::new(crate::os_b::OutputStationaryBModel),
-        DataflowKind::OutputStationaryC => Box::new(crate::os_c::OutputStationaryCModel),
-        DataflowKind::NoLocalReuse => Box::new(crate::nlr::NoLocalReuseModel),
-    }
+/// Returns the builtin model implementing `kind`.
+#[deprecated(note = "use `registry::builtin(kind)` or a `DataflowRegistry`")]
+pub fn model_for(kind: DataflowKind) -> &'static dyn Dataflow {
+    crate::registry::builtin(kind)
 }
 
 /// Ceiling division for mapping-fold counts.
@@ -115,9 +85,10 @@ mod tests {
     }
 
     #[test]
-    fn model_for_covers_all_kinds() {
+    #[allow(deprecated)]
+    fn model_for_shim_covers_all_kinds() {
         for kind in DataflowKind::ALL {
-            assert_eq!(model_for(kind).kind(), kind);
+            assert_eq!(model_for(kind).id(), kind.id());
         }
     }
 }

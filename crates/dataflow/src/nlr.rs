@@ -17,22 +17,36 @@
 //! see no array reuse at all.
 
 use crate::candidate::{MappingCandidate, MappingParams};
+use crate::dataflow::Dataflow;
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
-use crate::model::{ceil_div, factor_candidates, DataflowModel};
+use crate::model::{ceil_div, factor_candidates};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 
 /// The no-local-reuse mapping space.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoLocalReuseModel;
 
-impl DataflowModel for NoLocalReuseModel {
-    fn kind(&self) -> DataflowKind {
-        DataflowKind::NoLocalReuse
+impl Dataflow for NoLocalReuseModel {
+    fn id(&self) -> DataflowId {
+        DataflowKind::NoLocalReuse.id()
     }
 
-    fn mappings(
+    fn rf_bytes(&self) -> f64 {
+        DataflowKind::NoLocalReuse.rf_bytes()
+    }
+
+    fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
+        self.mappings(&problem.shape, problem.batch, hw)
+    }
+}
+
+impl NoLocalReuseModel {
+    /// Enumerates feasible mappings of `shape` at batch `n_batch` on `hw`
+    /// (the explicit-arguments form of [`Dataflow::enumerate`]).
+    pub fn mappings(
         &self,
         shape: &LayerShape,
         n_batch: usize,

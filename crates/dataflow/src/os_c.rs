@@ -14,23 +14,37 @@
 //! significantly with batch sizes larger than 1" (Section VII-B).
 
 use crate::candidate::{MappingCandidate, MappingParams};
+use crate::dataflow::Dataflow;
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
-use crate::model::{ceil_div, factor_candidates, DataflowModel};
+use crate::model::{ceil_div, factor_candidates};
 use crate::split::ReuseSplit;
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 
 /// The MOC-SOP mapping space.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OutputStationaryCModel;
 
-impl DataflowModel for OutputStationaryCModel {
-    fn kind(&self) -> DataflowKind {
-        DataflowKind::OutputStationaryC
+impl Dataflow for OutputStationaryCModel {
+    fn id(&self) -> DataflowId {
+        DataflowKind::OutputStationaryC.id()
     }
 
-    fn mappings(
+    fn rf_bytes(&self) -> f64 {
+        DataflowKind::OutputStationaryC.rf_bytes()
+    }
+
+    fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
+        self.mappings(&problem.shape, problem.batch, hw)
+    }
+}
+
+impl OutputStationaryCModel {
+    /// Enumerates feasible mappings of `shape` at batch `n_batch` on `hw`
+    /// (the explicit-arguments form of [`Dataflow::enumerate`]).
+    pub fn mappings(
         &self,
         shape: &LayerShape,
         n_batch: usize,

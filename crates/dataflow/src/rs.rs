@@ -36,22 +36,36 @@
 //! | psum   | 1 (pinned)          | `ceil(C/qr)`    | `R·r`      | `R·q`   |
 
 use crate::candidate::{MappingCandidate, MappingParams};
+use crate::dataflow::Dataflow;
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
-use crate::model::{ceil_div, factor_candidates, DataflowModel};
+use crate::model::{ceil_div, factor_candidates};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 
 /// The row-stationary mapping space.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RowStationaryModel;
 
-impl DataflowModel for RowStationaryModel {
-    fn kind(&self) -> DataflowKind {
-        DataflowKind::RowStationary
+impl Dataflow for RowStationaryModel {
+    fn id(&self) -> DataflowId {
+        DataflowKind::RowStationary.id()
     }
 
-    fn mappings(
+    fn rf_bytes(&self) -> f64 {
+        DataflowKind::RowStationary.rf_bytes()
+    }
+
+    fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
+        self.mappings(&problem.shape, problem.batch, hw)
+    }
+}
+
+impl RowStationaryModel {
+    /// Enumerates feasible mappings of `shape` at batch `n_batch` on `hw`
+    /// (the explicit-arguments form of [`Dataflow::enumerate`]).
+    pub fn mappings(
         &self,
         shape: &LayerShape,
         n_batch: usize,

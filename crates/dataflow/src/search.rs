@@ -1,18 +1,22 @@
-//! The mapping optimizer of Section VI-C.
+//! The mapping optimizer of Section VI-C, generic over [`Dataflow`].
 //!
 //! "For each dataflow, there exists a set of parameters ... that describes
 //! the optimal mapping in terms of energy efficiency under a given CNN
 //! layer shape. It is obtained through an optimization process with
 //! objective functions defined in Eq. (3) and (4), constrained by the
 //! hardware resources." Here the optimization is an exhaustive scan of the
-//! (divisor-pruned) candidate space each model enumerates.
+//! (divisor-pruned) candidate space each [`Dataflow`] enumerates — the
+//! optimizer never learns *which* dataflow it is searching, so spaces
+//! registered through [`crate::DataflowRegistry`] beyond the paper's six
+//! are searched identically.
 
 use crate::candidate::MappingCandidate;
+use crate::dataflow::Dataflow;
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
-use crate::model::model_for;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::energy::EnergyModel;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 use std::collections::HashMap;
 
 /// The optimization objective.
@@ -24,44 +28,52 @@ pub enum Objective {
     EnergyDelayProduct,
 }
 
-/// Finds the best mapping of `shape` (batch `n`) for `kind` on `hw`,
-/// minimizing energy under `model`. Returns `None` when the dataflow cannot
-/// operate (e.g. WS at batch 64 on 256 PEs, Fig. 11a).
+impl Objective {
+    /// Stable wire label ("energy" / "edp").
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Energy => "energy",
+            Objective::EnergyDelayProduct => "edp",
+        }
+    }
+
+    /// The objective carrying `label`, if any (inverse of
+    /// [`Objective::label`]).
+    pub fn from_label(label: &str) -> Option<Objective> {
+        match label {
+            "energy" => Some(Objective::Energy),
+            "edp" => Some(Objective::EnergyDelayProduct),
+            _ => None,
+        }
+    }
+}
+
+/// Finds the best mapping of `problem` in `df`'s space on `hw` under
+/// `objective`. Returns `None` when the dataflow cannot operate (e.g. WS
+/// at batch 64 on 256 PEs, Fig. 11a).
 ///
 /// # Example
 ///
 /// ```
-/// use eyeriss_dataflow::{search, DataflowKind};
-/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
-/// use eyeriss_nn::LayerShape;
+/// use eyeriss_dataflow::{registry, search, DataflowKind};
+/// use eyeriss_dataflow::search::Objective;
+/// use eyeriss_arch::EnergyModel;
+/// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
-/// let shape = LayerShape::conv(384, 256, 15, 3, 1)?; // CONV3
-/// let hw = AcceleratorConfig::under_baseline_area(256, DataflowKind::NoLocalReuse.rf_bytes());
-/// let best = search::best_mapping(DataflowKind::NoLocalReuse, &shape, 16, &hw,
-///                                 &EnergyModel::table_iv());
+/// let nlr = registry::builtin(DataflowKind::NoLocalReuse);
+/// let problem = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16); // CONV3
+/// let best = search::optimize(nlr, &problem, &nlr.comparison_hardware(256),
+///                             &EnergyModel::table_iv(), Objective::Energy);
 /// assert!(best.is_some());
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
 /// ```
-pub fn best_mapping(
-    kind: DataflowKind,
-    shape: &LayerShape,
-    n: usize,
-    hw: &AcceleratorConfig,
-    energy: &EnergyModel,
-) -> Option<MappingCandidate> {
-    best_mapping_with(kind, shape, n, hw, energy, Objective::Energy)
-}
-
-/// [`best_mapping`] with an explicit objective.
-pub fn best_mapping_with(
-    kind: DataflowKind,
-    shape: &LayerShape,
-    n: usize,
+pub fn optimize(
+    df: &dyn Dataflow,
+    problem: &LayerProblem,
     hw: &AcceleratorConfig,
     energy: &EnergyModel,
     objective: Objective,
 ) -> Option<MappingCandidate> {
-    let model = model_for(kind);
     let score = |c: &MappingCandidate| -> f64 {
         let e = c.profile.total_energy(energy);
         match objective {
@@ -80,7 +92,7 @@ pub fn best_mapping_with(
         let s = score(&c);
         Some((c, s))
     };
-    let cands = model.mappings(shape, n, hw);
+    let cands = df.enumerate(problem, hw);
     let scored: Vec<(MappingCandidate, f64)> = if cands.len() >= PAR_SCAN_THRESHOLD {
         eyeriss_par::par_map(cands, screen)
             .into_iter()
@@ -108,28 +120,44 @@ pub fn best_mapping_with(
         .map(|(c, _)| c)
 }
 
-/// A memoizing front-end over [`best_mapping_with`] for workloads that
-/// search many layers against one fixed `(hardware, energy, objective)`
-/// operating point — the in-crate counterpart of a serving plan cache.
+/// Optimizes a whole list of problems in `df`'s space, deduplicating
+/// identical entries so each distinct problem is searched exactly once.
+/// Result `i` corresponds to `problems[i]`.
+pub fn optimize_all(
+    df: &dyn Dataflow,
+    problems: &[LayerProblem],
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+    objective: Objective,
+) -> Vec<Option<MappingCandidate>> {
+    let mut memo = MappingMemo::new(hw, energy, objective);
+    problems.iter().map(|p| memo.best(df, p)).collect()
+}
+
+/// A memoizing front-end over [`optimize`] for workloads that search many
+/// layers against one fixed `(hardware, energy, objective)` operating
+/// point — the in-crate counterpart of a serving plan cache.
 ///
 /// Networks repeat layer shapes heavily (VGG-16's thirteen CONV layers
 /// collapse to nine distinct shapes; cluster partitions produce at most
 /// two distinct tile sizes per dimension), so keying on
-/// `(kind, shape, batch)` lets every repeat share one exhaustive scan.
+/// `(dataflow id, problem)` lets every repeat share one exhaustive scan.
 ///
 /// # Example
 ///
 /// ```
-/// use eyeriss_dataflow::{search::{MappingMemo, Objective}, DataflowKind};
+/// use eyeriss_dataflow::{registry, DataflowKind};
+/// use eyeriss_dataflow::search::{MappingMemo, Objective};
 /// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
-/// use eyeriss_nn::LayerShape;
+/// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
+/// let rs = registry::builtin(DataflowKind::RowStationary);
 /// let hw = AcceleratorConfig::eyeriss_chip();
 /// let em = EnergyModel::table_iv();
 /// let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
-/// let shape = LayerShape::conv(64, 32, 16, 3, 1)?;
-/// let a = memo.best(DataflowKind::RowStationary, &shape, 4);
-/// let b = memo.best(DataflowKind::RowStationary, &shape, 4); // cached
+/// let p = LayerProblem::new(LayerShape::conv(64, 32, 16, 3, 1)?, 4);
+/// let a = memo.best(rs, &p);
+/// let b = memo.best(rs, &p); // cached
 /// assert_eq!(a, b);
 /// assert_eq!((memo.searches(), memo.hits()), (1, 1));
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
@@ -139,7 +167,7 @@ pub struct MappingMemo<'a> {
     hw: &'a AcceleratorConfig,
     energy: &'a EnergyModel,
     objective: Objective,
-    cache: HashMap<(DataflowKind, LayerShape, usize), Option<MappingCandidate>>,
+    cache: HashMap<(DataflowId, LayerProblem), Option<MappingCandidate>>,
     hits: usize,
 }
 
@@ -155,20 +183,16 @@ impl<'a> MappingMemo<'a> {
         }
     }
 
-    /// The best mapping of `(kind, shape, n)`, searching at most once per
-    /// distinct key.
-    pub fn best(
-        &mut self,
-        kind: DataflowKind,
-        shape: &LayerShape,
-        n: usize,
-    ) -> Option<MappingCandidate> {
-        if let Some(cached) = self.cache.get(&(kind, *shape, n)) {
+    /// The best mapping of `problem` in `df`'s space, searching at most
+    /// once per distinct `(dataflow, problem)` key.
+    pub fn best(&mut self, df: &dyn Dataflow, problem: &LayerProblem) -> Option<MappingCandidate> {
+        let key = (df.id(), *problem);
+        if let Some(cached) = self.cache.get(&key) {
             self.hits += 1;
             return cached.clone();
         }
-        let found = best_mapping_with(kind, shape, n, self.hw, self.energy, self.objective);
-        self.cache.insert((kind, *shape, n), found.clone());
+        let found = optimize(df, problem, self.hw, self.energy, self.objective);
+        self.cache.insert(key, found.clone());
         found
     }
 
@@ -183,23 +207,6 @@ impl<'a> MappingMemo<'a> {
     }
 }
 
-/// Optimizes a whole list of `(shape, batch)` problems for `kind`,
-/// deduplicating identical entries so each distinct shape is searched
-/// exactly once. Result `i` corresponds to `problems[i]`.
-pub fn best_mappings_with(
-    kind: DataflowKind,
-    problems: &[(LayerShape, usize)],
-    hw: &AcceleratorConfig,
-    energy: &EnergyModel,
-    objective: Objective,
-) -> Vec<Option<MappingCandidate>> {
-    let mut memo = MappingMemo::new(hw, energy, objective);
-    problems
-        .iter()
-        .map(|(shape, n)| memo.best(kind, shape, *n))
-        .collect()
-}
-
 /// Candidate spaces at least this large are screened in parallel.
 const PAR_SCAN_THRESHOLD: usize = 192;
 
@@ -207,8 +214,75 @@ const PAR_SCAN_THRESHOLD: usize = 192;
 /// tied and resolved by active-PE count.
 const UTILIZATION_TIE_BAND: f64 = 1.10;
 
+// ----- deprecated kind-based entry points --------------------------------
+
+/// Finds the best mapping of `shape` (batch `n`) for `kind` on `hw`,
+/// minimizing energy under `model`.
+#[deprecated(
+    note = "use `search::optimize(registry::builtin(kind), ...)` or `Engine::best_mapping`"
+)]
+pub fn best_mapping(
+    kind: DataflowKind,
+    shape: &LayerShape,
+    n: usize,
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+) -> Option<MappingCandidate> {
+    optimize(
+        crate::registry::builtin(kind),
+        &LayerProblem::new(*shape, n),
+        hw,
+        energy,
+        Objective::Energy,
+    )
+}
+
+/// [`best_mapping`] with an explicit objective.
+#[deprecated(
+    note = "use `search::optimize(registry::builtin(kind), ...)` or `Engine::best_mapping`"
+)]
+pub fn best_mapping_with(
+    kind: DataflowKind,
+    shape: &LayerShape,
+    n: usize,
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+    objective: Objective,
+) -> Option<MappingCandidate> {
+    optimize(
+        crate::registry::builtin(kind),
+        &LayerProblem::new(*shape, n),
+        hw,
+        energy,
+        objective,
+    )
+}
+
+/// Optimizes a list of `(shape, batch)` problems for `kind`.
+#[deprecated(note = "use `search::optimize_all(registry::builtin(kind), ...)`")]
+pub fn best_mappings_with(
+    kind: DataflowKind,
+    problems: &[(LayerShape, usize)],
+    hw: &AcceleratorConfig,
+    energy: &EnergyModel,
+    objective: Objective,
+) -> Vec<Option<MappingCandidate>> {
+    let problems: Vec<LayerProblem> = problems.iter().map(|&(s, n)| (s, n).into()).collect();
+    optimize_all(
+        crate::registry::builtin(kind),
+        &problems,
+        hw,
+        energy,
+        objective,
+    )
+}
+
 /// Convenience: the hardware a dataflow gets under the fixed-area
 /// comparison of Section VI-B (its own RF size, the rest as buffer).
+#[deprecated(
+    note = "use `Dataflow::comparison_hardware` (e.g. `registry::builtin(kind).comparison_hardware(n)`) \
+            or `AcceleratorConfig::under_baseline_area`"
+)]
 pub fn comparison_hardware(kind: DataflowKind, num_pes: usize) -> AcceleratorConfig {
     AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes())
 }
@@ -216,7 +290,12 @@ pub fn comparison_hardware(kind: DataflowKind, num_pes: usize) -> AcceleratorCon
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::builtin;
     use eyeriss_nn::alexnet;
+
+    fn problem(shape: &LayerShape, n: usize) -> LayerProblem {
+        LayerProblem::new(*shape, n)
+    }
 
     #[test]
     fn rs_beats_others_on_conv_aggregate() {
@@ -225,10 +304,11 @@ mod tests {
         let em = EnergyModel::table_iv();
         let conv = alexnet::conv_layers();
         let total = |kind: DataflowKind| -> Option<f64> {
-            let hw = comparison_hardware(kind, 256);
+            let df = builtin(kind);
+            let hw = df.comparison_hardware(256);
             let mut sum = 0.0;
             for layer in &conv {
-                sum += best_mapping(kind, &layer.shape, 16, &hw, &em)?
+                sum += optimize(df, &problem(&layer.shape, 16), &hw, &em, Objective::Energy)?
                     .profile
                     .total_energy(&em);
             }
@@ -246,17 +326,11 @@ mod tests {
     fn edp_objective_never_picks_lower_utilization_for_worse_energy_delay() {
         let em = EnergyModel::table_iv();
         let conv5 = &alexnet::conv_layers()[4].shape;
-        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
-        let by_energy = best_mapping(DataflowKind::RowStationary, conv5, 16, &hw, &em).unwrap();
-        let by_edp = best_mapping_with(
-            DataflowKind::RowStationary,
-            conv5,
-            16,
-            &hw,
-            &em,
-            Objective::EnergyDelayProduct,
-        )
-        .unwrap();
+        let rs = builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let p = problem(conv5, 16);
+        let by_energy = optimize(rs, &p, &hw, &em, Objective::Energy).unwrap();
+        let by_edp = optimize(rs, &p, &hw, &em, Objective::EnergyDelayProduct).unwrap();
         let edp = |c: &MappingCandidate| c.profile.total_energy(&em) * c.delay();
         assert!(edp(&by_edp) <= edp(&by_energy) + 1e-6);
     }
@@ -267,29 +341,24 @@ mod tests {
         // point must search each distinct shape once and still return one
         // result per input, positionally.
         let em = EnergyModel::table_iv();
-        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
+        let rs = builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
         let conv = alexnet::conv_layers();
-        let problems: Vec<(eyeriss_nn::LayerShape, usize)> = vec![
-            (conv[2].shape, 4),
-            (conv[4].shape, 4),
-            (conv[2].shape, 4), // duplicate of [0]
-            (conv[2].shape, 1), // same shape, different batch: distinct
+        let problems: Vec<LayerProblem> = vec![
+            problem(&conv[2].shape, 4),
+            problem(&conv[4].shape, 4),
+            problem(&conv[2].shape, 4), // duplicate of [0]
+            problem(&conv[2].shape, 1), // same shape, different batch: distinct
         ];
-        let results = best_mappings_with(
-            DataflowKind::RowStationary,
-            &problems,
-            &hw,
-            &em,
-            Objective::Energy,
-        );
+        let results = optimize_all(rs, &problems, &hw, &em, Objective::Energy);
         assert_eq!(results.len(), 4);
         assert_eq!(
             results[0], results[2],
             "duplicate shapes must share a result"
         );
         assert_ne!(results[0], results[3], "different batches stay distinct");
-        for (r, (shape, n)) in results.iter().zip(&problems) {
-            let direct = best_mapping(DataflowKind::RowStationary, shape, *n, &hw, &em);
+        for (r, p) in results.iter().zip(&problems) {
+            let direct = optimize(rs, p, &hw, &em, Objective::Energy);
             assert_eq!(r, &direct, "memoized result differs from direct search");
         }
     }
@@ -297,22 +366,20 @@ mod tests {
     #[test]
     fn memo_counts_hits_and_searches() {
         let em = EnergyModel::table_iv();
-        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
-        let conv5 = alexnet::conv_layers()[4].shape;
+        let rs = builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let conv5 = problem(&alexnet::conv_layers()[4].shape, 16);
         let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
         for _ in 0..3 {
-            memo.best(DataflowKind::RowStationary, &conv5, 16);
+            memo.best(rs, &conv5);
         }
         // Infeasible results are memoized too.
-        let ws_hw = comparison_hardware(DataflowKind::WeightStationary, 256);
+        let ws = builtin(DataflowKind::WeightStationary);
+        let ws_hw = ws.comparison_hardware(256);
         let mut ws_memo = MappingMemo::new(&ws_hw, &em, Objective::Energy);
-        let conv1 = alexnet::conv_layers()[0].shape;
-        assert!(ws_memo
-            .best(DataflowKind::WeightStationary, &conv1, 64)
-            .is_none());
-        assert!(ws_memo
-            .best(DataflowKind::WeightStationary, &conv1, 64)
-            .is_none());
+        let conv1 = problem(&alexnet::conv_layers()[0].shape, 64);
+        assert!(ws_memo.best(ws, &conv1).is_none());
+        assert!(ws_memo.best(ws, &conv1).is_none());
         assert_eq!((memo.searches(), memo.hits()), (1, 2));
         assert_eq!((ws_memo.searches(), ws_memo.hits()), (1, 1));
     }
@@ -321,7 +388,35 @@ mod tests {
     fn infeasible_returns_none() {
         let em = EnergyModel::table_iv();
         let conv1 = &alexnet::conv_layers()[0].shape;
-        let hw = comparison_hardware(DataflowKind::WeightStationary, 256);
-        assert!(best_mapping(DataflowKind::WeightStationary, conv1, 64, &hw, &em).is_none());
+        let ws = builtin(DataflowKind::WeightStationary);
+        let hw = ws.comparison_hardware(256);
+        assert!(optimize(ws, &problem(conv1, 64), &hw, &em, Objective::Energy).is_none());
+    }
+
+    #[test]
+    fn objective_labels_roundtrip() {
+        for o in [Objective::Energy, Objective::EnergyDelayProduct] {
+            assert_eq!(Objective::from_label(o.label()), Some(o));
+        }
+        assert_eq!(Objective::from_label("latency"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_trait_path() {
+        let em = EnergyModel::table_iv();
+        let conv5 = &alexnet::conv_layers()[4].shape;
+        let kind = DataflowKind::RowStationary;
+        let hw = comparison_hardware(kind, 256);
+        assert_eq!(hw, builtin(kind).comparison_hardware(256));
+        let old = best_mapping(kind, conv5, 16, &hw, &em);
+        let new = optimize(
+            builtin(kind),
+            &problem(conv5, 16),
+            &hw,
+            &em,
+            Objective::Energy,
+        );
+        assert_eq!(old, new);
     }
 }

@@ -16,22 +16,36 @@
 //! not fit, WS **cannot operate** (the missing batch-64 bar of Fig. 11a).
 
 use crate::candidate::{MappingCandidate, MappingParams};
+use crate::dataflow::Dataflow;
+use crate::id::DataflowId;
 use crate::kind::DataflowKind;
-use crate::model::{ceil_div, factor_candidates, DataflowModel};
+use crate::model::{ceil_div, factor_candidates};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 
 /// The weight-stationary mapping space.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WeightStationaryModel;
 
-impl DataflowModel for WeightStationaryModel {
-    fn kind(&self) -> DataflowKind {
-        DataflowKind::WeightStationary
+impl Dataflow for WeightStationaryModel {
+    fn id(&self) -> DataflowId {
+        DataflowKind::WeightStationary.id()
     }
 
-    fn mappings(
+    fn rf_bytes(&self) -> f64 {
+        DataflowKind::WeightStationary.rf_bytes()
+    }
+
+    fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
+        self.mappings(&problem.shape, problem.batch, hw)
+    }
+}
+
+impl WeightStationaryModel {
+    /// Enumerates feasible mappings of `shape` at batch `n_batch` on `hw`
+    /// (the explicit-arguments form of [`Dataflow::enumerate`]).
+    pub fn mappings(
         &self,
         shape: &LayerShape,
         n_batch: usize,

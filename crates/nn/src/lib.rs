@@ -36,13 +36,16 @@ pub mod error;
 pub mod fixed;
 pub mod im2col;
 pub mod network;
+pub mod problem;
 pub mod reference;
 pub mod shape;
 pub mod synth;
 pub mod tensor;
 pub mod vgg;
+pub mod wire;
 
 pub use error::ShapeError;
 pub use fixed::Fix16;
+pub use problem::{LayerProblem, Workload};
 pub use shape::{LayerKind, LayerShape};
 pub use tensor::Tensor4;

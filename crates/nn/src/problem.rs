@@ -1,0 +1,184 @@
+//! The shared workload vocabulary of the `Engine` façade.
+//!
+//! Every execution tier speaks the same two nouns:
+//!
+//! * [`LayerProblem`] — one layer shape at one batch size, the unit the
+//!   mapping optimizer, the cluster planner and the serving plan cache
+//!   all key on.
+//! * [`Workload`] — an ordered, named list of layer problems (a network's
+//!   weighted stages, a figure's layer sweep, a tenant's traffic mix).
+//!
+//! Keeping batch size *next to* the shape — instead of threading a bare
+//! `usize` through every call — is what lets plans, caches and
+//! serialized artifacts agree on problem identity.
+
+use crate::network::Network;
+use crate::shape::{LayerKind, LayerShape, NamedLayer};
+
+/// One layer shape at one batch size: the unit of mapping optimization.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::{LayerProblem, LayerShape};
+///
+/// let conv3 = LayerShape::conv(384, 256, 15, 3, 1)?;
+/// let p = LayerProblem::new(conv3, 16);
+/// assert_eq!(p.macs(), conv3.macs(16));
+/// # Ok::<(), eyeriss_nn::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerProblem {
+    /// The layer shape.
+    pub shape: LayerShape,
+    /// The batch size (`N`).
+    pub batch: usize,
+}
+
+impl LayerProblem {
+    /// Creates a layer problem.
+    pub fn new(shape: LayerShape, batch: usize) -> Self {
+        LayerProblem { shape, batch }
+    }
+
+    /// Total MAC operations of this problem.
+    pub fn macs(&self) -> u64 {
+        self.shape.macs(self.batch)
+    }
+
+    /// True when this is a weighted (CONV/FC) problem the mapping
+    /// optimizer applies to; POOL stages are executed directly.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self.shape.kind, LayerKind::Conv | LayerKind::FullyConnected)
+    }
+}
+
+impl From<(LayerShape, usize)> for LayerProblem {
+    fn from((shape, batch): (LayerShape, usize)) -> Self {
+        LayerProblem::new(shape, batch)
+    }
+}
+
+/// An ordered, named list of [`LayerProblem`]s.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::{alexnet, Workload};
+///
+/// let w = Workload::from_layers("alexnet-conv", &alexnet::conv_layers(), 16);
+/// assert_eq!(w.len(), 5);
+/// assert_eq!(w.problems()[0].0, "CONV1");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    problems: Vec<(String, LayerProblem)>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workload {
+            name: name.into(),
+            problems: Vec::new(),
+        }
+    }
+
+    /// Builds a workload from named layers at one batch size.
+    pub fn from_layers(name: impl Into<String>, layers: &[NamedLayer], batch: usize) -> Self {
+        let mut w = Workload::new(name);
+        for layer in layers {
+            w.push(layer.name.clone(), LayerProblem::new(layer.shape, batch));
+        }
+        w
+    }
+
+    /// Builds a workload from a network's *weighted* stages (CONV/FC) at
+    /// one batch size. POOL stages carry no mapping problem and are
+    /// skipped.
+    pub fn from_network(name: impl Into<String>, net: &Network, batch: usize) -> Self {
+        let mut w = Workload::new(name);
+        for stage in net.stages() {
+            let p = LayerProblem::new(stage.shape, batch);
+            if p.is_weighted() {
+                w.push(stage.name.clone(), p);
+            }
+        }
+        w
+    }
+
+    /// Appends one named problem.
+    pub fn push(&mut self, name: impl Into<String>, problem: LayerProblem) {
+        self.problems.push((name.into(), problem));
+    }
+
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The named problems, in order.
+    pub fn problems(&self) -> &[(String, LayerProblem)] {
+        &self.problems
+    }
+
+    /// Number of problems.
+    pub fn len(&self) -> usize {
+        self.problems.len()
+    }
+
+    /// True when the workload holds no problems.
+    pub fn is_empty(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// Total MACs across every problem.
+    pub fn total_macs(&self) -> u64 {
+        self.problems.iter().map(|(_, p)| p.macs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alexnet;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn problem_identity_is_shape_plus_batch() {
+        let s = LayerShape::conv(4, 3, 9, 3, 1).unwrap();
+        let a = LayerProblem::new(s, 2);
+        let b: LayerProblem = (s, 2).into();
+        assert_eq!(a, b);
+        assert_ne!(a, LayerProblem::new(s, 4));
+        assert!(a.is_weighted());
+        assert!(!LayerProblem::new(LayerShape::pool(3, 9, 3, 3).unwrap(), 2).is_weighted());
+    }
+
+    #[test]
+    fn workload_from_network_skips_pool() {
+        let net = NetworkBuilder::new(3, 19)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .pool("P1", 3, 2)
+            .unwrap()
+            .fully_connected("FC", 10)
+            .unwrap()
+            .build(7);
+        let w = Workload::from_network("tiny", &net, 4);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.problems()[0].0, "C1");
+        assert_eq!(w.problems()[1].0, "FC");
+        assert!(w.problems().iter().all(|(_, p)| p.batch == 4));
+    }
+
+    #[test]
+    fn workload_totals_macs() {
+        let w = Workload::from_layers("alexnet-conv", &alexnet::conv_layers(), 1);
+        let direct: u64 = alexnet::conv_layers().iter().map(|l| l.shape.macs(1)).sum();
+        assert_eq!(w.total_macs(), direct);
+        assert!(!w.is_empty());
+        assert_eq!(w.name(), "alexnet-conv");
+    }
+}

@@ -1,0 +1,93 @@
+//! Wire codecs for shape-level types.
+//!
+//! Decoding goes back through the validating [`LayerShape`] constructors,
+//! so a tampered or stale document cannot produce a shape the rest of
+//! the stack would reject at construction time.
+
+use crate::shape::{LayerKind, LayerShape};
+use eyeriss_wire::{Value, WireError};
+
+/// Encodes a layer shape.
+pub fn encode_shape(s: &LayerShape) -> Value {
+    Value::obj([
+        ("kind", Value::str(s.kind.label())),
+        ("m", Value::usize(s.m)),
+        ("c", Value::usize(s.c)),
+        ("h", Value::usize(s.h)),
+        ("r", Value::usize(s.r)),
+        ("u", Value::usize(s.u)),
+    ])
+}
+
+/// Decodes a layer shape through its validating constructor.
+///
+/// # Errors
+///
+/// [`WireError`] on structural problems; [`WireError::Invalid`] when the
+/// dimensions fail [`LayerShape`] validation.
+pub fn decode_shape(v: &Value) -> Result<LayerShape, WireError> {
+    let kind = v.get("kind")?.as_str()?;
+    let m = v.get("m")?.as_usize()?;
+    let c = v.get("c")?.as_usize()?;
+    let h = v.get("h")?.as_usize()?;
+    let r = v.get("r")?.as_usize()?;
+    let u = v.get("u")?.as_usize()?;
+    let shape = match kind {
+        "CONV" => LayerShape::conv(m, c, h, r, u),
+        "FC" => LayerShape::fully_connected(m, c, h),
+        "POOL" => LayerShape::pool(c, h, r, u),
+        other => return Err(WireError::Invalid(format!("unknown layer kind {other:?}"))),
+    }
+    .map_err(|e| WireError::Invalid(e.to_string()))?;
+    Ok(shape)
+}
+
+/// Re-derives the label used on the wire for a layer kind (stable across
+/// releases; `LayerKind::label` is the single source).
+pub fn kind_label(kind: LayerKind) -> &'static str {
+    kind.label()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_fc_pool_roundtrip() {
+        let shapes = [
+            LayerShape::conv(96, 3, 227, 11, 4).unwrap(),
+            LayerShape::fully_connected(4096, 256, 6).unwrap(),
+            LayerShape::pool(96, 55, 3, 2).unwrap(),
+        ];
+        for s in shapes {
+            let back = decode_shape(&encode_shape(&s)).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn tampered_dimensions_fail_validation() {
+        let mut v = encode_shape(&LayerShape::conv(4, 3, 9, 3, 1).unwrap());
+        if let Value::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "r" {
+                    *val = Value::usize(100); // filter larger than ifmap
+                }
+            }
+        }
+        assert!(matches!(decode_shape(&v), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let v = Value::obj([
+            ("kind", Value::str("NORM")),
+            ("m", Value::usize(1)),
+            ("c", Value::usize(1)),
+            ("h", Value::usize(3)),
+            ("r", Value::usize(1)),
+            ("u", Value::usize(1)),
+        ]);
+        assert!(matches!(decode_shape(&v), Err(WireError::Invalid(_))));
+    }
+}

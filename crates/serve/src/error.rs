@@ -1,10 +1,12 @@
 //! Error type for the serving runtime.
 
 use eyeriss_cluster::ClusterError;
+use eyeriss_dataflow::DataflowError;
 use eyeriss_sim::SimError;
+use eyeriss_wire::WireError;
 use std::fmt;
 
-/// Why a request could not be compiled, scheduled or executed.
+/// Why a request could not be compiled, scheduled, executed or persisted.
 #[derive(Debug, Clone)]
 pub enum ServeError {
     /// No feasible `(partition, mapping)` exists for a layer on the
@@ -22,6 +24,14 @@ pub enum ServeError {
     Cluster(ClusterError),
     /// A single-array simulation failed.
     Sim(SimError),
+    /// The dataflow layer rejected a plan or params (mismatch, unknown
+    /// dataflow).
+    Dataflow(DataflowError),
+    /// Reading or writing a persisted plan cache failed at the
+    /// filesystem level (the path and OS error, rendered).
+    Io(String),
+    /// A persisted plan cache failed to parse or decode.
+    Wire(WireError),
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +43,9 @@ impl fmt::Display for ServeError {
             ServeError::ShutDown => write!(f, "server is shut down"),
             ServeError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
             ServeError::Sim(e) => write!(f, "array simulation failed: {e}"),
+            ServeError::Dataflow(e) => write!(f, "dataflow rejected the plan: {e}"),
+            ServeError::Io(m) => write!(f, "plan-cache I/O failed: {m}"),
+            ServeError::Wire(e) => write!(f, "plan-cache decode failed: {e}"),
         }
     }
 }
@@ -48,6 +61,18 @@ impl From<ClusterError> for ServeError {
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
         ServeError::Sim(e)
+    }
+}
+
+impl From<DataflowError> for ServeError {
+    fn from(e: DataflowError) -> Self {
+        ServeError::Dataflow(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
     }
 }
 

@@ -20,8 +20,11 @@
 //! * [`runtime`] — the **scheduler**: an MPSC submission queue with
 //!   backpressure feeding a pool of workers, each executing batches on a
 //!   private multi-array [`Cluster`](eyeriss_cluster::Cluster) from
-//!   cached plans via `run_planned`, with per-request
+//!   cached plans via `Cluster::execute`, with per-request
 //!   queue/compile/execute latency accounting.
+//! * [`persist`] — **plan-cache persistence**: compiled plans saved to
+//!   disk under a versioned schema and reloaded bit-exactly by a cold
+//!   process, so serving resumes with zero mapping searches.
 //! * [`metrics`] — latency breakdowns, p50/p99 percentiles and
 //!   server-lifetime statistics.
 //!
@@ -56,6 +59,7 @@
 pub mod batch;
 pub mod error;
 pub mod metrics;
+pub mod persist;
 pub mod plan;
 pub mod runtime;
 

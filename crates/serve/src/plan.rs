@@ -15,11 +15,12 @@ use crate::error::ServeError;
 use eyeriss_arch::energy::EnergyModel;
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::{plan_layer, ClusterPlan, SharedDram};
+use eyeriss_dataflow::registry::builtin_shared;
 use eyeriss_dataflow::search::Objective;
-use eyeriss_dataflow::DataflowKind;
+use eyeriss_dataflow::{Dataflow, DataflowId, DataflowKind};
 use eyeriss_nn::network::Network;
 use eyeriss_nn::shape::NamedLayer;
-use eyeriss_nn::{LayerKind, LayerShape};
+use eyeriss_nn::{LayerKind, LayerProblem, LayerShape};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -27,41 +28,53 @@ use std::time::{Duration, Instant};
 
 /// Content key of one compiled layer plan. Two problems collide exactly
 /// when the search would provably return the same plan: same layer
-/// shape, batch, cluster width, mapping space, objective and per-array
-/// hardware.
+/// shape, batch, cluster width, mapping space, objective, per-array
+/// hardware and energy cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    shape: LayerShape,
-    n: usize,
-    arrays: usize,
-    kind: DataflowKind,
-    objective: Objective,
-    grid: (usize, usize),
-    rf_bits: u64,
-    buffer_bits: u64,
+    pub(crate) shape: LayerShape,
+    pub(crate) n: usize,
+    pub(crate) arrays: usize,
+    pub(crate) dataflow: DataflowId,
+    pub(crate) objective: Objective,
+    pub(crate) grid: (usize, usize),
+    pub(crate) rf_bits: u64,
+    pub(crate) buffer_bits: u64,
+    pub(crate) em_bits: [u64; 5],
 }
 
 impl PlanKey {
     /// Builds the content key for one layer problem.
     pub fn new(
-        shape: &LayerShape,
-        n: usize,
+        problem: &LayerProblem,
         arrays: usize,
-        kind: DataflowKind,
+        dataflow: DataflowId,
         objective: Objective,
         hw: &AcceleratorConfig,
+        em: &EnergyModel,
     ) -> Self {
         PlanKey {
-            shape: *shape,
-            n,
+            shape: problem.shape,
+            n: problem.batch,
             arrays,
-            kind,
+            dataflow,
             objective,
             grid: (hw.grid.rows, hw.grid.cols),
             rf_bits: hw.rf_bytes_per_pe.to_bits(),
             buffer_bits: hw.buffer_bytes.to_bits(),
+            em_bits: energy_fingerprint(em),
         }
     }
+}
+
+/// Exact bit-pattern fingerprint of an energy model (one cost per
+/// hierarchy level, in [`Level::ALL`] order).
+pub(crate) fn energy_fingerprint(em: &EnergyModel) -> [u64; 5] {
+    let mut bits = [0u64; 5];
+    for (slot, level) in bits.iter_mut().zip(eyeriss_arch::Level::ALL) {
+        *slot = em.cost(level).to_bits();
+    }
+    bits
 }
 
 /// Hit/miss counters of a [`PlanCache`].
@@ -147,6 +160,27 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// A point-in-time copy of every `(key, plan)` entry (for
+    /// persistence; plans are shared, not cloned).
+    pub(crate) fn snapshot(&self) -> Vec<(PlanKey, Arc<ClusterPlan>)> {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect()
+    }
+
+    /// Inserts one precompiled plan (idempotent for equal keys; counts
+    /// neither as hit nor miss — reloading is not searching).
+    pub(crate) fn insert(&self, key: PlanKey, plan: Arc<ClusterPlan>) {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .entry(key)
+            .or_insert(plan);
+    }
 }
 
 /// On-chip/working-set footprint of one layer at a given batch, in
@@ -163,7 +197,7 @@ pub struct Footprint {
 }
 
 impl Footprint {
-    fn of(shape: &LayerShape, n: usize) -> Self {
+    pub(crate) fn of(shape: &LayerShape, n: usize) -> Self {
         Footprint {
             ifmap_words: shape.ifmap_words(n),
             filter_words: match shape.kind {
@@ -181,7 +215,7 @@ impl Footprint {
 }
 
 /// One stage of a [`CompiledPlan`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StagePlan {
     /// A weighted CONV/FC stage with its compiled cluster plan.
     Layer {
@@ -216,7 +250,9 @@ impl StagePlan {
 
 /// An immutable, fully compiled execution plan for one network at one
 /// batch size on one cluster configuration.
-#[derive(Debug, Clone)]
+///
+/// Serializable through [`crate::persist`] with a versioned schema.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledPlan {
     /// Batch size the plan was compiled for.
     pub batch: usize,
@@ -290,15 +326,26 @@ impl CompiledPlan {
 /// assert_eq!(compiler.cache().stats().hits, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PlanCompiler {
     hw: AcceleratorConfig,
     em: EnergyModel,
-    kind: DataflowKind,
+    dataflow: Arc<dyn Dataflow>,
     objective: Objective,
     arrays: usize,
     shared: SharedDram,
     cache: Arc<PlanCache>,
+}
+
+impl std::fmt::Debug for PlanCompiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCompiler")
+            .field("hw", &self.hw)
+            .field("dataflow", &self.dataflow.id())
+            .field("objective", &self.objective)
+            .field("arrays", &self.arrays)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PlanCompiler {
@@ -315,7 +362,7 @@ impl PlanCompiler {
         PlanCompiler {
             hw,
             em: EnergyModel::table_iv(),
-            kind: DataflowKind::RowStationary,
+            dataflow: builtin_shared(DataflowKind::RowStationary),
             objective: Objective::EnergyDelayProduct,
             arrays,
             shared: SharedDram::scaled(arrays),
@@ -327,6 +374,26 @@ impl PlanCompiler {
     pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// Overrides the energy cost model the plan search optimizes under.
+    /// The model participates in plan-cache keys, so compilers with
+    /// different cost models never share plans.
+    pub fn with_energy_model(mut self, em: EnergyModel) -> Self {
+        self.em = em;
+        self
+    }
+
+    /// Overrides the mapping space (any [`Dataflow`], builtin or
+    /// registered).
+    pub fn with_dataflow(mut self, dataflow: Arc<dyn Dataflow>) -> Self {
+        self.dataflow = dataflow;
+        self
+    }
+
+    /// The mapping space this compiler plans in.
+    pub fn dataflow(&self) -> &Arc<dyn Dataflow> {
+        &self.dataflow
     }
 
     /// Shares an existing plan cache (e.g. across server restarts).
@@ -362,17 +429,24 @@ impl PlanCompiler {
         shape: &LayerShape,
         n: usize,
     ) -> Result<Arc<ClusterPlan>, ServeError> {
-        if shape.kind == LayerKind::Pool {
+        let problem = LayerProblem::new(*shape, n);
+        if !problem.is_weighted() {
             return Err(ServeError::NoPlan(
                 "POOL stages are executed per-array, not planned".into(),
             ));
         }
-        let key = PlanKey::new(shape, n, self.arrays, self.kind, self.objective, &self.hw);
+        let key = PlanKey::new(
+            &problem,
+            self.arrays,
+            self.dataflow.id(),
+            self.objective,
+            &self.hw,
+            &self.em,
+        );
         self.cache.get_or_compile(key, || {
             plan_layer(
-                self.kind,
-                shape,
-                n,
+                self.dataflow.as_ref(),
+                &problem,
                 self.arrays,
                 &self.hw,
                 &self.em,

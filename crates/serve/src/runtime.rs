@@ -21,7 +21,7 @@ use crate::plan::PlanCompiler;
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::Cluster;
 use eyeriss_nn::network::Network;
-use eyeriss_nn::{reference, Fix16, LayerKind, Tensor4};
+use eyeriss_nn::{reference, Fix16, LayerKind, LayerProblem, Tensor4};
 use eyeriss_sim::Accelerator;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -220,7 +220,7 @@ impl Server {
 
     /// Compiles the served network's plans for every batch size the
     /// batcher can form (`1..=max_batch`), so no request ever pays a
-    /// plan search at serving time. Returns one [`CompiledPlan`] per
+    /// plan search at serving time. Returns one [`crate::CompiledPlan`] per
     /// batch size, in increasing-size order.
     ///
     /// # Errors
@@ -386,7 +386,8 @@ fn run_batch(
                 compile += t0.elapsed();
                 let weights = stage.weights.as_ref().expect("weighted stage");
                 let bias = stage.bias.as_ref().expect("weighted stage");
-                let run = cluster.run_planned(&plan, &stage.shape, b, &act, weights, bias)?;
+                let problem = LayerProblem::new(stage.shape, b);
+                let run = cluster.execute(&plan, &problem, &act, weights, bias)?;
                 sim_cycles += run.stats.cluster_cycles();
                 act = reference::quantize(&run.psums, stage.relu);
             }

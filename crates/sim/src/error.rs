@@ -27,6 +27,18 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+impl From<eyeriss_dataflow::ParamsMismatch> for SimError {
+    fn from(m: eyeriss_dataflow::ParamsMismatch) -> Self {
+        SimError::new(format!("mapping params mismatch: {m}"))
+    }
+}
+
+impl From<eyeriss_dataflow::DataflowError> for SimError {
+    fn from(e: eyeriss_dataflow::DataflowError) -> Self {
+        SimError::new(format!("dataflow error: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,9 +9,10 @@ use crate::error::SimError;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::energy::EnergyModel;
 use eyeriss_dataflow::candidate::MappingParams;
-use eyeriss_dataflow::search;
+use eyeriss_dataflow::registry::builtin;
+use eyeriss_dataflow::search::{self, Objective};
 use eyeriss_dataflow::DataflowKind;
-use eyeriss_nn::LayerShape;
+use eyeriss_nn::{LayerProblem, LayerShape};
 
 /// A resolved row-stationary mapping for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,12 +45,13 @@ impl RsMapping {
         n_batch: usize,
         hw: &AcceleratorConfig,
     ) -> Result<Self, SimError> {
-        let best = search::best_mapping(
-            DataflowKind::RowStationary,
-            shape,
-            n_batch,
+        let rs = builtin(DataflowKind::RowStationary);
+        let best = search::optimize(
+            rs,
+            &LayerProblem::new(*shape, n_batch),
             hw,
             &EnergyModel::table_iv(),
+            Objective::Energy,
         )
         .ok_or_else(|| {
             SimError::new(format!(
@@ -57,7 +59,9 @@ impl RsMapping {
                 shape.r, shape.r, hw.grid.rows, hw.grid.cols
             ))
         })?;
-        let MappingParams::RowStationary {
+        // The typed error path: a candidate carrying another dataflow's
+        // params surfaces as a `SimError` instead of aborting.
+        let &MappingParams::RowStationary {
             n,
             p,
             q,
@@ -65,9 +69,12 @@ impl RsMapping {
             r,
             t,
             filter_resident,
-        } = best.params
+        } = best.params.expect_dataflow(rs.id())?
         else {
-            unreachable!("RS search returns RS params");
+            return Err(SimError::new(format!(
+                "row-stationary params expected, got {}",
+                best.params
+            )));
         };
         Ok(RsMapping {
             n,

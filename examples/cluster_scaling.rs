@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 2. Functional execution: bit-exact across 4 arrays ----------------
     let conv1 = LayerShape::conv(8, 3, 227, 11, 4)?; // CONV1 geometry slice
     let n = 4;
+    let problem = LayerProblem::new(conv1, n);
     let input = synth::ifmap(&conv1, n, 42);
     let weights = synth::filters(&conv1, 43);
     let bias = synth::biases(&conv1, 44);
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let cluster =
             Cluster::new(4, AcceleratorConfig::eyeriss_chip()).shared_dram(SharedDram::scaled(4));
-        let run = cluster.run_conv(partition, &conv1, n, &input, &weights, &bias)?;
+        let run = cluster.execute_partition(partition, &problem, &input, &weights, &bias)?;
         assert_eq!(run.psums, golden, "{partition} diverged");
         println!(
             "{partition:>9} over 4 arrays: bit-exact; cluster cycles {:>9} \

@@ -1,5 +1,5 @@
 //! Quickstart: map one AlexNet layer with every dataflow, then simulate
-//! it on the fabricated chip's configuration and verify bit-exactness.
+//! it through the `Engine` façade and verify bit-exactness.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,41 +7,46 @@ use eyeriss::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 1. Analytical comparison on AlexNet CONV3 -------------------------
-    let conv3 = LayerShape::conv(384, 256, 15, 3, 1)?;
+    // Every mapping space implements the `Dataflow` trait; the registry
+    // holds the paper's six (plus anything you register).
+    let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
     let em = EnergyModel::table_iv();
+    let reg = DataflowRegistry::builtin();
     println!("AlexNet CONV3 on a 256-PE spatial architecture, batch 16:");
     println!(
         "{:>4}  {:>12}  {:>10}  {:>10}",
         "flow", "energy/MAC", "DRAM/op", "active PEs"
     );
-    for kind in DataflowKind::ALL {
-        let hw = comparison_hardware(kind, 256);
-        match best_mapping(kind, &conv3, 16, &hw, &em) {
+    for df in reg.iter() {
+        let hw = df.comparison_hardware(256);
+        match optimize(df.as_ref(), &conv3, &hw, &em, Objective::Energy) {
             Some(best) => {
-                let macs = conv3.macs(16) as f64;
+                let macs = conv3.macs() as f64;
                 println!(
                     "{:>4}  {:>12.3}  {:>10.5}  {:>10}",
-                    kind.label(),
+                    df.id(),
                     best.profile.total_energy(&em) / macs,
                     best.profile.dram_accesses() / macs,
                     best.active_pes
                 );
             }
-            None => println!("{:>4}  cannot operate", kind.label()),
+            None => println!("{:>4}  cannot operate", df.id()),
         }
     }
 
-    // ---- 2. Functional simulation on the Eyeriss chip ----------------------
+    // ---- 2. Functional simulation through the Engine façade ----------------
     // A shape-preserving shrink of CONV3 (same 3x3 geometry, fewer
     // filters/channels) keeps the demo fast.
-    let small = LayerShape::conv(16, 8, 15, 3, 1)?;
-    let input = synth::ifmap(&small, 2, 42);
-    let weights = synth::filters(&small, 43);
-    let bias = synth::biases(&small, 44);
+    let engine = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .build()?;
+    let small = LayerProblem::new(LayerShape::conv(16, 8, 15, 3, 1)?, 2);
+    let input = synth::ifmap(&small.shape, 2, 42);
+    let weights = synth::filters(&small.shape, 43);
+    let bias = synth::biases(&small.shape, 44);
 
-    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
-    let run = chip.run_conv(&small, 2, &input, &weights, &bias)?;
-    let golden = reference::conv_accumulate(&small, 2, &input, &weights, &bias);
+    let run = engine.simulate(&small, &input, &weights, &bias)?;
+    let golden = reference::conv_accumulate(&small.shape, 2, &input, &weights, &bias);
     assert_eq!(run.psums, golden);
 
     println!(

@@ -86,5 +86,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.cache.hits,
         stats.cache.hit_rate() * 100.0,
     );
+
+    // ---- 4. Persisted plan cache: compile once, serve cold, search never ----
+    // An `Engine` prewarms and persists its plan cache; a *cold* engine
+    // (fresh process after a restart) reloads it and serves bit-exactly
+    // with zero mapping searches. CI runs this path under `--smoke`.
+    let dir = std::env::temp_dir().join("eyeriss-serving-example");
+    std::fs::create_dir_all(&dir)?;
+    let cache_path = dir.join("serving.plans");
+
+    let net = serving::synthetic_net();
+    let golden_net = net.clone();
+    let shape = net.stages()[0].shape;
+    let warm = Engine::builder()
+        .hardware(ServeConfig::new().hw)
+        .arrays(2)
+        .build()?;
+    warm.compile(&net, 1)?;
+    let saved = warm.save_plans(&cache_path)?;
+
+    let cold = Engine::builder()
+        .hardware(ServeConfig::new().hw)
+        .arrays(2)
+        .build()?;
+    let loaded = cold.load_plans(&cache_path)?;
+    assert_eq!(loaded, saved);
+    let server = cold.serve_with(
+        golden_net.clone(),
+        ServeOptions {
+            workers: 1,
+            policy: BatchPolicy::unbatched(),
+            queue_capacity: 8,
+        },
+    )?;
+    let input = synth::ifmap(&shape, 1, 7);
+    let response = server.submit(input.clone())?.wait()?;
+    assert_eq!(
+        response.output,
+        golden_net.forward(1, &input),
+        "cold-served output must be bit-exact"
+    );
+    server.shutdown();
+    assert_eq!(
+        cold.cache_stats().misses,
+        0,
+        "a cold engine serving from persisted plans must never search"
+    );
+    println!(
+        "persisted plan cache: {saved} plans saved, {loaded} reloaded cold, \
+         1 request served bit-exact with 0 searches"
+    );
+    std::fs::remove_file(&cache_path).ok();
     Ok(())
 }

@@ -29,7 +29,7 @@ fn check_all_partitions(shape: &LayerShape, n: usize, arrays: usize, seed: u64) 
         let cluster = Cluster::new(arrays, AcceleratorConfig::eyeriss_chip())
             .shared_dram(SharedDram::scaled(arrays));
         let run = cluster
-            .run_conv(p, shape, n, &input, &weights, &bias)
+            .execute_partition(p, &LayerProblem::new(*shape, n), &input, &weights, &bias)
             .unwrap_or_else(|e| panic!("{p} on {arrays} arrays failed: {e}"));
         assert_eq!(
             run.psums, golden,
@@ -78,7 +78,9 @@ proptest! {
             let cluster = Cluster::new(arrays, AcceleratorConfig::eyeriss_chip())
                 .zero_gating(true)
                 .rlc(true);
-            let run = cluster.run_conv(p, &shape, n, &input, &weights, &bias).unwrap();
+            let run = cluster
+                .execute_partition(p, &LayerProblem::new(shape, n), &input, &weights, &bias)
+                .unwrap();
             prop_assert_eq!(&run.psums, &golden);
         }
     }
@@ -101,7 +103,7 @@ fn alexnet_conv1_over_four_arrays_is_bit_exact() {
     for p in partition::enumerate(&conv1, n, 4) {
         let cluster = Cluster::new(4, AcceleratorConfig::eyeriss_chip());
         let run = cluster
-            .run_conv(p, &conv1, n, &input, &weights, &bias)
+            .execute_partition(p, &LayerProblem::new(conv1, n), &input, &weights, &bias)
             .unwrap();
         assert_eq!(
             run.psums, reference_run.psums,
@@ -125,9 +127,8 @@ fn planned_delay_is_monotone_in_arrays() {
     let mut last = f64::INFINITY;
     for arrays in [1usize, 2, 4, 8] {
         let plan = plan_layer(
-            DataflowKind::RowStationary,
-            &conv3,
-            16,
+            registry::builtin(DataflowKind::RowStationary),
+            &LayerProblem::new(conv3, 16),
             arrays,
             &hw,
             &em,

@@ -4,7 +4,6 @@
 //! mapping, so their measured access counts must agree on the exact
 //! quantities and land in the same energy regime.
 
-use eyeriss::dataflow::search::best_mapping;
 use eyeriss::prelude::*;
 
 fn simulate(shape: &LayerShape, n: usize, config: AcceleratorConfig) -> eyeriss::sim::SimStats {
@@ -63,9 +62,15 @@ fn access_profiles_track_the_analytical_model() {
     let em = EnergyModel::table_iv();
     for (shape, n) in test_shapes() {
         let stats = simulate(&shape, n, config);
-        let model = best_mapping(DataflowKind::RowStationary, &shape, n, &config, &em)
-            .expect("feasible")
-            .profile;
+        let model = optimize(
+            registry::builtin(DataflowKind::RowStationary),
+            &LayerProblem::new(shape, n),
+            &config,
+            &em,
+            Objective::Energy,
+        )
+        .expect("feasible")
+        .profile;
         // Compare per-level on-chip traffic within 2x (halo handling and
         // partial-group clamping differ slightly; orders of magnitude and
         // the energy regime must match).
@@ -120,9 +125,15 @@ fn rf_ratio_matches_chip_measurement() {
     assert!(ratio > 1.5, "RF does not dominate: ratio {ratio:.2}");
     // And the simulator must agree with the analytical model's ratio for
     // the same layer within 2x.
-    let model = best_mapping(DataflowKind::RowStationary, &shape, 1, &config, &em)
-        .expect("feasible")
-        .profile;
+    let model = optimize(
+        registry::builtin(DataflowKind::RowStationary),
+        &LayerProblem::new(shape, 1),
+        &config,
+        &em,
+        Objective::Energy,
+    )
+    .expect("feasible")
+    .profile;
     let model_ratio = model.energy_at_level(&em, Level::Rf)
         / (model.energy_at_level(&em, Level::Buffer) + model.energy_at_level(&em, Level::Array));
     let agreement = ratio / model_ratio;

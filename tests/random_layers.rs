@@ -3,7 +3,6 @@
 //! is cross-checked against im2col+GEMM in `eyeriss-nn`), and every
 //! dataflow's access counts must satisfy physical invariants.
 
-use eyeriss::dataflow::model::model_for;
 use eyeriss::prelude::*;
 use proptest::prelude::*;
 
@@ -62,8 +61,9 @@ proptest! {
     ) {
         let em = EnergyModel::table_iv();
         for kind in DataflowKind::ALL {
-            let hw = comparison_hardware(kind, 256);
-            for cand in model_for(kind).mappings(&shape, n, &hw) {
+            let df = registry::builtin(kind);
+            let hw = df.comparison_hardware(256);
+            for cand in df.enumerate(&LayerProblem::new(shape, n), &hw) {
                 prop_assert!(cand.profile.is_valid(), "{kind}: invalid counts");
                 prop_assert!(cand.active_pes >= 1 && cand.active_pes <= 256,
                     "{kind}: active {}", cand.active_pes);
@@ -92,14 +92,14 @@ proptest! {
         n in 1usize..4,
     ) {
         let em = EnergyModel::table_iv();
-        let kind = DataflowKind::RowStationary;
-        let hw = comparison_hardware(kind, 256);
-        let Some(best) = eyeriss::dataflow::search::best_mapping(kind, &shape, n, &hw, &em)
-        else {
+        let rs = registry::builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let problem = LayerProblem::new(shape, n);
+        let Some(best) = optimize(rs, &problem, &hw, &em, Objective::Energy) else {
             return Ok(());
         };
         let best_energy = best.profile.total_energy(&em);
-        for cand in model_for(kind).mappings(&shape, n, &hw) {
+        for cand in rs.enumerate(&problem, &hw) {
             prop_assert!(
                 cand.profile.total_energy(&em) >= best_energy * (1.0 - 1e-12)
                     // The utilization tie-break may pick a near-tied
