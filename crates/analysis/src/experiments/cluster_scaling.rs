@@ -12,7 +12,7 @@
 //!   cycle aggregates, imbalance and shared-DRAM contention stalls.
 
 use crate::table::TextTable;
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::{CostModel, TableIv};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::partition::Partition;
 use eyeriss_cluster::{plan_layer, plan_partition, Cluster, SharedDram};
@@ -82,7 +82,7 @@ impl ClusterSweep {
 }
 
 fn sweep_layers(network: &str, layers: &[NamedLayer]) -> ClusterSweep {
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     let hw = AcceleratorConfig::eyeriss_chip();
     let total_macs: f64 = layers.iter().map(|l| l.shape.macs(BATCH) as f64).sum();
     let fixed = [
@@ -122,7 +122,7 @@ fn point_for(
     arrays: usize,
     strategy: Option<Partition>,
     hw: &AcceleratorConfig,
-    em: &EnergyModel,
+    em: &dyn CostModel,
 ) -> Option<ScalingPoint> {
     let shared = SharedDram::scaled(arrays);
     let mut energy = 0.0f64;
@@ -244,7 +244,7 @@ pub struct SimPoint {
 /// under each elementary partition, measuring per-array aggregates.
 /// Infeasible (partition, size) combinations are skipped.
 pub fn simulate_shape(shape: &LayerShape, n: usize) -> Vec<SimPoint> {
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     let input = synth::ifmap(shape, n, 11);
     let weights = synth::filters(shape, 12);
     let bias = synth::biases(shape, 13);

@@ -44,9 +44,10 @@ pub fn run() -> Fig10 {
         .layers
         .iter()
         .map(|l| {
+            let report = l.report(run.cost.as_ref());
             let mut by_level = [0.0; 5];
             for (i, &level) in Level::ALL.iter().enumerate() {
-                by_level[i] = l.profile.energy_at_level(&run.energy_model, level);
+                by_level[i] = report.energy_at(level);
             }
             // Reorder to the figure's legend: ALU, DRAM, Buffer, Array, RF.
             LayerBreakdown {

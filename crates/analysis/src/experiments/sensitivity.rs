@@ -7,24 +7,28 @@
 //! experiment re-runs the CONV comparison under perturbed cost models —
 //! halving/doubling the DRAM and buffer costs — and checks whether RS
 //! keeps winning, quantifying how much headroom the conclusion has.
+//!
+//! The perturbed models are ordinary registered [`CostModel`]s in a
+//! [`CostModelRegistry`] (not hand-built structs): the same objects could
+//! equally be handed to `Engine::builder().cost_model(..)` to search,
+//! plan and serve under a scenario end to end.
 
 use crate::metrics::DataflowRun;
+use crate::runner::run_layers_priced;
+use eyeriss_arch::cost::{CostModel, CostModelRegistry, StaticCostModel, TableIv};
 use eyeriss_arch::energy::EnergyModel;
-use eyeriss_arch::AcceleratorConfig;
-use eyeriss_dataflow::registry::builtin;
-use eyeriss_dataflow::search::{optimize, Objective};
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::alexnet;
 use eyeriss_nn::shape::NamedLayer;
-use eyeriss_nn::LayerProblem;
+use std::sync::Arc;
 
 /// One perturbed cost model and the resulting per-dataflow energies.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// Scenario label (e.g. `"DRAM x2"`).
+    /// Scenario label (the cost model's registry id).
     pub label: String,
-    /// The perturbed model.
-    pub model: EnergyModel,
+    /// The perturbed model, as registered.
+    pub model: Arc<dyn CostModel>,
     /// Energy/op per dataflow, in [`DataflowKind::ALL`] order (`None` =
     /// cannot operate).
     pub energy_per_op: Vec<Option<f64>>,
@@ -43,31 +47,28 @@ impl Scenario {
     }
 }
 
-/// The perturbed models: Table IV plus DRAM and buffer scalings.
-pub fn scenarios() -> Vec<(String, EnergyModel)> {
-    vec![
-        ("Table IV".into(), EnergyModel::table_iv()),
-        (
-            "DRAM x0.5".into(),
-            EnergyModel::new(100.0, 6.0, 2.0, 1.0, 1.0),
-        ),
-        (
-            "DRAM x2".into(),
-            EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0),
-        ),
-        (
-            "Buffer x0.5".into(),
-            EnergyModel::new(200.0, 3.0, 2.0, 1.0, 1.0),
-        ),
-        (
-            "Buffer x2".into(),
-            EnergyModel::new(200.0, 12.0, 4.0, 1.0, 1.0),
-        ),
-        (
-            "Flat on-chip".into(),
-            EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0),
-        ),
-    ]
+fn perturbed(label: &'static str, dram: f64, buffer: f64, array: f64) -> Arc<dyn CostModel> {
+    Arc::new(StaticCostModel::new(
+        label,
+        EnergyModel::new(dram, buffer, array, 1.0, 1.0).expect("scenario costs are ordered"),
+    ))
+}
+
+/// The perturbed models — Table IV plus DRAM and buffer scalings — as a
+/// [`CostModelRegistry`], in scenario order.
+pub fn scenario_registry() -> CostModelRegistry {
+    let mut reg = CostModelRegistry::empty();
+    reg.register(Arc::new(TableIv)).expect("empty registry");
+    for model in [
+        perturbed("DRAM x0.5", 100.0, 6.0, 2.0),
+        perturbed("DRAM x2", 400.0, 6.0, 2.0),
+        perturbed("Buffer x0.5", 200.0, 3.0, 2.0),
+        perturbed("Buffer x2", 200.0, 12.0, 4.0),
+        perturbed("Flat on-chip", 200.0, 2.0, 2.0),
+    ] {
+        reg.register(model).expect("scenario ids are unique");
+    }
+    reg
 }
 
 fn run_with_model(
@@ -75,48 +76,28 @@ fn run_with_model(
     layers: &[NamedLayer],
     batch: usize,
     num_pes: usize,
-    em: &EnergyModel,
+    cost: Arc<dyn CostModel>,
 ) -> Option<DataflowRun> {
-    let hw = AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes());
-    let mut out = Vec::with_capacity(layers.len());
-    for layer in layers {
-        let best = optimize(
-            builtin(kind),
-            &LayerProblem::new(layer.shape, batch),
-            &hw,
-            em,
-            Objective::Energy,
-        )?;
-        out.push(crate::metrics::LayerRun {
-            name: layer.name.clone(),
-            macs: layer.shape.macs(batch) as f64,
-            profile: best.profile,
-            active_pes: best.active_pes,
-            params: best.params,
-        });
-    }
-    Some(DataflowRun {
-        kind,
-        num_pes,
-        batch,
-        layers: out,
-        energy_model: *em,
-    })
+    let hw = eyeriss_arch::AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes());
+    run_layers_priced(kind, layers, batch, &hw, cost)
 }
 
 /// Runs the sensitivity study on the AlexNet CONV layers (256 PEs, N=16).
 pub fn run() -> Vec<Scenario> {
     let layers = alexnet::conv_layers();
-    scenarios()
-        .into_iter()
-        .map(|(label, model)| {
+    scenario_registry()
+        .iter()
+        .map(|model| {
             let energy_per_op = DataflowKind::ALL
                 .iter()
-                .map(|&k| run_with_model(k, &layers, 16, 256, &model).map(|r| r.energy_per_op()))
+                .map(|&k| {
+                    run_with_model(k, &layers, 16, 256, Arc::clone(model))
+                        .map(|r| r.energy_per_op())
+                })
                 .collect();
             Scenario {
-                label,
-                model,
+                label: model.id().label().to_string(),
+                model: Arc::clone(model),
                 energy_per_op,
             }
         })
@@ -178,8 +159,23 @@ mod tests {
     fn scenario_table_lists_all() {
         let s = run();
         let text = render(&s);
-        for (label, _) in scenarios() {
-            assert!(text.contains(&label), "{label} missing");
+        for model in scenario_registry().iter() {
+            assert!(
+                text.contains(model.id().label()),
+                "{} missing",
+                model.id().label()
+            );
         }
+    }
+
+    #[test]
+    fn scenarios_are_registered_models() {
+        let reg = scenario_registry();
+        assert_eq!(reg.len(), 6);
+        assert!(reg.get(TableIv::ID).is_some());
+        // The first scenario is the canonical model itself.
+        let s = run();
+        assert_eq!(s[0].label, "table-iv");
+        assert_eq!(s[0].model.fingerprint(), TableIv.fingerprint());
     }
 }

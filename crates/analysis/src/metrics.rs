@@ -5,9 +5,11 @@
 //! a `panic!`, when a run carries another dataflow's knobs.
 
 use eyeriss_arch::access::{DataType, LayerAccessProfile};
-use eyeriss_arch::energy::{EnergyModel, Level};
+use eyeriss_arch::cost::{CostModel, CostReport};
+use eyeriss_arch::energy::Level;
 use eyeriss_dataflow::candidate::MappingParams;
 use eyeriss_dataflow::{DataflowKind, ParamsMismatch};
+use std::sync::Arc;
 
 /// The optimized mapping of one layer.
 #[derive(Debug, Clone)]
@@ -26,8 +28,13 @@ pub struct LayerRun {
 
 impl LayerRun {
     /// Normalized energy of this layer (MAC units), including ALU.
-    pub fn energy(&self, em: &EnergyModel) -> f64 {
-        self.profile.total_energy(em)
+    pub fn energy(&self, cost: &dyn CostModel) -> f64 {
+        cost.energy_of(&self.profile)
+    }
+
+    /// Prices this layer into the unified [`CostReport`] vocabulary.
+    pub fn report(&self, cost: &dyn CostModel) -> CostReport {
+        cost.report(&self.profile, self.active_pes)
     }
 
     /// Delay proxy of this layer: MACs / active PEs (Section VII-B).
@@ -50,7 +57,7 @@ impl LayerRun {
 
 /// One dataflow mapped over a set of layers (e.g. all CONV layers of
 /// AlexNet) at one (PE count, batch size) operating point.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DataflowRun {
     /// Which dataflow.
     pub kind: DataflowKind,
@@ -60,11 +67,32 @@ pub struct DataflowRun {
     pub batch: usize,
     /// Per-layer optimized results, in network order.
     pub layers: Vec<LayerRun>,
-    /// The energy model used for optimization.
-    pub energy_model: EnergyModel,
+    /// The cost model the mappings were optimized (and are priced) under.
+    pub cost: Arc<dyn CostModel>,
+}
+
+impl std::fmt::Debug for DataflowRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataflowRun")
+            .field("kind", &self.kind)
+            .field("num_pes", &self.num_pes)
+            .field("batch", &self.batch)
+            .field("layers", &self.layers)
+            .field("cost", &self.cost.id())
+            .finish()
+    }
 }
 
 impl DataflowRun {
+    /// Prices the whole run into one accumulated [`CostReport`].
+    pub fn report(&self) -> CostReport {
+        let mut total = CostReport::zero(self.cost.descriptor());
+        for l in &self.layers {
+            total.accumulate(&l.report(self.cost.as_ref()));
+        }
+        total
+    }
+
     /// Total MACs across layers.
     pub fn total_ops(&self) -> f64 {
         self.layers.iter().map(|l| l.macs).sum()
@@ -74,7 +102,7 @@ impl DataflowRun {
     pub fn total_energy(&self) -> f64 {
         self.layers
             .iter()
-            .map(|l| l.energy(&self.energy_model))
+            .map(|l| l.energy(self.cost.as_ref()))
             .sum()
     }
 
@@ -124,7 +152,7 @@ impl DataflowRun {
         let e: f64 = self
             .layers
             .iter()
-            .map(|l| l.profile.energy_at_level(&self.energy_model, level))
+            .map(|l| self.cost.energy_at_level(&l.profile, level))
             .sum();
         e / self.total_ops()
     }
@@ -134,7 +162,7 @@ impl DataflowRun {
         let e: f64 = self
             .layers
             .iter()
-            .map(|l| l.profile.energy_of_type(&self.energy_model, ty))
+            .map(|l| self.cost.energy_of_type(&l.profile, ty))
             .sum();
         e / self.total_ops()
     }
@@ -144,6 +172,7 @@ impl DataflowRun {
 mod tests {
     use super::*;
     use eyeriss_arch::access::AccessCounts;
+    use eyeriss_arch::cost::table_iv_shared;
 
     fn dummy_run() -> DataflowRun {
         let mut p1 = LayerAccessProfile::new();
@@ -160,7 +189,7 @@ mod tests {
             kind: DataflowKind::RowStationary,
             num_pes: 256,
             batch: 1,
-            energy_model: EnergyModel::table_iv(),
+            cost: table_iv_shared(),
             layers: vec![
                 LayerRun {
                     name: "L1".into(),

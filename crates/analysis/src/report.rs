@@ -64,9 +64,10 @@ pub fn runs_to_csv(runs: &[DataflowRun]) -> String {
     ];
     let mut rows = Vec::new();
     for run in runs {
-        let em = &run.energy_model;
+        let em = run.cost.as_ref();
         for layer in &run.layers {
             let p = &layer.profile;
+            let report = layer.report(em);
             rows.push(vec![
                 run.kind.label().to_string(),
                 run.num_pes.to_string(),
@@ -77,14 +78,14 @@ pub fn runs_to_csv(runs: &[DataflowRun]) -> String {
                 format!("{}", layer.energy(em)),
                 format!("{}", p.dram_reads()),
                 format!("{}", p.dram_writes()),
-                format!("{}", p.energy_at_level(em, Level::Dram)),
-                format!("{}", p.energy_at_level(em, Level::Buffer)),
-                format!("{}", p.energy_at_level(em, Level::Array)),
-                format!("{}", p.energy_at_level(em, Level::Rf)),
-                format!("{}", p.energy_at_level(em, Level::Alu)),
-                format!("{}", p.energy_of_type(em, DataType::Ifmap)),
-                format!("{}", p.energy_of_type(em, DataType::Filter)),
-                format!("{}", p.energy_of_type(em, DataType::Psum)),
+                format!("{}", report.energy_at(Level::Dram)),
+                format!("{}", report.energy_at(Level::Buffer)),
+                format!("{}", report.energy_at(Level::Array)),
+                format!("{}", report.energy_at(Level::Rf)),
+                format!("{}", report.energy_at(Level::Alu)),
+                format!("{}", report.energy_of(DataType::Ifmap)),
+                format!("{}", report.energy_of(DataType::Filter)),
+                format!("{}", report.energy_of(DataType::Psum)),
             ]);
         }
     }

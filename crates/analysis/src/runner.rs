@@ -2,13 +2,14 @@
 //! Section VI-B and optimizes each layer's mapping (Section VI-C).
 
 use crate::metrics::{DataflowRun, LayerRun};
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::{table_iv_shared, CostModel};
 use eyeriss_dataflow::registry::builtin;
 use eyeriss_dataflow::search::{optimize_all, Objective};
 use eyeriss_dataflow::DataflowKind;
 use eyeriss_nn::alexnet;
 use eyeriss_nn::shape::NamedLayer;
 use eyeriss_nn::LayerProblem;
+use std::sync::Arc;
 
 /// Optimizes `kind` over `layers` at batch `batch` on a `num_pes` array.
 ///
@@ -33,14 +34,33 @@ pub fn run_layers_on(
     batch: usize,
     hw: &eyeriss_arch::AcceleratorConfig,
 ) -> Option<DataflowRun> {
-    let em = EnergyModel::table_iv();
+    run_layers_priced(kind, layers, batch, hw, table_iv_shared())
+}
+
+/// [`run_layers_on`] priced under an explicit [`CostModel`] — the entry
+/// point sensitivity studies use with models from a
+/// [`CostModelRegistry`](eyeriss_arch::CostModelRegistry) instead of
+/// hand-built structs.
+pub fn run_layers_priced(
+    kind: DataflowKind,
+    layers: &[NamedLayer],
+    batch: usize,
+    hw: &eyeriss_arch::AcceleratorConfig,
+    cost: Arc<dyn CostModel>,
+) -> Option<DataflowRun> {
     // Repeated shapes (all of VGG's stacked 3x3 stages, say) share one
     // search through the deduplicating batch entry point.
     let problems: Vec<LayerProblem> = layers
         .iter()
         .map(|l| LayerProblem::new(l.shape, batch))
         .collect();
-    let mappings = optimize_all(builtin(kind), &problems, hw, &em, Objective::Energy);
+    let mappings = optimize_all(
+        builtin(kind),
+        &problems,
+        hw,
+        cost.as_ref(),
+        Objective::Energy,
+    );
     let mut out = Vec::with_capacity(layers.len());
     for (layer, best) in layers.iter().zip(mappings) {
         let best = best?;
@@ -57,7 +77,7 @@ pub fn run_layers_on(
         num_pes: hw.num_pes(),
         batch,
         layers: out,
-        energy_model: em,
+        cost,
     })
 }
 

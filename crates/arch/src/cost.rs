@@ -1,0 +1,982 @@
+//! The open cost-model layer: pluggable energy *and* latency accounting.
+//!
+//! Table IV of the paper fixes one 200×/6×/2×/1× energy hierarchy, but the
+//! methodology of Section VI-C — "counting the number of accesses to each
+//! level ... and weighting the accesses at each level with a cost" — is
+//! parametric in those weights. Different processes, NoC designs and array
+//! sizes change the per-level costs, and a serving deployment additionally
+//! needs a *latency* dimension (per-level bandwidth) the energy table
+//! cannot express. This module opens the accounting the same way
+//! `eyeriss_dataflow` opened the mapping spaces:
+//!
+//! * [`CostModel`] — the open trait: identity, energy cost per [`Level`],
+//!   per-level bandwidth, and provided pricing/fingerprinting.
+//! * [`TableIv`] — the canonical implementation (the paper's numbers,
+//!   latency-transparent: infinite per-level bandwidth, so delay reduces
+//!   to the Section VII-B compute proxy).
+//! * [`StaticCostModel`] — table-driven custom models for sensitivity
+//!   scenarios and deployment what-ifs (e.g. a 28 nm latency-weighted
+//!   setup with a finite DRAM channel).
+//! * [`CostReport`] — the unified result vocabulary: per-level ×
+//!   per-data-type energy plus the analytic delay, returned by simulator
+//!   stats, cluster stats and the analysis metrics alike.
+//! * [`CostModelRegistry`] — mirror of `DataflowRegistry`; everything
+//!   downstream prices through `&dyn CostModel` and never matches on a
+//!   concrete model type, so a registered model is searched, planned,
+//!   persisted and served without core changes.
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_arch::cost::{CostModel, StaticCostModel, TableIv};
+//! use eyeriss_arch::energy::{EnergyModel, Level};
+//!
+//! // The canonical model prices exactly like Table IV.
+//! let table = TableIv;
+//! assert_eq!(table.energy_cost(Level::Dram), 200.0);
+//!
+//! // A custom 28 nm-ish scenario: cheaper DRAM, a finite DRAM channel.
+//! let low_power = StaticCostModel::new("lp-28nm", EnergyModel::new(120.0, 5.0, 2.0, 1.0, 1.0)?)
+//!     .with_bandwidth(Level::Dram, 4.0)?;
+//! assert!(low_power.energy_cost(Level::Dram) < table.energy_cost(Level::Dram));
+//! assert_ne!(low_power.fingerprint(), table.fingerprint());
+//! # Ok::<(), eyeriss_arch::cost::CostModelError>(())
+//! ```
+
+use crate::access::{AccessCounts, DataType, LayerAccessProfile};
+use crate::energy::{EnergyModel, Level};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Stable identity of a cost model (the open-world mirror of
+/// [`crate::energy::EnergyModel`]'s implicit "Table IV" identity).
+///
+/// Compares and hashes by label *content*; the label is also the
+/// serialization form persisted plan caches store on disk.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModelId(&'static str);
+
+impl CostModelId {
+    /// Creates an id from a static label. Labels are the wire format of
+    /// the id, so pick short, stable, unique names.
+    pub const fn new(label: &'static str) -> Self {
+        CostModelId(label)
+    }
+
+    /// The id's label.
+    pub fn label(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for CostModelId {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for CostModelId {}
+
+impl Hash for CostModelId {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Display for CostModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Exact bit-pattern fingerprint of a cost model: the IEEE-754 bits of
+/// the energy cost and bandwidth at every level, in [`Level::ALL`] order.
+/// Two models with equal fingerprints price every profile identically, so
+/// plan caches may share entries between them; distinct fingerprints must
+/// never cross-hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostFingerprint {
+    /// Energy-cost bits per level, [`Level::ALL`] order.
+    pub energy_bits: [u64; 5],
+    /// Bandwidth bits per level, [`Level::ALL`] order.
+    pub bandwidth_bits: [u64; 5],
+}
+
+/// The `(identity, fingerprint)` pair a priced artifact (cluster plan,
+/// plan-cache key) records, so persisted plans remember which model
+/// priced them and reload against the matching one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostDescriptor {
+    /// Which model.
+    pub id: CostModelId,
+    /// Its exact numeric fingerprint at pricing time.
+    pub fingerprint: CostFingerprint,
+}
+
+impl fmt::Display for CostDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Typed errors of the cost layer: construction invariants (the Section II
+/// hierarchy ordering) and registry lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostModelError {
+    /// A per-level cost is negative or non-finite.
+    InvalidCost {
+        /// The offending level.
+        level: Level,
+        /// The offending value.
+        value: f64,
+    },
+    /// The hierarchy ordering `DRAM >= buffer >= array >= RF` is violated
+    /// (Section II defines the hierarchy by decreasing access cost).
+    UnorderedHierarchy {
+        /// The higher level whose cost fell below the lower one.
+        upper: Level,
+        /// The lower level.
+        lower: Level,
+        /// Cost at `upper`.
+        upper_cost: f64,
+        /// Cost at `lower`.
+        lower_cost: f64,
+    },
+    /// A per-level bandwidth is zero, negative or NaN.
+    InvalidBandwidth {
+        /// The offending level.
+        level: Level,
+        /// The offending value.
+        value: f64,
+    },
+    /// A model with this id is already registered.
+    Duplicate(CostModelId),
+    /// No registered model carries this label.
+    Unknown(String),
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::InvalidCost { level, value } => {
+                write!(
+                    f,
+                    "energy cost at {level} must be finite and >= 0, got {value}"
+                )
+            }
+            CostModelError::UnorderedHierarchy {
+                upper,
+                lower,
+                upper_cost,
+                lower_cost,
+            } => write!(
+                f,
+                "hierarchy costs must decrease with level: {upper} ({upper_cost}) \
+                 < {lower} ({lower_cost})"
+            ),
+            CostModelError::InvalidBandwidth { level, value } => {
+                write!(f, "bandwidth at {level} must be positive, got {value}")
+            }
+            CostModelError::Duplicate(id) => {
+                write!(f, "cost model {id} is already registered")
+            }
+            CostModelError::Unknown(label) => {
+                write!(f, "no cost model registered under {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+/// An energy/latency accounting scheme over the four-level hierarchy
+/// (Section VI-C, opened up the way [`Dataflow`] opened the mapping
+/// spaces).
+///
+/// Implementations provide an identity, an energy cost per access at each
+/// [`Level`], and (optionally) a finite per-level bandwidth; everything
+/// else — profile pricing, the analytic delay, the [`CostReport`]
+/// vocabulary, the exact [`CostFingerprint`] plan caches key on — is
+/// provided.
+///
+/// [`Dataflow`]: https://docs.rs/eyeriss-dataflow
+pub trait CostModel: Send + Sync {
+    /// Stable identity; registries and plan caches key on this (together
+    /// with the numeric [`CostModel::fingerprint`]).
+    fn id(&self) -> CostModelId;
+
+    /// Energy cost of one access at `level`, normalized to one MAC.
+    fn energy_cost(&self, level: Level) -> f64;
+
+    /// Deliverable words per cycle at `level`, driving the analytic
+    /// latency dimension. The default is infinite everywhere: the model
+    /// is latency-transparent and [`CostModel::delay_of`] reduces to the
+    /// paper's Section VII-B compute proxy (MACs / active PEs). Override
+    /// with finite values to let scarce levels bound the delay.
+    fn bandwidth(&self, level: Level) -> f64 {
+        let _ = level;
+        f64::INFINITY
+    }
+
+    /// Exact numeric fingerprint: the bit patterns of every per-level
+    /// energy cost and bandwidth. Two models fingerprinting equal price
+    /// identically; plan caches must never share entries across distinct
+    /// fingerprints.
+    fn fingerprint(&self) -> CostFingerprint {
+        let mut energy_bits = [0u64; 5];
+        let mut bandwidth_bits = [0u64; 5];
+        for (i, level) in Level::ALL.into_iter().enumerate() {
+            energy_bits[i] = self.energy_cost(level).to_bits();
+            bandwidth_bits[i] = self.bandwidth(level).to_bits();
+        }
+        CostFingerprint {
+            energy_bits,
+            bandwidth_bits,
+        }
+    }
+
+    /// The `(id, fingerprint)` descriptor priced artifacts record.
+    fn descriptor(&self) -> CostDescriptor {
+        CostDescriptor {
+            id: self.id(),
+            fingerprint: self.fingerprint(),
+        }
+    }
+
+    /// Energy of one data type's access counts (the weighted sum of
+    /// Section VI-C, association order identical to
+    /// [`AccessCounts::energy`] so Table IV totals stay bit-exact).
+    fn energy_of_counts(&self, counts: &AccessCounts) -> f64 {
+        Level::ALL
+            .iter()
+            .map(|&l| counts.at_level(l) * self.energy_cost(l))
+            .sum()
+    }
+
+    /// Total energy of a layer profile including ALU operations —
+    /// bit-identical to `profile.total_energy(&EnergyModel)` under equal
+    /// per-level costs.
+    fn energy_of(&self, profile: &LayerAccessProfile) -> f64 {
+        let data: f64 = DataType::ALL
+            .iter()
+            .map(|&t| self.energy_of_counts(profile.of(t)))
+            .sum();
+        data + profile.alu_ops * self.energy_cost(Level::Alu)
+    }
+
+    /// Energy at one level summed over data types, association order
+    /// identical to the old `LayerAccessProfile::energy_at_level`;
+    /// [`Level::Alu`] returns the MAC energy.
+    fn energy_at_level(&self, profile: &LayerAccessProfile, level: Level) -> f64 {
+        if level == Level::Alu {
+            return profile.alu_ops * self.energy_cost(Level::Alu);
+        }
+        DataType::ALL
+            .iter()
+            .map(|&t| profile.of(t).at_level(level) * self.energy_cost(level))
+            .sum()
+    }
+
+    /// Energy of one data type across all levels (order-identical to the
+    /// old `LayerAccessProfile::energy_of_type`).
+    fn energy_of_type(&self, profile: &LayerAccessProfile, ty: DataType) -> f64 {
+        self.energy_of_counts(profile.of(ty))
+    }
+
+    /// Analytic delay of a layer profile on `active_pes` PEs: the compute
+    /// proxy (MACs / active PEs, Section VII-B) floored by every level's
+    /// transfer time under this model's bandwidths. Latency-transparent
+    /// models (the default) return exactly the compute proxy.
+    fn delay_of(&self, profile: &LayerAccessProfile, active_pes: usize) -> f64 {
+        let mut delay = profile.alu_ops / active_pes as f64;
+        for level in [Level::Dram, Level::Buffer, Level::Array, Level::Rf] {
+            let words: f64 = DataType::ALL
+                .iter()
+                .map(|&t| profile.of(t).at_level(level))
+                .sum();
+            delay = delay.max(words / self.bandwidth(level));
+        }
+        delay
+    }
+
+    /// Prices a whole layer profile into the unified [`CostReport`]
+    /// vocabulary: per-level × per-data-type energy plus the analytic
+    /// delay decomposition (compute proxy = MACs / active PEs).
+    fn report(&self, profile: &LayerAccessProfile, active_pes: usize) -> CostReport {
+        self.report_with_delay(profile, profile.alu_ops / active_pes as f64)
+    }
+
+    /// [`CostModel::report`] with an explicit compute-delay baseline, for
+    /// callers whose delay is not the analytic PE proxy — a simulator's
+    /// measured cycles, a cluster plan's critical path. The report's
+    /// final delay is the baseline floored by every level's transfer time
+    /// under this model's bandwidths.
+    fn report_with_delay(&self, profile: &LayerAccessProfile, compute_delay: f64) -> CostReport {
+        let mut energy = [[0.0f64; 5]; 3];
+        for (ti, &t) in DataType::ALL.iter().enumerate() {
+            for (li, &l) in Level::ALL.iter().enumerate() {
+                energy[ti][li] = profile.of(t).at_level(l) * self.energy_cost(l);
+            }
+        }
+        let alu_energy = profile.alu_ops * self.energy_cost(Level::Alu);
+        // Identical association order to `LayerAccessProfile::total_energy`
+        // (per-type level sums, then across types, then + ALU), so Table IV
+        // totals are bit-exact against the pre-trait pricing path.
+        let data: f64 = energy.iter().map(|row| row.iter().sum::<f64>()).sum();
+        let total_energy = data + alu_energy;
+        let mut transfer_delay = [0.0f64; 5];
+        let mut delay = compute_delay;
+        for (li, &l) in Level::ALL.iter().enumerate() {
+            if l == Level::Alu {
+                continue;
+            }
+            let words: f64 = DataType::ALL
+                .iter()
+                .map(|&t| profile.of(t).at_level(l))
+                .sum();
+            transfer_delay[li] = words / self.bandwidth(l);
+            delay = delay.max(transfer_delay[li]);
+        }
+        CostReport {
+            model: self.descriptor(),
+            energy,
+            alu_energy,
+            total_energy,
+            compute_delay,
+            transfer_delay,
+            delay,
+        }
+    }
+
+    /// Prices units that run *in parallel* (cluster arrays) into one
+    /// report: energies add across units, but each unit owns private
+    /// bandwidth at every level, so per-level transfer floors combine by
+    /// **maximum** rather than summing — and the final delay is the
+    /// caller's critical-path baseline (which should already account for
+    /// shared resources, e.g. a cluster's shared-DRAM contention model)
+    /// floored by those per-unit transfer times.
+    fn report_parallel(&self, units: &[&LayerAccessProfile], baseline_delay: f64) -> CostReport {
+        let mut total = CostReport::zero(self.descriptor());
+        let mut transfer_delay = [0.0f64; 5];
+        for profile in units {
+            let unit = self.report_with_delay(profile, 0.0);
+            for (acc, t) in transfer_delay.iter_mut().zip(&unit.transfer_delay) {
+                *acc = acc.max(*t);
+            }
+            total.accumulate(&unit);
+        }
+        total.compute_delay = baseline_delay;
+        total.transfer_delay = transfer_delay;
+        total.delay = transfer_delay
+            .iter()
+            .fold(baseline_delay, |acc, &t| acc.max(t));
+        total
+    }
+}
+
+impl fmt::Debug for dyn CostModel + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CostModel({})", self.id())
+    }
+}
+
+/// Index of `level` in [`Level::ALL`] (the report matrices' column order).
+fn level_index(level: Level) -> usize {
+    Level::ALL
+        .iter()
+        .position(|&l| l == level)
+        .expect("Level::ALL is total")
+}
+
+/// Index of `ty` in [`DataType::ALL`] (the report matrices' row order).
+fn type_index(ty: DataType) -> usize {
+    DataType::ALL
+        .iter()
+        .position(|&t| t == ty)
+        .expect("DataType::ALL is total")
+}
+
+/// The unified pricing vocabulary: one layer (or an accumulated network)
+/// priced under one [`CostModel`] — per-level × per-data-type energy, the
+/// ALU term, and the analytic delay decomposition.
+///
+/// Reports accumulate ([`CostReport::accumulate`]) so network totals and
+/// cluster aggregates speak the same vocabulary as single layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Which model priced this report (identity + exact fingerprint, so
+    /// accumulation can reject sums across same-label models with
+    /// different numbers).
+    pub model: CostDescriptor,
+    /// Energy per data type (row, [`DataType::ALL`] order) and level
+    /// (column, [`Level::ALL`] order). The ALU column is zero — compute
+    /// energy lives in [`CostReport::alu_energy`].
+    energy: [[f64; 5]; 3],
+    /// MAC/compute energy.
+    pub alu_energy: f64,
+    /// Total energy (data movement + ALU), in MAC units.
+    pub total_energy: f64,
+    /// The compute-bound delay term: MACs / active PEs (Section VII-B).
+    pub compute_delay: f64,
+    /// Per-level transfer delays (words at level / model bandwidth),
+    /// [`Level::ALL`] order; zero under infinite bandwidth.
+    transfer_delay: [f64; 5],
+    /// Analytic delay: the maximum of the compute term and every level's
+    /// transfer term, in MAC-time units.
+    pub delay: f64,
+}
+
+impl CostReport {
+    /// An all-zero report priced under `model` (identity for
+    /// [`CostReport::accumulate`]).
+    pub fn zero(model: CostDescriptor) -> Self {
+        CostReport {
+            model,
+            energy: [[0.0; 5]; 3],
+            alu_energy: 0.0,
+            total_energy: 0.0,
+            compute_delay: 0.0,
+            transfer_delay: [0.0; 5],
+            delay: 0.0,
+        }
+    }
+
+    /// Energy of one data type at one level.
+    pub fn energy_cell(&self, ty: DataType, level: Level) -> f64 {
+        self.energy[type_index(ty)][level_index(level)]
+    }
+
+    /// Energy at one level summed over data types (the Fig. 10/12
+    /// stacks); [`Level::Alu`] returns the MAC energy.
+    pub fn energy_at(&self, level: Level) -> f64 {
+        if level == Level::Alu {
+            return self.alu_energy;
+        }
+        let li = level_index(level);
+        self.energy.iter().map(|row| row[li]).sum()
+    }
+
+    /// Energy of one data type across levels (the Fig. 12d/14c stacks).
+    pub fn energy_of(&self, ty: DataType) -> f64 {
+        self.energy[type_index(ty)].iter().sum()
+    }
+
+    /// Data-movement energy (total minus ALU), summed per type then
+    /// across types.
+    pub fn data_energy(&self) -> f64 {
+        DataType::ALL.iter().map(|&t| self.energy_of(t)).sum()
+    }
+
+    /// Transfer-delay component at one level ([`Level::Alu`] reports the
+    /// compute term).
+    pub fn transfer_delay_at(&self, level: Level) -> f64 {
+        if level == Level::Alu {
+            return self.compute_delay;
+        }
+        self.transfer_delay[level_index(level)]
+    }
+
+    /// The level whose transfer time dominates the compute term — the
+    /// bandwidth bottleneck — or `None` when compute dominates (always
+    /// `None` for latency-transparent models). For accumulated reports
+    /// the comparison is between the summed transfer and compute terms.
+    pub fn bound_level(&self) -> Option<Level> {
+        let bottleneck = Level::ALL
+            .into_iter()
+            .filter(|&l| l != Level::Alu)
+            .max_by(|a, b| {
+                self.transfer_delay_at(*a)
+                    .partial_cmp(&self.transfer_delay_at(*b))
+                    .expect("finite delays")
+            })?;
+        (self.transfer_delay_at(bottleneck) > self.compute_delay).then_some(bottleneck)
+    }
+
+    /// Energy–delay product.
+    pub fn edp(&self) -> f64 {
+        self.total_energy * self.delay
+    }
+
+    /// Element-wise accumulation: sequential composition of layers (or
+    /// stages) priced under the same model — energies and delays add.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reports were priced by different models; summing
+    /// across models is meaningless.
+    pub fn accumulate(&mut self, other: &CostReport) {
+        assert_eq!(
+            self.model, other.model,
+            "cannot accumulate reports priced by different cost models"
+        );
+        for (row, orow) in self.energy.iter_mut().zip(&other.energy) {
+            for (cell, ocell) in row.iter_mut().zip(orow) {
+                *cell += ocell;
+            }
+        }
+        self.alu_energy += other.alu_energy;
+        self.total_energy += other.total_energy;
+        self.compute_delay += other.compute_delay;
+        for (cell, ocell) in self.transfer_delay.iter_mut().zip(&other.transfer_delay) {
+            *cell += ocell;
+        }
+        self.delay += other.delay;
+    }
+}
+
+/// The canonical cost model: the commercial 65 nm numbers of Table IV
+/// (DRAM 200×, buffer 6×, array 2×, RF 1×, ALU 1×), latency-transparent.
+///
+/// Pricing under `TableIv` is bit-identical to the pre-trait
+/// `EnergyModel::table_iv()` path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableIv;
+
+impl TableIv {
+    /// The registry id of the canonical model.
+    pub const ID: CostModelId = CostModelId::new("table-iv");
+}
+
+impl CostModel for TableIv {
+    fn id(&self) -> CostModelId {
+        TableIv::ID
+    }
+
+    fn energy_cost(&self, level: Level) -> f64 {
+        EnergyModel::table_iv().cost(level)
+    }
+}
+
+/// The canonical Table IV model as a `'static` trait object.
+pub fn table_iv() -> &'static dyn CostModel {
+    &TableIv
+}
+
+/// The canonical Table IV model as a shared trait object (for holders
+/// needing owned `Arc<dyn CostModel>` storage, like a serving compiler).
+pub fn table_iv_shared() -> Arc<dyn CostModel> {
+    Arc::new(TableIv)
+}
+
+/// A table-driven cost model: per-level energy costs (validated against
+/// the Section II hierarchy ordering via [`EnergyModel`]) plus optional
+/// finite per-level bandwidths. The workhorse of sensitivity scenarios
+/// and deployment what-ifs.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_arch::cost::{CostModel, StaticCostModel};
+/// use eyeriss_arch::energy::{EnergyModel, Level};
+///
+/// let m = StaticCostModel::new("dram-x2", EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0)?)
+///     .with_bandwidth(Level::Dram, 8.0)?;
+/// assert_eq!(m.id().label(), "dram-x2");
+/// assert_eq!(m.energy_cost(Level::Dram), 400.0);
+/// assert_eq!(m.bandwidth(Level::Dram), 8.0);
+/// assert!(m.bandwidth(Level::Buffer).is_infinite());
+/// # Ok::<(), eyeriss_arch::cost::CostModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticCostModel {
+    id: CostModelId,
+    energy: EnergyModel,
+    bandwidth: [f64; 5],
+}
+
+impl StaticCostModel {
+    /// A latency-transparent model with `energy`'s per-level costs under
+    /// the id `label`.
+    pub fn new(label: &'static str, energy: EnergyModel) -> Self {
+        StaticCostModel {
+            id: CostModelId::new(label),
+            energy,
+            bandwidth: [f64::INFINITY; 5],
+        }
+    }
+
+    /// Sets a finite bandwidth (words per cycle) at `level`.
+    ///
+    /// # Errors
+    ///
+    /// [`CostModelError::InvalidBandwidth`] unless positive.
+    pub fn with_bandwidth(
+        mut self,
+        level: Level,
+        words_per_cycle: f64,
+    ) -> Result<Self, CostModelError> {
+        if words_per_cycle.is_nan() || words_per_cycle <= 0.0 {
+            return Err(CostModelError::InvalidBandwidth {
+                level,
+                value: words_per_cycle,
+            });
+        }
+        self.bandwidth[level_index(level)] = words_per_cycle;
+        Ok(self)
+    }
+
+    /// The underlying per-level energy table.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+}
+
+impl CostModel for StaticCostModel {
+    fn id(&self) -> CostModelId {
+        self.id
+    }
+
+    fn energy_cost(&self, level: Level) -> f64 {
+        self.energy.cost(level)
+    }
+
+    fn bandwidth(&self, level: Level) -> f64 {
+        self.bandwidth[level_index(level)]
+    }
+}
+
+/// An ordered set of [`CostModel`] implementations, looked up by
+/// [`CostModelId`] or label — the exact mirror of `DataflowRegistry`.
+/// Everything downstream prices through `&dyn CostModel`, so registering
+/// a custom model here is all it takes to search, plan, persist and serve
+/// under it.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_arch::cost::{CostModelRegistry, StaticCostModel, TableIv};
+/// use eyeriss_arch::energy::EnergyModel;
+///
+/// let mut reg = CostModelRegistry::builtin();
+/// assert!(reg.get(TableIv::ID).is_some());
+/// reg.register(std::sync::Arc::new(StaticCostModel::new(
+///     "flat",
+///     EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0)?,
+/// )))?;
+/// assert_eq!(reg.len(), 2);
+/// assert!(reg.by_label("flat").is_some());
+/// # Ok::<(), eyeriss_arch::cost::CostModelError>(())
+/// ```
+#[derive(Clone)]
+pub struct CostModelRegistry {
+    entries: Vec<Arc<dyn CostModel>>,
+}
+
+impl CostModelRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        CostModelRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry holding the canonical [`TableIv`] model.
+    pub fn builtin() -> Self {
+        let mut reg = CostModelRegistry::empty();
+        reg.entries.push(table_iv_shared());
+        reg
+    }
+
+    /// Registers a cost model.
+    ///
+    /// # Errors
+    ///
+    /// [`CostModelError::Duplicate`] when the id is already present.
+    pub fn register(&mut self, model: Arc<dyn CostModel>) -> Result<(), CostModelError> {
+        let id = model.id();
+        if self.get(id).is_some() {
+            return Err(CostModelError::Duplicate(id));
+        }
+        self.entries.push(model);
+        Ok(())
+    }
+
+    /// Looks a model up by id.
+    pub fn get(&self, id: CostModelId) -> Option<&Arc<dyn CostModel>> {
+        self.entries.iter().find(|m| m.id() == id)
+    }
+
+    /// Looks a model up by label (the on-disk form of the id).
+    pub fn by_label(&self, label: &str) -> Option<&Arc<dyn CostModel>> {
+        self.entries.iter().find(|m| m.id().label() == label)
+    }
+
+    /// [`CostModelRegistry::get`] with a typed error for the miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CostModelError::Unknown`].
+    pub fn resolve(&self, id: CostModelId) -> Result<&Arc<dyn CostModel>, CostModelError> {
+        self.get(id)
+            .ok_or_else(|| CostModelError::Unknown(id.label().to_string()))
+    }
+
+    /// [`CostModelRegistry::by_label`] with a typed error for the miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CostModelError::Unknown`].
+    pub fn resolve_label(&self, label: &str) -> Result<&Arc<dyn CostModel>, CostModelError> {
+        self.by_label(label)
+            .ok_or_else(|| CostModelError::Unknown(label.to_string()))
+    }
+
+    /// The registered models, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn CostModel>> {
+        self.entries.iter()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for CostModelRegistry {
+    fn default() -> Self {
+        CostModelRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for CostModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.entries.iter().map(|m| m.id()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> LayerAccessProfile {
+        let mut p = LayerAccessProfile::new();
+        p.ifmap = AccessCounts {
+            dram_reads: 10.0,
+            buffer_reads: 100.0,
+            array_hops: 300.0,
+            rf_reads: 1000.0,
+            ..AccessCounts::default()
+        };
+        p.filter = AccessCounts {
+            dram_reads: 3.0,
+            rf_reads: 700.0,
+            rf_writes: 11.0,
+            ..AccessCounts::default()
+        };
+        p.psum = AccessCounts {
+            dram_writes: 5.0,
+            buffer_writes: 40.0,
+            rf_reads: 900.0,
+            rf_writes: 900.0,
+            ..AccessCounts::default()
+        };
+        p.alu_ops = 4321.0;
+        p
+    }
+
+    #[test]
+    fn table_iv_prices_bit_identically_to_the_energy_model() {
+        let p = sample_profile();
+        let em = EnergyModel::table_iv();
+        assert_eq!(
+            TableIv.energy_of(&p).to_bits(),
+            p.total_energy(&em).to_bits()
+        );
+        let report = TableIv.report(&p, 123);
+        assert_eq!(report.total_energy.to_bits(), p.total_energy(&em).to_bits());
+        for level in Level::ALL {
+            assert_eq!(
+                report.energy_at(level).to_bits(),
+                p.energy_at_level(&em, level).to_bits(),
+                "{level}"
+            );
+        }
+        for ty in DataType::ALL {
+            assert_eq!(
+                report.energy_of(ty).to_bits(),
+                p.energy_of_type(&em, ty).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_transparent_delay_is_the_compute_proxy() {
+        let p = sample_profile();
+        let report = TableIv.report(&p, 100);
+        assert_eq!(report.delay, p.alu_ops / 100.0);
+        assert_eq!(report.delay, report.compute_delay);
+        assert_eq!(report.bound_level(), None);
+        assert_eq!(TableIv.delay_of(&p, 100), report.delay);
+    }
+
+    #[test]
+    fn finite_bandwidth_bounds_the_delay() {
+        let p = sample_profile();
+        // 18 DRAM words at 0.001 words/cycle dominate 4321 MACs / 100 PEs.
+        let m = StaticCostModel::new("slow-dram", EnergyModel::table_iv())
+            .with_bandwidth(Level::Dram, 0.001)
+            .unwrap();
+        let report = m.report(&p, 100);
+        assert_eq!(report.delay, 18.0 / 0.001);
+        assert_eq!(report.bound_level(), Some(Level::Dram));
+        assert!(report.delay > report.compute_delay);
+        assert_eq!(m.delay_of(&p, 100), report.delay);
+        // Energy is untouched by bandwidth.
+        assert_eq!(
+            report.total_energy.to_bits(),
+            TableIv.report(&p, 100).total_energy.to_bits()
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_costs_and_bandwidths() {
+        let base = StaticCostModel::new("a", EnergyModel::table_iv());
+        assert_eq!(base.fingerprint(), TableIv.fingerprint());
+        let scaled =
+            StaticCostModel::new("b", EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0).unwrap());
+        assert_ne!(scaled.fingerprint(), TableIv.fingerprint());
+        let banded = base.with_bandwidth(Level::Dram, 4.0).unwrap();
+        assert_ne!(banded.fingerprint(), TableIv.fingerprint());
+        assert_eq!(TableIv.descriptor().id, TableIv::ID);
+        assert_eq!(TableIv.descriptor().fingerprint, TableIv.fingerprint());
+    }
+
+    #[test]
+    fn reports_accumulate_elementwise() {
+        let p = sample_profile();
+        let one = TableIv.report(&p, 64);
+        let mut two = one;
+        two.accumulate(&one);
+        assert_eq!(two.total_energy, 2.0 * one.total_energy);
+        assert_eq!(two.delay, 2.0 * one.delay);
+        assert_eq!(two.alu_energy, 2.0 * one.alu_energy);
+        assert_eq!(
+            two.energy_cell(DataType::Psum, Level::Rf),
+            2.0 * one.energy_cell(DataType::Psum, Level::Rf)
+        );
+        let mut zero = CostReport::zero(TableIv.descriptor());
+        zero.accumulate(&one);
+        assert_eq!(zero, one);
+        assert_eq!(one.edp(), one.total_energy * one.delay);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cost models")]
+    fn accumulate_rejects_cross_model_sums() {
+        let p = sample_profile();
+        let mut a = TableIv.report(&p, 64);
+        let b = StaticCostModel::new("other", EnergyModel::table_iv()).report(&p, 64);
+        a.accumulate(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cost models")]
+    fn accumulate_rejects_same_label_different_numbers() {
+        // Two models under one label but distinct fingerprints must not
+        // sum silently — the descriptor, not just the id, is the guard.
+        let p = sample_profile();
+        let mut a = StaticCostModel::new("scenario", EnergyModel::table_iv()).report(&p, 64);
+        let b = StaticCostModel::new(
+            "scenario",
+            EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0).unwrap(),
+        )
+        .report(&p, 64);
+        a.accumulate(&b);
+    }
+
+    #[test]
+    fn parallel_reports_add_energy_but_max_transfer_floors() {
+        // Two parallel units under a finite DRAM channel: energy doubles,
+        // but the DRAM floor is the slower unit's own transfer time — not
+        // the sum of both units' words through one private channel.
+        let m = StaticCostModel::new("banded", EnergyModel::table_iv())
+            .with_bandwidth(Level::Dram, 1.0)
+            .unwrap();
+        let a = sample_profile(); // 18 DRAM words
+        let mut b = sample_profile();
+        b.ifmap.dram_reads += 10.0; // 28 DRAM words
+        let report = m.report_parallel(&[&a, &b], 5.0);
+        let single_a = m.report_with_delay(&a, 0.0);
+        let single_b = m.report_with_delay(&b, 0.0);
+        assert_eq!(
+            report.total_energy,
+            single_a.total_energy + single_b.total_energy
+        );
+        assert_eq!(report.transfer_delay_at(Level::Dram), 28.0);
+        assert_eq!(report.delay, 28.0, "per-unit max, not 46-word sum");
+        assert_eq!(report.compute_delay, 5.0);
+        assert_eq!(report.bound_level(), Some(Level::Dram));
+        // With a dominant baseline (e.g. a cluster's own critical path),
+        // the baseline wins and compute is reported as the bound.
+        let bounded = m.report_parallel(&[&a, &b], 1000.0);
+        assert_eq!(bounded.delay, 1000.0);
+        assert_eq!(bounded.bound_level(), None);
+    }
+
+    #[test]
+    fn report_breakdowns_sum_to_totals() {
+        let p = sample_profile();
+        let r = TableIv.report(&p, 16);
+        let by_level: f64 = Level::ALL.iter().map(|&l| r.energy_at(l)).sum();
+        assert!((by_level - r.total_energy).abs() < 1e-9);
+        let by_type: f64 =
+            DataType::ALL.iter().map(|&t| r.energy_of(t)).sum::<f64>() + r.alu_energy;
+        assert!((by_type - r.total_energy).abs() < 1e-9);
+        assert!((r.data_energy() - (r.total_energy - r.alu_energy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_validation_is_typed() {
+        let m = StaticCostModel::new("x", EnergyModel::table_iv());
+        assert!(matches!(
+            m.with_bandwidth(Level::Dram, 0.0),
+            Err(CostModelError::InvalidBandwidth { .. })
+        ));
+        assert!(matches!(
+            m.with_bandwidth(Level::Rf, f64::NAN),
+            Err(CostModelError::InvalidBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_mirrors_the_dataflow_registry() {
+        let mut reg = CostModelRegistry::builtin();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.resolve(TableIv::ID).is_ok());
+        assert!(reg.resolve_label("table-iv").is_ok());
+        let flat = Arc::new(StaticCostModel::new(
+            "flat",
+            EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0).unwrap(),
+        ));
+        reg.register(Arc::clone(&flat) as Arc<dyn CostModel>)
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(matches!(
+            reg.register(flat as Arc<dyn CostModel>),
+            Err(CostModelError::Duplicate(id)) if id.label() == "flat"
+        ));
+        assert!(matches!(
+            reg.resolve_label("nope"),
+            Err(CostModelError::Unknown(l)) if l == "nope"
+        ));
+        let ids: Vec<_> = reg.iter().map(|m| m.id().label()).collect();
+        assert_eq!(ids, ["table-iv", "flat"]);
+        assert!(CostModelRegistry::empty().is_empty());
+        assert!(format!("{reg:?}").contains("flat"));
+    }
+
+    #[test]
+    fn cost_model_ids_compare_by_content() {
+        assert_eq!(CostModelId::new("x"), CostModelId::new("x"));
+        assert_ne!(CostModelId::new("x"), CostModelId::new("y"));
+        assert_eq!(CostModelId::new("abc").to_string(), "abc");
+    }
+}

@@ -9,6 +9,7 @@
 //! |--------|------|------------------|-----------------|-------------|
 //! | Cost   | 200x | 6x               | 2x              | 1x          |
 
+use crate::cost::CostModelError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -90,23 +91,44 @@ impl EnergyModel {
 
     /// Builds a custom model (for sensitivity/ablation studies).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any cost is negative or the ordering
-    /// `dram >= buffer >= array >= rf` is violated, since the hierarchy is
-    /// defined by decreasing access cost (Section II).
-    pub fn new(dram: f64, buffer: f64, array: f64, rf: f64, alu: f64) -> Self {
-        assert!(
-            dram >= buffer && buffer >= array && array >= rf && rf >= 0.0 && alu >= 0.0,
-            "energy costs must be non-negative and ordered DRAM >= buffer >= array >= RF"
-        );
-        EnergyModel {
+    /// [`CostModelError::InvalidCost`] when a cost is negative or
+    /// non-finite, [`CostModelError::UnorderedHierarchy`] when the
+    /// ordering `dram >= buffer >= array >= rf` is violated — the
+    /// hierarchy is defined by decreasing access cost (Section II).
+    pub fn new(
+        dram: f64,
+        buffer: f64,
+        array: f64,
+        rf: f64,
+        alu: f64,
+    ) -> Result<Self, CostModelError> {
+        let m = EnergyModel {
             dram,
             buffer,
             array,
             rf,
             alu,
+        };
+        for level in Level::ALL {
+            let value = m.cost(level);
+            if !value.is_finite() || value < 0.0 {
+                return Err(CostModelError::InvalidCost { level, value });
+            }
         }
+        for pair in [Level::Dram, Level::Buffer, Level::Array, Level::Rf].windows(2) {
+            let (upper, lower) = (pair[0], pair[1]);
+            if m.cost(upper) < m.cost(lower) {
+                return Err(CostModelError::UnorderedHierarchy {
+                    upper,
+                    lower,
+                    upper_cost: m.cost(upper),
+                    lower_cost: m.cost(lower),
+                });
+            }
+        }
+        Ok(m)
     }
 
     /// Energy cost of one access at `level`, in MAC-equivalents.
@@ -150,9 +172,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ordered")]
-    fn new_rejects_inverted_hierarchy() {
-        let _ = EnergyModel::new(1.0, 6.0, 2.0, 1.0, 1.0);
+    fn new_rejects_inverted_hierarchy_with_typed_error() {
+        let err = EnergyModel::new(1.0, 6.0, 2.0, 1.0, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            CostModelError::UnorderedHierarchy {
+                upper: Level::Dram,
+                lower: Level::Buffer,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("DRAM"));
+        let err = EnergyModel::new(200.0, 6.0, 2.0, -1.0, 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            CostModelError::InvalidCost {
+                level: Level::Rf,
+                ..
+            }
+        ));
+        let err = EnergyModel::new(f64::NAN, 6.0, 2.0, 1.0, 1.0).unwrap_err();
+        assert!(matches!(err, CostModelError::InvalidCost { .. }));
+        assert!(EnergyModel::new(200.0, 6.0, 2.0, 1.0, 1.0).is_ok());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`energy`] — the four-level data-movement hierarchy and the normalized
 //!   access energy costs of Table IV (DRAM 200x, buffer 6x, array 2x, RF 1x,
 //!   relative to one MAC).
+//! * [`cost`] — the open [`CostModel`] trait over that hierarchy: pluggable
+//!   energy *and* bandwidth-derived latency accounting, the canonical
+//!   [`TableIv`] model, the unified [`CostReport`] vocabulary and the
+//!   [`CostModelRegistry`].
 //! * [`area`] — the area-per-byte curve of Fig. 7a and the Eq. (2) baseline
 //!   storage-area budget used to give every dataflow the same silicon.
 //! * [`access`] — access-count containers that both the analytical dataflow
@@ -30,9 +34,14 @@
 pub mod access;
 pub mod area;
 pub mod config;
+pub mod cost;
 pub mod energy;
 pub mod wire;
 
 pub use access::{AccessCounts, DataType, LayerAccessProfile};
 pub use config::{AcceleratorConfig, GridDims};
+pub use cost::{
+    CostDescriptor, CostFingerprint, CostModel, CostModelError, CostModelId, CostModelRegistry,
+    CostReport, StaticCostModel, TableIv,
+};
 pub use energy::{EnergyModel, Level};

@@ -7,7 +7,80 @@
 
 use crate::access::{AccessCounts, LayerAccessProfile};
 use crate::config::{AcceleratorConfig, GridDims};
+use crate::cost::{CostDescriptor, CostFingerprint, CostModelRegistry};
 use eyeriss_wire::{Value, WireError};
+
+/// Version of the cost-model descriptor layout inside priced artifacts
+/// (plans, plan-cache keys). Version 1 carries the model label plus the
+/// exact bit patterns of its five per-level energy costs and five
+/// per-level bandwidths, in `Level::ALL` order.
+pub const COST_DESCRIPTOR_VERSION: u64 = 1;
+
+/// Encodes which cost model priced an artifact: its label and exact
+/// numeric fingerprint.
+pub fn encode_cost_descriptor(d: &CostDescriptor) -> Value {
+    Value::obj([
+        ("v", Value::u64(COST_DESCRIPTOR_VERSION)),
+        ("model", Value::str(d.id.label())),
+        (
+            "energy_bits",
+            Value::arr(d.fingerprint.energy_bits.iter().map(|&b| Value::u64(b))),
+        ),
+        (
+            "bw_bits",
+            Value::arr(d.fingerprint.bandwidth_bits.iter().map(|&b| Value::u64(b))),
+        ),
+    ])
+}
+
+fn decode_bits5(v: &Value) -> Result<[u64; 5], WireError> {
+    let raw = v.as_arr()?;
+    if raw.len() != 5 {
+        return Err(WireError::Invalid(format!(
+            "cost fingerprint carries {} entries, expected 5",
+            raw.len()
+        )));
+    }
+    let mut bits = [0u64; 5];
+    for (slot, item) in bits.iter_mut().zip(raw) {
+        *slot = item.as_u64()?;
+    }
+    Ok(bits)
+}
+
+/// Decodes a cost-model descriptor, resolving the label against `costs`
+/// (so the artifact's pricing model must be registered, exactly like a
+/// plan's dataflow). The *persisted* fingerprint is kept verbatim: an
+/// engine whose registered model now carries different numbers simply
+/// never cache-hits the old entries.
+///
+/// # Errors
+///
+/// [`WireError::Invalid`] for unknown versions, unregistered labels or a
+/// malformed fingerprint.
+pub fn decode_cost_descriptor(
+    v: &Value,
+    costs: &CostModelRegistry,
+) -> Result<CostDescriptor, WireError> {
+    let version = v.get("v")?.as_u64()?;
+    if version != COST_DESCRIPTOR_VERSION {
+        return Err(WireError::Invalid(format!(
+            "unsupported cost-descriptor version {version} (expected {COST_DESCRIPTOR_VERSION})"
+        )));
+    }
+    let label = v.get("model")?.as_str()?;
+    let id = costs
+        .by_label(label)
+        .map(|m| m.id())
+        .ok_or_else(|| WireError::Invalid(format!("unregistered cost model {label:?}")))?;
+    Ok(CostDescriptor {
+        id,
+        fingerprint: CostFingerprint {
+            energy_bits: decode_bits5(v.get("energy_bits")?)?,
+            bandwidth_bits: decode_bits5(v.get("bw_bits")?)?,
+        },
+    })
+}
 
 /// Encodes one data type's access counts.
 pub fn encode_counts(c: &AccessCounts) -> Value {
@@ -116,6 +189,44 @@ mod tests {
         ] {
             assert_eq!(decode_config(&encode_config(&hw)).unwrap(), hw);
         }
+    }
+
+    #[test]
+    fn cost_descriptor_roundtrips_and_screens() {
+        use crate::cost::{CostModel, StaticCostModel, TableIv};
+        use crate::energy::{EnergyModel, Level};
+        let mut reg = CostModelRegistry::builtin();
+        let custom = StaticCostModel::new("lp", EnergyModel::table_iv())
+            .with_bandwidth(Level::Dram, 4.0)
+            .unwrap();
+        reg.register(std::sync::Arc::new(custom)).unwrap();
+        for d in [TableIv.descriptor(), custom.descriptor()] {
+            let back = decode_cost_descriptor(&encode_cost_descriptor(&d), &reg).unwrap();
+            assert_eq!(back, d);
+        }
+        // Unregistered label → typed error.
+        let ghost = decode_cost_descriptor(
+            &encode_cost_descriptor(&custom.descriptor()),
+            &CostModelRegistry::builtin(),
+        );
+        assert!(matches!(ghost, Err(WireError::Invalid(_))));
+        // The persisted fingerprint survives verbatim even when the
+        // registered model under the same label now carries different
+        // numbers (so stale entries never cross-hit).
+        let mut drifted = CostModelRegistry::builtin();
+        drifted
+            .register(std::sync::Arc::new(StaticCostModel::new(
+                "lp",
+                EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0).unwrap(),
+            )))
+            .unwrap();
+        let back = decode_cost_descriptor(&encode_cost_descriptor(&custom.descriptor()), &drifted)
+            .unwrap();
+        assert_eq!(back.fingerprint, custom.fingerprint());
+        assert_ne!(
+            back.fingerprint,
+            drifted.by_label("lp").unwrap().fingerprint()
+        );
     }
 
     #[test]

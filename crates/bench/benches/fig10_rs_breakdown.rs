@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let rs = registry::builtin(DataflowKind::RowStationary);
     let conv2 = LayerProblem::new(alexnet::conv_layers()[1].shape, 16);
     let hw = rs.comparison_hardware(256);
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     c.bench_function("fig10_rs_map_conv2", |b| {
         b.iter(|| black_box(optimize(rs, black_box(&conv2), &hw, &em, Objective::Energy)))
     });

@@ -7,7 +7,7 @@ use eyeriss::prelude::*;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     let shape = LayerShape::conv(32, 16, 15, 3, 1).unwrap();
     let input = synth::ifmap(&shape, 1, 1);
     let weights = synth::filters(&shape, 2);

@@ -192,50 +192,6 @@ impl Cluster {
         )
     }
 
-    /// Runs one CONV or FC layer partitioned over the cluster.
-    #[deprecated(
-        note = "use `Cluster::execute_partition` with a `LayerProblem` (or `Engine::run`)"
-    )]
-    #[allow(clippy::missing_errors_doc)]
-    pub fn run_conv(
-        &self,
-        partition: Partition,
-        shape: &LayerShape,
-        n_batch: usize,
-        input: &Tensor4<Fix16>,
-        weights: &Tensor4<Fix16>,
-        bias: &[Fix16],
-    ) -> Result<ClusterRun, ClusterError> {
-        self.execute_partition(
-            partition,
-            &LayerProblem::new(*shape, n_batch),
-            input,
-            weights,
-            bias,
-        )
-    }
-
-    /// Executes one layer from a precompiled [`ClusterPlan`].
-    #[deprecated(note = "use `Cluster::execute` with a `LayerProblem` (or `Engine::run`)")]
-    #[allow(clippy::missing_errors_doc)]
-    pub fn run_planned(
-        &self,
-        plan: &ClusterPlan,
-        shape: &LayerShape,
-        n_batch: usize,
-        input: &Tensor4<Fix16>,
-        weights: &Tensor4<Fix16>,
-        bias: &[Fix16],
-    ) -> Result<ClusterRun, ClusterError> {
-        self.execute(
-            plan,
-            &LayerProblem::new(*shape, n_batch),
-            input,
-            weights,
-            bias,
-        )
-    }
-
     /// Runs prepared sub-problems — one thread per array — and
     /// reassembles psums and statistics. Shared tail of
     /// [`Cluster::execute_partition`] and [`Cluster::execute`].
@@ -534,7 +490,7 @@ mod tests {
     #[test]
     fn planned_execution_is_bit_exact_and_reusable() {
         use crate::plan::plan_layer;
-        use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_arch::cost::TableIv;
         use eyeriss_dataflow::registry::builtin;
         use eyeriss_dataflow::search::Objective;
         use eyeriss_dataflow::DataflowKind;
@@ -547,7 +503,7 @@ mod tests {
             &problem,
             2,
             &hw,
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::scaled(2),
             Objective::EnergyDelayProduct,
         )
@@ -570,7 +526,7 @@ mod tests {
     #[test]
     fn planned_execution_rejects_mismatched_plan() {
         use crate::plan::plan_layer;
-        use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_arch::cost::TableIv;
         use eyeriss_dataflow::registry::builtin;
         use eyeriss_dataflow::search::Objective;
         use eyeriss_dataflow::DataflowKind;
@@ -583,7 +539,7 @@ mod tests {
             &problem,
             2,
             &hw,
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::scaled(2),
             Objective::Energy,
         )
@@ -610,23 +566,6 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ClusterError::Infeasible(_)));
-
-        // The old entry points remain as deprecated shims for one release.
-        #[allow(deprecated)]
-        {
-            let input = synth::ifmap(&shape, 4, 1);
-            let ok = cluster
-                .run_planned(&plan, &shape, 4, &input, &weights, &bias)
-                .unwrap();
-            let direct = cluster
-                .execute(&plan, &problem, &input, &weights, &bias)
-                .unwrap();
-            assert_eq!(ok.psums, direct.psums);
-            let conv = cluster
-                .run_conv(Partition::Batch, &shape, 4, &input, &weights, &bias)
-                .unwrap();
-            assert_eq!(conv.psums, direct.psums);
-        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::contention::SharedDram;
 use crate::partition::{enumerate, split, Partition, SubProblem, Tile};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::{CostDescriptor, CostModel, CostReport};
 use eyeriss_dataflow::search::{MappingMemo, Objective};
 use eyeriss_dataflow::{Dataflow, MappingCandidate};
 use eyeriss_nn::LayerProblem;
@@ -46,11 +46,21 @@ impl ArrayPlan {
         self.tiles.iter().map(|t| t.mapping.delay()).sum()
     }
 
-    /// Total analytic energy of this array's tiles.
-    pub fn energy(&self, em: &EnergyModel) -> f64 {
+    /// Analytic delay of this array under `cost`: per-tile compute
+    /// proxies floored by the model's per-level bandwidths (identical to
+    /// [`ArrayPlan::delay`] for latency-transparent models).
+    pub fn delay_under(&self, cost: &dyn CostModel) -> f64 {
         self.tiles
             .iter()
-            .map(|t| t.mapping.profile.total_energy(em))
+            .map(|t| cost.delay_of(&t.mapping.profile, t.mapping.active_pes))
+            .sum()
+    }
+
+    /// Total analytic energy of this array's tiles under `cost`.
+    pub fn energy(&self, cost: &dyn CostModel) -> f64 {
+        self.tiles
+            .iter()
+            .map(|t| cost.energy_of(&t.mapping.profile))
             .sum()
     }
 }
@@ -68,6 +78,10 @@ pub struct ClusterPlan {
     pub partition: Partition,
     /// Number of arrays planned for.
     pub arrays: usize,
+    /// Which cost model priced this plan (identity + exact numeric
+    /// fingerprint) — persisted with the plan, so reloads never cross-hit
+    /// plans priced under different numbers.
+    pub cost: CostDescriptor,
     /// Per-array plans, in array order (idle arrays have no tiles).
     pub per_array: Vec<ArrayPlan>,
     /// Total analytic energy across arrays (MAC units). Energy is
@@ -89,6 +103,27 @@ impl ClusterPlan {
     /// Aggregate access profile across every planned tile.
     pub fn total_profile(&self) -> LayerAccessProfile {
         profile_of(&self.per_array)
+    }
+
+    /// Re-prices the plan into the unified [`CostReport`] vocabulary.
+    /// Energies add across arrays; per-level transfer floors are the
+    /// *per-array maximum* (arrays run in parallel, each owning private
+    /// bandwidth at every level), applied on top of the plan's own
+    /// cluster delay (critical path, shared-DRAM-floored).
+    pub fn report(&self, cost: &dyn CostModel) -> CostReport {
+        let per_array: Vec<LayerAccessProfile> = self
+            .per_array
+            .iter()
+            .map(|a| {
+                let mut p = LayerAccessProfile::new();
+                for t in &a.tiles {
+                    p.accumulate(&t.mapping.profile);
+                }
+                p
+            })
+            .collect();
+        let refs: Vec<&LayerAccessProfile> = per_array.iter().collect();
+        cost.report_parallel(&refs, self.delay)
     }
 
     /// True when the shared DRAM channel, not compute, bounds the delay.
@@ -133,12 +168,12 @@ pub fn plan_partition(
     problem: &LayerProblem,
     arrays: usize,
     hw: &AcceleratorConfig,
-    em: &EnergyModel,
+    cost: &dyn CostModel,
     shared: &SharedDram,
     objective: Objective,
 ) -> Option<ClusterPlan> {
-    let mut memo = MappingMemo::new(hw, em, objective);
-    plan_partition_memo(&mut memo, df, partition, problem, arrays, em, shared)
+    let mut memo = MappingMemo::new(hw, cost, objective);
+    plan_partition_memo(&mut memo, df, partition, problem, arrays, cost, shared)
 }
 
 /// [`plan_partition`] against a caller-owned [`MappingMemo`], so distinct
@@ -152,7 +187,7 @@ fn plan_partition_memo(
     partition: Partition,
     problem: &LayerProblem,
     arrays: usize,
-    em: &EnergyModel,
+    cost: &dyn CostModel,
     shared: &SharedDram,
 ) -> Option<ClusterPlan> {
     let subs = split(partition, &problem.shape, problem.batch, arrays).ok()?;
@@ -168,15 +203,16 @@ fn plan_partition_memo(
             tiles,
         });
     }
-    let energy: f64 = per_array.iter().map(|a| a.energy(em)).sum();
+    let energy: f64 = per_array.iter().map(|a| a.energy(cost)).sum();
     let compute_delay = per_array
         .iter()
-        .map(ArrayPlan::delay)
+        .map(|a| a.delay_under(cost))
         .fold(0.0f64, f64::max);
     let dram_delay = shared.transfer_delay(profile_of(&per_array).dram_accesses());
     Some(ClusterPlan {
         partition,
         arrays,
+        cost: cost.descriptor(),
         per_array,
         energy,
         delay: compute_delay.max(dram_delay),
@@ -194,14 +230,14 @@ fn plan_partition_memo(
 /// use eyeriss_cluster::{plan_layer, SharedDram};
 /// use eyeriss_dataflow::search::Objective;
 /// use eyeriss_dataflow::{registry, DataflowKind};
-/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+/// use eyeriss_arch::{AcceleratorConfig, TableIv};
 /// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
 /// let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
 /// let hw = AcceleratorConfig::eyeriss_chip();
 /// let plan = plan_layer(
 ///     registry::builtin(DataflowKind::RowStationary), &conv3, 4, &hw,
-///     &EnergyModel::table_iv(), &SharedDram::scaled(4),
+///     &TableIv, &SharedDram::scaled(4),
 ///     Objective::EnergyDelayProduct,
 /// ).expect("CONV3 partitions over 4 arrays");
 /// assert_eq!(plan.arrays, 4);
@@ -213,29 +249,25 @@ pub fn plan_layer(
     problem: &LayerProblem,
     arrays: usize,
     hw: &AcceleratorConfig,
-    em: &EnergyModel,
+    cost: &dyn CostModel,
     shared: &SharedDram,
     objective: Objective,
 ) -> Option<ClusterPlan> {
-    let score = |p: &ClusterPlan| -> f64 {
-        match objective {
-            Objective::Energy => p.energy,
-            Objective::EnergyDelayProduct => p.edp(),
-        }
-    };
+    let score = |p: &ClusterPlan| -> f64 { objective.score(p.energy, p.delay) };
     // One memo across every enumerated partition: sub-shapes recur from
     // partition to partition (idle splits, balanced chunk sizes), so the
     // shared memo turns the layer search into one scan per distinct tile.
-    let mut memo = MappingMemo::new(hw, em, objective);
+    let mut memo = MappingMemo::new(hw, cost, objective);
     enumerate(&problem.shape, problem.batch, arrays)
         .into_iter()
-        .filter_map(|p| plan_partition_memo(&mut memo, df, p, problem, arrays, em, shared))
+        .filter_map(|p| plan_partition_memo(&mut memo, df, p, problem, arrays, cost, shared))
         .min_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eyeriss_arch::cost::TableIv;
     use eyeriss_dataflow::registry::builtin;
     use eyeriss_dataflow::DataflowKind;
     use eyeriss_nn::LayerShape;
@@ -260,7 +292,7 @@ mod tests {
             &LayerProblem::new(*shape, n),
             arrays,
             &hw(),
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::scaled(arrays),
             Objective::Energy,
         )
@@ -280,13 +312,21 @@ mod tests {
     #[test]
     fn plan_layer_picks_the_best_partition() {
         let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1).unwrap(), 16);
-        let em = EnergyModel::table_iv();
         let shared = SharedDram::scaled(4);
-        let best = plan_layer(rs(), &conv3, 4, &hw(), &em, &shared, Objective::Energy).unwrap();
+        let best =
+            plan_layer(rs(), &conv3, 4, &hw(), &TableIv, &shared, Objective::Energy).unwrap();
+        assert_eq!(best.cost, TableIv.descriptor(), "plan records its pricer");
         for p in enumerate(&conv3.shape, 16, 4) {
-            if let Some(candidate) =
-                plan_partition(rs(), p, &conv3, 4, &hw(), &em, &shared, Objective::Energy)
-            {
+            if let Some(candidate) = plan_partition(
+                rs(),
+                p,
+                &conv3,
+                4,
+                &hw(),
+                &TableIv,
+                &shared,
+                Objective::Energy,
+            ) {
                 assert!(best.energy <= candidate.energy * (1.0 + 1e-9), "{p}");
             }
         }
@@ -300,7 +340,7 @@ mod tests {
             &fc,
             8,
             &hw(),
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::scaled(8),
             Objective::Energy,
         )
@@ -318,7 +358,7 @@ mod tests {
             &conv1,
             4,
             &hw(),
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::new(0.001),
             Objective::EnergyDelayProduct,
         )
@@ -342,5 +382,13 @@ mod tests {
         let profile = p.total_profile();
         assert_eq!(profile.alu_ops, conv3.macs(4) as f64);
         assert!(profile.is_valid());
+        // The unified report re-prices the same profile: totals agree
+        // bit-exactly with the plan's energy accounting order-for-order
+        // up to the per-array association, and the delay baseline is the
+        // plan's own cluster delay.
+        let report = p.report(&TableIv);
+        assert!((report.total_energy - p.energy).abs() < 1e-6 * p.energy.max(1.0));
+        assert_eq!(report.delay, p.delay);
+        assert_eq!(report.model, TableIv.descriptor());
     }
 }

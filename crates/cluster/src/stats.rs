@@ -1,7 +1,7 @@
 //! Aggregated statistics for a cluster-level layer run.
 
 use eyeriss_arch::access::LayerAccessProfile;
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::{CostModel, CostReport};
 use eyeriss_sim::SimStats;
 
 /// Merges `other` into `acc` (summing every counter; used to fold the
@@ -74,8 +74,19 @@ impl ClusterStats {
 
     /// Total normalized energy across arrays (energy is additive; it does
     /// not parallelize away).
-    pub fn energy(&self, model: &EnergyModel) -> f64 {
-        self.per_array.iter().map(|s| s.energy(model)).sum()
+    pub fn energy(&self, cost: &dyn CostModel) -> f64 {
+        self.per_array.iter().map(|s| s.energy(cost)).sum()
+    }
+
+    /// Prices the whole cluster run into the unified [`CostReport`]
+    /// vocabulary: energies add across arrays, per-level transfer floors
+    /// are the per-array maximum (arrays move their own words in
+    /// parallel), and the measured cluster makespan
+    /// ([`ClusterStats::cluster_cycles`]) is the delay baseline.
+    pub fn cost_report(&self, cost: &dyn CostModel) -> CostReport {
+        let profiles: Vec<&LayerAccessProfile> =
+            self.per_array.iter().map(|s| &s.profile).collect();
+        cost.report_parallel(&profiles, self.cluster_cycles() as f64)
     }
 
     /// Work imbalance: critical-path cycles over mean per-array cycles

@@ -8,13 +8,18 @@
 
 use crate::partition::{Partition, Tile};
 use crate::plan::{ArrayPlan, ClusterPlan, TilePlan};
+use eyeriss_arch::wire as arch_wire;
+use eyeriss_arch::CostModelRegistry;
 use eyeriss_dataflow::wire as df_wire;
 use eyeriss_dataflow::DataflowRegistry;
 use eyeriss_nn::wire as nn_wire;
 use eyeriss_wire::{Value, WireError};
 
-/// Schema version of one encoded cluster plan.
-pub const PLAN_VERSION: u64 = 1;
+/// Schema version of one encoded cluster plan. Version 2 added the
+/// cost-model descriptor (which model priced the plan — see
+/// [`arch_wire::COST_DESCRIPTOR_VERSION`]); version-1 plans predate open
+/// cost models and are rejected with a typed error.
+pub const PLAN_VERSION: u64 = 2;
 
 /// Encodes a partition scheme.
 pub fn encode_partition(p: &Partition) -> Value {
@@ -102,6 +107,7 @@ pub fn encode_plan(p: &ClusterPlan) -> Value {
                 ])
             })),
         ),
+        ("cost", arch_wire::encode_cost_descriptor(&p.cost)),
         ("energy", Value::f64_bits(p.energy)),
         ("delay", Value::f64_bits(p.delay)),
         ("dram_delay", Value::f64_bits(p.dram_delay)),
@@ -109,12 +115,18 @@ pub fn encode_plan(p: &ClusterPlan) -> Value {
 }
 
 /// Decodes one cluster plan; custom dataflow labels in tile mappings
-/// resolve through `reg`.
+/// resolve through `reg`, and the pricing cost model's label through
+/// `costs`.
 ///
 /// # Errors
 ///
-/// [`WireError`] on structural problems or unknown versions/labels.
-pub fn decode_plan(v: &Value, reg: &DataflowRegistry) -> Result<ClusterPlan, WireError> {
+/// [`WireError`] on structural problems or unknown versions/labels —
+/// including plans priced by a cost model not registered in `costs`.
+pub fn decode_plan(
+    v: &Value,
+    reg: &DataflowRegistry,
+    costs: &CostModelRegistry,
+) -> Result<ClusterPlan, WireError> {
     let version = v.get("v")?.as_u64()?;
     if version != PLAN_VERSION {
         return Err(WireError::UnsupportedVersion {
@@ -139,6 +151,7 @@ pub fn decode_plan(v: &Value, reg: &DataflowRegistry) -> Result<ClusterPlan, Wir
     Ok(ClusterPlan {
         partition: decode_partition(v.get("partition")?)?,
         arrays: v.get("arrays")?.as_usize()?,
+        cost: arch_wire::decode_cost_descriptor(v.get("cost")?, costs)?,
         per_array,
         energy: v.get("energy")?.as_f64_bits()?,
         delay: v.get("delay")?.as_f64_bits()?,
@@ -151,7 +164,7 @@ mod tests {
     use super::*;
     use crate::contention::SharedDram;
     use crate::plan::plan_layer;
-    use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+    use eyeriss_arch::{AcceleratorConfig, TableIv};
     use eyeriss_dataflow::registry::builtin;
     use eyeriss_dataflow::search::Objective;
     use eyeriss_dataflow::DataflowKind;
@@ -163,7 +176,7 @@ mod tests {
             &LayerProblem::new(LayerShape::conv(8, 3, 13, 3, 2).unwrap(), 4),
             2,
             &AcceleratorConfig::eyeriss_chip(),
-            &EnergyModel::table_iv(),
+            &TableIv,
             &SharedDram::scaled(2),
             Objective::EnergyDelayProduct,
         )
@@ -190,9 +203,11 @@ mod tests {
     #[test]
     fn plans_roundtrip_through_text() {
         let reg = DataflowRegistry::builtin();
+        let costs = CostModelRegistry::builtin();
         let plan = a_plan();
+        assert_eq!(plan.cost.id.label(), "table-iv");
         let text = encode_plan(&plan).render();
-        let back = decode_plan(&Value::parse(&text).unwrap(), &reg).unwrap();
+        let back = decode_plan(&Value::parse(&text).unwrap(), &reg, &costs).unwrap();
         assert_eq!(back, plan);
         assert_eq!(back.energy.to_bits(), plan.energy.to_bits());
         assert_eq!(back.delay.to_bits(), plan.delay.to_bits());
@@ -207,6 +222,7 @@ mod tests {
     #[test]
     fn future_plan_versions_are_rejected() {
         let reg = DataflowRegistry::builtin();
+        let costs = CostModelRegistry::builtin();
         let mut v = encode_plan(&a_plan());
         if let Value::Obj(pairs) = &mut v {
             for (k, val) in pairs.iter_mut() {
@@ -216,8 +232,37 @@ mod tests {
             }
         }
         assert!(matches!(
-            decode_plan(&v, &reg),
+            decode_plan(&v, &reg, &costs),
             Err(WireError::UnsupportedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn plans_priced_by_unregistered_models_are_rejected() {
+        use eyeriss_arch::cost::{CostModel, StaticCostModel};
+        use eyeriss_arch::EnergyModel;
+        let custom =
+            StaticCostModel::new("flat", EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0).unwrap());
+        let plan = plan_layer(
+            builtin(DataflowKind::RowStationary),
+            &LayerProblem::new(LayerShape::conv(8, 3, 13, 3, 2).unwrap(), 4),
+            2,
+            &AcceleratorConfig::eyeriss_chip(),
+            &custom,
+            &SharedDram::scaled(2),
+            Objective::EnergyDelayProduct,
+        )
+        .unwrap();
+        let v = encode_plan(&plan);
+        let reg = DataflowRegistry::builtin();
+        assert!(matches!(
+            decode_plan(&v, &reg, &CostModelRegistry::builtin()),
+            Err(WireError::Invalid(_))
+        ));
+        let mut costs = CostModelRegistry::builtin();
+        costs.register(std::sync::Arc::new(custom)).unwrap();
+        let back = decode_plan(&v, &reg, &costs).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.cost.fingerprint, custom.fingerprint());
     }
 }

@@ -37,7 +37,8 @@
 //! ```
 
 use crate::error::{BuildError, EngineError};
-use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+use eyeriss_arch::cost::{CostModel, CostModelId, CostModelRegistry, TableIv};
+use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::{Cluster, ClusterPlan, ClusterRun, SharedDram};
 use eyeriss_dataflow::search::{optimize, Objective};
 use eyeriss_dataflow::{Dataflow, DataflowId, DataflowKind, DataflowRegistry, MappingCandidate};
@@ -80,15 +81,23 @@ enum DataflowChoice {
     Instance(Arc<dyn Dataflow>),
 }
 
+/// The selected cost model of an [`EngineBuilder`].
+enum CostChoice {
+    Id(CostModelId),
+    Instance(Arc<dyn CostModel>),
+}
+
 /// Typed builder for [`Engine`].
 pub struct EngineBuilder {
     hw: AcceleratorConfig,
-    em: EnergyModel,
     arrays: usize,
     objective: Objective,
     registry: DataflowRegistry,
     pending: Vec<Arc<dyn Dataflow>>,
     dataflow: DataflowChoice,
+    costs: CostModelRegistry,
+    pending_costs: Vec<Arc<dyn CostModel>>,
+    cost: CostChoice,
     cache: Option<Arc<PlanCache>>,
 }
 
@@ -96,12 +105,14 @@ impl EngineBuilder {
     fn new() -> Self {
         EngineBuilder {
             hw: AcceleratorConfig::eyeriss_chip(),
-            em: EnergyModel::table_iv(),
             arrays: 1,
             objective: Objective::EnergyDelayProduct,
             registry: DataflowRegistry::builtin(),
             pending: Vec::new(),
             dataflow: DataflowChoice::Id(DataflowKind::RowStationary.id()),
+            costs: CostModelRegistry::builtin(),
+            pending_costs: Vec::new(),
+            cost: CostChoice::Id(TableIv::ID),
             cache: None,
         }
     }
@@ -113,9 +124,27 @@ impl EngineBuilder {
         self
     }
 
-    /// Energy cost model (default: Table IV).
-    pub fn energy_model(mut self, em: EnergyModel) -> Self {
-        self.em = em;
+    /// Uses an explicit cost model instance for every pricing decision
+    /// (default: the canonical [`TableIv`]), registering it with the
+    /// engine's cost registry when its id is not already taken — so
+    /// persisted plans naming it reload in an identically-built engine.
+    pub fn cost_model(mut self, cost: Arc<dyn CostModel>) -> Self {
+        self.cost = CostChoice::Instance(cost);
+        self
+    }
+
+    /// Selects any registered cost model by id — including ones passed
+    /// to [`EngineBuilder::register_cost_model`] in this same builder
+    /// chain.
+    pub fn cost_model_id(mut self, id: CostModelId) -> Self {
+        self.cost = CostChoice::Id(id);
+        self
+    }
+
+    /// Registers an additional cost model with the engine's cost
+    /// registry (checked for duplicate ids at [`EngineBuilder::build`]).
+    pub fn register_cost_model(mut self, cost: Arc<dyn CostModel>) -> Self {
+        self.pending_costs.push(cost);
         self
     }
 
@@ -173,8 +202,10 @@ impl EngineBuilder {
     /// # Errors
     ///
     /// [`BuildError::ZeroArrays`] for an empty cluster,
-    /// [`BuildError::DuplicateDataflow`] for conflicting registrations,
-    /// [`BuildError::UnknownDataflow`] when the selected id resolves to
+    /// [`BuildError::DuplicateDataflow`] /
+    /// [`BuildError::DuplicateCostModel`] for conflicting registrations,
+    /// [`BuildError::UnknownDataflow`] /
+    /// [`BuildError::UnknownCostModel`] when a selected id resolves to
     /// nothing.
     pub fn build(self) -> Result<Engine, EngineError> {
         if self.arrays == 0 {
@@ -206,9 +237,33 @@ impl EngineBuilder {
                     .ok_or_else(|| BuildError::UnknownDataflow(id.label().to_string()))?,
             ),
         };
+        let mut costs = self.costs;
+        for cm in self.pending_costs {
+            let id = cm.id();
+            costs
+                .register(cm)
+                .map_err(|_| BuildError::DuplicateCostModel(id))?;
+        }
+        // Symmetric with the dataflow choice: instances self-register
+        // when their id is free, ids resolve against the registry.
+        let cost: Arc<dyn CostModel> = match self.cost {
+            CostChoice::Instance(cm) => {
+                if costs.get(cm.id()).is_none() {
+                    costs
+                        .register(Arc::clone(&cm))
+                        .expect("id checked free above");
+                }
+                cm
+            }
+            CostChoice::Id(id) => Arc::clone(
+                costs
+                    .get(id)
+                    .ok_or_else(|| BuildError::UnknownCostModel(id.label().to_string()))?,
+            ),
+        };
         let mut compiler = PlanCompiler::new(self.arrays, self.hw)
             .objective(self.objective)
-            .with_energy_model(self.em)
+            .with_cost_model(Arc::clone(&cost))
             .with_dataflow(Arc::clone(&dataflow));
         if let Some(cache) = self.cache {
             compiler = compiler.with_cache(cache);
@@ -217,11 +272,12 @@ impl EngineBuilder {
             Cluster::new(self.arrays, self.hw).shared_dram(SharedDram::scaled(self.arrays));
         Ok(Engine {
             hw: self.hw,
-            em: self.em,
             arrays: self.arrays,
             objective: self.objective,
             registry,
             dataflow,
+            costs,
+            cost,
             compiler,
             cluster,
         })
@@ -233,11 +289,12 @@ impl EngineBuilder {
 /// over a shared plan cache.
 pub struct Engine {
     hw: AcceleratorConfig,
-    em: EnergyModel,
     arrays: usize,
     objective: Objective,
     registry: DataflowRegistry,
     dataflow: Arc<dyn Dataflow>,
+    costs: CostModelRegistry,
+    cost: Arc<dyn CostModel>,
     compiler: PlanCompiler,
     cluster: Cluster,
 }
@@ -250,6 +307,8 @@ impl std::fmt::Debug for Engine {
             .field("objective", &self.objective)
             .field("dataflow", &self.dataflow.id())
             .field("registry", &self.registry)
+            .field("cost", &self.cost.id())
+            .field("cost_registry", &self.costs)
             .finish_non_exhaustive()
     }
 }
@@ -268,9 +327,14 @@ impl Engine {
         &self.hw
     }
 
-    /// Energy cost model.
-    pub fn energy_model(&self) -> &EnergyModel {
-        &self.em
+    /// The cost model every search, plan and report is priced under.
+    pub fn cost_model(&self) -> &Arc<dyn CostModel> {
+        &self.cost
+    }
+
+    /// The engine's cost-model registry (Table IV plus registrations).
+    pub fn cost_registry(&self) -> &CostModelRegistry {
+        &self.costs
     }
 
     /// Cluster width.
@@ -316,7 +380,7 @@ impl Engine {
             self.dataflow.as_ref(),
             problem,
             &self.hw,
-            &self.em,
+            self.cost.as_ref(),
             self.objective,
         )
         .ok_or_else(|| self.no_mapping(problem))
@@ -336,11 +400,16 @@ impl Engine {
         problem: &LayerProblem,
     ) -> Result<MappingCandidate, EngineError> {
         let df = self.registry.resolve(id)?;
-        optimize(df.as_ref(), problem, &self.hw, &self.em, self.objective).ok_or_else(|| {
-            EngineError::NoMapping {
-                dataflow: id,
-                detail: render_problem(problem),
-            }
+        optimize(
+            df.as_ref(),
+            problem,
+            &self.hw,
+            self.cost.as_ref(),
+            self.objective,
+        )
+        .ok_or_else(|| EngineError::NoMapping {
+            dataflow: id,
+            detail: render_problem(problem),
         })
     }
 
@@ -487,7 +556,10 @@ impl Engine {
     /// [`EngineError::Serve`] wrapping I/O, schema and
     /// unknown-dataflow failures.
     pub fn load_plans(&self, path: impl AsRef<Path>) -> Result<usize, EngineError> {
-        Ok(self.compiler.cache().load_into(path, &self.registry)?)
+        Ok(self
+            .compiler
+            .cache()
+            .load_into(path, &self.registry, &self.costs)?)
     }
 
     fn no_mapping(&self, problem: &LayerProblem) -> EngineError {
@@ -558,10 +630,12 @@ mod tests {
     }
 
     #[test]
-    fn builder_energy_model_reaches_the_plan_search() {
+    fn builder_cost_model_reaches_the_plan_search() {
         // A flat on-chip hierarchy vs Table IV: the two engines must not
-        // share plans (the cost model is part of the plan key), and each
-        // plan's energy must be scored under its own model.
+        // share plans (the cost descriptor is part of the plan key), and
+        // each plan's energy must be scored under its own model.
+        use eyeriss_arch::cost::StaticCostModel;
+        use eyeriss_arch::EnergyModel;
         let cache = Arc::new(PlanCache::new());
         let table = Engine::builder()
             .hardware(small_hw())
@@ -569,14 +643,21 @@ mod tests {
             .plan_cache(Arc::clone(&cache))
             .build()
             .unwrap();
-        let flat_em = EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0);
+        let flat_em = EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0).unwrap();
+        let flat_model = StaticCostModel::new("flat", flat_em);
         let flat = Engine::builder()
             .hardware(small_hw())
             .arrays(2)
-            .energy_model(flat_em)
+            .cost_model(Arc::new(flat_model))
             .plan_cache(Arc::clone(&cache))
             .build()
             .unwrap();
+        assert_eq!(flat.cost_model().id().label(), "flat");
+        assert_eq!(
+            flat.cost_registry().len(),
+            2,
+            "selected instance self-registers next to Table IV"
+        );
         let p = LayerProblem::new(LayerShape::conv(8, 3, 13, 3, 2).unwrap(), 2);
         let a = table.plan(&p).unwrap();
         let b = flat.plan(&p).unwrap();
@@ -587,7 +668,8 @@ mod tests {
         );
         assert_eq!(cache.len(), 2);
         // The flat plan's recorded energy equals its tiles re-scored
-        // under the flat model — proof the search used the builder's em.
+        // under the flat model — proof the search used the builder's
+        // cost model — and the plan records its pricer's descriptor.
         let rescored: f64 = b
             .per_array
             .iter()
@@ -596,6 +678,40 @@ mod tests {
             .sum();
         assert_eq!(b.energy.to_bits(), rescored.to_bits());
         assert_ne!(a.energy.to_bits(), b.energy.to_bits());
+        use eyeriss_arch::cost::CostModel as _;
+        assert_eq!(b.cost, flat_model.descriptor());
+        assert_eq!(a.cost.id.label(), "table-iv");
+    }
+
+    #[test]
+    fn builder_validates_cost_models() {
+        use eyeriss_arch::cost::{CostModelId, StaticCostModel};
+        use eyeriss_arch::EnergyModel;
+        assert!(matches!(
+            Engine::builder()
+                .cost_model_id(CostModelId::new("nope"))
+                .build(),
+            Err(EngineError::Build(BuildError::UnknownCostModel(_)))
+        ));
+        let dup = Arc::new(StaticCostModel::new("dup", EnergyModel::table_iv()));
+        assert!(matches!(
+            Engine::builder()
+                .register_cost_model(Arc::clone(&dup) as Arc<dyn eyeriss_arch::CostModel>)
+                .register_cost_model(dup as Arc<dyn eyeriss_arch::CostModel>)
+                .build(),
+            Err(EngineError::Build(BuildError::DuplicateCostModel(id))) if id.label() == "dup"
+        ));
+        // Registered models are selectable by id.
+        let lp = Arc::new(StaticCostModel::new(
+            "lp",
+            EnergyModel::new(100.0, 6.0, 2.0, 1.0, 1.0).unwrap(),
+        ));
+        let engine = Engine::builder()
+            .register_cost_model(lp)
+            .cost_model_id(CostModelId::new("lp"))
+            .build()
+            .unwrap();
+        assert_eq!(engine.cost_model().id().label(), "lp");
     }
 
     #[test]

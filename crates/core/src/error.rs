@@ -4,6 +4,7 @@
 //! own error type, so `?` composes across the whole stack and callers
 //! can still match on *which* layer refused.
 
+use eyeriss_arch::CostModelError;
 use eyeriss_cluster::ClusterError;
 use eyeriss_dataflow::{DataflowError, DataflowId};
 use eyeriss_nn::ShapeError;
@@ -22,6 +23,10 @@ pub enum BuildError {
     UnknownDataflow(String),
     /// Two registered dataflows share an id.
     DuplicateDataflow(DataflowId),
+    /// The selected cost-model id is not in the engine's registry.
+    UnknownCostModel(String),
+    /// Two registered cost models share an id.
+    DuplicateCostModel(eyeriss_arch::CostModelId),
 }
 
 impl fmt::Display for BuildError {
@@ -34,6 +39,12 @@ impl fmt::Display for BuildError {
             }
             BuildError::DuplicateDataflow(id) => {
                 write!(f, "dataflow {id} registered twice")
+            }
+            BuildError::UnknownCostModel(label) => {
+                write!(f, "cost model {label:?} is not registered with this engine")
+            }
+            BuildError::DuplicateCostModel(id) => {
+                write!(f, "cost model {id} registered twice")
             }
         }
     }
@@ -64,6 +75,9 @@ pub enum EngineError {
     Cluster(ClusterError),
     /// The serving layer failed (plan compilation, queueing, persistence).
     Serve(ServeError),
+    /// The cost layer refused (invalid costs, unordered hierarchy,
+    /// registry misses).
+    Cost(CostModelError),
 }
 
 impl fmt::Display for EngineError {
@@ -78,6 +92,7 @@ impl fmt::Display for EngineError {
             EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
             EngineError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
             EngineError::Serve(e) => write!(f, "serving failed: {e}"),
+            EngineError::Cost(e) => write!(f, "cost model error: {e}"),
         }
     }
 }
@@ -120,6 +135,12 @@ impl From<ServeError> for EngineError {
     }
 }
 
+impl From<CostModelError> for EngineError {
+    fn from(e: CostModelError) -> Self {
+        EngineError::Cost(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +164,14 @@ mod tests {
         assert!(EngineError::Serve(ServeError::Saturated)
             .to_string()
             .contains("full"));
+        assert!(
+            EngineError::Build(BuildError::UnknownCostModel("lp-28nm".into()))
+                .to_string()
+                .contains("lp-28nm")
+        );
+        assert!(EngineError::Cost(CostModelError::Unknown("x".into()))
+            .to_string()
+            .contains("cost model"));
     }
 
     #[test]

@@ -66,13 +66,13 @@
 //! use eyeriss::dataflow::search;
 //!
 //! let problem = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
-//! let em = EnergyModel::table_iv();
+//! let em = TableIv; // the canonical CostModel; any registered model works
 //! let reg = DataflowRegistry::builtin();
 //! let mut results = Vec::new();
 //! for df in reg.iter() {
 //!     let hw = df.comparison_hardware(256);
 //!     if let Some(best) = search::optimize(df.as_ref(), &problem, &hw, &em, Objective::Energy) {
-//!         results.push((df.id(), best.profile.total_energy(&em)));
+//!         results.push((df.id(), em.energy_of(&best.profile)));
 //!     }
 //! }
 //! let rs = results[0].1;
@@ -102,23 +102,56 @@ pub use eyeriss_nn::{LayerProblem, Workload};
 
 /// # Migration guide: the pre-`Engine` API → the builder-first API
 ///
-/// Version 0.1's three generations of entry points remain available as
-/// thin `#[deprecated]` shims for one release. Migrate as follows:
+/// The version-0.1 `#[deprecated]` shims were **removed** this release
+/// (one release after deprecation, as promised). Migrate as follows:
 ///
 /// | Old entry point | New API |
 /// |---|---|
-/// | `search::best_mapping(kind, &shape, n, &hw, &em)` | `engine.best_mapping(&LayerProblem::new(shape, n))`, or `search::optimize(registry::builtin(kind), &problem, &hw, &em, objective)` |
+/// | `search::best_mapping(kind, &shape, n, &hw, &em)` | `engine.best_mapping(&LayerProblem::new(shape, n))`, or `search::optimize(registry::builtin(kind), &problem, &hw, &cost, objective)` |
 /// | `search::best_mapping_with(kind, …, objective)` | same as above — the objective is part of the engine/builder |
 /// | `search::best_mappings_with(kind, &[(shape, n)], …)` | `search::optimize_all(df, &[LayerProblem], …)` |
 /// | `search::comparison_hardware(kind, pes)` | `registry::builtin(kind).comparison_hardware(pes)` (any `Dataflow` has it) |
 /// | `model::model_for(kind)` | `registry::builtin(kind)` or `DataflowRegistry::builtin().get(id)` |
 /// | `Cluster::run_conv(partition, &shape, n, …)` | `engine.run(&problem, …)`, or `Cluster::execute_partition(partition, &problem, …)` |
 /// | `Cluster::run_planned(&plan, &shape, n, …)` | `engine.run(&problem, …)` (plans cached), or `Cluster::execute(&plan, &problem, …)` |
-/// | `plan_layer(kind, &shape, n, arrays, …)` | `engine.plan(&problem)` (cached), or `plan_layer(df, &problem, arrays, …)` |
-/// | `Server::start(net, cfg)` | still available — or `engine.serve(net)` to share the engine's plan cache and dataflow |
-/// | `PlanCompiler::new(arrays, hw)` | still available — or let `Engine::builder()` wire it |
 ///
-/// Two semantic changes to be aware of:
+/// ## `EnergyModel` → `CostModel` (this release)
+///
+/// Cost accounting opened up exactly like the dataflow layer did: the
+/// closed `EnergyModel` struct threaded as `&EnergyModel` through every
+/// search/plan/stats call is replaced by the open
+/// [`CostModel`](eyeriss_arch::CostModel) trait, its canonical
+/// [`TableIv`](eyeriss_arch::TableIv) implementation, and a
+/// [`CostModelRegistry`](eyeriss_arch::CostModelRegistry):
+///
+/// | Old | New |
+/// |---|---|
+/// | `search::optimize(df, &p, &hw, &EnergyModel::table_iv(), obj)` | `search::optimize(df, &p, &hw, &TableIv, obj)` — or any `&dyn CostModel` |
+/// | `EnergyModel::new(d, b, a, r, alu)` (panicked) | returns `Result<_, CostModelError>`; wrap in `StaticCostModel::new("id", em)` to search/plan under it |
+/// | `Engine::builder().energy_model(em)` | `.cost_model(Arc::new(StaticCostModel::new("id", em)))`, `.register_cost_model(..)` + `.cost_model_id(id)` |
+/// | `engine.energy_model()` | `engine.cost_model()` (an `Arc<dyn CostModel>`) and `engine.cost_registry()` |
+/// | `PlanCompiler::with_energy_model(em)` | `PlanCompiler::with_cost_model(Arc<dyn CostModel>)` |
+/// | `SimStats::energy(&em)` / `ClusterStats::energy(&em)` | same names over `&dyn CostModel`, plus unified `cost_report(..) -> CostReport` |
+/// | `profile.energy_at_level(&em, l)` / `energy_of_type(&em, t)` | `CostReport::energy_at(l)` / `energy_of(t)` from `cost.report(&profile, pes)` |
+/// | `plan_layer(df, &p, arrays, &hw, &em, ..)` | identical shape, `&dyn CostModel` in place of `&EnergyModel` |
+/// | `analysis::experiments::sensitivity::scenarios()` | `scenario_registry()` — perturbed models are registered `CostModel`s |
+///
+/// [`CostReport`](eyeriss_arch::CostReport) is the unified result
+/// vocabulary (per-level × per-data-type energy plus an analytic delay
+/// derived from per-level bandwidth); Table IV totals are bit-identical
+/// to the old `EnergyModel` path. On disk, every plan-cache key and
+/// cluster plan now records a *cost-model descriptor* (label + exact
+/// numeric fingerprint; see
+/// [`eyeriss_arch::wire::COST_DESCRIPTOR_VERSION`]),
+/// which bumped the persisted schemas: plan-cache files to
+/// `CACHE_VERSION = 2` and compiled plans to `COMPILED_VERSION = 2`
+/// (cluster plans to `PLAN_VERSION = 2`). Version-1 files predate open
+/// cost models and are rejected with a typed error — recompile them by
+/// warming a fresh cache. Loading resolves descriptors against the
+/// engine's cost registry; plans priced under distinct fingerprints
+/// never cross-hit the cache, even when they share a label.
+///
+/// Two older semantic changes to be aware of:
 ///
 /// 1. **Batch size lives in [`LayerProblem`].** Every search/plan/run
 ///    call takes one `problem` value instead of a `(shape, n)` pair, so
@@ -128,11 +161,6 @@ pub use eyeriss_nn::{LayerProblem, Workload};
 ///    `MappingParams::kind()` now returns `Option<DataflowKind>`
 ///    (`None` for registered extensions) and `params.dataflow()` is the
 ///    total function. `ParamsMismatch` carries [`DataflowId`]s.
-///
-/// Persisted artifacts are new in this release: [`Engine::save_plans`] /
-/// [`Engine::load_plans`] (or `PlanCache::save`/`load`) round-trip every
-/// compiled plan through a versioned on-disk schema with bit-exact
-/// re-execution.
 pub mod migration {}
 
 /// One-stop imports for the common workflows.
@@ -140,6 +168,10 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineBuilder, ServeOptions};
     pub use crate::error::{BuildError, EngineError};
     pub use eyeriss_analysis::{run_conv_layers, run_fc_layers, run_layers, DataflowRun};
+    pub use eyeriss_arch::cost::{
+        CostDescriptor, CostModel, CostModelError, CostModelId, CostModelRegistry, CostReport,
+        StaticCostModel, TableIv,
+    };
     pub use eyeriss_arch::energy::{EnergyModel, Level};
     pub use eyeriss_arch::{AcceleratorConfig, DataType, GridDims};
     pub use eyeriss_cluster::{plan_layer, Cluster, ClusterRun, Partition, SharedDram};
@@ -168,27 +200,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_compile_and_agree() {
-        use eyeriss_dataflow::search::{best_mapping, comparison_hardware};
+    fn canonical_cost_model_agrees_with_the_energy_table() {
+        // The TableIv trait object prices searches bit-identically to
+        // re-scoring the winner under the raw Table IV energy table.
         let shape = LayerShape::conv(4, 3, 9, 3, 1).unwrap();
-        let hw = comparison_hardware(DataflowKind::RowStationary, 256);
-        let old = best_mapping(
-            DataflowKind::RowStationary,
-            &shape,
-            1,
-            &hw,
-            &EnergyModel::table_iv(),
-        )
-        .unwrap();
-        let new = optimize(
-            registry::builtin(DataflowKind::RowStationary),
+        let rs = registry::builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let best = optimize(
+            rs,
             &LayerProblem::new(shape, 1),
             &hw,
-            &EnergyModel::table_iv(),
+            &TableIv,
             Objective::Energy,
         )
         .unwrap();
-        assert_eq!(old, new);
+        assert_eq!(
+            TableIv.energy_of(&best.profile).to_bits(),
+            best.profile
+                .total_energy(&EnergyModel::table_iv())
+                .to_bits()
+        );
     }
 }

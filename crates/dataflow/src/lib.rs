@@ -27,16 +27,22 @@
 //! ```
 //! use eyeriss_dataflow::{registry, search, DataflowKind};
 //! use eyeriss_dataflow::search::Objective;
-//! use eyeriss_arch::EnergyModel;
+//! use eyeriss_arch::TableIv;
 //! use eyeriss_nn::{LayerProblem, LayerShape};
 //!
 //! let rs = registry::builtin(DataflowKind::RowStationary);
 //! let problem = LayerProblem::new(LayerShape::conv(96, 3, 227, 11, 4)?, 16); // CONV1
 //! let best = search::optimize(rs, &problem, &rs.comparison_hardware(256),
-//!                             &EnergyModel::table_iv(), Objective::Energy).unwrap();
+//!                             &TableIv, Objective::Energy).unwrap();
 //! assert!(best.active_pes > 0 && best.active_pes <= 256);
 //! # Ok::<(), eyeriss_nn::ShapeError>(())
 //! ```
+//!
+//! The optimizer prices candidates through the open
+//! [`CostModel`](eyeriss_arch::CostModel) trait the same way it maps
+//! through `&dyn Dataflow`: pass any model from a
+//! [`CostModelRegistry`](eyeriss_arch::CostModelRegistry) in place of
+//! [`TableIv`](eyeriss_arch::TableIv) above.
 
 pub mod candidate;
 pub mod dataflow;

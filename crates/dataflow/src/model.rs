@@ -1,18 +1,10 @@
-//! Shared enumeration helpers and the legacy model lookup.
+//! Shared enumeration helpers.
 //!
 //! The old closed `DataflowModel` trait collapsed into the open
-//! [`Dataflow`] trait (see [`crate::dataflow`]); this module keeps the
-//! enumeration arithmetic the six builtin spaces share, plus a
-//! deprecated shim for the old kind-based lookup.
-
-use crate::dataflow::Dataflow;
-use crate::kind::DataflowKind;
-
-/// Returns the builtin model implementing `kind`.
-#[deprecated(note = "use `registry::builtin(kind)` or a `DataflowRegistry`")]
-pub fn model_for(kind: DataflowKind) -> &'static dyn Dataflow {
-    crate::registry::builtin(kind)
-}
+//! [`Dataflow`](crate::dataflow::Dataflow) trait (see [`crate::dataflow`]);
+//! this module keeps the enumeration arithmetic the six builtin spaces
+//! share. (The deprecated `model_for` shim was removed after one release;
+//! use [`crate::registry::builtin`].)
 
 /// Ceiling division for mapping-fold counts.
 pub(crate) fn ceil_div(a: usize, b: usize) -> usize {
@@ -82,13 +74,5 @@ mod tests {
         assert_eq!(ceil_div(10, 3), 4);
         assert_eq!(ceil_div(9, 3), 3);
         assert_eq!(ceil_div(1, 4), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn model_for_shim_covers_all_kinds() {
-        for kind in DataflowKind::ALL {
-            assert_eq!(model_for(kind).id(), kind.id());
-        }
     }
 }

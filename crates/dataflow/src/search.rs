@@ -13,10 +13,11 @@
 use crate::candidate::MappingCandidate;
 use crate::dataflow::Dataflow;
 use crate::id::DataflowId;
-use crate::kind::DataflowKind;
+use eyeriss_arch::access::DataType;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_arch::energy::EnergyModel;
-use eyeriss_nn::{LayerProblem, LayerShape};
+use eyeriss_arch::cost::{CostModel, CostReport};
+use eyeriss_arch::energy::Level;
+use eyeriss_nn::LayerProblem;
 use std::collections::HashMap;
 
 /// The optimization objective.
@@ -46,10 +47,28 @@ impl Objective {
             _ => None,
         }
     }
+
+    /// Folds an `(energy, delay)` pair into this objective's scalar score
+    /// (lower is better). The single place the objective taxonomy is
+    /// matched — search, cluster planning and serving all score through
+    /// here, generic over whatever [`CostModel`] produced the inputs.
+    pub fn score(self, energy: f64, delay: f64) -> f64 {
+        match self {
+            Objective::Energy => energy,
+            Objective::EnergyDelayProduct => energy * delay,
+        }
+    }
+
+    /// [`Objective::score`] over a priced [`CostReport`].
+    pub fn score_report(self, report: &CostReport) -> f64 {
+        self.score(report.total_energy, report.delay)
+    }
 }
 
 /// Finds the best mapping of `problem` in `df`'s space on `hw` under
-/// `objective`. Returns `None` when the dataflow cannot operate (e.g. WS
+/// `objective`, priced by `cost` — any registered [`CostModel`], searched
+/// exactly like the canonical Table IV model.
+/// Returns `None` when the dataflow cannot operate (e.g. WS
 /// at batch 64 on 256 PEs, Fig. 11a).
 ///
 /// # Example
@@ -57,13 +76,13 @@ impl Objective {
 /// ```
 /// use eyeriss_dataflow::{registry, search, DataflowKind};
 /// use eyeriss_dataflow::search::Objective;
-/// use eyeriss_arch::EnergyModel;
+/// use eyeriss_arch::TableIv;
 /// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
 /// let nlr = registry::builtin(DataflowKind::NoLocalReuse);
 /// let problem = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16); // CONV3
 /// let best = search::optimize(nlr, &problem, &nlr.comparison_hardware(256),
-///                             &EnergyModel::table_iv(), Objective::Energy);
+///                             &TableIv, Objective::Energy);
 /// assert!(best.is_some());
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
 /// ```
@@ -71,15 +90,47 @@ pub fn optimize(
     df: &dyn Dataflow,
     problem: &LayerProblem,
     hw: &AcceleratorConfig,
-    energy: &EnergyModel,
+    cost: &dyn CostModel,
     objective: Objective,
 ) -> Option<MappingCandidate> {
+    // The exhaustive scan is hot: snapshot the model's ten numbers once
+    // so scoring a candidate never re-enters the trait object. The local
+    // arithmetic replicates `CostModel::energy_of`/`delay_of` operation
+    // for operation, so scores stay bit-identical to the provided
+    // methods.
+    let costs: Vec<f64> = Level::ALL.iter().map(|&l| cost.energy_cost(l)).collect();
+    let bandwidths: Vec<f64> = Level::ALL.iter().map(|&l| cost.bandwidth(l)).collect();
+    let alu_cost = costs[Level::ALL.len() - 1];
+    let needs_delay = objective == Objective::EnergyDelayProduct;
     let score = |c: &MappingCandidate| -> f64 {
-        let e = c.profile.total_energy(energy);
-        match objective {
-            Objective::Energy => e,
-            Objective::EnergyDelayProduct => e * c.delay(),
-        }
+        let data: f64 = DataType::ALL
+            .iter()
+            .map(|&t| {
+                Level::ALL
+                    .iter()
+                    .zip(&costs)
+                    .map(|(&l, &ec)| c.profile.of(t).at_level(l) * ec)
+                    .sum::<f64>()
+            })
+            .sum();
+        let energy = data + c.profile.alu_ops * alu_cost;
+        let delay = if needs_delay {
+            let mut d = c.profile.alu_ops / c.active_pes as f64;
+            for (&l, &bw) in Level::ALL.iter().zip(&bandwidths) {
+                if l == Level::Alu {
+                    continue;
+                }
+                let words: f64 = DataType::ALL
+                    .iter()
+                    .map(|&t| c.profile.of(t).at_level(l))
+                    .sum();
+                d = d.max(words / bw);
+            }
+            d
+        } else {
+            0.0
+        };
+        objective.score(energy, delay)
     };
     // The exhaustive scan is the hot path of every sweep experiment:
     // validate and score candidates across all cores, keeping the
@@ -127,15 +178,15 @@ pub fn optimize_all(
     df: &dyn Dataflow,
     problems: &[LayerProblem],
     hw: &AcceleratorConfig,
-    energy: &EnergyModel,
+    cost: &dyn CostModel,
     objective: Objective,
 ) -> Vec<Option<MappingCandidate>> {
-    let mut memo = MappingMemo::new(hw, energy, objective);
+    let mut memo = MappingMemo::new(hw, cost, objective);
     problems.iter().map(|p| memo.best(df, p)).collect()
 }
 
 /// A memoizing front-end over [`optimize`] for workloads that search many
-/// layers against one fixed `(hardware, energy, objective)` operating
+/// layers against one fixed `(hardware, cost model, objective)` operating
 /// point — the in-crate counterpart of a serving plan cache.
 ///
 /// Networks repeat layer shapes heavily (VGG-16's thirteen CONV layers
@@ -148,13 +199,12 @@ pub fn optimize_all(
 /// ```
 /// use eyeriss_dataflow::{registry, DataflowKind};
 /// use eyeriss_dataflow::search::{MappingMemo, Objective};
-/// use eyeriss_arch::{AcceleratorConfig, EnergyModel};
+/// use eyeriss_arch::{AcceleratorConfig, TableIv};
 /// use eyeriss_nn::{LayerProblem, LayerShape};
 ///
 /// let rs = registry::builtin(DataflowKind::RowStationary);
 /// let hw = AcceleratorConfig::eyeriss_chip();
-/// let em = EnergyModel::table_iv();
-/// let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
+/// let mut memo = MappingMemo::new(&hw, &TableIv, Objective::Energy);
 /// let p = LayerProblem::new(LayerShape::conv(64, 32, 16, 3, 1)?, 4);
 /// let a = memo.best(rs, &p);
 /// let b = memo.best(rs, &p); // cached
@@ -162,21 +212,32 @@ pub fn optimize_all(
 /// assert_eq!((memo.searches(), memo.hits()), (1, 1));
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
 /// ```
-#[derive(Debug)]
 pub struct MappingMemo<'a> {
     hw: &'a AcceleratorConfig,
-    energy: &'a EnergyModel,
+    cost: &'a dyn CostModel,
     objective: Objective,
     cache: HashMap<(DataflowId, LayerProblem), Option<MappingCandidate>>,
     hits: usize,
 }
 
+impl std::fmt::Debug for MappingMemo<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappingMemo")
+            .field("hw", &self.hw)
+            .field("cost", &self.cost.id())
+            .field("objective", &self.objective)
+            .field("searches", &self.cache.len())
+            .field("hits", &self.hits)
+            .finish()
+    }
+}
+
 impl<'a> MappingMemo<'a> {
     /// Creates an empty memo pinned to one operating point.
-    pub fn new(hw: &'a AcceleratorConfig, energy: &'a EnergyModel, objective: Objective) -> Self {
+    pub fn new(hw: &'a AcceleratorConfig, cost: &'a dyn CostModel, objective: Objective) -> Self {
         MappingMemo {
             hw,
-            energy,
+            cost,
             objective,
             cache: HashMap::new(),
             hits: 0,
@@ -191,7 +252,7 @@ impl<'a> MappingMemo<'a> {
             self.hits += 1;
             return cached.clone();
         }
-        let found = optimize(df, problem, self.hw, self.energy, self.objective);
+        let found = optimize(df, problem, self.hw, self.cost, self.objective);
         self.cache.insert(key, found.clone());
         found
     }
@@ -214,84 +275,14 @@ const PAR_SCAN_THRESHOLD: usize = 192;
 /// tied and resolved by active-PE count.
 const UTILIZATION_TIE_BAND: f64 = 1.10;
 
-// ----- deprecated kind-based entry points --------------------------------
-
-/// Finds the best mapping of `shape` (batch `n`) for `kind` on `hw`,
-/// minimizing energy under `model`.
-#[deprecated(
-    note = "use `search::optimize(registry::builtin(kind), ...)` or `Engine::best_mapping`"
-)]
-pub fn best_mapping(
-    kind: DataflowKind,
-    shape: &LayerShape,
-    n: usize,
-    hw: &AcceleratorConfig,
-    energy: &EnergyModel,
-) -> Option<MappingCandidate> {
-    optimize(
-        crate::registry::builtin(kind),
-        &LayerProblem::new(*shape, n),
-        hw,
-        energy,
-        Objective::Energy,
-    )
-}
-
-/// [`best_mapping`] with an explicit objective.
-#[deprecated(
-    note = "use `search::optimize(registry::builtin(kind), ...)` or `Engine::best_mapping`"
-)]
-pub fn best_mapping_with(
-    kind: DataflowKind,
-    shape: &LayerShape,
-    n: usize,
-    hw: &AcceleratorConfig,
-    energy: &EnergyModel,
-    objective: Objective,
-) -> Option<MappingCandidate> {
-    optimize(
-        crate::registry::builtin(kind),
-        &LayerProblem::new(*shape, n),
-        hw,
-        energy,
-        objective,
-    )
-}
-
-/// Optimizes a list of `(shape, batch)` problems for `kind`.
-#[deprecated(note = "use `search::optimize_all(registry::builtin(kind), ...)`")]
-pub fn best_mappings_with(
-    kind: DataflowKind,
-    problems: &[(LayerShape, usize)],
-    hw: &AcceleratorConfig,
-    energy: &EnergyModel,
-    objective: Objective,
-) -> Vec<Option<MappingCandidate>> {
-    let problems: Vec<LayerProblem> = problems.iter().map(|&(s, n)| (s, n).into()).collect();
-    optimize_all(
-        crate::registry::builtin(kind),
-        &problems,
-        hw,
-        energy,
-        objective,
-    )
-}
-
-/// Convenience: the hardware a dataflow gets under the fixed-area
-/// comparison of Section VI-B (its own RF size, the rest as buffer).
-#[deprecated(
-    note = "use `Dataflow::comparison_hardware` (e.g. `registry::builtin(kind).comparison_hardware(n)`) \
-            or `AcceleratorConfig::under_baseline_area`"
-)]
-pub fn comparison_hardware(kind: DataflowKind, num_pes: usize) -> AcceleratorConfig {
-    AcceleratorConfig::under_baseline_area(num_pes, kind.rf_bytes())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kind::DataflowKind;
     use crate::registry::builtin;
-    use eyeriss_nn::alexnet;
+    use eyeriss_arch::cost::{StaticCostModel, TableIv};
+    use eyeriss_arch::energy::{EnergyModel, Level};
+    use eyeriss_nn::{alexnet, LayerShape};
 
     fn problem(shape: &LayerShape, n: usize) -> LayerProblem {
         LayerProblem::new(*shape, n)
@@ -308,9 +299,15 @@ mod tests {
             let hw = df.comparison_hardware(256);
             let mut sum = 0.0;
             for layer in &conv {
-                sum += optimize(df, &problem(&layer.shape, 16), &hw, &em, Objective::Energy)?
-                    .profile
-                    .total_energy(&em);
+                sum += optimize(
+                    df,
+                    &problem(&layer.shape, 16),
+                    &hw,
+                    &TableIv,
+                    Objective::Energy,
+                )?
+                .profile
+                .total_energy(&em);
             }
             Some(sum)
         };
@@ -329,8 +326,8 @@ mod tests {
         let rs = builtin(DataflowKind::RowStationary);
         let hw = rs.comparison_hardware(256);
         let p = problem(conv5, 16);
-        let by_energy = optimize(rs, &p, &hw, &em, Objective::Energy).unwrap();
-        let by_edp = optimize(rs, &p, &hw, &em, Objective::EnergyDelayProduct).unwrap();
+        let by_energy = optimize(rs, &p, &hw, &TableIv, Objective::Energy).unwrap();
+        let by_edp = optimize(rs, &p, &hw, &TableIv, Objective::EnergyDelayProduct).unwrap();
         let edp = |c: &MappingCandidate| c.profile.total_energy(&em) * c.delay();
         assert!(edp(&by_edp) <= edp(&by_energy) + 1e-6);
     }
@@ -340,7 +337,6 @@ mod tests {
         // VGG-16 repeats shapes (CONV3_2 == CONV3_3 etc.); the batch entry
         // point must search each distinct shape once and still return one
         // result per input, positionally.
-        let em = EnergyModel::table_iv();
         let rs = builtin(DataflowKind::RowStationary);
         let hw = rs.comparison_hardware(256);
         let conv = alexnet::conv_layers();
@@ -350,7 +346,7 @@ mod tests {
             problem(&conv[2].shape, 4), // duplicate of [0]
             problem(&conv[2].shape, 1), // same shape, different batch: distinct
         ];
-        let results = optimize_all(rs, &problems, &hw, &em, Objective::Energy);
+        let results = optimize_all(rs, &problems, &hw, &TableIv, Objective::Energy);
         assert_eq!(results.len(), 4);
         assert_eq!(
             results[0], results[2],
@@ -358,39 +354,38 @@ mod tests {
         );
         assert_ne!(results[0], results[3], "different batches stay distinct");
         for (r, p) in results.iter().zip(&problems) {
-            let direct = optimize(rs, p, &hw, &em, Objective::Energy);
+            let direct = optimize(rs, p, &hw, &TableIv, Objective::Energy);
             assert_eq!(r, &direct, "memoized result differs from direct search");
         }
     }
 
     #[test]
     fn memo_counts_hits_and_searches() {
-        let em = EnergyModel::table_iv();
         let rs = builtin(DataflowKind::RowStationary);
         let hw = rs.comparison_hardware(256);
         let conv5 = problem(&alexnet::conv_layers()[4].shape, 16);
-        let mut memo = MappingMemo::new(&hw, &em, Objective::Energy);
+        let mut memo = MappingMemo::new(&hw, &TableIv, Objective::Energy);
         for _ in 0..3 {
             memo.best(rs, &conv5);
         }
         // Infeasible results are memoized too.
         let ws = builtin(DataflowKind::WeightStationary);
         let ws_hw = ws.comparison_hardware(256);
-        let mut ws_memo = MappingMemo::new(&ws_hw, &em, Objective::Energy);
+        let mut ws_memo = MappingMemo::new(&ws_hw, &TableIv, Objective::Energy);
         let conv1 = problem(&alexnet::conv_layers()[0].shape, 64);
         assert!(ws_memo.best(ws, &conv1).is_none());
         assert!(ws_memo.best(ws, &conv1).is_none());
         assert_eq!((memo.searches(), memo.hits()), (1, 2));
         assert_eq!((ws_memo.searches(), ws_memo.hits()), (1, 1));
+        assert!(format!("{memo:?}").contains("table-iv"));
     }
 
     #[test]
     fn infeasible_returns_none() {
-        let em = EnergyModel::table_iv();
         let conv1 = &alexnet::conv_layers()[0].shape;
         let ws = builtin(DataflowKind::WeightStationary);
         let hw = ws.comparison_hardware(256);
-        assert!(optimize(ws, &problem(conv1, 64), &hw, &em, Objective::Energy).is_none());
+        assert!(optimize(ws, &problem(conv1, 64), &hw, &TableIv, Objective::Energy).is_none());
     }
 
     #[test]
@@ -399,24 +394,42 @@ mod tests {
             assert_eq!(Objective::from_label(o.label()), Some(o));
         }
         assert_eq!(Objective::from_label("latency"), None);
+        assert_eq!(Objective::Energy.score(7.0, 3.0), 7.0);
+        assert_eq!(Objective::EnergyDelayProduct.score(7.0, 3.0), 21.0);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_the_trait_path() {
-        let em = EnergyModel::table_iv();
-        let conv5 = &alexnet::conv_layers()[4].shape;
-        let kind = DataflowKind::RowStationary;
-        let hw = comparison_hardware(kind, 256);
-        assert_eq!(hw, builtin(kind).comparison_hardware(256));
-        let old = best_mapping(kind, conv5, 16, &hw, &em);
-        let new = optimize(
-            builtin(kind),
-            &problem(conv5, 16),
-            &hw,
-            &em,
-            Objective::Energy,
+    fn custom_cost_models_steer_the_search() {
+        // A DRAM-free pricing makes buffer traffic the dominant term; the
+        // optimizer must honor whatever model it is handed, and the
+        // canonical model must agree bit-exactly with the old
+        // EnergyModel-priced path.
+        let conv3 = &alexnet::conv_layers()[2].shape;
+        let rs = builtin(DataflowKind::RowStationary);
+        let hw = rs.comparison_hardware(256);
+        let p = problem(conv3, 16);
+        let table = optimize(rs, &p, &hw, &TableIv, Objective::Energy).unwrap();
+        let flat = StaticCostModel::new(
+            "flat-onchip",
+            EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0).unwrap(),
         );
-        assert_eq!(old, new);
+        let under_flat = optimize(rs, &p, &hw, &flat, Objective::Energy).unwrap();
+        use eyeriss_arch::cost::CostModel;
+        assert!(
+            flat.energy_of(&under_flat.profile) <= flat.energy_of(&table.profile),
+            "search under the flat model must be at least as good under it"
+        );
+        // A bandwidth-starved DRAM channel turns the EDP search
+        // latency-aware: the chosen mapping's analytic delay under the
+        // custom model bounds the Table IV winner's.
+        let starved = StaticCostModel::new("starved", EnergyModel::table_iv())
+            .with_bandwidth(Level::Dram, 0.25)
+            .unwrap();
+        let under_starved = optimize(rs, &p, &hw, &starved, Objective::EnergyDelayProduct).unwrap();
+        let edp = |c: &MappingCandidate| {
+            starved.energy_of(&c.profile) * starved.delay_of(&c.profile, c.active_pes)
+        };
+        let table_edp = optimize(rs, &p, &hw, &TableIv, Objective::EnergyDelayProduct).unwrap();
+        assert!(edp(&under_starved) <= edp(&table_edp) * (1.0 + 1e-9));
     }
 }

@@ -186,6 +186,7 @@ mod tests {
     use crate::id::DataflowId;
     use crate::search::{self, Objective};
     use eyeriss_arch::config::AcceleratorConfig;
+    use eyeriss_arch::cost::TableIv;
     use eyeriss_arch::energy::EnergyModel;
     use eyeriss_nn::{LayerProblem, LayerShape};
     use std::sync::Arc;
@@ -197,7 +198,8 @@ mod tests {
         let p = LayerProblem::new(LayerShape::conv(8, 4, 13, 3, 2).unwrap(), 2);
         for df in reg.iter() {
             let hw = df.comparison_hardware(256);
-            let Some(best) = search::optimize(df.as_ref(), &p, &hw, &em, Objective::Energy) else {
+            let Some(best) = search::optimize(df.as_ref(), &p, &hw, &TableIv, Objective::Energy)
+            else {
                 continue;
             };
             let back = decode_candidate(&encode_candidate(&best), &reg).unwrap();
@@ -252,12 +254,11 @@ mod tests {
 
     #[test]
     fn tampered_candidates_are_screened() {
-        let em = EnergyModel::table_iv();
         let reg = DataflowRegistry::builtin();
         let rs = crate::registry::builtin(crate::kind::DataflowKind::RowStationary);
         let p = LayerProblem::new(LayerShape::conv(8, 4, 13, 3, 2).unwrap(), 2);
         let hw = rs.comparison_hardware(256);
-        let best = search::optimize(rs, &p, &hw, &em, Objective::Energy).unwrap();
+        let best = search::optimize(rs, &p, &hw, &TableIv, Objective::Energy).unwrap();
 
         let mut zero_pes = best.clone();
         zero_pes.active_pes = 0;

@@ -10,7 +10,11 @@
 //! Dataflow identities travel as labels; decoding resolves them against
 //! a [`DataflowRegistry`], so caches compiled with registered extension
 //! dataflows reload too (and caches naming *unregistered* dataflows fail
-//! with a typed error instead of misexecuting).
+//! with a typed error instead of misexecuting). Cost models travel the
+//! same way — each key and plan records the [`CostDescriptor`] of the
+//! model that priced it (label + exact numeric fingerprint), resolved
+//! against a [`CostModelRegistry`] on load; plans priced under distinct
+//! fingerprints never cross-hit, even under one label.
 //!
 //! # Example
 //!
@@ -30,7 +34,8 @@
 //! compiler.cache().save(&path)?;
 //!
 //! // A cold process reloads the cache: same plan, no search.
-//! let cold = PlanCache::load(&path, &DataflowRegistry::builtin())?;
+//! use eyeriss_arch::CostModelRegistry;
+//! let cold = PlanCache::load(&path, &DataflowRegistry::builtin(), &CostModelRegistry::builtin())?;
 //! let compiler2 = PlanCompiler::new(2, AcceleratorConfig::eyeriss_chip())
 //!     .with_cache(std::sync::Arc::new(cold));
 //! let reloaded = compiler2.compile_layer(&shape, 4)?;
@@ -42,6 +47,9 @@
 
 use crate::error::ServeError;
 use crate::plan::{CompiledPlan, Footprint, PlanCache, PlanKey, StagePlan};
+use eyeriss_arch::cost::CostDescriptor;
+use eyeriss_arch::wire as arch_wire;
+use eyeriss_arch::CostModelRegistry;
 use eyeriss_cluster::wire as cluster_wire;
 use eyeriss_dataflow::search::Objective;
 use eyeriss_dataflow::DataflowRegistry;
@@ -53,13 +61,17 @@ use std::time::Duration;
 
 /// Schema name of a persisted plan cache.
 pub const CACHE_SCHEMA: &str = "eyeriss-plan-cache";
-/// Schema version of a persisted plan cache.
-pub const CACHE_VERSION: u64 = 1;
+/// Schema version of a persisted plan cache. Version 2 replaced the raw
+/// `em_bits` energy fingerprint with the cost-model descriptor
+/// (label + full energy/bandwidth fingerprint — see
+/// [`arch_wire::COST_DESCRIPTOR_VERSION`]) in both keys and plans.
+pub const CACHE_VERSION: u64 = 2;
 
 /// Schema name of a persisted compiled plan.
 pub const COMPILED_SCHEMA: &str = "eyeriss-compiled-plan";
-/// Schema version of a persisted compiled plan.
-pub const COMPILED_VERSION: u64 = 1;
+/// Schema version of a persisted compiled plan (version 2: cost-model
+/// descriptors inside each stage's cluster plan).
+pub const COMPILED_VERSION: u64 = 2;
 
 fn io_err(path: &Path, what: &str, e: std::io::Error) -> ServeError {
     ServeError::Io(format!("{what} {}: {e}", path.display()))
@@ -76,14 +88,15 @@ fn encode_key(k: &PlanKey) -> Value {
         ("cols", Value::usize(k.grid.1)),
         ("rf_bits", Value::u64(k.rf_bits)),
         ("buffer_bits", Value::u64(k.buffer_bits)),
-        (
-            "em_bits",
-            Value::arr(k.em_bits.iter().map(|&b| Value::u64(b))),
-        ),
+        ("cost", arch_wire::encode_cost_descriptor(&k.cost)),
     ])
 }
 
-fn decode_key(v: &Value, reg: &DataflowRegistry) -> Result<PlanKey, WireError> {
+fn decode_key(
+    v: &Value,
+    reg: &DataflowRegistry,
+    costs: &CostModelRegistry,
+) -> Result<PlanKey, WireError> {
     let label = v.get("df")?.as_str()?;
     let dataflow = reg
         .by_label(label)
@@ -92,17 +105,7 @@ fn decode_key(v: &Value, reg: &DataflowRegistry) -> Result<PlanKey, WireError> {
     let objective_label = v.get("objective")?.as_str()?;
     let objective = Objective::from_label(objective_label)
         .ok_or_else(|| WireError::Invalid(format!("unknown objective {objective_label:?}")))?;
-    let em_raw = v.get("em_bits")?.as_arr()?;
-    if em_raw.len() != 5 {
-        return Err(WireError::Invalid(format!(
-            "energy fingerprint carries {} costs, expected 5",
-            em_raw.len()
-        )));
-    }
-    let mut em_bits = [0u64; 5];
-    for (slot, item) in em_bits.iter_mut().zip(em_raw) {
-        *slot = item.as_u64()?;
-    }
+    let cost: CostDescriptor = arch_wire::decode_cost_descriptor(v.get("cost")?, costs)?;
     Ok(PlanKey {
         shape: nn_wire::decode_shape(v.get("shape")?)?,
         n: v.get("n")?.as_usize()?,
@@ -112,7 +115,7 @@ fn decode_key(v: &Value, reg: &DataflowRegistry) -> Result<PlanKey, WireError> {
         grid: (v.get("rows")?.as_usize()?, v.get("cols")?.as_usize()?),
         rf_bits: v.get("rf_bits")?.as_u64()?,
         buffer_bits: v.get("buffer_bits")?.as_u64()?,
-        em_bits,
+        cost,
     })
 }
 
@@ -140,7 +143,18 @@ impl PlanCache {
                 })),
             ),
         ]);
-        std::fs::write(path, doc.render()).map_err(|e| io_err(path, "writing", e))?;
+        // Write-then-rename so a crash mid-write never destroys the
+        // previously good cache file. The temp name appends to the full
+        // file name (distinct targets never share a temp path) and is
+        // unique per writer (concurrent savers never clobber each
+        // other's in-flight temp).
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(format!(".{}.{seq}.tmp", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, doc.render()).map_err(|e| io_err(&tmp, "writing", e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, "replacing", e))?;
         Ok(entries.len())
     }
 
@@ -156,11 +170,13 @@ impl PlanCache {
     ///
     /// [`ServeError::Io`] on filesystem failures, [`ServeError::Wire`]
     /// on schema/decoding failures — including plans whose dataflow is
-    /// not registered in `reg`.
+    /// not registered in `reg` or whose pricing cost model is not
+    /// registered in `costs`.
     pub fn load_into(
         &self,
         path: impl AsRef<Path>,
         reg: &DataflowRegistry,
+        costs: &CostModelRegistry,
     ) -> Result<usize, ServeError> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path).map_err(|e| io_err(path, "reading", e))?;
@@ -169,8 +185,8 @@ impl PlanCache {
         let entries = doc.get("plans")?.as_arr()?;
         let mut decoded = Vec::with_capacity(entries.len());
         for entry in entries {
-            let key = decode_key(entry.get("key")?, reg)?;
-            let plan = cluster_wire::decode_plan(entry.get("plan")?, reg)?;
+            let key = decode_key(entry.get("key")?, reg, costs)?;
+            let plan = cluster_wire::decode_plan(entry.get("plan")?, reg, costs)?;
             decoded.push((key, Arc::new(plan)));
         }
         let n = decoded.len();
@@ -185,9 +201,13 @@ impl PlanCache {
     /// # Errors
     ///
     /// As [`PlanCache::load_into`].
-    pub fn load(path: impl AsRef<Path>, reg: &DataflowRegistry) -> Result<PlanCache, ServeError> {
+    pub fn load(
+        path: impl AsRef<Path>,
+        reg: &DataflowRegistry,
+        costs: &CostModelRegistry,
+    ) -> Result<PlanCache, ServeError> {
         let cache = PlanCache::new();
-        cache.load_into(path, reg)?;
+        cache.load_into(path, reg, costs)?;
         Ok(cache)
     }
 }
@@ -237,7 +257,11 @@ pub fn encode_compiled(plan: &CompiledPlan) -> Value {
 /// # Errors
 ///
 /// [`WireError`] on schema or structural problems.
-pub fn decode_compiled(v: &Value, reg: &DataflowRegistry) -> Result<CompiledPlan, WireError> {
+pub fn decode_compiled(
+    v: &Value,
+    reg: &DataflowRegistry,
+    costs: &CostModelRegistry,
+) -> Result<CompiledPlan, WireError> {
     v.expect_schema(COMPILED_SCHEMA, COMPILED_VERSION)?;
     let batch = v.get("batch")?.as_usize()?;
     let mut stages = Vec::new();
@@ -249,7 +273,7 @@ pub fn decode_compiled(v: &Value, reg: &DataflowRegistry) -> Result<CompiledPlan
                 name,
                 shape,
                 relu: s.get("relu")?.as_bool()?,
-                plan: Arc::new(cluster_wire::decode_plan(s.get("plan")?, reg)?),
+                plan: Arc::new(cluster_wire::decode_plan(s.get("plan")?, reg, costs)?),
                 footprint: Footprint::of(&shape, batch),
             },
             "pool" => StagePlan::Pool { name, shape },
@@ -299,7 +323,8 @@ mod tests {
         assert_eq!(compiler.cache().save(&path).unwrap(), 2);
 
         let reg = DataflowRegistry::builtin();
-        let cold = PlanCache::load(&path, &reg).unwrap();
+        let costs = CostModelRegistry::builtin();
+        let cold = PlanCache::load(&path, &reg, &costs).unwrap();
         assert_eq!(cold.len(), 2);
         assert_eq!(cold.stats().lookups(), 0, "loading is not looking up");
         let compiler2 = PlanCompiler::new(2, small_hw()).with_cache(Arc::new(cold));
@@ -322,7 +347,12 @@ mod tests {
         two.compile_layer(&shape, 2).unwrap();
         four.compile_layer(&shape, 2).unwrap();
         assert_eq!(cache.save(&path).unwrap(), 2);
-        let cold = PlanCache::load(&path, &DataflowRegistry::builtin()).unwrap();
+        let cold = PlanCache::load(
+            &path,
+            &DataflowRegistry::builtin(),
+            &CostModelRegistry::builtin(),
+        )
+        .unwrap();
         assert_eq!(cold.len(), 2, "cluster widths keep distinct keys");
         std::fs::remove_file(&path).ok();
     }
@@ -370,7 +400,11 @@ mod tests {
 
         let cold = PlanCache::new();
         let err = cold
-            .load_into(&path, &DataflowRegistry::builtin())
+            .load_into(
+                &path,
+                &DataflowRegistry::builtin(),
+                &CostModelRegistry::builtin(),
+            )
             .unwrap_err();
         assert!(matches!(err, ServeError::Wire(WireError::Invalid(_))));
         assert!(cold.is_empty(), "partial load leaked into the cache");
@@ -378,31 +412,50 @@ mod tests {
     }
 
     #[test]
-    fn distinct_energy_models_keep_distinct_plans() {
+    fn distinct_cost_models_keep_distinct_plans() {
+        use eyeriss_arch::cost::StaticCostModel;
         use eyeriss_arch::EnergyModel;
         let cache = Arc::new(PlanCache::new());
         let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
         let table = PlanCompiler::new(2, small_hw()).with_cache(Arc::clone(&cache));
+        let flat_model =
+            StaticCostModel::new("flat", EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0).unwrap());
         let flat = PlanCompiler::new(2, small_hw())
-            .with_energy_model(EnergyModel::new(200.0, 2.0, 2.0, 1.0, 1.0))
+            .with_cost_model(Arc::new(flat_model))
             .with_cache(Arc::clone(&cache));
         table.compile_layer(&shape, 2).unwrap();
         flat.compile_layer(&shape, 2).unwrap();
-        assert_eq!(cache.len(), 2, "energy model must be part of the key");
+        assert_eq!(cache.len(), 2, "cost model must be part of the key");
         assert_eq!(cache.stats().hits, 0);
+
+        // The persisted cache reloads only when the pricing model is
+        // registered; with it registered, the two entries stay distinct.
+        let path = tmp("cost-models.plans");
+        assert_eq!(cache.save(&path).unwrap(), 2);
+        let missing = PlanCache::load(
+            &path,
+            &DataflowRegistry::builtin(),
+            &CostModelRegistry::builtin(),
+        );
+        assert!(matches!(missing, Err(ServeError::Wire(_))));
+        let mut costs = CostModelRegistry::builtin();
+        costs.register(Arc::new(flat_model)).unwrap();
+        let cold = PlanCache::load(&path, &DataflowRegistry::builtin(), &costs).unwrap();
+        assert_eq!(cold.len(), 2, "distinct fingerprints stay distinct");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn load_is_typed_about_missing_files_and_garbage() {
         let reg = DataflowRegistry::builtin();
         assert!(matches!(
-            PlanCache::load(tmp("enoent.plans"), &reg),
+            PlanCache::load(tmp("enoent.plans"), &reg, &CostModelRegistry::builtin()),
             Err(ServeError::Io(_))
         ));
         let path = tmp("garbage.plans");
         std::fs::write(&path, "not json").unwrap();
         assert!(matches!(
-            PlanCache::load(&path, &reg),
+            PlanCache::load(&path, &reg, &CostModelRegistry::builtin()),
             Err(ServeError::Wire(_))
         ));
         // Wrong schema name.
@@ -413,7 +466,7 @@ mod tests {
         ]);
         std::fs::write(&path, doc.render()).unwrap();
         assert!(matches!(
-            PlanCache::load(&path, &reg),
+            PlanCache::load(&path, &reg, &CostModelRegistry::builtin()),
             Err(ServeError::Wire(WireError::WrongSchema { .. }))
         ));
         std::fs::remove_file(&path).ok();
@@ -432,8 +485,9 @@ mod tests {
         let compiler = PlanCompiler::new(2, small_hw());
         let plan = compiler.compile_network(&net, 2).unwrap();
         let reg = DataflowRegistry::builtin();
+        let costs = CostModelRegistry::builtin();
         let text = encode_compiled(&plan).render();
-        let back = decode_compiled(&Value::parse(&text).unwrap(), &reg).unwrap();
+        let back = decode_compiled(&Value::parse(&text).unwrap(), &reg, &costs).unwrap();
         assert_eq!(back, plan);
         assert_eq!(
             back.analytic_delay().to_bits(),

@@ -9,10 +9,10 @@
 //! *content* `(layer shape, batch, array count, dataflow, objective,
 //! hardware fingerprint)`. Repeated shapes (all of VGG-16's stacked 3×3
 //! stages) and repeated requests then never re-search: the runtime
-//! executes cached plans via [`eyeriss_cluster::Cluster::run_planned`].
+//! executes cached plans via [`eyeriss_cluster::Cluster::execute`].
 
 use crate::error::ServeError;
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::{table_iv_shared, CostDescriptor, CostModel, CostReport};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::{plan_layer, ClusterPlan, SharedDram};
 use eyeriss_dataflow::registry::builtin_shared;
@@ -29,7 +29,9 @@ use std::time::{Duration, Instant};
 /// Content key of one compiled layer plan. Two problems collide exactly
 /// when the search would provably return the same plan: same layer
 /// shape, batch, cluster width, mapping space, objective, per-array
-/// hardware and energy cost model.
+/// hardware and cost model — the cost model travels as its
+/// [`CostDescriptor`] (identity + exact numeric fingerprint), so models
+/// with distinct fingerprints never cross-hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     pub(crate) shape: LayerShape,
@@ -40,7 +42,7 @@ pub struct PlanKey {
     pub(crate) grid: (usize, usize),
     pub(crate) rf_bits: u64,
     pub(crate) buffer_bits: u64,
-    pub(crate) em_bits: [u64; 5],
+    pub(crate) cost: CostDescriptor,
 }
 
 impl PlanKey {
@@ -51,7 +53,7 @@ impl PlanKey {
         dataflow: DataflowId,
         objective: Objective,
         hw: &AcceleratorConfig,
-        em: &EnergyModel,
+        cost: &dyn CostModel,
     ) -> Self {
         PlanKey {
             shape: problem.shape,
@@ -62,19 +64,9 @@ impl PlanKey {
             grid: (hw.grid.rows, hw.grid.cols),
             rf_bits: hw.rf_bytes_per_pe.to_bits(),
             buffer_bits: hw.buffer_bytes.to_bits(),
-            em_bits: energy_fingerprint(em),
+            cost: cost.descriptor(),
         }
     }
-}
-
-/// Exact bit-pattern fingerprint of an energy model (one cost per
-/// hierarchy level, in [`Level::ALL`] order).
-pub(crate) fn energy_fingerprint(em: &EnergyModel) -> [u64; 5] {
-    let mut bits = [0u64; 5];
-    for (slot, level) in bits.iter_mut().zip(eyeriss_arch::Level::ALL) {
-        *slot = em.cost(level).to_bits();
-    }
-    bits
 }
 
 /// Hit/miss counters of a [`PlanCache`].
@@ -295,6 +287,20 @@ impl CompiledPlan {
             .sum()
     }
 
+    /// Re-prices the whole compiled network into the unified
+    /// [`CostReport`] vocabulary under `cost` (weighted stages
+    /// accumulated sequentially; each stage's delay baseline is its
+    /// plan's cluster delay).
+    pub fn cost_report(&self, cost: &dyn CostModel) -> CostReport {
+        let mut total = CostReport::zero(cost.descriptor());
+        for s in &self.stages {
+            if let StagePlan::Layer { plan, .. } = s {
+                total.accumulate(&plan.report(cost));
+            }
+        }
+        total
+    }
+
     /// The largest per-stage working set, in words.
     pub fn peak_footprint_words(&self) -> u64 {
         self.stages
@@ -329,7 +335,7 @@ impl CompiledPlan {
 #[derive(Clone)]
 pub struct PlanCompiler {
     hw: AcceleratorConfig,
-    em: EnergyModel,
+    cost: Arc<dyn CostModel>,
     dataflow: Arc<dyn Dataflow>,
     objective: Objective,
     arrays: usize,
@@ -342,6 +348,7 @@ impl std::fmt::Debug for PlanCompiler {
         f.debug_struct("PlanCompiler")
             .field("hw", &self.hw)
             .field("dataflow", &self.dataflow.id())
+            .field("cost", &self.cost.id())
             .field("objective", &self.objective)
             .field("arrays", &self.arrays)
             .finish_non_exhaustive()
@@ -361,7 +368,7 @@ impl PlanCompiler {
         assert!(arrays > 0, "compiler needs at least one array");
         PlanCompiler {
             hw,
-            em: EnergyModel::table_iv(),
+            cost: table_iv_shared(),
             dataflow: builtin_shared(DataflowKind::RowStationary),
             objective: Objective::EnergyDelayProduct,
             arrays,
@@ -376,12 +383,18 @@ impl PlanCompiler {
         self
     }
 
-    /// Overrides the energy cost model the plan search optimizes under.
-    /// The model participates in plan-cache keys, so compilers with
-    /// different cost models never share plans.
-    pub fn with_energy_model(mut self, em: EnergyModel) -> Self {
-        self.em = em;
+    /// Overrides the cost model the plan search prices under (any
+    /// registered [`CostModel`]). The model's descriptor participates in
+    /// plan-cache keys, so compilers pricing under distinct fingerprints
+    /// never share plans.
+    pub fn with_cost_model(mut self, cost: Arc<dyn CostModel>) -> Self {
+        self.cost = cost;
         self
+    }
+
+    /// The cost model this compiler prices under.
+    pub fn cost_model(&self) -> &Arc<dyn CostModel> {
+        &self.cost
     }
 
     /// Overrides the mapping space (any [`Dataflow`], builtin or
@@ -441,7 +454,7 @@ impl PlanCompiler {
             self.dataflow.id(),
             self.objective,
             &self.hw,
-            &self.em,
+            self.cost.as_ref(),
         );
         self.cache.get_or_compile(key, || {
             plan_layer(
@@ -449,7 +462,7 @@ impl PlanCompiler {
                 &problem,
                 self.arrays,
                 &self.hw,
-                &self.em,
+                self.cost.as_ref(),
                 &self.shared,
                 self.objective,
             )

@@ -637,12 +637,12 @@ mod tests {
 
     #[test]
     fn rf_dominates_onchip_energy_for_conv() {
-        use eyeriss_arch::energy::EnergyModel;
+        use eyeriss_arch::cost::TableIv;
         // The chip-verification claim of Section VII-A: RF : (buffer+array)
         // is roughly 4:1 for CONV layers under RS.
         let shape = LayerShape::conv(16, 8, 19, 3, 1).unwrap();
         let run = run_and_check(&shape, 4, AcceleratorConfig::eyeriss_chip());
-        let ratio = run.stats.rf_to_onchip_rest_ratio(&EnergyModel::table_iv());
+        let ratio = run.stats.rf_to_onchip_rest_ratio(&TableIv);
         assert!(
             (1.5..=10.0).contains(&ratio),
             "RF:on-chip-rest ratio {ratio:.2}"

@@ -7,7 +7,7 @@
 
 use crate::error::SimError;
 use eyeriss_arch::config::AcceleratorConfig;
-use eyeriss_arch::energy::EnergyModel;
+use eyeriss_arch::cost::TableIv;
 use eyeriss_dataflow::candidate::MappingParams;
 use eyeriss_dataflow::registry::builtin;
 use eyeriss_dataflow::search::{self, Objective};
@@ -50,7 +50,7 @@ impl RsMapping {
             rs,
             &LayerProblem::new(*shape, n_batch),
             hw,
-            &EnergyModel::table_iv(),
+            &TableIv,
             Objective::Energy,
         )
         .ok_or_else(|| {

@@ -37,8 +37,19 @@ impl NetworkRun {
     }
 
     /// Total normalized energy across stages.
-    pub fn total_energy(&self, em: &eyeriss_arch::EnergyModel) -> f64 {
-        self.stages.iter().map(|s| s.stats.energy(em)).sum()
+    pub fn total_energy(&self, cost: &dyn eyeriss_arch::CostModel) -> f64 {
+        self.stages.iter().map(|s| s.stats.energy(cost)).sum()
+    }
+
+    /// Prices the whole run into the unified
+    /// [`CostReport`](eyeriss_arch::CostReport) vocabulary (stage reports
+    /// accumulated: energies and measured delays add).
+    pub fn cost_report(&self, cost: &dyn eyeriss_arch::CostModel) -> eyeriss_arch::CostReport {
+        let mut total = eyeriss_arch::CostReport::zero(cost.descriptor());
+        for s in &self.stages {
+            total.accumulate(&s.stats.cost_report(cost));
+        }
+        total
     }
 }
 
@@ -163,7 +174,7 @@ mod tests {
         let input = synth::ifmap(&net.stages()[0].shape, 1, 5);
         let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
         let run = run_network(&mut chip, &net, 1, &input).unwrap();
-        let em = eyeriss_arch::EnergyModel::table_iv();
+        let em = eyeriss_arch::TableIv;
         let by_hand: f64 = run.stages.iter().map(|s| s.stats.energy(&em)).sum();
         assert_eq!(run.total_energy(&em), by_hand);
         assert!(run.total_energy(&em) > 0.0);

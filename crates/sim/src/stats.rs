@@ -1,7 +1,8 @@
 //! Measured statistics from a simulated layer run.
 
 use eyeriss_arch::access::LayerAccessProfile;
-use eyeriss_arch::energy::{EnergyModel, Level};
+use eyeriss_arch::cost::{CostModel, CostReport};
+use eyeriss_arch::energy::Level;
 
 /// Everything the simulator measures while executing one layer.
 #[derive(Debug, Clone, Default)]
@@ -35,18 +36,26 @@ impl SimStats {
         (self.macs + self.skipped_macs) as f64 / (self.cycles as f64 * num_pes as f64)
     }
 
-    /// Normalized data-movement + compute energy under `model`.
-    pub fn energy(&self, model: &EnergyModel) -> f64 {
-        self.profile.total_energy(model)
+    /// Normalized data-movement + compute energy under `cost`.
+    pub fn energy(&self, cost: &dyn CostModel) -> f64 {
+        cost.energy_of(&self.profile)
+    }
+
+    /// Prices the measured run into the unified [`CostReport`]
+    /// vocabulary. The delay baseline is the *measured* wall clock
+    /// ([`SimStats::total_cycles`]), floored by the model's per-level
+    /// bandwidths.
+    pub fn cost_report(&self, cost: &dyn CostModel) -> CostReport {
+        cost.report_with_delay(&self.profile, self.total_cycles() as f64)
     }
 
     /// Ratio of RF energy to on-chip-rest (buffer + array) energy — the
     /// quantity the paper verifies against the chip (~4:1 in CONV layers,
     /// Section VII-A).
-    pub fn rf_to_onchip_rest_ratio(&self, model: &EnergyModel) -> f64 {
-        let rf = self.profile.energy_at_level(model, Level::Rf);
-        let rest = self.profile.energy_at_level(model, Level::Buffer)
-            + self.profile.energy_at_level(model, Level::Array);
+    pub fn rf_to_onchip_rest_ratio(&self, cost: &dyn CostModel) -> f64 {
+        let report = self.cost_report(cost);
+        let rf = report.energy_at(Level::Rf);
+        let rest = report.energy_at(Level::Buffer) + report.energy_at(Level::Array);
         rf / rest
     }
 

@@ -311,6 +311,7 @@ impl Value {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -340,12 +341,29 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. Real plan documents
+/// nest a handful of levels; the bound turns pathological or corrupted
+/// input into a typed error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn enter(&mut self) -> Result<(), WireError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(WireError::Syntax(
+                self.pos,
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -477,11 +495,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, WireError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -492,6 +512,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(WireError::Syntax(self.pos, "expected ',' or ']'".into())),
@@ -500,11 +521,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, WireError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(pairs));
         }
         loop {
@@ -520,6 +543,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(pairs));
                 }
                 _ => return Err(WireError::Syntax(self.pos, "expected ',' or '}'".into())),
@@ -534,6 +558,23 @@ mod tests {
 
     fn roundtrip(v: &Value) -> Value {
         Value::parse(&v.render()).expect("rendered documents parse")
+    }
+
+    #[test]
+    fn pathological_nesting_is_a_typed_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(matches!(Value::parse(&deep), Err(WireError::Syntax(_, _))));
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(matches!(
+            Value::parse(&deep_obj),
+            Err(WireError::Syntax(_, _))
+        ));
+        // Realistic nesting stays well inside the bound.
+        let mut v = Value::u64(1);
+        for _ in 0..64 {
+            v = Value::arr([v]);
+        }
+        assert_eq!(roundtrip(&v), v);
     }
 
     #[test]

@@ -10,7 +10,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every mapping space implements the `Dataflow` trait; the registry
     // holds the paper's six (plus anything you register).
     let conv3 = LayerProblem::new(LayerShape::conv(384, 256, 15, 3, 1)?, 16);
-    let em = EnergyModel::table_iv();
+    // TableIv is the canonical CostModel — swap in any registered model
+    // (see `CostModelRegistry`) to price the same comparison differently.
+    let em = TableIv;
     let reg = DataflowRegistry::builtin();
     println!("AlexNet CONV3 on a 256-PE spatial architecture, batch 16:");
     println!(
@@ -25,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!(
                     "{:>4}  {:>12.3}  {:>10.5}  {:>10}",
                     df.id(),
-                    best.profile.total_energy(&em) / macs,
+                    em.energy_of(&best.profile) / macs,
                     best.profile.dram_accesses() / macs,
                     best.active_pes
                 );

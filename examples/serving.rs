@@ -11,6 +11,10 @@
 //! 3. **One traced request** — a single inference with its
 //!    queue/compile/execute latency breakdown, verified bit-exact
 //!    against the pure-software reference.
+//! 4. **Persisted plans** — compile once, serve cold with zero searches.
+//! 5. **A non-default cost model** — a registered `lp-28nm` model prices
+//!    search/planning, persists by fingerprint, serves cold, and never
+//!    cross-hits Table IV-priced cache entries.
 //!
 //! Run with: `cargo run --release --example serving [--smoke]`
 //! (`--smoke` skips the heavier sweeps for CI.)
@@ -137,5 +141,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          1 request served bit-exact with 0 searches"
     );
     std::fs::remove_file(&cache_path).ok();
+
+    // ---- 5. Non-default cost model end to end (CI runs this under --smoke) --
+    // A registered custom cost model prices the search, travels in the
+    // persisted plans as a fingerprint, and serves cold — while plans
+    // with distinct cost fingerprints never cross-hit the cache.
+    let lp_path = dir.join("serving-lp28.plans");
+    let lp28: std::sync::Arc<dyn CostModel> = std::sync::Arc::new(
+        StaticCostModel::new("lp-28nm", EnergyModel::new(120.0, 5.0, 2.0, 1.0, 1.0)?)
+            .with_bandwidth(Level::Dram, 2.0)?,
+    );
+    let net = serving::synthetic_net();
+    let golden_net = net.clone();
+    let shape = net.stages()[0].shape;
+    let warm = Engine::builder()
+        .hardware(ServeConfig::new().hw)
+        .arrays(2)
+        .cost_model(std::sync::Arc::clone(&lp28))
+        .build()?;
+    warm.compile(&net, 1)?;
+    let saved = warm.save_plans(&lp_path)?;
+
+    let cold = Engine::builder()
+        .hardware(ServeConfig::new().hw)
+        .arrays(2)
+        .register_cost_model(std::sync::Arc::clone(&lp28))
+        .cost_model_id(CostModelId::new("lp-28nm"))
+        .build()?;
+    assert_eq!(cold.load_plans(&lp_path)?, saved);
+    let server = cold.serve_with(
+        golden_net.clone(),
+        ServeOptions {
+            workers: 1,
+            policy: BatchPolicy::unbatched(),
+            queue_capacity: 8,
+        },
+    )?;
+    let input = synth::ifmap(&shape, 1, 13);
+    let response = server.submit(input.clone())?.wait()?;
+    assert_eq!(
+        response.output,
+        golden_net.forward(1, &input),
+        "custom-cost-model serving must stay bit-exact"
+    );
+    server.shutdown();
+    assert_eq!(
+        cold.cache_stats().misses,
+        0,
+        "cold serving under the registered cost model must not search"
+    );
+
+    // Distinct fingerprints never cross-hit: a Table IV engine loading
+    // the lp-28nm plans (with the model registered so they decode) must
+    // re-search rather than reuse foreign-priced plans.
+    let table = Engine::builder()
+        .hardware(ServeConfig::new().hw)
+        .arrays(2)
+        .register_cost_model(std::sync::Arc::clone(&lp28))
+        .build()?;
+    assert_eq!(table.load_plans(&lp_path)?, saved);
+    table.compile(&golden_net, 1)?;
+    assert_eq!(
+        table.cache_stats().hits,
+        0,
+        "plans priced under a different cost fingerprint must not cross-hit"
+    );
+    assert!(table.cache_stats().misses > 0);
+    println!(
+        "cost-model smoke: {saved} lp-28nm plans persisted + served cold with 0 searches; \
+         Table IV engine re-searched {} stages instead of cross-hitting",
+        table.cache_stats().misses
+    );
+    std::fs::remove_file(&lp_path).ok();
     Ok(())
 }

@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = LayerShape::conv(16, 8, 19, 3, 1)?;
     let weights = synth::filters(&shape, 7);
     let bias = synth::biases(&shape, 8);
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
 
     println!(
         "CONV layer {}x{} filters, sweeping ifmap sparsity:",

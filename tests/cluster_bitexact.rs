@@ -122,7 +122,6 @@ fn alexnet_conv1_over_four_arrays_is_bit_exact() {
 fn planned_delay_is_monotone_in_arrays() {
     use eyeriss::dataflow::search::Objective;
     let conv3 = LayerShape::conv(384, 256, 15, 3, 1).unwrap();
-    let em = EnergyModel::table_iv();
     let hw = AcceleratorConfig::eyeriss_chip();
     let mut last = f64::INFINITY;
     for arrays in [1usize, 2, 4, 8] {
@@ -131,7 +130,7 @@ fn planned_delay_is_monotone_in_arrays() {
             &LayerProblem::new(conv3, 16),
             arrays,
             &hw,
-            &em,
+            &TableIv,
             &SharedDram::scaled(arrays),
             Objective::EnergyDelayProduct,
         )

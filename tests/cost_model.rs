@@ -1,0 +1,206 @@
+//! Acceptance tests of the open cost layer:
+//!
+//! 1. Proptests that [`CostReport`] totals under the canonical
+//!    [`TableIv`] model are **bit-identical** to the pre-redesign
+//!    per-crate pricing paths (`LayerAccessProfile::total_energy`,
+//!    `energy_at_level`, `energy_of_type` under
+//!    `EnergyModel::table_iv()`), on arbitrary profiles and on real
+//!    searched mappings.
+//! 2. Plan-cache keys carry the pricing model's fingerprint: compilers
+//!    under models with distinct fingerprints never share cache entries.
+
+use eyeriss::arch::{AccessCounts, LayerAccessProfile};
+use eyeriss::prelude::*;
+use eyeriss::Objective;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_counts() -> impl Strategy<Value = AccessCounts> {
+    let f = 0.0..1e12f64;
+    (
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f,
+    )
+        .prop_map(|(dr, dw, br, bw, hops, rr, rw)| AccessCounts {
+            dram_reads: dr,
+            dram_writes: dw,
+            buffer_reads: br,
+            buffer_writes: bw,
+            array_hops: hops,
+            rf_reads: rr,
+            rf_writes: rw,
+        })
+}
+
+fn arb_profile() -> impl Strategy<Value = LayerAccessProfile> {
+    (arb_counts(), arb_counts(), arb_counts(), 0.0..1e12f64).prop_map(
+        |(ifmap, filter, psum, alu)| {
+            let mut p = LayerAccessProfile::new();
+            p.ifmap = ifmap;
+            p.filter = filter;
+            p.psum = psum;
+            p.alu_ops = alu;
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On arbitrary profiles, every energy figure the unified report
+    /// produces under TableIv equals the old EnergyModel path bit for
+    /// bit — totals, per-level stacks, per-data-type stacks.
+    #[test]
+    fn table_iv_reports_are_bit_identical_to_the_energy_model_path(
+        profile in arb_profile(),
+        active_pes in 1usize..1024,
+    ) {
+        let em = EnergyModel::table_iv();
+        let report = TableIv.report(&profile, active_pes);
+        prop_assert_eq!(
+            report.total_energy.to_bits(),
+            profile.total_energy(&em).to_bits(),
+            "total energy"
+        );
+        prop_assert_eq!(
+            TableIv.energy_of(&profile).to_bits(),
+            profile.total_energy(&em).to_bits(),
+            "energy_of"
+        );
+        for level in Level::ALL {
+            prop_assert_eq!(
+                report.energy_at(level).to_bits(),
+                profile.energy_at_level(&em, level).to_bits(),
+                "level {}", level
+            );
+        }
+        for ty in DataType::ALL {
+            prop_assert_eq!(
+                report.energy_of(ty).to_bits(),
+                profile.energy_of_type(&em, ty).to_bits(),
+                "type {}", ty.label()
+            );
+        }
+        // The canonical model is latency-transparent: the analytic delay
+        // is exactly the Section VII-B compute proxy.
+        prop_assert_eq!(report.delay, profile.alu_ops / active_pes as f64);
+    }
+
+    /// On real searched mappings (all six dataflows), the trait-priced
+    /// winner and its report agree bit-exactly with the old path, and
+    /// the cluster planner's recorded energy equals the old per-tile
+    /// summation.
+    #[test]
+    fn searched_mappings_price_identically(
+        m in 2usize..10,
+        c in 1usize..5,
+        n in 1usize..4,
+    ) {
+        let em = EnergyModel::table_iv();
+        let shape = LayerShape::conv(m, c, 13, 3, 2).expect("valid");
+        let problem = LayerProblem::new(shape, n);
+        for df in DataflowRegistry::builtin().iter() {
+            let hw = df.comparison_hardware(256);
+            let Some(best) = optimize(df.as_ref(), &problem, &hw, &TableIv, Objective::Energy)
+            else {
+                continue;
+            };
+            prop_assert_eq!(
+                TableIv.energy_of(&best.profile).to_bits(),
+                best.profile.total_energy(&em).to_bits(),
+                "{} winner", df.id()
+            );
+            prop_assert_eq!(
+                best.profile.total_energy(&em).to_bits(),
+                TableIv.report(&best.profile, best.active_pes).total_energy.to_bits(),
+                "{} report", df.id()
+            );
+        }
+        // Cluster planning: the plan's energy is the old per-tile sum.
+        let hw = AcceleratorConfig::eyeriss_chip();
+        if let Some(plan) = plan_layer(
+            registry::builtin(DataflowKind::RowStationary),
+            &problem,
+            2,
+            &hw,
+            &TableIv,
+            &SharedDram::scaled(2),
+            Objective::EnergyDelayProduct,
+        ) {
+            let old_sum: f64 = plan
+                .per_array
+                .iter()
+                .map(|a| {
+                    a.tiles
+                        .iter()
+                        .map(|t| t.mapping.profile.total_energy(&em))
+                        .sum::<f64>()
+                })
+                .sum();
+            prop_assert_eq!(plan.energy.to_bits(), old_sum.to_bits());
+            prop_assert_eq!(plan.cost, TableIv.descriptor());
+        }
+    }
+}
+
+/// Compilers priced under models with distinct fingerprints — even two
+/// sharing one label — never share plan-cache entries; equal
+/// fingerprints under one label do.
+#[test]
+fn distinct_fingerprints_never_cross_hit_the_cache() {
+    let hw = AcceleratorConfig {
+        grid: GridDims::new(6, 8),
+        rf_bytes_per_pe: 512.0,
+        buffer_bytes: 32.0 * 1024.0,
+    };
+    let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+    let cache = Arc::new(PlanCache::new());
+
+    let a: Arc<dyn CostModel> = Arc::new(StaticCostModel::new("scenario", EnergyModel::table_iv()));
+    let b: Arc<dyn CostModel> = Arc::new(StaticCostModel::new(
+        "scenario",
+        EnergyModel::new(400.0, 6.0, 2.0, 1.0, 1.0).unwrap(),
+    ));
+    let a_again: Arc<dyn CostModel> =
+        Arc::new(StaticCostModel::new("scenario", EnergyModel::table_iv()));
+
+    for cost in [&a, &b] {
+        PlanCompiler::new(2, hw)
+            .with_cost_model(Arc::clone(cost))
+            .with_cache(Arc::clone(&cache))
+            .compile_layer(&shape, 2)
+            .unwrap();
+    }
+    assert_eq!(cache.len(), 2, "distinct fingerprints → distinct entries");
+    assert_eq!(cache.stats().hits, 0, "no cross-hits");
+
+    PlanCompiler::new(2, hw)
+        .with_cost_model(a_again)
+        .with_cache(Arc::clone(&cache))
+        .compile_layer(&shape, 2)
+        .unwrap();
+    assert_eq!(cache.len(), 2, "equal fingerprint re-uses the entry");
+    assert_eq!(cache.stats().hits, 1, "identical model hits");
+}
+
+/// The typed construction error of the paper's hierarchy invariant
+/// (Section II): callers get a `Result`, never a panic.
+#[test]
+fn unordered_cost_tables_are_typed_errors() {
+    assert!(matches!(
+        EnergyModel::new(1.0, 6.0, 2.0, 1.0, 1.0),
+        Err(CostModelError::UnorderedHierarchy { .. })
+    ));
+    assert!(matches!(
+        EnergyModel::new(200.0, 6.0, 2.0, -1.0, 1.0),
+        Err(CostModelError::InvalidCost { .. })
+    ));
+    let em = EnergyModel::new(200.0, 6.0, 2.0, 1.0, 1.0).unwrap();
+    assert_eq!(em, EnergyModel::table_iv());
+}

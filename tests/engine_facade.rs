@@ -5,6 +5,10 @@
 //!    cluster planner, and selectable on an [`Engine`] — no core changes.
 //! 2. A cold engine reloading persisted plans serves bit-exact outputs
 //!    with **zero** mapping searches.
+//! 3. A custom *cost model* registered through the
+//!    [`CostModelRegistry`] prices search, cluster planning, plan
+//!    persistence (its fingerprint travels in the wire format) and
+//!    serving — again with no core changes and no downcasts.
 
 use eyeriss::prelude::*;
 use eyeriss::Objective;
@@ -70,7 +74,7 @@ fn seventh_dataflow_searches_through_the_registry() {
     assert_eq!(reg.len(), 7);
 
     let toy = reg.resolve(TOY).unwrap();
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     let hw = toy.comparison_hardware(256);
     let problem = LayerProblem::new(LayerShape::conv(64, 8, 13, 3, 2).unwrap(), 2);
 
@@ -184,6 +188,145 @@ fn engine_builds_with_a_registered_seventh_dataflow() {
     assert_eq!(by_instance.load_plans(&path).unwrap(), 1);
     assert_eq!(*by_instance.plan(&problem).unwrap(), *plan);
     assert_eq!(by_instance.cache_stats().misses, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A latency-weighted 28 nm-ish scenario: cheaper DRAM energy, but a
+/// finite DRAM channel that penalizes DRAM-streaming mappings under EDP.
+fn lp28() -> StaticCostModel {
+    StaticCostModel::new(
+        "lp-28nm",
+        EnergyModel::new(120.0, 5.0, 2.0, 1.0, 1.0).unwrap(),
+    )
+    .with_bandwidth(Level::Dram, 2.0)
+    .unwrap()
+}
+
+#[test]
+fn registered_cost_model_prices_search_plan_persist_and_serve() {
+    // The cost-layer acceptance case, symmetric with the seventh
+    // dataflow: a custom model registered through the registry drives
+    // mapping search, cluster planning, persistence and serving without
+    // any `match` on a concrete model type anywhere in the core crates.
+    let model = lp28();
+    let model_arc: Arc<dyn CostModel> = Arc::new(model);
+
+    // 1. The unmodified optimizer prices in the custom model.
+    let rs = registry::builtin(DataflowKind::RowStationary);
+    let hw = rs.comparison_hardware(256);
+    let problem = LayerProblem::new(LayerShape::conv(64, 8, 13, 3, 2).unwrap(), 2);
+    let best = optimize(rs, &problem, &hw, model_arc.as_ref(), Objective::Energy).unwrap();
+    assert_eq!(
+        model.energy_of(&best.profile).to_bits(),
+        best.profile
+            .total_energy(&EnergyModel::new(120.0, 5.0, 2.0, 1.0, 1.0).unwrap())
+            .to_bits(),
+        "custom pricing is the model's own table"
+    );
+
+    // 2. The unmodified cluster planner records the pricer's descriptor.
+    let plan = plan_layer(
+        rs,
+        &problem,
+        2,
+        &hw,
+        model_arc.as_ref(),
+        &SharedDram::scaled(2),
+        Objective::EnergyDelayProduct,
+    )
+    .unwrap();
+    assert_eq!(plan.cost, model.descriptor());
+
+    // 3. An engine built on the registered model plans and persists it.
+    let dir = std::env::temp_dir().join("eyeriss-engine-facade");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lp28.plans");
+    let hw_small = AcceleratorConfig {
+        grid: GridDims::new(6, 8),
+        rf_bytes_per_pe: 512.0,
+        buffer_bytes: 32.0 * 1024.0,
+    };
+    let net = eyeriss::nn::network::NetworkBuilder::new(3, 19)
+        .conv("C1", 8, 3, 2)
+        .unwrap()
+        .pool("P1", 3, 2)
+        .unwrap()
+        .fully_connected("FC", 10)
+        .unwrap()
+        .build(7);
+    let golden = net.clone();
+    let shape = net.stages()[0].shape;
+    let warm = Engine::builder()
+        .hardware(hw_small)
+        .arrays(2)
+        .cost_model(Arc::clone(&model_arc))
+        .build()
+        .unwrap();
+    assert_eq!(warm.cost_model().id().label(), "lp-28nm");
+    warm.compile(&net, 1).unwrap();
+    assert_eq!(warm.save_plans(&path).unwrap(), 2);
+
+    // 4. A cold engine that registers the model reloads and serves with
+    //    zero searches, bit-exactly.
+    let cold = Engine::builder()
+        .hardware(hw_small)
+        .arrays(2)
+        .register_cost_model(Arc::clone(&model_arc))
+        .cost_model_id(CostModelId::new("lp-28nm"))
+        .build()
+        .unwrap();
+    assert_eq!(cold.load_plans(&path).unwrap(), 2);
+    let server = cold
+        .serve_with(
+            net,
+            ServeOptions {
+                workers: 1,
+                policy: BatchPolicy::unbatched(),
+                queue_capacity: 8,
+            },
+        )
+        .unwrap();
+    let input = synth::ifmap(&shape, 1, 11);
+    let response = server.submit(input.clone()).unwrap().wait().unwrap();
+    assert_eq!(response.output, golden.forward(1, &input));
+    server.shutdown();
+    assert_eq!(
+        cold.cache_stats().misses,
+        0,
+        "cold serving under the custom model must not search"
+    );
+
+    // 5. An engine *without* the registration refuses the persisted
+    //    plans with a typed error; an engine with a same-named model of
+    //    different numbers loads them but never cross-hits.
+    let ignorant = Engine::builder()
+        .hardware(hw_small)
+        .arrays(2)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        ignorant.load_plans(&path),
+        Err(EngineError::Serve(_))
+    ));
+    let drifted_model: Arc<dyn CostModel> = Arc::new(StaticCostModel::new(
+        "lp-28nm",
+        EnergyModel::new(240.0, 5.0, 2.0, 1.0, 1.0).unwrap(),
+    ));
+    let drifted = Engine::builder()
+        .hardware(hw_small)
+        .arrays(2)
+        .cost_model(drifted_model)
+        .build()
+        .unwrap();
+    assert_eq!(drifted.load_plans(&path).unwrap(), 2);
+    drifted
+        .plan(&LayerProblem::new(shape, 1))
+        .expect("replans under its own fingerprint");
+    assert_eq!(
+        drifted.cache_stats().misses,
+        1,
+        "distinct fingerprints under one label must re-search, not cross-hit"
+    );
     std::fs::remove_file(&path).ok();
 }
 

@@ -59,14 +59,13 @@ fn exact_counts_agree() {
 #[test]
 fn access_profiles_track_the_analytical_model() {
     let config = AcceleratorConfig::eyeriss_chip();
-    let em = EnergyModel::table_iv();
     for (shape, n) in test_shapes() {
         let stats = simulate(&shape, n, config);
         let model = optimize(
             registry::builtin(DataflowKind::RowStationary),
             &LayerProblem::new(shape, n),
             &config,
-            &em,
+            &TableIv,
             Objective::Energy,
         )
         .expect("feasible")
@@ -119,7 +118,7 @@ fn rf_ratio_matches_chip_measurement() {
     // channel groups) exercise the buffer, as full AlexNet layers do.
     let shape = LayerShape::conv(96, 16, 15, 3, 1).unwrap();
     let stats = simulate(&shape, 1, config);
-    let ratio = stats.rf_to_onchip_rest_ratio(&em);
+    let ratio = stats.rf_to_onchip_rest_ratio(&TableIv);
     // RF must dominate on-chip energy (the full-chip measurement is ~4:1;
     // shrunk layers land in the same regime, not the exact figure).
     assert!(ratio > 1.5, "RF does not dominate: ratio {ratio:.2}");
@@ -129,7 +128,7 @@ fn rf_ratio_matches_chip_measurement() {
         registry::builtin(DataflowKind::RowStationary),
         &LayerProblem::new(shape, 1),
         &config,
-        &em,
+        &TableIv,
         Objective::Energy,
     )
     .expect("feasible")

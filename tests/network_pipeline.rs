@@ -110,7 +110,7 @@ fn network_energy_accumulates_across_layers() {
     let input = synth::ifmap(&net.conv1, 1, 5);
     let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
     let (_, stats) = net.chip_forward(1, &input, &mut chip);
-    let em = EnergyModel::table_iv();
+    let em = TableIv;
     let total: f64 = stats.iter().map(|s| s.energy(&em)).sum();
     let macs: f64 = stats.iter().map(|s| (s.macs + s.skipped_macs) as f64).sum();
     let per_op = total / macs;

@@ -43,7 +43,7 @@ proptest! {
         let problem = LayerProblem::new(shape, n);
         for df in reg.iter() {
             let hw = df.comparison_hardware(256);
-            let Some(best) = optimize(df.as_ref(), &problem, &hw, &em, Objective::Energy) else {
+            let Some(best) = optimize(df.as_ref(), &problem, &hw, &TableIv, Objective::Energy) else {
                 continue;
             };
             let text = df_wire::encode_candidate(&best).render();
@@ -71,8 +71,8 @@ proptest! {
         arrays in 2usize..4,
         seed in 0u64..500,
     ) {
-        let em = EnergyModel::table_iv();
         let reg = DataflowRegistry::builtin();
+        let costs = CostModelRegistry::builtin();
         let hw = small_hw();
         let problem = LayerProblem::new(shape, n);
         let Some(plan) = plan_layer(
@@ -80,7 +80,7 @@ proptest! {
             &problem,
             arrays,
             &hw,
-            &em,
+            &TableIv,
             &SharedDram::scaled(arrays),
             Objective::EnergyDelayProduct,
         ) else {
@@ -90,8 +90,10 @@ proptest! {
         let back = cluster_wire::decode_plan(
             &Value::parse(&text).expect("rendered text parses"),
             &reg,
+            &costs,
         )
         .expect("plan decodes");
+        prop_assert_eq!(back.cost, TableIv.descriptor());
         prop_assert_eq!(&back, &plan);
         prop_assert_eq!(back.total_profile(), plan.total_profile(), "access counts");
         prop_assert_eq!(back.energy.to_bits(), plan.energy.to_bits());
@@ -118,6 +120,7 @@ proptest! {
         seed in 0u64..200,
     ) {
         let reg = DataflowRegistry::builtin();
+        let costs = CostModelRegistry::builtin();
         let net = NetworkBuilder::new(3, 19)
             .conv("C1", m, 3, 2).unwrap()
             .pool("P1", 3, 2).unwrap()
@@ -129,6 +132,7 @@ proptest! {
         let back = persist::decode_compiled(
             &Value::parse(&text).expect("rendered text parses"),
             &reg,
+            &costs,
         )
         .expect("compiled plan decodes");
         prop_assert_eq!(&back, &plan);

@@ -95,7 +95,7 @@ proptest! {
         let rs = registry::builtin(DataflowKind::RowStationary);
         let hw = rs.comparison_hardware(256);
         let problem = LayerProblem::new(shape, n);
-        let Some(best) = optimize(rs, &problem, &hw, &em, Objective::Energy) else {
+        let Some(best) = optimize(rs, &problem, &hw, &TableIv, Objective::Energy) else {
             return Ok(());
         };
         let best_energy = best.profile.total_energy(&em);

@@ -92,6 +92,8 @@ pub mod strategy {
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
     impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+    impl_tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
 
     /// Strategy for a whole primitive type's range (see [`crate::arbitrary::any`]).
     pub struct Any<T> {
