@@ -1,0 +1,49 @@
+//! The perf-regression harness CLI.
+//!
+//! ```text
+//! bench-harness [--quick] [--out PATH]
+//! ```
+//!
+//! Runs the tier-1 performance scenarios (see `eyeriss_bench`) and
+//! writes the versioned JSON baseline — `BENCH_5.json` by default, the
+//! committed baseline of this PR. `--quick` trims iteration counts for
+//! CI smoke jobs.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+    let mode = if quick { "quick" } else { "full" };
+
+    eprintln!("running perf-regression harness ({mode} mode)...");
+    let measurements = eyeriss_bench::run_harness(quick);
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>16}",
+        "scenario", "iters", "mean", "throughput"
+    );
+    for m in &measurements {
+        println!(
+            "{:<22} {:>9} {:>9.3} ms {:>12} {}/s",
+            m.name,
+            m.iters,
+            m.mean.as_secs_f64() * 1e3,
+            m.units_per_sec(),
+            m.unit,
+        );
+    }
+
+    let doc = eyeriss_bench::to_json(mode, &measurements);
+    let mut file = std::fs::File::create(&out_path).expect("create baseline file");
+    file.write_all(doc.render().as_bytes())
+        .expect("write baseline");
+    file.write_all(b"\n").expect("write baseline");
+    eprintln!("wrote {out_path}");
+}

@@ -1,1 +1,306 @@
-//! Criterion benchmark harness (benches implemented last).
+//! Criterion benchmark harness plus the perf-regression harness.
+//!
+//! The `benches/` directory carries the paper-figure microbenchmarks
+//! (criterion-style). This library implements the **regression harness**
+//! behind the `bench-harness` binary: it runs the tier-1 performance
+//! scenarios — single-array simulation (cold and steady-state),
+//! AlexNet/VGG-style layer sweeps, 4-array cluster execution (searched
+//! and planned), and an end-to-end serving sweep — and emits a versioned
+//! `BENCH_<n>.json` baseline so every PR gets a measured trajectory on
+//! the same scenarios.
+//!
+//! Schema (`eyeriss-bench` v1): all times are integer nanoseconds,
+//! throughput is units/second rounded to u64 (`unit` names what is
+//! counted — MACs for simulation scenarios, requests for serving).
+
+use eyeriss::cluster::{plan_layer, Cluster, Partition, SharedDram};
+use eyeriss::prelude::*;
+use eyeriss::serve::{ServeConfig, Server};
+use eyeriss_wire::Value;
+use std::time::{Duration, Instant};
+
+/// One measured scenario.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scenario name (stable across PRs — the regression key).
+    pub name: String,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u32,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// What one throughput unit is (e.g. `"mac"`, `"request"`).
+    pub unit: &'static str,
+    /// Units processed per iteration.
+    pub units_per_iter: u64,
+}
+
+impl Measurement {
+    /// Units per second at the mean iteration time.
+    pub fn units_per_sec(&self) -> u64 {
+        let s = self.mean.as_secs_f64();
+        if s > 0.0 {
+            (self.units_per_iter as f64 / s).round() as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// Times `routine` for `iters` iterations after one warm-up call.
+fn measure(
+    name: &str,
+    iters: u32,
+    unit: &'static str,
+    units_per_iter: u64,
+    mut routine: impl FnMut(),
+) -> Measurement {
+    routine(); // warm-up, untimed
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        routine();
+        samples.push(t0.elapsed());
+    }
+    let total: Duration = samples.iter().sum();
+    Measurement {
+        name: name.to_string(),
+        iters,
+        mean: total / iters.max(1),
+        min: samples.iter().copied().min().unwrap_or_default(),
+        max: samples.iter().copied().max().unwrap_or_default(),
+        unit,
+        units_per_iter,
+    }
+}
+
+/// Shape-preserving shrink of every AlexNet CONV layer that still maps
+/// on the fabricated chip's grid (the tier-1 `alexnet_layer_mappings`
+/// discipline), with its batch.
+fn alexnet_slice() -> Vec<(LayerShape, usize)> {
+    alexnet::conv_layers()
+        .iter()
+        .filter_map(|l| {
+            let s = &l.shape;
+            LayerShape::conv(4, s.c.min(4), s.h.min(31 + s.r - 1), s.r, s.u)
+                .ok()
+                .map(|shape| (shape, 1))
+        })
+        .collect()
+}
+
+/// A VGG-style stack of stride-1 3x3 stages at reduced width/depth.
+fn vgg_stack() -> eyeriss_nn::network::Network {
+    eyeriss_nn::network::NetworkBuilder::new(3, 33)
+        .conv("C1_1", 8, 3, 1)
+        .expect("valid stage")
+        .conv("C1_2", 8, 3, 1)
+        .expect("valid stage")
+        .pool("P1", 3, 2)
+        .expect("valid stage")
+        .conv("C2_1", 12, 3, 1)
+        .expect("valid stage")
+        .build(29)
+}
+
+/// Runs every harness scenario; `quick` trims the iteration counts for
+/// CI smoke jobs (same scenarios, noisier numbers).
+pub fn run_harness(quick: bool) -> Vec<Measurement> {
+    let iters: u32 = if quick { 3 } else { 15 };
+    let serve_iters: u32 = if quick { 3 } else { 10 };
+    let mut out = Vec::new();
+
+    // --- single-array simulation: the sim_chip scenario ----------------
+    let shape = LayerShape::conv(32, 16, 15, 3, 1).unwrap();
+    let input = synth::ifmap(&shape, 1, 1);
+    let weights = synth::filters(&shape, 2);
+    let bias = synth::biases(&shape, 3);
+    let macs = shape.macs(1);
+    out.push(measure("sim_conv3_cold", iters, "mac", macs, || {
+        let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+        std::hint::black_box(chip.run_conv(&shape, 1, &input, &weights, &bias).unwrap());
+    }));
+    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+    out.push(measure("sim_conv3_steady", iters, "mac", macs, || {
+        std::hint::black_box(chip.run_conv(&shape, 1, &input, &weights, &bias).unwrap());
+    }));
+
+    // --- AlexNet slice: every CONV geometry on one reused chip ---------
+    let layers = alexnet_slice();
+    let data: Vec<_> = layers
+        .iter()
+        .map(|(s, n)| {
+            (
+                synth::ifmap(s, *n, 4),
+                synth::filters(s, 5),
+                synth::biases(s, 6),
+            )
+        })
+        .collect();
+    let alex_macs: u64 = layers.iter().map(|(s, n)| s.macs(*n)).sum();
+    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+    out.push(measure(
+        "sim_alexnet_slice",
+        iters,
+        "mac",
+        alex_macs,
+        || {
+            for ((s, n), (i, w, b)) in layers.iter().zip(&data) {
+                std::hint::black_box(chip.run_conv(s, *n, i, w, b).unwrap());
+            }
+        },
+    ));
+
+    // --- VGG-style network through the network runner ------------------
+    let net = vgg_stack();
+    let vin = synth::ifmap(&net.stages()[0].shape, 2, 11);
+    let vgg_macs: u64 = net.stages().iter().map(|s| s.shape.macs(2)).sum();
+    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+    out.push(measure("sim_vgg_stack", iters, "mac", vgg_macs, || {
+        std::hint::black_box(eyeriss_sim::runner::run_network(&mut chip, &net, 2, &vin).unwrap());
+    }));
+
+    // --- 4-array cluster: searched and planned paths -------------------
+    let cshape = LayerShape::conv(16, 8, 31, 5, 2).unwrap();
+    let n = 4usize;
+    let problem = LayerProblem::new(cshape, n);
+    let cin = synth::ifmap(&cshape, n, 1);
+    let cw = synth::filters(&cshape, 2);
+    let cb = synth::biases(&cshape, 3);
+    let cmacs = cshape.macs(n);
+    let cluster =
+        Cluster::new(4, AcceleratorConfig::eyeriss_chip()).shared_dram(SharedDram::scaled(4));
+    out.push(measure("cluster_4x_batch", iters, "mac", cmacs, || {
+        std::hint::black_box(
+            cluster
+                .execute_partition(Partition::Batch, &problem, &cin, &cw, &cb)
+                .unwrap(),
+        );
+    }));
+    let plan = plan_layer(
+        eyeriss::dataflow::registry::builtin(DataflowKind::RowStationary),
+        &problem,
+        4,
+        &AcceleratorConfig::eyeriss_chip(),
+        &TableIv,
+        &SharedDram::scaled(4),
+        Objective::EnergyDelayProduct,
+    )
+    .expect("cluster plan");
+    out.push(measure("cluster_4x_planned", iters, "mac", cmacs, || {
+        std::hint::black_box(cluster.execute(&plan, &problem, &cin, &cw, &cb).unwrap());
+    }));
+
+    // --- serving sweep: end-to-end request latency at batch 1 and 4 ----
+    let net = eyeriss::analysis::experiments::serving::synthetic_net();
+    let in_shape = net.stages()[0].shape;
+    for max_batch in [1usize, 4] {
+        let mut cfg = ServeConfig::new();
+        cfg.policy = BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(1),
+        };
+        let server = Server::start(net.clone(), cfg);
+        server.prewarm().expect("synthetic net plans");
+        // Inputs are synthesized outside the timed routine — the
+        // scenario measures serving latency (submit-side copy included),
+        // not tensor generation.
+        let requests: Vec<_> = (0..max_batch)
+            .map(|i| synth::ifmap(&in_shape, 1, i as u64))
+            .collect();
+        let name = format!("serve_e2e_batch{max_batch}");
+        out.push(measure(
+            &name,
+            serve_iters,
+            "request",
+            max_batch as u64,
+            || {
+                let handles: Vec<_> = requests
+                    .iter()
+                    .map(|input| server.submit(input.clone()).unwrap())
+                    .collect();
+                for handle in handles {
+                    std::hint::black_box(handle.wait().unwrap());
+                }
+            },
+        ));
+        server.shutdown();
+    }
+
+    out
+}
+
+/// Renders measurements as the versioned `eyeriss-bench` JSON document.
+pub fn to_json(mode: &str, measurements: &[Measurement]) -> Value {
+    Value::obj([
+        ("schema", Value::str("eyeriss-bench")),
+        ("v", Value::u64(1)),
+        ("mode", Value::str(mode)),
+        (
+            "scenarios",
+            Value::arr(measurements.iter().map(|m| {
+                Value::obj([
+                    ("name", Value::str(m.name.clone())),
+                    ("iters", Value::u64(m.iters as u64)),
+                    ("mean_ns", Value::u64(m.mean.as_nanos() as u64)),
+                    ("min_ns", Value::u64(m.min.as_nanos() as u64)),
+                    ("max_ns", Value::u64(m.max.as_nanos() as u64)),
+                    ("unit", Value::str(m.unit)),
+                    ("units_per_iter", Value::u64(m.units_per_iter)),
+                    ("units_per_sec", Value::u64(m.units_per_sec())),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_reports_throughput() {
+        let m = measure("probe", 3, "mac", 1_000, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert_eq!(m.iters, 3);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.units_per_sec() > 0);
+    }
+
+    #[test]
+    fn json_schema_roundtrips() {
+        let m = Measurement {
+            name: "x".into(),
+            iters: 2,
+            mean: Duration::from_micros(5),
+            min: Duration::from_micros(4),
+            max: Duration::from_micros(6),
+            unit: "mac",
+            units_per_iter: 10,
+        };
+        let doc = to_json("quick", &[m]);
+        let back = Value::parse(&doc.render()).unwrap();
+        back.expect_schema("eyeriss-bench", 1).unwrap();
+        let scenarios = back.get("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(
+            scenarios[0].get("mean_ns").unwrap().as_u64().unwrap(),
+            5_000
+        );
+        assert_eq!(
+            scenarios[0].get("units_per_sec").unwrap().as_u64().unwrap(),
+            2_000_000
+        );
+    }
+
+    #[test]
+    fn harness_scenario_inputs_are_well_formed() {
+        assert!(!alexnet_slice().is_empty());
+        let net = vgg_stack();
+        assert!(net.stages().len() >= 4);
+    }
+}

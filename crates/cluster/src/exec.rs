@@ -8,12 +8,15 @@
 
 use crate::contention::SharedDram;
 use crate::error::ClusterError;
-use crate::partition::{split, Partition, SubProblem, Tile};
+use crate::partition::{split, Partition, Tile};
 use crate::plan::ClusterPlan;
 use crate::stats::{merge_stats, ClusterStats};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_nn::{reference, Fix16, LayerProblem, LayerShape, Tensor4};
+use eyeriss_sim::passes::RsMapping;
 use eyeriss_sim::{Accelerator, SimStats};
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
 
 /// The result of one cluster-level layer execution.
 #[derive(Debug, Clone)]
@@ -62,6 +65,12 @@ pub struct Cluster {
     shared_dram: SharedDram,
     zero_gating: bool,
     rlc: bool,
+    /// Pooled per-worker execution contexts: one warmed [`Accelerator`]
+    /// (scratch arena + mapping memo) per worker thread, checked out for
+    /// the duration of one layer execution and returned afterwards, so
+    /// back-to-back layers reuse buffers instead of reallocating them.
+    /// Shared across clones (a cloned handle serves the same pool).
+    ctx_pool: Arc<Mutex<Vec<Accelerator>>>,
 }
 
 impl Cluster {
@@ -78,7 +87,25 @@ impl Cluster {
             shared_dram: SharedDram::eyeriss_chip(),
             zero_gating: false,
             rlc: false,
+            ctx_pool: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Builds one array's execution context with this cluster's feature
+    /// flags.
+    fn new_ctx(&self) -> Accelerator {
+        Accelerator::new(self.config)
+            .zero_gating(self.zero_gating)
+            .rlc(self.rlc)
+    }
+
+    /// Checks a pooled context out (or builds one on first use).
+    fn checkout_ctx(&self) -> Accelerator {
+        self.ctx_pool
+            .lock()
+            .expect("context pool poisoned")
+            .pop()
+            .unwrap_or_else(|| self.new_ctx())
     }
 
     /// Overrides the shared DRAM channel model.
@@ -90,12 +117,15 @@ impl Cluster {
     /// Enables zero-gating on every array.
     pub fn zero_gating(mut self, on: bool) -> Self {
         self.zero_gating = on;
+        // Pooled contexts bake the feature flags in; start a fresh pool.
+        self.ctx_pool = Arc::new(Mutex::new(Vec::new()));
         self
     }
 
     /// Enables run-length compression on every array's DRAM traffic.
     pub fn rlc(mut self, on: bool) -> Self {
         self.rlc = on;
+        self.ctx_pool = Arc::new(Mutex::new(Vec::new()));
         self
     }
 
@@ -147,7 +177,11 @@ impl Cluster {
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
         let subs = split(partition, shape, n_batch, self.arrays)?;
-        self.execute_subproblems(partition, shape, n_batch, subs, input, weights, bias)
+        let work: Vec<Vec<(&Tile, Option<RsMapping>)>> = subs
+            .iter()
+            .map(|s| s.tiles.iter().map(|t| (t, None)).collect())
+            .collect();
+        self.execute_work(partition, shape, n_batch, &work, input, weights, bias)
     }
 
     /// Executes one layer problem from a precompiled [`ClusterPlan`] —
@@ -179,51 +213,111 @@ impl Cluster {
                 plan.arrays, self.arrays
             )));
         }
-        let subs = plan.subproblems();
-        validate_coverage(&subs, &problem.shape, problem.batch)?;
-        self.execute_subproblems(
+        validate_coverage(
+            plan.per_array
+                .iter()
+                .flat_map(|a| &a.tiles)
+                .map(|t| &t.tile),
+            &problem.shape,
+            problem.batch,
+        )?;
+        // The plan's winning per-tile mappings execute directly — no
+        // repeat mapping search at request time. Mappings from another
+        // dataflow's space, or compiled against a physically larger grid
+        // (pre-filtered here) or larger scratchpad/buffer capacities
+        // (caught at execution), fall back to this cluster's own
+        // row-stationary search.
+        let work: Vec<Vec<(&Tile, Option<RsMapping>)>> = plan
+            .per_array
+            .iter()
+            .map(|a| {
+                a.tiles
+                    .iter()
+                    .map(|t| {
+                        let mapping = RsMapping::from_params(&t.mapping.params)
+                            .filter(|m| self.mapping_fits(m, &t.tile.shape));
+                        (&t.tile, mapping)
+                    })
+                    .collect()
+            })
+            .collect();
+        self.execute_work(
             plan.partition,
             &problem.shape,
             problem.batch,
-            subs,
+            &work,
             input,
             weights,
             bias,
         )
     }
 
-    /// Runs prepared sub-problems — one thread per array — and
-    /// reassembles psums and statistics. Shared tail of
-    /// [`Cluster::execute_partition`] and [`Cluster::execute`].
+    /// True when a planned mapping fits this cluster's per-array
+    /// resources ([`RsMapping::fits`] — the enumerator's own grid and
+    /// RF feasibility constraints). Guards against executing a plan
+    /// compiled for a physically larger array — the psum interleaving
+    /// in particular is not re-checked at execution, so it must be
+    /// screened here.
+    fn mapping_fits(&self, m: &RsMapping, shape: &LayerShape) -> bool {
+        m.fits(shape, &self.config)
+    }
+
+    /// Runs prepared per-array tile lists — worker threads with pooled
+    /// execution contexts — and reassembles psums and statistics. Shared
+    /// tail of [`Cluster::execute_partition`] and [`Cluster::execute`].
     #[allow(clippy::too_many_arguments)]
-    fn execute_subproblems(
+    fn execute_work(
         &self,
         partition: Partition,
         shape: &LayerShape,
         n_batch: usize,
-        subs: Vec<SubProblem>,
+        work: &[Vec<(&Tile, Option<RsMapping>)>],
         input: &Tensor4<Fix16>,
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
     ) -> Result<ClusterRun, ClusterError> {
-        type TileOut = (Tile, Tensor4<i32>);
-        let per_array: Vec<Result<(Vec<TileOut>, SimStats), ClusterError>> =
-            eyeriss_par::par_map(subs, |sub: SubProblem| {
-                let mut acc = Accelerator::new(self.config)
-                    .zero_gating(self.zero_gating)
-                    .rlc(self.rlc);
-                let mut outs = Vec::with_capacity(sub.tiles.len());
-                let mut stats = SimStats::default();
-                for tile in sub.tiles {
-                    let t_input = tile_input(input, shape, &tile);
-                    let t_weights = tile_weights(weights, shape, &tile);
-                    let t_bias = &bias[tile.m0..tile.m0 + tile.shape.m];
-                    let run = acc.run_conv(&tile.shape, tile.n, &t_input, &t_weights, t_bias)?;
-                    merge_stats(&mut stats, &run.stats);
-                    outs.push((tile, run.psums));
-                }
-                Ok((outs, stats))
-            });
+        type TileOut<'t> = (&'t Tile, Tensor4<i32>);
+        let per_array: Vec<Result<(Vec<TileOut<'_>>, SimStats), ClusterError>> =
+            eyeriss_par::par_map_slice_with(
+                work,
+                || PooledCtx::checkout(self),
+                |ctx, tiles| {
+                    let acc = ctx.get();
+                    let mut outs = Vec::with_capacity(tiles.len());
+                    let mut stats = SimStats::default();
+                    for &(tile, mapping) in tiles {
+                        let t_input = tile_input(input, shape, tile);
+                        let t_weights = tile_weights(weights, shape, tile);
+                        let t_bias = &bias[tile.m0..tile.m0 + tile.shape.m];
+                        // A planned mapping that proves infeasible on
+                        // *this* cluster's capacities (e.g. a plan
+                        // compiled against a larger RF or buffer) falls
+                        // back to the local search, matching the
+                        // pre-planned-execution behavior for foreign
+                        // plans instead of failing the request.
+                        let planned = mapping.and_then(|m| {
+                            acc.run_conv_planned(
+                                m,
+                                &tile.shape,
+                                tile.n,
+                                &t_input,
+                                &t_weights,
+                                t_bias,
+                            )
+                            .ok()
+                        });
+                        let run = match planned {
+                            Some(run) => run,
+                            None => {
+                                acc.run_conv(&tile.shape, tile.n, &t_input, &t_weights, t_bias)?
+                            }
+                        };
+                        merge_stats(&mut stats, &run.stats);
+                        outs.push((tile, run.psums));
+                    }
+                    Ok((outs, stats))
+                },
+            );
 
         let mut psums = Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]);
         let mut stats = ClusterStats::default();
@@ -231,13 +325,14 @@ impl Cluster {
             let (outs, array_stats) = result?;
             stats.per_array.push(array_stats);
             for (tile, tile_psums) in outs {
+                // Row-contiguous reassembly: one bounds check per kept
+                // row instead of four index multiplications per element.
                 for z in 0..tile.n {
                     for f in 0..tile.shape.m {
                         for y in 0..tile.keep_y {
-                            for x in 0..tile.keep_x {
-                                psums[(tile.img0 + z, tile.m0 + f, tile.y0 + y, tile.x0 + x)] =
-                                    tile_psums[(z, f, y, x)];
-                            }
+                            let dst = psums.row_mut(tile.img0 + z, tile.m0 + f, tile.y0 + y);
+                            dst[tile.x0..tile.x0 + tile.keep_x]
+                                .copy_from_slice(&tile_psums.row(z, f, y)[..tile.keep_x]);
                         }
                     }
                 }
@@ -257,39 +352,82 @@ impl Cluster {
     }
 }
 
+/// A pooled execution context checked out of a [`Cluster`]'s pool for
+/// the duration of one worker's run; returned on drop so the next layer
+/// reuses its scratch arena and mapping memo.
+struct PooledCtx<'a> {
+    pool: &'a Mutex<Vec<Accelerator>>,
+    acc: Option<Accelerator>,
+}
+
+impl<'a> PooledCtx<'a> {
+    fn checkout(cluster: &'a Cluster) -> Self {
+        PooledCtx {
+            pool: &cluster.ctx_pool,
+            acc: Some(cluster.checkout_ctx()),
+        }
+    }
+
+    fn get(&mut self) -> &mut Accelerator {
+        self.acc.as_mut().expect("context present until drop")
+    }
+}
+
+impl Drop for PooledCtx<'_> {
+    fn drop(&mut self) {
+        if let (Some(acc), Ok(mut pool)) = (self.acc.take(), self.pool.lock()) {
+            pool.push(acc);
+        }
+    }
+}
+
 /// Extracts the ifmap slice a tile needs: its image range and — for
 /// spatial tiles — the halo-exact window starting at ofmap row/column
 /// `(y0, x0)`, zero-padded where a square-padded edge tile reads past the
-/// plane (those outputs are cropped on reassembly).
-fn tile_input(input: &Tensor4<Fix16>, orig: &LayerShape, tile: &Tile) -> Tensor4<Fix16> {
+/// plane (those outputs are cropped on reassembly). A tile covering the
+/// whole input borrows it (no copy at all).
+fn tile_input<'a>(
+    input: &'a Tensor4<Fix16>,
+    orig: &LayerShape,
+    tile: &Tile,
+) -> Cow<'a, Tensor4<Fix16>> {
     let s = &tile.shape;
     if tile.y0 == 0 && tile.x0 == 0 && s.h == orig.h && tile.img0 == 0 && tile.n == input.dims()[0]
     {
-        return input.clone();
+        return Cow::Borrowed(input);
     }
     let (row0, col0) = (tile.y0 * orig.u, tile.x0 * orig.u);
-    Tensor4::from_fn([tile.n, s.c, s.h, s.h], |z, c, i, j| {
-        let (gi, gj) = (row0 + i, col0 + j);
-        if gi < orig.h && gj < orig.h {
-            input[(tile.img0 + z, c, gi, gj)]
-        } else {
-            Fix16::ZERO
+    // Row-contiguous extraction: copy the in-bounds span of each ifmap
+    // row; rows and columns past a square-padded edge stay zero.
+    let mut t = Tensor4::zeros([tile.n, s.c, s.h, s.h]);
+    let cols = s.h.min(orig.h.saturating_sub(col0));
+    if cols == 0 {
+        return Cow::Owned(t);
+    }
+    for z in 0..tile.n {
+        for c in 0..s.c {
+            for i in 0..s.h.min(orig.h.saturating_sub(row0)) {
+                let src = input.row(tile.img0 + z, c, row0 + i);
+                t.row_mut(z, c, i)[..cols].copy_from_slice(&src[col0..col0 + cols]);
+            }
         }
-    })
+    }
+    Cow::Owned(t)
 }
 
-/// Checks that `subs` describe exactly the output volume of `(shape, n)`:
-/// every tile stays in bounds, shares the layer's kernel geometry, and
-/// the kept outputs sum to the full `n·M·E²` volume. Disjointness holds
-/// by construction for plans built from [`crate::partition::split`]; the
-/// volume check catches a plan compiled for a different layer or batch.
-fn validate_coverage(
-    subs: &[SubProblem],
+/// Checks that `tiles` describe exactly the output volume of
+/// `(shape, n)`: every tile stays in bounds, shares the layer's kernel
+/// geometry, and the kept outputs sum to the full `n·M·E²` volume.
+/// Disjointness holds by construction for plans built from
+/// [`crate::partition::split`]; the volume check catches a plan compiled
+/// for a different layer or batch.
+fn validate_coverage<'t>(
+    tiles: impl Iterator<Item = &'t Tile>,
     shape: &LayerShape,
     n: usize,
 ) -> Result<(), ClusterError> {
     let mut kept: u64 = 0;
-    for tile in subs.iter().flat_map(|s| &s.tiles) {
+    for tile in tiles {
         let in_bounds = tile.img0 + tile.n <= n
             && tile.m0 + tile.shape.m <= shape.m
             && tile.y0 + tile.keep_y <= shape.e
@@ -314,15 +452,24 @@ fn validate_coverage(
     Ok(())
 }
 
-/// Extracts the filter-bank slice `m0..m0 + shape.m` a tile needs.
-fn tile_weights(weights: &Tensor4<Fix16>, orig: &LayerShape, tile: &Tile) -> Tensor4<Fix16> {
+/// Extracts the filter-bank slice `m0..m0 + shape.m` a tile needs; a
+/// tile keeping the full bank borrows it.
+fn tile_weights<'a>(
+    weights: &'a Tensor4<Fix16>,
+    orig: &LayerShape,
+    tile: &Tile,
+) -> Cow<'a, Tensor4<Fix16>> {
     if tile.m0 == 0 && tile.shape.m == orig.m {
-        return weights.clone();
+        return Cow::Borrowed(weights);
     }
     let s = &tile.shape;
-    Tensor4::from_fn([s.m, s.c, s.r, s.r], |f, c, i, j| {
-        weights[(tile.m0 + f, c, i, j)]
-    })
+    // Filter banks slice along the outermost dimension only: each
+    // filter's `[C][R][R]` volume is one contiguous copy.
+    let mut t = Tensor4::zeros([s.m, s.c, s.r, s.r]);
+    for f in 0..s.m {
+        t.image_mut(f).copy_from_slice(weights.image(tile.m0 + f));
+    }
+    Cow::Owned(t)
 }
 
 #[cfg(test)]
@@ -521,6 +668,78 @@ mod tests {
             assert_eq!(run.psums, golden, "planned run diverged (seed {seed})");
             assert_eq!(run.partition, plan.partition);
         }
+    }
+
+    #[test]
+    fn plan_from_larger_capacity_config_falls_back_to_local_search() {
+        use crate::plan::plan_layer;
+        use eyeriss_arch::cost::TableIv;
+        use eyeriss_dataflow::registry::builtin;
+        use eyeriss_dataflow::search::Objective;
+        use eyeriss_dataflow::DataflowKind;
+
+        let shape = LayerShape::conv(8, 4, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let mut plan = plan_layer(
+            builtin(DataflowKind::RowStationary),
+            &problem,
+            2,
+            &small_config(),
+            &TableIv,
+            &SharedDram::scaled(2),
+            Objective::Energy,
+        )
+        .unwrap();
+        // Model a plan compiled against a chip with far larger
+        // scratchpads: overwrite one tile's winning mapping with an RF
+        // interleaving this cluster cannot hold (p·q·R + q·n·R + p·n
+        // far beyond the 256-word RF). Execution must screen it and
+        // fall back to the local search instead of failing the request
+        // or silently running an infeasible mapping.
+        let tampered = &mut plan.per_array[0].tiles[0];
+        tampered.mapping.params = eyeriss_dataflow::candidate::MappingParams::RowStationary {
+            n: tampered.tile.n,
+            p: 64,
+            q: tampered.tile.shape.c,
+            e: 1,
+            r: 1,
+            t: 1,
+            filter_resident: true,
+        };
+        let cluster = Cluster::new(2, small_config());
+        // Self-validating precondition: the tampered mapping really is
+        // screened on this chip.
+        let screened = plan
+            .per_array
+            .iter()
+            .flat_map(|a| &a.tiles)
+            .filter(|t| {
+                RsMapping::from_params(&t.mapping.params)
+                    .is_some_and(|m| !cluster.mapping_fits(&m, &t.tile.shape))
+            })
+            .count();
+        assert_eq!(screened, 1, "fixture must exceed the small RF");
+
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let run = cluster
+            .execute(&plan, &problem, &input, &weights, &bias)
+            .unwrap();
+        let golden = reference::conv_accumulate(&shape, 4, &input, &weights, &bias);
+        assert_eq!(run.psums, golden, "fallback execution diverged");
+        // The fallback is observable: screened mappings re-search with
+        // the local configuration, which is exactly what the unplanned
+        // path does for the same partition — the per-array measurements
+        // must therefore coincide (they would not under the big-RF
+        // mappings, which interleave more work per PE).
+        let unplanned = cluster
+            .execute_partition(plan.partition, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(
+            run.stats.per_array, unplanned.stats.per_array,
+            "fallback did not take the local-search path"
+        );
     }
 
     #[test]

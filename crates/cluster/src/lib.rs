@@ -54,5 +54,5 @@ pub use contention::SharedDram;
 pub use error::ClusterError;
 pub use exec::{Cluster, ClusterRun};
 pub use partition::{Partition, SubProblem, Tile};
-pub use plan::{plan_layer, plan_partition, ArrayPlan, ClusterPlan, TilePlan};
+pub use plan::{plan_layer, plan_partition, ArrayPlan, ClusterPlan, SubProblemView, TilePlan};
 pub use stats::ClusterStats;

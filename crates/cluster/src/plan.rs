@@ -13,7 +13,7 @@
 //! space, not just the builtin six.
 
 use crate::contention::SharedDram;
-use crate::partition::{enumerate, split, Partition, SubProblem, Tile};
+use crate::partition::{enumerate, split, Partition, Tile};
 use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::cost::{CostDescriptor, CostModel, CostReport};
@@ -131,19 +131,26 @@ impl ClusterPlan {
         self.dram_delay >= self.delay
     }
 
-    /// Reconstructs the executor sub-problems this plan describes (each
-    /// array's tiles, in array order), so a runtime can execute a cached
-    /// plan via [`crate::Cluster::execute`] without re-partitioning
-    /// or re-searching.
-    pub fn subproblems(&self) -> Vec<SubProblem> {
-        self.per_array
-            .iter()
-            .map(|a| SubProblem {
-                array_id: a.array_id,
-                tiles: a.tiles.iter().map(|t| t.tile.clone()).collect(),
-            })
-            .collect()
+    /// The executor sub-problems this plan describes (each array's
+    /// planned tiles, in array order), borrowed straight from the plan —
+    /// no tile clones — so a runtime can execute a cached plan via
+    /// [`crate::Cluster::execute`] without re-partitioning or
+    /// re-searching.
+    pub fn subproblems(&self) -> impl Iterator<Item = SubProblemView<'_>> {
+        self.per_array.iter().map(|a| SubProblemView {
+            array_id: a.array_id,
+            tiles: &a.tiles,
+        })
     }
+}
+
+/// Borrowed view of one array's planned work ([`ClusterPlan::subproblems`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubProblemView<'a> {
+    /// Which array runs these tiles.
+    pub array_id: usize,
+    /// The planned tiles, executed sequentially on that array.
+    pub tiles: &'a [TilePlan],
 }
 
 /// Sums the access profiles of every tile across `per_array`.

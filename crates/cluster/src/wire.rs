@@ -211,7 +211,10 @@ mod tests {
         assert_eq!(back, plan);
         assert_eq!(back.energy.to_bits(), plan.energy.to_bits());
         assert_eq!(back.delay.to_bits(), plan.delay.to_bits());
-        assert_eq!(back.subproblems(), plan.subproblems());
+        assert_eq!(
+            back.subproblems().collect::<Vec<_>>(),
+            plan.subproblems().collect::<Vec<_>>()
+        );
         assert_eq!(
             back.total_profile(),
             plan.total_profile(),

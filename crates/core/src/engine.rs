@@ -280,6 +280,7 @@ impl EngineBuilder {
             cost,
             compiler,
             cluster,
+            sim_pool: std::sync::Mutex::new(Vec::new()),
         })
     }
 }
@@ -297,6 +298,10 @@ pub struct Engine {
     cost: Arc<dyn CostModel>,
     compiler: PlanCompiler,
     cluster: Cluster,
+    /// Pooled single-array simulation contexts for [`Engine::simulate`]:
+    /// checked out per call, returned afterwards, so back-to-back
+    /// simulations reuse one scratch arena and mapping memo.
+    sim_pool: std::sync::Mutex<Vec<Accelerator>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -473,8 +478,17 @@ impl Engine {
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
     ) -> Result<SimRun, EngineError> {
-        let mut chip = Accelerator::new(self.hw);
-        Ok(chip.run_conv(&problem.shape, problem.batch, input, weights, bias)?)
+        // Reuse a pooled chip: repeated simulations share one scratch
+        // arena and mapping memo instead of reallocating per call.
+        let mut chip = self
+            .sim_pool
+            .lock()
+            .expect("sim pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Accelerator::new(self.hw));
+        let run = chip.run_conv(&problem.shape, problem.batch, input, weights, bias);
+        self.sim_pool.lock().expect("sim pool poisoned").push(chip);
+        Ok(run?)
     }
 
     // ----- tier 2: cluster execution ---------------------------------------

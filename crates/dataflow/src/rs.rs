@@ -44,6 +44,22 @@ use eyeriss_arch::access::LayerAccessProfile;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_nn::{LayerProblem, LayerShape};
 
+/// RF words one PE needs to interleave `p` filters, `q` channels and
+/// `n` images of `shape` (the first-phase folding bound of Section V-B:
+/// stationary filter rows + the ifmap sliding window + psum
+/// accumulators; FC rows are single-use, so images stream through one
+/// row-buffer). The single source of truth for row-stationary RF
+/// feasibility — the enumerator prunes with it and executors screen
+/// foreign mappings with it.
+pub fn rf_words_needed(shape: &LayerShape, n: usize, p: usize, q: usize) -> usize {
+    let ifmap_window = if shape.is_fc_shaped() {
+        q * shape.r
+    } else {
+        q * n * shape.r
+    };
+    p * q * shape.r + ifmap_window + p * n
+}
+
 /// The row-stationary mapping space.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RowStationaryModel;
@@ -82,33 +98,30 @@ impl RowStationaryModel {
         }
 
         let mut out = Vec::new();
+        // The inner knob lists do not depend on the outer loop variables
+        // (only `t`'s cap involves `e`), so each is enumerated once
+        // instead of once per enclosing iteration.
+        let r_list = factor_candidates(c_dim, ah / r_filt);
+        let p_list = factor_candidates(m_dim, 64);
+        let q_list = factor_candidates(c_dim, c_dim);
+        let n_list = factor_candidates(n_batch, n_batch);
         for &e in &factor_candidates(e_dim, aw) {
             let strips = ceil_div(e_dim, e);
             let rows_strip = shape.ifmap_rows_for_strip(e.min(e_dim));
-            for &r in &factor_candidates(c_dim, ah / r_filt) {
+            for &r in &r_list {
                 for &t in &factor_candidates(m_dim, aw / e) {
-                    for &p in &factor_candidates(m_dim, 64) {
+                    for &p in &p_list {
                         if p * t > m_dim && t > 1 {
                             continue;
                         }
-                        for &q in &factor_candidates(c_dim, c_dim) {
+                        for &q in &q_list {
                             if q * r > c_dim && r > 1 {
                                 continue;
                             }
-                            for &n in &factor_candidates(n_batch, n_batch) {
-                                // First-phase folding bounded by the RF.
-                                // CONV keeps an n-deep sliding ifmap window
-                                // per channel; FC rows are single-use (E=1,
-                                // no window overlap), so images stream
-                                // through one row-buffer and only their
-                                // psum registers persist.
-                                let ifmap_window = if shape.is_fc_shaped() {
-                                    q * r_filt
-                                } else {
-                                    q * n * r_filt
-                                };
-                                let rf_need = p * q * r_filt + ifmap_window + p * n;
-                                if rf_need > rf_words {
+                            for &n in &n_list {
+                                // First-phase folding bounded by the RF
+                                // (see [`rf_words_needed`]).
+                                if rf_words_needed(shape, n, p, q) > rf_words {
                                     continue;
                                 }
                                 for filter_resident in [false, true] {

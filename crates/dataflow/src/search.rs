@@ -133,42 +133,60 @@ pub fn optimize(
         objective.score(energy, delay)
     };
     // The exhaustive scan is the hot path of every sweep experiment:
-    // validate and score candidates across all cores, keeping the
-    // selection itself sequential (it is a cheap fold). Small spaces stay
+    // validate and score candidates in place across all cores — the
+    // borrowing map returns one `f64` per candidate (`NAN` marks an
+    // invalid profile), so no candidate is ever moved or cloned during
+    // the scan. Selection stays sequential (a cheap index fold); only
+    // the single winner leaves the enumeration buffer. Small spaces stay
     // sequential — thread spawn would dominate.
-    let screen = |c: MappingCandidate| -> Option<(MappingCandidate, f64)> {
+    let screen = |c: &MappingCandidate| -> f64 {
         if !c.profile.is_valid() {
-            return None;
+            return f64::NAN;
         }
-        let s = score(&c);
-        Some((c, s))
+        score(c)
     };
-    let cands = df.enumerate(problem, hw);
-    let scored: Vec<(MappingCandidate, f64)> = if cands.len() >= PAR_SCAN_THRESHOLD {
-        eyeriss_par::par_map(cands, screen)
-            .into_iter()
-            .flatten()
-            .collect()
+    let mut cands = df.enumerate(problem, hw);
+    let scores: Vec<f64> = if cands.len() >= PAR_SCAN_THRESHOLD {
+        eyeriss_par::par_map_slice(&cands, screen)
     } else {
-        cands.into_iter().filter_map(screen).collect()
+        cands.iter().map(screen).collect()
     };
-    let best = scored.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let best = scores.iter().copied().fold(f64::INFINITY, f64::min);
     if !best.is_finite() {
         return None;
     }
     // Near-ties in the objective are broken toward PE utilization: the
     // paper notes RS's "mapping of 1D convolution primitives efficiently
     // utilizes available PEs", and its Fig. 13 delays presume mappings
-    // that fill the array when doing so costs (almost) nothing.
-    scored
-        .into_iter()
-        .filter(|(_, s)| *s <= best * UTILIZATION_TIE_BAND)
-        .max_by(|(a, sa), (b, sb)| {
-            a.active_pes
-                .cmp(&b.active_pes)
-                .then_with(|| sb.partial_cmp(sa).expect("finite scores"))
-        })
-        .map(|(c, _)| c)
+    // that fill the array when doing so costs (almost) nothing. Among
+    // equally utilized near-ties the later candidate wins (the `max_by`
+    // convention this fold replaces).
+    let mut winner: Option<usize> = None;
+    let cut = best * UTILIZATION_TIE_BAND;
+    for (i, &s) in scores.iter().enumerate() {
+        // `partial_cmp` excludes the NaN invalid-candidate markers.
+        if !matches!(
+            s.partial_cmp(&cut),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ) {
+            continue;
+        }
+        winner = match winner {
+            None => Some(i),
+            Some(w) => {
+                let ord = cands[i]
+                    .active_pes
+                    .cmp(&cands[w].active_pes)
+                    .then_with(|| scores[w].partial_cmp(&s).expect("finite scores"));
+                if ord == std::cmp::Ordering::Less {
+                    Some(w)
+                } else {
+                    Some(i)
+                }
+            }
+        };
+    }
+    winner.map(|w| cands.swap_remove(w))
 }
 
 /// Optimizes a whole list of problems in `df`'s space, deduplicating

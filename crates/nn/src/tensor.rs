@@ -129,9 +129,60 @@ impl<T> Tensor4<T> {
     /// Borrows one contiguous innermost row `[d0][d1][d2][..]`.
     #[inline]
     pub fn row(&self, i0: usize, i1: usize, i2: usize) -> &[T] {
+        debug_assert!(
+            i0 < self.dims[0] && i1 < self.dims[1] && i2 < self.dims[2],
+            "row ({i0}, {i1}, {i2}) out of bounds for dims {:?}",
+            self.dims
+        );
         let w = self.dims[3];
         let start = ((i0 * self.dims[1] + i1) * self.dims[2] + i2) * w;
         &self.data[start..start + w]
+    }
+
+    /// Mutably borrows one contiguous innermost row `[d0][d1][d2][..]`.
+    ///
+    /// The stride-flattened counterpart of per-element [`IndexMut`]: hot
+    /// loops fold a whole row with one bounds check instead of four index
+    /// multiplications per element (full index validation stays on in
+    /// debug builds).
+    #[inline]
+    pub fn row_mut(&mut self, i0: usize, i1: usize, i2: usize) -> &mut [T] {
+        debug_assert!(
+            i0 < self.dims[0] && i1 < self.dims[1] && i2 < self.dims[2],
+            "row ({i0}, {i1}, {i2}) out of bounds for dims {:?}",
+            self.dims
+        );
+        let w = self.dims[3];
+        let start = ((i0 * self.dims[1] + i1) * self.dims[2] + i2) * w;
+        &mut self.data[start..start + w]
+    }
+
+    /// Borrows the contiguous `[d1][d2][d3]` volume at outermost index
+    /// `i0` — for an ifmap batch, one whole image. Lets batching code
+    /// stack or unstack per-image tensors with `copy_from_slice` instead
+    /// of element-wise indexing.
+    #[inline]
+    pub fn image(&self, i0: usize) -> &[T] {
+        debug_assert!(
+            i0 < self.dims[0],
+            "image {i0} out of bounds for dims {:?}",
+            self.dims
+        );
+        let plane = self.dims[1] * self.dims[2] * self.dims[3];
+        &self.data[i0 * plane..(i0 + 1) * plane]
+    }
+
+    /// Mutably borrows the contiguous `[d1][d2][d3]` volume at outermost
+    /// index `i0`.
+    #[inline]
+    pub fn image_mut(&mut self, i0: usize) -> &mut [T] {
+        debug_assert!(
+            i0 < self.dims[0],
+            "image {i0} out of bounds for dims {:?}",
+            self.dims
+        );
+        let plane = self.dims[1] * self.dims[2] * self.dims[3];
+        &mut self.data[i0 * plane..(i0 + 1) * plane]
     }
 }
 
@@ -187,6 +238,27 @@ mod tests {
     fn row_is_contiguous() {
         let t = Tensor4::from_fn([1, 2, 3, 4], |_, i1, i2, i3| (i1 * 12 + i2 * 4 + i3) as i32);
         assert_eq!(t.row(0, 1, 2), &[20, 21, 22, 23]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut t: Tensor4<i32> = Tensor4::zeros([2, 2, 2, 3]);
+        t.row_mut(1, 0, 1).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(t[(1, 0, 1, 0)], 7);
+        assert_eq!(t[(1, 0, 1, 2)], 9);
+        assert_eq!(t.row(1, 0, 1), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn image_is_the_outermost_plane() {
+        let t = Tensor4::from_fn([3, 2, 2, 2], |i0, i1, i2, i3| {
+            (i0 * 8 + i1 * 4 + i2 * 2 + i3) as i32
+        });
+        assert_eq!(t.image(1), (8..16).collect::<Vec<i32>>().as_slice());
+        let mut u: Tensor4<i32> = Tensor4::zeros([2, 2, 2, 2]);
+        u.image_mut(1).copy_from_slice(t.image(0));
+        assert_eq!(u.image(1), t.image(0));
+        assert_eq!(u.image(0), &[0; 8]);
     }
 
     #[test]

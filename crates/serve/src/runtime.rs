@@ -17,17 +17,51 @@
 use crate::batch::{collect_batch, BatchPolicy};
 use crate::error::ServeError;
 use crate::metrics::{LatencyBreakdown, RequestRecord, ServerStats};
-use crate::plan::PlanCompiler;
+use crate::plan::{CompiledPlan, PlanCompiler, StagePlan};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::Cluster;
 use eyeriss_nn::network::Network;
-use eyeriss_nn::{reference, Fix16, LayerKind, LayerProblem, Tensor4};
+use eyeriss_nn::{reference, Fix16, LayerProblem, Tensor4};
 use eyeriss_sim::Accelerator;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// The per-batch-size network plans shared by every worker: each batch
+/// size the batcher can form maps to one immutable
+/// [`Arc<CompiledPlan>`], compiled once and handed out by reference —
+/// workers never lock the layer-level plan cache (or clone a plan) at
+/// request time.
+struct NetPlans {
+    net: Arc<Network>,
+    compiler: Arc<PlanCompiler>,
+    by_batch: Mutex<HashMap<usize, Arc<CompiledPlan>>>,
+}
+
+impl NetPlans {
+    fn new(net: Arc<Network>, compiler: Arc<PlanCompiler>) -> Self {
+        NetPlans {
+            net,
+            compiler,
+            by_batch: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The network plan for batch size `b` — a shared handle, compiled
+    /// at most once per size (a lost race wastes one duplicate compile,
+    /// which itself hits the layer cache).
+    fn get(&self, b: usize) -> Result<Arc<CompiledPlan>, ServeError> {
+        if let Some(plan) = self.by_batch.lock().expect("plan map poisoned").get(&b) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(self.compiler.compile_network(&self.net, b)?);
+        let mut plans = self.by_batch.lock().expect("plan map poisoned");
+        Ok(Arc::clone(plans.entry(b).or_insert(plan)))
+    }
+}
 
 /// Server sizing and batching policy.
 #[derive(Debug, Clone)]
@@ -136,7 +170,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     records: Arc<Mutex<Vec<RequestRecord>>>,
     compiler: Arc<PlanCompiler>,
-    net: Arc<Network>,
+    plans: Arc<NetPlans>,
     max_batch: usize,
     started: Instant,
     next_id: AtomicU64,
@@ -172,6 +206,7 @@ impl Server {
         );
         let net = Arc::new(net);
         let compiler = Arc::new(compiler);
+        let plans = Arc::new(NetPlans::new(Arc::clone(&net), Arc::clone(&compiler)));
         let records = Arc::new(Mutex::new(Vec::new()));
         let input_dims = net.input_dims();
 
@@ -194,12 +229,12 @@ impl Server {
             .map(|_| {
                 let rx = Arc::clone(&batch_rx);
                 let net = Arc::clone(&net);
-                let compiler = Arc::clone(&compiler);
+                let plans = Arc::clone(&plans);
                 let records = Arc::clone(&records);
                 let cluster = Cluster::new(cfg.arrays, cfg.hw);
                 let pool_chip = Accelerator::new(cfg.hw);
                 std::thread::spawn(move || {
-                    worker_loop(&rx, &net, &compiler, &cluster, pool_chip, &records)
+                    worker_loop(&rx, &net, &plans, &cluster, pool_chip, &records)
                 })
             })
             .collect();
@@ -210,7 +245,7 @@ impl Server {
             workers,
             records,
             compiler,
-            net,
+            plans,
             max_batch: cfg.policy.max_batch.max(1),
             started: Instant::now(),
             next_id: AtomicU64::new(0),
@@ -220,17 +255,16 @@ impl Server {
 
     /// Compiles the served network's plans for every batch size the
     /// batcher can form (`1..=max_batch`), so no request ever pays a
-    /// plan search at serving time. Returns one [`crate::CompiledPlan`] per
-    /// batch size, in increasing-size order.
+    /// plan search at serving time. Returns one shared
+    /// [`crate::CompiledPlan`] handle per batch size, in increasing-size
+    /// order — the same `Arc`s the workers will execute from.
     ///
     /// # Errors
     ///
     /// Fails if any weighted stage has no feasible plan at some batch
     /// size.
-    pub fn prewarm(&self) -> Result<Vec<crate::plan::CompiledPlan>, ServeError> {
-        (1..=self.max_batch)
-            .map(|n| self.compiler.compile_network(&self.net, n))
-            .collect()
+    pub fn prewarm(&self) -> Result<Vec<Arc<CompiledPlan>>, ServeError> {
+        (1..=self.max_batch).map(|n| self.plans.get(n)).collect()
     }
 
     fn pending(&self, input: Tensor4<Fix16>) -> Result<(Pending, RequestHandle), ServeError> {
@@ -321,7 +355,7 @@ impl Server {
 fn worker_loop(
     batch_rx: &Mutex<Receiver<Vec<Pending>>>,
     net: &Network,
-    compiler: &PlanCompiler,
+    plans: &NetPlans,
     cluster: &Cluster,
     mut pool_chip: Accelerator,
     records: &Mutex<Vec<RequestRecord>>,
@@ -334,7 +368,7 @@ fn worker_loop(
             rx.recv()
         };
         let Ok(batch) = batch else { break };
-        match run_batch(net, compiler, cluster, &mut pool_chip, &batch) {
+        match run_batch(net, plans, cluster, &mut pool_chip, &batch) {
             Ok(done) => {
                 let mut recs = records.lock().expect("records poisoned");
                 for (pending, response) in batch.into_iter().zip(done) {
@@ -360,7 +394,7 @@ fn worker_loop(
 /// per request, in batch order.
 fn run_batch(
     net: &Network,
-    compiler: &PlanCompiler,
+    plans: &NetPlans,
     cluster: &Cluster,
     pool_chip: &mut Accelerator,
     batch: &[Pending],
@@ -368,28 +402,36 @@ fn run_batch(
     let started = Instant::now();
     let b = batch.len();
     let (c, h) = net.input_dims();
-    // Stack the single-image requests into one [b][C][H][H] batch.
-    let mut act = Tensor4::from_fn([b, c, h, h], |z, ch, i, j| batch[z].input[(0, ch, i, j)]);
+    // Stack the single-image requests into one [b][C][H][H] batch: each
+    // request's image is one contiguous copy, no per-element indexing.
+    let mut act = Tensor4::zeros([b, c, h, h]);
+    for (z, pending) in batch.iter().enumerate() {
+        act.image_mut(z).copy_from_slice(pending.input.image(0));
+    }
 
-    let mut compile = std::time::Duration::ZERO;
+    // One shared network plan for the whole batch: every weighted stage's
+    // `Arc<ClusterPlan>` is already resolved, so the execute loop touches
+    // no cache lock and clones nothing.
+    let t0 = Instant::now();
+    let netplan = plans.get(b)?;
+    let compile = t0.elapsed();
     let mut sim_cycles = 0u64;
-    for stage in net.stages() {
-        match stage.shape.kind {
-            LayerKind::Pool => {
-                let (out, stats) = pool_chip.run_pool(&stage.shape, b, &act);
+    for (stage, splan) in net.stages().iter().zip(&netplan.stages) {
+        match splan {
+            StagePlan::Pool { shape, .. } => {
+                let (out, stats) = pool_chip.run_pool(shape, b, &act);
                 sim_cycles += stats.total_cycles();
                 act = out;
             }
-            LayerKind::Conv | LayerKind::FullyConnected => {
-                let t0 = Instant::now();
-                let plan = compiler.compile_layer(&stage.shape, b)?;
-                compile += t0.elapsed();
+            StagePlan::Layer {
+                shape, relu, plan, ..
+            } => {
                 let weights = stage.weights.as_ref().expect("weighted stage");
                 let bias = stage.bias.as_ref().expect("weighted stage");
-                let problem = LayerProblem::new(stage.shape, b);
-                let run = cluster.execute(&plan, &problem, &act, weights, bias)?;
+                let problem = LayerProblem::new(*shape, b);
+                let run = cluster.execute(plan, &problem, &act, weights, bias)?;
                 sim_cycles += run.stats.cluster_cycles();
-                act = reference::quantize(&run.psums, stage.relu);
+                act = reference::quantize(&run.psums, *relu);
             }
         }
     }
@@ -400,7 +442,8 @@ fn run_batch(
         .iter()
         .enumerate()
         .map(|(z, pending)| {
-            let output = Tensor4::from_fn([1, m, e, e], |_, f, y, x| act[(z, f, y, x)]);
+            // Unstack by image: one contiguous copy per response.
+            let output = Tensor4::from_vec([1, m, e, e], act.image(z).to_vec());
             let latency = LatencyBreakdown {
                 queue: started.duration_since(pending.submitted),
                 compile,
@@ -561,9 +604,11 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.max_batch(), 1);
-        // Batches of 1 and batches of n share one plan cache only when
-        // sizes repeat; with unbatched policy every request is size 1, so
-        // after the first request every stage plan is a hit.
-        assert!(stats.cache.hits >= stats.cache.misses);
+        // With unbatched policy every request is size 1 and the workers
+        // share one network plan per batch size: the layer cache is
+        // consulted only by the first compile (3 weighted stages), and
+        // no number of further requests adds lookups of either kind.
+        assert_eq!(stats.cache.misses, 3);
+        assert_eq!(stats.cache.hits, 0);
     }
 }

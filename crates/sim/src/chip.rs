@@ -10,14 +10,13 @@
 
 use crate::dram::DramModel;
 use crate::error::SimError;
-use crate::gbuf::GlobalBuffer;
-use crate::noc::{MulticastBus, PsumChain};
 use crate::passes::RsMapping;
-use crate::pe::Pe;
 use crate::rlc;
+use crate::scratch::SimScratch;
 use crate::stats::SimStats;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_nn::{reference, Fix16, LayerKind, LayerShape, Tensor4};
+use std::collections::HashMap;
 
 /// The result of simulating one layer.
 #[derive(Debug, Clone)]
@@ -55,6 +54,12 @@ pub struct Accelerator {
     zero_gating: bool,
     rlc_enabled: bool,
     dram: DramModel,
+    /// Private scratch arena, reused across every run on this chip.
+    scratch: SimScratch,
+    /// Memoized winning mappings per `(shape, batch)` — the search is
+    /// deterministic on a fixed configuration, so replaying a layer
+    /// reuses its mapping instead of re-scanning the candidate space.
+    mappings: HashMap<(LayerShape, usize), RsMapping>,
 }
 
 impl Accelerator {
@@ -65,6 +70,8 @@ impl Accelerator {
             zero_gating: false,
             rlc_enabled: false,
             dram: DramModel::default(),
+            scratch: SimScratch::new(),
+            mappings: HashMap::new(),
         }
     }
 
@@ -94,6 +101,11 @@ impl Accelerator {
     /// Runs one CONV or FC layer, returning bit-exact psums and measured
     /// statistics.
     ///
+    /// Buffers (PE scratchpads, psum strips, RLC code words) and the
+    /// winning mapping are reused across calls on the same chip, so
+    /// repeated layers execute allocation-free and search-free in steady
+    /// state.
+    ///
     /// # Errors
     ///
     /// Fails if no feasible mapping exists or a capacity is exceeded.
@@ -103,6 +115,100 @@ impl Accelerator {
     /// Panics if tensor dimensions disagree with `shape`.
     pub fn run_conv(
         &mut self,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<LayerRun, SimError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.run_conv_with(&mut scratch, shape, n_batch, input, weights, bias);
+        self.scratch = scratch;
+        result
+    }
+
+    /// [`Accelerator::run_conv`] against a caller-owned [`SimScratch`] —
+    /// for pooled execution contexts shared across accelerators (e.g.
+    /// one scratch per cluster worker thread). See [`SimScratch`] for
+    /// the reuse rules.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no feasible mapping exists or a capacity is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`.
+    pub fn run_conv_with(
+        &mut self,
+        scratch: &mut SimScratch,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<LayerRun, SimError> {
+        let mapping = match self.mappings.get(&(*shape, n_batch)) {
+            Some(&m) => m,
+            None => {
+                let m = RsMapping::plan(shape, n_batch, &self.config)?;
+                self.mappings.insert((*shape, n_batch), m);
+                m
+            }
+        };
+        self.run_conv_mapped(scratch, mapping, shape, n_batch, input, weights, bias)
+    }
+
+    /// [`Accelerator::run_conv_mapped`] against the chip's internal
+    /// scratch — the planned-execution path for callers that let the
+    /// accelerator own its buffers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mapping exceeds a scratchpad or buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`, or the mapping
+    /// addresses coordinates outside the layer.
+    pub fn run_conv_planned(
+        &mut self,
+        mapping: RsMapping,
+        shape: &LayerShape,
+        n_batch: usize,
+        input: &Tensor4<Fix16>,
+        weights: &Tensor4<Fix16>,
+        bias: &[Fix16],
+    ) -> Result<LayerRun, SimError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result =
+            self.run_conv_mapped(&mut scratch, mapping, shape, n_batch, input, weights, bias);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Executes one layer under an explicitly chosen row-stationary
+    /// mapping — the planned-execution path: a precompiled plan's
+    /// winning candidate runs directly, with no repeat mapping search.
+    ///
+    /// The mapping must be feasible for `shape` on this configuration
+    /// (any mapping produced by the row-stationary search against the
+    /// same hardware is); infeasible spad/buffer demands surface as
+    /// [`SimError`]s.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mapping exceeds a scratchpad or buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor dimensions disagree with `shape`, or the mapping
+    /// addresses coordinates outside the layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_conv_mapped(
+        &mut self,
+        scratch: &mut SimScratch,
+        mapping: RsMapping,
         shape: &LayerShape,
         n_batch: usize,
         input: &Tensor4<Fix16>,
@@ -121,27 +227,33 @@ impl Accelerator {
         );
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
-        let mapping = RsMapping::plan(shape, n_batch, &self.config)?;
-        let mut engine = Engine::new(self, shape, n_batch, mapping, input, weights);
+        let mut engine = Engine::new(self, scratch, shape, n_batch, mapping, input, weights);
         engine.run()?;
         let mut psums = engine.out;
+        let mut stats = engine.stats;
         // Bias is added once per ofmap value; the paper's accounting
         // ignores its (negligible) movement energy.
         for z in 0..n_batch {
-            for f in 0..shape.m {
-                let b = bias[f].to_accum();
+            for (f, bf) in bias.iter().enumerate() {
+                let b = bf.to_accum();
                 for x in 0..shape.e {
-                    for y in 0..shape.e {
-                        psums[(z, f, x, y)] += b;
+                    for p in psums.row_mut(z, f, x) {
+                        *p += b;
                     }
                 }
             }
         }
-        let mut stats = engine.stats;
         if self.rlc_enabled {
-            let in_ratio = rlc::encode(input.as_slice()).ratio();
-            let ofmap = reference::quantize(&psums, true);
-            let out_ratio = rlc::encode(ofmap.as_slice()).ratio();
+            let in_len = rlc::encode_into(input.as_slice(), &mut scratch.rlc_words);
+            let in_ratio = rlc::ratio_of(in_len, &scratch.rlc_words);
+            // The ofmap ratio streams the quantization — no materialized
+            // ofmap tensor, identical arithmetic to
+            // `reference::quantize(&psums, true)`.
+            let out_len = rlc::encode_stream(
+                psums.iter().map(|&p| Fix16::from_accum(p).relu()),
+                &mut scratch.rlc_words,
+            );
+            let out_ratio = rlc::ratio_of(out_len, &scratch.rlc_words);
             let compressed = stats.profile.ifmap.dram_reads / in_ratio
                 + stats.profile.filter.dram_reads
                 + stats.profile.psum.dram_writes / out_ratio;
@@ -183,7 +295,9 @@ impl Accelerator {
     }
 }
 
-/// Internal per-layer execution state.
+/// Internal per-layer execution state. All reusable buffers live in the
+/// borrowed [`SimScratch`]; the engine itself only allocates the output
+/// tensor it returns.
 struct Engine<'a> {
     shape: &'a LayerShape,
     n_batch: usize,
@@ -191,12 +305,8 @@ struct Engine<'a> {
     input: &'a Tensor4<Fix16>,
     weights: &'a Tensor4<Fix16>,
     out: Tensor4<i32>,
-    pes: Vec<Pe>,
+    scratch: &'a mut SimScratch,
     grid_cols: usize,
-    glb: GlobalBuffer,
-    filter_bus: MulticastBus,
-    ifmap_bus: MulticastBus,
-    chain: PsumChain,
     stats: SimStats,
     folds: (usize, usize, usize, usize),
     filters_from_dram: bool,
@@ -207,6 +317,7 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(
         acc: &Accelerator,
+        scratch: &'a mut SimScratch,
         shape: &'a LayerShape,
         n_batch: usize,
         mapping: RsMapping,
@@ -215,12 +326,13 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let rf_words = acc.config.rf_words_per_pe();
         let grid = acc.config.grid;
-        let mut pes: Vec<Pe> = (0..grid.count())
-            .map(|_| Pe::new(rf_words, rf_words))
-            .collect();
-        for pe in &mut pes {
-            pe.set_zero_gating(acc.zero_gating);
-        }
+        scratch.prepare(
+            grid.count(),
+            rf_words,
+            rf_words,
+            acc.zero_gating,
+            acc.config.buffer_words(),
+        );
         let folds = mapping.fold_counts(shape, n_batch);
         Engine {
             shape,
@@ -229,22 +341,14 @@ impl<'a> Engine<'a> {
             input,
             weights,
             out: Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]),
-            pes,
+            scratch,
             grid_cols: grid.cols,
-            glb: GlobalBuffer::new(acc.config.buffer_words()),
-            filter_bus: MulticastBus::new(),
-            ifmap_bus: MulticastBus::new(),
-            chain: PsumChain::new(),
             stats: SimStats::default(),
             folds,
             filters_from_dram: !mapping.filter_resident,
             dram: acc.dram,
             pending_dram_words: 0,
         }
-    }
-
-    fn pe_at(&mut self, row: usize, col: usize) -> &mut Pe {
-        &mut self.pes[row * self.grid_cols + col]
     }
 
     fn run(&mut self) -> Result<(), SimError> {
@@ -260,7 +364,7 @@ impl<'a> Engine<'a> {
                             self.run_pass(mg, ng, sg, cg)?;
                         }
                         self.writeback_strip(mg..mg + 1, ng, sg);
-                        self.glb.release_psums();
+                        self.scratch.glb.release_psums();
                     }
                 }
             }
@@ -275,13 +379,13 @@ impl<'a> Engine<'a> {
                         }
                     }
                     self.writeback_strip(0..mgs, ng, sg);
-                    self.glb.release_psums();
+                    self.scratch.glb.release_psums();
                 }
             }
         }
         // Fold PE counters into the profile.
         let mut pe_total = crate::pe::PeStats::default();
-        for pe in &self.pes {
+        for pe in &self.scratch.pes {
             pe_total.merge(&pe.stats);
         }
         self.stats.macs = pe_total.macs;
@@ -292,9 +396,9 @@ impl<'a> Engine<'a> {
         self.stats.profile.filter.rf_writes = pe_total.filter_writes as f64;
         self.stats.profile.psum.rf_reads = pe_total.psum_reads as f64;
         self.stats.profile.psum.rf_writes = pe_total.psum_writes as f64;
-        self.stats.profile.filter.array_hops = self.filter_bus.stats.word_hops as f64;
-        self.stats.profile.ifmap.array_hops = self.ifmap_bus.stats.word_hops as f64;
-        self.stats.profile.psum.array_hops = self.chain.stats.word_hops as f64;
+        self.stats.profile.filter.array_hops = self.scratch.filter_bus.stats.word_hops as f64;
+        self.stats.profile.ifmap.array_hops = self.scratch.ifmap_bus.stats.word_hops as f64;
+        self.stats.profile.psum.array_hops = self.scratch.chain.stats.word_hops as f64;
         self.stats.dram_raw_words =
             (self.stats.profile.dram_reads() + self.stats.profile.dram_writes()).round() as u64;
         debug_assert!(self.stats.profile.is_valid());
@@ -310,7 +414,7 @@ impl<'a> Engine<'a> {
         }
         self.stats.profile.filter.dram_reads += words as f64;
         self.pending_dram_words += words as u64;
-        self.glb.stage_filters(words)
+        self.scratch.glb.stage_filters(words)
     }
 
     /// Reserves the strip's psum tile in the buffer (only needed when the
@@ -336,7 +440,9 @@ impl<'a> Engine<'a> {
                 .map(|sh| self.mapping.filters_of(self.shape, mg, sh).len())
                 .sum()
         };
-        self.glb.reserve_psums(imgs * filters * rows * self.shape.e)
+        self.scratch
+            .glb
+            .reserve_psums(imgs * filters * rows * self.shape.e)
     }
 
     /// Fetches the ifmap rows a (batch group, strip, channel group) pass
@@ -352,11 +458,15 @@ impl<'a> Engine<'a> {
         let words = imgs * channels * rows_needed * self.shape.h;
         self.stats.profile.ifmap.dram_reads += words as f64;
         self.pending_dram_words += words as u64;
-        self.glb.stage_ifmap(words)
+        self.scratch.glb.stage_ifmap(words)
     }
 
     /// Executes one processing pass: filter loads, ifmap multicast, the
     /// 1-D primitives, vertical accumulation and psum folding.
+    ///
+    /// The pass is allocation-free: ifmap and filter rows are borrowed
+    /// straight out of the tensors (contiguous innermost rows), and the
+    /// psum row accumulator is the scratch arena's, zeroed per use.
     fn run_pass(&mut self, mg: usize, ng: usize, sg: usize, cg: usize) -> Result<(), SimError> {
         let shape = *self.shape;
         let map = self.mapping;
@@ -368,13 +478,28 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         let (r_filt, u, e_dim, h) = (shape.r, shape.u, shape.e, shape.h);
+        let grid_cols = self.grid_cols;
+        // Split borrows: the scratch's buffers, the engine's counters and
+        // the borrowed tensors are disjoint places, so the inner loops
+        // index PEs and tensor rows directly with no per-row copies.
+        let SimScratch {
+            pes,
+            row_acc,
+            glb,
+            filter_bus,
+            ifmap_bus,
+            chain,
+            ..
+        } = &mut *self.scratch;
+        let stats = &mut self.stats;
+        let (input, weights, out) = (self.input, self.weights, &mut self.out);
 
         // ---- reset and load stationary filter rows -------------------------
         for sv in 0..map.r {
             for i in 0..r_filt {
                 for sh in 0..map.t {
                     for yy in 0..e_cols {
-                        self.pe_at(sv * r_filt + i, sh * map.e + yy).reset_pass();
+                        pes[(sv * r_filt + i) * grid_cols + sh * map.e + yy].reset_pass();
                     }
                 }
             }
@@ -387,17 +512,17 @@ impl<'a> Engine<'a> {
                     for f in fs.clone() {
                         for c in cs.clone() {
                             if self.filters_from_dram {
-                                self.stats.profile.filter.dram_reads += r_filt as f64;
+                                stats.profile.filter.dram_reads += r_filt as f64;
                                 self.pending_dram_words += r_filt as u64;
                             } else {
-                                self.glb.read_words(r_filt);
-                                self.stats.profile.filter.buffer_reads += r_filt as f64;
+                                glb.read_words(r_filt);
+                                stats.profile.filter.buffer_reads += r_filt as f64;
                             }
-                            self.filter_bus.multicast(r_filt, e_cols);
-                            let row: Vec<Fix16> = self.weights.row(f, c, i).to_vec();
+                            filter_bus.multicast(r_filt, e_cols);
+                            let row = weights.row(f, c, i);
                             for yy in 0..e_cols {
-                                self.pe_at(sv * r_filt + i, sh * map.e + yy)
-                                    .load_filter_row(&row)
+                                pes[(sv * r_filt + i) * grid_cols + sh * map.e + yy]
+                                    .load_filter_row(row)
                                     .map_err(|over| {
                                         SimError::new(format!(
                                             "filter spad overflow by {over} words"
@@ -423,9 +548,9 @@ impl<'a> Engine<'a> {
                         if consumers == 0 {
                             continue;
                         }
-                        self.glb.read_words(h);
-                        self.stats.profile.ifmap.buffer_reads += h as f64;
-                        self.ifmap_bus.multicast(h, consumers * map.t);
+                        glb.read_words(h);
+                        stats.profile.ifmap.buffer_reads += h as f64;
+                        ifmap_bus.multicast(h, consumers * map.t);
                     }
                 }
             }
@@ -438,7 +563,8 @@ impl<'a> Engine<'a> {
             for (yy, y) in yrows.clone().enumerate() {
                 for f in fs.clone() {
                     for z in imgs.clone() {
-                        let mut row_acc = vec![0i32; e_dim];
+                        row_acc.clear();
+                        row_acc.resize(e_dim, 0);
                         let mut chain_len = 0usize;
                         for sv in 0..map.r {
                             let cs = map.channels_of(&shape, cg, sv);
@@ -447,40 +573,37 @@ impl<'a> Engine<'a> {
                             }
                             chain_len += r_filt;
                             for i in 0..r_filt {
-                                let pe_row = sv * r_filt + i;
-                                let pe_col = sh * map.e + yy;
+                                let pe = &mut pes[(sv * r_filt + i) * grid_cols + sh * map.e + yy];
                                 for c in cs.clone() {
                                     let row_index =
                                         ((f - fs.start) * cs.len() + (c - cs.start)) * r_filt;
-                                    let ifmap_row: Vec<Fix16> =
-                                        self.input.row(z, c, u * y + i).to_vec();
-                                    self.pe_at(pe_row, pe_col).run_primitive(
+                                    pe.run_primitive(
                                         row_index,
-                                        &ifmap_row,
+                                        input.row(z, c, u * y + i),
                                         u,
                                         true,
-                                        &mut row_acc,
+                                        row_acc,
                                     );
                                 }
                             }
                         }
                         if chain_len > 0 {
-                            self.chain.accumulate(e_dim, chain_len);
+                            chain.accumulate(e_dim, chain_len);
                         }
                         // Fold into the strip psums (through the buffer when
                         // the accumulation spans channel groups).
                         if cgs > 1 {
                             if cg > 0 {
-                                self.glb.read_words(e_dim);
-                                self.stats.profile.psum.buffer_reads += e_dim as f64;
+                                glb.read_words(e_dim);
+                                stats.profile.psum.buffer_reads += e_dim as f64;
                             }
                             if cg + 1 < cgs {
-                                self.glb.write_words(e_dim);
-                                self.stats.profile.psum.buffer_writes += e_dim as f64;
+                                glb.write_words(e_dim);
+                                stats.profile.psum.buffer_writes += e_dim as f64;
                             }
                         }
-                        for (x, v) in row_acc.iter().enumerate() {
-                            self.out[(z, f, y, x)] += v;
+                        for (o, v) in out.row_mut(z, f, y).iter_mut().zip(row_acc.iter()) {
+                            *o += v;
                         }
                     }
                 }
@@ -493,10 +616,10 @@ impl<'a> Engine<'a> {
                     .unwrap_or(0) as u64;
             max_set_ops = max_set_ops.max(set_ops);
         }
-        self.stats.cycles += max_set_ops;
+        stats.cycles += max_set_ops;
         // Double buffering overlaps this pass's DRAM traffic with its
         // compute; only the excess stalls the array.
-        self.stats.stall_cycles += self.dram.stall_cycles(self.pending_dram_words, max_set_ops);
+        stats.stall_cycles += self.dram.stall_cycles(self.pending_dram_words, max_set_ops);
         self.pending_dram_words = 0;
         Ok(())
     }

@@ -9,7 +9,7 @@
 use crate::error::SimError;
 
 /// Occupancy and traffic accounting for the global buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GlobalBuffer {
     capacity_words: usize,
     ifmap_words: usize,
@@ -33,6 +33,15 @@ impl GlobalBuffer {
             reads: 0,
             writes: 0,
         }
+    }
+
+    /// Re-arms a pooled buffer for a fresh run: adopts `capacity_words`
+    /// and zeroes occupancy and traffic counters — equivalent to
+    /// [`GlobalBuffer::new`] without dropping the struct (the buffer
+    /// holds no heap storage, so this exists for the scratch arena's
+    /// uniform reset discipline).
+    pub fn reset(&mut self, capacity_words: usize) {
+        *self = GlobalBuffer::new(capacity_words);
     }
 
     /// Total words currently resident.

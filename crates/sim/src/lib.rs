@@ -21,6 +21,9 @@
 //!   processing passes (Section V-B), derived from the same mapping
 //!   optimizer the analysis framework uses.
 //! * [`chip`] — the accelerator: pass orchestration, CONV/FC/POOL layers.
+//! * [`scratch`] — the reusable simulation arena: PE pools, psum strips
+//!   and RLC buffers recycled across passes, layers and runs so the
+//!   steady-state execute path is allocation-free.
 //! * [`stats`] — measured access counts, cycles and sparsity statistics.
 //!
 //! # Example
@@ -51,8 +54,10 @@ pub mod passes;
 pub mod pe;
 pub mod rlc;
 pub mod runner;
+pub mod scratch;
 pub mod stats;
 
 pub use chip::Accelerator;
 pub use error::SimError;
+pub use scratch::SimScratch;
 pub use stats::SimStats;

@@ -31,6 +31,11 @@ impl MulticastBus {
         MulticastBus::default()
     }
 
+    /// Zeroes the delivery counters (pooled-scratch reuse).
+    pub fn reset(&mut self) {
+        self.stats = NocStats::default();
+    }
+
     /// Records a multicast of `words` words to `receivers` PEs.
     ///
     /// # Panics
@@ -55,6 +60,11 @@ impl PsumChain {
     /// Creates an idle chain.
     pub fn new() -> Self {
         PsumChain::default()
+    }
+
+    /// Zeroes the delivery counters (pooled-scratch reuse).
+    pub fn reset(&mut self) {
+        self.stats = NocStats::default();
     }
 
     /// Records the spatial accumulation of a `words`-wide psum row along a

@@ -61,6 +61,17 @@ impl RsMapping {
         })?;
         // The typed error path: a candidate carrying another dataflow's
         // params surfaces as a `SimError` instead of aborting.
+        let params = best.params.expect_dataflow(rs.id())?;
+        RsMapping::from_params(params)
+            .ok_or_else(|| SimError::new(format!("row-stationary params expected, got {params}")))
+    }
+
+    /// Builds the executable mapping from searched row-stationary
+    /// parameters — the bridge that lets a precompiled plan's winning
+    /// candidate execute directly, with no repeat search. Returns `None`
+    /// for another dataflow's parameters (the caller falls back to
+    /// [`RsMapping::plan`]).
+    pub fn from_params(params: &MappingParams) -> Option<Self> {
         let &MappingParams::RowStationary {
             n,
             p,
@@ -69,14 +80,11 @@ impl RsMapping {
             r,
             t,
             filter_resident,
-        } = best.params.expect_dataflow(rs.id())?
+        } = params
         else {
-            return Err(SimError::new(format!(
-                "row-stationary params expected, got {}",
-                best.params
-            )));
+            return None;
         };
-        Ok(RsMapping {
+        Some(RsMapping {
             n,
             p,
             q,
@@ -85,6 +93,20 @@ impl RsMapping {
             t,
             filter_resident,
         })
+    }
+
+    /// True when this mapping fits `hw`'s per-array resources: its
+    /// spatial footprint within the PE grid and its RF interleaving
+    /// within the scratchpads — the same feasibility constraints the
+    /// row-stationary enumerator prunes with
+    /// ([`eyeriss_dataflow::rs::rf_words_needed`] is the shared RF
+    /// accounting). Executors use this to screen mappings from plans
+    /// compiled against a physically larger array.
+    pub fn fits(&self, shape: &LayerShape, hw: &AcceleratorConfig) -> bool {
+        self.r * shape.r <= hw.grid.rows
+            && self.t * self.e <= hw.grid.cols
+            && eyeriss_dataflow::rs::rf_words_needed(shape, self.n, self.p, self.q)
+                <= hw.rf_words_per_pe()
     }
 
     /// Fold counts along each dimension for `shape` at batch `n_batch`:

@@ -105,6 +105,19 @@ impl Pe {
         self.filter_spad.clear();
     }
 
+    /// Re-arms a pooled PE for a fresh layer run: stationary state and
+    /// counters are cleared, capacities and gating adopt the new run's
+    /// configuration, and the scratchpad allocation is kept. After this
+    /// call the PE is indistinguishable from
+    /// `Pe::new(filter_capacity, psum_capacity)` with the gating applied.
+    pub fn reset_run(&mut self, filter_capacity: usize, psum_capacity: usize, zero_gating: bool) {
+        self.filter_spad.clear();
+        self.filter_capacity = filter_capacity;
+        self.psum_capacity = psum_capacity;
+        self.zero_gating = zero_gating;
+        self.stats = PeStats::default();
+    }
+
     /// Loads one filter row into the stationary scratchpad, returning its
     /// starting index.
     ///
@@ -161,6 +174,27 @@ impl Pe {
             self.filter_spad.len()
         );
         let filter_row = &self.filter_spad[row_index..row_index + r];
+        if !self.zero_gating {
+            // Dense fast path: every tap reads the ifmap pixel and the
+            // filter weight and performs the MAC, so the counters fold
+            // into one update per primitive (bit-identical totals) and
+            // the arithmetic loop stays tight.
+            for (x, psum) in psums.iter_mut().enumerate() {
+                let window = &ifmap_row[x * stride..x * stride + r];
+                for (w, i) in filter_row.iter().zip(window) {
+                    *psum += i.wide_mul(*w);
+                }
+            }
+            let ops = (psums.len() * r) as u64;
+            self.stats.ifmap_reads += ops;
+            self.stats.filter_reads += ops;
+            self.stats.macs += ops;
+            if accumulate_locally {
+                self.stats.psum_reads += ops;
+                self.stats.psum_writes += ops;
+            }
+            return;
+        }
         for (x, psum) in psums.iter_mut().enumerate() {
             let window = &ifmap_row[x * stride..x * stride + r];
             for (w, i) in filter_row.iter().zip(window) {
@@ -168,7 +202,7 @@ impl Pe {
                 // filter read, multiply and psum update are gated when it
                 // is zero (Section V-E).
                 self.stats.ifmap_reads += 1;
-                if self.zero_gating && i.is_zero() {
+                if i.is_zero() {
                     self.stats.skipped_macs += 1;
                     continue;
                 }
@@ -240,6 +274,23 @@ mod tests {
         let mut pe = Pe::new(4, 8);
         assert!(pe.load_filter_row(&[Fix16::ZERO; 3]).is_ok());
         assert_eq!(pe.load_filter_row(&[Fix16::ZERO; 3]), Err(2));
+    }
+
+    #[test]
+    fn reset_run_matches_a_fresh_pe() {
+        let mut pooled = Pe::new(4, 4);
+        pooled.set_zero_gating(true);
+        pooled.load_filter_row(&[Fix16::ONE; 3]).unwrap();
+        let mut acc = vec![0i32; 1];
+        pooled.run_primitive(0, &[Fix16::ONE; 3], 1, true, &mut acc);
+
+        pooled.reset_run(8, 16, false);
+        let fresh = Pe::new(8, 16);
+        assert_eq!(pooled.stats, fresh.stats);
+        assert_eq!(pooled.filter_words(), 0);
+        assert_eq!(pooled.psum_capacity(), 16);
+        // New capacity applies: 8 words now fit.
+        assert!(pooled.load_filter_row(&[Fix16::ZERO; 8]).is_ok());
     }
 
     #[test]

@@ -28,10 +28,7 @@ pub struct Compressed {
 impl Compressed {
     /// Compression ratio: original bits / compressed bits (>1 is smaller).
     pub fn ratio(&self) -> f64 {
-        if self.words.is_empty() {
-            return 1.0;
-        }
-        (self.original_len as f64 * 16.0) / (self.words.len() as f64 * 64.0)
+        ratio_of(self.original_len, &self.words)
     }
 
     /// Size of the compressed stream in 16-bit DRAM words.
@@ -55,38 +52,74 @@ impl Compressed {
 /// assert!(packed.ratio() > 3.0); // mostly zeros compress well
 /// ```
 pub fn encode(values: &[Fix16]) -> Compressed {
-    let mut pairs: Vec<(u8, u16)> = Vec::new();
+    let mut words = Vec::new();
+    let original_len = encode_stream(values.iter().copied(), &mut words);
+    Compressed {
+        words,
+        original_len,
+    }
+}
+
+/// [`encode`] into a caller-owned word buffer (cleared first), so hot
+/// paths that compress one strip after another reuse a single allocation
+/// — the scratch-buffer entry point used by the simulator's
+/// [`crate::SimScratch`]. Returns the number of values consumed (the
+/// stream's `original_len`).
+pub fn encode_into(values: &[Fix16], words: &mut Vec<u64>) -> usize {
+    encode_stream(values.iter().copied(), words)
+}
+
+/// Streaming core of the encoder: packs `(run, level)` pairs into
+/// `words` as values arrive, with no intermediate pair buffer. `words`
+/// is cleared first and always ends holding at least the flag word.
+pub fn encode_stream(values: impl Iterator<Item = Fix16>, words: &mut Vec<u64>) -> usize {
+    words.clear();
+    let mut cur: u64 = 0;
+    let mut pair_i = 0usize;
+    let mut push_pair = |words: &mut Vec<u64>, r: usize, lvl: u16| {
+        let shift = 1 + pair_i * 21;
+        cur |= ((r as u64) & 0x1f) << shift;
+        cur |= (lvl as u64) << (shift + 5);
+        pair_i += 1;
+        if pair_i == 3 {
+            words.push(cur);
+            cur = 0;
+            pair_i = 0;
+        }
+    };
     let mut run = 0usize;
+    let mut len = 0usize;
     for v in values {
+        len += 1;
         if v.is_zero() && run < MAX_RUN {
             run += 1;
             continue;
         }
-        pairs.push((run as u8, v.raw() as u16));
+        push_pair(words, run, v.raw() as u16);
         run = 0;
     }
     if run > 0 {
         // Trailing zeros: emit them as a run ending in a zero level.
-        pairs.push((run as u8, 0));
+        push_pair(words, run, 0);
     }
-    let mut words = Vec::with_capacity(pairs.len().div_ceil(3).max(1));
-    for chunk in pairs.chunks(3) {
-        let mut w: u64 = 0;
-        for (i, &(r, lvl)) in chunk.iter().enumerate() {
-            let shift = 1 + i * 21;
-            w |= ((r as u64) & 0x1f) << shift;
-            w |= (lvl as u64) << (shift + 5);
-        }
-        words.push(w);
+    if pair_i > 0 {
+        words.push(cur);
     }
     if words.is_empty() {
         words.push(0);
     }
     *words.last_mut().expect("non-empty") |= 1; // final-word flag
-    Compressed {
-        words,
-        original_len: values.len(),
+    len
+}
+
+/// Compression ratio of a packed stream without wrapping it in a
+/// [`Compressed`]: original bits / compressed bits, 1.0 for an empty
+/// word buffer.
+pub fn ratio_of(original_len: usize, words: &[u64]) -> f64 {
+    if words.is_empty() {
+        return 1.0;
     }
+    (original_len as f64 * 16.0) / (words.len() as f64 * 64.0)
 }
 
 /// Decodes an RLC stream back to the original values.
@@ -97,6 +130,19 @@ pub fn encode(values: &[Fix16]) -> Compressed {
 /// trailing run, or the final flag is missing).
 pub fn decode(c: &Compressed) -> Vec<Fix16> {
     let mut out = Vec::with_capacity(c.original_len);
+    decode_into(c, &mut out);
+    out
+}
+
+/// [`decode`] into a caller-owned buffer (cleared first), reusing its
+/// allocation across strips.
+///
+/// # Panics
+///
+/// Panics if the stream is malformed, as [`decode`].
+pub fn decode_into(c: &Compressed, out: &mut Vec<Fix16>) {
+    out.clear();
+    out.reserve(c.original_len);
     for (wi, w) in c.words.iter().enumerate() {
         let is_last = wi + 1 == c.words.len();
         assert_eq!(w & 1 == 1, is_last, "final-word flag misplaced");
@@ -120,7 +166,6 @@ pub fn decode(c: &Compressed) -> Vec<Fix16> {
         out.push(Fix16::ZERO);
     }
     assert_eq!(out.len(), c.original_len, "malformed RLC stream");
-    out
 }
 
 #[cfg(test)]
@@ -212,6 +257,47 @@ mod tests {
             assert_eq!(decode(&c), data, "all-zero length {len}");
             assert_eq!(c.original_len, len);
         }
+    }
+
+    #[test]
+    fn scratch_entry_points_match_the_owning_api() {
+        let mut words = Vec::new();
+        let mut decoded = Vec::new();
+        for data in [
+            vec![],
+            vec![Fix16::ZERO; 40],
+            (1..=100).map(Fix16::from_raw).collect::<Vec<_>>(),
+            [0i16, 0, 5, 0, -3, 7, 0, 0]
+                .iter()
+                .map(|&r| Fix16::from_raw(r))
+                .collect(),
+        ] {
+            let owned = encode(&data);
+            // Reused buffers: same words, same ratio, same roundtrip.
+            let len = encode_into(&data, &mut words);
+            assert_eq!(len, data.len());
+            assert_eq!(words, owned.words);
+            assert_eq!(ratio_of(len, &words), owned.ratio());
+            decode_into(&owned, &mut decoded);
+            assert_eq!(decoded, data);
+        }
+    }
+
+    #[test]
+    fn streaming_encoder_accepts_iterators() {
+        let data: Vec<Fix16> = (0..50)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Fix16::from_raw(i)
+                } else {
+                    Fix16::ZERO
+                }
+            })
+            .collect();
+        let mut words = Vec::new();
+        let len = encode_stream(data.iter().copied(), &mut words);
+        assert_eq!(len, data.len());
+        assert_eq!(words, encode(&data).words);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use eyeriss_arch::cost::{CostModel, CostReport};
 use eyeriss_arch::energy::Level;
 
 /// Everything the simulator measures while executing one layer.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Word-level access counts per hierarchy level and data type,
     /// directly comparable with the analytical model's profiles.

@@ -436,6 +436,8 @@ fn cold_engine_serves_bit_exactly_from_persisted_plans() {
         0,
         "cold serving must run zero mapping searches"
     );
-    assert_eq!(cold.cache_stats().hits, 8, "2 stages x 4 requests");
+    // The workers share one network plan per batch size, so the loaded
+    // layer plans are looked up exactly once each — not once per request.
+    assert_eq!(cold.cache_stats().hits, 2, "2 stages, one shared compile");
     std::fs::remove_file(&path).ok();
 }

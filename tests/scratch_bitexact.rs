@@ -1,0 +1,180 @@
+//! Scratch-reuse bit-exactness: the allocation-free execution core must
+//! be invisible in the results.
+//!
+//! The simulator reuses PE pools, psum strips and RLC buffers across
+//! passes, layers and runs ([`eyeriss_sim::SimScratch`]), memoizes
+//! winning mappings per chip, and the cluster executes precompiled
+//! plans' mappings directly. None of that may change a single psum bit
+//! *or* a single statistic relative to the reference discipline — a
+//! fresh accelerator (fresh buffers, fresh search) per run.
+
+use eyeriss::prelude::*;
+use eyeriss::Engine;
+use eyeriss_cluster::{plan_layer, Cluster, SharedDram};
+use eyeriss_dataflow::registry::builtin;
+use eyeriss_sim::SimScratch;
+use proptest::prelude::*;
+
+fn small_chip() -> AcceleratorConfig {
+    AcceleratorConfig {
+        grid: eyeriss_arch::GridDims::new(6, 8),
+        rf_bytes_per_pe: 512.0,
+        buffer_bytes: 32.0 * 1024.0,
+    }
+}
+
+/// One randomized layer: (M, C, H, R, U) kept small enough that the
+/// 6x8-PE test chip maps every draw.
+fn layer_strategy() -> impl Strategy<Value = (LayerShape, usize)> {
+    (1usize..8, 1usize..6, 1usize..4, 0usize..2, 1usize..4).prop_map(|(m, c, r2, u1, n)| {
+        let r = r2 + 1; // 2..=4
+        let u = u1 + 1; // 1..=2
+        let e = 3 + m % 5; // 3..=7 ofmap size
+        let h = (e - 1) * u + r;
+        (LayerShape::conv(m, c, h, r, u).unwrap(), n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Back-to-back runs on one reused scratch (and one reused chip,
+    /// whose mapping memo also kicks in) are bit-exact — psums *and*
+    /// stats — against a fresh accelerator per run, across randomized
+    /// layer shapes and repeated executions.
+    #[test]
+    fn scratch_reuse_is_bit_exact(layer_a in layer_strategy(),
+                                  layer_b in layer_strategy(),
+                                  sparse in 0u8..2) {
+        let ((shape_a, n_a), (shape_b, n_b)) = (layer_a, layer_b);
+        let mut scratch = SimScratch::new();
+        let mut reused = Accelerator::new(small_chip());
+        for (shape, n) in [(shape_a, n_a), (shape_b, n_b), (shape_a, n_a)] {
+            let input = if sparse == 1 {
+                synth::sparse_ifmap(&shape, n, 7, 0.6)
+            } else {
+                synth::ifmap(&shape, n, 7)
+            };
+            let weights = synth::filters(&shape, 8);
+            let bias = synth::biases(&shape, 9);
+
+            // Reference discipline: everything fresh.
+            let mut fresh = Accelerator::new(small_chip());
+            let want = fresh.run_conv(&shape, n, &input, &weights, &bias).unwrap();
+            prop_assert_eq!(
+                &want.psums,
+                &reference::conv_accumulate(&shape, n, &input, &weights, &bias)
+            );
+
+            // Reused chip-internal scratch.
+            let got = reused.run_conv(&shape, n, &input, &weights, &bias).unwrap();
+            prop_assert_eq!(&got.psums, &want.psums);
+            prop_assert_eq!(&got.stats, &want.stats);
+            prop_assert_eq!(got.mapping, want.mapping);
+
+            // Explicit scratch shared across shapes and accelerators.
+            let mut other = Accelerator::new(small_chip());
+            let via_scratch = other
+                .run_conv_with(&mut scratch, &shape, n, &input, &weights, &bias)
+                .unwrap();
+            prop_assert_eq!(&via_scratch.psums, &want.psums);
+            prop_assert_eq!(&via_scratch.stats, &want.stats);
+        }
+    }
+
+    /// The sparsity features (zero-gating + RLC, whose encoder now
+    /// streams through the scratch) survive reuse bit-exactly.
+    #[test]
+    fn sparse_features_survive_scratch_reuse(layer in layer_strategy()) {
+        let (shape, n) = layer;
+        let input = synth::sparse_ifmap(&shape, n, 5, 0.7);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+
+        let mut fresh = Accelerator::new(small_chip()).zero_gating(true).rlc(true);
+        let want = fresh.run_conv(&shape, n, &input, &weights, &bias).unwrap();
+
+        let mut reused = Accelerator::new(small_chip()).zero_gating(true).rlc(true);
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            let got = reused
+                .run_conv_with(&mut scratch, &shape, n, &input, &weights, &bias)
+                .unwrap();
+            prop_assert_eq!(&got.psums, &want.psums);
+            prop_assert_eq!(&got.stats, &want.stats);
+        }
+    }
+}
+
+/// Plans compiled in each of the six builtin mapping spaces execute
+/// bit-exactly through the cluster's planned path: row-stationary plans
+/// run their own winning mappings directly, the other five fall back to
+/// the executor's internal search — either way the reassembled psums
+/// match the golden reference, and repeated executions (pooled worker
+/// contexts) stay identical.
+#[test]
+fn all_six_dataflow_plans_execute_bit_exactly() {
+    let shape = LayerShape::conv(8, 3, 13, 3, 2).unwrap();
+    let n = 4usize;
+    let problem = LayerProblem::new(shape, n);
+    let hw = small_chip();
+    let input = synth::ifmap(&shape, n, 21);
+    let weights = synth::filters(&shape, 22);
+    let bias = synth::biases(&shape, 23);
+    let golden = reference::conv_accumulate(&shape, n, &input, &weights, &bias);
+
+    for kind in DataflowKind::ALL {
+        let df = builtin(kind);
+        let Some(plan) = plan_layer(
+            df,
+            &problem,
+            2,
+            &hw,
+            &TableIv,
+            &SharedDram::scaled(2),
+            Objective::EnergyDelayProduct,
+        ) else {
+            continue; // space infeasible on this chip; nothing to execute
+        };
+        let cluster = Cluster::new(2, hw);
+        let first = cluster
+            .execute(&plan, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(first.psums, golden, "{kind} plan diverged");
+        // Re-execution through the (now warmed) pooled contexts.
+        let again = cluster
+            .execute(&plan, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(again.psums, golden, "{kind} re-run diverged");
+        assert_eq!(
+            again.stats.per_array.len(),
+            first.stats.per_array.len(),
+            "{kind}"
+        );
+        for (a, b) in first.stats.per_array.iter().zip(&again.stats.per_array) {
+            assert_eq!(a, b, "{kind} stats changed across pooled re-runs");
+        }
+    }
+}
+
+/// The engine façade's pooled simulate path matches a dedicated chip.
+#[test]
+fn engine_simulate_pooling_is_bit_exact() {
+    let shape = LayerShape::conv(6, 4, 11, 3, 2).unwrap();
+    let problem = LayerProblem::new(shape, 2);
+    let input = synth::ifmap(&shape, 2, 31);
+    let weights = synth::filters(&shape, 32);
+    let bias = synth::biases(&shape, 33);
+
+    let engine = Engine::builder()
+        .hardware(small_chip())
+        .build()
+        .expect("engine builds");
+    let mut chip = Accelerator::new(small_chip());
+    let want = chip.run_conv(&shape, 2, &input, &weights, &bias).unwrap();
+    for _ in 0..3 {
+        let got = engine.simulate(&problem, &input, &weights, &bias).unwrap();
+        assert_eq!(got.psums, want.psums);
+        assert_eq!(got.stats, want.stats);
+    }
+}
