@@ -20,7 +20,9 @@ use eyeriss_arch::AcceleratorConfig;
 use eyeriss_nn::network::{Network, NetworkBuilder};
 use eyeriss_nn::shape::NamedLayer;
 use eyeriss_nn::{alexnet, synth, vgg};
-use eyeriss_serve::{BatchPolicy, CacheStats, PlanCompiler, ServeConfig, Server, ServerStats};
+use eyeriss_serve::{
+    BatchPolicy, CacheStats, PlanCompiler, ServeConfig, Server, ServerSnapshot, ServerStats,
+};
 use std::time::{Duration, Instant};
 
 /// One compiled layer of a [`CompileReport`].
@@ -155,6 +157,11 @@ pub struct LoadPoint {
     pub mean_queue: Duration,
     /// Mean executed batch size at this load.
     pub mean_batch: f64,
+    /// Streaming p99 estimate from the live [`ServerSnapshot`] taken
+    /// just before shutdown — includes warmup requests, and is checked
+    /// against the exact percentile to within the histogram error bound
+    /// during the sweep.
+    pub live_p99: Duration,
 }
 
 /// The measured latency/throughput curve of one server configuration.
@@ -206,6 +213,7 @@ fn serve_config() -> ServeConfig {
         },
         queue_capacity: 64,
         hw: AcceleratorConfig::eyeriss_chip(),
+        telemetry: None,
     }
 }
 
@@ -219,7 +227,7 @@ fn drive(
     compiler: &PlanCompiler,
     offered_rps: f64,
     requests: usize,
-) -> (ServerStats, Duration) {
+) -> (ServerStats, Duration, ServerSnapshot) {
     let shape = net.stages()[0].shape;
     let server = Server::start_with_compiler(net.clone(), cfg.clone(), compiler.clone());
     // Compile plans for every batch size the batcher can form, then warm
@@ -249,14 +257,62 @@ fn drive(
         let input = synth::ifmap(&shape, 1, i as u64);
         handles.push(server.submit(input).expect("open-loop submit"));
     }
-    for handle in handles {
+    // Sample the live telemetry view mid-run — after roughly half the
+    // requests have completed, while later ones may still be queued or
+    // executing — then again after the last completion.
+    let mut mid = None;
+    let half = requests.div_ceil(2);
+    for (i, handle) in handles.into_iter().enumerate() {
         handle.wait().expect("open-loop inference");
+        if i + 1 == half {
+            mid = Some(server.snapshot());
+        }
     }
     let makespan = start.elapsed();
-    let mut stats = server.shutdown();
+    let fin = server.snapshot();
+    let stats = server.shutdown();
+    check_live_consistency(mid.as_ref().expect("sampled"), &fin, &stats, cfg);
     // Drop the warmup records so percentiles reflect the measured load.
+    let mut stats = stats;
     stats.records.retain(|r| r.id >= 2);
-    (stats, makespan)
+    (stats, makespan, fin)
+}
+
+/// Asserts the live [`Server::snapshot`] views are monotone-consistent
+/// with each other and with the exact end-of-run [`ServerStats`]:
+/// histograms only grow, the queue-depth gauge stays within the
+/// configured bounds and drains to zero, and the streaming percentiles
+/// agree with the exact nearest-rank ones to within the documented
+/// bucket error.
+fn check_live_consistency(
+    mid: &ServerSnapshot,
+    fin: &ServerSnapshot,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+) {
+    assert!(
+        fin.total_ns.dominates(&mid.total_ns),
+        "latency histogram must only grow over a run"
+    );
+    assert!(mid.completed <= fin.completed);
+    assert!(
+        mid.queue_depth >= 0 && mid.queue_depth <= cfg.queue_capacity as i64,
+        "mid-run queue depth {} outside [0, {}]",
+        mid.queue_depth,
+        cfg.queue_capacity
+    );
+    assert_eq!(fin.queue_depth, 0, "queue drains by the last completion");
+    assert_eq!(fin.inflight_batches, 0);
+    assert_eq!(fin.completed as usize, stats.completed());
+    let exact = stats.latency_summary();
+    for (stream, exact) in [(fin.p50(), exact.p50), (fin.p99(), exact.p99)] {
+        let bound = exact.as_nanos() as f64 * eyeriss_telemetry::RELATIVE_ERROR + 1.0;
+        let delta = stream.as_nanos().abs_diff(exact.as_nanos()) as f64;
+        assert!(
+            delta <= bound,
+            "streaming {stream:?} vs exact {exact:?} exceeds the error bound"
+        );
+    }
 }
 
 /// Calibrates a capacity estimate: the steady-state rate of one worker
@@ -264,7 +320,7 @@ fn drive(
 fn calibrate(net: &Network, cfg: &ServeConfig, compiler: &PlanCompiler) -> f64 {
     let burst = (cfg.workers * cfg.policy.max_batch * 2).max(8);
     // An absurdly high offered rate degenerates into a burst.
-    let (_, makespan) = drive(net, cfg, compiler, 1e6, burst);
+    let (_, makespan, _) = drive(net, cfg, compiler, 1e6, burst);
     burst as f64 / makespan.as_secs_f64()
 }
 
@@ -284,15 +340,17 @@ pub fn sweep_network(
         .iter()
         .map(|&mult| {
             let offered = (capacity_rps * mult).max(1.0);
-            let (stats, makespan) = drive(net, cfg, &compiler, offered, requests);
+            let (stats, makespan, live) = drive(net, cfg, &compiler, offered, requests);
+            let summary = stats.latency_summary();
             LoadPoint {
                 offered_rps: offered,
                 completed: stats.completed(),
                 achieved_rps: stats.completed() as f64 / makespan.as_secs_f64(),
-                p50: stats.p50(),
-                p99: stats.p99(),
+                p50: summary.p50,
+                p99: summary.p99,
                 mean_queue: stats.mean_queue(),
                 mean_batch: stats.mean_batch(),
+                live_p99: live.p99(),
             }
         })
         .collect();
@@ -324,6 +382,7 @@ pub fn render_sweep(sweep: &ServingSweep) -> String {
         "p99".into(),
         "mean queue".into(),
         "mean batch".into(),
+        "live p99".into(),
     ]);
     for p in &sweep.points {
         t.row(vec![
@@ -333,6 +392,7 @@ pub fn render_sweep(sweep: &ServingSweep) -> String {
             format!("{:.2} ms", p.p99.as_secs_f64() * 1e3),
             format!("{:.2} ms", p.mean_queue.as_secs_f64() * 1e3),
             format!("{:.2}", p.mean_batch),
+            format!("{:.2} ms", p.live_p99.as_secs_f64() * 1e3),
         ]);
     }
     format!(
@@ -384,6 +444,7 @@ mod tests {
             assert_eq!(p.completed, 8);
             assert!(p.achieved_rps > 0.0);
             assert!(p.p99 >= p.p50);
+            assert!(p.live_p99 > Duration::ZERO, "live snapshot was sampled");
         }
         assert!(render_sweep(&sweep).contains("achieved rps"));
     }

@@ -1,25 +1,51 @@
 //! The perf-regression harness CLI.
 //!
 //! ```text
-//! bench-harness [--quick] [--out PATH]
+//! bench-harness [--quick] [--out PATH] [--check BASELINE.json]
+//!               [--telemetry PATH] [--trace PATH]
 //! ```
 //!
 //! Runs the tier-1 performance scenarios (see `eyeriss_bench`) and
 //! writes the versioned JSON baseline — `BENCH_5.json` by default, the
 //! committed baseline of this PR. `--quick` trims iteration counts for
 //! CI smoke jobs.
+//!
+//! `--check BASELINE.json` turns the harness into a regression gate: the
+//! fresh measurements are compared scenario-by-scenario against the
+//! committed baseline and the process exits nonzero if any scenario's
+//! best (minimum) wall time regressed by more than 15%
+//! (`eyeriss_bench::REGRESSION_TOLERANCE`).
+//!
+//! `--telemetry PATH` / `--trace PATH` additionally run one *observed*
+//! (telemetry-enabled, untimed) serving burst and write the
+//! schema-versioned snapshot JSON and the Chrome `chrome://tracing`
+//! trace-event JSON.
 
+use eyeriss_wire::Value;
 use std::io::Write;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn write_file(path: &str, contents: &str) {
+    let mut file = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+    file.write_all(contents.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_5.json".to_string());
+    let check_path = flag_value(&args, "--check");
+    let telemetry_path = flag_value(&args, "--telemetry");
+    let trace_path = flag_value(&args, "--trace");
     let mode = if quick { "quick" } else { "full" };
 
     eprintln!("running perf-regression harness ({mode} mode)...");
@@ -41,9 +67,54 @@ fn main() {
     }
 
     let doc = eyeriss_bench::to_json(mode, &measurements);
-    let mut file = std::fs::File::create(&out_path).expect("create baseline file");
-    file.write_all(doc.render().as_bytes())
-        .expect("write baseline");
-    file.write_all(b"\n").expect("write baseline");
-    eprintln!("wrote {out_path}");
+    write_file(&out_path, &doc.render());
+
+    if telemetry_path.is_some() || trace_path.is_some() {
+        let snap = eyeriss_bench::observed_serving_snapshot();
+        if let Some(path) = telemetry_path {
+            write_file(&path, &snap.to_wire().render());
+        }
+        if let Some(path) = trace_path {
+            write_file(&path, &snap.chrome_trace());
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let baseline = Value::parse(text.trim()).expect("parse baseline JSON");
+        let comparisons = eyeriss_bench::compare_to_baseline(
+            &baseline,
+            &measurements,
+            eyeriss_bench::REGRESSION_TOLERANCE,
+        )
+        .expect("baseline schema");
+        println!(
+            "\n{:<22} {:>12} {:>12} {:>8}  vs {path}",
+            "scenario", "baseline", "current", "ratio"
+        );
+        let mut regressed = false;
+        for c in &comparisons {
+            println!(
+                "{:<22} {:>9.3} ms {:>9.3} ms {:>7.2}x{}",
+                c.name,
+                c.baseline_ns as f64 / 1e6,
+                c.current_ns as f64 / 1e6,
+                c.ratio,
+                if c.regressed { "  REGRESSED" } else { "" },
+            );
+            regressed |= c.regressed;
+        }
+        if regressed {
+            eprintln!(
+                "FAIL: wall-time regression beyond {:.0}% against {path}",
+                eyeriss_bench::REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "ok: {} scenarios within {:.0}% of {path}",
+            comparisons.len(),
+            eyeriss_bench::REGRESSION_TOLERANCE * 100.0
+        );
+    }
 }

@@ -16,7 +16,8 @@
 use eyeriss::cluster::{plan_layer, Cluster, Partition, SharedDram};
 use eyeriss::prelude::*;
 use eyeriss::serve::{ServeConfig, Server};
-use eyeriss_wire::Value;
+use eyeriss::telemetry::{Telemetry, TelemetrySnapshot};
+use eyeriss_wire::{Value, WireError};
 use std::time::{Duration, Instant};
 
 /// One measured scenario.
@@ -109,8 +110,8 @@ fn vgg_stack() -> eyeriss_nn::network::Network {
 /// Runs every harness scenario; `quick` trims the iteration counts for
 /// CI smoke jobs (same scenarios, noisier numbers).
 pub fn run_harness(quick: bool) -> Vec<Measurement> {
-    let iters: u32 = if quick { 3 } else { 15 };
-    let serve_iters: u32 = if quick { 3 } else { 10 };
+    let iters: u32 = if quick { 8 } else { 15 };
+    let serve_iters: u32 = if quick { 5 } else { 10 };
     let mut out = Vec::new();
 
     // --- single-array simulation: the sim_chip scenario ----------------
@@ -203,6 +204,10 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
             max_batch,
             max_wait: Duration::from_millis(1),
         };
+        // The timed scenarios measure the telemetry-disabled path (one
+        // relaxed atomic load per site); `observed_serving_snapshot`
+        // exercises the enabled path separately.
+        cfg.telemetry = Some(Telemetry::new());
         let server = Server::start(net.clone(), cfg);
         server.prewarm().expect("synthetic net plans");
         // Inputs are synthesized outside the timed routine — the
@@ -231,6 +236,94 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
     }
 
     out
+}
+
+/// Runs one short serving burst with telemetry **enabled** and returns
+/// the resulting snapshot: the server's live queue/latency metrics plus
+/// the workers' cluster and simulator spans — the input to both the
+/// wire exporter
+/// ([`TelemetrySnapshot::to_wire`]) and the Chrome trace exporter
+/// ([`TelemetrySnapshot::chrome_trace`]). This run is *observed*, not
+/// timed; the timed scenarios above keep telemetry disabled.
+pub fn observed_serving_snapshot() -> TelemetrySnapshot {
+    let net = eyeriss::analysis::experiments::serving::synthetic_net();
+    let shape = net.stages()[0].shape;
+    let mut cfg = ServeConfig::new();
+    cfg.policy = BatchPolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+    };
+    let server = Server::start(net, cfg); // default config: live telemetry
+    server.prewarm().expect("synthetic net plans");
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            server
+                .submit(synth::ifmap(&shape, 1, i))
+                .expect("observed submit")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("observed inference");
+    }
+    let snap = server.telemetry().snapshot();
+    server.shutdown();
+    snap
+}
+
+/// Default wall-time regression tolerance: a scenario regresses when its
+/// best (minimum) iteration exceeds the baseline's by more than 15%.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// One scenario's baseline-vs-current wall-time comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Scenario name (present in both runs).
+    pub name: String,
+    /// Baseline minimum, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current minimum, nanoseconds.
+    pub current_ns: u64,
+    /// `current / baseline` (> 1 means slower).
+    pub ratio: f64,
+    /// True when `ratio > 1 + tolerance`.
+    pub regressed: bool,
+}
+
+/// Compares `current` measurements against a parsed `eyeriss-bench`
+/// baseline document, scenario by scenario (baseline scenarios missing
+/// from `current` are skipped — quick mode runs the same set, so in
+/// practice every committed scenario is gated). The compared statistic
+/// is each scenario's **minimum** iteration time: the minimum is the
+/// run's best case and is far less sensitive to scheduler and
+/// frequency noise than the mean, which matters on shared CI machines.
+///
+/// # Errors
+///
+/// Wire errors for a malformed or wrong-schema baseline document.
+pub fn compare_to_baseline(
+    baseline: &Value,
+    current: &[Measurement],
+    tolerance: f64,
+) -> Result<Vec<Comparison>, WireError> {
+    baseline.expect_schema("eyeriss-bench", 1)?;
+    let mut out = Vec::new();
+    for s in baseline.get("scenarios")?.as_arr()? {
+        let name = s.get("name")?.as_str()?;
+        let baseline_ns = s.get("min_ns")?.as_u64()?;
+        let Some(m) = current.iter().find(|m| m.name == name) else {
+            continue;
+        };
+        let current_ns = m.min.as_nanos() as u64;
+        let ratio = current_ns as f64 / baseline_ns.max(1) as f64;
+        out.push(Comparison {
+            name: name.to_string(),
+            baseline_ns,
+            current_ns,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    Ok(out)
 }
 
 /// Renders measurements as the versioned `eyeriss-bench` JSON document.
@@ -302,5 +395,42 @@ mod tests {
         assert!(!alexnet_slice().is_empty());
         let net = vgg_stack();
         assert!(net.stages().len() >= 4);
+    }
+
+    #[test]
+    fn baseline_comparison_flags_regressions() {
+        let mk = |name: &str, us: u64| Measurement {
+            name: name.into(),
+            iters: 1,
+            mean: Duration::from_micros(us),
+            min: Duration::from_micros(us),
+            max: Duration::from_micros(us),
+            unit: "mac",
+            units_per_iter: 1,
+        };
+        let baseline = to_json("full", &[mk("a", 100), mk("b", 100), mk("gone", 1)]);
+        let current = [mk("a", 110), mk("b", 130), mk("new", 5)];
+        let cmp = compare_to_baseline(&baseline, &current, REGRESSION_TOLERANCE).unwrap();
+        assert_eq!(cmp.len(), 2, "scenarios missing from current are skipped");
+        assert!(!cmp[0].regressed, "+10% is within the 15% tolerance");
+        assert!(cmp[1].regressed, "+30% regresses");
+        let bad = Value::obj([("schema", Value::str("nope")), ("v", Value::u64(1))]);
+        assert!(compare_to_baseline(&bad, &current, 0.15).is_err());
+    }
+
+    #[test]
+    fn observed_snapshot_captures_every_layer() {
+        let snap = observed_serving_snapshot();
+        assert!(snap.counter("serve.completed").unwrap_or(0) >= 8);
+        assert!(snap
+            .histogram("serve.total_ns")
+            .is_some_and(|h| h.count() >= 8));
+        assert!(snap.spans.iter().any(|s| s.name == "serve.batch"));
+        assert!(snap.spans.iter().any(|s| s.name == "cluster.array"));
+        let trace = snap.chrome_trace();
+        assert!(trace.contains("\"name\":\"cluster.array\""));
+        // The wire export round-trips.
+        let parsed = Value::parse(&snap.to_wire().render()).unwrap();
+        TelemetrySnapshot::from_wire(&parsed).unwrap();
     }
 }

@@ -15,8 +15,10 @@ use eyeriss_arch::AcceleratorConfig;
 use eyeriss_nn::{reference, Fix16, LayerProblem, LayerShape, Tensor4};
 use eyeriss_sim::passes::RsMapping;
 use eyeriss_sim::{Accelerator, SimStats};
+use eyeriss_telemetry::{Counter, Histogram, Telemetry};
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The result of one cluster-level layer execution.
 #[derive(Debug, Clone)]
@@ -71,6 +73,13 @@ pub struct Cluster {
     /// back-to-back layers reuse buffers instead of reallocating them.
     /// Shared across clones (a cloned handle serves the same pool).
     ctx_pool: Arc<Mutex<Vec<Accelerator>>>,
+    /// Where spans and cluster metrics are recorded (defaults to the
+    /// disabled [`Telemetry::global`] instance).
+    tele: Telemetry,
+    /// Pre-resolved handles so the execution hot path never takes the
+    /// registry lock.
+    contention_stalls: Counter,
+    reassemble_ns: Histogram,
 }
 
 impl Cluster {
@@ -81,6 +90,9 @@ impl Cluster {
     /// Panics if `arrays` is zero.
     pub fn new(arrays: usize, config: AcceleratorConfig) -> Self {
         assert!(arrays > 0, "cluster needs at least one array");
+        let tele = Telemetry::global().clone();
+        let contention_stalls = tele.counter("cluster.contention_stalls");
+        let reassemble_ns = tele.histogram("cluster.reassemble_ns");
         Cluster {
             arrays,
             config,
@@ -88,7 +100,24 @@ impl Cluster {
             zero_gating: false,
             rlc: false,
             ctx_pool: Arc::new(Mutex::new(Vec::new())),
+            tele,
+            contention_stalls,
+            reassemble_ns,
         }
+    }
+
+    /// Routes this cluster's spans (`cluster.execute`, per-array
+    /// `cluster.array`, `cluster.reassemble` — idle time is the gap
+    /// between consecutive array spans) and metrics
+    /// (`cluster.contention_stalls`, `cluster.reassemble_ns`) to `tele`
+    /// instead of the global instance. Pooled execution contexts are
+    /// rebuilt so per-array `sim.*` spans land in the same instance.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.contention_stalls = tele.counter("cluster.contention_stalls");
+        self.reassemble_ns = tele.histogram("cluster.reassemble_ns");
+        self.tele = tele;
+        self.ctx_pool = Arc::new(Mutex::new(Vec::new()));
+        self
     }
 
     /// Builds one array's execution context with this cluster's feature
@@ -97,6 +126,7 @@ impl Cluster {
         Accelerator::new(self.config)
             .zero_gating(self.zero_gating)
             .rlc(self.rlc)
+            .telemetry(self.tele.clone())
     }
 
     /// Checks a pooled context out (or builds one on first use).
@@ -277,11 +307,23 @@ impl Cluster {
         bias: &[Fix16],
     ) -> Result<ClusterRun, ClusterError> {
         type TileOut<'t> = (&'t Tile, Tensor4<i32>);
+        type ArrayWork<'w, 't> = (usize, &'w [(&'t Tile, Option<RsMapping>)]);
+        let _exec_span = self
+            .tele
+            .span_with("cluster.execute", "cluster", work.len() as u64);
+        let indexed: Vec<ArrayWork<'_, '_>> = work
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w.as_slice()))
+            .collect();
         let per_array: Vec<Result<(Vec<TileOut<'_>>, SimStats), ClusterError>> =
             eyeriss_par::par_map_slice_with(
-                work,
+                &indexed,
                 || PooledCtx::checkout(self),
-                |ctx, tiles| {
+                |ctx, &(array_index, tiles)| {
+                    let _busy_span =
+                        self.tele
+                            .span_with("cluster.array", "cluster", array_index as u64);
                     let acc = ctx.get();
                     let mut outs = Vec::with_capacity(tiles.len());
                     let mut stats = SimStats::default();
@@ -321,6 +363,8 @@ impl Cluster {
 
         let mut psums = Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]);
         let mut stats = ClusterStats::default();
+        let reassemble_started = self.tele.enabled().then(Instant::now);
+        let reassemble_span = self.tele.span("cluster.reassemble", "cluster");
         for result in per_array {
             let (outs, array_stats) = result?;
             stats.per_array.push(array_stats);
@@ -339,10 +383,16 @@ impl Cluster {
             }
         }
 
+        drop(reassemble_span);
+        if let Some(t0) = reassemble_started {
+            self.reassemble_ns.record_duration(t0.elapsed());
+        }
+
         // Shared-channel contention on top of the critical-path array.
         stats.contention_stalls = self
             .shared_dram
             .contention_stall(stats.dram_words(), stats.critical_cycles());
+        self.contention_stalls.add(stats.contention_stalls);
 
         Ok(ClusterRun {
             partition,

@@ -49,6 +49,7 @@ use eyeriss_serve::{
 };
 use eyeriss_sim::chip::LayerRun as SimRun;
 use eyeriss_sim::Accelerator;
+use eyeriss_telemetry::Telemetry;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -99,6 +100,7 @@ pub struct EngineBuilder {
     pending_costs: Vec<Arc<dyn CostModel>>,
     cost: CostChoice,
     cache: Option<Arc<PlanCache>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl EngineBuilder {
@@ -114,6 +116,7 @@ impl EngineBuilder {
             pending_costs: Vec::new(),
             cost: CostChoice::Id(TableIv::ID),
             cache: None,
+            telemetry: None,
         }
     }
 
@@ -197,6 +200,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Records the engine's execution into `tele`: cluster and simulator
+    /// spans, contention counters and reassembly histograms all land in
+    /// this instance, retrievable any time via [`Engine::telemetry`].
+    /// The default is a private **disabled** instance — every
+    /// instrumentation site then costs one relaxed atomic load.
+    pub fn telemetry(mut self, tele: Telemetry) -> Self {
+        self.telemetry = Some(tele);
+        self
+    }
+
+    /// Opt-in shorthand: `true` gives the engine a private, enabled
+    /// telemetry instance (equivalent to
+    /// `.telemetry(Telemetry::new_enabled())`).
+    pub fn telemetry_enabled(self, on: bool) -> Self {
+        if on {
+            self.telemetry(Telemetry::new_enabled())
+        } else {
+            self.telemetry(Telemetry::new())
+        }
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
@@ -268,8 +292,10 @@ impl EngineBuilder {
         if let Some(cache) = self.cache {
             compiler = compiler.with_cache(cache);
         }
-        let cluster =
-            Cluster::new(self.arrays, self.hw).shared_dram(SharedDram::scaled(self.arrays));
+        let tele = self.telemetry.unwrap_or_default();
+        let cluster = Cluster::new(self.arrays, self.hw)
+            .shared_dram(SharedDram::scaled(self.arrays))
+            .with_telemetry(tele.clone());
         Ok(Engine {
             hw: self.hw,
             arrays: self.arrays,
@@ -281,6 +307,7 @@ impl EngineBuilder {
             compiler,
             cluster,
             sim_pool: std::sync::Mutex::new(Vec::new()),
+            tele,
         })
     }
 }
@@ -302,6 +329,7 @@ pub struct Engine {
     /// checked out per call, returned afterwards, so back-to-back
     /// simulations reuse one scratch arena and mapping memo.
     sim_pool: std::sync::Mutex<Vec<Accelerator>>,
+    tele: Telemetry,
 }
 
 impl std::fmt::Debug for Engine {
@@ -370,6 +398,21 @@ impl Engine {
     /// Plan-cache hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.compiler.cache().stats()
+    }
+
+    /// The engine's telemetry instance (disabled unless one was injected
+    /// via [`EngineBuilder::telemetry`] /
+    /// [`EngineBuilder::telemetry_enabled`]). Cluster and simulator
+    /// activity records here; snapshot it with
+    /// [`eyeriss_telemetry::Telemetry::snapshot`] and export via
+    /// [`eyeriss_telemetry::TelemetrySnapshot::to_wire`] or
+    /// [`eyeriss_telemetry::TelemetrySnapshot::chrome_trace`].
+    ///
+    /// Mapping-search metrics (`search.*`) are the one exception: they
+    /// record into [`eyeriss_telemetry::Telemetry::global`], because the
+    /// search API is free functions with no instance to carry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
     }
 
     // ----- search tier -----------------------------------------------------
@@ -485,7 +528,7 @@ impl Engine {
             .lock()
             .expect("sim pool poisoned")
             .pop()
-            .unwrap_or_else(|| Accelerator::new(self.hw));
+            .unwrap_or_else(|| Accelerator::new(self.hw).telemetry(self.tele.clone()));
         let run = chip.run_conv(&problem.shape, problem.batch, input, weights, bias);
         self.sim_pool.lock().expect("sim pool poisoned").push(chip);
         Ok(run?)
@@ -544,6 +587,10 @@ impl Engine {
             policy: opts.policy,
             queue_capacity: opts.queue_capacity,
             hw: self.hw,
+            // An enabled engine instance absorbs the server's metrics
+            // and spans into one timeline; otherwise the server gets its
+            // own live instance so `Server::snapshot()` still works.
+            telemetry: self.tele.enabled().then(|| self.tele.clone()),
         };
         Ok(Server::start_with_compiler(net, cfg, self.compiler.clone()))
     }
@@ -794,6 +841,36 @@ mod tests {
         // compile() reuses the workload plans: no new searches.
         assert_eq!(compiled.searched, 0);
         assert_eq!(compiled.cached, 2);
+    }
+
+    #[test]
+    fn telemetry_opt_in_records_cluster_and_sim_activity() {
+        let engine = Engine::builder()
+            .hardware(small_hw())
+            .arrays(2)
+            .telemetry_enabled(true)
+            .build()
+            .unwrap();
+        assert!(engine.telemetry().enabled());
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let p = LayerProblem::new(shape, 2);
+        let input = synth::ifmap(&shape, 2, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        engine.run(&p, &input, &weights, &bias).unwrap();
+        engine.simulate(&p, &input, &weights, &bias).unwrap();
+        let snap = engine.telemetry().snapshot();
+        assert!(snap.spans.iter().any(|s| s.name == "cluster.execute"));
+        assert!(snap.spans.iter().any(|s| s.name == "cluster.array"));
+        assert!(snap.spans.iter().any(|s| s.name == "sim.layer"));
+        assert!(snap
+            .histogram("cluster.reassemble_ns")
+            .is_some_and(|h| h.count() > 0));
+        // The default engine stays disabled and records nothing.
+        let quiet = small_engine(2);
+        assert!(!quiet.telemetry().enabled());
+        quiet.run(&p, &input, &weights, &bias).unwrap();
+        assert!(quiet.telemetry().snapshot().spans.is_empty());
     }
 
     #[test]

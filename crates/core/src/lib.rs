@@ -21,6 +21,8 @@
 //! * [`serve`] — the inference-serving runtime: plan compilation into a
 //!   content-keyed cache (persistable to disk), dynamic batching and a
 //!   multi-array scheduler (beyond the paper).
+//! * [`telemetry`] — live counters/gauges/histograms, spans and the
+//!   snapshot + Chrome-trace exporters every layer records into.
 //!
 //! The public API is the [`Engine`] façade: one typed builder, three
 //! execution tiers (`simulate` / `run` / `serve`) and a shared,
@@ -87,6 +89,7 @@ pub use eyeriss_dataflow as dataflow;
 pub use eyeriss_nn as nn;
 pub use eyeriss_serve as serve;
 pub use eyeriss_sim as sim;
+pub use eyeriss_telemetry as telemetry;
 pub use eyeriss_wire as wire;
 
 pub mod engine;
@@ -185,6 +188,7 @@ pub mod prelude {
     };
     pub use eyeriss_serve::{BatchPolicy, PlanCache, PlanCompiler, ServeConfig, Server};
     pub use eyeriss_sim::{Accelerator, SimStats};
+    pub use eyeriss_telemetry::{Telemetry, TelemetrySnapshot};
 }
 
 #[cfg(test)]

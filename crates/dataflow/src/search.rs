@@ -18,7 +18,39 @@ use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_arch::cost::{CostModel, CostReport};
 use eyeriss_arch::energy::Level;
 use eyeriss_nn::LayerProblem;
+use eyeriss_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Handles into [`Telemetry::global`] resolved once per process.
+///
+/// [`optimize`] keeps its signature (it is called from every layer of
+/// the workspace), so its instrumentation reports to the *global*
+/// instance only: enable it via `Telemetry::global().set_enabled(true)`
+/// or `Engine::builder().telemetry_enabled(true)`. While the global
+/// instance is disabled the cost per search is two relaxed loads.
+struct SearchTele {
+    searches: Counter,
+    candidates: Counter,
+    wall_ns: Histogram,
+    memo_hits: Counter,
+    memo_misses: Counter,
+}
+
+fn search_tele() -> &'static SearchTele {
+    static TELE: OnceLock<SearchTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let t = Telemetry::global();
+        SearchTele {
+            searches: t.counter("search.searches"),
+            candidates: t.counter("search.candidates_scored"),
+            wall_ns: t.histogram("search.wall_ns"),
+            memo_hits: t.counter("search.memo_hits"),
+            memo_misses: t.counter("search.memo_misses"),
+        }
+    })
+}
 
 /// The optimization objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +125,24 @@ pub fn optimize(
     cost: &dyn CostModel,
     objective: Objective,
 ) -> Option<MappingCandidate> {
+    let tele = search_tele();
+    let start = Telemetry::global().enabled().then(Instant::now);
+    let found = optimize_impl(df, problem, hw, cost, objective, tele);
+    if let Some(t0) = start {
+        tele.searches.inc();
+        tele.wall_ns.record_duration(t0.elapsed());
+    }
+    found
+}
+
+fn optimize_impl(
+    df: &dyn Dataflow,
+    problem: &LayerProblem,
+    hw: &AcceleratorConfig,
+    cost: &dyn CostModel,
+    objective: Objective,
+    tele: &SearchTele,
+) -> Option<MappingCandidate> {
     // The exhaustive scan is hot: snapshot the model's ten numbers once
     // so scoring a candidate never re-enters the trait object. The local
     // arithmetic replicates `CostModel::energy_of`/`delay_of` operation
@@ -146,6 +196,7 @@ pub fn optimize(
         score(c)
     };
     let mut cands = df.enumerate(problem, hw);
+    tele.candidates.add(cands.len() as u64);
     let scores: Vec<f64> = if cands.len() >= PAR_SCAN_THRESHOLD {
         eyeriss_par::par_map_slice(&cands, screen)
     } else {
@@ -268,8 +319,10 @@ impl<'a> MappingMemo<'a> {
         let key = (df.id(), *problem);
         if let Some(cached) = self.cache.get(&key) {
             self.hits += 1;
+            search_tele().memo_hits.inc();
             return cached.clone();
         }
+        search_tele().memo_misses.inc();
         let found = optimize(df, problem, self.hw, self.cost, self.objective);
         self.cache.insert(key, found.clone());
         found

@@ -65,6 +65,8 @@ pub mod runtime;
 
 pub use batch::BatchPolicy;
 pub use error::ServeError;
-pub use metrics::{percentile, LatencyBreakdown, RequestRecord, ServerStats};
+pub use metrics::{
+    percentile, LatencyBreakdown, LatencySummary, RequestRecord, ServerSnapshot, ServerStats,
+};
 pub use plan::{CacheStats, CompiledPlan, Footprint, PlanCache, PlanCompiler, PlanKey, StagePlan};
 pub use runtime::{RequestHandle, Response, ServeConfig, Server};

@@ -1,6 +1,7 @@
 //! Per-request latency accounting and server-level aggregates.
 
 use crate::plan::CacheStats;
+use eyeriss_telemetry::HistogramSnapshot;
 use std::time::Duration;
 
 /// Where one request's latency went.
@@ -43,8 +44,36 @@ pub fn percentile(samples: &[Duration], q: f64) -> Duration {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
+    sorted_percentile(&sorted, q)
+}
+
+/// Nearest-rank percentile of an already-sorted slice (`ZERO` when
+/// empty) — the shared kernel of [`percentile`] and
+/// [`ServerStats::latency_summary`], so multi-quantile aggregation
+/// sorts exactly once.
+fn sorted_percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
     let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Mean / p50 / p99 of end-to-end latency, computed from **one** totals
+/// vector and **one** sort — ask for this instead of calling
+/// [`ServerStats::p50`], [`ServerStats::p99`] and
+/// [`ServerStats::mean_latency`] separately (each of those builds and
+/// sorts its own copy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Requests aggregated.
+    pub count: usize,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
 }
 
 /// Everything a server measured over its lifetime, returned by
@@ -79,22 +108,41 @@ impl ServerStats {
         self.records.iter().map(|r| r.latency.total()).collect()
     }
 
-    /// Median end-to-end latency.
-    pub fn p50(&self) -> Duration {
-        percentile(&self.totals(), 0.50)
-    }
-
-    /// 99th-percentile end-to-end latency.
-    pub fn p99(&self) -> Duration {
-        percentile(&self.totals(), 0.99)
-    }
-
-    /// Mean end-to-end latency.
-    pub fn mean_latency(&self) -> Duration {
-        if self.records.is_empty() {
-            return Duration::ZERO;
+    /// Mean, p50 and p99 end-to-end latency from a single totals build
+    /// and sort. `records` is public and may have been filtered by the
+    /// caller, so nothing is cached — one call aggregates the records
+    /// as they are now.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let mut totals = self.totals();
+        totals.sort_unstable();
+        let count = totals.len();
+        if count == 0 {
+            return LatencySummary::default();
         }
-        self.totals().iter().sum::<Duration>() / self.records.len() as u32
+        LatencySummary {
+            count,
+            mean: totals.iter().sum::<Duration>() / count as u32,
+            p50: sorted_percentile(&totals, 0.50),
+            p99: sorted_percentile(&totals, 0.99),
+        }
+    }
+
+    /// Median end-to-end latency (one statistic; for several, use
+    /// [`ServerStats::latency_summary`]).
+    pub fn p50(&self) -> Duration {
+        self.latency_summary().p50
+    }
+
+    /// 99th-percentile end-to-end latency (one statistic; for several,
+    /// use [`ServerStats::latency_summary`]).
+    pub fn p99(&self) -> Duration {
+        self.latency_summary().p99
+    }
+
+    /// Mean end-to-end latency (one statistic; for several, use
+    /// [`ServerStats::latency_summary`]).
+    pub fn mean_latency(&self) -> Duration {
+        self.latency_summary().mean
     }
 
     /// Mean time spent queued (batch-formation wait included).
@@ -120,6 +168,80 @@ impl ServerStats {
             return 0.0;
         }
         self.records.iter().map(|r| r.batch_size).sum::<usize>() as f64 / self.records.len() as f64
+    }
+}
+
+/// A live, point-in-time view of a running [`crate::Server`] from
+/// [`crate::Server::snapshot`] — available **while the server runs**,
+/// unlike [`ServerStats`], which exists only after
+/// [`crate::Server::shutdown`].
+///
+/// Latency statistics come from the server's streaming log-bucketed
+/// histograms, so [`ServerSnapshot::p50`] / [`ServerSnapshot::p99`] are
+/// estimates within [`eyeriss_telemetry::RELATIVE_ERROR`] of the exact
+/// nearest-rank percentiles over the same requests (values below
+/// [`eyeriss_telemetry::EXACT_BELOW`] nanoseconds are exact).
+#[derive(Debug, Clone, Default)]
+pub struct ServerSnapshot {
+    /// Wall-clock time since the server started.
+    pub elapsed: Duration,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Requests shed by [`crate::Server::try_submit`] on a full queue.
+    pub shed: u64,
+    /// Requests currently waiting in the submission queue (or picked up
+    /// by the batcher but not yet dispatched).
+    pub queue_depth: i64,
+    /// Batches currently executing on workers.
+    pub inflight_batches: i64,
+    /// Plan-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Streaming queue-stage latency (nanoseconds per request).
+    pub queue_ns: HistogramSnapshot,
+    /// Streaming compile-stage latency (nanoseconds per request).
+    pub compile_ns: HistogramSnapshot,
+    /// Streaming execute-stage latency (nanoseconds per request).
+    pub execute_ns: HistogramSnapshot,
+    /// Streaming end-to-end latency (nanoseconds per request).
+    pub total_ns: HistogramSnapshot,
+    /// Batch sizes of completed requests.
+    pub batch_size: HistogramSnapshot,
+}
+
+impl ServerSnapshot {
+    fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.total_ns.quantile(q).unwrap_or(0))
+    }
+
+    /// Streaming estimate of the median end-to-end latency so far.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// Streaming estimate of the 99th-percentile end-to-end latency so
+    /// far.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Mean end-to-end latency so far.
+    pub fn mean_latency(&self) -> Duration {
+        Duration::from_nanos(self.total_ns.mean() as u64)
+    }
+
+    /// Completed requests per second of server lifetime so far.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Mean batch size over completed requests so far.
+    pub fn mean_batch(&self) -> f64 {
+        self.batch_size.mean()
     }
 }
 
@@ -171,6 +293,11 @@ mod tests {
         assert_eq!(stats.completed(), 3);
         assert_eq!(stats.throughput_rps(), 1.5);
         assert_eq!(stats.p50(), ms(13));
+        let summary = stats.latency_summary();
+        assert_eq!(
+            (summary.count, summary.mean, summary.p50, summary.p99),
+            (3, stats.mean_latency(), stats.p50(), stats.p99())
+        );
         assert_eq!(stats.max_batch(), 2);
         assert!((stats.mean_batch() - 5.0 / 3.0).abs() < 1e-12);
         assert_eq!(stats.mean_queue(), ms(10));
@@ -190,5 +317,10 @@ mod tests {
         assert_eq!(stats.p50(), Duration::ZERO);
         assert_eq!(stats.mean_latency(), Duration::ZERO);
         assert_eq!(stats.mean_batch(), 0.0);
+        assert_eq!(stats.latency_summary(), LatencySummary::default());
+        let snap = ServerSnapshot::default();
+        assert_eq!(snap.p50(), Duration::ZERO);
+        assert_eq!(snap.throughput_rps(), 0.0);
+        assert_eq!(snap.mean_batch(), 0.0);
     }
 }

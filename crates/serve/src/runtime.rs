@@ -16,13 +16,14 @@
 
 use crate::batch::{collect_batch, BatchPolicy};
 use crate::error::ServeError;
-use crate::metrics::{LatencyBreakdown, RequestRecord, ServerStats};
+use crate::metrics::{LatencyBreakdown, RequestRecord, ServerSnapshot, ServerStats};
 use crate::plan::{CompiledPlan, PlanCompiler, StagePlan};
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::Cluster;
 use eyeriss_nn::network::Network;
 use eyeriss_nn::{reference, Fix16, LayerProblem, Tensor4};
 use eyeriss_sim::Accelerator;
+use eyeriss_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -78,6 +79,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-array hardware configuration.
     pub hw: AcceleratorConfig,
+    /// Telemetry instance the server records into. `None` (the
+    /// default) gives the server a private, always-enabled instance so
+    /// [`Server::snapshot`] is live out of the box; pass a shared
+    /// instance to fold serve/cluster/sim metrics into one timeline
+    /// (e.g. [`eyeriss_telemetry::Telemetry::global`], or the engine's
+    /// via its builder).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl ServeConfig {
@@ -90,6 +98,7 @@ impl ServeConfig {
             policy: BatchPolicy::default(),
             queue_capacity: 64,
             hw: AcceleratorConfig::eyeriss_chip(),
+            telemetry: None,
         }
     }
 }
@@ -97,6 +106,37 @@ impl ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig::new()
+    }
+}
+
+/// Pre-resolved handles for every serve-layer metric, so the hot paths
+/// never touch the registry lock. Cloning shares the same storage.
+#[derive(Clone)]
+struct ServeTele {
+    queue_depth: Gauge,
+    inflight_batches: Gauge,
+    completed: Counter,
+    shed: Counter,
+    queue_ns: Histogram,
+    compile_ns: Histogram,
+    execute_ns: Histogram,
+    total_ns: Histogram,
+    batch_size: Histogram,
+}
+
+impl ServeTele {
+    fn resolve(tele: &Telemetry) -> Self {
+        ServeTele {
+            queue_depth: tele.gauge("serve.queue_depth"),
+            inflight_batches: tele.gauge("serve.inflight_batches"),
+            completed: tele.counter("serve.completed"),
+            shed: tele.counter("serve.shed"),
+            queue_ns: tele.histogram("serve.queue_ns"),
+            compile_ns: tele.histogram("serve.compile_ns"),
+            execute_ns: tele.histogram("serve.execute_ns"),
+            total_ns: tele.histogram("serve.total_ns"),
+            batch_size: tele.histogram("serve.batch_size"),
+        }
     }
 }
 
@@ -175,6 +215,8 @@ pub struct Server {
     started: Instant,
     next_id: AtomicU64,
     input_dims: (usize, usize),
+    tele: Telemetry,
+    metrics: ServeTele,
 }
 
 impl Server {
@@ -209,6 +251,8 @@ impl Server {
         let plans = Arc::new(NetPlans::new(Arc::clone(&net), Arc::clone(&compiler)));
         let records = Arc::new(Mutex::new(Vec::new()));
         let input_dims = net.input_dims();
+        let tele = cfg.telemetry.unwrap_or_else(Telemetry::new_enabled);
+        let metrics = ServeTele::resolve(&tele);
 
         let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
         // The batch queue is bounded by the worker count so that a slow
@@ -217,8 +261,10 @@ impl Server {
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let policy = cfg.policy;
+        let queue_depth = metrics.queue_depth.clone();
         let batcher = std::thread::spawn(move || {
             while let Some(batch) = collect_batch(&submit_rx, &policy) {
+                queue_depth.add(-(batch.len() as i64));
                 if batch_tx.send(batch).is_err() {
                     break; // workers are gone
                 }
@@ -231,10 +277,14 @@ impl Server {
                 let net = Arc::clone(&net);
                 let plans = Arc::clone(&plans);
                 let records = Arc::clone(&records);
-                let cluster = Cluster::new(cfg.arrays, cfg.hw);
-                let pool_chip = Accelerator::new(cfg.hw);
+                let cluster = Cluster::new(cfg.arrays, cfg.hw).with_telemetry(tele.clone());
+                let pool_chip = Accelerator::new(cfg.hw).telemetry(tele.clone());
+                let tele = tele.clone();
+                let metrics = metrics.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&rx, &net, &plans, &cluster, pool_chip, &records)
+                    worker_loop(
+                        &rx, &net, &plans, &cluster, pool_chip, &records, &tele, &metrics,
+                    )
                 })
             })
             .collect();
@@ -250,6 +300,8 @@ impl Server {
             started: Instant::now(),
             next_id: AtomicU64::new(0),
             input_dims,
+            tele,
+            metrics,
         }
     }
 
@@ -296,9 +348,14 @@ impl Server {
     /// Fails on mismatched input dimensions or a shut-down server.
     pub fn submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
         let (pending, handle) = self.pending(input)?;
-        self.submit_tx
-            .send(pending)
-            .map_err(|_| ServeError::ShutDown)?;
+        // Increment before the send: the matching decrement (in the
+        // batcher) can only follow a successful send, so the gauge
+        // never goes negative (counting a blocked submit as queued).
+        self.metrics.queue_depth.inc();
+        if self.submit_tx.send(pending).is_err() {
+            self.metrics.queue_depth.dec();
+            return Err(ServeError::ShutDown);
+        }
         Ok(handle)
     }
 
@@ -312,16 +369,55 @@ impl Server {
     /// [`Server::submit`] failure mode.
     pub fn try_submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
         let (pending, handle) = self.pending(input)?;
+        self.metrics.queue_depth.inc();
         match self.submit_tx.try_send(pending) {
             Ok(()) => Ok(handle),
-            Err(TrySendError::Full(_)) => Err(ServeError::Saturated),
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShutDown),
+            Err(TrySendError::Full(_)) => {
+                self.metrics.queue_depth.dec();
+                self.metrics.shed.inc();
+                Err(ServeError::Saturated)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.queue_depth.dec();
+                Err(ServeError::ShutDown)
+            }
         }
     }
 
     /// Snapshot of the plan-cache counters.
     pub fn cache_stats(&self) -> crate::plan::CacheStats {
         self.compiler.cache().stats()
+    }
+
+    /// A live, point-in-time view of the server — queue depth,
+    /// in-flight batches and streaming latency quantiles — available
+    /// **while requests are running**, unlike [`Server::shutdown`]'s
+    /// [`ServerStats`]. With the default configuration (no injected
+    /// telemetry) the backing instance is always enabled, so this is
+    /// never empty once requests complete.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            elapsed: self.started.elapsed(),
+            completed: self.metrics.completed.get(),
+            shed: self.metrics.shed.get(),
+            queue_depth: self.metrics.queue_depth.get(),
+            inflight_batches: self.metrics.inflight_batches.get(),
+            cache: self.compiler.cache().stats(),
+            queue_ns: self.metrics.queue_ns.snapshot(),
+            compile_ns: self.metrics.compile_ns.snapshot(),
+            execute_ns: self.metrics.execute_ns.snapshot(),
+            total_ns: self.metrics.total_ns.snapshot(),
+            batch_size: self.metrics.batch_size.snapshot(),
+        }
+    }
+
+    /// The telemetry instance this server records into — spans from the
+    /// workers' clusters and simulated chips land here too, so
+    /// [`eyeriss_telemetry::Telemetry::snapshot`] plus
+    /// [`eyeriss_telemetry::TelemetrySnapshot::chrome_trace`] yields a
+    /// loadable `chrome://tracing` timeline of the serving run.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
     }
 
     /// Drains in-flight requests, stops every thread and returns the
@@ -352,6 +448,7 @@ impl Server {
 
 /// One worker: picks whole batches off the shared queue and executes
 /// them on its private cluster until the queue disconnects.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     batch_rx: &Mutex<Receiver<Vec<Pending>>>,
     net: &Network,
@@ -359,6 +456,8 @@ fn worker_loop(
     cluster: &Cluster,
     mut pool_chip: Accelerator,
     records: &Mutex<Vec<RequestRecord>>,
+    tele: &Telemetry,
+    metrics: &ServeTele,
 ) {
     loop {
         // Holding the lock only while *waiting* serializes batch pickup,
@@ -368,14 +467,27 @@ fn worker_loop(
             rx.recv()
         };
         let Ok(batch) = batch else { break };
-        match run_batch(net, plans, cluster, &mut pool_chip, &batch) {
+        metrics.inflight_batches.inc();
+        let outcome = {
+            let _batch_span = tele.span_with("serve.batch", "serve", batch.len() as u64);
+            run_batch(net, plans, cluster, &mut pool_chip, &batch)
+        };
+        metrics.inflight_batches.dec();
+        match outcome {
             Ok(done) => {
                 let mut recs = records.lock().expect("records poisoned");
                 for (pending, response) in batch.into_iter().zip(done) {
+                    let latency = response.0.latency;
+                    metrics.queue_ns.record_duration(latency.queue);
+                    metrics.compile_ns.record_duration(latency.compile);
+                    metrics.execute_ns.record_duration(latency.execute);
+                    metrics.total_ns.record_duration(latency.total());
+                    metrics.batch_size.record(response.0.batch_size as u64);
+                    metrics.completed.inc();
                     recs.push(RequestRecord {
                         id: response.0.id,
                         batch_size: response.0.batch_size,
-                        latency: response.0.latency,
+                        latency,
                         sim_cycles: response.1,
                     });
                     let _ = pending.tx.send(Ok(response.0));
@@ -497,6 +609,7 @@ mod tests {
                 rf_bytes_per_pe: 512.0,
                 buffer_bytes: 32.0 * 1024.0,
             },
+            telemetry: None,
         }
     }
 
@@ -527,6 +640,46 @@ mod tests {
         // may differ between batches, so only misses are deterministic).
         assert!(stats.cache.misses > 0);
         assert!(stats.records.iter().all(|r| r.sim_cycles > 0));
+    }
+
+    #[test]
+    fn snapshot_is_live_and_consistent_with_final_stats() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let server = Server::start(net, small_cfg());
+        assert_eq!(server.snapshot().completed, 0);
+        let handles: Vec<_> = (0..6)
+            .map(|i| server.submit(synth::ifmap(&shape, 1, i)).unwrap())
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let snap = server.snapshot();
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.queue_depth, 0, "queue drained");
+        assert_eq!(snap.total_ns.count(), 6);
+        assert!(snap.p99() >= snap.p50());
+        assert!(snap.throughput_rps() > 0.0);
+        assert!(snap.mean_batch() >= 1.0);
+        // The cluster and chip record spans into the server's instance.
+        let tele = server.telemetry().snapshot();
+        assert!(tele.spans.iter().any(|s| s.name == "serve.batch"));
+        assert!(tele.spans.iter().any(|s| s.name == "cluster.array"));
+        assert!(tele.spans.iter().any(|s| s.name == "sim.pass"));
+        let trace = tele.chrome_trace();
+        assert!(trace.contains("\"name\":\"cluster.array\""));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.completed(), 6);
+        // Streaming p50/p99 agree with the exact nearest-rank stats to
+        // within the documented bucket error.
+        let summary = stats.latency_summary();
+        for (stream, exact) in [(snap.p50(), summary.p50), (snap.p99(), summary.p99)] {
+            let bound = exact.as_nanos() as f64 * eyeriss_telemetry::RELATIVE_ERROR + 1.0;
+            let delta = stream.as_nanos().abs_diff(exact.as_nanos()) as f64;
+            assert!(delta <= bound, "stream {stream:?} vs exact {exact:?}");
+        }
     }
 
     #[test]

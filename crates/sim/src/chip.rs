@@ -16,6 +16,7 @@ use crate::scratch::SimScratch;
 use crate::stats::SimStats;
 use eyeriss_arch::config::AcceleratorConfig;
 use eyeriss_nn::{reference, Fix16, LayerKind, LayerShape, Tensor4};
+use eyeriss_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// The result of simulating one layer.
@@ -54,6 +55,9 @@ pub struct Accelerator {
     zero_gating: bool,
     rlc_enabled: bool,
     dram: DramModel,
+    /// Where layer/pass spans are recorded (defaults to the disabled
+    /// [`Telemetry::global`] instance).
+    tele: Telemetry,
     /// Private scratch arena, reused across every run on this chip.
     scratch: SimScratch,
     /// Memoized winning mappings per `(shape, batch)` — the search is
@@ -70,9 +74,17 @@ impl Accelerator {
             zero_gating: false,
             rlc_enabled: false,
             dram: DramModel::default(),
+            tele: Telemetry::global().clone(),
             scratch: SimScratch::new(),
             mappings: HashMap::new(),
         }
+    }
+
+    /// Routes this chip's `sim.layer` / `sim.pass` spans to `tele`
+    /// instead of the global instance.
+    pub fn telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
     }
 
     /// Overrides the DRAM bandwidth model.
@@ -227,6 +239,7 @@ impl Accelerator {
         );
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
+        let _layer_span = self.tele.span_with("sim.layer", "sim", n_batch as u64);
         let mut engine = Engine::new(self, scratch, shape, n_batch, mapping, input, weights);
         engine.run()?;
         let mut psums = engine.out;
@@ -312,11 +325,12 @@ struct Engine<'a> {
     filters_from_dram: bool,
     dram: DramModel,
     pending_dram_words: u64,
+    tele: &'a Telemetry,
 }
 
 impl<'a> Engine<'a> {
     fn new(
-        acc: &Accelerator,
+        acc: &'a Accelerator,
         scratch: &'a mut SimScratch,
         shape: &'a LayerShape,
         n_batch: usize,
@@ -348,6 +362,7 @@ impl<'a> Engine<'a> {
             filters_from_dram: !mapping.filter_resident,
             dram: acc.dram,
             pending_dram_words: 0,
+            tele: &acc.tele,
         }
     }
 
@@ -468,6 +483,7 @@ impl<'a> Engine<'a> {
     /// straight out of the tensors (contiguous innermost rows), and the
     /// psum row accumulator is the scratch arena's, zeroed per use.
     fn run_pass(&mut self, mg: usize, ng: usize, sg: usize, cg: usize) -> Result<(), SimError> {
+        let _span = self.tele.span("sim.pass", "sim");
         let shape = *self.shape;
         let map = self.mapping;
         let (_, _, cgs, _) = self.folds;

@@ -1,0 +1,570 @@
+//! Live observability for the Eyeriss workspace: named atomic counters
+//! and gauges, streaming log-bucketed histograms, lightweight spans,
+//! and two exporters (schema-versioned JSON via `eyeriss-wire`, and
+//! Chrome `chrome://tracing` trace-event JSON).
+//!
+//! Hand-rolled like `eyeriss-par` and `eyeriss-wire`: the build is
+//! fully offline, so no `tracing`/`metrics` dependencies — std only.
+//!
+//! # Design
+//!
+//! A [`Telemetry`] instance owns a registry of named metrics and a
+//! bounded span ring. Instrumented components resolve *handles*
+//! ([`Counter`], [`Gauge`], [`Histogram`]) once, on their cold path;
+//! every hot-path operation on a handle is then lock-free — relaxed
+//! atomics only — and gated by a **single relaxed load** of the
+//! instance's enabled flag. While disabled, no clock is read, nothing
+//! allocates, and no lock is taken, so instrumentation compiled into
+//! release binaries costs one predictable branch per site.
+//!
+//! Registration (name lookup) takes a mutex and is intended for setup
+//! paths only. Snapshots ([`Telemetry::snapshot`]) can be taken at any
+//! time, concurrently with recording.
+//!
+//! # Instances
+//!
+//! Most components default to the process-wide [`Telemetry::global`]
+//! instance, which starts **disabled**. Tests and servers that want
+//! isolated metrics construct their own instance and inject it
+//! (`Cluster::with_telemetry`, `ServeConfig::telemetry`,
+//! `Engine::builder().telemetry(..)`).
+//!
+//! # Example
+//!
+//! ```
+//! use eyeriss_telemetry::Telemetry;
+//!
+//! let tele = Telemetry::new_enabled();
+//! let requests = tele.counter("serve.completed");
+//! let latency = tele.histogram("serve.total_ns");
+//! requests.inc();
+//! latency.record(1_250_000);
+//! {
+//!     let _span = tele.span_with("serve.batch", "serve", 4);
+//!     // ... work ...
+//! }
+//! let snap = tele.snapshot();
+//! assert_eq!(snap.counter("serve.completed"), Some(1));
+//! assert_eq!(snap.histogram("serve.total_ns").unwrap().count(), 1);
+//! assert_eq!(snap.spans.len(), 1);
+//! let json = snap.to_wire().render(); // schema "eyeriss-telemetry" v1
+//! let trace = snap.chrome_trace(); // load in chrome://tracing
+//! assert!(json.contains("eyeriss-telemetry") && trace.contains("serve.batch"));
+//! ```
+
+mod export;
+mod hist;
+mod span;
+
+pub use export::{TelemetrySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION};
+pub use hist::{Histogram, HistogramSnapshot, EXACT_BELOW, RELATIVE_ERROR, SUB_BUCKET_BITS};
+pub use span::SpanRecord;
+
+use hist::HistCore;
+use span::{current_tid, SpanRing, DEFAULT_SPAN_CAPACITY};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// Handle to a named monotonically-increasing counter.
+///
+/// Clones share the same storage; all operations are relaxed atomics
+/// and no-ops (one relaxed load) while the owning instance is disabled.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a named signed gauge (an instantaneous level, e.g. queue
+/// depth).
+///
+/// Clones share the same storage; all operations are relaxed atomics
+/// and no-ops (one relaxed load) while the owning instance is disabled.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Adds `n` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the gauge.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the gauge.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistCore>),
+}
+
+/// Named metric storage behind a [`Telemetry`] instance.
+///
+/// The *hot path* (recording through resolved handles) is lock-free;
+/// the registry mutex guards only registration and snapshotting, both
+/// cold paths. Names are registered once: resolving the same name
+/// again returns a handle to the same storage, and resolving a name as
+/// a different metric kind panics (a programming error, caught in
+/// tests).
+#[derive(Debug, Default)]
+struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    fn counter(&self, name: &str, enabled: &Arc<AtomicBool>) -> Counter {
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        let cell = match entries.iter().find(|(n, _)| n == name) {
+            Some((_, Metric::Counter(c))) => Arc::clone(c),
+            Some((_, _)) => {
+                panic!("telemetry metric {name:?} already registered with another kind")
+            }
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                entries.push((name.to_string(), Metric::Counter(Arc::clone(&c))));
+                c
+            }
+        };
+        Counter {
+            enabled: Arc::clone(enabled),
+            cell,
+        }
+    }
+
+    fn gauge(&self, name: &str, enabled: &Arc<AtomicBool>) -> Gauge {
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        let cell = match entries.iter().find(|(n, _)| n == name) {
+            Some((_, Metric::Gauge(g))) => Arc::clone(g),
+            Some((_, _)) => {
+                panic!("telemetry metric {name:?} already registered with another kind")
+            }
+            None => {
+                let g = Arc::new(AtomicI64::new(0));
+                entries.push((name.to_string(), Metric::Gauge(Arc::clone(&g))));
+                g
+            }
+        };
+        Gauge {
+            enabled: Arc::clone(enabled),
+            cell,
+        }
+    }
+
+    fn histogram(&self, name: &str, enabled: &Arc<AtomicBool>) -> Histogram {
+        let mut entries = self.entries.lock().expect("telemetry registry poisoned");
+        let core = match entries.iter().find(|(n, _)| n == name) {
+            Some((_, Metric::Histogram(h))) => Arc::clone(h),
+            Some((_, _)) => {
+                panic!("telemetry metric {name:?} already registered with another kind")
+            }
+            None => {
+                let h = Arc::new(HistCore::new());
+                entries.push((name.to_string(), Metric::Histogram(Arc::clone(&h))));
+                h
+            }
+        };
+        Histogram {
+            enabled: Arc::clone(enabled),
+            core,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry instance
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Inner {
+    enabled: Arc<AtomicBool>,
+    epoch: Instant,
+    registry: Registry,
+    spans: Mutex<SpanRing>,
+}
+
+/// A cheaply-cloneable handle to one telemetry instance (registry +
+/// span ring + enabled switch). See the [crate docs](crate) for the
+/// cost model and instance conventions.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    fn with_enabled(enabled: bool) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: Arc::new(AtomicBool::new(enabled)),
+                epoch: Instant::now(),
+                registry: Registry::default(),
+                spans: Mutex::new(SpanRing::new(DEFAULT_SPAN_CAPACITY)),
+            }),
+        }
+    }
+
+    /// A fresh, **disabled** instance.
+    pub fn new() -> Self {
+        Telemetry::with_enabled(false)
+    }
+
+    /// A fresh, enabled instance.
+    pub fn new_enabled() -> Self {
+        Telemetry::with_enabled(true)
+    }
+
+    /// The process-wide instance most components default to. Starts
+    /// disabled; flip it with [`set_enabled`](Telemetry::set_enabled).
+    pub fn global() -> &'static Telemetry {
+        static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+        GLOBAL.get_or_init(Telemetry::new)
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording. Existing handles observe the
+    /// change on their next operation.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when two handles refer to the same instance.
+    pub fn same_instance(&self, other: &Telemetry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Resolves (registering on first use) a counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name, &self.inner.enabled)
+    }
+
+    /// Resolves (registering on first use) a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.registry.gauge(name, &self.inner.enabled)
+    }
+
+    /// Resolves (registering on first use) a histogram handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner.registry.histogram(name, &self.inner.enabled)
+    }
+
+    /// Starts a span (see [`Span`]); equivalent to
+    /// [`span_with`](Telemetry::span_with) with `arg = 0`.
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str) -> Span<'_> {
+        self.span_with(name, cat, 0)
+    }
+
+    /// Starts a span carrying a numeric argument (array index, batch
+    /// size, ...). While the instance is disabled this reads no clock
+    /// and records nothing.
+    #[inline]
+    pub fn span_with(&self, name: &'static str, cat: &'static str, arg: u64) -> Span<'_> {
+        Span {
+            active: self
+                .inner
+                .enabled
+                .load(Ordering::Relaxed)
+                .then(|| SpanActive {
+                    tele: self,
+                    name,
+                    cat,
+                    arg,
+                    start: Instant::now(),
+                }),
+        }
+    }
+
+    /// Replaces the span ring capacity (default 4096 records),
+    /// clearing any recorded spans.
+    pub fn set_span_capacity(&self, capacity: usize) {
+        self.inner
+            .spans
+            .lock()
+            .expect("telemetry span ring poisoned")
+            .set_capacity(capacity);
+    }
+
+    /// Capacity of the span ring in records.
+    pub fn span_capacity(&self) -> usize {
+        self.inner
+            .spans
+            .lock()
+            .expect("telemetry span ring poisoned")
+            .capacity()
+    }
+
+    /// Zeroes every metric and clears the span ring (handles stay
+    /// valid). Intended for test setups and between bench phases.
+    pub fn reset(&self) {
+        let entries = self
+            .inner
+            .registry
+            .entries
+            .lock()
+            .expect("telemetry registry poisoned");
+        for (_, metric) in entries.iter() {
+            match metric {
+                Metric::Counter(c) => c.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.store(0, Ordering::Relaxed),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+        drop(entries);
+        self.inner
+            .spans
+            .lock()
+            .expect("telemetry span ring poisoned")
+            .clear();
+    }
+
+    /// A point-in-time copy of every metric and the surviving span
+    /// window. Safe to call while recording continues.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        {
+            let entries = self
+                .inner
+                .registry
+                .entries
+                .lock()
+                .expect("telemetry registry poisoned");
+            for (name, metric) in entries.iter() {
+                match metric {
+                    Metric::Counter(c) => counters.push((name.clone(), c.load(Ordering::Relaxed))),
+                    Metric::Gauge(g) => gauges.push((name.clone(), g.load(Ordering::Relaxed))),
+                    Metric::Histogram(h) => histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        let (spans, spans_dropped) = {
+            let ring = self
+                .inner
+                .spans
+                .lock()
+                .expect("telemetry span ring poisoned");
+            (ring.to_vec(), ring.dropped())
+        };
+        TelemetrySnapshot {
+            elapsed: self.inner.epoch.elapsed(),
+            counters,
+            gauges,
+            histograms,
+            spans,
+            spans_dropped,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+struct SpanActive<'a> {
+    tele: &'a Telemetry,
+    name: &'static str,
+    cat: &'static str,
+    arg: u64,
+    start: Instant,
+}
+
+/// RAII guard for a timed interval; dropping it records a
+/// [`SpanRecord`] into the owning instance's bounded ring buffer.
+///
+/// Created while the instance is disabled, the guard is inert: no
+/// clock read on construction, nothing recorded on drop.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span<'a> {
+    active: Option<SpanActive<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let dur = active.start.elapsed();
+            let inner = &active.tele.inner;
+            let record = SpanRecord {
+                name: active.name,
+                cat: active.cat,
+                arg: active.arg,
+                tid: current_tid(),
+                start_ns: active
+                    .start
+                    .duration_since(inner.epoch)
+                    .as_nanos()
+                    .min(u64::MAX as u128) as u64,
+                dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+            };
+            inner
+                .spans
+                .lock()
+                .expect("telemetry span ring poisoned")
+                .push(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_instance_records_nothing() {
+        let tele = Telemetry::new();
+        let c = tele.counter("c");
+        let g = tele.gauge("g");
+        let h = tele.histogram("h");
+        c.inc();
+        g.set(7);
+        h.record(42);
+        drop(tele.span("s", "test"));
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("c"), Some(0));
+        assert_eq!(snap.gauge("g"), Some(0));
+        assert!(snap.histogram("h").unwrap().is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn handles_share_storage_by_name() {
+        let tele = Telemetry::new_enabled();
+        let a = tele.counter("x");
+        let b = tele.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(tele.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let tele = Telemetry::new();
+        let _c = tele.counter("name");
+        let _g = tele.gauge("name");
+    }
+
+    #[test]
+    fn enable_toggle_applies_to_existing_handles() {
+        let tele = Telemetry::new();
+        let c = tele.counter("c");
+        c.inc();
+        tele.set_enabled(true);
+        c.inc();
+        tele.set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn spans_record_order_and_overflow() {
+        let tele = Telemetry::new_enabled();
+        tele.set_span_capacity(2);
+        for i in 0..3u64 {
+            drop(tele.span_with("s", "test", i));
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans_dropped, 1);
+        let args: Vec<u64> = snap.spans.iter().map(|s| s.arg).collect();
+        assert_eq!(args, vec![1, 2]);
+        assert!(snap.spans[0].start_ns <= snap.spans[1].start_ns);
+    }
+
+    #[test]
+    fn wire_snapshot_roundtrips() {
+        let tele = Telemetry::new_enabled();
+        tele.counter("c").add(9);
+        tele.gauge("g").add(-4);
+        let h = tele.histogram("h");
+        for v in [1u64, 100, 100, 5000] {
+            h.record(v);
+        }
+        drop(tele.span("s", "test"));
+        let snap = tele.snapshot();
+        let wire = snap.to_wire();
+        let parsed = eyeriss_wire::Value::parse(&wire.render()).unwrap();
+        let back = TelemetrySnapshot::from_wire(&parsed).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert_eq!(back.spans_dropped, 0);
+    }
+
+    #[test]
+    fn global_is_disabled_and_stable() {
+        let g = Telemetry::global();
+        assert!(g.same_instance(Telemetry::global()));
+        assert!(!g.same_instance(&Telemetry::new()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Lightweight spans recorded into a bounded ring buffer.
+//!
+//! A [`Span`](crate::Span) is an RAII guard: creating one while the
+//! owning [`Telemetry`](crate::Telemetry) instance is enabled stamps a
+//! start time, and dropping it appends a [`SpanRecord`] to the
+//! instance's ring buffer. While disabled, creating a span performs a
+//! single relaxed atomic load — no clock read, no allocation, no lock.
+//! The ring has a fixed capacity; once full, the oldest record is
+//! overwritten and a dropped counter is bumped, so long runs keep the
+//! most recent timeline window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default ring capacity (records), ~256 KiB.
+pub(crate) const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense id for the current thread, stable for its lifetime
+/// (std's `ThreadId` has no stable integer accessor).
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One completed span: a named interval on a thread's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"cluster.array"`.
+    pub name: &'static str,
+    /// Category, e.g. `"cluster"` — becomes `cat` in the Chrome trace.
+    pub cat: &'static str,
+    /// Free-form numeric argument (array index, batch size, ...).
+    pub arg: u64,
+    /// Dense thread id assigned per recording thread.
+    pub tid: u64,
+    /// Start offset in nanoseconds since the instance epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Fixed-capacity overwrite-oldest buffer of [`SpanRecord`]s.
+#[derive(Debug)]
+pub(crate) struct SpanRing {
+    buf: Vec<SpanRecord>,
+    /// Next write position once the buffer has wrapped.
+    next: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SpanRing {
+            buf: Vec::new(),
+            next: 0,
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: SpanRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(record);
+        } else {
+            self.buf[self.next] = record;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.buf.clear();
+        self.next = 0;
+        self.dropped = 0;
+        self.capacity = capacity.max(1);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.dropped = 0;
+    }
+
+    /// Records in insertion order (oldest surviving record first).
+    pub(crate) fn to_vec(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(arg: u64) -> SpanRecord {
+        SpanRecord {
+            name: "t",
+            cat: "test",
+            arg,
+            tid: 1,
+            start_ns: arg,
+            dur_ns: 1,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..5 {
+            ring.push(rec(i));
+        }
+        let args: Vec<u64> = ring.to_vec().iter().map(|r| r.arg).collect();
+        assert_eq!(args, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_order() {
+        let mut ring = SpanRing::new(8);
+        for i in 0..3 {
+            ring.push(rec(i));
+        }
+        let args: Vec<u64> = ring.to_vec().iter().map(|r| r.arg).collect();
+        assert_eq!(args, vec![0, 1, 2]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn tids_are_distinct_per_thread() {
+        let here = current_tid();
+        let there = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(here, there);
+        assert_eq!(here, current_tid());
+    }
+}

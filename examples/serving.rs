@@ -10,7 +10,8 @@
 //!    and p50/p99 latency at each point.
 //! 3. **One traced request** — a single inference with its
 //!    queue/compile/execute latency breakdown, verified bit-exact
-//!    against the pure-software reference.
+//!    against the pure-software reference — plus the server's live
+//!    telemetry (`Server::snapshot()` and the wire-schema export).
 //! 4. **Persisted plans** — compile once, serve cold with zero searches.
 //! 5. **A non-default cost model** — a registered `lp-28nm` model prices
 //!    search/planning, persists by fingerprint, serves cold, and never
@@ -81,6 +82,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         response.latency.queue.as_secs_f64() * 1e3,
         response.latency.compile.as_secs_f64() * 1e3,
         response.latency.execute.as_secs_f64() * 1e3,
+    );
+    // ---- 3b. Live telemetry, no shutdown required ---------------------------
+    // Default servers run a private always-on telemetry instance, so
+    // `Server::snapshot()` is live at any point in the server's life;
+    // the full exportable snapshot (metrics + spans) comes from
+    // `Server::telemetry()`.
+    let live = server.snapshot();
+    println!(
+        "live snapshot: {} completed, queue depth {}, p50 {:.2} ms, p99 {:.2} ms",
+        live.completed,
+        live.queue_depth,
+        live.p50().as_secs_f64() * 1e3,
+        live.p99().as_secs_f64() * 1e3,
+    );
+    println!(
+        "telemetry snapshot (wire schema): {}",
+        server.telemetry().snapshot().to_wire().render()
     );
     let stats = server.shutdown();
     println!(

@@ -1,0 +1,123 @@
+//! Property-based telemetry correctness: the streaming log-bucketed
+//! histogram's quantiles must honor the documented error bound against
+//! the exact nearest-rank implementation (`eyeriss_serve::metrics::
+//! percentile`), snapshot merging must be order-insensitive and
+//! associative, and the lock-free registry must count exactly under
+//! multi-threaded hammering.
+
+use eyeriss::prelude::*;
+use eyeriss::telemetry::{HistogramSnapshot, EXACT_BELOW, RELATIVE_ERROR};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Asserts `approx` is within the histogram's documented bound of the
+/// exact quantile: exact for values below [`EXACT_BELOW`], within
+/// [`RELATIVE_ERROR`] relative error above it.
+fn assert_within_bound(approx: u64, exact: u64, q: f64) {
+    if exact < EXACT_BELOW {
+        assert_eq!(approx, exact, "q={q}: sub-{EXACT_BELOW} values are exact");
+    } else {
+        let err = (approx as f64 - exact as f64).abs() / exact as f64;
+        assert!(
+            err <= RELATIVE_ERROR,
+            "q={q}: approx {approx} vs exact {exact} (relative error {err:.4} > {RELATIVE_ERROR})"
+        );
+    }
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let tele = Telemetry::new_enabled();
+    let h = tele.histogram("test.samples");
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50/p99 from the streaming histogram against the exact
+    /// nearest-rank percentile over the same samples.
+    #[test]
+    fn bucketed_quantiles_match_exact_nearest_rank(
+        samples in proptest::collection::vec(0u64..5_000_000, 1..200),
+        qi in 0usize..3,
+    ) {
+        let q = [0.5, 0.9, 0.99][qi];
+        let snap = record_all(&samples);
+        let durations: Vec<Duration> =
+            samples.iter().map(|&v| Duration::from_nanos(v)).collect();
+        let exact = eyeriss::serve::percentile(&durations, q).as_nanos() as u64;
+        let approx = snap.quantile(q).expect("non-empty histogram");
+        assert_within_bound(approx, exact, q);
+    }
+
+    /// Merging snapshots is associative and order-insensitive: any
+    /// grouping of per-shard snapshots equals one histogram fed every
+    /// sample, bucket for bucket.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+
+        let mut a_bc = sc.clone();
+        a_bc.merge(&sb);
+        a_bc.merge(&sa);
+
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = record_all(&all);
+
+        assert_eq!(ab_c, direct, "(a+b)+c must equal one-shot recording");
+        assert_eq!(a_bc, direct, "(c+b)+a must equal one-shot recording");
+        assert_eq!(direct.count(), all.len() as u64);
+    }
+}
+
+/// Counters and gauges resolved from many threads against one registry
+/// must land every increment exactly once.
+#[test]
+fn registry_counts_exactly_under_contention() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let tele = Telemetry::new_enabled();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tele = tele.clone();
+            scope.spawn(move || {
+                // Re-resolve handles mid-run: resolution must dedupe
+                // onto the same underlying atomics.
+                let counter = tele.counter("hammer.count");
+                let gauge = tele.gauge("hammer.level");
+                let hist = tele.histogram("hammer.dist");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.inc();
+                    hist.record(t * PER_THREAD + i);
+                    if i % 1024 == 0 {
+                        let again = tele.counter("hammer.count");
+                        again.add(0);
+                    }
+                }
+                for _ in 0..PER_THREAD {
+                    gauge.dec();
+                }
+            });
+        }
+    });
+    let snap = tele.snapshot();
+    assert_eq!(snap.counter("hammer.count"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.gauge("hammer.level"), Some(0));
+    let dist = snap.histogram("hammer.dist").expect("histogram registered");
+    assert_eq!(dist.count(), THREADS * PER_THREAD);
+    let max = dist.quantile(1.0).expect("non-empty");
+    let exact_max = THREADS * PER_THREAD - 1;
+    assert_within_bound(max, exact_max, 1.0);
+}
