@@ -214,6 +214,8 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 64,
         hw: AcceleratorConfig::eyeriss_chip(),
         telemetry: None,
+        slos: Vec::new(),
+        flight_capacity: 256,
     }
 }
 
@@ -304,6 +306,14 @@ fn check_live_consistency(
     assert_eq!(fin.queue_depth, 0, "queue drains by the last completion");
     assert_eq!(fin.inflight_batches, 0);
     assert_eq!(fin.completed as usize, stats.completed());
+    // Telemetry is live on these servers, so every completed request
+    // carries an attribution and lands one `serve.delay_residual`
+    // sample (the |measured − analytic| plan-prediction error).
+    assert_eq!(
+        fin.delay_residual.count(),
+        fin.completed,
+        "one residual sample per completed request"
+    );
     let exact = stats.latency_summary();
     for (stream, exact) in [(fin.p50(), exact.p50), (fin.p99(), exact.p99)] {
         let bound = exact.as_nanos() as f64 * eyeriss_telemetry::RELATIVE_ERROR + 1.0;
@@ -447,5 +457,43 @@ mod tests {
             assert!(p.live_p99 > Duration::ZERO, "live snapshot was sampled");
         }
         assert!(render_sweep(&sweep).contains("achieved rps"));
+    }
+
+    #[test]
+    fn overload_breach_dumps_exactly_once() {
+        use eyeriss_serve::SloSpec;
+        let net = synthetic_net();
+        let shape = net.stages()[0].shape;
+        let mut cfg = serve_config();
+        // A 1 ns p99 bound no real inference can meet: every request
+        // violates, so the monitor must breach — and latch, producing
+        // exactly one flight dump no matter how many more requests
+        // violate afterwards.
+        cfg.slos = vec![SloSpec::p99_latency("p99-1ns", Duration::from_nanos(1)).min_events(4)];
+        let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+        let server = Server::start_with_compiler(net, cfg.clone(), compiler);
+        server.prewarm().expect("synthetic network plans");
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                server
+                    .submit(synth::ifmap(&shape, 1, i))
+                    .expect("breach submit")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("breach inference");
+        }
+        let dumps = server.slo_monitor().dumps();
+        assert_eq!(dumps.len(), 1, "latched breach dumps exactly once");
+        let dump = &dumps[0];
+        assert_eq!(dump.slo, "p99-1ns");
+        assert!(dump.short_burn >= 1.0 && dump.long_burn >= 1.0);
+        assert!(!dump.records.is_empty(), "flight ring covers the breach");
+        assert!(
+            dump.records.iter().all(|r| r.end_ns <= dump.at_ns),
+            "flight records precede the breach instant"
+        );
+        assert!(dump.records.iter().all(|r| r.latency_ns > 1));
+        server.shutdown();
     }
 }

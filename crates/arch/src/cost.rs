@@ -523,6 +523,23 @@ impl CostReport {
         }
         self.delay += other.delay;
     }
+
+    /// A copy with every **energy** term multiplied by `factor` —
+    /// attribution of a batch-level report to its constituents (e.g.
+    /// `1/batch` gives one request's even share). Delay terms are left
+    /// untouched: a batch's latency is shared by its requests, not
+    /// divided among them.
+    pub fn scaled(&self, factor: f64) -> CostReport {
+        let mut out = *self;
+        for row in &mut out.energy {
+            for cell in row.iter_mut() {
+                *cell *= factor;
+            }
+        }
+        out.alu_energy *= factor;
+        out.total_energy *= factor;
+        out
+    }
 }
 
 /// The canonical cost model: the commercial 65 nm numbers of Table IV
@@ -866,6 +883,27 @@ mod tests {
         zero.accumulate(&one);
         assert_eq!(zero, one);
         assert_eq!(one.edp(), one.total_energy * one.delay);
+    }
+
+    #[test]
+    fn scaled_attributes_energy_but_keeps_delay() {
+        let p = sample_profile();
+        let batch = TableIv.report(&p, 64);
+        let share = batch.scaled(0.25);
+        assert_eq!(share.model, batch.model);
+        assert_eq!(share.total_energy, 0.25 * batch.total_energy);
+        assert_eq!(share.alu_energy, 0.25 * batch.alu_energy);
+        for level in Level::ALL {
+            assert_eq!(share.energy_at(level), 0.25 * batch.energy_at(level));
+        }
+        for ty in DataType::ALL {
+            assert_eq!(share.energy_of(ty), 0.25 * batch.energy_of(ty));
+        }
+        // Latency is shared by the batch, not split across requests.
+        assert_eq!(share.delay, batch.delay);
+        assert_eq!(share.compute_delay, batch.compute_delay);
+        // Scaling by 1 is bit-exact identity.
+        assert_eq!(batch.scaled(1.0), batch);
     }
 
     #[test]

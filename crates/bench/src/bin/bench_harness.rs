@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench-harness [--quick] [--out PATH] [--check BASELINE.json]
-//!               [--telemetry PATH] [--trace PATH]
+//!               [--telemetry PATH] [--trace PATH] [--flight PATH]
 //! ```
 //!
 //! Runs the tier-1 performance scenarios (see `eyeriss_bench`) and
@@ -20,6 +20,11 @@
 //! (telemetry-enabled, untimed) serving burst and write the
 //! schema-versioned snapshot JSON and the Chrome `chrome://tracing`
 //! trace-event JSON.
+//!
+//! `--flight PATH` runs one observed burst against a deliberately
+//! breached SLO and writes the latched flight-recorder dump (wire JSON)
+//! plus its trace-filtered Chrome view to `PATH.trace.json` — the
+//! post-mortem artifact CI uploads.
 
 use eyeriss_wire::Value;
 use std::io::Write;
@@ -46,6 +51,7 @@ fn main() {
     let check_path = flag_value(&args, "--check");
     let telemetry_path = flag_value(&args, "--telemetry");
     let trace_path = flag_value(&args, "--trace");
+    let flight_path = flag_value(&args, "--flight");
     let mode = if quick { "quick" } else { "full" };
 
     eprintln!("running perf-regression harness ({mode} mode)...");
@@ -79,6 +85,17 @@ fn main() {
         }
     }
 
+    if let Some(path) = flight_path {
+        let (dump, snap) = eyeriss_bench::observed_flight_dump();
+        eprintln!(
+            "flight recorder: SLO '{}' breached, {} record(s) in the dump",
+            dump.slo,
+            dump.records.len()
+        );
+        write_file(&path, &dump.to_wire().render());
+        write_file(&format!("{path}.trace.json"), &dump.chrome_trace(&snap));
+    }
+
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         let baseline = Value::parse(text.trim()).expect("parse baseline JSON");
@@ -88,18 +105,22 @@ fn main() {
             eyeriss_bench::REGRESSION_TOLERANCE,
         )
         .expect("baseline schema");
+        // The per-scenario delta table prints on pass as well — CI logs
+        // carry the drift trajectory, not only the failures. The gate
+        // stays on min (noise-resistant); the mean delta is context.
         println!(
-            "\n{:<22} {:>12} {:>12} {:>8}  vs {path}",
-            "scenario", "baseline", "current", "ratio"
+            "\n{:<22} {:>12} {:>12} {:>9} {:>9}  vs {path}",
+            "scenario", "base min", "cur min", "min Δ", "mean Δ"
         );
         let mut regressed = false;
         for c in &comparisons {
             println!(
-                "{:<22} {:>9.3} ms {:>9.3} ms {:>7.2}x{}",
+                "{:<22} {:>9.3} ms {:>9.3} ms {:>+8.1}% {:>+8.1}%{}",
                 c.name,
                 c.baseline_ns as f64 / 1e6,
                 c.current_ns as f64 / 1e6,
-                c.ratio,
+                c.min_delta_pct(),
+                c.mean_delta_pct(),
                 if c.regressed { "  REGRESSED" } else { "" },
             );
             regressed |= c.regressed;

@@ -270,6 +270,46 @@ pub fn observed_serving_snapshot() -> TelemetrySnapshot {
     snap
 }
 
+/// Runs one short serving burst against a **deliberately breached** SLO
+/// (a 1 ns p99 bound no inference meets) and returns the single latched
+/// [`FlightDump`](eyeriss::telemetry::FlightDump) plus the telemetry
+/// snapshot it was cut from — the post-mortem artifact CI uploads: the
+/// dump's wire JSON and its trace-filtered Chrome view
+/// ([`FlightDump::chrome_trace`](eyeriss::telemetry::FlightDump::chrome_trace)).
+/// Observed, not timed, like [`observed_serving_snapshot`].
+pub fn observed_flight_dump() -> (eyeriss::telemetry::FlightDump, TelemetrySnapshot) {
+    use eyeriss::serve::SloSpec;
+    let net = eyeriss::analysis::experiments::serving::synthetic_net();
+    let shape = net.stages()[0].shape;
+    let mut cfg = ServeConfig::new();
+    cfg.policy = BatchPolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+    };
+    cfg.slos = vec![SloSpec::p99_latency("bench-p99", Duration::from_nanos(1)).min_events(1)];
+    let server = Server::start(net, cfg); // default config: live telemetry
+    server.prewarm().expect("synthetic net plans");
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            server
+                .submit(synth::ifmap(&shape, 1, i))
+                .expect("flight submit")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("flight inference");
+    }
+    let dump = server
+        .slo_monitor()
+        .take_dumps()
+        .into_iter()
+        .next()
+        .expect("an unreachable SLO must breach");
+    let snap = server.telemetry().snapshot();
+    server.shutdown();
+    (dump, snap)
+}
+
 /// Default wall-time regression tolerance: a scenario regresses when its
 /// best (minimum) iteration exceeds the baseline's by more than 15%.
 pub const REGRESSION_TOLERANCE: f64 = 0.15;
@@ -283,10 +323,26 @@ pub struct Comparison {
     pub baseline_ns: u64,
     /// Current minimum, nanoseconds.
     pub current_ns: u64,
-    /// `current / baseline` (> 1 means slower).
+    /// Baseline mean, nanoseconds (informational — the gate is on min).
+    pub baseline_mean_ns: u64,
+    /// Current mean, nanoseconds (informational — the gate is on min).
+    pub current_mean_ns: u64,
+    /// `current / baseline` on the minimum (> 1 means slower).
     pub ratio: f64,
     /// True when `ratio > 1 + tolerance`.
     pub regressed: bool,
+}
+
+impl Comparison {
+    /// Signed percentage delta of the gated minimum (`+` = slower).
+    pub fn min_delta_pct(&self) -> f64 {
+        (self.ratio - 1.0) * 100.0
+    }
+
+    /// Signed percentage delta of the informational mean (`+` = slower).
+    pub fn mean_delta_pct(&self) -> f64 {
+        (self.current_mean_ns as f64 / self.baseline_mean_ns.max(1) as f64 - 1.0) * 100.0
+    }
 }
 
 /// Compares `current` measurements against a parsed `eyeriss-bench`
@@ -310,6 +366,7 @@ pub fn compare_to_baseline(
     for s in baseline.get("scenarios")?.as_arr()? {
         let name = s.get("name")?.as_str()?;
         let baseline_ns = s.get("min_ns")?.as_u64()?;
+        let baseline_mean_ns = s.get("mean_ns")?.as_u64()?;
         let Some(m) = current.iter().find(|m| m.name == name) else {
             continue;
         };
@@ -319,6 +376,8 @@ pub fn compare_to_baseline(
             name: name.to_string(),
             baseline_ns,
             current_ns,
+            baseline_mean_ns,
+            current_mean_ns: m.mean.as_nanos() as u64,
             ratio,
             regressed: ratio > 1.0 + tolerance,
         });
@@ -414,6 +473,9 @@ mod tests {
         assert_eq!(cmp.len(), 2, "scenarios missing from current are skipped");
         assert!(!cmp[0].regressed, "+10% is within the 15% tolerance");
         assert!(cmp[1].regressed, "+30% regresses");
+        assert!((cmp[0].min_delta_pct() - 10.0).abs() < 1e-9);
+        assert!((cmp[1].mean_delta_pct() - 30.0).abs() < 1e-9);
+        assert_eq!(cmp[0].baseline_mean_ns, cmp[0].baseline_ns);
         let bad = Value::obj([("schema", Value::str("nope")), ("v", Value::u64(1))]);
         assert!(compare_to_baseline(&bad, &current, 0.15).is_err());
     }
@@ -432,5 +494,17 @@ mod tests {
         // The wire export round-trips.
         let parsed = Value::parse(&snap.to_wire().render()).unwrap();
         TelemetrySnapshot::from_wire(&parsed).unwrap();
+    }
+
+    #[test]
+    fn observed_flight_dump_covers_the_breach() {
+        let (dump, snap) = observed_flight_dump();
+        assert_eq!(dump.slo, "bench-p99");
+        assert!(!dump.records.is_empty());
+        // The dump's wire form parses, and its Chrome view keeps the
+        // breached requests' server-side spans.
+        let parsed = Value::parse(&dump.to_wire().render()).unwrap();
+        eyeriss::telemetry::FlightDump::from_wire(&parsed).unwrap();
+        assert!(dump.chrome_trace(&snap).contains("serve.batch"));
     }
 }

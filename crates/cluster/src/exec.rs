@@ -311,6 +311,11 @@ impl Cluster {
         let _exec_span = self
             .tele
             .span_with("cluster.execute", "cluster", work.len() as u64);
+        // Array work runs on pool threads, which do not inherit this
+        // thread's ambient trace context — capture it here and install
+        // it in each worker so `cluster.array` (and the `sim.*` spans
+        // beneath it) parent under `cluster.execute`.
+        let ctx = self.tele.current_context();
         let indexed: Vec<ArrayWork<'_, '_>> = work
             .iter()
             .enumerate()
@@ -320,11 +325,12 @@ impl Cluster {
             eyeriss_par::par_map_slice_with(
                 &indexed,
                 || PooledCtx::checkout(self),
-                |ctx, &(array_index, tiles)| {
+                |pooled, &(array_index, tiles)| {
+                    let _ctx_guard = self.tele.in_context(ctx);
                     let _busy_span =
                         self.tele
                             .span_with("cluster.array", "cluster", array_index as u64);
-                    let acc = ctx.get();
+                    let acc = pooled.get();
                     let mut outs = Vec::with_capacity(tiles.len());
                     let mut stats = SimStats::default();
                     for &(tile, mapping) in tiles {

@@ -45,7 +45,7 @@ use eyeriss_dataflow::{Dataflow, DataflowId, DataflowKind, DataflowRegistry, Map
 use eyeriss_nn::network::Network;
 use eyeriss_nn::{Fix16, LayerProblem, Tensor4, Workload};
 use eyeriss_serve::{
-    BatchPolicy, CacheStats, CompiledPlan, PlanCache, PlanCompiler, ServeConfig, Server,
+    BatchPolicy, CacheStats, CompiledPlan, PlanCache, PlanCompiler, ServeConfig, Server, SloSpec,
 };
 use eyeriss_sim::chip::LayerRun as SimRun;
 use eyeriss_sim::Accelerator;
@@ -63,6 +63,10 @@ pub struct ServeOptions {
     pub policy: BatchPolicy,
     /// Submission-queue depth (full queue = backpressure).
     pub queue_capacity: usize,
+    /// Declarative service-level objectives, evaluated live by the
+    /// server's [`SloMonitor`](eyeriss_serve::SloMonitor) (empty =
+    /// monitoring off). Only effective with telemetry enabled.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +76,7 @@ impl Default for ServeOptions {
             workers: d.workers,
             policy: d.policy,
             queue_capacity: d.queue_capacity,
+            slos: d.slos,
         }
     }
 }
@@ -581,6 +586,7 @@ impl Engine {
         if opts.workers == 0 {
             return Err(BuildError::ZeroWorkers.into());
         }
+        let defaults = ServeConfig::new();
         let cfg = ServeConfig {
             arrays: self.arrays,
             workers: opts.workers,
@@ -591,6 +597,8 @@ impl Engine {
             // and spans into one timeline; otherwise the server gets its
             // own live instance so `Server::snapshot()` still works.
             telemetry: self.tele.enabled().then(|| self.tele.clone()),
+            slos: opts.slos,
+            flight_capacity: defaults.flight_capacity,
         };
         Ok(Server::start_with_compiler(net, cfg, self.compiler.clone()))
     }
@@ -893,6 +901,7 @@ mod tests {
             workers: 1,
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
+            slos: Vec::new(),
         };
         let server = engine.serve_with(net, opts).unwrap();
         let input = synth::ifmap(&shape, 1, 42);

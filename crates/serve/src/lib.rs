@@ -27,6 +27,12 @@
 //!   process, so serving resumes with zero mapping searches.
 //! * [`metrics`] — latency breakdowns, p50/p99 percentiles and
 //!   server-lifetime statistics.
+//! * [`attrib`] — per-request **energy/delay attribution**: each traced
+//!   request carries the executed plan's
+//!   [`CostReport`](eyeriss_arch::cost::CostReport) plus the residual
+//!   between simulated and predicted cycles, feeding the
+//!   `serve.delay_residual` histogram and the
+//!   [`SloMonitor`] flight ring.
 //!
 //! # Example
 //!
@@ -56,6 +62,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod attrib;
 pub mod batch;
 pub mod error;
 pub mod metrics;
@@ -63,8 +70,10 @@ pub mod persist;
 pub mod plan;
 pub mod runtime;
 
+pub use attrib::Attribution;
 pub use batch::BatchPolicy;
 pub use error::ServeError;
+pub use eyeriss_telemetry::{FlightDump, FlightRecord, SloMonitor, SloSignal, SloSpec};
 pub use metrics::{
     percentile, LatencyBreakdown, LatencySummary, RequestRecord, ServerSnapshot, ServerStats,
 };

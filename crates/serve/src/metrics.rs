@@ -206,6 +206,10 @@ pub struct ServerSnapshot {
     pub total_ns: HistogramSnapshot,
     /// Batch sizes of completed requests.
     pub batch_size: HistogramSnapshot,
+    /// Absolute plan-prediction error per request, in simulated cycles
+    /// (`|measured − analytic_delay|`; populated only while telemetry
+    /// is enabled — attribution is skipped otherwise).
+    pub delay_residual: HistogramSnapshot,
 }
 
 impl ServerSnapshot {

@@ -14,16 +14,21 @@
 //! request carries a queue/compile/execute latency breakdown; the
 //! server aggregates p50/p99 and throughput in [`ServerStats`].
 
+use crate::attrib::Attribution;
 use crate::batch::{collect_batch, BatchPolicy};
 use crate::error::ServeError;
 use crate::metrics::{LatencyBreakdown, RequestRecord, ServerSnapshot, ServerStats};
 use crate::plan::{CompiledPlan, PlanCompiler, StagePlan};
+use eyeriss_arch::cost::CostReport;
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::Cluster;
 use eyeriss_nn::network::Network;
 use eyeriss_nn::{reference, Fix16, LayerProblem, Tensor4};
 use eyeriss_sim::Accelerator;
-use eyeriss_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use eyeriss_telemetry::{
+    Counter, Gauge, Histogram, RetroSpan, SloMonitor, SloSpec, Telemetry, TraceContext,
+    REQUEST_ROW_TID,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
@@ -40,6 +45,10 @@ struct NetPlans {
     net: Arc<Network>,
     compiler: Arc<PlanCompiler>,
     by_batch: Mutex<HashMap<usize, Arc<CompiledPlan>>>,
+    /// Per-batch-size attribution basis — the plan's `(cost report,
+    /// analytic delay)` — computed at most once per size, so traced
+    /// requests never re-price the network on the hot path.
+    basis_by_batch: Mutex<HashMap<usize, Arc<(CostReport, f64)>>>,
 }
 
 impl NetPlans {
@@ -48,6 +57,7 @@ impl NetPlans {
             net,
             compiler,
             by_batch: Mutex::new(HashMap::new()),
+            basis_by_batch: Mutex::new(HashMap::new()),
         }
     }
 
@@ -61,6 +71,19 @@ impl NetPlans {
         let plan = Arc::new(self.compiler.compile_network(&self.net, b)?);
         let mut plans = self.by_batch.lock().expect("plan map poisoned");
         Ok(Arc::clone(plans.entry(b).or_insert(plan)))
+    }
+
+    /// The attribution basis for `plan`: its full [`CostReport`] under
+    /// the compiler's cost model and its analytic delay, shared and
+    /// memoized per batch size.
+    fn attribution_basis(&self, plan: &CompiledPlan) -> Arc<(CostReport, f64)> {
+        let mut memo = self.basis_by_batch.lock().expect("basis map poisoned");
+        Arc::clone(memo.entry(plan.batch).or_insert_with(|| {
+            Arc::new((
+                plan.cost_report(self.compiler.cost_model().as_ref()),
+                plan.analytic_delay(),
+            ))
+        }))
     }
 }
 
@@ -86,6 +109,13 @@ pub struct ServeConfig {
     /// (e.g. [`eyeriss_telemetry::Telemetry::global`], or the engine's
     /// via its builder).
     pub telemetry: Option<Telemetry>,
+    /// Service-level objectives evaluated live by the server's
+    /// [`SloMonitor`] (empty = monitoring off). A breach dumps the
+    /// flight recorder; see [`Server::slo_monitor`].
+    pub slos: Vec<SloSpec>,
+    /// Capacity of the flight recorder: how many recent per-request
+    /// [`Attribution`] summaries a breach dump covers.
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -99,6 +129,8 @@ impl ServeConfig {
             queue_capacity: 64,
             hw: AcceleratorConfig::eyeriss_chip(),
             telemetry: None,
+            slos: Vec::new(),
+            flight_capacity: 256,
         }
     }
 }
@@ -122,6 +154,7 @@ struct ServeTele {
     execute_ns: Histogram,
     total_ns: Histogram,
     batch_size: Histogram,
+    delay_residual: Histogram,
 }
 
 impl ServeTele {
@@ -136,6 +169,7 @@ impl ServeTele {
             execute_ns: tele.histogram("serve.execute_ns"),
             total_ns: tele.histogram("serve.total_ns"),
             batch_size: tele.histogram("serve.batch_size"),
+            delay_residual: tele.histogram("serve.delay_residual"),
         }
     }
 }
@@ -145,6 +179,7 @@ struct Pending {
     id: u64,
     input: Tensor4<Fix16>,
     submitted: Instant,
+    trace: TraceContext,
     tx: Sender<Result<Response, ServeError>>,
 }
 
@@ -160,12 +195,16 @@ pub struct Response {
     pub latency: LatencyBreakdown,
     /// How many requests shared the batch.
     pub batch_size: usize,
+    /// Energy/delay attribution for this request — present whenever
+    /// the server's telemetry instance was enabled at execution time.
+    pub attribution: Option<Attribution>,
 }
 
 /// The caller's side of one submitted request.
 #[derive(Debug)]
 pub struct RequestHandle {
     id: u64,
+    trace: u64,
     rx: Receiver<Result<Response, ServeError>>,
 }
 
@@ -173,6 +212,13 @@ impl RequestHandle {
     /// The request id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The trace id minted at submission (0 when telemetry is
+    /// disabled) — the key tying this request to its span tree in the
+    /// server's telemetry snapshot.
+    pub fn trace_id(&self) -> u64 {
+        self.trace
     }
 
     /// Blocks until the request completes.
@@ -217,6 +263,7 @@ pub struct Server {
     input_dims: (usize, usize),
     tele: Telemetry,
     metrics: ServeTele,
+    monitor: SloMonitor,
 }
 
 impl Server {
@@ -253,6 +300,7 @@ impl Server {
         let input_dims = net.input_dims();
         let tele = cfg.telemetry.unwrap_or_else(Telemetry::new_enabled);
         let metrics = ServeTele::resolve(&tele);
+        let monitor = SloMonitor::new(cfg.slos, cfg.flight_capacity);
 
         let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
         // The batch queue is bounded by the worker count so that a slow
@@ -281,9 +329,10 @@ impl Server {
                 let pool_chip = Accelerator::new(cfg.hw).telemetry(tele.clone());
                 let tele = tele.clone();
                 let metrics = metrics.clone();
+                let monitor = monitor.clone();
                 std::thread::spawn(move || {
                     worker_loop(
-                        &rx, &net, &plans, &cluster, pool_chip, &records, &tele, &metrics,
+                        &rx, &net, &plans, &cluster, pool_chip, &records, &tele, &metrics, &monitor,
                     )
                 })
             })
@@ -302,6 +351,7 @@ impl Server {
             input_dims,
             tele,
             metrics,
+            monitor,
         }
     }
 
@@ -328,16 +378,31 @@ impl Server {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = self.tele.mint_trace();
         let (tx, rx) = mpsc::channel();
         Ok((
             Pending {
                 id,
                 input,
                 submitted: Instant::now(),
+                trace,
                 tx,
             },
-            RequestHandle { id, rx },
+            RequestHandle {
+                id,
+                trace: trace.trace,
+                rx,
+            },
         ))
+    }
+
+    /// Feeds one admission decision to the SLO monitor when a shed
+    /// spec is configured (a relaxed load plus a bool check otherwise).
+    fn observe_admission(&self, shed: bool) {
+        if self.monitor.wants_shed() && self.tele.enabled() {
+            self.monitor
+                .observe_shed(self.tele.since_epoch(Instant::now()), shed);
+        }
     }
 
     /// Submits one single-image request (`[1][C][H][H]`), blocking while
@@ -356,6 +421,7 @@ impl Server {
             self.metrics.queue_depth.dec();
             return Err(ServeError::ShutDown);
         }
+        self.observe_admission(false);
         Ok(handle)
     }
 
@@ -371,10 +437,14 @@ impl Server {
         let (pending, handle) = self.pending(input)?;
         self.metrics.queue_depth.inc();
         match self.submit_tx.try_send(pending) {
-            Ok(()) => Ok(handle),
+            Ok(()) => {
+                self.observe_admission(false);
+                Ok(handle)
+            }
             Err(TrySendError::Full(_)) => {
                 self.metrics.queue_depth.dec();
                 self.metrics.shed.inc();
+                self.observe_admission(true);
                 Err(ServeError::Saturated)
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -408,7 +478,16 @@ impl Server {
             execute_ns: self.metrics.execute_ns.snapshot(),
             total_ns: self.metrics.total_ns.snapshot(),
             batch_size: self.metrics.batch_size.snapshot(),
+            delay_residual: self.metrics.delay_residual.snapshot(),
         }
+    }
+
+    /// The live SLO monitor (configured via [`ServeConfig::slos`]):
+    /// breach counts and flight-recorder dumps are readable while the
+    /// server runs, and survive until [`Server::shutdown`] through the
+    /// handle's clones.
+    pub fn slo_monitor(&self) -> &SloMonitor {
+        &self.monitor
     }
 
     /// The telemetry instance this server records into — spans from the
@@ -458,7 +537,9 @@ fn worker_loop(
     records: &Mutex<Vec<RequestRecord>>,
     tele: &Telemetry,
     metrics: &ServeTele,
+    monitor: &SloMonitor,
 ) {
+    let wants_records = !monitor.is_empty();
     loop {
         // Holding the lock only while *waiting* serializes batch pickup,
         // not batch processing.
@@ -467,12 +548,41 @@ fn worker_loop(
             rx.recv()
         };
         let Ok(batch) = batch else { break };
-        metrics.inflight_batches.inc();
         let outcome = {
-            let _batch_span = tele.span_with("serve.batch", "serve", batch.len() as u64);
-            run_batch(net, plans, cluster, &mut pool_chip, &batch)
+            // A panic in run_batch unwinds through the guard, so the
+            // inflight gauge can never leak an increment. The guard also
+            // drops before responses are delivered: a client that has
+            // seen its response never observes its batch as inflight.
+            let _inflight = metrics.inflight_batches.scoped_inc();
+            // The batch joins the first request's trace; every request's
+            // queue wait links into the batch span as a flow arrow, so
+            // multi-trace batches stay attributable.
+            let dispatch = Instant::now();
+            let batch_trace = batch.first().map_or(0, |p| p.trace.trace);
+            let _root = tele.in_context(TraceContext {
+                trace: batch_trace,
+                parent: 0,
+            });
+            let batch_span = tele.span_with("serve.batch", "serve", batch.len() as u64);
+            let bid = batch_span.id();
+            if bid != 0 {
+                for pending in &batch {
+                    tele.record_retro(RetroSpan {
+                        name: "serve.queue",
+                        cat: "serve",
+                        arg: pending.id,
+                        tid: REQUEST_ROW_TID,
+                        ctx: pending.trace,
+                        start: pending.submitted,
+                        dur: dispatch.duration_since(pending.submitted),
+                        link: bid,
+                    });
+                }
+            }
+            // `batch_span` is still live: spans opened inside run_batch
+            // on this thread parent to it through the ambient context.
+            run_batch(net, plans, cluster, &mut pool_chip, &batch, tele)
         };
-        metrics.inflight_batches.dec();
         match outcome {
             Ok(done) => {
                 let mut recs = records.lock().expect("records poisoned");
@@ -484,6 +594,14 @@ fn worker_loop(
                     metrics.total_ns.record_duration(latency.total());
                     metrics.batch_size.record(response.0.batch_size as u64);
                     metrics.completed.inc();
+                    if let Some(att) = &response.0.attribution {
+                        metrics
+                            .delay_residual
+                            .record(att.residual_cycles().abs() as u64);
+                        if wants_records {
+                            monitor.record(att.flight_record());
+                        }
+                    }
                     recs.push(RequestRecord {
                         id: response.0.id,
                         batch_size: response.0.batch_size,
@@ -503,13 +621,16 @@ fn worker_loop(
 }
 
 /// Executes one batch end-to-end; returns one `(response, sim_cycles)`
-/// per request, in batch order.
+/// per request, in batch order. With telemetry enabled, each response
+/// carries an [`Attribution`] built from the executed plan's cost
+/// report and the simulator's measured cycles.
 fn run_batch(
     net: &Network,
     plans: &NetPlans,
     cluster: &Cluster,
     pool_chip: &mut Accelerator,
     batch: &[Pending],
+    tele: &Telemetry,
 ) -> Result<Vec<(Response, u64)>, ServeError> {
     let started = Instant::now();
     let b = batch.len();
@@ -528,6 +649,9 @@ fn run_batch(
     let netplan = plans.get(b)?;
     let compile = t0.elapsed();
     let mut sim_cycles = 0u64;
+    // Weighted-stage cycles only: the residual compares against
+    // `analytic_delay`, which prices weighted stages.
+    let mut layer_cycles = 0u64;
     for (stage, splan) in net.stages().iter().zip(&netplan.stages) {
         match splan {
             StagePlan::Pool { shape, .. } => {
@@ -543,11 +667,16 @@ fn run_batch(
                 let problem = LayerProblem::new(*shape, b);
                 let run = cluster.execute(plan, &problem, &act, weights, bias)?;
                 sim_cycles += run.stats.cluster_cycles();
+                layer_cycles += run.stats.cluster_cycles();
                 act = reference::quantize(&run.psums, *relu);
             }
         }
     }
     let execute = started.elapsed().saturating_sub(compile);
+    let completed = Instant::now();
+    // One memoized (cost report, analytic delay) pair per batch size:
+    // attribution costs no plan re-pricing per request.
+    let basis = tele.enabled().then(|| plans.attribution_basis(&netplan));
 
     let [_, m, e, _] = act.dims();
     Ok(batch
@@ -561,12 +690,24 @@ fn run_batch(
                 compile,
                 execute,
             };
+            let attribution = basis.as_ref().map(|basis| Attribution {
+                id: pending.id,
+                trace: pending.trace.trace,
+                batch_size: b,
+                latency,
+                report: basis.0,
+                analytic_delay: basis.1,
+                measured_cycles: layer_cycles,
+                submitted_ns: tele.since_epoch(pending.submitted),
+                completed_ns: tele.since_epoch(completed),
+            });
             (
                 Response {
                     id: pending.id,
                     output,
                     latency,
                     batch_size: b,
+                    attribution,
                 },
                 sim_cycles,
             )
@@ -610,6 +751,8 @@ mod tests {
                 buffer_bytes: 32.0 * 1024.0,
             },
             telemetry: None,
+            slos: Vec::new(),
+            flight_capacity: 256,
         }
     }
 

@@ -292,6 +292,7 @@ impl Accelerator {
         input: &Tensor4<Fix16>,
     ) -> (Tensor4<Fix16>, SimStats) {
         assert_eq!(shape.kind, LayerKind::Pool, "shape must be a POOL layer");
+        let _pool_span = self.tele.span_with("sim.pool", "sim", n_batch as u64);
         let out = reference::max_pool(shape, n_batch, input);
         let outputs = (n_batch * shape.c * shape.e * shape.e) as u64;
         let window = (shape.r * shape.r) as u64;

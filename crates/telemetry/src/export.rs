@@ -160,60 +160,130 @@ impl TelemetrySnapshot {
     /// Load the output in `chrome://tracing` (or <https://ui.perfetto.dev>):
     /// each span becomes a complete (`"ph":"X"`) event with
     /// microsecond timestamps relative to the instance epoch, grouped
-    /// by recording thread. Counters and gauges are appended as final
-    /// counter (`"ph":"C"`) samples so the snapshot values show up in
-    /// the same timeline.
+    /// by recording thread. Threads are labeled with `"ph":"M"`
+    /// metadata (`process_name`/`thread_name`) so rows read "array
+    /// worker 3" instead of a bare tid. Causal structure becomes flow
+    /// (`"ph":"s"`/`"ph":"f"`) arrows: one per explicit span link and
+    /// one per cross-thread parent edge whose parent survives in the
+    /// ring. Counters and gauges are appended as final counter
+    /// (`"ph":"C"`) samples so the snapshot values show up in the same
+    /// timeline.
     pub fn chrome_trace(&self) -> String {
         let mut spans = self.spans.clone();
         spans.sort_by_key(|s| s.start_ns);
-        let mut out = String::with_capacity(128 + spans.len() * 128);
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        let mut first = true;
+        let mut events: Vec<String> = Vec::with_capacity(spans.len() * 2 + 8);
+
+        events.push(
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"eyeriss\"}}"
+                .to_string(),
+        );
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for &tid in &tids {
+            let label = thread_label(tid, &spans);
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                escape(&label),
+            ));
+        }
+
         for s in &spans {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"{}\",\"cat\":\"{}\",\"args\":{{\"arg\":{}}}}}",
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"{}\",\"cat\":\"{}\",\"args\":{{\"arg\":{},\"id\":{},\"parent\":{},\"trace\":{}}}}}",
                 s.tid,
                 s.start_ns as f64 / 1e3,
                 s.dur_ns as f64 / 1e3,
                 escape(s.name),
                 escape(s.cat),
                 s.arg,
-            );
+                s.id,
+                s.parent,
+                s.trace,
+            ));
         }
+
+        // Flow arrows. A step ("s") and its finish ("f", binding to
+        // the enclosing slice) must share a numeric id and matching
+        // name/cat; span ids are process-unique so they serve as flow
+        // ids directly.
+        let by_id = |id: u64| {
+            (id != 0)
+                .then(|| spans.iter().find(|s| s.id == id))
+                .flatten()
+        };
+        let mut flow = |id: u64, from_tid: u64, from_ts: u64, to_tid: u64, to_ts: u64| {
+            let start = from_ts.min(to_ts);
+            events.push(format!(
+                "{{\"ph\":\"s\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"id\":{},\"name\":\"flow\",\"cat\":\"flow\"}}",
+                from_tid,
+                start as f64 / 1e3,
+                id,
+            ));
+            events.push(format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"id\":{},\"name\":\"flow\",\"cat\":\"flow\"}}",
+                to_tid,
+                to_ts as f64 / 1e3,
+                id,
+            ));
+        };
+        for s in &spans {
+            // Explicit link: this span's end flows into the target's start.
+            if let Some(target) = by_id(s.link) {
+                flow(
+                    s.id,
+                    s.tid,
+                    s.start_ns.saturating_add(s.dur_ns),
+                    target.tid,
+                    target.start_ns,
+                );
+            }
+            // Cross-thread parent edge (same-thread nesting is already
+            // visible as slice containment).
+            if let Some(parent) = by_id(s.parent) {
+                if parent.tid != s.tid {
+                    flow(s.id, parent.tid, s.start_ns, s.tid, s.start_ns);
+                }
+            }
+        }
+
         let end_us = saturating_ns(self.elapsed) as f64 / 1e3;
         for (name, v) in &self.counters {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{:.3},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
-                end_us,
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{end_us:.3},\"name\":\"{}\",\"args\":{{\"value\":{v}}}}}",
                 escape(name),
-                v,
-            );
+            ));
         }
         for (name, v) in &self.gauges {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{:.3},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
-                end_us,
+            events.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{end_us:.3},\"name\":\"{}\",\"args\":{{\"value\":{v}}}}}",
                 escape(name),
-                v,
-            );
+            ));
         }
+
+        let mut out = String::with_capacity(64 + events.iter().map(|e| e.len() + 1).sum::<usize>());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(&events.join(","));
         out.push_str("]}");
         out
+    }
+}
+
+/// Human-readable row label for a tid, inferred from the spans it
+/// recorded.
+fn thread_label(tid: u64, spans: &[SpanRecord]) -> String {
+    if tid == crate::REQUEST_ROW_TID {
+        return "requests".to_string();
+    }
+    let mine = || spans.iter().filter(move |s| s.tid == tid);
+    if mine().any(|s| s.name == "serve.batch") {
+        format!("serve worker {tid}")
+    } else if mine().any(|s| s.name == "cluster.array") {
+        format!("array worker {tid}")
+    } else if let Some(first) = mine().next() {
+        format!("{} {tid}", first.cat)
+    } else {
+        format!("thread {tid}")
     }
 }
 
@@ -256,6 +326,10 @@ mod tests {
                 tid: 1,
                 start_ns: 1000,
                 dur_ns: 2500,
+                id: 10,
+                parent: 0,
+                trace: 1,
+                link: 0,
             }],
             spans_dropped: 0,
         };
@@ -263,13 +337,65 @@ mod tests {
         // The trace uses fractional timestamps, which eyeriss-wire's
         // parser does not accept, so check structure textually.
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"name\":\"process_name\""));
+        assert!(trace.contains("\"name\":\"serve worker 1\""));
         assert!(trace.contains("\"ph\":\"X\""));
         assert!(trace.contains("\"name\":\"serve.batch\""));
         assert!(trace.contains("\"ts\":1.000"));
         assert!(trace.contains("\"dur\":2.500"));
+        assert!(trace.contains("\"id\":10"));
+        assert!(trace.contains("\"trace\":1"));
         assert!(trace.contains("\"ph\":\"C\""));
         assert!(trace.contains("\"value\":-2"));
         assert!(trace.ends_with("]}"));
+    }
+
+    fn span(id: u64, parent: u64, link: u64, tid: u64, start_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: "s",
+            cat: "test",
+            arg: 0,
+            tid,
+            start_ns,
+            dur_ns: 100,
+            id,
+            parent,
+            trace: 1,
+            link,
+        }
+    }
+
+    #[test]
+    fn flow_events_cover_links_and_cross_thread_parents() {
+        let snap = TelemetrySnapshot {
+            spans: vec![
+                // Queue span on the request row flowing into span 2.
+                span(1, 0, 2, 0, 0),
+                // Batch span on worker tid 3.
+                span(2, 0, 0, 3, 100),
+                // Child on a different thread: cross-thread parent edge.
+                span(3, 2, 0, 4, 150),
+                // Same-thread child: containment, no flow arrow.
+                span(4, 2, 0, 3, 160),
+                // Parent evicted from the ring: explicitly orphaned.
+                span(5, 999, 0, 4, 170),
+            ],
+            ..TelemetrySnapshot::default()
+        };
+        let trace = snap.chrome_trace();
+        let count = |needle: &str| trace.matches(needle).count();
+        // One flow per link (span 1 → 2) and one per cross-thread
+        // parent (span 3 under 2); spans 4 and 5 contribute none.
+        assert_eq!(count("\"ph\":\"s\""), 2);
+        assert_eq!(count("\"ph\":\"f\""), 2);
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        // Flow ids reuse the originating span ids.
+        assert!(trace.contains("\"ts\":0.100,\"id\":1,\"name\":\"flow\""));
+        assert!(trace.contains("\"id\":3,\"name\":\"flow\""));
+        // The request row and plain rows get named.
+        assert!(trace.contains("\"name\":\"requests\""));
+        assert!(trace.contains("\"name\":\"test 3\""));
     }
 
     #[test]

@@ -54,17 +54,23 @@
 
 mod export;
 mod hist;
+mod slo;
 mod span;
 
 pub use export::{TelemetrySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION};
 pub use hist::{Histogram, HistogramSnapshot, EXACT_BELOW, RELATIVE_ERROR, SUB_BUCKET_BITS};
-pub use span::SpanRecord;
+pub use slo::{
+    FlightDump, FlightRecord, SloMonitor, SloSignal, SloSpec, FLIGHT_SCHEMA, FLIGHT_VERSION,
+};
+pub use span::{SpanRecord, TraceContext, REQUEST_ROW_TID};
 
 use hist::HistCore;
-use span::{current_tid, SpanRing, DEFAULT_SPAN_CAPACITY};
+use span::{
+    ambient, current_tid, next_span_id, next_trace_id, set_ambient, SpanRing, DEFAULT_SPAN_CAPACITY,
+};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Metric handles
@@ -144,6 +150,31 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> i64 {
         self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Increments the gauge and returns a guard that decrements it on
+    /// drop — including during unwinding, so a panic in the guarded
+    /// scope can't leak the level permanently.
+    #[inline]
+    #[must_use = "dropping the scope immediately undoes the increment"]
+    pub fn scoped_inc(&self) -> GaugeScope {
+        self.inc();
+        GaugeScope {
+            gauge: self.clone(),
+        }
+    }
+}
+
+/// RAII guard from [`Gauge::scoped_inc`]: holds one unit of the gauge
+/// and releases it on drop, panic-safe.
+#[derive(Debug)]
+pub struct GaugeScope {
+    gauge: Gauge,
+}
+
+impl Drop for GaugeScope {
+    fn drop(&mut self) {
+        self.gauge.dec();
     }
 }
 
@@ -326,21 +357,121 @@ impl Telemetry {
     /// Starts a span carrying a numeric argument (array index, batch
     /// size, ...). While the instance is disabled this reads no clock
     /// and records nothing.
+    ///
+    /// While enabled, the span allocates a unique id, parents itself
+    /// to the thread's current [`TraceContext`], and installs itself
+    /// as the parent for spans opened inside its scope (restored on
+    /// drop), so same-thread nesting links up automatically.
     #[inline]
     pub fn span_with(&self, name: &'static str, cat: &'static str, arg: u64) -> Span<'_> {
         Span {
-            active: self
+            active: if self.inner.enabled.load(Ordering::Relaxed) {
+                Some(self.begin_span(name, cat, arg))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Enabled-path half of [`span_with`](Telemetry::span_with), kept
+    /// out of line so a disabled call site stays a load + branch and
+    /// does not bloat the instrumented function's code.
+    #[cold]
+    #[inline(never)]
+    fn begin_span(&self, name: &'static str, cat: &'static str, arg: u64) -> SpanActive<'_> {
+        let id = next_span_id();
+        let saved = ambient();
+        set_ambient(TraceContext {
+            trace: saved.trace,
+            parent: id,
+        });
+        SpanActive {
+            tele: self,
+            name,
+            cat,
+            arg,
+            start: Instant::now(),
+            id,
+            saved,
+            link: 0,
+        }
+    }
+
+    /// Mints a fresh [`TraceContext`] rooting a new trace. One relaxed
+    /// load while disabled ([`TraceContext::NONE`] is returned).
+    #[inline]
+    pub fn mint_trace(&self) -> TraceContext {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            TraceContext {
+                trace: next_trace_id(),
+                parent: 0,
+            }
+        } else {
+            TraceContext::NONE
+        }
+    }
+
+    /// Installs `ctx` as this thread's current context for the guard's
+    /// lifetime; spans opened meanwhile parent themselves to it. Use
+    /// it to restore causality after a queue or thread hop. One
+    /// relaxed load (and an inert guard) while disabled.
+    #[inline]
+    pub fn in_context(&self, ctx: TraceContext) -> ContextGuard {
+        ContextGuard {
+            saved: self
                 .inner
                 .enabled
                 .load(Ordering::Relaxed)
-                .then(|| SpanActive {
-                    tele: self,
-                    name,
-                    cat,
-                    arg,
-                    start: Instant::now(),
-                }),
+                .then(|| set_ambient(ctx)),
         }
+    }
+
+    /// The context currently installed on this thread (reflecting any
+    /// enclosing [`Span`]s). [`TraceContext::NONE`] while disabled.
+    #[inline]
+    pub fn current_context(&self) -> TraceContext {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            ambient()
+        } else {
+            TraceContext::NONE
+        }
+    }
+
+    /// Nanoseconds from this instance's epoch to `t` (saturating at
+    /// zero for pre-epoch instants).
+    pub fn since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Records a span retroactively from explicit timing — for
+    /// intervals whose start and end are observed on different threads
+    /// (e.g. a request's time in a queue). Returns the allocated span
+    /// id, or 0 while disabled (one relaxed load, nothing recorded).
+    pub fn record_retro(&self, retro: RetroSpan) -> u64 {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let id = next_span_id();
+        let record = SpanRecord {
+            name: retro.name,
+            cat: retro.cat,
+            arg: retro.arg,
+            tid: retro.tid,
+            start_ns: self.since_epoch(retro.start),
+            dur_ns: retro.dur.as_nanos().min(u64::MAX as u128) as u64,
+            id,
+            parent: retro.ctx.parent,
+            trace: retro.ctx.trace,
+            link: retro.link,
+        };
+        self.inner
+            .spans
+            .lock()
+            .expect("telemetry span ring poisoned")
+            .push(record);
+        id
     }
 
     /// Replaces the span ring capacity (default 4096 records),
@@ -436,6 +567,11 @@ struct SpanActive<'a> {
     cat: &'static str,
     arg: u64,
     start: Instant,
+    /// Unique id of this span (parent of spans nested in its scope).
+    id: u64,
+    /// Ambient context restored (and recorded as parent/trace) on drop.
+    saved: TraceContext,
+    link: u64,
 }
 
 /// RAII guard for a timed interval; dropping it records a
@@ -448,30 +584,96 @@ pub struct Span<'a> {
     active: Option<SpanActive<'a>>,
 }
 
-impl Drop for Span<'_> {
-    fn drop(&mut self) {
-        if let Some(active) = self.active.take() {
-            let dur = active.start.elapsed();
-            let inner = &active.tele.inner;
-            let record = SpanRecord {
-                name: active.name,
-                cat: active.cat,
-                arg: active.arg,
-                tid: current_tid(),
-                start_ns: active
-                    .start
-                    .duration_since(inner.epoch)
-                    .as_nanos()
-                    .min(u64::MAX as u128) as u64,
-                dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
-            };
-            inner
-                .spans
-                .lock()
-                .expect("telemetry span ring poisoned")
-                .push(record);
+impl Span<'_> {
+    /// This span's unique id, or 0 when inert (instance disabled).
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Marks a span this one flows into (a Chrome flow arrow from this
+    /// span's end to the target's start). No-op when inert.
+    pub fn set_link(&mut self, target: u64) {
+        if let Some(active) = self.active.as_mut() {
+            active.link = target;
         }
     }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            finish_span(active);
+        }
+    }
+}
+
+/// Recording half of [`Span`]'s drop, out of line for the same reason
+/// as `begin_span`: an inert guard's drop glue stays a null check.
+#[cold]
+#[inline(never)]
+fn finish_span(active: SpanActive<'_>) {
+    let dur = active.start.elapsed();
+    set_ambient(active.saved);
+    let inner = &active.tele.inner;
+    let record = SpanRecord {
+        name: active.name,
+        cat: active.cat,
+        arg: active.arg,
+        tid: current_tid(),
+        start_ns: active
+            .start
+            .duration_since(inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64,
+        dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+        id: active.id,
+        parent: active.saved.parent,
+        trace: active.saved.trace,
+        link: active.link,
+    };
+    inner
+        .spans
+        .lock()
+        .expect("telemetry span ring poisoned")
+        .push(record);
+}
+
+/// Scope guard from [`Telemetry::in_context`]: restores the thread's
+/// prior [`TraceContext`] on drop.
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub struct ContextGuard {
+    saved: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(saved) = self.saved.take() {
+            set_ambient(saved);
+        }
+    }
+}
+
+/// Explicit timing for [`Telemetry::record_retro`]: a span whose start
+/// and end were observed by the caller rather than by an RAII guard.
+#[derive(Debug, Clone, Copy)]
+pub struct RetroSpan {
+    /// Span name, e.g. `"serve.queue"`.
+    pub name: &'static str,
+    /// Category, e.g. `"serve"`.
+    pub cat: &'static str,
+    /// Free-form numeric argument.
+    pub arg: u64,
+    /// Timeline row; use [`REQUEST_ROW_TID`] for request-scoped rows.
+    pub tid: u64,
+    /// Trace/parent the span belongs to.
+    pub ctx: TraceContext,
+    /// Interval start (converted to the instance epoch on record).
+    pub start: Instant,
+    /// Interval length.
+    pub dur: Duration,
+    /// Span this one flows into (0 = none).
+    pub link: u64,
 }
 
 #[cfg(test)]
@@ -566,5 +768,97 @@ mod tests {
         let g = Telemetry::global();
         assert!(g.same_instance(Telemetry::global()));
         assert!(!g.same_instance(&Telemetry::new()));
+    }
+
+    #[test]
+    fn nested_spans_parent_within_a_thread() {
+        let tele = Telemetry::new_enabled();
+        let ctx = tele.mint_trace();
+        {
+            let _g = tele.in_context(ctx);
+            let outer = tele.span("outer", "test");
+            let outer_id = outer.id();
+            assert_ne!(outer_id, 0);
+            drop(tele.span("inner", "test"));
+            drop(outer);
+        }
+        assert!(tele.current_context().is_none(), "guard restored ambient");
+        let spans = tele.snapshot().spans;
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.trace, ctx.trace);
+        assert_eq!(outer.parent, 0, "outer is the trace root");
+        assert_eq!(outer.trace, ctx.trace);
+    }
+
+    #[test]
+    fn disabled_instance_mints_no_trace_and_installs_nothing() {
+        let tele = Telemetry::new();
+        let ctx = tele.mint_trace();
+        assert!(ctx.is_none());
+        let _g = tele.in_context(TraceContext {
+            trace: 9,
+            parent: 9,
+        });
+        assert!(tele.current_context().is_none());
+    }
+
+    #[test]
+    fn retro_span_records_explicit_timing_and_context() {
+        let tele = Telemetry::new_enabled();
+        let ctx = tele.mint_trace();
+        let start = Instant::now();
+        let id = tele.record_retro(RetroSpan {
+            name: "serve.queue",
+            cat: "serve",
+            arg: 7,
+            tid: REQUEST_ROW_TID,
+            ctx,
+            start,
+            dur: Duration::from_micros(5),
+            link: 42,
+        });
+        assert_ne!(id, 0);
+        let spans = tele.snapshot().spans;
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!((s.id, s.trace, s.link), (id, ctx.trace, 42));
+        assert_eq!(s.tid, REQUEST_ROW_TID);
+        assert_eq!(s.dur_ns, 5_000);
+
+        let off = Telemetry::new();
+        assert_eq!(
+            off.record_retro(RetroSpan {
+                name: "n",
+                cat: "c",
+                arg: 0,
+                tid: 0,
+                ctx: TraceContext::NONE,
+                start,
+                dur: Duration::ZERO,
+                link: 0,
+            }),
+            0
+        );
+        assert!(off.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn gauge_scope_releases_on_panic() {
+        let tele = Telemetry::new_enabled();
+        let gauge = tele.gauge("inflight");
+        {
+            let _held = gauge.scoped_inc();
+            assert_eq!(gauge.get(), 1);
+        }
+        assert_eq!(gauge.get(), 0);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _held = gauge.scoped_inc();
+            panic!("worker died mid-batch");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gauge.get(), 0, "unwinding must release the gauge");
     }
 }

@@ -1,0 +1,608 @@
+//! Declarative SLOs with multi-window burn-rate alerting, and a flight
+//! recorder that snapshots recent per-request attribution when an SLO
+//! breaches.
+//!
+//! The monitor is deliberately **clock-free**: callers stamp every
+//! observation with epoch-relative nanoseconds (the same timeline the
+//! span ring uses), so evaluation is deterministic and testable
+//! without sleeping. Burn rate follows the SRE formulation: the
+//! fraction of the error budget consumed per unit of budgeted rate —
+//! `burn = violating_fraction / budget` — and a breach requires *both*
+//! the short and the long window to burn faster than the alerting
+//! threshold, which filters one-off blips without missing sustained
+//! regressions.
+//!
+//! On breach the monitor latches (one dump per spec per
+//! [`reset`](SloMonitor::reset)) and copies its bounded ring of recent
+//! [`FlightRecord`]s into a [`FlightDump`] — the post-mortem artifact.
+
+use crate::export::TelemetrySnapshot;
+use eyeriss_wire::{Value, WireError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Schema name of a wire-encoded [`FlightDump`].
+pub const FLIGHT_SCHEMA: &str = "eyeriss-flight";
+/// Schema version of a wire-encoded [`FlightDump`].
+pub const FLIGHT_VERSION: u64 = 1;
+
+/// Which per-request signal an [`SloSpec`] watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloSignal {
+    /// End-to-end request latency in nanoseconds
+    /// ([`FlightRecord::latency_ns`]); a request violates when it
+    /// exceeds the spec threshold.
+    Latency,
+    /// Admission sheds ([`SloMonitor::observe_shed`]); a shed submit
+    /// violates, an accepted one does not. The threshold is unused.
+    Shed,
+    /// Absolute prediction residual in cycles
+    /// ([`FlightRecord::residual`]); a request violates when
+    /// `|residual|` exceeds the spec threshold.
+    Residual,
+}
+
+/// One declarative service-level objective evaluated over sliding
+/// windows.
+///
+/// `budget` is the tolerated violating fraction (a p99 latency SLO is
+/// a latency-violation budget of 0.01); `burn_rate` is how many times
+/// faster than budget both windows must burn before the monitor
+/// breaches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Display name, e.g. `"p99 latency < 5ms"`.
+    pub name: String,
+    /// Signal watched.
+    pub signal: SloSignal,
+    /// Per-event violation threshold (ns for latency, cycles for
+    /// residual; unused for shed).
+    pub threshold: f64,
+    /// Tolerated violating fraction in steady state.
+    pub budget: f64,
+    /// Multiple of `budget` both windows must exceed to breach.
+    pub burn_rate: f64,
+    /// Fast window (catches the current burst).
+    pub short_window: Duration,
+    /// Slow window (confirms the burst is sustained).
+    pub long_window: Duration,
+    /// Minimum events in the long window before evaluating — avoids
+    /// alerting on the first unlucky request.
+    pub min_events: usize,
+}
+
+impl SloSpec {
+    fn base(name: &str, signal: SloSignal, threshold: f64, budget: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            signal,
+            threshold,
+            budget,
+            burn_rate: 1.0,
+            short_window: Duration::from_secs(1),
+            long_window: Duration::from_secs(30),
+            min_events: 10,
+        }
+    }
+
+    /// A p99 latency objective: at most 1% of requests may exceed
+    /// `max`.
+    pub fn p99_latency(name: &str, max: Duration) -> SloSpec {
+        SloSpec::base(
+            name,
+            SloSignal::Latency,
+            max.as_nanos().min(u64::MAX as u128) as f64,
+            0.01,
+        )
+    }
+
+    /// A shed-rate objective: at most `budget` of submits may be shed.
+    pub fn shed_rate(name: &str, budget: f64) -> SloSpec {
+        SloSpec::base(name, SloSignal::Shed, 0.0, budget)
+    }
+
+    /// A prediction-accuracy objective: at most `budget` of requests
+    /// may miss the plan's `analytic_delay` by more than `max_abs`
+    /// cycles.
+    pub fn residual_bound(name: &str, max_abs: f64, budget: f64) -> SloSpec {
+        SloSpec::base(name, SloSignal::Residual, max_abs, budget)
+    }
+
+    /// Overrides the evaluation windows.
+    pub fn windows(mut self, short: Duration, long: Duration) -> SloSpec {
+        self.short_window = short;
+        self.long_window = long;
+        self
+    }
+
+    /// Overrides the burn-rate alerting threshold.
+    pub fn burn_rate(mut self, rate: f64) -> SloSpec {
+        self.burn_rate = rate;
+        self
+    }
+
+    /// Overrides the minimum event count before evaluation.
+    pub fn min_events(mut self, n: usize) -> SloSpec {
+        self.min_events = n;
+        self
+    }
+}
+
+/// Per-request attribution summary fed to the monitor and retained in
+/// the flight ring — deliberately flat and serve-agnostic so the
+/// telemetry crate needs no serving types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecord {
+    /// Request id.
+    pub id: u64,
+    /// Trace id linking the record to its span tree.
+    pub trace: u64,
+    /// Submit time, ns since the telemetry epoch.
+    pub start_ns: u64,
+    /// Completion time, ns since the telemetry epoch.
+    pub end_ns: u64,
+    /// End-to-end latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Batch the request rode in.
+    pub batch: u64,
+    /// Attributed energy for this request (model units, e.g. ×MAC).
+    pub energy: f64,
+    /// The plan's predicted delay in cycles.
+    pub analytic_delay: f64,
+    /// Measured minus predicted delay, cycles (signed).
+    pub residual: f64,
+}
+
+/// The artifact a breach leaves behind: which SLO fired, when, at what
+/// burn rates, and the flight ring's records covering the breach
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Name of the breached [`SloSpec`].
+    pub slo: String,
+    /// Breach time, ns since the telemetry epoch.
+    pub at_ns: u64,
+    /// Burn rate in the short window at breach time.
+    pub short_burn: f64,
+    /// Burn rate in the long window at breach time.
+    pub long_burn: f64,
+    /// Start of the long evaluation window, ns since the epoch.
+    pub window_start_ns: u64,
+    /// Flight-ring contents at breach time, oldest first.
+    pub records: Vec<FlightRecord>,
+}
+
+impl FlightDump {
+    /// Encodes the dump as a schema-versioned wire value
+    /// (`"eyeriss-flight"` v1). Floats travel as exact IEEE-754 bit
+    /// patterns.
+    pub fn to_wire(&self) -> Value {
+        let records = self.records.iter().map(|r| {
+            Value::obj([
+                ("id", Value::u64(r.id)),
+                ("trace", Value::u64(r.trace)),
+                ("start_ns", Value::u64(r.start_ns)),
+                ("end_ns", Value::u64(r.end_ns)),
+                ("latency_ns", Value::u64(r.latency_ns)),
+                ("batch", Value::u64(r.batch)),
+                ("energy", Value::f64_bits(r.energy)),
+                ("analytic_delay", Value::f64_bits(r.analytic_delay)),
+                ("residual", Value::f64_bits(r.residual)),
+            ])
+        });
+        Value::obj([
+            ("schema", Value::str(FLIGHT_SCHEMA)),
+            ("v", Value::u64(FLIGHT_VERSION)),
+            ("slo", Value::str(self.slo.clone())),
+            ("at_ns", Value::u64(self.at_ns)),
+            ("short_burn", Value::f64_bits(self.short_burn)),
+            ("long_burn", Value::f64_bits(self.long_burn)),
+            ("window_start_ns", Value::u64(self.window_start_ns)),
+            ("records", Value::arr(records)),
+        ])
+    }
+
+    /// Decodes a wire value produced by [`to_wire`](FlightDump::to_wire).
+    pub fn from_wire(value: &Value) -> Result<FlightDump, WireError> {
+        value.expect_schema(FLIGHT_SCHEMA, FLIGHT_VERSION)?;
+        let mut records = Vec::new();
+        for r in value.get("records")?.as_arr()? {
+            records.push(FlightRecord {
+                id: r.get("id")?.as_u64()?,
+                trace: r.get("trace")?.as_u64()?,
+                start_ns: r.get("start_ns")?.as_u64()?,
+                end_ns: r.get("end_ns")?.as_u64()?,
+                latency_ns: r.get("latency_ns")?.as_u64()?,
+                batch: r.get("batch")?.as_u64()?,
+                energy: r.get("energy")?.as_f64_bits()?,
+                analytic_delay: r.get("analytic_delay")?.as_f64_bits()?,
+                residual: r.get("residual")?.as_f64_bits()?,
+            });
+        }
+        Ok(FlightDump {
+            slo: value.get("slo")?.as_str()?.to_string(),
+            at_ns: value.get("at_ns")?.as_u64()?,
+            short_burn: value.get("short_burn")?.as_f64_bits()?,
+            long_burn: value.get("long_burn")?.as_f64_bits()?,
+            window_start_ns: value.get("window_start_ns")?.as_u64()?,
+            records,
+        })
+    }
+
+    /// Renders the breach as a Chrome trace: the snapshot's span
+    /// window filtered to the traces of the dumped records, with flow
+    /// events intact — open it in `chrome://tracing` to see exactly
+    /// the requests that blew the budget.
+    pub fn chrome_trace(&self, snapshot: &TelemetrySnapshot) -> String {
+        let traces: Vec<u64> = self.records.iter().map(|r| r.trace).collect();
+        let filtered = TelemetrySnapshot {
+            elapsed: snapshot.elapsed,
+            spans: snapshot
+                .spans
+                .iter()
+                .filter(|s| s.trace != 0 && traces.contains(&s.trace))
+                .copied()
+                .collect(),
+            spans_dropped: snapshot.spans_dropped,
+            ..TelemetrySnapshot::default()
+        };
+        filtered.chrome_trace()
+    }
+}
+
+#[derive(Debug)]
+struct SpecState {
+    spec: SloSpec,
+    /// (event time ns, violating) within the long window.
+    events: VecDeque<(u64, bool)>,
+    /// Latched after the first breach until [`SloMonitor::reset`].
+    fired: bool,
+}
+
+#[derive(Debug)]
+struct MonitorInner {
+    specs: Vec<SpecState>,
+    ring: VecDeque<FlightRecord>,
+    capacity: usize,
+    dumps: Vec<FlightDump>,
+}
+
+/// Evaluates a set of [`SloSpec`]s over sliding windows and keeps a
+/// bounded flight ring of recent [`FlightRecord`]s; a breach latches
+/// the spec and emits exactly one [`FlightDump`].
+///
+/// Cheap to clone (all clones share state). The monitor holds no
+/// clock: callers stamp observations with epoch-relative nanoseconds,
+/// which makes breach behavior fully deterministic:
+///
+/// ```
+/// use eyeriss_telemetry::{FlightRecord, SloMonitor, SloSpec};
+/// use std::time::Duration;
+///
+/// let slo = SloSpec::p99_latency("p99 < 1ms", Duration::from_millis(1)).min_events(4);
+/// let monitor = SloMonitor::new(vec![slo], 64);
+/// for i in 0..8u64 {
+///     monitor.record(FlightRecord {
+///         id: i,
+///         trace: i + 1,
+///         start_ns: i * 1_000,
+///         end_ns: i * 1_000 + 2_000_000,
+///         latency_ns: 2_000_000, // every request blows the 1ms bound
+///         batch: 1,
+///         energy: 0.0,
+///         analytic_delay: 0.0,
+///         residual: 0.0,
+///     });
+/// }
+/// let dumps = monitor.dumps();
+/// assert_eq!(dumps.len(), 1, "breach latches: one dump, not one per request");
+/// assert_eq!(dumps[0].slo, "p99 < 1ms");
+/// assert_eq!(dumps[0].records.len(), 4, "flight ring covers the breach window");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    wants_shed: bool,
+    inner: Arc<Mutex<MonitorInner>>,
+}
+
+impl SloMonitor {
+    /// A monitor over `specs` with a flight ring of `flight_capacity`
+    /// records (clamped to at least 1).
+    pub fn new(specs: Vec<SloSpec>, flight_capacity: usize) -> SloMonitor {
+        SloMonitor {
+            wants_shed: specs.iter().any(|s| s.signal == SloSignal::Shed),
+            inner: Arc::new(Mutex::new(MonitorInner {
+                specs: specs
+                    .into_iter()
+                    .map(|spec| SpecState {
+                        spec,
+                        events: VecDeque::new(),
+                        fired: false,
+                    })
+                    .collect(),
+                ring: VecDeque::new(),
+                capacity: flight_capacity.max(1),
+                dumps: Vec::new(),
+            })),
+        }
+    }
+
+    /// True when no SLOs are configured — callers can skip building
+    /// records entirely.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("slo monitor poisoned")
+            .specs
+            .is_empty()
+    }
+
+    /// True when some spec watches the shed signal (lock-free hint for
+    /// the admission path).
+    pub fn wants_shed(&self) -> bool {
+        self.wants_shed
+    }
+
+    /// Feeds one completed request: retains it in the flight ring and
+    /// evaluates every latency/residual spec at `rec.end_ns`.
+    pub fn record(&self, rec: FlightRecord) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(rec);
+        let now_ns = rec.end_ns;
+        inner.evaluate(now_ns, |spec| match spec.signal {
+            SloSignal::Latency => Some(rec.latency_ns as f64 > spec.threshold),
+            SloSignal::Residual => Some(rec.residual.abs() > spec.threshold),
+            SloSignal::Shed => None,
+        });
+    }
+
+    /// Feeds one admission decision (`shed = true` for a rejected
+    /// submit) and evaluates every shed spec at `now_ns`.
+    pub fn observe_shed(&self, now_ns: u64, shed: bool) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        inner.evaluate(now_ns, |spec| {
+            (spec.signal == SloSignal::Shed).then_some(shed)
+        });
+    }
+
+    /// Breach count so far (dumps emitted).
+    pub fn breaches(&self) -> usize {
+        self.inner.lock().expect("slo monitor poisoned").dumps.len()
+    }
+
+    /// Copies the dumps emitted so far, oldest first.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.inner
+            .lock()
+            .expect("slo monitor poisoned")
+            .dumps
+            .clone()
+    }
+
+    /// Removes and returns the dumps emitted so far.
+    pub fn take_dumps(&self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.inner.lock().expect("slo monitor poisoned").dumps)
+    }
+
+    /// Clears windows, the flight ring, pending dumps, and the breach
+    /// latches, re-arming every spec.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("slo monitor poisoned");
+        for state in &mut inner.specs {
+            state.events.clear();
+            state.fired = false;
+        }
+        inner.ring.clear();
+        inner.dumps.clear();
+    }
+}
+
+impl MonitorInner {
+    /// Feeds `violating(spec)` (None = spec ignores this event kind)
+    /// into each spec's window and emits a dump on breach.
+    fn evaluate(&mut self, now_ns: u64, violating: impl Fn(&SloSpec) -> Option<bool>) {
+        let MonitorInner {
+            specs, ring, dumps, ..
+        } = self;
+        for state in specs.iter_mut() {
+            let Some(viol) = violating(&state.spec) else {
+                continue;
+            };
+            state.events.push_back((now_ns, viol));
+
+            let long_start = now_ns.saturating_sub(duration_ns(state.spec.long_window));
+            let short_start = now_ns.saturating_sub(duration_ns(state.spec.short_window));
+            while state.events.front().is_some_and(|&(t, _)| t < long_start) {
+                state.events.pop_front();
+            }
+            if state.fired || state.events.len() < state.spec.min_events {
+                continue;
+            }
+
+            let burn = |from: u64| -> f64 {
+                let window = state.events.iter().filter(|&&(t, _)| t >= from);
+                let (total, viol) = window.fold((0u64, 0u64), |(n, v), &(_, violating)| {
+                    (n + 1, v + u64::from(violating))
+                });
+                if total == 0 {
+                    return 0.0;
+                }
+                (viol as f64 / total as f64) / state.spec.budget
+            };
+            let long_burn = burn(long_start);
+            let short_burn = burn(short_start);
+            if long_burn >= state.spec.burn_rate && short_burn >= state.spec.burn_rate {
+                state.fired = true;
+                dumps.push(FlightDump {
+                    slo: state.spec.name.clone(),
+                    at_ns: now_ns,
+                    short_burn,
+                    long_burn,
+                    window_start_ns: long_start,
+                    records: ring.iter().copied().collect(),
+                });
+            }
+        }
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, end_ns: u64, latency_ns: u64, residual: f64) -> FlightRecord {
+        FlightRecord {
+            id,
+            trace: id + 1,
+            start_ns: end_ns.saturating_sub(latency_ns),
+            end_ns,
+            latency_ns,
+            batch: 2,
+            energy: 10.5,
+            analytic_delay: 100.0,
+            residual,
+        }
+    }
+
+    #[test]
+    fn latency_breach_latches_and_dumps_once() {
+        let spec = SloSpec::p99_latency("p99", Duration::from_micros(1)).min_events(5);
+        let monitor = SloMonitor::new(vec![spec], 8);
+        for i in 0..20u64 {
+            monitor.record(rec(i, i * 100, 5_000, 0.0));
+        }
+        assert_eq!(monitor.breaches(), 1, "latched after the first breach");
+        let dumps = monitor.dumps();
+        assert_eq!(dumps[0].slo, "p99");
+        assert_eq!(dumps[0].records.len(), 5, "ring holds the breach window");
+        assert!(dumps[0].short_burn >= 1.0 && dumps[0].long_burn >= 1.0);
+        // Records cover the breach window: last record ends at breach time.
+        assert_eq!(dumps[0].records.last().unwrap().end_ns, dumps[0].at_ns);
+        monitor.reset();
+        assert_eq!(monitor.breaches(), 0);
+        for i in 0..20u64 {
+            monitor.record(rec(i, i * 100, 5_000, 0.0));
+        }
+        assert_eq!(monitor.breaches(), 1, "reset re-arms the latch");
+    }
+
+    #[test]
+    fn within_budget_never_breaches() {
+        let spec = SloSpec::p99_latency("p99", Duration::from_micros(1)).min_events(5);
+        let monitor = SloMonitor::new(vec![spec], 8);
+        for i in 0..200u64 {
+            // One violation at event 150: the running violating
+            // fraction peaks at 1/151 ≈ 0.66% — inside the 1% budget.
+            let lat = if i == 150 { 5_000 } else { 10 };
+            monitor.record(rec(i, i * 100, lat, 0.0));
+        }
+        assert_eq!(monitor.breaches(), 0);
+    }
+
+    #[test]
+    fn short_window_must_agree() {
+        // Long window saturated with old violations, but the short
+        // window is clean: no breach (the burst is over). min_events
+        // is set past the burst so evaluation starts only once clean
+        // requests arrive.
+        let spec = SloSpec::p99_latency("p99", Duration::from_micros(1))
+            .min_events(15)
+            .windows(Duration::from_nanos(100), Duration::from_secs(1));
+        let monitor = SloMonitor::new(vec![spec], 8);
+        for i in 0..10u64 {
+            monitor.record(rec(i, i, 5_000, 0.0));
+        }
+        // Events 0..10 are violations but at t=0..9; move `now` far
+        // past the short window with clean requests.
+        for i in 10..30u64 {
+            monitor.record(rec(i, 10_000 + i, 10, 0.0));
+        }
+        assert_eq!(monitor.breaches(), 0, "short window is clean");
+    }
+
+    #[test]
+    fn shed_and_residual_signals_fire_independently() {
+        let shed = SloSpec::shed_rate("shed", 0.1).min_events(4);
+        let residual = SloSpec::residual_bound("residual", 50.0, 0.01).min_events(4);
+        let monitor = SloMonitor::new(vec![shed, residual], 8);
+        assert!(monitor.wants_shed());
+        for i in 0..6 {
+            monitor.observe_shed(i * 100, true);
+        }
+        assert_eq!(monitor.breaches(), 1);
+        assert_eq!(monitor.dumps()[0].slo, "shed");
+        for i in 0..6u64 {
+            monitor.record(rec(i, i * 100, 10, 80.0));
+        }
+        assert_eq!(monitor.breaches(), 2);
+        assert_eq!(monitor.dumps()[1].slo, "residual");
+    }
+
+    #[test]
+    fn flight_ring_is_bounded() {
+        let spec = SloSpec::p99_latency("p99", Duration::from_micros(1)).min_events(3);
+        let monitor = SloMonitor::new(vec![spec], 2);
+        for i in 0..10u64 {
+            monitor.record(rec(i, i * 100, 5_000, 0.0));
+        }
+        let dump = &monitor.dumps()[0];
+        assert_eq!(dump.records.len(), 2);
+        assert_eq!(dump.records[0].id, 1, "oldest evicted");
+    }
+
+    #[test]
+    fn dump_wire_roundtrips() {
+        let dump = FlightDump {
+            slo: "p99 < 5ms".to_string(),
+            at_ns: 123_456,
+            short_burn: 12.5,
+            long_burn: 3.25,
+            window_start_ns: 100_000,
+            records: vec![rec(7, 123_456, 9_999, -42.5)],
+        };
+        let wire = dump.to_wire();
+        let parsed = eyeriss_wire::Value::parse(&wire.render()).unwrap();
+        let back = FlightDump::from_wire(&parsed).unwrap();
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn dump_chrome_trace_filters_to_breached_traces() {
+        use crate::span::SpanRecord;
+        let mk = |trace: u64, name: &'static str| SpanRecord {
+            name,
+            cat: "serve",
+            arg: 0,
+            tid: 1,
+            start_ns: 0,
+            dur_ns: 10,
+            id: trace * 10,
+            parent: 0,
+            trace,
+            link: 0,
+        };
+        let snap = TelemetrySnapshot {
+            spans: vec![mk(8, "in.dump"), mk(9, "not.in.dump")],
+            ..TelemetrySnapshot::default()
+        };
+        let dump = FlightDump {
+            slo: "p99".to_string(),
+            at_ns: 0,
+            short_burn: 1.0,
+            long_burn: 1.0,
+            window_start_ns: 0,
+            records: vec![rec(7, 0, 0, 0.0)], // trace 8
+        };
+        let trace = dump.chrome_trace(&snap);
+        assert!(trace.contains("in.dump"));
+        assert!(!trace.contains("not.in.dump"));
+    }
+}

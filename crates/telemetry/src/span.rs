@@ -9,6 +9,7 @@
 //! overwritten and a dropped counter is bumped, so long runs keep the
 //! most recent timeline window.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default ring capacity (records), ~256 KiB.
@@ -26,6 +27,93 @@ pub(crate) fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+/// Synthetic `tid` used by retroactive request-timeline spans so they
+/// render on one dedicated row instead of a worker's row. Real threads
+/// are assigned dense tids starting at 1, so 0 never collides.
+pub const REQUEST_ROW_TID: u64 = 0;
+
+/// Process-wide span id allocator. Ids start at 1 and are **never
+/// reused**, so a `parent` link into an overwritten ring slot is
+/// detectably orphaned rather than silently rebound to a newer span.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide trace id allocator (same never-reused property).
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+pub(crate) fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Causal position of in-flight work: which trace it belongs to and
+/// which span is its parent. `0` means "none" for both fields.
+///
+/// A context is minted once per logical request
+/// ([`Telemetry::mint_trace`](crate::Telemetry::mint_trace)), carried
+/// across queues and threads by value, and installed with
+/// [`Telemetry::in_context`](crate::Telemetry::in_context); spans
+/// opened while a context is installed parent themselves to it
+/// automatically.
+///
+/// ```
+/// use eyeriss_telemetry::{Telemetry, TraceContext};
+///
+/// let tele = Telemetry::new_enabled();
+/// let ctx = tele.mint_trace(); // at the request boundary
+/// assert!(!ctx.is_none());
+///
+/// // ... `ctx` travels with the request (it is Copy) ...
+/// let worker = tele.clone();
+/// std::thread::spawn(move || {
+///     let _g = worker.in_context(ctx); // restore causality on this thread
+///     let _span = worker.span("serve.batch", "serve");
+/// })
+/// .join()
+/// .unwrap();
+///
+/// let span = &tele.snapshot().spans[0];
+/// assert_eq!(span.trace, ctx.trace);
+/// assert_eq!(span.parent, 0); // minted at the root: no parent span
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace this work belongs to (`0` = untraced).
+    pub trace: u64,
+    /// Span id of the causal parent (`0` = root of the trace).
+    pub parent: u64,
+}
+
+impl TraceContext {
+    /// The empty context: not part of any trace.
+    pub const NONE: TraceContext = TraceContext {
+        trace: 0,
+        parent: 0,
+    };
+
+    /// True for the empty context.
+    pub fn is_none(&self) -> bool {
+        self.trace == 0 && self.parent == 0
+    }
+}
+
+thread_local! {
+    static AMBIENT: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+/// The context currently installed on this thread.
+pub(crate) fn ambient() -> TraceContext {
+    AMBIENT.with(|c| c.get())
+}
+
+/// Installs `ctx` on this thread, returning the prior context so the
+/// caller can restore it.
+pub(crate) fn set_ambient(ctx: TraceContext) -> TraceContext {
+    AMBIENT.with(|c| c.replace(ctx))
+}
+
 /// One completed span: a named interval on a thread's timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -41,6 +129,16 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Unique span id (process-wide, never reused; `0` only for
+    /// records predating span identity).
+    pub id: u64,
+    /// Id of the causal parent span (`0` = root).
+    pub parent: u64,
+    /// Trace id (`0` = untraced).
+    pub trace: u64,
+    /// Id of a span this one flows *into* (`0` = none); rendered as a
+    /// Chrome flow arrow.
+    pub link: u64,
 }
 
 /// Fixed-capacity overwrite-oldest buffer of [`SpanRecord`]s.
@@ -115,6 +213,10 @@ mod tests {
             tid: 1,
             start_ns: arg,
             dur_ns: 1,
+            id: next_span_id(),
+            parent: 0,
+            trace: 0,
+            link: 0,
         }
     }
 

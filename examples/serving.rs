@@ -22,6 +22,7 @@
 
 use eyeriss::analysis::experiments::serving;
 use eyeriss::prelude::*;
+use eyeriss::serve::SloSpec;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -67,21 +68,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch: 4,
         max_wait: Duration::from_millis(1),
     };
+    // A deliberately unreachable p99 bound so the SLO monitor breaches
+    // and the flight recorder dumps — demonstrating the anomaly path.
+    cfg.slos = vec![SloSpec::p99_latency("demo-p99", Duration::from_nanos(1)).min_events(1)];
     let server = Server::start(net, cfg);
     let input = synth::ifmap(&shape, 1, 99);
-    let response = server.submit(input.clone())?.wait()?;
+    let handle = server.submit(input.clone())?;
+    let trace_id = handle.trace_id();
+    let response = handle.wait()?;
     assert_eq!(
         response.output,
         golden_net.forward(1, &input),
         "served output must be bit-exact"
     );
     println!(
-        "request {} (batch of {}): queue {:.2} ms, compile {:.2} ms, execute {:.2} ms",
+        "request {} (batch of {}, trace {:#x}): queue {:.2} ms, compile {:.2} ms, execute {:.2} ms",
         response.id,
         response.batch_size,
+        trace_id,
         response.latency.queue.as_secs_f64() * 1e3,
         response.latency.compile.as_secs_f64() * 1e3,
         response.latency.execute.as_secs_f64() * 1e3,
+    );
+    // Per-request energy/delay attribution: the executed plan's cost
+    // report (bit-exact against the plan), this request's even energy
+    // share, and the simulated-vs-predicted cycle residual.
+    let att = response
+        .attribution
+        .as_ref()
+        .expect("default servers trace every request");
+    println!(
+        "attribution: batch energy {:.3e} ({:.3e}/request over {}), \
+         analytic delay {:.3e} cycles, residual {:+.0} cycles",
+        att.report.total_energy,
+        att.per_request().total_energy,
+        att.batch_size,
+        att.analytic_delay,
+        att.residual_cycles(),
+    );
+    // The breached SLO latched exactly one flight dump covering the
+    // anomaly window; its wire form and a trace-filtered Chrome view
+    // are what CI uploads as a post-mortem artifact.
+    let dumps = server.slo_monitor().dumps();
+    assert_eq!(dumps.len(), 1, "one breach, one dump");
+    println!(
+        "SLO '{}' breached (burn {:.0}x short / {:.0}x long): flight dump holds {} record(s)",
+        dumps[0].slo,
+        dumps[0].short_burn,
+        dumps[0].long_burn,
+        dumps[0].records.len(),
     );
     // ---- 3b. Live telemetry, no shutdown required ---------------------------
     // Default servers run a private always-on telemetry instance, so
@@ -139,6 +174,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: 1,
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
+            slos: Vec::new(),
         },
     )?;
     let input = synth::ifmap(&shape, 1, 7);
@@ -193,6 +229,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: 1,
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
+            slos: Vec::new(),
         },
     )?;
     let input = synth::ifmap(&shape, 1, 13);

@@ -283,6 +283,7 @@ fn registered_cost_model_prices_search_plan_persist_and_serve() {
                 workers: 1,
                 policy: BatchPolicy::unbatched(),
                 queue_capacity: 8,
+                slos: Vec::new(),
             },
         )
         .unwrap();
@@ -417,6 +418,7 @@ fn cold_engine_serves_bit_exactly_from_persisted_plans() {
                 workers: 1,
                 policy: BatchPolicy::unbatched(),
                 queue_capacity: 8,
+                slos: Vec::new(),
             },
         )
         .unwrap();

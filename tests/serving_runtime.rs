@@ -63,6 +63,8 @@ fn batched_execution_matches_single_array_simulation() {
         queue_capacity: 16,
         hw: AcceleratorConfig::eyeriss_chip(),
         telemetry: None,
+        slos: Vec::new(),
+        flight_capacity: 256,
     };
     let server = Server::start(net, cfg);
     let inputs: Vec<Tensor4<Fix16>> = (0..4).map(|i| synth::ifmap(&shape, 1, 40 + i)).collect();

@@ -6,9 +6,12 @@
 //! multi-threaded hammering.
 
 use eyeriss::prelude::*;
-use eyeriss::telemetry::{HistogramSnapshot, EXACT_BELOW, RELATIVE_ERROR};
+use eyeriss::telemetry::{
+    HistogramSnapshot, RetroSpan, TraceContext, EXACT_BELOW, RELATIVE_ERROR, REQUEST_ROW_TID,
+};
 use proptest::prelude::*;
-use std::time::Duration;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Asserts `approx` is within the histogram's documented bound of the
 /// exact quantile: exact for values below [`EXACT_BELOW`], within
@@ -78,6 +81,113 @@ proptest! {
         assert_eq!(ab_c, direct, "(a+b)+c must equal one-shot recording");
         assert_eq!(a_bc, direct, "(c+b)+a must equal one-shot recording");
         assert_eq!(direct.count(), all.len() as u64);
+    }
+
+    /// Span-ring wraparound under concurrent writers: the
+    /// overwrite-oldest ring must never tear a record (every retained
+    /// span's writer/tid/trace fields stay mutually consistent), span
+    /// ids stay unique and non-zero, and parent links either resolve to
+    /// the *actual* parent or are explicitly orphaned — a parent id
+    /// must never dangle into a slot reused by an unrelated span.
+    #[test]
+    fn span_ring_wraparound_keeps_parent_links_sound(
+        capacity in 8usize..96,
+        writers in 2usize..5,
+        iters in 16usize..64,
+    ) {
+        let tele = Telemetry::new_enabled();
+        tele.set_span_capacity(capacity);
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let tele = tele.clone();
+                scope.spawn(move || {
+                    let ctx = tele.mint_trace();
+                    let _g = tele.in_context(ctx);
+                    let mut first_outer = 0;
+                    for i in 0..iters {
+                        let arg = ((w as u64) << 32) | i as u64;
+                        let outer = tele.span_with("prop.outer", "prop", arg);
+                        if i == 0 {
+                            first_outer = outer.id();
+                        }
+                        let _inner = tele.span_with("prop.inner", "prop", arg);
+                    }
+                    // A late span pointing back at this writer's first
+                    // outer span, which heavy wraparound has usually
+                    // overwritten by now: its parent must resolve to
+                    // exactly that span or to nothing at all.
+                    tele.record_retro(RetroSpan {
+                        name: "prop.late",
+                        cat: "prop",
+                        arg: (w as u64) << 32,
+                        tid: REQUEST_ROW_TID,
+                        ctx: TraceContext { trace: ctx.trace, parent: first_outer },
+                        start: Instant::now(),
+                        dur: Duration::ZERO,
+                        link: 0,
+                    });
+                });
+            }
+        });
+
+        let spans = tele.snapshot().spans;
+        let total = writers * (2 * iters + 1);
+        prop_assert_eq!(spans.len(), total.min(capacity), "ring keeps the newest records");
+
+        // Ids are unique and never zero.
+        let mut ids = HashSet::new();
+        for s in &spans {
+            prop_assert!(s.id != 0);
+            prop_assert!(ids.insert(s.id), "span id {} reused", s.id);
+        }
+        let by_id: HashMap<u64, &_> = spans.iter().map(|s| (s.id, s)).collect();
+
+        // No torn records: each retained span belongs wholly to one
+        // writer — its (writer, tid) and (writer, trace) pairings are
+        // globally consistent.
+        let mut tid_of: HashMap<u64, u64> = HashMap::new();
+        let mut trace_of: HashMap<u64, u64> = HashMap::new();
+        for s in &spans {
+            let w = s.arg >> 32;
+            prop_assert!((w as usize) < writers);
+            prop_assert!(s.trace != 0);
+            prop_assert_eq!(*trace_of.entry(w).or_insert(s.trace), s.trace);
+            if s.name != "prop.late" {
+                prop_assert_eq!(*tid_of.entry(w).or_insert(s.tid), s.tid);
+            }
+        }
+        prop_assert_eq!(
+            trace_of.values().collect::<HashSet<_>>().len(),
+            trace_of.len(),
+            "each writer minted a distinct trace"
+        );
+
+        // Parent links resolve to the true parent or are orphaned.
+        for s in &spans {
+            match s.name {
+                "prop.outer" => prop_assert_eq!(s.parent, 0, "outer spans are roots"),
+                "prop.inner" | "prop.late" => {
+                    prop_assert!(s.parent != 0, "{} spans are parented", s.name);
+                    let Some(p) = by_id.get(&s.parent) else {
+                        continue; // explicitly orphaned: parent overwritten
+                    };
+                    prop_assert_eq!(p.name, "prop.outer");
+                    prop_assert_eq!(p.trace, s.trace);
+                    if s.name == "prop.inner" {
+                        // The resolved parent is this very iteration's
+                        // outer span, and it encloses the child (small
+                        // slack for independent ns truncation).
+                        prop_assert_eq!(p.arg, s.arg);
+                        prop_assert_eq!(p.tid, s.tid);
+                        prop_assert!(p.start_ns <= s.start_ns);
+                        prop_assert!(p.start_ns + p.dur_ns + 2 >= s.start_ns + s.dur_ns);
+                    } else {
+                        prop_assert_eq!(p.arg, s.arg, "late span resolves to iteration 0");
+                    }
+                }
+                other => prop_assert!(false, "unexpected span {other}"),
+            }
+        }
     }
 }
 
