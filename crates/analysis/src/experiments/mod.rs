@@ -17,6 +17,7 @@
 //! | ablation | [`sensitivity`] | dataflow ranking under perturbed Table IV costs |
 //! | extension | [`cluster_scaling`] | 1/2/4/8-array partitioned scaling (beyond the paper) |
 //! | extension | [`serving`] | plan-cache compilation reports and the offered-load serving sweep |
+//! | extension | [`flex_dataflow`] | flex-rs vs best dense dataflow on MobileNet (utilization + energy/inference) |
 
 pub mod cluster_scaling;
 pub mod fig10;
@@ -26,6 +27,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig7;
+pub mod flex_dataflow;
 pub mod rf_sweep;
 pub mod sensitivity;
 pub mod serving;

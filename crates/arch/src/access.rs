@@ -93,6 +93,18 @@ impl AccessCounts {
         self.at_level(level) * model.cost(level)
     }
 
+    /// Scales every count by `factor` (e.g. replicating a per-group
+    /// profile across the `G` groups of a grouped convolution).
+    pub fn scale(&mut self, factor: f64) {
+        self.dram_reads *= factor;
+        self.dram_writes *= factor;
+        self.buffer_reads *= factor;
+        self.buffer_writes *= factor;
+        self.array_hops *= factor;
+        self.rf_reads *= factor;
+        self.rf_writes *= factor;
+    }
+
     /// True if every count is finite and non-negative.
     pub fn is_valid(&self) -> bool {
         [
@@ -215,6 +227,15 @@ impl LayerAccessProfile {
         DataType::ALL.iter().map(|&t| self.of(t).dram_writes).sum()
     }
 
+    /// Scales every count by `factor` — the whole-layer profile of a
+    /// grouped convolution is its per-group profile times `G`.
+    pub fn scale(&mut self, factor: f64) {
+        self.ifmap.scale(factor);
+        self.filter.scale(factor);
+        self.psum.scale(factor);
+        self.alu_ops *= factor;
+    }
+
     /// Element-wise accumulation (summing layers into a network total).
     pub fn accumulate(&mut self, other: &LayerAccessProfile) {
         self.ifmap += other.ifmap;
@@ -294,6 +315,17 @@ mod tests {
         p.filter = sample();
         let by_type: f64 = DataType::ALL.iter().map(|&t| p.energy_of_type(&m, t)).sum();
         assert!((by_type - p.data_energy(&m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_multiplies_every_count() {
+        let mut p = LayerAccessProfile::new();
+        p.ifmap = sample();
+        p.alu_ops = 10.0;
+        p.scale(3.0);
+        assert_eq!(p.ifmap.dram_reads, 30.0);
+        assert_eq!(p.ifmap.rf_writes, 1500.0);
+        assert_eq!(p.alu_ops, 30.0);
     }
 
     #[test]

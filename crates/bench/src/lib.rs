@@ -164,6 +164,40 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
         std::hint::black_box(eyeriss_sim::runner::run_network(&mut chip, &net, 2, &vin).unwrap());
     }));
 
+    // --- MobileNet-tiny: depthwise/pointwise blocks on one chip --------
+    // Cold runs pay the per-shape mapping search (including the grouped
+    // lowering); the steady chip reuses memoized mappings and scratch.
+    // New scenarios stay out of the `--check` gate until a baseline
+    // containing them is committed (compare_to_baseline iterates the
+    // baseline's scenario list).
+    let mnet = eyeriss_nn::mobilenet::mobilenet_tiny(17);
+    let min = synth::ifmap(&mnet.stages()[0].shape, 1, 21);
+    let mnet_macs: u64 = mnet.stages().iter().map(|s| s.shape.macs(1)).sum();
+    out.push(measure(
+        "mobilenet_flex_cold",
+        iters,
+        "mac",
+        mnet_macs,
+        || {
+            let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+            std::hint::black_box(
+                eyeriss_sim::runner::run_network(&mut chip, &mnet, 1, &min).unwrap(),
+            );
+        },
+    ));
+    let mut chip = Accelerator::new(AcceleratorConfig::eyeriss_chip());
+    out.push(measure(
+        "mobilenet_flex_steady",
+        iters,
+        "mac",
+        mnet_macs,
+        || {
+            std::hint::black_box(
+                eyeriss_sim::runner::run_network(&mut chip, &mnet, 1, &min).unwrap(),
+            );
+        },
+    ));
+
     // --- 4-array cluster: searched and planned paths -------------------
     let cshape = LayerShape::conv(16, 8, 31, 5, 2).unwrap();
     let n = 4usize;

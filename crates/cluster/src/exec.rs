@@ -196,7 +196,7 @@ impl Cluster {
         let (shape, n_batch) = (&problem.shape, problem.batch);
         assert_eq!(
             input.dims(),
-            [n_batch, shape.c, shape.h, shape.h],
+            [n_batch, shape.in_channels(), shape.h, shape.h],
             "ifmap dims mismatch"
         );
         assert_eq!(
@@ -455,13 +455,13 @@ fn tile_input<'a>(
     let (row0, col0) = (tile.y0 * orig.u, tile.x0 * orig.u);
     // Row-contiguous extraction: copy the in-bounds span of each ifmap
     // row; rows and columns past a square-padded edge stay zero.
-    let mut t = Tensor4::zeros([tile.n, s.c, s.h, s.h]);
+    let mut t = Tensor4::zeros([tile.n, s.in_channels(), s.h, s.h]);
     let cols = s.h.min(orig.h.saturating_sub(col0));
     if cols == 0 {
         return Cow::Owned(t);
     }
     for z in 0..tile.n {
-        for c in 0..s.c {
+        for c in 0..s.in_channels() {
             for i in 0..s.h.min(orig.h.saturating_sub(row0)) {
                 let src = input.row(tile.img0 + z, c, row0 + i);
                 t.row_mut(z, c, i)[..cols].copy_from_slice(&src[col0..col0 + cols]);
@@ -490,8 +490,10 @@ fn validate_coverage<'t>(
             && tile.x0 + tile.keep_x <= shape.e
             && tile.keep_y <= tile.shape.e
             && tile.keep_x <= tile.shape.e;
-        let same_kernel =
-            tile.shape.c == shape.c && tile.shape.r == shape.r && tile.shape.u == shape.u;
+        let same_kernel = tile.shape.c == shape.c
+            && tile.shape.r == shape.r
+            && tile.shape.u == shape.u
+            && tile.shape.groups == shape.groups;
         if !in_bounds || !same_kernel {
             return Err(ClusterError::infeasible(
                 "plan does not match this layer shape/batch",
@@ -567,6 +569,15 @@ mod tests {
     fn channel_partition_is_bit_exact() {
         let shape = LayerShape::conv(10, 4, 11, 3, 2).unwrap();
         check_bit_exact(&shape, 2, 4, Partition::OfmapChannel);
+    }
+
+    #[test]
+    fn grouped_layers_batch_split_and_reject_channel_splits() {
+        let shape = LayerShape::depthwise(4, 11, 3, 1).unwrap();
+        let run = check_bit_exact(&shape, 4, 2, Partition::Batch);
+        assert_eq!(run.stats.macs(), shape.macs(4));
+        let err = partition::split(Partition::OfmapChannel, &shape, 4, 2);
+        assert!(err.is_err(), "channel splits must reject grouped layers");
     }
 
     #[test]

@@ -210,6 +210,16 @@ pub fn split(
             tiles: vec![Tile::full_plane(*shape, n, 0, 0)],
         }]);
     }
+    // Grouped layers: only batch splitting keeps each array's filter
+    // slice aligned with its channel groups. Channel/fmap slicing would
+    // break the per-group filter-to-channel correspondence, so those
+    // partitions are infeasible rather than silently wrong.
+    if shape.groups > 1 && partition != Partition::Batch {
+        return Err(ClusterError::infeasible(format!(
+            "{partition:?} cannot split a {}-group layer (use Batch)",
+            shape.groups
+        )));
+    }
     match partition {
         Partition::Batch => {
             if n < arrays {

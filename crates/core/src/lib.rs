@@ -184,7 +184,7 @@ pub mod prelude {
         Dataflow, DataflowId, DataflowKind, DataflowRegistry, MappingCandidate,
     };
     pub use eyeriss_nn::{
-        alexnet, reference, synth, Fix16, LayerProblem, LayerShape, Tensor4, Workload,
+        alexnet, mobilenet, reference, synth, Fix16, LayerProblem, LayerShape, Tensor4, Workload,
     };
     pub use eyeriss_serve::{BatchPolicy, PlanCache, PlanCompiler, ServeConfig, Server};
     pub use eyeriss_sim::{Accelerator, SimStats};

@@ -47,6 +47,8 @@
 pub mod candidate;
 pub mod dataflow;
 pub mod error;
+pub mod flex;
+mod grouped;
 pub mod id;
 pub mod kind;
 pub mod model;

@@ -37,7 +37,7 @@ impl Dataflow for OutputStationaryCModel {
     }
 
     fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
-        self.mappings(&problem.shape, problem.batch, hw)
+        crate::grouped::lower(problem, |shape, n| self.mappings(shape, n, hw))
     }
 }
 

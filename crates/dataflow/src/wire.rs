@@ -242,6 +242,32 @@ mod tests {
         assert_eq!(decode_params(&encoded, &reg).unwrap(), params);
     }
 
+    proptest::proptest! {
+        #[test]
+        fn prop_flex_custom_knobs_roundtrip(
+            knobs in proptest::array::uniform4(0usize..100_000),
+        ) {
+            // flex-rs knob quadruples of any magnitude survive the wire
+            // format bit-exactly once the dataflow is registered — the
+            // persistence contract behind `PlanCache` reloads of flex
+            // plans.
+            let mut reg = DataflowRegistry::builtin();
+            reg.register(Arc::new(crate::flex::FlexRsModel)).unwrap();
+            let params = MappingParams::Custom {
+                id: crate::flex::FLEX_RS,
+                knobs,
+            };
+            let back = decode_params(&encode_params(&params), &reg).unwrap();
+            proptest::prop_assert_eq!(back, params);
+            // Without the registration the same bytes are refused, never
+            // misattributed to a builtin space.
+            proptest::prop_assert!(matches!(
+                decode_params(&encode_params(&params), &DataflowRegistry::builtin()),
+                Err(WireError::Invalid(_))
+            ));
+        }
+    }
+
     #[test]
     fn unknown_candidate_version_is_rejected() {
         let reg = DataflowRegistry::builtin();

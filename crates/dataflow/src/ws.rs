@@ -38,7 +38,7 @@ impl Dataflow for WeightStationaryModel {
     }
 
     fn enumerate(&self, problem: &LayerProblem, hw: &AcceleratorConfig) -> Vec<MappingCandidate> {
-        self.mappings(&problem.shape, problem.batch, hw)
+        crate::grouped::lower(problem, |shape, n| self.mappings(shape, n, hw))
     }
 }
 

@@ -4,8 +4,13 @@
 //! evaluation. The shapes below are the *padded* shapes of Table II (Caffe
 //! variant \[39\]): e.g. CONV1's 227 is the padded input size.
 //!
-//! Note the grouped convolutions of the original AlexNet are reflected in
-//! Table II's channel counts (CONV2 sees C = 48, CONV4/5 see C = 192).
+//! The grouped convolutions of the original AlexNet show up in Table II's
+//! channel counts (CONV2 sees C = 48, CONV4/5 see C = 192): the table lists
+//! *per-tower* shapes and the paper maps each tower as an independent dense
+//! layer. [`conv_layers`] keeps that paper-faithful view. The trained
+//! network's actual two-tower structure is modeled explicitly by
+//! [`grouped_conv_layers`] through [`LayerShape::conv_grouped`], which is
+//! the form grouped-aware dataflows (e.g. `flex-rs`) schedule directly.
 
 use crate::shape::{LayerShape, NamedLayer};
 
@@ -33,6 +38,45 @@ pub fn conv_layers() -> Vec<NamedLayer> {
             NamedLayer::new(
                 name,
                 LayerShape::conv(m, c, h, r, u).expect("Table II shapes are valid"),
+            )
+        })
+        .collect()
+}
+
+/// The five CONV layers with the trained network's two-tower grouping
+/// made explicit (Krizhevsky et al.'s dual-GPU split).
+///
+/// CONV2, CONV4 and CONV5 become `groups = 2` layers whose full ifmaps
+/// span both towers (96, 384 and 384 channels respectively); CONV1 and
+/// CONV3 are dense, exactly as trained. Per-layer MACs, filter words and
+/// ofmap volumes match [`conv_layers`] — only the ifmap extent differs,
+/// because Table II's per-tower rows each see half the channels.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::alexnet;
+/// let grouped = alexnet::grouped_conv_layers();
+/// assert_eq!(grouped[1].shape.groups, 2);
+/// assert_eq!(grouped[1].shape.in_channels(), 96);
+/// // Same arithmetic as the paper's per-tower view.
+/// assert_eq!(grouped[1].shape.macs(1), alexnet::conv_layers()[1].shape.macs(1));
+/// ```
+pub fn grouped_conv_layers() -> Vec<NamedLayer> {
+    // (name, M, per-group C, H, R, U, G); C and M per Table II, with the
+    // two-tower layers merged back into single grouped layers.
+    let rows: [(&str, usize, usize, usize, usize, usize, usize); 5] = [
+        ("CONV1", 96, 3, 227, 11, 4, 1),
+        ("CONV2", 256, 48, 31, 5, 1, 2),
+        ("CONV3", 384, 256, 15, 3, 1, 1),
+        ("CONV4", 384, 192, 15, 3, 1, 2),
+        ("CONV5", 256, 192, 15, 3, 1, 2),
+    ];
+    rows.iter()
+        .map(|&(name, m, c, h, r, u, g)| {
+            NamedLayer::new(
+                name,
+                LayerShape::conv_grouped(m, c, h, r, u, g).expect("AlexNet shapes are valid"),
             )
         })
         .collect()
@@ -113,6 +157,28 @@ mod tests {
         // CONV1: 96 x 3 x 11^2 x 55^2 MACs ~ 105.4 M per image.
         let c1 = &conv_layers()[0].shape;
         assert_eq!(c1.macs(1), 105_415_200);
+    }
+
+    #[test]
+    fn grouped_view_matches_table_ii_arithmetic() {
+        let dense = conv_layers();
+        let grouped = grouped_conv_layers();
+        for (d, g) in dense.iter().zip(&grouped) {
+            assert_eq!(d.name, g.name);
+            // Per-tower MAC/weight/ofmap arithmetic is identical; only the
+            // ifmap extent differs for the two-tower layers.
+            assert_eq!(d.shape.macs(1), g.shape.macs(1), "{}", d.name);
+            assert_eq!(d.shape.filter_words(), g.shape.filter_words());
+            assert_eq!(d.shape.ofmap_words(1), g.shape.ofmap_words(1));
+            assert_eq!(
+                g.shape.ifmap_words(1),
+                d.shape.ifmap_words(1) * g.shape.groups as u64
+            );
+        }
+        assert_eq!(
+            grouped.iter().map(|l| l.shape.groups).collect::<Vec<_>>(),
+            [1, 2, 1, 2, 2]
+        );
     }
 
     #[test]

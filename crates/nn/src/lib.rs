@@ -9,6 +9,9 @@
 //!   derived exact operation/data counts.
 //! * [`alexnet`] — the AlexNet shape configurations of Table II, the
 //!   benchmark network used throughout the paper's evaluation.
+//! * [`mobilenet`] — MobileNet v1 depthwise-separable shapes (grouped
+//!   convolution via `LayerShape::conv_grouped`), the compact-network
+//!   workload class Eyeriss v2's flexible dataflow targets.
 //! * [`tensor`] — dense 4-D tensors for ifmaps, filters, ofmaps.
 //! * [`reference`](mod@reference) — a golden direct-convolution implementation of Eq. (1)
 //!   plus FC, max-pool and ReLU layers, used to verify the simulator
@@ -35,6 +38,7 @@ pub mod alexnet;
 pub mod error;
 pub mod fixed;
 pub mod im2col;
+pub mod mobilenet;
 pub mod network;
 pub mod problem;
 pub mod reference;

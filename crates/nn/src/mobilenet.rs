@@ -1,0 +1,179 @@
+//! MobileNet v1 layer shapes (Howard et al., arXiv 1704.04861) — the
+//! compact-network workload class Eyeriss v2 targets.
+//!
+//! MobileNet replaces dense convolution with *depthwise-separable* blocks:
+//! a depthwise 3x3 layer (one filter per channel, `G = C`) followed by a
+//! pointwise 1x1 layer. Both starve a 12x14 row-stationary array — the
+//! depthwise layers have no cross-channel reuse, the pointwise layers no
+//! filter-plane reuse — which is exactly the gap the `flex-rs` dataflow's
+//! cluster decomposition closes.
+//!
+//! As with [`crate::alexnet`], shapes are the *padded* shapes: every
+//! stride-2 stage pads to an odd plane and every stride-1 3x3 stage pads
+//! by one on each side, so `(H - R) % U == 0` holds exactly.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::{LayerShape, NamedLayer};
+
+/// Per-block rows of the MobileNet v1 body: `(dw stride, pointwise M)`.
+/// Channel counts chain: each block's input channels are the previous
+/// block's pointwise output.
+const BLOCKS: [(usize, usize); 13] = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+];
+
+/// Pads an ofmap plane of size `e` for the next 3x3 layer at stride `u`:
+/// one pixel each side for stride 1, one total (odd plane) for stride 2.
+fn padded(e: usize, u: usize) -> usize {
+    match u {
+        1 => e + 2,
+        2 => e + 1,
+        _ => unreachable!("MobileNet uses strides 1 and 2"),
+    }
+}
+
+/// The 27 weighted CONV layers plus the classifier of MobileNet v1
+/// (Table 1 of arXiv 1704.04861): `CONV1`, then `DW1`/`PW1` ..
+/// `DW13`/`PW13`, then `FC`.
+///
+/// # Example
+///
+/// ```
+/// use eyeriss_nn::mobilenet;
+///
+/// let layers = mobilenet::mobilenet_v1();
+/// assert_eq!(layers.len(), 28);
+/// // Half the body layers are depthwise (grouped to the extreme).
+/// let dw = layers.iter().filter(|l| l.shape.groups > 1).count();
+/// assert_eq!(dw, 13);
+/// ```
+pub fn mobilenet_v1() -> Vec<NamedLayer> {
+    let mut layers = Vec::with_capacity(28);
+    // CONV1: 224x224x3 padded to 225, 32 filters of 3x3 at stride 2.
+    let conv1 = LayerShape::conv(32, 3, 225, 3, 2).expect("MobileNet shapes are valid");
+    let mut channels = conv1.m;
+    let mut e = conv1.e;
+    layers.push(NamedLayer::new("CONV1", conv1));
+    for (i, &(stride, pw_m)) in BLOCKS.iter().enumerate() {
+        let dw = LayerShape::depthwise(channels, padded(e, stride), 3, stride)
+            .expect("MobileNet shapes are valid");
+        e = dw.e;
+        layers.push(NamedLayer::new(format!("DW{}", i + 1), dw));
+        let pw = LayerShape::conv(pw_m, channels, e, 1, 1).expect("MobileNet shapes are valid");
+        channels = pw_m;
+        layers.push(NamedLayer::new(format!("PW{}", i + 1), pw));
+    }
+    // Global average pool collapses the 7x7 plane; the classifier is a
+    // plain 1024 -> 1000 product.
+    layers.push(NamedLayer::new(
+        "FC",
+        LayerShape::fully_connected(1000, channels, 1).expect("MobileNet shapes are valid"),
+    ));
+    layers
+}
+
+/// Only the depthwise layers of [`mobilenet_v1`] — the shapes that starve
+/// dense row stationary and motivate `flex-rs`.
+pub fn depthwise_layers() -> Vec<NamedLayer> {
+    mobilenet_v1()
+        .into_iter()
+        .filter(|l| l.shape.groups > 1)
+        .collect()
+}
+
+/// A scaled-down executable MobileNet: the same conv / depthwise /
+/// pointwise structure on toy dimensions, for functional (bit-exact)
+/// simulation and serving smoke tests where the full 224x224 network
+/// would be needlessly slow.
+pub fn mobilenet_tiny(seed: u64) -> Network {
+    NetworkBuilder::new(3, 19)
+        .conv("C1", 8, 3, 2)
+        .expect("tiny shapes are valid")
+        .depthwise("DW1", 3, 1)
+        .expect("tiny shapes are valid")
+        .conv("PW1", 16, 1, 1)
+        .expect("tiny shapes are valid")
+        .depthwise("DW2", 3, 2)
+        .expect("tiny shapes are valid")
+        .conv("PW2", 24, 1, 1)
+        .expect("tiny shapes are valid")
+        .fully_connected("FC", 10)
+        .expect("tiny shapes are valid")
+        .build(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_sizes_chain_like_the_paper() {
+        // Table 1 spatial sizes: 112 -> 56 -> 28 -> 14 -> 7.
+        let layers = mobilenet_v1();
+        let by_name = |n: &str| layers.iter().find(|l| l.name == n).unwrap().shape;
+        assert_eq!(by_name("CONV1").e, 112);
+        assert_eq!(by_name("DW2").e, 56);
+        assert_eq!(by_name("DW4").e, 28);
+        assert_eq!(by_name("DW6").e, 14);
+        assert_eq!(by_name("DW12").e, 7);
+        assert_eq!(by_name("PW13").m, 1024);
+        assert_eq!(by_name("FC").m, 1000);
+    }
+
+    #[test]
+    fn total_macs_near_the_paper_count() {
+        // The paper reports ~569M mult-adds; padded shapes land close.
+        let total: u64 = mobilenet_v1().iter().map(|l| l.shape.macs(1)).sum();
+        assert!(
+            (520_000_000..650_000_000).contains(&total),
+            "total MACs {total}"
+        );
+    }
+
+    #[test]
+    fn depthwise_layers_are_grouped_to_the_extreme() {
+        let dw = depthwise_layers();
+        assert_eq!(dw.len(), 13);
+        for l in &dw {
+            assert_eq!(l.shape.c, 1, "{}", l.name);
+            assert_eq!(l.shape.groups, l.shape.m, "{}", l.name);
+            assert_eq!(l.shape.r, 3, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn pointwise_dominates_compute() {
+        // MobileNet's well-known profile: ~95% of MACs in 1x1 layers.
+        let layers = mobilenet_v1();
+        let pw: u64 = layers
+            .iter()
+            .filter(|l| l.name.starts_with("PW"))
+            .map(|l| l.shape.macs(1))
+            .sum();
+        let total: u64 = layers.iter().map(|l| l.shape.macs(1)).sum();
+        let frac = pw as f64 / total as f64;
+        assert!(frac > 0.9, "pointwise fraction {frac}");
+    }
+
+    #[test]
+    fn tiny_network_runs_forward() {
+        use crate::synth;
+        let net = mobilenet_tiny(7);
+        let input = synth::ifmap(&net.stages()[0].shape, 2, 11);
+        let out = net.forward(2, &input);
+        assert_eq!(out.dims(), [2, 10, 1, 1]);
+        assert!(net.stages().iter().any(|s| s.shape.groups > 1));
+    }
+}

@@ -151,6 +151,53 @@ impl NetworkBuilder {
         Ok(self)
     }
 
+    /// Appends a grouped CONV stage: `m` filters of `r x r` at stride `u`
+    /// split into `groups` independent convolutions, followed by ReLU.
+    ///
+    /// The current channel count must be divisible by `groups`; each group
+    /// sees `channels / groups` input channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `groups` divides neither the current
+    /// channels nor `m`, or under the [`LayerShape::conv`] conditions.
+    pub fn conv_grouped(
+        mut self,
+        name: &str,
+        m: usize,
+        r: usize,
+        u: usize,
+        groups: usize,
+    ) -> Result<Self, ShapeError> {
+        if groups == 0 || !self.cur_channels.is_multiple_of(groups) {
+            return Err(ShapeError::new(format!(
+                "group count {groups} does not divide input channels {}",
+                self.cur_channels
+            )));
+        }
+        let shape =
+            LayerShape::conv_grouped(m, self.cur_channels / groups, self.cur_size, r, u, groups)?;
+        self.cur_channels = m;
+        self.cur_size = shape.e;
+        self.specs.push(StageSpec::Weighted {
+            name: name.into(),
+            shape,
+            relu: true,
+        });
+        Ok(self)
+    }
+
+    /// Appends a depthwise CONV stage (`r x r` per channel plane at stride
+    /// `u`, MobileNet-style), followed by ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] under the [`LayerShape::conv`] conditions.
+    pub fn depthwise(self, name: &str, r: usize, u: usize) -> Result<Self, ShapeError> {
+        let m = self.cur_channels;
+        self.conv_grouped(name, m, r, u, m)
+    }
+
     /// Appends a max-pool stage with an `r x r` window at stride `u`.
     ///
     /// # Errors
@@ -265,6 +312,32 @@ mod tests {
             logits.iter().any(|v| v.raw() < 0),
             "suspiciously non-negative logits"
         );
+    }
+
+    #[test]
+    fn depthwise_separable_block_chains_and_runs() {
+        // MobileNet-style: conv -> dw 3x3 -> pw 1x1.
+        let net = NetworkBuilder::new(3, 11)
+            .conv("C1", 8, 3, 2)
+            .unwrap()
+            .depthwise("DW1", 3, 1)
+            .unwrap()
+            .conv("PW1", 16, 1, 1)
+            .unwrap()
+            .build(5);
+        let s = net.stages();
+        assert_eq!((s[1].shape.m, s[1].shape.c, s[1].shape.groups), (8, 1, 8));
+        assert_eq!(s[1].weights.as_ref().unwrap().dims(), [8, 1, 3, 3]);
+        assert_eq!((s[2].shape.c, s[2].shape.groups), (8, 1));
+        let input = synth::ifmap(&s[0].shape, 2, 3);
+        let out = net.forward(2, &input);
+        assert_eq!(out.dims(), [2, 16, 3, 3]);
+    }
+
+    #[test]
+    fn grouped_conv_requires_divisible_channels() {
+        let r = NetworkBuilder::new(3, 9).conv_grouped("G", 4, 3, 1, 2);
+        assert!(r.is_err(), "3 channels cannot split into 2 groups");
     }
 
     #[test]

@@ -51,6 +51,19 @@ impl LayerProblem {
     pub fn is_weighted(&self) -> bool {
         matches!(self.shape.kind, LayerKind::Conv | LayerKind::FullyConnected)
     }
+
+    /// Convolution group count of the underlying shape (`1` when dense).
+    ///
+    /// Grouped problems decompose into `groups` independent per-group
+    /// problems; see [`LayerShape::per_group`].
+    pub fn groups(&self) -> usize {
+        self.shape.groups
+    }
+
+    /// The per-group problem of a grouped layer (identity when dense).
+    pub fn per_group(&self) -> LayerProblem {
+        LayerProblem::new(self.shape.per_group(), self.batch)
+    }
 }
 
 impl From<(LayerShape, usize)> for LayerProblem {

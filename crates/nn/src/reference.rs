@@ -10,8 +10,10 @@ use crate::tensor::Tensor4;
 
 /// Computes a CONV/FC layer per Eq. (1), returning full-precision psums.
 ///
-/// * `input` — ifmaps `[N][C][H][H]` (already padded per Table II)
-/// * `weights` — filters `[M][C][R][R]`
+/// * `input` — ifmaps `[N][G·C][H][H]` (already padded per Table II;
+///   `G = 1` for dense layers)
+/// * `weights` — filters `[M][C][R][R]` (`C` is per-group for grouped
+///   layers; filter `f` reads channels `(f / (M/G))·C ..` of the ifmap)
 /// * `bias` — one Q8.8 bias per ofmap channel (`M` entries)
 ///
 /// The returned tensor is `[N][M][E][E]` of Q16.16 accumulators; use
@@ -43,16 +45,19 @@ pub fn conv_accumulate(
 ) -> Tensor4<i32> {
     check_dims(shape, n, input, weights, bias);
     let (m, c, e, r, u) = (shape.m, shape.c, shape.e, shape.r, shape.u);
+    let mpg = shape.filters_per_group();
     let mut out: Tensor4<i32> = Tensor4::zeros([n, m, e, e]);
     for z in 0..n {
         for f in 0..m {
+            // Grouped conv: filter f reads its group's channel slice only.
+            let c0 = (f / mpg) * c;
             let b = bias[f].to_accum();
             for x in 0..e {
                 for y in 0..e {
                     let mut acc = b;
                     for k in 0..c {
                         for i in 0..r {
-                            let irow = input.row(z, k, u * x + i);
+                            let irow = input.row(z, c0 + k, u * x + i);
                             let wrow = weights.row(f, k, i);
                             for j in 0..r {
                                 acc += irow[u * y + j].wide_mul(wrow[j]);
@@ -141,7 +146,7 @@ fn check_dims(
 ) {
     assert_eq!(
         input.dims(),
-        [n, shape.c, shape.h, shape.h],
+        [n, shape.in_channels(), shape.h, shape.h],
         "ifmap dims mismatch"
     );
     assert_eq!(
@@ -227,6 +232,55 @@ mod tests {
             }
         }
         assert_eq!(out[(0, 0, 0, 0)], acc);
+    }
+
+    #[test]
+    fn depthwise_matches_per_plane_conv() {
+        let dw = LayerShape::depthwise(3, 7, 3, 2).unwrap();
+        let input = synth::ifmap(&dw, 2, 21);
+        let weights = synth::filters(&dw, 22);
+        let bias = synth::biases(&dw, 23);
+        let out = conv_accumulate(&dw, 2, &input, &weights, &bias);
+        // Each plane independently equals a dense 1-channel convolution.
+        let single = LayerShape::conv(1, 1, 7, 3, 2).unwrap();
+        for k in 0..3 {
+            let plane = Tensor4::from_fn([2, 1, 7, 7], |z, _, x, y| input[(z, k, x, y)]);
+            let w = Tensor4::from_fn([1, 1, 3, 3], |_, _, i, j| weights[(k, 0, i, j)]);
+            let solo = conv_accumulate(&single, 2, &plane, &w, &bias[k..k + 1]);
+            for z in 0..2 {
+                for x in 0..dw.e {
+                    for y in 0..dw.e {
+                        assert_eq!(out[(z, k, x, y)], solo[(z, 0, x, y)]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_conv_ignores_other_groups() {
+        // Two groups: zeroing group 1's input channels must not change
+        // group 0's outputs.
+        let s = LayerShape::conv_grouped(4, 2, 6, 3, 1, 2).unwrap();
+        let input = synth::ifmap(&s, 1, 31);
+        let weights = synth::filters(&s, 32);
+        let bias = synth::biases(&s, 33);
+        let full = conv_accumulate(&s, 1, &input, &weights, &bias);
+        let masked = Tensor4::from_fn([1, 4, 6, 6], |z, k, x, y| {
+            if k >= 2 {
+                Fix16::ZERO
+            } else {
+                input[(z, k, x, y)]
+            }
+        });
+        let half = conv_accumulate(&s, 1, &masked, &weights, &bias);
+        for f in 0..2 {
+            for x in 0..s.e {
+                for y in 0..s.e {
+                    assert_eq!(full[(0, f, x, y)], half[(0, f, x, y)]);
+                }
+            }
+        }
     }
 
     #[test]

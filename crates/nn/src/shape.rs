@@ -67,6 +67,18 @@ pub struct LayerShape {
     pub e: usize,
     /// Convolution stride (`U`).
     pub u: usize,
+    /// Number of convolution groups (`G`); `1` for an ordinary dense layer.
+    ///
+    /// Grouped convolution splits the layer into `G` independent
+    /// convolutions: filter `f` only sees input channels
+    /// `(f / (M/G))·C .. (f / (M/G) + 1)·C`. Under this convention `c` is
+    /// the *per-group* channel count and `m` the *total* filter count, so
+    /// every per-group derived count (`macs`, `filter_words`,
+    /// `ofmap_words`, `accumulations_per_ofmap`) keeps its Table I formula
+    /// unchanged; only the ifmap volume scales by `G` (see
+    /// [`LayerShape::in_channels`]). Depthwise convolution is the extreme
+    /// `G = C_total`, `c = 1` case.
+    pub groups: usize,
 }
 
 impl LayerShape {
@@ -100,7 +112,63 @@ impl LayerShape {
             r,
             e,
             u,
+            groups: 1,
         })
+    }
+
+    /// Creates a grouped CONV layer shape: `groups` independent
+    /// convolutions, each with `c` input channels and `m / groups` filters.
+    ///
+    /// `c` is the *per-group* channel count; the layer's full ifmap has
+    /// `c · groups` channels (see [`LayerShape::in_channels`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] under the [`LayerShape::conv`] conditions,
+    /// when `groups` is zero, or when `groups` does not divide `m`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eyeriss_nn::LayerShape;
+    ///
+    /// // MobileNet dw3x3: 32 planes filtered independently.
+    /// let dw = LayerShape::conv_grouped(32, 1, 114, 3, 1, 32)?;
+    /// assert_eq!(dw.in_channels(), 32);
+    /// assert_eq!(dw.filters_per_group(), 1);
+    /// # Ok::<(), eyeriss_nn::ShapeError>(())
+    /// ```
+    pub fn conv_grouped(
+        m: usize,
+        c: usize,
+        h: usize,
+        r: usize,
+        u: usize,
+        groups: usize,
+    ) -> Result<Self, ShapeError> {
+        if groups == 0 {
+            return Err(ShapeError::new("group count must be non-zero"));
+        }
+        if !m.is_multiple_of(groups) {
+            return Err(ShapeError::new(format!(
+                "group count {groups} does not divide filter count {m}"
+            )));
+        }
+        Ok(LayerShape {
+            groups,
+            ..LayerShape::conv(m, c, h, r, u)?
+        })
+    }
+
+    /// Creates a depthwise CONV layer shape: `channels` planes, each
+    /// filtered independently by one `r x r` filter (`G = M = C_total`,
+    /// per-group `c = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] under the [`LayerShape::conv`] conditions.
+    pub fn depthwise(channels: usize, h: usize, r: usize, u: usize) -> Result<Self, ShapeError> {
+        LayerShape::conv_grouped(channels, 1, h, r, u, channels)
     }
 
     /// Creates a fully-connected layer shape.
@@ -133,6 +201,7 @@ impl LayerShape {
             r: h,
             e: 1,
             u: 1,
+            groups: 1,
         })
     }
 
@@ -165,9 +234,33 @@ impl LayerShape {
         self.m as u64 * self.c as u64 * (self.r * self.r) as u64
     }
 
-    /// Number of ifmap words for batch size `n`: `N·C·H²`.
+    /// Number of ifmap words for batch size `n`: `N·G·C·H²` (the full
+    /// ifmap spans all groups; `G = 1` recovers Table I's `N·C·H²`).
     pub fn ifmap_words(&self, n: usize) -> u64 {
-        n as u64 * self.c as u64 * (self.h * self.h) as u64
+        n as u64 * self.in_channels() as u64 * (self.h * self.h) as u64
+    }
+
+    /// Total input channels of the layer: `G·C` (equals `c` when dense).
+    pub fn in_channels(&self) -> usize {
+        self.c * self.groups
+    }
+
+    /// Filters per group: `M / G` (equals `m` when dense).
+    pub fn filters_per_group(&self) -> usize {
+        self.m / self.groups
+    }
+
+    /// The shape of one group of a grouped layer: `M / G` filters over `C`
+    /// channels, `groups = 1`. Identity for dense layers.
+    ///
+    /// Grouped execution and mapping both decompose into `G` runs of this
+    /// per-group shape, so it is the unit mapping searches operate on.
+    pub fn per_group(&self) -> LayerShape {
+        LayerShape {
+            m: self.filters_per_group(),
+            groups: 1,
+            ..*self
+        }
     }
 
     /// Number of ofmap words for batch size `n`: `N·M·E²`.
@@ -296,6 +389,45 @@ mod tests {
         assert_eq!(s.ofmap_words(1), 256 * 729);
         assert_eq!(s.uses_per_weight(16), 16 * 729);
         assert_eq!(s.accumulations_per_ofmap(), 48 * 25);
+    }
+
+    #[test]
+    fn grouped_conv_counts() {
+        // AlexNet CONV2 as trained: two towers of 128 filters over 24
+        // channels each (Table II merges them into one dense 256x48 layer).
+        let s = LayerShape::conv_grouped(256, 24, 31, 5, 1, 2).unwrap();
+        assert_eq!(s.in_channels(), 48);
+        assert_eq!(s.filters_per_group(), 128);
+        assert_eq!(s.ifmap_words(1), 48 * 31 * 31);
+        // Per-group formulas are unchanged: each filter still sees C=24.
+        assert_eq!(s.macs(1), 256 * 24 * 25 * 729);
+        assert_eq!(s.filter_words(), 256 * 24 * 25);
+        assert_eq!(s.accumulations_per_ofmap(), 24 * 25);
+        let per = s.per_group();
+        assert_eq!((per.m, per.c, per.groups), (128, 24, 1));
+        assert_eq!(per.macs(2) * 2, s.macs(2));
+    }
+
+    #[test]
+    fn depthwise_is_extreme_grouping() {
+        let dw = LayerShape::depthwise(32, 114, 3, 1).unwrap();
+        assert_eq!((dw.m, dw.c, dw.groups), (32, 1, 32));
+        assert_eq!(dw.in_channels(), 32);
+        assert_eq!(dw.macs(1), 32 * 9 * 112 * 112);
+        assert_eq!(dw.per_group().m, 1);
+    }
+
+    #[test]
+    fn grouped_conv_rejects_bad_groups() {
+        assert!(LayerShape::conv_grouped(6, 2, 9, 3, 1, 0).is_err());
+        assert!(LayerShape::conv_grouped(6, 2, 9, 3, 1, 4).is_err());
+    }
+
+    #[test]
+    fn dense_layers_have_one_group() {
+        assert_eq!(LayerShape::conv(4, 3, 9, 3, 1).unwrap().groups, 1);
+        assert_eq!(LayerShape::fully_connected(4, 3, 2).unwrap().groups, 1);
+        assert_eq!(LayerShape::pool(3, 9, 3, 3).unwrap().groups, 1);
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn gen_tensor(dims: [usize; 4], seed: u64, sparsity: f64) -> Tensor4<Fix16> {
     Tensor4::from_vec(dims, data)
 }
 
-/// Generates a dense ifmap batch `[n][C][H][H]` for `shape`.
+/// Generates a dense ifmap batch `[n][G·C][H][H]` for `shape` (all groups
+/// of a grouped layer; `G = 1` for dense layers).
 ///
 /// # Example
 ///
@@ -48,13 +49,13 @@ fn gen_tensor(dims: [usize; 4], seed: u64, sparsity: f64) -> Tensor4<Fix16> {
 /// # Ok::<(), eyeriss_nn::ShapeError>(())
 /// ```
 pub fn ifmap(shape: &LayerShape, n: usize, seed: u64) -> Tensor4<Fix16> {
-    gen_tensor([n, shape.c, shape.h, shape.h], seed, 0.0)
+    gen_tensor([n, shape.in_channels(), shape.h, shape.h], seed, 0.0)
 }
 
 /// Generates an ifmap batch where roughly `sparsity` of values are zero,
 /// mimicking post-ReLU activation sparsity.
 pub fn sparse_ifmap(shape: &LayerShape, n: usize, seed: u64, sparsity: f64) -> Tensor4<Fix16> {
-    gen_tensor([n, shape.c, shape.h, shape.h], seed, sparsity)
+    gen_tensor([n, shape.in_channels(), shape.h, shape.h], seed, sparsity)
 }
 
 /// Generates a filter bank `[M][C][R][R]` for `shape`.

@@ -8,15 +8,23 @@ use crate::shape::{LayerKind, LayerShape};
 use eyeriss_wire::{Value, WireError};
 
 /// Encodes a layer shape.
+///
+/// The group count travels as an optional `"g"` key written only when it
+/// is not 1, so documents for dense shapes are byte-identical to those
+/// written before grouped convolution existed.
 pub fn encode_shape(s: &LayerShape) -> Value {
-    Value::obj([
+    let mut pairs = vec![
         ("kind", Value::str(s.kind.label())),
         ("m", Value::usize(s.m)),
         ("c", Value::usize(s.c)),
         ("h", Value::usize(s.h)),
         ("r", Value::usize(s.r)),
         ("u", Value::usize(s.u)),
-    ])
+    ];
+    if s.groups != 1 {
+        pairs.push(("g", Value::usize(s.groups)));
+    }
+    Value::obj(pairs)
 }
 
 /// Decodes a layer shape through its validating constructor.
@@ -32,8 +40,18 @@ pub fn decode_shape(v: &Value) -> Result<LayerShape, WireError> {
     let h = v.get("h")?.as_usize()?;
     let r = v.get("r")?.as_usize()?;
     let u = v.get("u")?.as_usize()?;
+    // Absent "g" means 1: documents written before grouped convolution.
+    let groups = match v.get_opt("g")? {
+        Some(g) => g.as_usize()?,
+        None => 1,
+    };
+    if groups != 1 && kind != "CONV" {
+        return Err(WireError::Invalid(format!(
+            "layer kind {kind:?} cannot be grouped"
+        )));
+    }
     let shape = match kind {
-        "CONV" => LayerShape::conv(m, c, h, r, u),
+        "CONV" => LayerShape::conv_grouped(m, c, h, r, u, groups),
         "FC" => LayerShape::fully_connected(m, c, h),
         "POOL" => LayerShape::pool(c, h, r, u),
         other => return Err(WireError::Invalid(format!("unknown layer kind {other:?}"))),
@@ -58,11 +76,31 @@ mod tests {
             LayerShape::conv(96, 3, 227, 11, 4).unwrap(),
             LayerShape::fully_connected(4096, 256, 6).unwrap(),
             LayerShape::pool(96, 55, 3, 2).unwrap(),
+            LayerShape::conv_grouped(256, 24, 31, 5, 1, 2).unwrap(),
+            LayerShape::depthwise(32, 114, 3, 1).unwrap(),
         ];
         for s in shapes {
             let back = decode_shape(&encode_shape(&s)).unwrap();
             assert_eq!(back, s);
         }
+    }
+
+    #[test]
+    fn dense_shapes_omit_the_group_key() {
+        // Byte-compat with pre-groups documents: no "g" key when G = 1,
+        // and decoding a document without "g" yields a dense shape.
+        let v = encode_shape(&LayerShape::conv(4, 3, 9, 3, 1).unwrap());
+        assert_eq!(v.get_opt("g").unwrap(), None);
+        assert_eq!(decode_shape(&v).unwrap().groups, 1);
+    }
+
+    #[test]
+    fn grouped_non_conv_is_invalid() {
+        let mut v = encode_shape(&LayerShape::fully_connected(8, 4, 3).unwrap());
+        if let Value::Obj(pairs) = &mut v {
+            pairs.push(("g".into(), Value::usize(2)));
+        }
+        assert!(matches!(decode_shape(&v), Err(WireError::Invalid(_))));
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! buffer across batch/strip loops, or the ifmap strip stays resident
 //! across filter groups.
 
+use crate::csc::{self, CscStats};
 use crate::dram::DramModel;
 use crate::error::SimError;
+use crate::mesh::{HierarchicalMesh, MeshStats};
 use crate::passes::RsMapping;
 use crate::rlc;
 use crate::scratch::SimScratch;
@@ -54,6 +56,8 @@ pub struct Accelerator {
     config: AcceleratorConfig,
     zero_gating: bool,
     rlc_enabled: bool,
+    csc_enabled: bool,
+    mesh_model: Option<HierarchicalMesh>,
     dram: DramModel,
     /// Where layer/pass spans are recorded (defaults to the disabled
     /// [`Telemetry::global`] instance).
@@ -73,6 +77,8 @@ impl Accelerator {
             config,
             zero_gating: false,
             rlc_enabled: false,
+            csc_enabled: false,
+            mesh_model: None,
             dram: DramModel::default(),
             tele: Telemetry::global().clone(),
             scratch: SimScratch::new(),
@@ -102,6 +108,34 @@ impl Accelerator {
     /// Enables run-length compression of activation DRAM traffic.
     pub fn rlc(mut self, on: bool) -> Self {
         self.rlc_enabled = on;
+        self
+    }
+
+    /// Enables CSC sparse execution: ifmap rows are encoded into the
+    /// Eyeriss v2 compressed format and the PEs iterate nonzeros directly,
+    /// never issuing zero MACs. Psums stay bit-exact against the dense
+    /// path; [`SimStats::csc`] reports the storage win.
+    pub fn csc(mut self, on: bool) -> Self {
+        self.csc_enabled = on;
+        self
+    }
+
+    /// Executes array traffic over a v2-style hierarchical mesh instead
+    /// of the v1 single-bus NoC: array hop counts inflate by the mesh's
+    /// routing factor and [`SimStats::mesh`] reports the local/router hop
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh was built over a different PE grid than this
+    /// accelerator's.
+    pub fn mesh(mut self, mesh: HierarchicalMesh) -> Self {
+        assert_eq!(
+            mesh.grid(),
+            self.config.grid,
+            "mesh spans a different PE grid than this accelerator"
+        );
+        self.mesh_model = Some(mesh);
         self
     }
 
@@ -229,7 +263,7 @@ impl Accelerator {
     ) -> Result<LayerRun, SimError> {
         assert_eq!(
             input.dims(),
-            [n_batch, shape.c, shape.h, shape.h],
+            [n_batch, shape.in_channels(), shape.h, shape.h],
             "ifmap dims mismatch"
         );
         assert_eq!(
@@ -240,10 +274,28 @@ impl Accelerator {
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
         let _layer_span = self.tele.span_with("sim.layer", "sim", n_batch as u64);
-        let mut engine = Engine::new(self, scratch, shape, n_batch, mapping, input, weights);
-        engine.run()?;
-        let mut psums = engine.out;
-        let mut stats = engine.stats;
+        // Grouped layers execute as `groups` sequential sub-runs over the
+        // per-group shape, each engine addressing its own channel/filter
+        // slice of the shared tensors. Ungrouped layers are the G = 1 case.
+        let per_group = shape.per_group();
+        let mut psums = Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]);
+        let mut stats = SimStats::default();
+        for g in 0..shape.groups {
+            let mut engine = Engine::new(
+                self,
+                scratch,
+                &per_group,
+                n_batch,
+                mapping,
+                input,
+                weights,
+                &mut psums,
+                g * per_group.c,
+                g * per_group.m,
+            );
+            engine.run()?;
+            stats.merge(&engine.stats);
+        }
         // Bias is added once per ofmap value; the paper's accounting
         // ignores its (negligible) movement energy.
         for z in 0..n_batch {
@@ -318,7 +370,13 @@ struct Engine<'a> {
     mapping: RsMapping,
     input: &'a Tensor4<Fix16>,
     weights: &'a Tensor4<Fix16>,
-    out: Tensor4<i32>,
+    out: &'a mut Tensor4<i32>,
+    /// First input channel of this engine's group slice.
+    chan_base: usize,
+    /// First filter of this engine's group slice.
+    filt_base: usize,
+    csc_enabled: bool,
+    mesh: Option<HierarchicalMesh>,
     scratch: &'a mut SimScratch,
     grid_cols: usize,
     stats: SimStats,
@@ -330,6 +388,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         acc: &'a Accelerator,
         scratch: &'a mut SimScratch,
@@ -338,6 +397,9 @@ impl<'a> Engine<'a> {
         mapping: RsMapping,
         input: &'a Tensor4<Fix16>,
         weights: &'a Tensor4<Fix16>,
+        out: &'a mut Tensor4<i32>,
+        chan_base: usize,
+        filt_base: usize,
     ) -> Self {
         let rf_words = acc.config.rf_words_per_pe();
         let grid = acc.config.grid;
@@ -355,7 +417,11 @@ impl<'a> Engine<'a> {
             mapping,
             input,
             weights,
-            out: Tensor4::zeros([n_batch, shape.m, shape.e, shape.e]),
+            out,
+            chan_base,
+            filt_base,
+            csc_enabled: acc.csc_enabled,
+            mesh: acc.mesh_model,
             scratch,
             grid_cols: grid.cols,
             stats: SimStats::default(),
@@ -412,13 +478,66 @@ impl<'a> Engine<'a> {
         self.stats.profile.filter.rf_writes = pe_total.filter_writes as f64;
         self.stats.profile.psum.rf_reads = pe_total.psum_reads as f64;
         self.stats.profile.psum.rf_writes = pe_total.psum_writes as f64;
-        self.stats.profile.filter.array_hops = self.scratch.filter_bus.stats.word_hops as f64;
-        self.stats.profile.ifmap.array_hops = self.scratch.ifmap_bus.stats.word_hops as f64;
-        self.stats.profile.psum.array_hops = self.scratch.chain.stats.word_hops as f64;
+        let filter_hops = self.scratch.filter_bus.stats.word_hops as f64;
+        let ifmap_hops = self.scratch.ifmap_bus.stats.word_hops as f64;
+        let psum_hops = self.scratch.chain.stats.word_hops as f64;
+        if let Some(mesh) = self.mesh {
+            // The v1 buses counted delivery hops; rides over the mesh keep
+            // those as local hops and add the routing factor's excess as
+            // router traversals, so the charged array cost is
+            // hops x factor — the same closed form the flex-rs analytical
+            // profiles use.
+            let mut ms = MeshStats {
+                transactions: self.scratch.filter_bus.stats.transactions
+                    + self.scratch.ifmap_bus.stats.transactions
+                    + self.scratch.chain.stats.transactions,
+                ..MeshStats::default()
+            };
+            mesh.charge_bus(&mut ms, filter_hops);
+            mesh.charge_bus(&mut ms, ifmap_hops);
+            mesh.charge_bus(&mut ms, psum_hops);
+            let factor = mesh.routing_factor();
+            self.stats.profile.filter.array_hops = filter_hops * factor;
+            self.stats.profile.ifmap.array_hops = ifmap_hops * factor;
+            self.stats.profile.psum.array_hops = psum_hops * factor;
+            self.stats.mesh = Some(ms);
+        } else {
+            self.stats.profile.filter.array_hops = filter_hops;
+            self.stats.profile.ifmap.array_hops = ifmap_hops;
+            self.stats.profile.psum.array_hops = psum_hops;
+        }
+        if self.csc_enabled {
+            self.stats.csc = Some(self.csc_storage());
+        }
         self.stats.dram_raw_words =
             (self.stats.profile.dram_reads() + self.stats.profile.dram_writes()).round() as u64;
         debug_assert!(self.stats.profile.is_valid());
         Ok(())
+    }
+
+    /// CSC storage accounting over this engine's slice of the tensors:
+    /// every ifmap row of its input channels and every filter row of its
+    /// filter group, priced dense vs. encoded.
+    fn csc_storage(&self) -> CscStats {
+        let mut cs = CscStats::default();
+        let s = self.shape;
+        for z in 0..self.n_batch {
+            for c in 0..s.c {
+                for hh in 0..s.h {
+                    let row = self.input.row(z, self.chan_base + c, hh);
+                    cs.add_row(row.len(), csc::row_nnz(row));
+                }
+            }
+        }
+        for f in 0..s.m {
+            for c in 0..s.c {
+                for i in 0..s.r {
+                    let row = self.weights.row(self.filt_base + f, c, i);
+                    cs.add_row(row.len(), csc::row_nnz(row));
+                }
+            }
+        }
+        cs
     }
 
     /// Loads a filter group (all channels) into the buffer, once per group.
@@ -502,6 +621,8 @@ impl<'a> Engine<'a> {
         let SimScratch {
             pes,
             row_acc,
+            csc_values,
+            csc_indices,
             glb,
             filter_bus,
             ifmap_bus,
@@ -509,7 +630,8 @@ impl<'a> Engine<'a> {
             ..
         } = &mut *self.scratch;
         let stats = &mut self.stats;
-        let (input, weights, out) = (self.input, self.weights, &mut self.out);
+        let (input, weights, out) = (self.input, self.weights, &mut *self.out);
+        let (chan_base, filt_base, csc_on) = (self.chan_base, self.filt_base, self.csc_enabled);
 
         // ---- reset and load stationary filter rows -------------------------
         for sv in 0..map.r {
@@ -536,7 +658,7 @@ impl<'a> Engine<'a> {
                                 stats.profile.filter.buffer_reads += r_filt as f64;
                             }
                             filter_bus.multicast(r_filt, e_cols);
-                            let row = weights.row(f, c, i);
+                            let row = weights.row(filt_base + f, c, i);
                             for yy in 0..e_cols {
                                 pes[(sv * r_filt + i) * grid_cols + sh * map.e + yy]
                                     .load_filter_row(row)
@@ -594,13 +716,21 @@ impl<'a> Engine<'a> {
                                 for c in cs.clone() {
                                     let row_index =
                                         ((f - fs.start) * cs.len() + (c - cs.start)) * r_filt;
-                                    pe.run_primitive(
-                                        row_index,
-                                        input.row(z, c, u * y + i),
-                                        u,
-                                        true,
-                                        row_acc,
-                                    );
+                                    let row = input.row(z, chan_base + c, u * y + i);
+                                    if csc_on {
+                                        csc::encode_row_into(row, csc_values, csc_indices);
+                                        pe.run_primitive_csc(
+                                            row_index,
+                                            csc_values,
+                                            csc_indices,
+                                            row.len(),
+                                            u,
+                                            true,
+                                            row_acc,
+                                        );
+                                    } else {
+                                        pe.run_primitive(row_index, row, u, true, row_acc);
+                                    }
                                 }
                             }
                         }
@@ -619,7 +749,11 @@ impl<'a> Engine<'a> {
                                 stats.profile.psum.buffer_writes += e_dim as f64;
                             }
                         }
-                        for (o, v) in out.row_mut(z, f, y).iter_mut().zip(row_acc.iter()) {
+                        for (o, v) in out
+                            .row_mut(z, filt_base + f, y)
+                            .iter_mut()
+                            .zip(row_acc.iter())
+                        {
                             *o += v;
                         }
                     }
@@ -787,6 +921,120 @@ mod tests {
             (1.5..=10.0).contains(&ratio),
             "RF:on-chip-rest ratio {ratio:.2}"
         );
+    }
+
+    #[test]
+    fn grouped_conv_is_bit_exact() {
+        // 3 groups of 2 input channels, 2 filters each.
+        let shape = LayerShape::conv_grouped(6, 2, 13, 3, 1, 3).unwrap();
+        run_and_check(&shape, 2, small_chip());
+    }
+
+    #[test]
+    fn depthwise_conv_is_bit_exact() {
+        let shape = LayerShape::depthwise(5, 11, 3, 1).unwrap();
+        let run = run_and_check(&shape, 2, small_chip());
+        assert_eq!(run.stats.macs, shape.macs(2));
+    }
+
+    #[test]
+    fn csc_execution_is_bit_exact_and_skips_zeros() {
+        let shape = LayerShape::conv(4, 3, 12, 3, 1).unwrap();
+        let input = synth::sparse_ifmap(&shape, 1, 5, 0.6);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+        let golden = reference::conv_accumulate(&shape, 1, &input, &weights, &bias);
+
+        let mut dense = Accelerator::new(small_chip());
+        let mut sparse = Accelerator::new(small_chip()).csc(true);
+        let d = dense.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        let s = sparse.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        assert_eq!(s.psums, golden);
+        assert_eq!(s.psums, d.psums);
+        // CSC never issues the zero MACs the dense path executes.
+        assert_eq!(s.stats.macs + s.stats.skipped_macs, d.stats.macs);
+        assert!(s.stats.skipped_macs > 0);
+        assert!(s.stats.profile.ifmap.rf_reads < d.stats.profile.ifmap.rf_reads);
+        let cs = s.stats.csc.expect("CSC stats recorded");
+        assert!(cs.compression_ratio() > 1.0, "{cs:?}");
+        assert!(d.stats.csc.is_none());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_csc_chip_runs_are_bit_exact_at_any_sparsity(
+            seed in 0u64..1_000,
+            // 0 -> fully dense, 10 -> all-zero ifmap, else in between.
+            sparsity_tenths in 0u32..=10,
+            depthwise in proptest::arbitrary::any::<bool>(),
+        ) {
+            let sparsity = f64::from(sparsity_tenths) / 10.0;
+            // The layer-level version of the PE property: whole grouped
+            // and ungrouped runs stay bit-exact under CSC at every
+            // sparsity, and the SimStats work invariant holds.
+            let shape = if depthwise {
+                LayerShape::depthwise(4, 11, 3, 1).unwrap()
+            } else {
+                LayerShape::conv(3, 2, 11, 3, 1).unwrap()
+            };
+            let input = synth::sparse_ifmap(&shape, 1, seed, sparsity);
+            let weights = synth::filters(&shape, seed ^ 0xf11e);
+            let bias = synth::biases(&shape, seed ^ 0xb1a5);
+            let golden = reference::conv_accumulate(&shape, 1, &input, &weights, &bias);
+
+            let mut dense = Accelerator::new(small_chip());
+            let mut sparse = Accelerator::new(small_chip()).csc(true);
+            let d = dense.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+            let s = sparse.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+            proptest::prop_assert_eq!(&s.psums, &golden);
+            proptest::prop_assert_eq!(&s.psums, &d.psums);
+            proptest::prop_assert_eq!(s.stats.macs + s.stats.skipped_macs, d.stats.macs);
+            proptest::prop_assert!(s.stats.csc.is_some());
+        }
+    }
+
+    #[test]
+    fn mesh_execution_inflates_array_hops_by_the_routing_factor() {
+        let shape = LayerShape::conv(4, 3, 12, 3, 1).unwrap();
+        let input = synth::ifmap(&shape, 1, 5);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+
+        let config = small_chip();
+        let mesh =
+            crate::mesh::HierarchicalMesh::new(config.grid, eyeriss_arch::GridDims::new(3, 1), 4)
+                .unwrap();
+        let factor = mesh.routing_factor();
+        assert!(factor > 1.0);
+        let mut bus = Accelerator::new(config);
+        let mut meshed = Accelerator::new(config).mesh(mesh);
+        let b = bus.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        let m = meshed.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        assert_eq!(m.psums, b.psums, "mesh must not change arithmetic");
+        for (mh, bh) in [
+            (
+                m.stats.profile.filter.array_hops,
+                b.stats.profile.filter.array_hops,
+            ),
+            (
+                m.stats.profile.ifmap.array_hops,
+                b.stats.profile.ifmap.array_hops,
+            ),
+            (
+                m.stats.profile.psum.array_hops,
+                b.stats.profile.psum.array_hops,
+            ),
+        ] {
+            assert!((mh - bh * factor).abs() < 1e-6, "{mh} vs {bh} x {factor}");
+        }
+        let ms = m.stats.mesh.expect("mesh stats recorded");
+        let bus_hops = b.stats.profile.filter.array_hops
+            + b.stats.profile.ifmap.array_hops
+            + b.stats.profile.psum.array_hops;
+        assert!((ms.total_hops() - bus_hops * factor).abs() < 1e-6);
+        assert!(ms.router_hops > 0.0);
+        assert!(b.stats.mesh.is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   multicast and the vertical psum accumulation chain (Fig. 6).
 //! * [`gbuf`] — the capacity-checked global buffer with per-type regions.
 //! * [`rlc`] — the run-length compression codec used on DRAM transfers.
+//! * [`csc`] — the compressed-sparse-column codec and storage accounting
+//!   behind opt-in sparse PE execution (the Eyeriss v2 format).
+//! * [`mesh`] — the hierarchical-mesh NoC model (Eyeriss v2): router
+//!   clusters with unicast/multicast/broadcast delivery modes.
 //! * [`passes`] — the two-phase mapping: logical PE sets folded into
 //!   processing passes (Section V-B), derived from the same mapping
 //!   optimizer the analysis framework uses.
@@ -46,9 +50,11 @@
 //! ```
 
 pub mod chip;
+pub mod csc;
 pub mod dram;
 pub mod error;
 pub mod gbuf;
+pub mod mesh;
 pub mod noc;
 pub mod passes;
 pub mod pe;

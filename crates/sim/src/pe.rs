@@ -216,6 +216,74 @@ impl Pe {
             }
         }
     }
+
+    /// [`Pe::run_primitive`] over a CSC-encoded ifmap row (the Eyeriss v2
+    /// sparse PE): iterates the row's nonzeros and scatters each into the
+    /// output windows it participates in, so zero MACs are never issued.
+    /// Psums are **bit-exact** against the dense primitive — the i32
+    /// accumulations commute — and the counter invariant
+    /// `macs + skipped_macs == dense taps` is preserved; only
+    /// `ifmap_reads` differs (one read per *nonzero*, since CSC storage
+    /// holds no zeros to inspect).
+    ///
+    /// `values`/`indices` are the row's CSC form (see
+    /// [`crate::csc::encode_row_into`]) and `row_len` its dense length.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the dense primitive's conditions, or if an index is
+    /// outside `row_len`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_primitive_csc(
+        &mut self,
+        row_index: usize,
+        values: &[Fix16],
+        indices: &[u16],
+        row_len: usize,
+        stride: usize,
+        accumulate_locally: bool,
+        psums: &mut [i32],
+    ) {
+        let slides = psums
+            .len()
+            .checked_sub(1)
+            .expect("psum row must be non-empty");
+        let r = row_len
+            .checked_sub(slides * stride)
+            .expect("ifmap row shorter than slide span");
+        assert!(
+            row_index + r <= self.filter_spad.len(),
+            "filter row {row_index}+{r} not resident ({} loaded)",
+            self.filter_spad.len()
+        );
+        let filter_row = &self.filter_spad[row_index..row_index + r];
+        let mut performed = 0u64;
+        for (v, &j) in values.iter().zip(indices) {
+            let j = j as usize;
+            assert!(j < row_len, "CSC index {j} outside row of {row_len}");
+            // Output positions x whose window covers pixel j:
+            // x*stride <= j <= x*stride + r - 1, clamped to the row.
+            let x_min = if j >= r {
+                (j - r + 1).div_ceil(stride)
+            } else {
+                0
+            };
+            let x_max = (j / stride).min(slides);
+            for x in x_min..=x_max {
+                psums[x] += v.wide_mul(filter_row[j - x * stride]);
+                performed += 1;
+            }
+        }
+        let taps = (psums.len() * r) as u64;
+        self.stats.ifmap_reads += values.len() as u64;
+        self.stats.filter_reads += performed;
+        self.stats.macs += performed;
+        self.stats.skipped_macs += taps - performed;
+        if accumulate_locally {
+            self.stats.psum_reads += performed;
+            self.stats.psum_writes += performed;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +384,113 @@ mod tests {
         assert_eq!(pe.stats.psum_reads, 15);
         assert_eq!(pe.stats.psum_writes, 15);
         assert_eq!(pe.stats.filter_writes, 3);
+    }
+
+    #[test]
+    fn csc_primitive_matches_dense_bit_exactly() {
+        for (stride, len, psum_len) in [(1usize, 7usize, 5usize), (2, 9, 4), (3, 9, 3)] {
+            let mut dense = Pe::new(16, 16);
+            let mut sparse = Pe::new(16, 16);
+            let row: Vec<Fix16> = (0..len)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Fix16::ZERO
+                    } else {
+                        f(i as f32 * 0.25 - 1.0)
+                    }
+                })
+                .collect();
+            let filt = [f(1.5), f(-0.5), f(2.0)];
+            dense.load_filter_row(&filt).unwrap();
+            sparse.load_filter_row(&filt).unwrap();
+            let mut a = vec![0i32; psum_len];
+            let mut b = vec![0i32; psum_len];
+            dense.run_primitive(0, &row, stride, true, &mut a);
+            let (mut vals, mut idxs) = (Vec::new(), Vec::new());
+            crate::csc::encode_row_into(&row, &mut vals, &mut idxs);
+            sparse.run_primitive_csc(0, &vals, &idxs, len, stride, true, &mut b);
+            assert_eq!(a, b, "stride {stride}");
+            // Work invariant: performed + skipped covers every dense tap.
+            assert_eq!(
+                sparse.stats.macs + sparse.stats.skipped_macs,
+                dense.stats.macs,
+                "stride {stride}"
+            );
+            assert!(sparse.stats.ifmap_reads < dense.stats.ifmap_reads);
+        }
+    }
+
+    #[test]
+    fn csc_all_zero_row_performs_no_macs() {
+        let mut pe = Pe::new(8, 8);
+        pe.load_filter_row(&[f(1.0); 3]).unwrap();
+        let mut psums = vec![0i32; 3];
+        pe.run_primitive_csc(0, &[], &[], 5, 1, true, &mut psums);
+        assert_eq!(psums, vec![0; 3]);
+        assert_eq!(pe.stats.macs, 0);
+        assert_eq!(pe.stats.skipped_macs, 9);
+        assert_eq!(pe.stats.ifmap_reads, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_csc_primitive_is_bit_exact_at_any_sparsity(
+            raw in proptest::collection::vec(-300i16..300, 1..64),
+            stride in 1usize..4,
+            r in 1usize..6,
+            density in 0u8..5,
+        ) {
+            // Derive a geometrically valid primitive from the raw pool:
+            // len = slides*stride + r, clamped to the data we drew.
+            // density 0 zeroes every pixel (the all-zero edge); higher
+            // values keep roughly 1/1 .. 1/4 of them.
+            let max_slides = (raw.len().saturating_sub(r)) / stride;
+            let psum_len = max_slides + 1;
+            let len = max_slides * stride + r;
+            proptest::prop_assume!(len <= raw.len());
+            let row: Vec<Fix16> = raw[..len]
+                .iter()
+                .map(|&v| {
+                    if density == 0 || v.rem_euclid(density as i16) != 0 {
+                        Fix16::ZERO
+                    } else {
+                        Fix16::from_raw(v)
+                    }
+                })
+                .collect();
+            let filt: Vec<Fix16> = (0..r).map(|i| f(i as f32 * 0.5 - 1.0)).collect();
+
+            let mut dense = Pe::new(r, psum_len);
+            let mut gated = Pe::new(r, psum_len);
+            gated.set_zero_gating(true);
+            let mut sparse = Pe::new(r, psum_len);
+            dense.load_filter_row(&filt).unwrap();
+            gated.load_filter_row(&filt).unwrap();
+            sparse.load_filter_row(&filt).unwrap();
+
+            let mut a = vec![0i32; psum_len];
+            let mut b = vec![0i32; psum_len];
+            let mut c = vec![0i32; psum_len];
+            dense.run_primitive(0, &row, stride, true, &mut a);
+            gated.run_primitive(0, &row, stride, true, &mut b);
+            let (mut vals, mut idxs) = (Vec::new(), Vec::new());
+            crate::csc::encode_row_into(&row, &mut vals, &mut idxs);
+            sparse.run_primitive_csc(0, &vals, &idxs, len, stride, true, &mut c);
+
+            // Psums are bit-exact across all three datapaths.
+            proptest::prop_assert_eq!(&a, &b);
+            proptest::prop_assert_eq!(&a, &c);
+            // CSC performs exactly the MACs the gated datapath performs
+            // and accounts for every dense tap it skipped.
+            proptest::prop_assert_eq!(sparse.stats.macs, gated.stats.macs);
+            proptest::prop_assert_eq!(sparse.stats.skipped_macs, gated.stats.skipped_macs);
+            proptest::prop_assert_eq!(
+                sparse.stats.macs + sparse.stats.skipped_macs,
+                dense.stats.macs
+            );
+            // CSC storage never inspects zeros: one read per nonzero.
+            proptest::prop_assert_eq!(sparse.stats.ifmap_reads, vals.len() as u64);
+        }
     }
 
     #[test]

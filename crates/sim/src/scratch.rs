@@ -63,6 +63,10 @@ pub struct SimScratch {
     pub(crate) row_acc: Vec<i32>,
     /// RLC code-word buffer for compression-ratio accounting.
     pub(crate) rlc_words: Vec<u64>,
+    /// CSC value buffer for one encoded ifmap row (sparse execution).
+    pub(crate) csc_values: Vec<eyeriss_nn::Fix16>,
+    /// CSC index buffer paired with `csc_values`.
+    pub(crate) csc_indices: Vec<u16>,
     /// Global-buffer occupancy/traffic counters.
     pub(crate) glb: GlobalBuffer,
     /// Filter multicast bus counters.

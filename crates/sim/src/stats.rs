@@ -25,9 +25,38 @@ pub struct SimStats {
     pub dram_raw_words: u64,
     /// DRAM traffic after run-length compression, if RLC was enabled.
     pub dram_compressed_words: Option<u64>,
+    /// Hierarchical-mesh hop split, if the run executed over a
+    /// [`HierarchicalMesh`](crate::mesh::HierarchicalMesh).
+    pub mesh: Option<crate::mesh::MeshStats>,
+    /// CSC storage accounting (ifmap + filter), if sparse execution was
+    /// enabled.
+    pub csc: Option<crate::csc::CscStats>,
 }
 
 impl SimStats {
+    /// Accumulates another run's statistics into this one. Used when a
+    /// layer executes as several sequential sub-runs (e.g. one engine per
+    /// filter group): cycles, traffic and optional mesh/CSC accounting all
+    /// add; the RLC word count stays `None` unless some sub-run measured
+    /// one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.profile.accumulate(&other.profile);
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.macs += other.macs;
+        self.skipped_macs += other.skipped_macs;
+        self.dram_raw_words += other.dram_raw_words;
+        if let Some(c) = other.dram_compressed_words {
+            *self.dram_compressed_words.get_or_insert(0) += c;
+        }
+        if let Some(m) = &other.mesh {
+            self.mesh.get_or_insert_with(Default::default).merge(m);
+        }
+        if let Some(c) = &other.csc {
+            self.csc.get_or_insert_with(Default::default).merge(c);
+        }
+    }
+
     /// Average PE utilization: useful MACs per (cycle x PE).
     pub fn utilization(&self, num_pes: usize) -> f64 {
         if self.cycles == 0 {

@@ -156,6 +156,21 @@ impl Value {
             .ok_or_else(|| WireError::MissingKey(key.to_string()))
     }
 
+    /// The value under `key`, or `None` when the key is absent.
+    ///
+    /// Readers use this for fields added after a schema shipped, where
+    /// absence means the field's historical default.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::WrongType`] if `self` is not an object.
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Value>, WireError> {
+        let Value::Obj(pairs) = self else {
+            return Err(WireError::WrongType(key.to_string(), "object"));
+        };
+        Ok(pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
     /// This value as a `u64`.
     ///
     /// # Errors
@@ -644,6 +659,17 @@ mod tests {
                 supported: 1,
                 found: 2
             })
+        ));
+    }
+
+    #[test]
+    fn optional_keys_decode_as_none() {
+        let doc = Value::obj([("k", Value::u64(1))]);
+        assert_eq!(doc.get_opt("k").unwrap(), Some(&Value::u64(1)));
+        assert_eq!(doc.get_opt("missing").unwrap(), None);
+        assert!(matches!(
+            Value::u64(1).get_opt("k"),
+            Err(WireError::WrongType(_, "object"))
         ));
     }
 

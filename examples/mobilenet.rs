@@ -1,0 +1,74 @@
+//! MobileNet on the flexible chip: `flex-rs` registered as a real
+//! seventh dataflow, driving compile → persist → reload → serve with
+//! zero re-searches, then the headline flex-vs-dense comparison.
+//!
+//! Run with: `cargo run --release --example mobilenet` for the full
+//! MobileNet v1 table, or `-- --smoke` for the CI fast path (the tiny
+//! network through the persisted-plan round trip only).
+
+use eyeriss::analysis::experiments::flex_dataflow;
+use eyeriss::dataflow::flex::FlexRsModel;
+use eyeriss::nn::mobilenet;
+use eyeriss::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // ---- 1. The persisted-plan path under flex-rs --------------------
+    // A depthwise-separable tiny MobileNet compiled by a warm engine,
+    // persisted, reloaded by a cold engine, and served bit-exactly —
+    // the same walkthrough as `tests/engine_facade.rs`, but with the
+    // paper-grade seventh dataflow instead of a toy.
+    let net = mobilenet::mobilenet_tiny(19);
+    let golden = net.clone();
+    let shape = net.stages()[0].shape;
+
+    let warm = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(1)
+        .dataflow_instance(Arc::new(FlexRsModel))
+        .build()?;
+    warm.compile(&net, 1)?;
+    let dir = std::env::temp_dir().join("eyeriss-mobilenet-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("mobilenet.plans");
+    let saved = warm.save_plans(&path)?;
+
+    let cold = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(1)
+        .dataflow_instance(Arc::new(FlexRsModel))
+        .build()?;
+    let loaded = cold.load_plans(&path)?;
+    let server = cold.serve(net)?;
+    let input = synth::ifmap(&shape, 1, 5);
+    let response = server.submit(input.clone())?.wait()?;
+    assert_eq!(
+        response.output,
+        golden.forward(1, &input),
+        "served output diverged from the golden model"
+    );
+    server.shutdown();
+    assert_eq!(
+        cold.cache_stats().misses,
+        0,
+        "cold serving must run zero mapping searches"
+    );
+    std::fs::remove_file(&path).ok();
+    println!(
+        "flex-rs persisted-plan path: {saved} plans saved, {loaded} reloaded, \
+         served bit-exact with zero re-searches"
+    );
+
+    if smoke {
+        println!("smoke mode: skipping the MobileNet v1 comparison table");
+        return Ok(());
+    }
+
+    // ---- 2. The headline experiment ----------------------------------
+    // Full MobileNet v1 at batch 1: per-layer PE utilization and energy
+    // under flex-rs against the best of the six dense dataflows.
+    println!("\n{}", flex_dataflow::render(&flex_dataflow::run()));
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Acceptance tests of `flex-rs` as a *real* seventh dataflow: the
+//! Eyeriss v2 flexible row-stationary space registered through the
+//! public [`DataflowRegistry`] and driven by the unmodified search,
+//! cluster, wire and serve machinery — the production-grade counterpart
+//! of the toy walkthrough in `tests/engine_facade.rs`.
+
+use eyeriss::dataflow::flex::{FlexRsModel, FLEX_RS};
+use eyeriss::dataflow::wire;
+use eyeriss::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn flex_rs_searches_plans_and_roundtrips_through_the_registry() {
+    let mut reg = DataflowRegistry::builtin();
+    reg.register(Arc::new(FlexRsModel)).unwrap();
+    assert_eq!(reg.len(), 7);
+
+    let flex = reg.resolve(FLEX_RS).unwrap();
+    let hw = AcceleratorConfig::eyeriss_chip();
+    // A MobileNet-class depthwise layer: one input channel per filter,
+    // so dense RS fills at most R = 3 PE rows of the 12x14 array.
+    let dw = LayerProblem::new(LayerShape::depthwise(256, 16, 3, 1).unwrap(), 2);
+
+    // The unmodified optimizer searches the registered space.
+    let best = optimize(flex.as_ref(), &dw, &hw, &TableIv, Objective::Energy)
+        .expect("flex-rs is feasible on depthwise layers");
+    assert_eq!(best.params.dataflow(), FLEX_RS);
+    assert_eq!(best.params.kind(), None, "not one of the builtin six");
+
+    // And the winner activates strictly more PEs than dense RS can.
+    let rs = registry::builtin(DataflowKind::RowStationary);
+    let rs_best = optimize(rs, &dw, &hw, &TableIv, Objective::Energy).unwrap();
+    assert!(
+        best.active_pes > rs_best.active_pes,
+        "flex {} <= rs {}",
+        best.active_pes,
+        rs_best.active_pes
+    );
+
+    // The unmodified cluster planner co-optimizes (partition, mapping)
+    // in the flex space; grouped layers split by batch.
+    let plan = plan_layer(
+        flex.as_ref(),
+        &dw,
+        2,
+        &hw,
+        &TableIv,
+        &SharedDram::scaled(2),
+        Objective::Energy,
+    )
+    .expect("flex-rs plans across the cluster");
+    assert_eq!(plan.arrays, 2);
+    assert!(plan
+        .per_array
+        .iter()
+        .flat_map(|a| &a.tiles)
+        .all(|t| t.mapping.params.dataflow() == FLEX_RS));
+
+    // The searched candidate survives the wire format bit-exactly.
+    let back = wire::decode_candidate(&wire::encode_candidate(&best), &reg).unwrap();
+    assert_eq!(back, best);
+    // Without the registration the encoded form is refused, typed.
+    assert!(
+        wire::decode_candidate(&wire::encode_candidate(&best), &DataflowRegistry::builtin())
+            .is_err()
+    );
+}
+
+#[test]
+fn flex_engine_executes_depthwise_bit_exactly() {
+    let engine = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(2)
+        .dataflow_instance(Arc::new(FlexRsModel))
+        .build()
+        .unwrap();
+    assert_eq!(engine.dataflow().id(), FLEX_RS);
+
+    let shape = LayerShape::depthwise(8, 13, 3, 2).unwrap();
+    let problem = LayerProblem::new(shape, 4);
+    let best = engine.best_mapping(&problem).unwrap();
+    assert_eq!(best.params.dataflow(), FLEX_RS);
+
+    let input = synth::ifmap(&shape, 4, 1);
+    let weights = synth::filters(&shape, 2);
+    let bias = synth::biases(&shape, 3);
+    let run = engine.run(&problem, &input, &weights, &bias).unwrap();
+    assert_eq!(
+        run.psums,
+        reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+    );
+}
+
+#[test]
+fn cold_engine_serves_mobilenet_tiny_under_flex_with_zero_searches() {
+    let dir = std::env::temp_dir().join("eyeriss-flex-acceptance");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flex.plans");
+
+    let net = mobilenet::mobilenet_tiny(23);
+    let golden = net.clone();
+    let shape = net.stages()[0].shape;
+
+    // Warm engine: compile every weighted stage under flex-rs, persist.
+    let warm = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(1)
+        .dataflow_instance(Arc::new(FlexRsModel))
+        .build()
+        .unwrap();
+    warm.compile(&net, 1).unwrap();
+    let saved = warm.save_plans(&path).unwrap();
+    assert_eq!(saved, 6, "six weighted stages in mobilenet-tiny");
+
+    // Cold engine: reload and serve bit-exactly with zero re-searches.
+    let cold = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(1)
+        .dataflow_instance(Arc::new(FlexRsModel))
+        .build()
+        .unwrap();
+    assert_eq!(cold.load_plans(&path).unwrap(), saved);
+    let server = cold
+        .serve_with(
+            net,
+            ServeOptions {
+                workers: 1,
+                policy: BatchPolicy::unbatched(),
+                queue_capacity: 8,
+                slos: Vec::new(),
+            },
+        )
+        .unwrap();
+    for seed in 0..3u64 {
+        let input = synth::ifmap(&shape, 1, seed);
+        let response = server.submit(input.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            response.output,
+            golden.forward(1, &input),
+            "served output diverged (seed {seed})"
+        );
+    }
+    server.shutdown();
+    assert_eq!(
+        cold.cache_stats().misses,
+        0,
+        "cold serving under flex-rs must not search"
+    );
+
+    // An engine without the registration refuses the persisted plans
+    // with a typed error instead of guessing.
+    let ignorant = Engine::builder()
+        .hardware(AcceleratorConfig::eyeriss_chip())
+        .arrays(1)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        ignorant.load_plans(&path),
+        Err(EngineError::Serve(_))
+    ));
+    std::fs::remove_file(&path).ok();
+}
