@@ -14,6 +14,13 @@
 //!   multiples of its calibrated capacity and records achieved
 //!   throughput plus p50/p99 latency at each point — the canonical
 //!   latency/throughput serving curve.
+//! * [`overload_comparison`] — **admission control vs the legacy
+//!   FIFO** at the same ≥2× overload: the sched server sheds what
+//!   cannot make its deadline and keeps completed-request p99 bounded,
+//!   while the FIFO's p99 grows with the queue.
+//! * [`fairness_drr`] — **DRR fairness**: two backlogged tenants with
+//!   3:1 weights; completed-throughput shares converge to the weight
+//!   ratio.
 
 use crate::table::TextTable;
 use eyeriss_arch::AcceleratorConfig;
@@ -21,7 +28,8 @@ use eyeriss_nn::network::{Network, NetworkBuilder};
 use eyeriss_nn::shape::NamedLayer;
 use eyeriss_nn::{alexnet, synth, vgg};
 use eyeriss_serve::{
-    BatchPolicy, CacheStats, PlanCompiler, ServeConfig, Server, ServerSnapshot, ServerStats,
+    percentile, AdmissionError, BatchPolicy, CacheStats, PlanCompiler, SchedConfig, ServeConfig,
+    ServeError, Server, ServerSnapshot, ServerStats, SubmitOptions, TenantId, TenantSpec,
 };
 use std::time::{Duration, Instant};
 
@@ -216,6 +224,7 @@ fn serve_config() -> ServeConfig {
         telemetry: None,
         slos: Vec::new(),
         flight_capacity: 256,
+        sched: None,
     }
 }
 
@@ -413,6 +422,352 @@ pub fn render_sweep(sweep: &ServingSweep) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Overload: admission control vs the legacy FIFO at the same 2× load
+// ---------------------------------------------------------------------------
+
+/// Warmup requests per overload server — enough worker-fed samples to
+/// calibrate the sched server's admission estimator before measuring.
+const OVERLOAD_WARMUPS: usize = 4;
+
+/// Per-request deadline, as a multiple of the calibrated no-backlog
+/// completion estimate. Five estimates of queueing budget keeps the
+/// bound `p99 ≤ 2 × deadline` safely clear of batch-formation and
+/// dispatch-channel slack while still forcing heavy shedding at 2×
+/// offered load.
+const OVERLOAD_DEADLINE_MULT: f64 = 5.0;
+
+/// One server's behaviour under the overload run.
+#[derive(Debug, Clone)]
+pub struct OverloadPoint {
+    /// Open-loop submit attempts (after warmup).
+    pub submitted: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests rejected at admission (sched server only).
+    pub rejected: usize,
+    /// Requests admitted but shed at dispatch — their deadline expired
+    /// while queued (sched server only).
+    pub expired: usize,
+    /// p99 end-to-end latency over completed requests.
+    pub p99: Duration,
+    /// p99 over completions from the first half of the submission order.
+    pub first_half_p99: Duration,
+    /// p99 over completions from the second half of the submission
+    /// order — on the FIFO this keeps growing with the queue.
+    pub second_half_p99: Duration,
+}
+
+/// Admission ON vs the legacy FIFO at the same ≥2× overload, from
+/// [`overload_comparison`].
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Network name.
+    pub network: String,
+    /// Calibrated capacity, requests/second.
+    pub capacity_rps: f64,
+    /// Offered arrival rate (2× capacity), requests/second.
+    pub offered_rps: f64,
+    /// The per-request deadline handed to the sched server, derived
+    /// from the admission controller's calibrated no-backlog estimate
+    /// (× `OVERLOAD_DEADLINE_MULT`).
+    pub deadline: Duration,
+    /// The sched server (admission ON).
+    pub sched: OverloadPoint,
+    /// The legacy FIFO server (admission OFF).
+    pub fifo: OverloadPoint,
+}
+
+impl OverloadReport {
+    /// The acceptance bound: admission keeps completed-request p99
+    /// within 2× the per-request completion budget (itself a fixed
+    /// multiple of the analytic completion estimate) — requests that
+    /// would exceed it are rejected up front or shed at dispatch, so
+    /// accepted-request latency cannot grow with the offered load.
+    pub fn admission_bounds_p99(&self) -> bool {
+        self.sched.p99 <= self.deadline * 2
+    }
+
+    /// True when the FIFO's second-half p99 exceeds its first-half p99
+    /// by at least `factor` — the unbounded-queue growth signature.
+    pub fn fifo_p99_grows(&self, factor: f64) -> bool {
+        self.fifo.second_half_p99.as_secs_f64() >= self.fifo.first_half_p99.as_secs_f64() * factor
+    }
+}
+
+/// Drives one overload server: prewarm + warmups (which calibrate the
+/// sched estimator), then `requests` paced open-loop submits. With
+/// `deadline_mult` each request carries a deadline derived from the
+/// live completion estimate; `None` runs the plain FIFO path.
+fn overload_run(
+    net: &Network,
+    cfg: &ServeConfig,
+    compiler: &PlanCompiler,
+    offered_rps: f64,
+    requests: usize,
+    deadline_mult: Option<f64>,
+) -> (OverloadPoint, Option<Duration>) {
+    let shape = net.stages()[0].shape;
+    let server = Server::start_with_compiler(net.clone(), cfg.clone(), compiler.clone());
+    server.prewarm().expect("synthetic network plans");
+    for warm in 0..OVERLOAD_WARMUPS {
+        server
+            .submit(synth::ifmap(&shape, 1, 2000 + warm as u64))
+            .expect("warmup submit")
+            .wait()
+            .expect("warmup inference");
+    }
+    let deadline = deadline_mult.map(|mult| {
+        let est = server
+            .estimated_completion()
+            .expect("warmed sched server is calibrated");
+        Duration::from_secs_f64(est.as_secs_f64() * mult)
+    });
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+    for i in 0..requests {
+        let due = start + interval * i as u32;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let input = synth::ifmap(&shape, 1, i as u64);
+        let opts = deadline.map_or_else(SubmitOptions::default, |d| {
+            SubmitOptions::default().deadline(d)
+        });
+        match server.submit_with(input, opts) {
+            Ok(handle) => handles.push(handle),
+            Err(ServeError::Admission(_)) => rejected += 1,
+            Err(e) => panic!("overload submit failed: {e}"),
+        }
+    }
+    let mut expired = 0usize;
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) => {}
+            Err(ServeError::Admission(AdmissionError::DeadlinePassed)) => expired += 1,
+            Err(e) => panic!("overload inference failed: {e}"),
+        }
+    }
+    let stats = server.shutdown();
+    // Ids are minted once per submit attempt (warmups first), so the
+    // half split below follows submission order on both servers.
+    let warm = OVERLOAD_WARMUPS as u64;
+    let half = warm + requests as u64 / 2;
+    let totals = |lo: u64, hi: u64| -> Vec<Duration> {
+        stats
+            .records
+            .iter()
+            .filter(|r| r.id >= lo && r.id < hi)
+            .map(|r| r.latency.total())
+            .collect()
+    };
+    let all = totals(warm, u64::MAX);
+    let point = OverloadPoint {
+        submitted: requests,
+        completed: all.len(),
+        rejected,
+        expired,
+        p99: percentile(&all, 0.99),
+        first_half_p99: percentile(&totals(warm, half), 0.99),
+        second_half_p99: percentile(&totals(half, u64::MAX), 0.99),
+    };
+    (point, deadline)
+}
+
+/// Runs the admission-vs-FIFO overload comparison: both servers face
+/// the same open-loop load at 2× the calibrated capacity with a shared
+/// plan cache; the FIFO's queue is sized to absorb every request (no
+/// submit-side backpressure), so its latency growth is visible.
+pub fn overload_comparison(requests: usize) -> OverloadReport {
+    let net = synthetic_net();
+    let mut cfg = serve_config();
+    // Half-size batches keep one batch's service well inside the
+    // deadline budget; the oversized queue lets the legacy path absorb
+    // the whole overload instead of blocking the client.
+    cfg.policy.max_batch = 2;
+    cfg.queue_capacity = requests + 8;
+    let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+    let capacity_rps = calibrate(&net, &cfg, &compiler);
+    let offered_rps = capacity_rps * 2.0;
+    let mut sched_cfg = cfg.clone();
+    sched_cfg.sched = Some(SchedConfig::new());
+    let (sched, deadline) = overload_run(
+        &net,
+        &sched_cfg,
+        &compiler,
+        offered_rps,
+        requests,
+        Some(OVERLOAD_DEADLINE_MULT),
+    );
+    let (fifo, _) = overload_run(&net, &cfg, &compiler, offered_rps, requests, None);
+    OverloadReport {
+        network: "synthetic".to_string(),
+        capacity_rps,
+        offered_rps,
+        deadline: deadline.expect("sched run derives a deadline"),
+        sched,
+        fifo,
+    }
+}
+
+/// Renders the overload comparison as a text table.
+pub fn render_overload(report: &OverloadReport) -> String {
+    let ms = |d: Duration| format!("{:.2} ms", d.as_secs_f64() * 1e3);
+    let mut t = TextTable::new(vec![
+        "server".into(),
+        "submitted".into(),
+        "completed".into(),
+        "rejected".into(),
+        "expired".into(),
+        "p99".into(),
+        "1st-half p99".into(),
+        "2nd-half p99".into(),
+    ]);
+    for (name, p) in [("admission", &report.sched), ("fifo", &report.fifo)] {
+        t.row(vec![
+            name.into(),
+            p.submitted.to_string(),
+            p.completed.to_string(),
+            p.rejected.to_string(),
+            p.expired.to_string(),
+            ms(p.p99),
+            ms(p.first_half_p99),
+            ms(p.second_half_p99),
+        ]);
+    }
+    format!(
+        "Overload — {} network, offered {:.0} rps (2× capacity {:.0}), deadline {}\n{}",
+        report.network,
+        report.offered_rps,
+        report.capacity_rps,
+        ms(report.deadline),
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fairness: DRR completed-throughput shares under a two-tenant flood
+// ---------------------------------------------------------------------------
+
+/// Per-tenant completed counts at the sampling instant of a
+/// [`fairness_drr`] run.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// The two tenants' configured DRR weights, `[hog, guest]`.
+    pub weights: [f64; 2],
+    /// Completed requests per tenant when the threshold was crossed
+    /// (both tenants still backlogged).
+    pub completed: [u64; 2],
+    /// Observed completed-throughput ratio `hog / guest`.
+    pub observed_ratio: f64,
+    /// The configured weight ratio.
+    pub target_ratio: f64,
+}
+
+impl FairnessReport {
+    /// True when the observed ratio is within `tolerance` (relative,
+    /// e.g. `0.15`) of the weight ratio.
+    pub fn within(&self, tolerance: f64) -> bool {
+        (self.observed_ratio - self.target_ratio).abs() <= self.target_ratio * tolerance
+    }
+}
+
+/// Floods one single-worker, unbatched sched server with `per_tenant`
+/// requests from each of two tenants weighted 3:1, then samples the
+/// per-tenant completed counters the moment `threshold` total requests
+/// have finished — while both lanes are still backlogged, so the DRR
+/// arbiter (not queue exhaustion) sets the shares. `threshold × 3/4`
+/// must stay below `per_tenant` for that to hold.
+pub fn fairness_drr(per_tenant: usize, threshold: u64) -> FairnessReport {
+    assert!(
+        threshold as usize * 3 <= per_tenant * 4,
+        "threshold would drain the heavy tenant's lane"
+    );
+    let net = synthetic_net();
+    let shape = net.stages()[0].shape;
+    let mut cfg = serve_config();
+    // One worker and batch size 1: every dispatch is one DRR decision,
+    // so the shares are free of batch-quantization noise.
+    cfg.workers = 1;
+    cfg.policy = BatchPolicy::unbatched();
+    cfg.queue_capacity = 2 * per_tenant + 8;
+    let mut sched = SchedConfig::new()
+        .tenant(TenantSpec::new("hog").weight(3.0))
+        .tenant(TenantSpec::new("guest").weight(1.0));
+    // Both tenants sit at the same tier; disabling aging keeps the
+    // shares free of tier-promotion transients at interval boundaries.
+    sched.aging = Duration::ZERO;
+    cfg.sched = Some(sched);
+    let compiler = PlanCompiler::new(cfg.arrays, cfg.hw);
+    let server = Server::start_with_compiler(net, cfg, compiler);
+    server.prewarm().expect("synthetic network plans");
+    let (hog, guest) = (TenantId(1), TenantId(2));
+    let mut handles = Vec::with_capacity(2 * per_tenant);
+    for i in 0..per_tenant {
+        for tenant in [hog, guest] {
+            handles.push(
+                server
+                    .submit_with(
+                        synth::ifmap(&shape, 1, i as u64),
+                        SubmitOptions::tenant(tenant),
+                    )
+                    .expect("burst submit"),
+            );
+        }
+    }
+    // Poll the live counters; the crossing sample is the measurement.
+    let completed = loop {
+        let tenants = server.tenants();
+        let (h, g) = (
+            tenants[hog.index()].completed,
+            tenants[guest.index()].completed,
+        );
+        if h + g >= threshold {
+            break [h, g];
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    server.shutdown(); // drains the remaining backlog
+    for handle in handles {
+        handle.wait().expect("drained inference");
+    }
+    FairnessReport {
+        weights: [3.0, 1.0],
+        completed,
+        observed_ratio: completed[0] as f64 / completed[1].max(1) as f64,
+        target_ratio: 3.0,
+    }
+}
+
+/// Renders the fairness run as a text table.
+pub fn render_fairness(report: &FairnessReport) -> String {
+    let mut t = TextTable::new(vec![
+        "tenant".into(),
+        "weight".into(),
+        "completed".into(),
+        "share".into(),
+    ]);
+    let total = (report.completed[0] + report.completed[1]).max(1) as f64;
+    for (name, i) in [("hog", 0), ("guest", 1)] {
+        t.row(vec![
+            name.into(),
+            format!("{:.0}", report.weights[i]),
+            report.completed[i].to_string(),
+            format!("{:.0}%", report.completed[i] as f64 / total * 100.0),
+        ]);
+    }
+    format!(
+        "DRR fairness — observed ratio {:.2} vs target {:.0} ({} within 15%)\n{}",
+        report.observed_ratio,
+        report.target_ratio,
+        if report.within(0.15) { "is" } else { "NOT" },
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,5 +850,50 @@ mod tests {
         );
         assert!(dump.records.iter().all(|r| r.latency_ns > 1));
         server.shutdown();
+    }
+
+    #[test]
+    fn admission_bounds_p99_at_2x_overload_while_fifo_grows() {
+        let report = overload_comparison(32);
+        assert!(report.offered_rps >= report.capacity_rps * 2.0);
+        assert!(report.sched.completed > 0, "some requests must be accepted");
+        assert!(
+            report.sched.rejected + report.sched.expired > 0,
+            "2× overload must shed work on the sched server"
+        );
+        // Admission ON: accepted-request p99 stays within the bounded
+        // completion budget no matter the offered load.
+        assert!(
+            report.admission_bounds_p99(),
+            "sched p99 {:?} exceeds 2× deadline {:?}",
+            report.sched.p99,
+            report.deadline
+        );
+        // Admission OFF: the FIFO completes everything, and its p99
+        // keeps growing with the queue across the run.
+        assert_eq!(report.fifo.completed, report.fifo.submitted);
+        assert_eq!(report.fifo.rejected + report.fifo.expired, 0);
+        assert!(
+            report.fifo_p99_grows(1.3),
+            "fifo halves {:?} → {:?} did not grow",
+            report.fifo.first_half_p99,
+            report.fifo.second_half_p99
+        );
+        let table = render_overload(&report);
+        assert!(table.contains("admission") && table.contains("fifo"));
+    }
+
+    #[test]
+    fn drr_shares_converge_to_weights() {
+        let report = fairness_drr(60, 60);
+        assert!(report.completed[0] + report.completed[1] >= 60);
+        assert!(
+            report.within(0.15),
+            "observed ratio {:.2} outside 15% of {:.0} ({:?})",
+            report.observed_ratio,
+            report.target_ratio,
+            report.completed
+        );
+        assert!(render_fairness(&report).contains("within 15%"));
     }
 }

@@ -5,7 +5,8 @@
 //! behind the `bench-harness` binary: it runs the tier-1 performance
 //! scenarios — single-array simulation (cold and steady-state),
 //! AlexNet/VGG-style layer sweeps, 4-array cluster execution (searched
-//! and planned), and an end-to-end serving sweep — and emits a versioned
+//! and planned), an end-to-end serving sweep, and a two-tenant burst
+//! through the `serve::sched` layer — and emits a versioned
 //! `BENCH_<n>.json` baseline so every PR gets a measured trajectory on
 //! the same scenarios.
 //!
@@ -15,7 +16,7 @@
 
 use eyeriss::cluster::{plan_layer, Cluster, Partition, SharedDram};
 use eyeriss::prelude::*;
-use eyeriss::serve::{ServeConfig, Server};
+use eyeriss::serve::{SchedConfig, ServeConfig, Server, SubmitOptions, TenantSpec};
 use eyeriss::telemetry::{Telemetry, TelemetrySnapshot};
 use eyeriss_wire::{Value, WireError};
 use std::time::{Duration, Instant};
@@ -167,9 +168,8 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
     // --- MobileNet-tiny: depthwise/pointwise blocks on one chip --------
     // Cold runs pay the per-shape mapping search (including the grouped
     // lowering); the steady chip reuses memoized mappings and scratch.
-    // New scenarios stay out of the `--check` gate until a baseline
-    // containing them is committed (compare_to_baseline iterates the
-    // baseline's scenario list).
+    // Gated since BENCH_6.json (compare_to_baseline iterates the
+    // committed baseline's scenario list).
     let mnet = eyeriss_nn::mobilenet::mobilenet_tiny(17);
     let min = synth::ifmap(&mnet.stages()[0].shape, 1, 21);
     let mnet_macs: u64 = mnet.stages().iter().map(|s| s.shape.macs(1)).sum();
@@ -260,6 +260,61 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
                 let handles: Vec<_> = requests
                     .iter()
                     .map(|input| server.submit(input.clone()).unwrap())
+                    .collect();
+                for handle in handles {
+                    std::hint::black_box(handle.wait().unwrap());
+                }
+            },
+        ));
+        server.shutdown();
+    }
+
+    // --- sched path: a two-tenant burst through the ready queue --------
+    // Same end-to-end shape as serve_e2e_batch4 but submitted through
+    // the multi-tenant scheduling layer (admission check, DRR-arbitrated
+    // EDF queue) by two weighted tenants at twice the batch size, so the
+    // queue is briefly overloaded every iteration. Best-effort (no
+    // deadlines): every request completes and the scenario prices the
+    // scheduler's overhead, not sheds.
+    {
+        let mut cfg = ServeConfig::new();
+        cfg.policy = BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        };
+        cfg.telemetry = Some(Telemetry::new());
+        cfg.sched = Some(
+            SchedConfig::new()
+                .tenant(TenantSpec::new("hog").weight(3.0))
+                .tenant(TenantSpec::new("guest").weight(1.0)),
+        );
+        let server = Server::start(net.clone(), cfg);
+        server.prewarm().expect("synthetic net plans");
+        let tenants = server.tenants();
+        let id_of = |name: &str| {
+            tenants
+                .iter()
+                .find(|t| t.name == name)
+                .expect("registered at startup")
+                .id
+        };
+        let ids = [id_of("hog"), id_of("guest")];
+        let burst: Vec<_> = (0..8u64)
+            .map(|i| (ids[(i % 2) as usize], synth::ifmap(&in_shape, 1, 100 + i)))
+            .collect();
+        out.push(measure(
+            "serve_sched_overload",
+            serve_iters,
+            "request",
+            8,
+            || {
+                let handles: Vec<_> = burst
+                    .iter()
+                    .map(|(tenant, input)| {
+                        server
+                            .submit_with(input.clone(), SubmitOptions::tenant(*tenant))
+                            .unwrap()
+                    })
                     .collect();
                 for handle in handles {
                     std::hint::black_box(handle.wait().unwrap());

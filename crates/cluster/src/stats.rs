@@ -89,6 +89,21 @@ impl ClusterStats {
         cost.report_parallel(&profiles, self.cluster_cycles() as f64)
     }
 
+    /// Like [`ClusterStats::cost_report`], but each array's DRAM
+    /// traffic is scaled to its compressed word count first
+    /// ([`SimStats::compressed_profile`]) — sparse/RLC runs priced at
+    /// the storage format the chip actually moves. Identical to
+    /// `cost_report` when no array compressed anything.
+    pub fn compressed_cost_report(&self, cost: &dyn CostModel) -> CostReport {
+        let profiles: Vec<LayerAccessProfile> = self
+            .per_array
+            .iter()
+            .map(SimStats::compressed_profile)
+            .collect();
+        let refs: Vec<&LayerAccessProfile> = profiles.iter().collect();
+        cost.report_parallel(&refs, self.cluster_cycles() as f64)
+    }
+
     /// Work imbalance: critical-path cycles over mean per-array cycles
     /// (1.0 = perfectly balanced; only counts busy arrays).
     pub fn imbalance(&self) -> f64 {

@@ -45,7 +45,8 @@ use eyeriss_dataflow::{Dataflow, DataflowId, DataflowKind, DataflowRegistry, Map
 use eyeriss_nn::network::Network;
 use eyeriss_nn::{Fix16, LayerProblem, Tensor4, Workload};
 use eyeriss_serve::{
-    BatchPolicy, CacheStats, CompiledPlan, PlanCache, PlanCompiler, ServeConfig, Server, SloSpec,
+    BatchPolicy, CacheStats, CompiledPlan, PlanCache, PlanCompiler, SchedConfig, ServeConfig,
+    Server, SloSpec,
 };
 use eyeriss_sim::chip::LayerRun as SimRun;
 use eyeriss_sim::Accelerator;
@@ -67,6 +68,9 @@ pub struct ServeOptions {
     /// server's [`SloMonitor`](eyeriss_serve::SloMonitor) (empty =
     /// monitoring off). Only effective with telemetry enabled.
     pub slos: Vec<SloSpec>,
+    /// Multi-tenant scheduling layer (`None` = the legacy FIFO path);
+    /// see [`eyeriss_serve::sched`].
+    pub sched: Option<SchedConfig>,
 }
 
 impl Default for ServeOptions {
@@ -77,6 +81,7 @@ impl Default for ServeOptions {
             policy: d.policy,
             queue_capacity: d.queue_capacity,
             slos: d.slos,
+            sched: d.sched,
         }
     }
 }
@@ -599,6 +604,7 @@ impl Engine {
             telemetry: self.tele.enabled().then(|| self.tele.clone()),
             slos: opts.slos,
             flight_capacity: defaults.flight_capacity,
+            sched: opts.sched,
         };
         Ok(Server::start_with_compiler(net, cfg, self.compiler.clone()))
     }
@@ -902,6 +908,7 @@ mod tests {
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
             slos: Vec::new(),
+            sched: None,
         };
         let server = engine.serve_with(net, opts).unwrap();
         let input = synth::ifmap(&shape, 1, 42);

@@ -1,5 +1,6 @@
 //! Error type for the serving runtime.
 
+use crate::sched::AdmissionError;
 use eyeriss_cluster::ClusterError;
 use eyeriss_dataflow::DataflowError;
 use eyeriss_sim::SimError;
@@ -20,6 +21,10 @@ pub enum ServeError {
     /// The server is shutting down (or already gone) and the request
     /// cannot be accepted or completed.
     ShutDown,
+    /// The scheduling layer rejected the request: infeasible or expired
+    /// deadline, rate limit, overload shed, eviction, or an unknown
+    /// tenant (only on sched-enabled servers).
+    Admission(AdmissionError),
     /// The cluster executor failed on a batch.
     Cluster(ClusterError),
     /// A single-array simulation failed.
@@ -41,6 +46,7 @@ impl fmt::Display for ServeError {
             ServeError::Input(m) => write!(f, "bad request input: {m}"),
             ServeError::Saturated => write!(f, "submission queue is full"),
             ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::Admission(e) => write!(f, "admission rejected the request: {e}"),
             ServeError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
             ServeError::Sim(e) => write!(f, "array simulation failed: {e}"),
             ServeError::Dataflow(e) => write!(f, "dataflow rejected the plan: {e}"),
@@ -51,6 +57,12 @@ impl fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> Self {
+        ServeError::Admission(e)
+    }
+}
 
 impl From<ClusterError> for ServeError {
     fn from(e: ClusterError) -> Self {
@@ -85,6 +97,9 @@ mod tests {
         assert!(ServeError::NoPlan("x".into()).to_string().contains("x"));
         assert!(ServeError::Saturated.to_string().contains("full"));
         assert!(ServeError::ShutDown.to_string().contains("shut down"));
+        assert!(ServeError::from(AdmissionError::DeadlinePassed)
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!   between simulated and predicted cycles, feeding the
 //!   `serve.delay_residual` histogram and the
 //!   [`SloMonitor`] flight ring.
+//! * [`sched`] — **SLO-aware multi-tenant scheduling**: a tenant
+//!   registry (weights, priorities, rate limits), an admission
+//!   controller that rejects infeasible deadlines up front and sheds
+//!   lowest-tier work while the SLO monitor burns, and a
+//!   deadline/priority ready queue arbitrated by deficit round robin.
+//!   Opt in with [`SchedConfig`] on [`ServeConfig::sched`]; without it
+//!   the legacy FIFO path is untouched.
 //!
 //! # Example
 //!
@@ -69,6 +76,7 @@ pub mod metrics;
 pub mod persist;
 pub mod plan;
 pub mod runtime;
+pub mod sched;
 
 pub use attrib::Attribution;
 pub use batch::BatchPolicy;
@@ -78,4 +86,7 @@ pub use metrics::{
     percentile, LatencyBreakdown, LatencySummary, RequestRecord, ServerSnapshot, ServerStats,
 };
 pub use plan::{CacheStats, CompiledPlan, Footprint, PlanCache, PlanCompiler, PlanKey, StagePlan};
-pub use runtime::{RequestHandle, Response, ServeConfig, Server};
+pub use runtime::{RequestHandle, Response, ServeConfig, Server, SubmitOptions};
+pub use sched::{
+    AdmissionError, Priority, RateLimit, SchedConfig, TenantId, TenantSnapshot, TenantSpec,
+};

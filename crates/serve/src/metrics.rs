@@ -1,6 +1,7 @@
 //! Per-request latency accounting and server-level aggregates.
 
 use crate::plan::CacheStats;
+use crate::sched::TenantSnapshot;
 use eyeriss_telemetry::HistogramSnapshot;
 use std::time::Duration;
 
@@ -210,6 +211,9 @@ pub struct ServerSnapshot {
     /// (`|measured − analytic_delay|`; populated only while telemetry
     /// is enabled — attribution is skipped otherwise).
     pub delay_residual: HistogramSnapshot,
+    /// Per-tenant counters, in tenant-id order — empty unless the
+    /// server runs with a [`SchedConfig`](crate::sched::SchedConfig).
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 impl ServerSnapshot {

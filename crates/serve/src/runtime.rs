@@ -7,6 +7,17 @@
 //!                                     max_batch / max_wait          └─►worker W-1
 //! ```
 //!
+//! With a [`SchedConfig`] the FIFO front-end is replaced by the
+//! scheduling layer ([`crate::sched`]) — per-tenant admission control
+//! in `submit_with`, then a deadline/priority [`ReadyQueue`] the
+//! batcher drains instead of the MPSC channel:
+//!
+//! ```text
+//!  submit_with(opts)──►admission──►[ReadyQueue: tier→DRR→EDF]──►batcher──►[batch queue]──►workers
+//!      tenant, deadline,  reject infeasible /   expired entries shed        (unchanged)
+//!      priority           over-quota / burn     at dispatch
+//! ```
+//!
 //! Each worker owns a private [`eyeriss_cluster::Cluster`] — array-level
 //! parallelism inside a batch flows through `eyeriss-par`'s
 //! thread-per-array executor — and executes batches from precompiled
@@ -19,6 +30,12 @@ use crate::batch::{collect_batch, BatchPolicy};
 use crate::error::ServeError;
 use crate::metrics::{LatencyBreakdown, RequestRecord, ServerSnapshot, ServerStats};
 use crate::plan::{CompiledPlan, PlanCompiler, StagePlan};
+use crate::sched::queue::{PushError, Pushed, ReadyQueue};
+use crate::sched::tenant::TenantState;
+use crate::sched::{
+    AdmissionController, AdmissionError, AdmitRequest, Backlog, Priority, SchedConfig, TenantId,
+    TenantRegistry, TenantSnapshot, TenantSpec,
+};
 use eyeriss_arch::cost::CostReport;
 use eyeriss_arch::AcceleratorConfig;
 use eyeriss_cluster::Cluster;
@@ -32,9 +49,9 @@ use eyeriss_telemetry::{
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The per-batch-size network plans shared by every worker: each batch
 /// size the batcher can form maps to one immutable
@@ -116,6 +133,11 @@ pub struct ServeConfig {
     /// Capacity of the flight recorder: how many recent per-request
     /// [`Attribution`] summaries a breach dump covers.
     pub flight_capacity: usize,
+    /// Scheduling layer configuration. `None` (the default) keeps the
+    /// legacy FIFO path; `Some` routes every submit through tenant
+    /// admission control and the deadline/priority ready queue (see
+    /// [`crate::sched`]).
+    pub sched: Option<SchedConfig>,
 }
 
 impl ServeConfig {
@@ -131,6 +153,7 @@ impl ServeConfig {
             telemetry: None,
             slos: Vec::new(),
             flight_capacity: 256,
+            sched: None,
         }
     }
 }
@@ -149,6 +172,7 @@ struct ServeTele {
     inflight_batches: Gauge,
     completed: Counter,
     shed: Counter,
+    expired: Counter,
     queue_ns: Histogram,
     compile_ns: Histogram,
     execute_ns: Histogram,
@@ -164,6 +188,7 @@ impl ServeTele {
             inflight_batches: tele.gauge("serve.inflight_batches"),
             completed: tele.counter("serve.completed"),
             shed: tele.counter("serve.shed"),
+            expired: tele.counter("serve.expired"),
             queue_ns: tele.histogram("serve.queue_ns"),
             compile_ns: tele.histogram("serve.compile_ns"),
             execute_ns: tele.histogram("serve.execute_ns"),
@@ -181,6 +206,59 @@ struct Pending {
     submitted: Instant,
     trace: TraceContext,
     tx: Sender<Result<Response, ServeError>>,
+    /// Scheduling provenance — present on sched-enabled servers only.
+    meta: Option<ReqMeta>,
+}
+
+/// Scheduling metadata riding one request through the ready queue to
+/// the worker that completes (or sheds) it.
+struct ReqMeta {
+    tenant: Arc<TenantState>,
+    /// Absolute deadline on the telemetry epoch timeline; checked again
+    /// at worker pickup so a request that outlived its deadline in the
+    /// dispatch pipeline expires instead of completing late.
+    deadline_ns: Option<u64>,
+}
+
+/// Per-request scheduling options for
+/// [`Server::submit_with`] — tenant identity, an optional
+/// deadline and a priority override.
+///
+/// On servers without a [`SchedConfig`] the options are ignored (the
+/// legacy FIFO has no tenants or deadlines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// The submitting tenant (default: [`TenantId::DEFAULT`]).
+    pub tenant: TenantId,
+    /// Relative deadline from submission; the request is rejected at
+    /// admission if its estimated completion misses it, and shed at
+    /// dispatch if it expires in queue. `None` = best effort.
+    pub deadline: Option<Duration>,
+    /// Overrides the tenant's configured [`Priority`] for this request.
+    pub priority: Option<Priority>,
+}
+
+impl SubmitOptions {
+    /// Options for `tenant` with no deadline and its configured
+    /// priority.
+    pub fn tenant(tenant: TenantId) -> SubmitOptions {
+        SubmitOptions {
+            tenant,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Sets the relative deadline.
+    pub fn deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the priority override.
+    pub fn priority(mut self, priority: Priority) -> SubmitOptions {
+        self.priority = Some(priority);
+        self
+    }
 }
 
 /// A completed inference.
@@ -232,6 +310,23 @@ impl RequestHandle {
     }
 }
 
+/// The submission front-end: the legacy FIFO channel, or the
+/// scheduling layer.
+enum Front {
+    Fifo(SyncSender<Pending>),
+    Sched(Arc<SchedShared>),
+}
+
+/// Shared state of a sched-enabled server: the ready queue the batcher
+/// pulls from, the tenant registry, the admission controller, and the
+/// memoized batch-1 analytic delay the completion estimate prices.
+struct SchedShared {
+    queue: ReadyQueue<Pending>,
+    registry: TenantRegistry,
+    admission: AdmissionController,
+    unit_cycles: OnceLock<Option<f64>>,
+}
+
 /// An inference server for one network.
 ///
 /// # Example
@@ -251,7 +346,7 @@ impl RequestHandle {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Server {
-    submit_tx: SyncSender<Pending>,
+    front: Front,
     batcher: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     records: Arc<Mutex<Vec<RequestRecord>>>,
@@ -302,23 +397,81 @@ impl Server {
         let metrics = ServeTele::resolve(&tele);
         let monitor = SloMonitor::new(cfg.slos, cfg.flight_capacity);
 
-        let (submit_tx, submit_rx) = mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
         // The batch queue is bounded by the worker count so that a slow
-        // pool pushes back through the batcher into the submission queue.
+        // pool pushes back through the batcher into the submission queue
+        // (FIFO) or onto the admission estimate (sched).
         let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Pending>>(cfg.workers);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let policy = cfg.policy;
-        let queue_depth = metrics.queue_depth.clone();
-        let batcher = std::thread::spawn(move || {
-            while let Some(batch) = collect_batch(&submit_rx, &policy) {
-                queue_depth.add(-(batch.len() as i64));
-                if batch_tx.send(batch).is_err() {
-                    break; // workers are gone
-                }
+        let (front, batcher) = match cfg.sched.clone() {
+            None => {
+                let (submit_tx, submit_rx) =
+                    mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
+                let queue_depth = metrics.queue_depth.clone();
+                let batcher = std::thread::spawn(move || {
+                    while let Some(batch) = collect_batch(&submit_rx, &policy) {
+                        queue_depth.add(-(batch.len() as i64));
+                        if batch_tx.send(batch).is_err() {
+                            break; // workers are gone
+                        }
+                    }
+                });
+                (Front::Fifo(submit_tx), batcher)
             }
-        });
+            Some(sc) => {
+                let capacity = if sc.capacity > 0 {
+                    sc.capacity
+                } else {
+                    cfg.queue_capacity.max(1)
+                };
+                let registry = TenantRegistry::new(tele.clone());
+                for spec in sc.tenants {
+                    registry.register(spec);
+                }
+                let shared = Arc::new(SchedShared {
+                    queue: ReadyQueue::new(
+                        capacity,
+                        sc.quantum,
+                        sc.aging.as_nanos().min(u64::MAX as u128) as u64,
+                    ),
+                    registry,
+                    admission: AdmissionController::new(cfg.workers, cfg.policy.max_batch),
+                    unit_cycles: OnceLock::new(),
+                });
+                let batcher = {
+                    let shared = Arc::clone(&shared);
+                    let tele = tele.clone();
+                    let metrics = metrics.clone();
+                    std::thread::spawn(move || {
+                        let now = || tele.since_epoch(Instant::now());
+                        while let Some(drained) = shared.queue.next_batch(&policy, now) {
+                            for pending in drained.expired {
+                                metrics.queue_depth.dec();
+                                metrics.expired.inc();
+                                if let Some(meta) = &pending.meta {
+                                    meta.tenant.note_expired();
+                                }
+                                let _ = pending.tx.send(Err(AdmissionError::DeadlinePassed.into()));
+                            }
+                            if drained.batch.is_empty() {
+                                continue;
+                            }
+                            metrics.queue_depth.add(-(drained.batch.len() as i64));
+                            if batch_tx.send(drained.batch).is_err() {
+                                break; // workers are gone
+                            }
+                        }
+                    })
+                };
+                (Front::Sched(shared), batcher)
+            }
+        };
 
+        let sched = match &front {
+            Front::Sched(s) => Some(Arc::clone(s)),
+            Front::Fifo(_) => None,
+        };
         let workers = (0..cfg.workers)
             .map(|_| {
                 let rx = Arc::clone(&batch_rx);
@@ -330,16 +483,26 @@ impl Server {
                 let tele = tele.clone();
                 let metrics = metrics.clone();
                 let monitor = monitor.clone();
+                let sched = sched.clone();
                 std::thread::spawn(move || {
                     worker_loop(
-                        &rx, &net, &plans, &cluster, pool_chip, &records, &tele, &metrics, &monitor,
+                        &rx,
+                        &net,
+                        &plans,
+                        &cluster,
+                        pool_chip,
+                        &records,
+                        &tele,
+                        &metrics,
+                        &monitor,
+                        sched.as_deref(),
                     )
                 })
             })
             .collect();
 
         Server {
-            submit_tx,
+            front,
             batcher,
             workers,
             records,
@@ -387,6 +550,7 @@ impl Server {
                 submitted: Instant::now(),
                 trace,
                 tx,
+                meta: None,
             },
             RequestHandle {
                 id,
@@ -406,52 +570,226 @@ impl Server {
     }
 
     /// Submits one single-image request (`[1][C][H][H]`), blocking while
-    /// the submission queue is full — the backpressure path.
+    /// the submission queue is full — the backpressure path. On a
+    /// sched-enabled server this is
+    /// [`Server::submit_with`] under default [`SubmitOptions`] (the
+    /// default tenant, no deadline), and admission may reject instead
+    /// of blocking.
     ///
     /// # Errors
     ///
-    /// Fails on mismatched input dimensions or a shut-down server.
+    /// Fails on mismatched input dimensions, a shut-down server, or —
+    /// sched only — an [`AdmissionError`].
     pub fn submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
-        let (pending, handle) = self.pending(input)?;
-        // Increment before the send: the matching decrement (in the
-        // batcher) can only follow a successful send, so the gauge
-        // never goes negative (counting a blocked submit as queued).
-        self.metrics.queue_depth.inc();
-        if self.submit_tx.send(pending).is_err() {
-            self.metrics.queue_depth.dec();
-            return Err(ServeError::ShutDown);
+        match &self.front {
+            Front::Fifo(tx) => {
+                let (pending, handle) = self.pending(input)?;
+                // Increment before the send: the matching decrement (in
+                // the batcher) can only follow a successful send, so the
+                // gauge never goes negative (counting a blocked submit
+                // as queued).
+                self.metrics.queue_depth.inc();
+                if tx.send(pending).is_err() {
+                    self.metrics.queue_depth.dec();
+                    return Err(ServeError::ShutDown);
+                }
+                self.observe_admission(false);
+                Ok(handle)
+            }
+            Front::Sched(shared) => self.submit_sched(shared, input, SubmitOptions::default()),
         }
-        self.observe_admission(false);
-        Ok(handle)
     }
 
     /// Non-blocking [`Server::submit`]: a full queue returns
     /// [`ServeError::Saturated`] immediately instead of waiting (load
-    /// shedding for open-loop clients).
+    /// shedding for open-loop clients). The scheduling path never
+    /// blocks on a full queue, so on a sched-enabled server this is
+    /// exactly [`Server::submit`] (full-queue rejections surface as
+    /// [`AdmissionError::QueueFull`]).
     ///
     /// # Errors
     ///
     /// [`ServeError::Saturated`] when the queue is full, plus every
     /// [`Server::submit`] failure mode.
     pub fn try_submit(&self, input: Tensor4<Fix16>) -> Result<RequestHandle, ServeError> {
-        let (pending, handle) = self.pending(input)?;
-        self.metrics.queue_depth.inc();
-        match self.submit_tx.try_send(pending) {
-            Ok(()) => {
-                self.observe_admission(false);
-                Ok(handle)
+        match &self.front {
+            Front::Fifo(tx) => {
+                let (pending, handle) = self.pending(input)?;
+                self.metrics.queue_depth.inc();
+                match tx.try_send(pending) {
+                    Ok(()) => {
+                        self.observe_admission(false);
+                        Ok(handle)
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        self.metrics.queue_depth.dec();
+                        self.metrics.shed.inc();
+                        self.observe_admission(true);
+                        Err(ServeError::Saturated)
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.metrics.queue_depth.dec();
+                        Err(ServeError::ShutDown)
+                    }
+                }
             }
-            Err(TrySendError::Full(_)) => {
+            Front::Sched(shared) => self.submit_sched(shared, input, SubmitOptions::default()),
+        }
+    }
+
+    /// Submits one request with explicit scheduling options — tenant,
+    /// deadline, priority. On a FIFO server (no [`SchedConfig`]) the
+    /// options are ignored and this is [`Server::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Every [`Server::submit`] failure mode plus a typed
+    /// [`ServeError::Admission`] when the scheduling layer rejects:
+    /// unknown tenant, passed or infeasible deadline, over-quota,
+    /// burn-rate shed, or a full queue the request does not outrank.
+    pub fn submit_with(
+        &self,
+        input: Tensor4<Fix16>,
+        opts: SubmitOptions,
+    ) -> Result<RequestHandle, ServeError> {
+        match &self.front {
+            Front::Fifo(_) => self.submit(input),
+            Front::Sched(shared) => self.submit_sched(shared, input, opts),
+        }
+    }
+
+    /// The scheduling submit path: admission control, then a ranked
+    /// push into the ready queue.
+    fn submit_sched(
+        &self,
+        shared: &SchedShared,
+        input: Tensor4<Fix16>,
+        opts: SubmitOptions,
+    ) -> Result<RequestHandle, ServeError> {
+        let Some(tenant) = shared.registry.get(opts.tenant) else {
+            return Err(AdmissionError::UnknownTenant(opts.tenant.0).into());
+        };
+        let (mut pending, handle) = self.pending(input)?;
+        tenant.note_submitted();
+        let now_ns = self.tele.since_epoch(pending.submitted);
+        let deadline_ns = opts
+            .deadline
+            .map(|d| now_ns.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64));
+        let tier = opts.priority.unwrap_or(tenant.spec().priority).tier();
+        // The batch-1 analytic delay prices the completion estimate;
+        // compiled lazily once (prewarmed servers pay nothing here).
+        let unit_cycles = *shared.unit_cycles.get_or_init(|| {
+            self.plans
+                .get(1)
+                .ok()
+                .map(|p| self.plans.attribution_basis(&p).1)
+        });
+        let backlog = Backlog {
+            queued: self.metrics.queue_depth.get(),
+            inflight: self.metrics.inflight_batches.get(),
+        };
+        if let Err(e) = shared.admission.admit(
+            &tenant,
+            AdmitRequest {
+                tier,
+                deadline_ns,
+                now_ns,
+                unit_cycles,
+                backlog,
+                burning: self.monitor.burning(),
+            },
+        ) {
+            tenant.note_rejected(&e);
+            self.metrics.shed.inc();
+            self.observe_admission(true);
+            return Err(e.into());
+        }
+        pending.meta = Some(ReqMeta {
+            tenant: Arc::clone(&tenant),
+            deadline_ns,
+        });
+        self.metrics.queue_depth.inc();
+        let weight = tenant.spec().weight;
+        match shared.queue.push(
+            pending,
+            opts.tenant.index(),
+            weight,
+            tier,
+            deadline_ns,
+            now_ns,
+        ) {
+            Ok(Pushed::Queued) => {}
+            Ok(Pushed::Displaced(victim)) => {
+                // The new entry took the victim's slot: net queue depth
+                // is unchanged, the victim is shed.
                 self.metrics.queue_depth.dec();
                 self.metrics.shed.inc();
+                if let Some(meta) = &victim.meta {
+                    meta.tenant.note_shed();
+                }
                 self.observe_admission(true);
-                Err(ServeError::Saturated)
+                let _ = victim.tx.send(Err(AdmissionError::Shed.into()));
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushError::Full(_)) => {
                 self.metrics.queue_depth.dec();
-                Err(ServeError::ShutDown)
+                let e = AdmissionError::QueueFull;
+                tenant.note_rejected(&e);
+                self.metrics.shed.inc();
+                self.observe_admission(true);
+                return Err(e.into());
+            }
+            Err(PushError::Closed(_)) => {
+                self.metrics.queue_depth.dec();
+                return Err(ServeError::ShutDown);
             }
         }
+        tenant.note_admitted();
+        self.observe_admission(false);
+        Ok(handle)
+    }
+
+    /// Registers a new tenant on a sched-enabled server, returning its
+    /// id for [`SubmitOptions::tenant`]. Returns `None` on a FIFO
+    /// server (no scheduling layer to register with).
+    pub fn register_tenant(&self, spec: TenantSpec) -> Option<TenantId> {
+        match &self.front {
+            Front::Fifo(_) => None,
+            Front::Sched(shared) => Some(shared.registry.register(spec)),
+        }
+    }
+
+    /// Live per-tenant counters in tenant-id order; empty on a FIFO
+    /// server.
+    pub fn tenants(&self) -> Vec<TenantSnapshot> {
+        match &self.front {
+            Front::Fifo(_) => Vec::new(),
+            Front::Sched(shared) => shared.registry.snapshots(),
+        }
+    }
+
+    /// The admission controller's live completion estimate for a
+    /// request submitted right now — expected queue wait against the
+    /// current backlog plus one service time. `None` on a FIFO server,
+    /// or before the workers have fed the estimator its first sample.
+    pub fn estimated_completion(&self) -> Option<Duration> {
+        let Front::Sched(shared) = &self.front else {
+            return None;
+        };
+        let unit_cycles = *shared.unit_cycles.get_or_init(|| {
+            self.plans
+                .get(1)
+                .ok()
+                .map(|p| self.plans.attribution_basis(&p).1)
+        });
+        let backlog = Backlog {
+            queued: self.metrics.queue_depth.get(),
+            inflight: self.metrics.inflight_batches.get(),
+        };
+        let now_ns = self.tele.since_epoch(Instant::now());
+        shared
+            .admission
+            .estimate_completion_ns(now_ns, unit_cycles, backlog)
+            .map(|est| Duration::from_nanos(est.saturating_sub(now_ns)))
     }
 
     /// Snapshot of the plan-cache counters.
@@ -479,6 +817,7 @@ impl Server {
             total_ns: self.metrics.total_ns.snapshot(),
             batch_size: self.metrics.batch_size.snapshot(),
             delay_residual: self.metrics.delay_residual.snapshot(),
+            tenants: self.tenants(),
         }
     }
 
@@ -503,7 +842,7 @@ impl Server {
     /// lifetime statistics.
     pub fn shutdown(self) -> ServerStats {
         let Server {
-            submit_tx,
+            front,
             batcher,
             workers,
             records,
@@ -511,7 +850,14 @@ impl Server {
             started,
             ..
         } = self;
-        drop(submit_tx); // batcher drains the queue, then exits
+        match front {
+            // Dropping the sender disconnects the channel: the batcher
+            // drains the queue, then exits.
+            Front::Fifo(submit_tx) => drop(submit_tx),
+            // Closing the ready queue has the same contract: blocked
+            // consumers drain what is queued, then observe shutdown.
+            Front::Sched(shared) => shared.queue.close(),
+        }
         let _ = batcher.join();
         for w in workers {
             let _ = w.join();
@@ -538,6 +884,7 @@ fn worker_loop(
     tele: &Telemetry,
     metrics: &ServeTele,
     monitor: &SloMonitor,
+    sched: Option<&SchedShared>,
 ) {
     let wants_records = !monitor.is_empty();
     loop {
@@ -547,7 +894,36 @@ fn worker_loop(
             let rx = batch_rx.lock().expect("batch queue poisoned");
             rx.recv()
         };
-        let Ok(batch) = batch else { break };
+        let Ok(mut batch) = batch else { break };
+        // Deadlines are re-checked here, not just at batcher dispatch:
+        // the dispatch channel holds several batches, so a request can
+        // outlive its deadline between dispatch and pickup. Expiring it
+        // now bounds a completed request's latency by its deadline plus
+        // one batch execution.
+        if sched.is_some() {
+            let now_ns = tele.since_epoch(Instant::now());
+            let mut live = Vec::with_capacity(batch.len());
+            for pending in batch {
+                let expired = pending
+                    .meta
+                    .as_ref()
+                    .and_then(|m| m.deadline_ns)
+                    .is_some_and(|d| d < now_ns);
+                if expired {
+                    metrics.expired.inc();
+                    if let Some(meta) = &pending.meta {
+                        meta.tenant.note_expired();
+                    }
+                    let _ = pending.tx.send(Err(AdmissionError::DeadlinePassed.into()));
+                } else {
+                    live.push(pending);
+                }
+            }
+            batch = live;
+            if batch.is_empty() {
+                continue;
+            }
+        }
         let outcome = {
             // A panic in run_batch unwinds through the guard, so the
             // inflight gauge can never leak an increment. The guard also
@@ -585,8 +961,22 @@ fn worker_loop(
         };
         match outcome {
             Ok(done) => {
+                // Calibrate the admission estimator: one sample per
+                // executed batch, its plan's analytic delay against the
+                // measured execute wall time.
+                if let Some(sched) = sched {
+                    if let (Some(first), Ok(plan)) = (done.first(), plans.get(batch.len())) {
+                        let execute_ns =
+                            first.0.latency.execute.as_nanos().min(u64::MAX as u128) as u64;
+                        let cycles = plans.attribution_basis(&plan).1;
+                        sched.admission.estimator().observe(cycles, execute_ns);
+                    }
+                }
                 let mut recs = records.lock().expect("records poisoned");
                 for (pending, response) in batch.into_iter().zip(done) {
+                    if let Some(meta) = &pending.meta {
+                        meta.tenant.note_completed();
+                    }
                     let latency = response.0.latency;
                     metrics.queue_ns.record_duration(latency.queue);
                     metrics.compile_ns.record_duration(latency.compile);
@@ -721,7 +1111,6 @@ mod tests {
     use eyeriss_arch::GridDims;
     use eyeriss_nn::network::NetworkBuilder;
     use eyeriss_nn::synth;
-    use std::time::Duration;
 
     fn tiny_net() -> Network {
         NetworkBuilder::new(3, 19)
@@ -753,6 +1142,7 @@ mod tests {
             telemetry: None,
             slos: Vec::new(),
             flight_capacity: 256,
+            sched: None,
         }
     }
 
@@ -906,5 +1296,153 @@ mod tests {
         // no number of further requests adds lookups of either kind.
         assert_eq!(stats.cache.misses, 3);
         assert_eq!(stats.cache.hits, 0);
+    }
+
+    fn sched_cfg() -> ServeConfig {
+        ServeConfig {
+            sched: Some(SchedConfig::new()),
+            ..small_cfg()
+        }
+    }
+
+    #[test]
+    fn sched_server_serves_bit_exactly_via_default_tenant() {
+        let net = tiny_net();
+        let golden_net = net.clone();
+        let shape = net.stages()[0].shape;
+        let server = Server::start(net, sched_cfg());
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let input = synth::ifmap(&shape, 1, 100 + i);
+                (i, server.submit(input).unwrap())
+            })
+            .collect();
+        for (i, handle) in handles {
+            let input = synth::ifmap(&shape, 1, 100 + i);
+            let golden = golden_net.forward(1, &input);
+            assert_eq!(
+                handle.wait().unwrap().output,
+                golden,
+                "request {i} diverged"
+            );
+        }
+        let snap = server.snapshot();
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.queue_depth, 0, "ready queue drained");
+        // Plain submits land on the always-present default tenant.
+        assert_eq!(snap.tenants.len(), 1);
+        let t = &snap.tenants[0];
+        assert_eq!(t.name, "default");
+        assert_eq!((t.submitted, t.admitted, t.completed), (6, 6, 6));
+        assert_eq!((t.rejected, t.shed, t.expired), (0, 0, 0));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed(), 6);
+    }
+
+    #[test]
+    fn sched_server_routes_tenants_and_calibrates() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let cfg = ServeConfig {
+            sched: Some(
+                SchedConfig::new()
+                    .tenant(TenantSpec::new("interactive").weight(3.0))
+                    .tenant(TenantSpec::new("batch").priority(Priority::Low)),
+            ),
+            ..small_cfg()
+        };
+        let server = Server::start(net, cfg);
+        server.prewarm().unwrap();
+        let interactive = TenantId(1);
+        let batch = TenantId(2);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let opts = SubmitOptions::tenant(if i % 2 == 0 { interactive } else { batch });
+                server
+                    .submit_with(synth::ifmap(&shape, 1, i as u64), opts)
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let tenants = server.tenants();
+        assert_eq!(tenants.len(), 3);
+        assert_eq!(tenants[interactive.index()].completed, 2);
+        assert_eq!(tenants[batch.index()].completed, 2);
+        // Workers fed the estimator, so completion estimates are live.
+        let Front::Sched(shared) = &server.front else {
+            panic!("sched config must build the sched front")
+        };
+        assert!(shared.admission.estimator().samples() > 0);
+        assert!(shared.admission.estimator().ns_per_cycle().unwrap() > 0.0);
+        // An unknown tenant is rejected with a typed error.
+        let err = server
+            .submit_with(
+                synth::ifmap(&shape, 1, 9),
+                SubmitOptions::tenant(TenantId(77)),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Admission(AdmissionError::UnknownTenant(77))
+        ));
+        // Registering it live makes the same id usable.
+        let late = server.register_tenant(TenantSpec::new("late")).unwrap();
+        assert_eq!(late, TenantId(3));
+        server
+            .submit_with(synth::ifmap(&shape, 1, 9), SubmitOptions::tenant(late))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(server.tenants()[late.index()].completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sched_server_rejects_passed_deadlines_and_expires_queued_work() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let server = Server::start(net, sched_cfg());
+        // A zero deadline has always already passed at admission.
+        let err = server
+            .submit_with(
+                synth::ifmap(&shape, 1, 1),
+                SubmitOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Admission(AdmissionError::DeadlinePassed)
+        ));
+        let snap = server.snapshot();
+        assert_eq!(snap.tenants[0].rejected, 1);
+        assert_eq!(snap.completed, 0);
+        // A generous deadline admits and completes.
+        server
+            .submit_with(
+                synth::ifmap(&shape, 1, 2),
+                SubmitOptions::default().deadline(Duration::from_secs(60)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed(), 1);
+    }
+
+    #[test]
+    fn sched_shutdown_drains_in_flight_requests() {
+        let net = tiny_net();
+        let shape = net.stages()[0].shape;
+        let server = Server::start(net, sched_cfg());
+        let handles: Vec<_> = (0..8)
+            .map(|i| server.submit(synth::ifmap(&shape, 1, i)).unwrap())
+            .collect();
+        let stats = server.shutdown(); // must not drop queued work
+        assert_eq!(stats.completed(), 8);
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
     }
 }

@@ -1,0 +1,398 @@
+//! Admission control: estimate a request's completion time before it
+//! enters the queue, and reject what cannot make its deadline.
+//!
+//! The estimate composes two things the runtime already computes but —
+//! before this module — never consulted at enqueue time:
+//!
+//! * the plan's **analytic delay**
+//!   ([`CompiledPlan::analytic_delay`](crate::CompiledPlan::analytic_delay)),
+//!   converted to wall time
+//!   through a [`ServiceEstimator`] — an EWMA of measured
+//!   nanoseconds-per-analytic-cycle fed by the workers after every
+//!   batch, so the conversion tracks the actual machine; and
+//! * the **live backlog** from the telemetry gauges
+//!   (`serve.queue_depth`, `serve.inflight_batches`), turned into an
+//!   expected queue wait across the worker pool.
+//!
+//! A request whose estimated completion lands past its deadline is
+//! rejected with [`AdmissionError::DeadlineInfeasible`] *now*, instead
+//! of rotting in queue and missing anyway. Until the estimator has seen
+//! its first batch the controller admits optimistically — except
+//! already-passed deadlines, which are **always** rejected (a property
+//! the scheduler test-suite pins down).
+//!
+//! Sustained overload arrives as the
+//! [`SloMonitor`](eyeriss_telemetry::SloMonitor)
+//! live burn signal: while burning, the
+//! controller sheds lowest-tier work with [`AdmissionError::Shed`]
+//! before it ever queues.
+
+use crate::sched::tenant::{Priority, TenantState};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Why admission rejected a request. Carried inside
+/// [`ServeError::Admission`](crate::ServeError::Admission).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The deadline had already passed at submit (or at dispatch, for
+    /// requests that expired in queue). Never admitted, calibrated or
+    /// not.
+    DeadlinePassed,
+    /// The estimated completion time misses the deadline: admitting
+    /// would waste array time on a request that cannot succeed.
+    DeadlineInfeasible {
+        /// Estimated completion, ns since the telemetry epoch.
+        estimated_ns: u64,
+        /// The request's deadline, ns since the telemetry epoch.
+        deadline_ns: u64,
+    },
+    /// The tenant's token bucket is empty (over its configured rate).
+    RateLimited,
+    /// The submit named an unregistered
+    /// [`TenantId`](crate::sched::TenantId).
+    UnknownTenant(u64),
+    /// The ready queue is full and the request did not outrank any
+    /// queued entry.
+    QueueFull,
+    /// Shed under sustained overload: the SLO monitor is burning and
+    /// this request sits in the lowest priority tier — or it was
+    /// evicted from a full queue by higher-priority work.
+    Shed,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::DeadlinePassed => write!(f, "deadline already passed"),
+            AdmissionError::DeadlineInfeasible {
+                estimated_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline infeasible: estimated completion {estimated_ns} ns past deadline {deadline_ns} ns"
+            ),
+            AdmissionError::RateLimited => write!(f, "tenant over its configured rate"),
+            AdmissionError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            AdmissionError::QueueFull => write!(f, "ready queue full"),
+            AdmissionError::Shed => write!(f, "shed under overload"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct EstimatorState {
+    ns_per_cycle: f64,
+    samples: u64,
+}
+
+/// EWMA calibration of wall nanoseconds per analytic cycle. Workers
+/// feed one sample per executed batch (`measured execute time ÷ the
+/// batch plan's analytic delay`); admission multiplies the plan's
+/// analytic delay back out to predict service time on *this* machine.
+#[derive(Debug, Default)]
+pub struct ServiceEstimator {
+    state: Mutex<EstimatorState>,
+}
+
+/// EWMA smoothing factor: new samples move the estimate 20%.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl ServiceEstimator {
+    /// An uncalibrated estimator (admits optimistically until the
+    /// first observation).
+    pub fn new() -> ServiceEstimator {
+        ServiceEstimator::default()
+    }
+
+    /// Feeds one executed batch: its plan's analytic delay in cycles
+    /// and the measured execute wall time. Non-positive cycle counts
+    /// are ignored.
+    pub fn observe(&self, analytic_cycles: f64, execute_ns: u64) {
+        if !analytic_cycles.is_finite() || analytic_cycles <= 0.0 {
+            return;
+        }
+        let sample = execute_ns as f64 / analytic_cycles;
+        let mut state = self.state.lock().expect("estimator poisoned");
+        state.ns_per_cycle = if state.samples == 0 {
+            sample
+        } else {
+            state.ns_per_cycle + EWMA_ALPHA * (sample - state.ns_per_cycle)
+        };
+        state.samples += 1;
+    }
+
+    /// The calibrated nanoseconds-per-cycle, `None` before the first
+    /// observation.
+    pub fn ns_per_cycle(&self) -> Option<f64> {
+        let state = self.state.lock().expect("estimator poisoned");
+        (state.samples > 0).then_some(state.ns_per_cycle)
+    }
+
+    /// Observations folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.state.lock().expect("estimator poisoned").samples
+    }
+}
+
+/// A live view of the queue the controller prices against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Backlog {
+    /// Requests waiting in the ready queue (`serve.queue_depth`).
+    pub queued: i64,
+    /// Batches currently executing (`serve.inflight_batches`).
+    pub inflight: i64,
+}
+
+/// One submit as the admission controller sees it: everything about
+/// the request and the instant it arrived, separate from the tenant
+/// whose quota it draws on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitRequest {
+    /// Effective priority tier ([`Priority::tier`]).
+    pub tier: u8,
+    /// Absolute deadline on the telemetry epoch timeline, if any.
+    pub deadline_ns: Option<u64>,
+    /// Submission instant on the same timeline.
+    pub now_ns: u64,
+    /// Batch-1 analytic cycles of the compiled plan, if known.
+    pub unit_cycles: Option<f64>,
+    /// Live queue/in-flight depths priced into the completion estimate.
+    pub backlog: Backlog,
+    /// Whether the SLO monitor is currently burning (sheds lowest tier).
+    pub burning: bool,
+}
+
+/// The admission controller: deadline feasibility, rate limiting and
+/// burn-rate load shedding, evaluated in a fixed order so the
+/// "already-passed deadlines are always rejected" property holds even
+/// uncalibrated.
+#[derive(Debug)]
+pub struct AdmissionController {
+    estimator: ServiceEstimator,
+    workers: usize,
+    max_batch: usize,
+}
+
+impl AdmissionController {
+    /// A controller for a pool of `workers` workers batching up to
+    /// `max_batch` (both clamped to at least 1).
+    pub fn new(workers: usize, max_batch: usize) -> AdmissionController {
+        AdmissionController {
+            estimator: ServiceEstimator::new(),
+            workers: workers.max(1),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// The calibration the workers feed ([`ServiceEstimator::observe`]).
+    pub fn estimator(&self) -> &ServiceEstimator {
+        &self.estimator
+    }
+
+    /// Estimated completion time (ns since the epoch) for a request of
+    /// `unit_cycles` analytic cycles submitted at `now_ns` against
+    /// `backlog`: queue wait (pending batches spread across the pool)
+    /// plus one service time. `None` until calibrated.
+    pub fn estimate_completion_ns(
+        &self,
+        now_ns: u64,
+        unit_cycles: Option<f64>,
+        backlog: Backlog,
+    ) -> Option<u64> {
+        let ns_per_cycle = self.estimator.ns_per_cycle()?;
+        let service_ns = ns_per_cycle * unit_cycles?;
+        let pending_batches = (backlog.queued.max(0) as f64 / self.max_batch as f64).ceil()
+            + backlog.inflight.max(0) as f64;
+        let wait_ns = service_ns * pending_batches / self.workers as f64;
+        Some(now_ns.saturating_add((wait_ns + service_ns) as u64))
+    }
+
+    /// Decides one submit. Checks run in order: expired deadline
+    /// (always enforced), burn-rate shedding of lowest-tier work,
+    /// tenant rate limit, then deadline feasibility against the
+    /// completion estimate (skipped while uncalibrated).
+    ///
+    /// # Errors
+    ///
+    /// The [`AdmissionError`] naming the failed check.
+    pub fn admit(&self, tenant: &TenantState, req: AdmitRequest) -> Result<(), AdmissionError> {
+        if let Some(deadline) = req.deadline_ns {
+            if deadline <= req.now_ns {
+                return Err(AdmissionError::DeadlinePassed);
+            }
+        }
+        if req.burning && req.tier >= Priority::LOWEST_TIER {
+            return Err(AdmissionError::Shed);
+        }
+        if !tenant.try_take(req.now_ns) {
+            return Err(AdmissionError::RateLimited);
+        }
+        if let (Some(deadline), Some(estimated_ns)) = (
+            req.deadline_ns,
+            self.estimate_completion_ns(req.now_ns, req.unit_cycles, req.backlog),
+        ) {
+            if estimated_ns > deadline {
+                return Err(AdmissionError::DeadlineInfeasible {
+                    estimated_ns,
+                    deadline_ns: deadline,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::tenant::{RateLimit, TenantRegistry, TenantSpec};
+    use eyeriss_telemetry::Telemetry;
+    use std::sync::Arc;
+
+    fn tenant(spec: TenantSpec) -> Arc<TenantState> {
+        let registry = TenantRegistry::new(Telemetry::new_enabled());
+        let id = registry.register(spec);
+        registry.get(id).unwrap()
+    }
+
+    fn req(
+        tier: u8,
+        deadline_ns: Option<u64>,
+        now_ns: u64,
+        unit_cycles: Option<f64>,
+        backlog: Backlog,
+        burning: bool,
+    ) -> AdmitRequest {
+        AdmitRequest {
+            tier,
+            deadline_ns,
+            now_ns,
+            unit_cycles,
+            backlog,
+            burning,
+        }
+    }
+
+    #[test]
+    fn estimator_ewma_tracks_samples() {
+        let est = ServiceEstimator::new();
+        assert_eq!(est.ns_per_cycle(), None, "uncalibrated at birth");
+        est.observe(0.0, 1_000); // ignored: no cycles
+        assert_eq!(est.samples(), 0);
+        est.observe(100.0, 1_000); // 10 ns/cycle seeds
+        assert_eq!(est.ns_per_cycle(), Some(10.0));
+        est.observe(100.0, 2_000); // 20 ns/cycle sample, EWMA 0.2
+        let v = est.ns_per_cycle().unwrap();
+        assert!((v - 12.0).abs() < 1e-9, "10 + 0.2*(20-10) = 12, got {v}");
+    }
+
+    #[test]
+    fn past_deadlines_always_rejected_even_uncalibrated() {
+        let ctl = AdmissionController::new(2, 4);
+        let t = tenant(TenantSpec::new("t"));
+        assert_eq!(
+            ctl.admit(&t, req(1, Some(100), 100, None, Backlog::default(), false)),
+            Err(AdmissionError::DeadlinePassed),
+            "deadline == now is already passed"
+        );
+        assert_eq!(
+            ctl.admit(&t, req(1, Some(50), 100, None, Backlog::default(), false)),
+            Err(AdmissionError::DeadlinePassed)
+        );
+        // Future deadline, no calibration: optimistic admit.
+        assert_eq!(
+            ctl.admit(&t, req(1, Some(200), 100, None, Backlog::default(), false)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected_once_calibrated() {
+        let ctl = AdmissionController::new(1, 1);
+        ctl.estimator().observe(1_000.0, 1_000_000); // 1000 ns/cycle
+        let t = tenant(TenantSpec::new("t"));
+        let unit = Some(1_000.0); // service = 1ms
+        let backlog = Backlog {
+            queued: 4,
+            inflight: 1,
+        };
+        // Estimated completion: now + (4 + 1 batches) * 1ms wait + 1ms.
+        let est = ctl.estimate_completion_ns(0, unit, backlog).unwrap();
+        assert_eq!(est, 6_000_000);
+        match ctl.admit(&t, req(1, Some(2_000_000), 0, unit, backlog, false)) {
+            Err(AdmissionError::DeadlineInfeasible {
+                estimated_ns,
+                deadline_ns,
+            }) => {
+                assert_eq!((estimated_ns, deadline_ns), (est, 2_000_000));
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+        // A feasible deadline admits; no deadline always admits.
+        assert_eq!(
+            ctl.admit(&t, req(1, Some(10_000_000), 0, unit, backlog, false)),
+            Ok(())
+        );
+        assert_eq!(ctl.admit(&t, req(1, None, 0, unit, backlog, false)), Ok(()));
+    }
+
+    #[test]
+    fn burning_sheds_only_the_lowest_tier() {
+        let ctl = AdmissionController::new(2, 4);
+        let t = tenant(TenantSpec::new("t"));
+        let b = Backlog::default();
+        assert_eq!(
+            ctl.admit(&t, req(Priority::Low.tier(), None, 0, None, b, true)),
+            Err(AdmissionError::Shed)
+        );
+        assert_eq!(
+            ctl.admit(&t, req(Priority::Normal.tier(), None, 0, None, b, true)),
+            Ok(())
+        );
+        assert_eq!(
+            ctl.admit(&t, req(Priority::High.tier(), None, 0, None, b, true)),
+            Ok(())
+        );
+        assert_eq!(
+            ctl.admit(&t, req(Priority::Low.tier(), None, 0, None, b, false)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rate_limit_rejects_over_quota() {
+        let ctl = AdmissionController::new(2, 4);
+        let t = tenant(TenantSpec::new("t").rate(RateLimit::new(1.0, 1.0)));
+        let b = Backlog::default();
+        assert_eq!(ctl.admit(&t, req(1, None, 0, None, b, false)), Ok(()));
+        assert_eq!(
+            ctl.admit(&t, req(1, None, 0, None, b, false)),
+            Err(AdmissionError::RateLimited)
+        );
+        // A passed deadline outranks the quota check.
+        assert_eq!(
+            ctl.admit(&t, req(1, Some(0), 1, None, b, false)),
+            Err(AdmissionError::DeadlinePassed)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            AdmissionError::DeadlinePassed,
+            AdmissionError::DeadlineInfeasible {
+                estimated_ns: 2,
+                deadline_ns: 1,
+            },
+            AdmissionError::RateLimited,
+            AdmissionError::UnknownTenant(7),
+            AdmissionError::QueueFull,
+            AdmissionError::Shed,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

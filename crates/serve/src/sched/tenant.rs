@@ -1,0 +1,489 @@
+//! The tenant registry: who may submit, at what priority, weight and
+//! rate.
+//!
+//! Eyeriss v2's motivating observation is workload diversity — one
+//! array pool serves many models with wildly different shapes — so the
+//! serving runtime needs a first-class notion of *who* a request
+//! belongs to before it can arbitrate fairly. A [`TenantSpec`] declares
+//! a tenant's DRR weight (its long-run throughput share), its
+//! [`Priority`] tier (which work goes first, and which is shed first
+//! under burn), and an optional token-bucket [`RateLimit`]. The
+//! registry hands out sequential [`TenantId`]s and keeps live
+//! per-tenant counters — admitted, rejected, completed, shed, expired —
+//! mirrored into telemetry as `serve.tenant.<name>.*` counters.
+//!
+//! Tenant 0 (`"default"`, weight 1, [`Priority::Normal`], unlimited) is
+//! always present: plain [`Server::submit`](crate::Server::submit)
+//! calls land there, so single-tenant callers never see this module.
+
+use crate::sched::admission::AdmissionError;
+use eyeriss_telemetry::{Counter, Telemetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identifies a registered tenant (sequential, tenant 0 is the
+/// always-present default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::DEFAULT
+    }
+}
+
+impl TenantId {
+    /// The always-present default tenant.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The registry index of this tenant.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Scheduling priority tier. Lower tiers dispatch first; the lowest
+/// tier is shed first when the SLO monitor burns. Aging promotes
+/// waiting work one tier per configured aging interval, so no tier
+/// starves (see [`crate::sched::queue::ReadyQueue`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-critical work: dispatched before everything else.
+    High,
+    /// The default tier.
+    #[default]
+    Normal,
+    /// Throughput/batch work: first to wait, first to shed.
+    Low,
+}
+
+impl Priority {
+    /// Numeric tier, 0 highest.
+    pub fn tier(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The lowest (shed-first) tier number.
+    pub const LOWEST_TIER: u8 = 2;
+}
+
+/// A token-bucket rate limit: sustained `rps` with bursts up to
+/// `burst` requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained refill rate, requests per second.
+    pub rps: f64,
+    /// Bucket capacity — how many requests may arrive back-to-back.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `rps` sustained with a burst allowance of `burst`.
+    pub fn new(rps: f64, burst: f64) -> RateLimit {
+        RateLimit {
+            rps: rps.max(0.0),
+            burst: burst.max(1.0),
+        }
+    }
+}
+
+/// Clock-free token bucket: callers stamp every take with
+/// epoch-relative nanoseconds, so rate limiting is deterministic and
+/// testable without sleeping (the same convention as
+/// [`eyeriss_telemetry::SloMonitor`]).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket under `limit`.
+    pub fn new(limit: RateLimit) -> TokenBucket {
+        TokenBucket {
+            limit,
+            tokens: limit.burst,
+            last_ns: 0,
+        }
+    }
+
+    /// Takes one token at `now_ns`, refilling first. Returns false when
+    /// the bucket is empty (the submit is over quota).
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        let elapsed = now_ns.saturating_sub(self.last_ns);
+        self.last_ns = self.last_ns.max(now_ns);
+        let refill = elapsed as f64 * 1e-9 * self.limit.rps;
+        self.tokens = (self.tokens + refill).min(self.limit.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Declares one tenant: display name, DRR throughput weight, priority
+/// tier and optional rate limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name — also the telemetry label
+    /// (`serve.tenant.<name>.completed` etc.).
+    pub name: String,
+    /// Deficit-round-robin weight: long-run completed-throughput shares
+    /// converge to the ratio of backlogged tenants' weights.
+    pub weight: f64,
+    /// Priority tier (overridable per request via
+    /// [`SubmitOptions`](crate::SubmitOptions)).
+    pub priority: Priority,
+    /// Optional token-bucket rate limit (`None` = unlimited).
+    pub rate: Option<RateLimit>,
+}
+
+impl TenantSpec {
+    /// A tenant named `name` with weight 1, [`Priority::Normal`] and no
+    /// rate limit.
+    pub fn new(name: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            weight: 1.0,
+            priority: Priority::Normal,
+            rate: None,
+        }
+    }
+
+    /// Sets the DRR weight (clamped to a small positive minimum).
+    pub fn weight(mut self, weight: f64) -> TenantSpec {
+        self.weight = weight.max(1e-3);
+        self
+    }
+
+    /// Sets the priority tier.
+    pub fn priority(mut self, priority: Priority) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a token-bucket rate limit.
+    pub fn rate(mut self, limit: RateLimit) -> TenantSpec {
+        self.rate = Some(limit);
+        self
+    }
+}
+
+/// Pre-resolved per-tenant telemetry counters (one registry lookup per
+/// counter per tenant, at registration).
+#[derive(Debug, Clone)]
+struct TenantTele {
+    admitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    shed: Counter,
+    expired: Counter,
+}
+
+/// Live state of one tenant: its spec, rate-limit bucket and lifetime
+/// counters.
+#[derive(Debug)]
+pub struct TenantState {
+    id: TenantId,
+    spec: TenantSpec,
+    bucket: Option<Mutex<TokenBucket>>,
+    tele: TenantTele,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl TenantState {
+    fn new(id: TenantId, spec: TenantSpec, tele: &Telemetry) -> TenantState {
+        let counter = |kind: &str| tele.counter(&format!("serve.tenant.{}.{kind}", spec.name));
+        TenantState {
+            bucket: spec.rate.map(|r| Mutex::new(TokenBucket::new(r))),
+            tele: TenantTele {
+                admitted: counter("admitted"),
+                rejected: counter("rejected"),
+                completed: counter("completed"),
+                shed: counter("shed"),
+                expired: counter("expired"),
+            },
+            id,
+            spec,
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// This tenant's id.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// This tenant's declared spec.
+    pub fn spec(&self) -> &TenantSpec {
+        &self.spec
+    }
+
+    /// Takes one rate-limit token at `now_ns`; unlimited tenants always
+    /// succeed.
+    pub fn try_take(&self, now_ns: u64) -> bool {
+        match &self.bucket {
+            None => true,
+            Some(bucket) => bucket
+                .lock()
+                .expect("token bucket poisoned")
+                .try_take(now_ns),
+        }
+    }
+
+    /// Counts one submit attempt (admitted or not).
+    pub fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admitted request.
+    pub fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.tele.admitted.inc();
+    }
+
+    /// Counts one rejection (any [`AdmissionError`]); sheds and
+    /// expiries additionally land in their own counters.
+    pub fn note_rejected(&self, err: &AdmissionError) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.tele.rejected.inc();
+        if matches!(
+            err,
+            AdmissionError::Shed | AdmissionError::QueueFull | AdmissionError::RateLimited
+        ) {
+            self.note_shed();
+        }
+    }
+
+    /// Counts one completed request.
+    pub fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.tele.completed.inc();
+    }
+
+    /// Counts one shed (burn-rate back-off, queue eviction or quota).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.tele.shed.inc();
+    }
+
+    /// Counts one request whose deadline expired in queue (shed at
+    /// dispatch rather than admission).
+    pub fn note_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.tele.expired.inc();
+    }
+
+    fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            id: self.id,
+            name: self.spec.name.clone(),
+            weight: self.spec.weight,
+            priority: self.spec.priority,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's lifetime counters, from
+/// [`TenantRegistry::snapshots`] (surfaced on
+/// [`ServerSnapshot::tenants`](crate::ServerSnapshot)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant id.
+    pub id: TenantId,
+    /// Display name.
+    pub name: String,
+    /// Configured DRR weight.
+    pub weight: f64,
+    /// Configured priority tier.
+    pub priority: Priority,
+    /// Submit attempts (admitted + rejected).
+    pub submitted: u64,
+    /// Requests admitted into the ready queue.
+    pub admitted: u64,
+    /// Requests rejected at admission (all causes).
+    pub rejected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed (burn back-off, eviction, quota).
+    pub shed: u64,
+    /// Requests whose deadline expired in queue.
+    pub expired: u64,
+}
+
+/// The shared tenant registry. Cheap to clone (all clones share
+/// state); ids are sequential and stable for the registry's lifetime.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    tele: Telemetry,
+    tenants: Arc<RwLock<Vec<Arc<TenantState>>>>,
+}
+
+impl TenantRegistry {
+    /// A registry holding only the default tenant, minting per-tenant
+    /// counters into `tele`.
+    pub fn new(tele: Telemetry) -> TenantRegistry {
+        let registry = TenantRegistry {
+            tele,
+            tenants: Arc::new(RwLock::new(Vec::new())),
+        };
+        let id = registry.register(TenantSpec::new("default"));
+        debug_assert_eq!(id, TenantId::DEFAULT);
+        registry
+    }
+
+    /// Registers `spec`, returning its new id.
+    pub fn register(&self, spec: TenantSpec) -> TenantId {
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        let id = TenantId(tenants.len() as u64);
+        tenants.push(Arc::new(TenantState::new(id, spec, &self.tele)));
+        id
+    }
+
+    /// The tenant behind `id`, if registered.
+    pub fn get(&self, id: TenantId) -> Option<Arc<TenantState>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(id.index())
+            .cloned()
+    }
+
+    /// Looks a tenant up by display name.
+    pub fn by_name(&self, name: &str) -> Option<Arc<TenantState>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .find(|t| t.spec.name == name)
+            .cloned()
+    }
+
+    /// Registered tenant count (at least 1: the default tenant).
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("tenant registry poisoned").len()
+    }
+
+    /// Never true — the default tenant is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Snapshots every tenant's counters, in id order.
+    pub fn snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .map(|t| t.snapshot())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_tiers_are_ordered() {
+        assert!(Priority::High.tier() < Priority::Normal.tier());
+        assert!(Priority::Normal.tier() < Priority::Low.tier());
+        assert_eq!(Priority::Low.tier(), Priority::LOWEST_TIER);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn token_bucket_refills_at_rate() {
+        let mut bucket = TokenBucket::new(RateLimit::new(2.0, 3.0)); // 2 rps, burst 3
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0), "burst of 3 back-to-back");
+        assert!(!bucket.try_take(0), "bucket empty");
+        assert!(
+            !bucket.try_take(100_000_000),
+            "0.1s refills only 0.2 tokens"
+        );
+        assert!(
+            bucket.try_take(600_000_000),
+            "0.6s total refills 1.2 tokens"
+        );
+        assert!(!bucket.try_take(600_000_000));
+        // Time going backwards (cross-thread stamps) never panics or
+        // mints tokens.
+        assert!(!bucket.try_take(300_000_000));
+    }
+
+    #[test]
+    fn registry_mints_sequential_ids_with_default_first() {
+        let registry = TenantRegistry::new(Telemetry::new_enabled());
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+        let a = registry.register(TenantSpec::new("a").weight(3.0));
+        let b = registry.register(
+            TenantSpec::new("b")
+                .priority(Priority::Low)
+                .rate(RateLimit::new(10.0, 2.0)),
+        );
+        assert_eq!((a, b), (TenantId(1), TenantId(2)));
+        assert_eq!(
+            registry.get(TenantId::DEFAULT).unwrap().spec().name,
+            "default"
+        );
+        assert_eq!(registry.by_name("a").unwrap().id(), a);
+        assert!(registry.get(TenantId(9)).is_none());
+        let t = registry.get(b).unwrap();
+        assert!(t.try_take(0) && t.try_take(0), "burst of 2");
+        assert!(!t.try_take(0), "over quota");
+        assert!(
+            registry.get(a).unwrap().try_take(0),
+            "unlimited tenants always admit"
+        );
+    }
+
+    #[test]
+    fn counters_land_in_snapshot_and_telemetry() {
+        let tele = Telemetry::new_enabled();
+        let registry = TenantRegistry::new(tele.clone());
+        let id = registry.register(TenantSpec::new("acme"));
+        let t = registry.get(id).unwrap();
+        t.note_submitted();
+        t.note_admitted();
+        t.note_completed();
+        t.note_submitted();
+        t.note_rejected(&AdmissionError::QueueFull);
+        t.note_expired();
+        let snap = &registry.snapshots()[id.index()];
+        assert_eq!(snap.name, "acme");
+        assert_eq!((snap.submitted, snap.admitted, snap.rejected), (2, 1, 1));
+        assert_eq!((snap.completed, snap.shed, snap.expired), (1, 1, 1));
+        assert_eq!(tele.counter("serve.tenant.acme.completed").get(), 1);
+        assert_eq!(tele.counter("serve.tenant.acme.shed").get(), 1);
+        assert_eq!(tele.counter("serve.tenant.acme.expired").get(), 1);
+        // A deadline rejection is not a shed.
+        t.note_rejected(&AdmissionError::DeadlinePassed);
+        assert_eq!(registry.snapshots()[id.index()].shed, 1);
+    }
+}

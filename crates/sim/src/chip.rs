@@ -308,19 +308,37 @@ impl Accelerator {
                 }
             }
         }
-        if self.rlc_enabled {
-            let in_len = rlc::encode_into(input.as_slice(), &mut scratch.rlc_words);
-            let in_ratio = rlc::ratio_of(in_len, &scratch.rlc_words);
-            // The ofmap ratio streams the quantization — no materialized
-            // ofmap tensor, identical arithmetic to
-            // `reference::quantize(&psums, true)`.
-            let out_len = rlc::encode_stream(
-                psums.iter().map(|&p| Fix16::from_accum(p).relu()),
-                &mut scratch.rlc_words,
-            );
-            let out_ratio = rlc::ratio_of(out_len, &scratch.rlc_words);
+        if self.rlc_enabled || self.csc_enabled {
+            // Tensors the chip stores compressed are priced at their
+            // measured ratio. CSC supersedes RLC for ifmaps and covers
+            // filters too (the v2 storage layout keeps both encoded end
+            // to end); its ratio can dip below 1.0 on dense data — the
+            // count/address vectors are overhead, and the model charges
+            // it. Psums are never CSC-encoded, so their write stream
+            // only benefits from RLC.
+            let (in_ratio, filt_ratio) = if self.csc_enabled {
+                (
+                    csc::tensor_stats(input).compression_ratio(),
+                    csc::tensor_stats(weights).compression_ratio(),
+                )
+            } else {
+                let in_len = rlc::encode_into(input.as_slice(), &mut scratch.rlc_words);
+                (rlc::ratio_of(in_len, &scratch.rlc_words), 1.0)
+            };
+            let out_ratio = if self.rlc_enabled {
+                // The ofmap ratio streams the quantization — no
+                // materialized ofmap tensor, identical arithmetic to
+                // `reference::quantize(&psums, true)`.
+                let out_len = rlc::encode_stream(
+                    psums.iter().map(|&p| Fix16::from_accum(p).relu()),
+                    &mut scratch.rlc_words,
+                );
+                rlc::ratio_of(out_len, &scratch.rlc_words)
+            } else {
+                1.0
+            };
             let compressed = stats.profile.ifmap.dram_reads / in_ratio
-                + stats.profile.filter.dram_reads
+                + stats.profile.filter.dram_reads / filt_ratio
                 + stats.profile.psum.dram_writes / out_ratio;
             stats.dram_compressed_words = Some(compressed.round() as u64);
         }
@@ -958,6 +976,42 @@ mod tests {
         let cs = s.stats.csc.expect("CSC stats recorded");
         assert!(cs.compression_ratio() > 1.0, "{cs:?}");
         assert!(d.stats.csc.is_none());
+    }
+
+    #[test]
+    fn csc_prices_dram_traffic_like_rlc() {
+        use eyeriss_arch::cost::TableIv;
+        let shape = LayerShape::conv(4, 3, 12, 3, 1).unwrap();
+        let input = synth::sparse_ifmap(&shape, 1, 5, 0.7);
+        let weights = synth::filters(&shape, 6);
+        let bias = synth::biases(&shape, 7);
+        let mut sparse = Accelerator::new(small_chip()).csc(true);
+        let s = sparse.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        // Sparse execution prices ifmap + filter DRAM traffic at the
+        // measured CSC storage ratio.
+        assert!(
+            s.stats.compression_ratio() > 1.0,
+            "ratio {}",
+            s.stats.compression_ratio()
+        );
+        // The compressed report charges strictly less DRAM energy, and
+        // leaves every other level untouched.
+        use eyeriss_arch::energy::Level;
+        let full = s.stats.cost_report(&TableIv);
+        let cheap = s.stats.compressed_cost_report(&TableIv);
+        assert!(cheap.energy_at(Level::Dram) < full.energy_at(Level::Dram));
+        assert_eq!(cheap.energy_at(Level::Rf), full.energy_at(Level::Rf));
+        assert_eq!(
+            cheap.energy_at(Level::Buffer),
+            full.energy_at(Level::Buffer)
+        );
+        // A dense run's compressed report is the identity.
+        let mut dense = Accelerator::new(small_chip());
+        let d = dense.run_conv(&shape, 1, &input, &weights, &bias).unwrap();
+        assert_eq!(
+            d.stats.compressed_cost_report(&TableIv).data_energy(),
+            d.stats.cost_report(&TableIv).data_energy()
+        );
     }
 
     proptest::proptest! {

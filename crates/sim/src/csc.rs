@@ -14,11 +14,28 @@
 //! arena), keeping the steady-state execute path allocation-free, exactly
 //! like the RLC codec it sits beside.
 
-use eyeriss_nn::Fix16;
+use eyeriss_nn::{Fix16, Tensor4};
 
 /// Nonzero count of `row`.
 pub fn row_nnz(row: &[Fix16]) -> usize {
     row.iter().filter(|v| !v.is_zero()).count()
+}
+
+/// CSC storage accounting over every innermost row of `t` — the
+/// granularity the PE consumes (one CSC vector per `(i0, i1, i2)` row).
+/// Used to price DRAM traffic for tensors the chip stores compressed.
+pub fn tensor_stats(t: &Tensor4<Fix16>) -> CscStats {
+    let [d0, d1, d2, _] = t.dims();
+    let mut cs = CscStats::default();
+    for i0 in 0..d0 {
+        for i1 in 0..d1 {
+            for i2 in 0..d2 {
+                let row = t.row(i0, i1, i2);
+                cs.add_row(row.len(), row_nnz(row));
+            }
+        }
+    }
+    cs
 }
 
 /// Encodes one row into CSC form: `values[i]` is the i-th nonzero and

@@ -1,6 +1,6 @@
 //! Measured statistics from a simulated layer run.
 
-use eyeriss_arch::access::LayerAccessProfile;
+use eyeriss_arch::access::{DataType, LayerAccessProfile};
 use eyeriss_arch::cost::{CostModel, CostReport};
 use eyeriss_arch::energy::Level;
 
@@ -76,6 +76,36 @@ impl SimStats {
     /// bandwidths.
     pub fn cost_report(&self, cost: &dyn CostModel) -> CostReport {
         cost.report_with_delay(&self.profile, self.total_cycles() as f64)
+    }
+
+    /// Prices the run like [`SimStats::cost_report`], but with DRAM
+    /// traffic scaled to the compressed word count (RLC and/or CSC), so
+    /// sparse runs' reports charge the storage format the chip actually
+    /// moves. All DRAM counts scale by the overall measured ratio —
+    /// `dram_compressed_words` is a single total, so the per-type split
+    /// is proportional. Identical to `cost_report` when nothing was
+    /// compressed.
+    pub fn compressed_cost_report(&self, cost: &dyn CostModel) -> CostReport {
+        cost.report_with_delay(&self.compressed_profile(), self.total_cycles() as f64)
+    }
+
+    /// The access profile with DRAM counts scaled to the compressed
+    /// word total. Identity when nothing was compressed.
+    pub fn compressed_profile(&self) -> LayerAccessProfile {
+        let mut profile = self.profile;
+        let Some(compressed) = self.dram_compressed_words else {
+            return profile;
+        };
+        if self.dram_raw_words == 0 {
+            return profile;
+        }
+        let scale = compressed as f64 / self.dram_raw_words as f64;
+        for ty in DataType::ALL {
+            let counts = profile.of_mut(ty);
+            counts.dram_reads *= scale;
+            counts.dram_writes *= scale;
+        }
+        profile
     }
 
     /// Ratio of RF energy to on-chip-rest (buffer + array) energy — the

@@ -258,6 +258,9 @@ struct SpecState {
     events: VecDeque<(u64, bool)>,
     /// Latched after the first breach until [`SloMonitor::reset`].
     fired: bool,
+    /// `(short, long)` burn rates at the last evaluation — the live,
+    /// non-latching signal behind [`SloMonitor::burning`].
+    last_burn: Option<(f64, f64)>,
 }
 
 #[derive(Debug)]
@@ -319,6 +322,7 @@ impl SloMonitor {
                         spec,
                         events: VecDeque::new(),
                         fired: false,
+                        last_burn: None,
                     })
                     .collect(),
                 ring: VecDeque::new(),
@@ -369,6 +373,25 @@ impl SloMonitor {
         });
     }
 
+    /// True while some spec's burn rates — at its **last** evaluation —
+    /// exceed its alerting threshold in both windows. Unlike a breach
+    /// this does not latch: it clears as soon as an evaluation lands
+    /// inside budget again, which makes it the live back-off signal for
+    /// admission control (shed low-priority work while `burning()`).
+    /// Stale between events: the value reflects the windows as of the
+    /// last observation, not the current wall clock.
+    pub fn burning(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("slo monitor poisoned")
+            .specs
+            .iter()
+            .any(|s| {
+                s.last_burn
+                    .is_some_and(|(sb, lb)| sb >= s.spec.burn_rate && lb >= s.spec.burn_rate)
+            })
+    }
+
     /// Breach count so far (dumps emitted).
     pub fn breaches(&self) -> usize {
         self.inner.lock().expect("slo monitor poisoned").dumps.len()
@@ -395,6 +418,7 @@ impl SloMonitor {
         for state in &mut inner.specs {
             state.events.clear();
             state.fired = false;
+            state.last_burn = None;
         }
         inner.ring.clear();
         inner.dumps.clear();
@@ -419,7 +443,7 @@ impl MonitorInner {
             while state.events.front().is_some_and(|&(t, _)| t < long_start) {
                 state.events.pop_front();
             }
-            if state.fired || state.events.len() < state.spec.min_events {
+            if state.events.len() < state.spec.min_events {
                 continue;
             }
 
@@ -435,6 +459,12 @@ impl MonitorInner {
             };
             let long_burn = burn(long_start);
             let short_burn = burn(short_start);
+            // The live signal updates on every evaluation, latched or
+            // not — admission reads it through `burning()`.
+            state.last_burn = Some((short_burn, long_burn));
+            if state.fired {
+                continue;
+            }
             if long_burn >= state.spec.burn_rate && short_burn >= state.spec.burn_rate {
                 state.fired = true;
                 dumps.push(FlightDump {
@@ -544,6 +574,29 @@ mod tests {
         }
         assert_eq!(monitor.breaches(), 2);
         assert_eq!(monitor.dumps()[1].slo, "residual");
+    }
+
+    #[test]
+    fn burning_is_live_and_does_not_latch() {
+        let spec = SloSpec::p99_latency("p99", Duration::from_micros(1))
+            .min_events(4)
+            .windows(Duration::from_millis(1), Duration::from_millis(1));
+        let monitor = SloMonitor::new(vec![spec], 8);
+        assert!(!monitor.burning(), "quiet before any events");
+        for i in 0..8u64 {
+            monitor.record(rec(i, i * 100, 5_000, 0.0));
+        }
+        assert!(monitor.burning(), "sustained violations burn");
+        assert_eq!(monitor.breaches(), 1, "and also breach (latched)");
+        // Clean traffic far past the windows: the latch stays (one dump)
+        // but the live signal clears.
+        for i in 8..40u64 {
+            monitor.record(rec(i, 10_000_000 + i * 100, 10, 0.0));
+        }
+        assert!(!monitor.burning(), "live signal clears under clean load");
+        assert_eq!(monitor.breaches(), 1, "breach latch unaffected");
+        monitor.reset();
+        assert!(!monitor.burning());
     }
 
     #[test]

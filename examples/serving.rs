@@ -18,15 +18,54 @@
 //!    cross-hits Table IV-priced cache entries.
 //!
 //! Run with: `cargo run --release --example serving [--smoke]`
-//! (`--smoke` skips the heavier sweeps for CI.)
+//! (`--smoke` skips the heavier sweeps for CI). `--tenants` instead
+//! runs the multi-tenant scheduling demo: admission control under 2×
+//! overload versus the legacy FIFO, and weighted fair sharing between
+//! two tenants flooding one worker.
 
 use eyeriss::analysis::experiments::serving;
 use eyeriss::prelude::*;
 use eyeriss::serve::SloSpec;
 use std::time::Duration;
 
+/// The `--tenants` mode: two weighted tenants under overload. Prints
+/// the admission-vs-FIFO overload table and the DRR fairness table,
+/// asserting the acceptance criteria in release mode (CI uploads the
+/// output as an artifact).
+fn tenants_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let overload = serving::overload_comparison(32);
+    println!("{}", serving::render_overload(&overload));
+    assert!(
+        overload.sched.rejected + overload.sched.expired > 0,
+        "2x overload must shed work under admission control"
+    );
+    assert!(
+        overload.admission_bounds_p99(),
+        "admission-on p99 {:?} exceeded 2x the {:?} deadline",
+        overload.sched.p99,
+        overload.deadline
+    );
+    assert!(
+        overload.fifo_p99_grows(1.3),
+        "FIFO p99 should grow unboundedly with the backlog"
+    );
+
+    let fairness = serving::fairness_drr(60, 60);
+    println!("{}", serving::render_fairness(&fairness));
+    assert!(
+        fairness.within(0.15),
+        "DRR shares {:?} strayed from the {:.0}:1 weight ratio",
+        fairness.completed,
+        fairness.target_ratio
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--tenants") {
+        return tenants_demo();
+    }
 
     // ---- 1. Plan compilation through the content-keyed cache ---------------
     println!("{}", serving::render_compile(&serving::compile_vgg()));
@@ -175,6 +214,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
             slos: Vec::new(),
+            sched: None,
         },
     )?;
     let input = synth::ifmap(&shape, 1, 7);
@@ -230,6 +270,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: BatchPolicy::unbatched(),
             queue_capacity: 8,
             slos: Vec::new(),
+            sched: None,
         },
     )?;
     let input = synth::ifmap(&shape, 1, 13);

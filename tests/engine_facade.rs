@@ -284,6 +284,7 @@ fn registered_cost_model_prices_search_plan_persist_and_serve() {
                 policy: BatchPolicy::unbatched(),
                 queue_capacity: 8,
                 slos: Vec::new(),
+                sched: None,
             },
         )
         .unwrap();
@@ -419,6 +420,7 @@ fn cold_engine_serves_bit_exactly_from_persisted_plans() {
                 policy: BatchPolicy::unbatched(),
                 queue_capacity: 8,
                 slos: Vec::new(),
+                sched: None,
             },
         )
         .unwrap();

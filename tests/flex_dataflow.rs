@@ -128,6 +128,7 @@ fn cold_engine_serves_mobilenet_tiny_under_flex_with_zero_searches() {
                 policy: BatchPolicy::unbatched(),
                 queue_capacity: 8,
                 slos: Vec::new(),
+                sched: None,
             },
         )
         .unwrap();

@@ -65,6 +65,7 @@ fn batched_execution_matches_single_array_simulation() {
         telemetry: None,
         slos: Vec::new(),
         flight_capacity: 256,
+        sched: None,
     };
     let server = Server::start(net, cfg);
     let inputs: Vec<Tensor4<Fix16>> = (0..4).map(|i| synth::ifmap(&shape, 1, 40 + i)).collect();

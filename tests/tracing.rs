@@ -24,6 +24,7 @@ fn traced_config(tele: &Telemetry) -> ServeConfig {
         telemetry: Some(tele.clone()),
         slos: Vec::new(),
         flight_capacity: 16,
+        sched: None,
     }
 }
 
