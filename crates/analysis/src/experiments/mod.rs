@@ -18,7 +18,9 @@
 //! | extension | [`cluster_scaling`] | 1/2/4/8-array partitioned scaling (beyond the paper) |
 //! | extension | [`serving`] | plan-cache compilation reports and the offered-load serving sweep |
 //! | extension | [`flex_dataflow`] | flex-rs vs best dense dataflow on MobileNet (utilization + energy/inference) |
+//! | extension | [`chaos`] | fault injection: ABFT detection, quarantine, and degraded-pool throughput |
 
+pub mod chaos;
 pub mod cluster_scaling;
 pub mod fig10;
 pub mod fig11;

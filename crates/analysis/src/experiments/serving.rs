@@ -28,8 +28,9 @@ use eyeriss_nn::network::{Network, NetworkBuilder};
 use eyeriss_nn::shape::NamedLayer;
 use eyeriss_nn::{alexnet, synth, vgg};
 use eyeriss_serve::{
-    percentile, AdmissionError, BatchPolicy, CacheStats, PlanCompiler, SchedConfig, ServeConfig,
-    ServeError, Server, ServerSnapshot, ServerStats, SubmitOptions, TenantId, TenantSpec,
+    percentile, AdmissionError, BatchPolicy, CacheStats, PlanCompiler, RecoveryPolicy, SchedConfig,
+    ServeConfig, ServeError, Server, ServerSnapshot, ServerStats, SubmitOptions, TenantId,
+    TenantSpec,
 };
 use std::time::{Duration, Instant};
 
@@ -225,6 +226,9 @@ fn serve_config() -> ServeConfig {
         slos: Vec::new(),
         flight_capacity: 256,
         sched: None,
+        faults: None,
+        abft: false,
+        recovery: RecoveryPolicy::new(),
     }
 }
 

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Runs the tier-1 performance scenarios (see `eyeriss_bench`) and
-//! writes the versioned JSON baseline — `BENCH_6.json` by default, the
+//! writes the versioned JSON baseline — `BENCH_7.json` by default, the
 //! committed baseline of this PR. `--quick` trims iteration counts for
 //! CI smoke jobs.
 //!
@@ -47,7 +47,7 @@ fn write_file(path: &str, contents: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
     let check_path = flag_value(&args, "--check");
     let telemetry_path = flag_value(&args, "--telemetry");
     let trace_path = flag_value(&args, "--trace");

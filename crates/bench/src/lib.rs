@@ -324,6 +324,48 @@ pub fn run_harness(quick: bool) -> Vec<Measurement> {
         server.shutdown();
     }
 
+    // --- fault-free overhead: the fault-tolerance machinery, disabled --
+    // Every serve scenario already pays the supervised-worker path
+    // (catch_unwind, retry bookkeeping, health tracking); this scenario
+    // pins the *explicitly disabled* injection + ABFT configuration so
+    // the zero-cost-when-off claim is gated on its own name. Unbatched,
+    // so per-request overhead is not amortized across a batch. Gated
+    // since BENCH_7.json.
+    {
+        let mut cfg = ServeConfig::new();
+        cfg.policy = BatchPolicy::unbatched();
+        cfg.telemetry = Some(Telemetry::new());
+        cfg.faults = None; // no injector is built
+        cfg.abft = false; // no checksum is computed
+        let server = Server::start(net.clone(), cfg);
+        server.prewarm().expect("synthetic net plans");
+        let requests: Vec<_> = (0..4u64)
+            .map(|i| synth::ifmap(&in_shape, 1, 200 + i))
+            .collect();
+        out.push(measure(
+            "fault_free_overhead",
+            serve_iters,
+            "request",
+            4,
+            || {
+                let handles: Vec<_> = requests
+                    .iter()
+                    .map(|input| server.submit(input.clone()).unwrap())
+                    .collect();
+                for handle in handles {
+                    std::hint::black_box(handle.wait().unwrap());
+                }
+            },
+        ));
+        let snap = server.snapshot();
+        assert_eq!(
+            (snap.faults_injected, snap.faults_detected, snap.retries),
+            (0, 0, 0),
+            "the disabled path must never touch the fault machinery"
+        );
+        server.shutdown();
+    }
+
     out
 }
 

@@ -15,6 +15,20 @@ pub enum ClusterError {
     /// The dataflow layer rejected a mapping (params mismatch, unknown
     /// dataflow, invalid candidate).
     Dataflow(DataflowError),
+    /// ABFT checksum verification caught corrupted psums from this
+    /// array. Retryable: a transient flip will not recur, a persistent
+    /// one accumulates strikes until the array is quarantined.
+    Corrupted {
+        /// Cluster-local index of the faulty array.
+        array: usize,
+    },
+    /// The array failed outright during execution (injected crash or
+    /// hardware loss). Retryable on the remaining arrays after
+    /// quarantine.
+    Crashed {
+        /// Cluster-local index of the crashed array.
+        array: usize,
+    },
 }
 
 impl ClusterError {
@@ -30,6 +44,13 @@ impl fmt::Display for ClusterError {
             ClusterError::Infeasible(m) => write!(f, "infeasible partition: {m}"),
             ClusterError::Sim(e) => write!(f, "array simulation failed: {e}"),
             ClusterError::Dataflow(e) => write!(f, "dataflow rejected the mapping: {e}"),
+            ClusterError::Corrupted { array } => {
+                write!(
+                    f,
+                    "ABFT checksum mismatch: array {array} produced corrupted psums"
+                )
+            }
+            ClusterError::Crashed { array } => write!(f, "array {array} crashed mid-execution"),
         }
     }
 }

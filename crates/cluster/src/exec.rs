@@ -8,17 +8,19 @@
 
 use crate::contention::SharedDram;
 use crate::error::ClusterError;
+use crate::health::ClusterHealth;
 use crate::partition::{split, Partition, Tile};
 use crate::plan::ClusterPlan;
 use crate::stats::{merge_stats, ClusterStats};
 use eyeriss_arch::AcceleratorConfig;
-use eyeriss_nn::{reference, Fix16, LayerProblem, LayerShape, Tensor4};
+use eyeriss_nn::{abft, reference, Fix16, LayerProblem, LayerShape, Tensor4};
+use eyeriss_sim::fault::{ArrayInjection, FaultInjector, FaultKind};
 use eyeriss_sim::passes::RsMapping;
 use eyeriss_sim::{Accelerator, SimStats};
-use eyeriss_telemetry::{Counter, Histogram, Telemetry};
+use eyeriss_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::borrow::Cow;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The result of one cluster-level layer execution.
 #[derive(Debug, Clone)]
@@ -80,6 +82,22 @@ pub struct Cluster {
     /// registry lock.
     contention_stalls: Counter,
     reassemble_ns: Histogram,
+    /// Shared array health: strikes and quarantine. Execution runs on
+    /// the healthy subset only; an `Arc` lets a serving supervisor keep
+    /// quarantine decisions across worker restarts.
+    health: Arc<ClusterHealth>,
+    /// Seeded fault injector (chaos testing); `None` ⇒ zero-cost.
+    faults: Option<FaultInjector>,
+    /// Offset added to local array indices when polling the injector,
+    /// so fault specs can target one fleet-global array across a pool
+    /// of per-worker clusters.
+    array_base: usize,
+    /// ABFT checksum verification of every tile's psums (off by
+    /// default; costs one reference accumulator per filter group, see
+    /// [`abft::checksum_macs`]).
+    abft: bool,
+    faults_detected: Counter,
+    quarantined_gauge: Gauge,
 }
 
 impl Cluster {
@@ -93,6 +111,8 @@ impl Cluster {
         let tele = Telemetry::global().clone();
         let contention_stalls = tele.counter("cluster.contention_stalls");
         let reassemble_ns = tele.histogram("cluster.reassemble_ns");
+        let faults_detected = tele.counter("sim.faults_detected");
+        let quarantined_gauge = tele.gauge("cluster.quarantined_arrays");
         Cluster {
             arrays,
             config,
@@ -103,6 +123,12 @@ impl Cluster {
             tele,
             contention_stalls,
             reassemble_ns,
+            health: Arc::new(ClusterHealth::new(arrays)),
+            faults: None,
+            array_base: 0,
+            abft: false,
+            faults_detected,
+            quarantined_gauge,
         }
     }
 
@@ -115,9 +141,72 @@ impl Cluster {
     pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
         self.contention_stalls = tele.counter("cluster.contention_stalls");
         self.reassemble_ns = tele.histogram("cluster.reassemble_ns");
+        self.faults_detected = tele.counter("sim.faults_detected");
+        self.quarantined_gauge = tele.gauge("cluster.quarantined_arrays");
         self.tele = tele;
         self.ctx_pool = Arc::new(Mutex::new(Vec::new()));
         self
+    }
+
+    /// Attaches a seeded fault injector (chaos testing). `None` — the
+    /// default — keeps execution fault-free at zero cost.
+    pub fn with_faults(mut self, faults: Option<FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Offsets local array indices by `base` when polling the fault
+    /// injector, making injector scopes fleet-global across a pool of
+    /// per-worker clusters (worker `w` with `A` arrays uses `w · A`).
+    pub fn array_base(mut self, base: usize) -> Self {
+        self.array_base = base;
+        self
+    }
+
+    /// Enables ABFT checksum verification of every executed tile's
+    /// psums. A mismatch fails the run with [`ClusterError::Corrupted`]
+    /// and strikes the offending array.
+    pub fn abft(mut self, on: bool) -> Self {
+        self.abft = on;
+        self
+    }
+
+    /// Shares an existing health record (strikes + quarantine), e.g.
+    /// one that must survive a supervisor's worker restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record tracks a different array count.
+    pub fn with_health(mut self, health: Arc<ClusterHealth>) -> Self {
+        assert_eq!(
+            health.arrays(),
+            self.arrays,
+            "health record array count mismatch"
+        );
+        self.health = health;
+        self
+    }
+
+    /// The shared health record.
+    pub fn health(&self) -> &Arc<ClusterHealth> {
+        &self.health
+    }
+
+    /// Number of healthy (non-quarantined) arrays execution runs on.
+    pub fn healthy_arrays(&self) -> usize {
+        self.health.healthy_count()
+    }
+
+    /// Quarantines `array` (cluster-local index); returns `true` when
+    /// newly quarantined. Updates the `cluster.quarantined_arrays`
+    /// gauge. Execution thereafter runs on the surviving subset — plans
+    /// must be recompiled for the new width.
+    pub fn quarantine(&self, array: usize) -> bool {
+        let newly = self.health.quarantine(array);
+        if newly {
+            self.quarantined_gauge.inc();
+        }
+        newly
     }
 
     /// Builds one array's execution context with this cluster's feature
@@ -129,11 +218,14 @@ impl Cluster {
             .telemetry(self.tele.clone())
     }
 
-    /// Checks a pooled context out (or builds one on first use).
+    /// Checks a pooled context out (or builds one on first use). The
+    /// pool holds plain reusable arenas, so a panicking worker cannot
+    /// leave it in an invalid state — recover from poisoning rather
+    /// than cascading the panic across the pool.
     fn checkout_ctx(&self) -> Accelerator {
         self.ctx_pool
             .lock()
-            .expect("context pool poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .pop()
             .unwrap_or_else(|| self.new_ctx())
     }
@@ -206,12 +298,15 @@ impl Cluster {
         );
         assert_eq!(bias.len(), shape.m, "bias length mismatch");
 
-        let subs = split(partition, shape, n_batch, self.arrays)?;
+        let healthy = self.health.healthy_indices();
+        let subs = split(partition, shape, n_batch, healthy.len())?;
         let work: Vec<Vec<(&Tile, Option<RsMapping>)>> = subs
             .iter()
             .map(|s| s.tiles.iter().map(|t| (t, None)).collect())
             .collect();
-        self.execute_work(partition, shape, n_batch, &work, input, weights, bias)
+        self.execute_work(
+            partition, shape, n_batch, &work, &healthy, input, weights, bias,
+        )
     }
 
     /// Executes one layer problem from a precompiled [`ClusterPlan`] —
@@ -237,10 +332,12 @@ impl Cluster {
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
     ) -> Result<ClusterRun, ClusterError> {
-        if plan.arrays != self.arrays {
+        let healthy = self.health.healthy_indices();
+        if plan.arrays != healthy.len() {
             return Err(ClusterError::infeasible(format!(
-                "plan compiled for {} arrays, cluster has {}",
-                plan.arrays, self.arrays
+                "plan compiled for {} arrays, cluster has {} healthy",
+                plan.arrays,
+                healthy.len()
             )));
         }
         validate_coverage(
@@ -276,6 +373,7 @@ impl Cluster {
             &problem.shape,
             problem.batch,
             &work,
+            &healthy,
             input,
             weights,
             bias,
@@ -295,6 +393,11 @@ impl Cluster {
     /// Runs prepared per-array tile lists — worker threads with pooled
     /// execution contexts — and reassembles psums and statistics. Shared
     /// tail of [`Cluster::execute_partition`] and [`Cluster::execute`].
+    ///
+    /// `healthy` maps work-list positions to physical array indices:
+    /// the `i`-th tile list runs as array `healthy[i]`, so fault
+    /// injection, strikes and quarantine stay attached to physical
+    /// arrays while work is laid out over the surviving subset.
     #[allow(clippy::too_many_arguments)]
     fn execute_work(
         &self,
@@ -302,12 +405,14 @@ impl Cluster {
         shape: &LayerShape,
         n_batch: usize,
         work: &[Vec<(&Tile, Option<RsMapping>)>],
+        healthy: &[usize],
         input: &Tensor4<Fix16>,
         weights: &Tensor4<Fix16>,
         bias: &[Fix16],
     ) -> Result<ClusterRun, ClusterError> {
         type TileOut<'t> = (&'t Tile, Tensor4<i32>);
         type ArrayWork<'w, 't> = (usize, &'w [(&'t Tile, Option<RsMapping>)]);
+        debug_assert_eq!(work.len(), healthy.len());
         let _exec_span = self
             .tele
             .span_with("cluster.execute", "cluster", work.len() as u64);
@@ -318,8 +423,8 @@ impl Cluster {
         let ctx = self.tele.current_context();
         let indexed: Vec<ArrayWork<'_, '_>> = work
             .iter()
-            .enumerate()
-            .map(|(i, w)| (i, w.as_slice()))
+            .zip(healthy)
+            .map(|(w, &phys)| (phys, w.as_slice()))
             .collect();
         let per_array: Vec<Result<(Vec<TileOut<'_>>, SimStats), ClusterError>> =
             eyeriss_par::par_map_slice_with(
@@ -330,13 +435,56 @@ impl Cluster {
                     let _busy_span =
                         self.tele
                             .span_with("cluster.array", "cluster", array_index as u64);
+                    // One injector run per array per layer execution;
+                    // `None` when injection is disabled (the fault-free
+                    // hot path pays this single branch).
+                    let inject: Option<ArrayInjection> = match &self.faults {
+                        Some(f) if !tiles.is_empty() => {
+                            Some(f.poll_array(self.array_base + array_index))
+                        }
+                        _ => None,
+                    };
+                    let mut stats = SimStats::default();
+                    if let Some(inj) = &inject {
+                        if inj.crash {
+                            self.health.note_strike(array_index);
+                            return Err(ClusterError::Crashed { array: array_index });
+                        }
+                        if inj.stall {
+                            // A straggler, not an error: real wall-clock
+                            // delay plus visible stall cycles.
+                            std::thread::sleep(Duration::from_micros(500));
+                            stats.stall_cycles += STALL_PENALTY_CYCLES;
+                        }
+                    }
                     let acc = pooled.get();
                     let mut outs = Vec::with_capacity(tiles.len());
-                    let mut stats = SimStats::default();
-                    for &(tile, mapping) in tiles {
-                        let t_input = tile_input(input, shape, tile);
-                        let t_weights = tile_weights(weights, shape, tile);
+                    for (tile_index, &(tile, mapping)) in tiles.iter().enumerate() {
+                        let mut t_input = tile_input(input, shape, tile);
+                        let mut t_weights = tile_weights(weights, shape, tile);
                         let t_bias = &bias[tile.m0..tile.m0 + tile.shape.m];
+                        // ABFT checksum over the *pristine* operands —
+                        // formed before any injected corruption, so
+                        // corrupted weights/ifmaps are caught through
+                        // the psums they produce.
+                        let expected = self.abft.then(|| {
+                            abft::expected_sum(&tile.shape, tile.n, &t_input, &t_weights, t_bias)
+                        });
+                        if tile_index == 0 {
+                            if let Some(inj) = &inject {
+                                for c in &inj.corruptions {
+                                    match c.kind {
+                                        FaultKind::WeightBitFlip => {
+                                            flip_word(t_weights.to_mut().as_mut_slice(), c.salt)
+                                        }
+                                        FaultKind::DramCorrupt => {
+                                            flip_word(t_input.to_mut().as_mut_slice(), c.salt)
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
                         // A planned mapping that proves infeasible on
                         // *this* cluster's capacities (e.g. a plan
                         // compiled against a larger RF or buffer) falls
@@ -354,15 +502,35 @@ impl Cluster {
                             )
                             .ok()
                         });
-                        let run = match planned {
+                        let mut run = match planned {
                             Some(run) => run,
                             None => {
                                 acc.run_conv(&tile.shape, tile.n, &t_input, &t_weights, t_bias)?
                             }
                         };
+                        if tile_index == 0 {
+                            if let Some(inj) = &inject {
+                                for c in &inj.corruptions {
+                                    if c.kind == FaultKind::PsumBitFlip {
+                                        flip_psum(run.psums.as_mut_slice(), c.salt);
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(expected) = expected {
+                            if expected != abft::actual_sum(&run.psums) {
+                                self.faults_detected.inc();
+                                self.health.note_strike(array_index);
+                                return Err(ClusterError::Corrupted { array: array_index });
+                            }
+                        }
                         merge_stats(&mut stats, &run.stats);
                         outs.push((tile, run.psums));
                     }
+                    // A clean completion wipes transient strikes: only
+                    // *consecutive* failures reach the quarantine
+                    // threshold.
+                    self.health.clear_strikes(array_index);
                     Ok((outs, stats))
                 },
             );
@@ -406,6 +574,30 @@ impl Cluster {
             stats,
         })
     }
+}
+
+/// Stall cycles charged to an array when a [`FaultKind::Stall`] fires —
+/// a fixed straggler penalty, visible in the run's statistics.
+const STALL_PENALTY_CYCLES: u64 = 100_000;
+
+/// Flips one seed-chosen bit of one seed-chosen Q8.8 word in `words`.
+fn flip_word(words: &mut [Fix16], salt: u64) {
+    if words.is_empty() {
+        return;
+    }
+    let idx = (salt % words.len() as u64) as usize;
+    let bit = ((salt >> 48) % 16) as u32;
+    words[idx] = Fix16::from_raw(words[idx].raw() ^ (1i16 << bit));
+}
+
+/// Flips one seed-chosen bit of one seed-chosen psum accumulator.
+fn flip_psum(psums: &mut [i32], salt: u64) {
+    if psums.is_empty() {
+        return;
+    }
+    let idx = (salt % psums.len() as u64) as usize;
+    let bit = ((salt >> 48) % 32) as u32;
+    psums[idx] ^= 1i32 << bit;
 }
 
 /// A pooled execution context checked out of a [`Cluster`]'s pool for
@@ -852,6 +1044,163 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ClusterError::Infeasible(_)));
+    }
+
+    #[test]
+    fn injected_crash_fails_with_array_identity() {
+        use eyeriss_sim::fault::{FaultPlan, FaultSpec};
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let plan = FaultPlan::new(9).spec(FaultSpec::once(FaultKind::Crash, 0).target(1));
+        let cluster = Cluster::new(2, small_config()).with_faults(Some(FaultInjector::new(plan)));
+        let err = cluster
+            .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Crashed { array: 1 }), "{err}");
+        assert_eq!(cluster.health().strikes(1), 1);
+        // The crash was transient (Once): the next run is clean and
+        // clears the strike.
+        let run = cluster
+            .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(
+            run.psums,
+            reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+        );
+        assert_eq!(cluster.health().strikes(1), 0);
+    }
+
+    #[test]
+    fn abft_detects_every_injected_corruption_kind() {
+        use eyeriss_sim::fault::{FaultPlan, FaultSpec};
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        for kind in [
+            FaultKind::PsumBitFlip,
+            FaultKind::WeightBitFlip,
+            FaultKind::DramCorrupt,
+        ] {
+            // Several seeds so the flip lands on different words/bits.
+            for seed in 0..5u64 {
+                let plan = FaultPlan::new(seed).spec(FaultSpec::once(kind, 0).target(0));
+                let injector = FaultInjector::new(plan);
+                let cluster = Cluster::new(2, small_config())
+                    .abft(true)
+                    .with_faults(Some(injector.clone()));
+                let err = cluster
+                    .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, ClusterError::Corrupted { array: 0 }),
+                    "{kind:?} seed {seed} not detected: {err}"
+                );
+                assert_eq!(injector.injected(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn abft_passes_clean_runs_bit_exactly() {
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let cluster = Cluster::new(2, small_config()).abft(true);
+        let run = cluster
+            .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(
+            run.psums,
+            reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+        );
+    }
+
+    #[test]
+    fn quarantine_replans_onto_healthy_subset() {
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let cluster = Cluster::new(4, small_config());
+        assert!(cluster.quarantine(2));
+        assert!(!cluster.quarantine(2), "idempotent");
+        assert_eq!(cluster.healthy_arrays(), 3);
+        // Unplanned execution splits over the three survivors.
+        let run = cluster
+            .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(run.stats.per_array.len(), 3);
+        assert_eq!(
+            run.psums,
+            reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+        );
+        // Planned execution must match the degraded width, not the
+        // configured one.
+        use crate::plan::plan_layer;
+        use eyeriss_arch::cost::TableIv;
+        use eyeriss_dataflow::registry::builtin;
+        use eyeriss_dataflow::search::Objective;
+        use eyeriss_dataflow::DataflowKind;
+        let stale = plan_layer(
+            builtin(DataflowKind::RowStationary),
+            &problem,
+            4,
+            &small_config(),
+            &TableIv,
+            &SharedDram::scaled(4),
+            Objective::Energy,
+        )
+        .unwrap();
+        let err = cluster
+            .execute(&stale, &problem, &input, &weights, &bias)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Infeasible(_)));
+        let resized = plan_layer(
+            builtin(DataflowKind::RowStationary),
+            &problem,
+            3,
+            &small_config(),
+            &TableIv,
+            &SharedDram::scaled(3),
+            Objective::Energy,
+        )
+        .unwrap();
+        let run = cluster
+            .execute(&resized, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(
+            run.psums,
+            reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+        );
+    }
+
+    #[test]
+    fn stall_injection_slows_but_stays_bit_exact() {
+        use eyeriss_sim::fault::{FaultPlan, FaultSpec};
+        let shape = LayerShape::conv(6, 3, 13, 3, 2).unwrap();
+        let problem = LayerProblem::new(shape, 4);
+        let input = synth::ifmap(&shape, 4, 1);
+        let weights = synth::filters(&shape, 2);
+        let bias = synth::biases(&shape, 3);
+        let plan = FaultPlan::new(3).spec(FaultSpec::once(FaultKind::Stall, 0).target(0));
+        let cluster = Cluster::new(2, small_config()).with_faults(Some(FaultInjector::new(plan)));
+        let run = cluster
+            .execute_partition(Partition::Batch, &problem, &input, &weights, &bias)
+            .unwrap();
+        assert_eq!(
+            run.psums,
+            reference::conv_accumulate(&shape, 4, &input, &weights, &bias)
+        );
+        let stalls: u64 = run.stats.per_array.iter().map(|s| s.stall_cycles).sum();
+        assert!(stalls >= STALL_PENALTY_CYCLES, "stall penalty missing");
     }
 
     #[test]

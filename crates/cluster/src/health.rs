@@ -1,0 +1,142 @@
+//! Array health tracking: fault strikes and quarantine.
+//!
+//! A [`ClusterHealth`] is the shared, lock-free health record of one
+//! cluster's arrays. The executor notes a **strike** against an array on
+//! every detected fault (ABFT checksum mismatch, injected crash) and
+//! clears strikes when the array completes a clean execution, so the
+//! strike count distinguishes *transient* faults (one strike, then
+//! clean) from *persistent* ones (strikes accumulate across retries).
+//! The serving supervisor quarantines an array whose strikes reach its
+//! threshold; quarantined arrays drop out of
+//! [`healthy_indices`](ClusterHealth::healthy_indices) and the cluster
+//! re-plans onto the survivors.
+//!
+//! The record is shared by `Arc` across a worker's cluster *and* its
+//! restarts: a supervisor that respawns a dead worker hands the fresh
+//! cluster the same `ClusterHealth`, so a persistently-bad array stays
+//! quarantined through the restart.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Shared health state for up to 64 arrays: a quarantine bitmask plus
+/// per-array strike counters. All operations are lock-free.
+#[derive(Debug)]
+pub struct ClusterHealth {
+    arrays: usize,
+    /// Bit `i` set ⇒ array `i` is quarantined.
+    quarantined: AtomicU64,
+    strikes: Vec<AtomicU32>,
+}
+
+impl ClusterHealth {
+    /// Fresh health record: every array healthy, zero strikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero or exceeds 64 (the bitmask width).
+    pub fn new(arrays: usize) -> Self {
+        assert!(arrays > 0, "health record needs at least one array");
+        assert!(arrays <= 64, "quarantine bitmask holds at most 64 arrays");
+        ClusterHealth {
+            arrays,
+            quarantined: AtomicU64::new(0),
+            strikes: (0..arrays).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of arrays tracked (healthy or not).
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// Is `array` quarantined?
+    pub fn is_quarantined(&self, array: usize) -> bool {
+        self.quarantined.load(Ordering::Acquire) & (1u64 << array) != 0
+    }
+
+    /// Quarantines `array`; returns `true` if this call newly set the
+    /// bit (callers use this to count each quarantine exactly once).
+    pub fn quarantine(&self, array: usize) -> bool {
+        assert!(array < self.arrays, "array index out of range");
+        let bit = 1u64 << array;
+        self.quarantined.fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Number of quarantined arrays.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.load(Ordering::Acquire).count_ones() as usize
+    }
+
+    /// Number of healthy (non-quarantined) arrays.
+    pub fn healthy_count(&self) -> usize {
+        self.arrays - self.quarantined_count()
+    }
+
+    /// Indices of the healthy arrays, ascending.
+    pub fn healthy_indices(&self) -> Vec<usize> {
+        let mask = self.quarantined.load(Ordering::Acquire);
+        (0..self.arrays)
+            .filter(|i| mask & (1u64 << i) == 0)
+            .collect()
+    }
+
+    /// Records one fault strike against `array`; returns the new count.
+    pub fn note_strike(&self, array: usize) -> u32 {
+        self.strikes[array].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current strike count for `array`.
+    pub fn strikes(&self, array: usize) -> u32 {
+        self.strikes[array].load(Ordering::Acquire)
+    }
+
+    /// Clears `array`'s strikes after a clean execution — a transient
+    /// fault followed by a successful retry leaves no record, so only
+    /// *consecutive* failures (persistent faults) reach the quarantine
+    /// threshold.
+    pub fn clear_strikes(&self, array: usize) {
+        self.strikes[array].store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_record_is_fully_healthy() {
+        let h = ClusterHealth::new(4);
+        assert_eq!(h.healthy_count(), 4);
+        assert_eq!(h.healthy_indices(), vec![0, 1, 2, 3]);
+        assert_eq!(h.quarantined_count(), 0);
+        assert!(!h.is_quarantined(3));
+    }
+
+    #[test]
+    fn quarantine_sets_once_and_shrinks_healthy_set() {
+        let h = ClusterHealth::new(4);
+        assert!(h.quarantine(2), "first call newly sets");
+        assert!(!h.quarantine(2), "second call is a no-op");
+        assert!(h.is_quarantined(2));
+        assert_eq!(h.healthy_indices(), vec![0, 1, 3]);
+        assert_eq!(h.healthy_count(), 3);
+    }
+
+    #[test]
+    fn strikes_accumulate_and_clear() {
+        let h = ClusterHealth::new(2);
+        assert_eq!(h.note_strike(1), 1);
+        assert_eq!(h.note_strike(1), 2);
+        assert_eq!(h.strikes(1), 2);
+        assert_eq!(h.strikes(0), 0, "strikes are per-array");
+        h.clear_strikes(1);
+        assert_eq!(h.strikes(1), 0);
+        assert_eq!(h.note_strike(1), 1, "counting restarts after a clean run");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn rejects_more_than_bitmask_width() {
+        let _ = ClusterHealth::new(65);
+    }
+}

@@ -45,6 +45,7 @@
 pub mod contention;
 pub mod error;
 pub mod exec;
+pub mod health;
 pub mod partition;
 pub mod plan;
 pub mod stats;
@@ -53,6 +54,7 @@ pub mod wire;
 pub use contention::SharedDram;
 pub use error::ClusterError;
 pub use exec::{Cluster, ClusterRun};
+pub use health::ClusterHealth;
 pub use partition::{Partition, SubProblem, Tile};
 pub use plan::{plan_layer, plan_partition, ArrayPlan, ClusterPlan, SubProblemView, TilePlan};
 pub use stats::ClusterStats;

@@ -603,8 +603,8 @@ impl Engine {
             // own live instance so `Server::snapshot()` still works.
             telemetry: self.tele.enabled().then(|| self.tele.clone()),
             slos: opts.slos,
-            flight_capacity: defaults.flight_capacity,
             sched: opts.sched,
+            ..defaults
         };
         Ok(Server::start_with_compiler(net, cfg, self.compiler.clone()))
     }

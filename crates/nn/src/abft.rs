@@ -1,0 +1,226 @@
+//! Algorithm-based fault tolerance (ABFT) checksums for CONV/FC layers.
+//!
+//! Convolution is linear, so the sum of all output psums of one layer
+//! execution can be predicted without computing the convolution itself:
+//! summing Eq. (1) over every output position and filter lets the filter
+//! dimension collapse into a per-group *column-sum kernel*
+//! `W̄[k][i][j] = Σ_f w[f][k][i][j]`, giving
+//!
+//! ```text
+//! Σ out  =  Σ_{z,g,x,y,k,i,j}  in[z][g·C+k][u·x+i][u·y+j] · W̄_g[k][i][j]
+//!           + N·E² · Σ_f bias[f]
+//! ```
+//!
+//! [`expected_sum`] evaluates that right-hand side directly from the
+//! (pristine) inputs in `M / G`-fold fewer multiplies than the layer
+//! itself — one reference accumulator per filter group instead of one
+//! per filter ([`checksum_macs`] prices it exactly). Comparing against
+//! [`actual_sum`] of the produced psum tensor detects **every**
+//! single-bit corruption of a psum word: a flipped bit changes the total
+//! by ±2^b (mod 2^64), which is never zero. Corrupted weight or ifmap
+//! words are likewise caught whenever they change the psum *sum* —
+//! virtually always, since the checksum is computed from the
+//! uncorrupted operands; a corruption whose per-psum effects cancel
+//! exactly in the mod-2^64 total can escape (the classic
+//! single-checksum ABFT detection bound).
+//!
+//! All arithmetic is wrapping `i64` on raw Q8.8/Q16.16 integers, so the
+//! check is exact (bit-exact reproducibility is the repo-wide invariant)
+//! and overflow-free in the mod-2^64 sense.
+
+use crate::fixed::Fix16;
+use crate::shape::LayerShape;
+use crate::tensor::Tensor4;
+
+/// Predicted sum of all psums of a CONV/FC execution, mod 2^64.
+///
+/// Inputs are the same tensors handed to
+/// [`reference::conv_accumulate`](crate::reference::conv_accumulate)
+/// (and to the simulator): ifmaps `[N][G·C][H][H]`, filters
+/// `[M][C][R][R]`, `M` biases.
+///
+/// # Panics
+///
+/// Panics if tensor dimensions disagree with `shape`.
+pub fn expected_sum(
+    shape: &LayerShape,
+    n: usize,
+    input: &Tensor4<Fix16>,
+    weights: &Tensor4<Fix16>,
+    bias: &[Fix16],
+) -> i64 {
+    assert_eq!(
+        input.dims(),
+        [n, shape.in_channels(), shape.h, shape.h],
+        "ifmap dims mismatch"
+    );
+    assert_eq!(
+        weights.dims(),
+        [shape.m, shape.c, shape.r, shape.r],
+        "filter dims mismatch"
+    );
+    assert_eq!(bias.len(), shape.m, "bias length mismatch");
+
+    let (c, e, r, u) = (shape.c, shape.e, shape.r, shape.u);
+    let mpg = shape.filters_per_group();
+    let groups = shape.m / mpg;
+
+    // Column-sum kernels: one [C][R][R] kernel of i64 per filter group.
+    let mut wsum = vec![0i64; groups * c * r * r];
+    for f in 0..shape.m {
+        let g = f / mpg;
+        for k in 0..c {
+            for i in 0..r {
+                let row = weights.row(f, k, i);
+                let base = ((g * c + k) * r + i) * r;
+                for j in 0..r {
+                    wsum[base + j] = wsum[base + j].wrapping_add(row[j].raw() as i64);
+                }
+            }
+        }
+    }
+
+    let mut total = 0i64;
+    for z in 0..n {
+        for g in 0..groups {
+            for x in 0..e {
+                for y in 0..e {
+                    let mut acc = 0i64;
+                    for k in 0..c {
+                        for i in 0..r {
+                            let irow = input.row(z, g * c + k, u * x + i);
+                            let base = ((g * c + k) * r + i) * r;
+                            for j in 0..r {
+                                acc = acc.wrapping_add(
+                                    (irow[u * y + j].raw() as i64).wrapping_mul(wsum[base + j]),
+                                );
+                            }
+                        }
+                    }
+                    total = total.wrapping_add(acc);
+                }
+            }
+        }
+    }
+
+    let bias_total: i64 = bias
+        .iter()
+        .fold(0i64, |a, b| a.wrapping_add(b.to_accum() as i64));
+    total.wrapping_add(bias_total.wrapping_mul((n * e * e) as i64))
+}
+
+/// Sum of every psum in a produced `[N][M][E][E]` tensor, mod 2^64.
+pub fn actual_sum(psums: &Tensor4<i32>) -> i64 {
+    psums.iter().fold(0i64, |a, &p| a.wrapping_add(p as i64))
+}
+
+/// Reference-accumulator MACs the checksum costs, versus the layer's own
+/// MAC count: `checksum_macs / layer_macs == 1 / filters_per_group`.
+pub fn checksum_macs(shape: &LayerShape, n: usize) -> u64 {
+    let groups = shape.m / shape.filters_per_group();
+    (n * groups * shape.c * shape.e * shape.e * shape.r * shape.r) as u64
+}
+
+/// Convenience: does `psums` pass the checksum for this execution?
+pub fn verify(
+    shape: &LayerShape,
+    n: usize,
+    input: &Tensor4<Fix16>,
+    weights: &Tensor4<Fix16>,
+    bias: &[Fix16],
+    psums: &Tensor4<i32>,
+) -> bool {
+    expected_sum(shape, n, input, weights, bias) == actual_sum(psums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::synth;
+
+    fn layer(shape: &LayerShape, seed: u64) -> (Tensor4<Fix16>, Tensor4<Fix16>, Vec<Fix16>) {
+        (
+            synth::ifmap(shape, 2, seed),
+            synth::filters(shape, seed + 1),
+            synth::biases(shape, seed + 2),
+        )
+    }
+
+    #[test]
+    fn checksum_matches_reference_conv() {
+        for (shape, seed) in [
+            (LayerShape::conv(4, 3, 9, 3, 1).unwrap(), 11),
+            (LayerShape::conv(6, 2, 11, 5, 2).unwrap(), 13),
+            (LayerShape::fully_connected(5, 3, 4).unwrap(), 17),
+        ] {
+            let (input, weights, bias) = layer(&shape, seed);
+            let psums = reference::conv_accumulate(&shape, 2, &input, &weights, &bias);
+            assert_eq!(
+                expected_sum(&shape, 2, &input, &weights, &bias),
+                actual_sum(&psums),
+                "shape {shape:?}"
+            );
+            assert!(verify(&shape, 2, &input, &weights, &bias, &psums));
+        }
+    }
+
+    #[test]
+    fn checksum_matches_grouped_and_depthwise() {
+        for shape in [
+            LayerShape::conv_grouped(4, 2, 7, 3, 1, 2).unwrap(),
+            LayerShape::depthwise(3, 9, 3, 2).unwrap(),
+        ] {
+            let (input, weights, bias) = layer(&shape, 29);
+            let psums = reference::conv_accumulate(&shape, 2, &input, &weights, &bias);
+            assert!(verify(&shape, 2, &input, &weights, &bias, &psums));
+        }
+    }
+
+    #[test]
+    fn detects_every_single_bit_psum_flip() {
+        let shape = LayerShape::conv(3, 2, 7, 3, 1).unwrap();
+        let (input, weights, bias) = layer(&shape, 41);
+        let clean = reference::conv_accumulate(&shape, 2, &input, &weights, &bias);
+        let expected = expected_sum(&shape, 2, &input, &weights, &bias);
+        let n_elems = clean.len();
+        // Sample psum positions across the tensor; every bit of each.
+        for idx in (0..n_elems).step_by(n_elems / 7 + 1) {
+            for bit in 0..32 {
+                let mut bad = clean.clone();
+                bad.as_mut_slice()[idx] ^= 1i32 << bit;
+                assert_ne!(
+                    expected,
+                    actual_sum(&bad),
+                    "flip at elem {idx} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_weight_corruption_through_compute() {
+        // Corrupt one weight *after* the checksum is formed, then run the
+        // layer on the corrupted weights: the checksum must flag it.
+        let shape = LayerShape::conv(4, 3, 7, 3, 1).unwrap();
+        let (input, weights, bias) = layer(&shape, 53);
+        let expected = expected_sum(&shape, 2, &input, &weights, &bias);
+        let mut bad = weights.clone();
+        let w = bad.as_mut_slice()[5];
+        bad.as_mut_slice()[5] = Fix16::from_raw(w.raw() ^ (1 << 9));
+        let psums = reference::conv_accumulate(&shape, 2, &input, &bad, &bias);
+        assert_ne!(expected, actual_sum(&psums));
+    }
+
+    #[test]
+    fn checksum_cost_is_one_reference_accumulator_per_group() {
+        let dense = LayerShape::conv(8, 3, 9, 3, 1).unwrap();
+        let total: u64 = dense.macs(1);
+        assert_eq!(checksum_macs(&dense, 1) * 8, total);
+        let grouped = LayerShape::conv_grouped(8, 2, 9, 3, 1, 4).unwrap();
+        assert_eq!(
+            checksum_macs(&grouped, 1) * grouped.filters_per_group() as u64,
+            grouped.macs(1)
+        );
+    }
+}

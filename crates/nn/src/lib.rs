@@ -34,6 +34,7 @@
 //! assert_eq!(layers[0].shape.u, 4);
 //! ```
 
+pub mod abft;
 pub mod alexnet;
 pub mod error;
 pub mod fixed;

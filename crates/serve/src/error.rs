@@ -21,6 +21,11 @@ pub enum ServeError {
     /// The server is shutting down (or already gone) and the request
     /// cannot be accepted or completed.
     ShutDown,
+    /// The worker executing this request died (panic or unrecoverable
+    /// fault) before responding, and its retry budget — if any — was
+    /// exhausted. The tenant's request is accounted as failed, not
+    /// leaked; a supervisor restarts the worker for subsequent traffic.
+    WorkerLost,
     /// The scheduling layer rejected the request: infeasible or expired
     /// deadline, rate limit, overload shed, eviction, or an unknown
     /// tenant (only on sched-enabled servers).
@@ -46,6 +51,12 @@ impl fmt::Display for ServeError {
             ServeError::Input(m) => write!(f, "bad request input: {m}"),
             ServeError::Saturated => write!(f, "submission queue is full"),
             ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::WorkerLost => {
+                write!(
+                    f,
+                    "worker lost mid-flight; request failed before a response"
+                )
+            }
             ServeError::Admission(e) => write!(f, "admission rejected the request: {e}"),
             ServeError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
             ServeError::Sim(e) => write!(f, "array simulation failed: {e}"),
@@ -97,6 +108,10 @@ mod tests {
         assert!(ServeError::NoPlan("x".into()).to_string().contains("x"));
         assert!(ServeError::Saturated.to_string().contains("full"));
         assert!(ServeError::ShutDown.to_string().contains("shut down"));
+        assert!(ServeError::WorkerLost.to_string().contains("worker lost"));
+        assert!(ServeError::from(ClusterError::Crashed { array: 2 })
+            .to_string()
+            .contains("array 2"));
         assert!(ServeError::from(AdmissionError::DeadlinePassed)
             .to_string()
             .contains("deadline"));

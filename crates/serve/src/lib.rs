@@ -40,6 +40,15 @@
 //!   deadline/priority ready queue arbitrated by deficit round robin.
 //!   Opt in with [`SchedConfig`] on [`ServeConfig::sched`]; without it
 //!   the legacy FIFO path is untouched.
+//! * [`recover`] — **fault tolerance**: workers run batches under
+//!   `catch_unwind` with a supervisor restarting the dead; ABFT
+//!   checksum mismatches and injected crashes retry with bounded
+//!   backoff ([`RecoveryPolicy`]) through a re-queue-capable
+//!   [`BatchQueue`]; persistently faulty arrays are quarantined and the
+//!   worker re-plans onto the healthy subset. Deterministic fault
+//!   injection opts in via [`ServeConfig::faults`] with a
+//!   [`FaultPlan`]; ABFT verification via [`ServeConfig::abft`]. Both
+//!   default off and cost nothing when disabled.
 //!
 //! # Example
 //!
@@ -75,17 +84,20 @@ pub mod error;
 pub mod metrics;
 pub mod persist;
 pub mod plan;
+pub mod recover;
 pub mod runtime;
 pub mod sched;
 
 pub use attrib::Attribution;
 pub use batch::BatchPolicy;
 pub use error::ServeError;
+pub use eyeriss_sim::fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use eyeriss_telemetry::{FlightDump, FlightRecord, SloMonitor, SloSignal, SloSpec};
 pub use metrics::{
     percentile, LatencyBreakdown, LatencySummary, RequestRecord, ServerSnapshot, ServerStats,
 };
 pub use plan::{CacheStats, CompiledPlan, Footprint, PlanCache, PlanCompiler, PlanKey, StagePlan};
+pub use recover::{BatchQueue, RecoveryPolicy};
 pub use runtime::{RequestHandle, Response, ServeConfig, Server, SubmitOptions};
 pub use sched::{
     AdmissionError, Priority, RateLimit, SchedConfig, TenantId, TenantSnapshot, TenantSpec,

@@ -195,6 +195,28 @@ pub struct ServerSnapshot {
     pub queue_depth: i64,
     /// Batches currently executing on workers.
     pub inflight_batches: i64,
+    /// Workers the server was configured with.
+    pub workers: usize,
+    /// Workers currently alive (configured minus retired; a worker
+    /// retires when every array in its cluster is quarantined).
+    pub live_workers: i64,
+    /// Workers restarted by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Requests re-queued after a detected transient fault (each retry
+    /// of an n-request batch counts n).
+    pub retries: u64,
+    /// Admitted requests that failed in execution — worker death or an
+    /// exhausted retry budget. Their clients got a typed
+    /// [`ServeError`](crate::ServeError), never a hang.
+    pub failed: u64,
+    /// Arrays quarantined across the worker pool after persistent
+    /// faults.
+    pub quarantined_arrays: u64,
+    /// Faults the configured [`FaultPlan`](crate::FaultPlan) has
+    /// injected so far (zero unless fault injection is enabled).
+    pub faults_injected: u64,
+    /// Injected compute corruptions the ABFT checksums caught.
+    pub faults_detected: u64,
     /// Plan-cache hit/miss counters.
     pub cache: CacheStats,
     /// Streaming queue-stage latency (nanoseconds per request).

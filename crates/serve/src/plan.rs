@@ -23,7 +23,7 @@ use eyeriss_nn::shape::NamedLayer;
 use eyeriss_nn::{LayerKind, LayerProblem, LayerShape};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Content key of one compiled layer plan. Two problems collide exactly
@@ -125,19 +125,27 @@ impl PlanCache {
         key: PlanKey,
         compile: impl FnOnce() -> Result<ClusterPlan, ServeError>,
     ) -> Result<Arc<ClusterPlan>, ServeError> {
-        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        if let Some(hit) = self
+            .plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
         let plan = Arc::new(compile()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         Ok(Arc::clone(plans.entry(key).or_insert(plan)))
     }
 
     /// Number of distinct plans stored.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when no plan has been compiled yet.
@@ -158,7 +166,7 @@ impl PlanCache {
     pub(crate) fn snapshot(&self) -> Vec<(PlanKey, Arc<ClusterPlan>)> {
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (*k, Arc::clone(v)))
             .collect()
@@ -169,7 +177,7 @@ impl PlanCache {
     pub(crate) fn insert(&self, key: PlanKey, plan: Arc<ClusterPlan>) {
         self.plans
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert(plan);
     }
@@ -423,6 +431,24 @@ impl PlanCompiler {
     /// Cluster width this compiler plans for.
     pub fn arrays(&self) -> usize {
         self.arrays
+    }
+
+    /// A compiler for a different cluster width sharing this compiler's
+    /// cache, cost model, mapping space and objective — the degraded-mode
+    /// path: when arrays are quarantined, the runtime re-plans onto the
+    /// surviving width. Sharing the cache is sound because [`PlanKey`]
+    /// includes the array count, so plans of different widths never
+    /// cross-hit; the shared DRAM channel is re-scaled to the new width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is zero.
+    pub fn resized(&self, arrays: usize) -> Self {
+        assert!(arrays > 0, "compiler needs at least one array");
+        let mut resized = self.clone();
+        resized.arrays = arrays;
+        resized.shared = SharedDram::scaled(arrays);
+        resized
     }
 
     /// The per-array hardware configuration.

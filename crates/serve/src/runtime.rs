@@ -1,10 +1,11 @@
 //! The request runtime: submission queue, dynamic batcher and the
-//! multi-array scheduler.
+//! supervised multi-array scheduler.
 //!
 //! ```text
-//!  submit()──►[bounded MPSC queue]──►batcher──►[bounded batch queue]─┬─►worker 0 (Cluster of A arrays)
-//!   blocks when full (backpressure)   coalesces up to               ├─►worker 1 (Cluster of A arrays)
-//!                                     max_batch / max_wait          └─►worker W-1
+//!  submit()──►[bounded MPSC queue]──►batcher──►[BatchQueue]─┬─►worker 0 (Cluster of A arrays)
+//!   blocks when full (backpressure)   coalesces up to       ├─►worker 1 (Cluster of A arrays)
+//!                                     max_batch / max_wait  └─►worker W-1      │
+//!                                                                     supervisor restarts the dead
 //! ```
 //!
 //! With a [`SchedConfig`] the FIFO front-end is replaced by the
@@ -13,7 +14,7 @@
 //! batcher drains instead of the MPSC channel:
 //!
 //! ```text
-//!  submit_with(opts)──►admission──►[ReadyQueue: tier→DRR→EDF]──►batcher──►[batch queue]──►workers
+//!  submit_with(opts)──►admission──►[ReadyQueue: tier→DRR→EDF]──►batcher──►[BatchQueue]──►workers
 //!      tenant, deadline,  reject infeasible /   expired entries shed        (unchanged)
 //!      priority           over-quota / burn     at dispatch
 //! ```
@@ -24,12 +25,29 @@
 //! plans fetched from the shared [`crate::PlanCache`]. Every completed
 //! request carries a queue/compile/execute latency breakdown; the
 //! server aggregates p50/p99 and throughput in [`ServerStats`].
+//!
+//! # Fault tolerance
+//!
+//! Workers run batches under `catch_unwind`; a supervisor thread
+//! restarts a worker that panics (the in-flight batch's requests fail
+//! with a typed [`ServeError::WorkerLost`] — never a hung client — via
+//! each request's drop guard). Typed transient failures from the
+//! cluster (an ABFT [`ClusterError::Corrupted`] mismatch or an injected
+//! [`ClusterError::Crashed`]) retry with bounded backoff through
+//! [`BatchQueue::requeue`]; arrays that fail
+//! [`RecoveryPolicy::quarantine_after`] consecutive times are
+//! quarantined and the worker re-plans onto its healthy subset. A
+//! worker whose every array is quarantined retires, shrinking the pool
+//! in the admission estimates. Deterministic fault injection opts in
+//! via [`ServeConfig::faults`]; ABFT via [`ServeConfig::abft`]; both
+//! are off by default and cost one branch when disabled.
 
 use crate::attrib::Attribution;
 use crate::batch::{collect_batch, BatchPolicy};
 use crate::error::ServeError;
 use crate::metrics::{LatencyBreakdown, RequestRecord, ServerSnapshot, ServerStats};
 use crate::plan::{CompiledPlan, PlanCompiler, StagePlan};
+use crate::recover::{BatchQueue, RecoveryPolicy};
 use crate::sched::queue::{PushError, Pushed, ReadyQueue};
 use crate::sched::tenant::TenantState;
 use crate::sched::{
@@ -38,30 +56,36 @@ use crate::sched::{
 };
 use eyeriss_arch::cost::CostReport;
 use eyeriss_arch::AcceleratorConfig;
-use eyeriss_cluster::Cluster;
+use eyeriss_cluster::{Cluster, ClusterError, ClusterHealth};
 use eyeriss_nn::network::Network;
 use eyeriss_nn::{reference, Fix16, LayerProblem, Tensor4};
+use eyeriss_sim::fault::{FaultInjector, FaultPlan};
 use eyeriss_sim::Accelerator;
 use eyeriss_telemetry::{
     Counter, Gauge, Histogram, RetroSpan, SloMonitor, SloSpec, Telemetry, TraceContext,
     REQUEST_ROW_TID,
 };
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The per-batch-size network plans shared by every worker: each batch
-/// size the batcher can form maps to one immutable
-/// [`Arc<CompiledPlan>`], compiled once and handed out by reference —
-/// workers never lock the layer-level plan cache (or clone a plan) at
-/// request time.
+/// The per-batch-size network plans shared by every worker: each
+/// `(batch size, cluster width)` the pool can need maps to one
+/// immutable [`Arc<CompiledPlan>`], compiled once and handed out by
+/// reference — workers never lock the layer-level plan cache (or clone
+/// a plan) at request time. Widths below the configured array count
+/// exist only on degraded clusters (quarantined arrays); their
+/// compilers are derived via [`PlanCompiler::resized`] and share the
+/// base compiler's content-keyed layer cache.
 struct NetPlans {
     net: Arc<Network>,
-    compiler: Arc<PlanCompiler>,
-    by_batch: Mutex<HashMap<usize, Arc<CompiledPlan>>>,
+    base: Arc<PlanCompiler>,
+    compilers: Mutex<HashMap<usize, Arc<PlanCompiler>>>,
+    by_batch: Mutex<HashMap<(usize, usize), Arc<CompiledPlan>>>,
     /// Per-batch-size attribution basis — the plan's `(cost report,
     /// analytic delay)` — computed at most once per size, so traced
     /// requests never re-price the network on the hot path.
@@ -70,34 +94,64 @@ struct NetPlans {
 
 impl NetPlans {
     fn new(net: Arc<Network>, compiler: Arc<PlanCompiler>) -> Self {
+        let mut compilers = HashMap::new();
+        compilers.insert(compiler.arrays(), Arc::clone(&compiler));
         NetPlans {
             net,
-            compiler,
+            base: compiler,
+            compilers: Mutex::new(compilers),
             by_batch: Mutex::new(HashMap::new()),
             basis_by_batch: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The network plan for batch size `b` — a shared handle, compiled
-    /// at most once per size (a lost race wastes one duplicate compile,
-    /// which itself hits the layer cache).
-    fn get(&self, b: usize) -> Result<Arc<CompiledPlan>, ServeError> {
-        if let Some(plan) = self.by_batch.lock().expect("plan map poisoned").get(&b) {
+    /// The compiler for a cluster of `width` arrays (the base compiler
+    /// at full width, a cache-sharing resize below it).
+    fn compiler_for(&self, width: usize) -> Arc<PlanCompiler> {
+        let mut map = self
+            .compilers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            map.entry(width)
+                .or_insert_with(|| Arc::new(self.base.resized(width))),
+        )
+    }
+
+    /// The network plan for batch size `b` on a cluster of `width`
+    /// healthy arrays — a shared handle, compiled at most once per
+    /// `(size, width)` (a lost race wastes one duplicate compile, which
+    /// itself hits the layer cache).
+    fn get_for(&self, b: usize, width: usize) -> Result<Arc<CompiledPlan>, ServeError> {
+        if let Some(plan) = self
+            .by_batch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(b, width))
+        {
             return Ok(Arc::clone(plan));
         }
-        let plan = Arc::new(self.compiler.compile_network(&self.net, b)?);
-        let mut plans = self.by_batch.lock().expect("plan map poisoned");
-        Ok(Arc::clone(plans.entry(b).or_insert(plan)))
+        let plan = Arc::new(self.compiler_for(width).compile_network(&self.net, b)?);
+        let mut plans = self.by_batch.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::clone(plans.entry((b, width)).or_insert(plan)))
+    }
+
+    /// [`NetPlans::get_for`] at the configured (full) cluster width.
+    fn get(&self, b: usize) -> Result<Arc<CompiledPlan>, ServeError> {
+        self.get_for(b, self.base.arrays())
     }
 
     /// The attribution basis for `plan`: its full [`CostReport`] under
     /// the compiler's cost model and its analytic delay, shared and
     /// memoized per batch size.
     fn attribution_basis(&self, plan: &CompiledPlan) -> Arc<(CostReport, f64)> {
-        let mut memo = self.basis_by_batch.lock().expect("basis map poisoned");
+        let mut memo = self
+            .basis_by_batch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         Arc::clone(memo.entry(plan.batch).or_insert_with(|| {
             Arc::new((
-                plan.cost_report(self.compiler.cost_model().as_ref()),
+                plan.cost_report(self.base.cost_model().as_ref()),
                 plan.analytic_delay(),
             ))
         }))
@@ -138,6 +192,17 @@ pub struct ServeConfig {
     /// admission control and the deadline/priority ready queue (see
     /// [`crate::sched`]).
     pub sched: Option<SchedConfig>,
+    /// Deterministic fault-injection schedule. `None` or an empty plan
+    /// (the default) means no injection and zero hot-path cost; see
+    /// [`eyeriss_sim::fault`].
+    pub faults: Option<FaultPlan>,
+    /// ABFT checksum verification of every executed conv tile:
+    /// detected corruption fails the batch with a retryable
+    /// [`ClusterError::Corrupted`] instead of returning wrong numbers.
+    /// Off by default.
+    pub abft: bool,
+    /// Retry, backoff and quarantine policy for faulted batches.
+    pub recovery: RecoveryPolicy,
 }
 
 impl ServeConfig {
@@ -154,6 +219,9 @@ impl ServeConfig {
             slos: Vec::new(),
             flight_capacity: 256,
             sched: None,
+            faults: None,
+            abft: false,
+            recovery: RecoveryPolicy::new(),
         }
     }
 }
@@ -170,9 +238,13 @@ impl Default for ServeConfig {
 struct ServeTele {
     queue_depth: Gauge,
     inflight_batches: Gauge,
+    live_workers: Gauge,
     completed: Counter,
     shed: Counter,
     expired: Counter,
+    retries: Counter,
+    worker_restarts: Counter,
+    failed: Counter,
     queue_ns: Histogram,
     compile_ns: Histogram,
     execute_ns: Histogram,
@@ -186,9 +258,13 @@ impl ServeTele {
         ServeTele {
             queue_depth: tele.gauge("serve.queue_depth"),
             inflight_batches: tele.gauge("serve.inflight_batches"),
+            live_workers: tele.gauge("serve.live_workers"),
             completed: tele.counter("serve.completed"),
             shed: tele.counter("serve.shed"),
             expired: tele.counter("serve.expired"),
+            retries: tele.counter("serve.retries"),
+            worker_restarts: tele.counter("serve.worker_restarts"),
+            failed: tele.counter("serve.failed"),
             queue_ns: tele.histogram("serve.queue_ns"),
             compile_ns: tele.histogram("serve.compile_ns"),
             execute_ns: tele.histogram("serve.execute_ns"),
@@ -205,9 +281,53 @@ struct Pending {
     input: Tensor4<Fix16>,
     submitted: Instant,
     trace: TraceContext,
-    tx: Sender<Result<Response, ServeError>>,
+    /// Taken exactly once by [`Pending::respond`]. A `Pending` dropped
+    /// with the sender still armed died mid-flight (a worker panic, a
+    /// closed pool) — its `Drop` sends a typed
+    /// [`ServeError::WorkerLost`], so no client ever hangs.
+    tx: Option<Sender<Result<Response, ServeError>>>,
     /// Scheduling provenance — present on sched-enabled servers only.
     meta: Option<ReqMeta>,
+    /// `serve.failed` handle, carried so the drop guard can account a
+    /// lost request without reaching the server.
+    failed: Counter,
+    /// Transient-fault retries this request's batch has burned.
+    attempts: u32,
+}
+
+impl Pending {
+    /// Delivers the result (first call wins; later calls no-op).
+    fn respond(&mut self, result: Result<Response, ServeError>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(result);
+        }
+    }
+
+    /// Fails the request with full accounting: the `serve.failed`
+    /// counter, the tenant's failed count, and a typed error to the
+    /// client.
+    fn fail(&mut self, err: ServeError) {
+        self.failed.inc();
+        if let Some(meta) = &self.meta {
+            meta.tenant.note_failed();
+        }
+        self.respond(Err(err));
+    }
+
+    /// Drops the responder without the worker-lost accounting — for
+    /// submit-side rejections, where the caller already holds a typed
+    /// error and the handle never escaped.
+    fn disarm(&mut self) {
+        self.tx = None;
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        if self.tx.is_some() {
+            self.fail(ServeError::WorkerLost);
+        }
+    }
 }
 
 /// Scheduling metadata riding one request through the ready queue to
@@ -303,10 +423,13 @@ impl RequestHandle {
     ///
     /// # Errors
     ///
-    /// Returns the worker's error for this batch, or
-    /// [`ServeError::ShutDown`] if the server dropped the request.
+    /// Returns the worker's error for this batch;
+    /// [`ServeError::WorkerLost`] if the responder vanished mid-flight
+    /// without delivering anything (every in-runtime loss path sends
+    /// the same typed error explicitly, so this is the uniform
+    /// worst-case answer — never a hang).
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)?
     }
 }
 
@@ -325,6 +448,62 @@ struct SchedShared {
     registry: TenantRegistry,
     admission: AdmissionController,
     unit_cycles: OnceLock<Option<f64>>,
+}
+
+/// How a worker's loop ended, reported to the supervisor.
+enum WorkerExit {
+    /// The dispatch queue closed and drained: clean shutdown.
+    Shutdown,
+    /// Every array in this worker's cluster is quarantined; the worker
+    /// handed its batch back and left the pool.
+    Retired,
+    /// The worker panicked mid-batch (injected or real); the
+    /// supervisor respawns the slot.
+    Died,
+}
+
+/// Everything a worker (and the supervisor respawning workers) needs,
+/// shared once behind an `Arc`.
+struct WorkerShared {
+    queue: Arc<BatchQueue<Vec<Pending>>>,
+    net: Arc<Network>,
+    plans: Arc<NetPlans>,
+    records: Arc<Mutex<Vec<RequestRecord>>>,
+    tele: Telemetry,
+    metrics: ServeTele,
+    monitor: SloMonitor,
+    sched: Option<Arc<SchedShared>>,
+    /// Per-slot health records — shared with each slot's cluster and
+    /// *surviving* worker restarts, so a quarantine outlives the panic
+    /// that exposed the bad array.
+    healths: Vec<Arc<ClusterHealth>>,
+    faults: Option<FaultInjector>,
+    recovery: RecoveryPolicy,
+    abft: bool,
+    arrays: usize,
+    hw: AcceleratorConfig,
+}
+
+/// Spawns worker `idx`: builds its private cluster around the slot's
+/// persistent health record and runs the loop, reporting the exit to
+/// the supervisor.
+fn spawn_worker(
+    idx: usize,
+    shared: &Arc<WorkerShared>,
+    exit_tx: Sender<(usize, WorkerExit)>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let cluster = Cluster::new(shared.arrays, shared.hw)
+            .with_telemetry(shared.tele.clone())
+            .with_health(Arc::clone(&shared.healths[idx]))
+            .with_faults(shared.faults.clone())
+            .array_base(idx * shared.arrays)
+            .abft(shared.abft);
+        let pool_chip = Accelerator::new(shared.hw).telemetry(shared.tele.clone());
+        let exit = worker_loop(idx, &shared, &cluster, pool_chip);
+        let _ = exit_tx.send((idx, exit));
+    })
 }
 
 /// An inference server for one network.
@@ -348,7 +527,7 @@ struct SchedShared {
 pub struct Server {
     front: Front,
     batcher: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: JoinHandle<()>,
     records: Arc<Mutex<Vec<RequestRecord>>>,
     compiler: Arc<PlanCompiler>,
     plans: Arc<NetPlans>,
@@ -359,11 +538,14 @@ pub struct Server {
     tele: Telemetry,
     metrics: ServeTele,
     monitor: SloMonitor,
+    worker_count: usize,
+    healths: Vec<Arc<ClusterHealth>>,
+    faults: Option<FaultInjector>,
 }
 
 impl Server {
-    /// Starts batcher and worker threads serving `net` with a fresh plan
-    /// cache.
+    /// Starts batcher, worker and supervisor threads serving `net` with
+    /// a fresh plan cache.
     ///
     /// # Panics
     ///
@@ -396,12 +578,25 @@ impl Server {
         let tele = cfg.telemetry.unwrap_or_else(Telemetry::new_enabled);
         let metrics = ServeTele::resolve(&tele);
         let monitor = SloMonitor::new(cfg.slos, cfg.flight_capacity);
+        // One shared injector: clones share run counters, so a spec's
+        // timeline is fleet-global and survives worker restarts.
+        // Telemetry must attach before the first clone escapes.
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultInjector::new(p.clone()).with_telemetry(&tele));
+        let healths: Vec<_> = (0..cfg.workers)
+            .map(|_| Arc::new(ClusterHealth::new(cfg.arrays)))
+            .collect();
+        metrics.live_workers.set(cfg.workers as i64);
 
         // The batch queue is bounded by the worker count so that a slow
         // pool pushes back through the batcher into the submission queue
-        // (FIFO) or onto the admission estimate (sched).
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Pending>>(cfg.workers);
-        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        // (FIFO) or onto the admission estimate (sched). Workers put
+        // transiently-faulted batches *back* via its unbounded
+        // front-of-queue requeue — the operation a plain channel lacks.
+        let queue = Arc::new(BatchQueue::<Vec<Pending>>::new(cfg.workers));
 
         let policy = cfg.policy;
         let (front, batcher) = match cfg.sched.clone() {
@@ -409,13 +604,15 @@ impl Server {
                 let (submit_tx, submit_rx) =
                     mpsc::sync_channel::<Pending>(cfg.queue_capacity.max(1));
                 let queue_depth = metrics.queue_depth.clone();
+                let queue = Arc::clone(&queue);
                 let batcher = std::thread::spawn(move || {
                     while let Some(batch) = collect_batch(&submit_rx, &policy) {
                         queue_depth.add(-(batch.len() as i64));
-                        if batch_tx.send(batch).is_err() {
-                            break; // workers are gone
+                        if queue.push(batch).is_err() {
+                            break; // the pool is gone
                         }
                     }
+                    queue.close();
                 });
                 (Front::Fifo(submit_tx), batcher)
             }
@@ -443,68 +640,89 @@ impl Server {
                     let shared = Arc::clone(&shared);
                     let tele = tele.clone();
                     let metrics = metrics.clone();
+                    let queue = Arc::clone(&queue);
                     std::thread::spawn(move || {
                         let now = || tele.since_epoch(Instant::now());
                         while let Some(drained) = shared.queue.next_batch(&policy, now) {
-                            for pending in drained.expired {
+                            for mut pending in drained.expired {
                                 metrics.queue_depth.dec();
                                 metrics.expired.inc();
                                 if let Some(meta) = &pending.meta {
                                     meta.tenant.note_expired();
                                 }
-                                let _ = pending.tx.send(Err(AdmissionError::DeadlinePassed.into()));
+                                pending.respond(Err(AdmissionError::DeadlinePassed.into()));
                             }
                             if drained.batch.is_empty() {
                                 continue;
                             }
                             metrics.queue_depth.add(-(drained.batch.len() as i64));
-                            if batch_tx.send(drained.batch).is_err() {
-                                break; // workers are gone
+                            if queue.push(drained.batch).is_err() {
+                                break; // the pool is gone
                             }
                         }
+                        queue.close();
                     })
                 };
                 (Front::Sched(shared), batcher)
             }
         };
 
-        let sched = match &front {
-            Front::Sched(s) => Some(Arc::clone(s)),
-            Front::Fifo(_) => None,
-        };
-        let workers = (0..cfg.workers)
-            .map(|_| {
-                let rx = Arc::clone(&batch_rx);
-                let net = Arc::clone(&net);
-                let plans = Arc::clone(&plans);
-                let records = Arc::clone(&records);
-                let cluster = Cluster::new(cfg.arrays, cfg.hw).with_telemetry(tele.clone());
-                let pool_chip = Accelerator::new(cfg.hw).telemetry(tele.clone());
-                let tele = tele.clone();
-                let metrics = metrics.clone();
-                let monitor = monitor.clone();
-                let sched = sched.clone();
-                std::thread::spawn(move || {
-                    worker_loop(
-                        &rx,
-                        &net,
-                        &plans,
-                        &cluster,
-                        pool_chip,
-                        &records,
-                        &tele,
-                        &metrics,
-                        &monitor,
-                        sched.as_deref(),
-                    )
-                })
-            })
+        let shared = Arc::new(WorkerShared {
+            queue: Arc::clone(&queue),
+            net: Arc::clone(&net),
+            plans: Arc::clone(&plans),
+            records: Arc::clone(&records),
+            tele: tele.clone(),
+            metrics: metrics.clone(),
+            monitor: monitor.clone(),
+            sched: match &front {
+                Front::Sched(s) => Some(Arc::clone(s)),
+                Front::Fifo(_) => None,
+            },
+            healths: healths.clone(),
+            faults: faults.clone(),
+            recovery: cfg.recovery,
+            abft: cfg.abft,
+            arrays: cfg.arrays,
+            hw: cfg.hw,
+        });
+
+        let (exit_tx, exit_rx) = mpsc::channel::<(usize, WorkerExit)>();
+        let mut handles: Vec<Option<JoinHandle<()>>> = (0..cfg.workers)
+            .map(|i| Some(spawn_worker(i, &shared, exit_tx.clone())))
             .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut alive = handles.len();
+                while alive > 0 {
+                    let Ok((idx, exit)) = exit_rx.recv() else {
+                        break;
+                    };
+                    if let Some(handle) = handles[idx].take() {
+                        let _ = handle.join();
+                    }
+                    match exit {
+                        WorkerExit::Died => {
+                            shared.metrics.worker_restarts.inc();
+                            handles[idx] = Some(spawn_worker(idx, &shared, exit_tx.clone()));
+                        }
+                        WorkerExit::Retired | WorkerExit::Shutdown => alive -= 1,
+                    }
+                }
+                // The pool is gone — drained shutdown, or every worker
+                // retired. Close the dispatch queue and drain whatever
+                // is still queued: each dropped request's guard sends a
+                // typed `WorkerLost`, so no client waits forever.
+                shared.queue.close();
+                while shared.queue.pop().is_some() {}
+            })
+        };
 
         Server {
             front,
             batcher,
-            workers,
+            supervisor,
             records,
             compiler,
             plans,
@@ -515,6 +733,9 @@ impl Server {
             tele,
             metrics,
             monitor,
+            worker_count: cfg.workers,
+            healths,
+            faults,
         }
     }
 
@@ -549,8 +770,10 @@ impl Server {
                 input,
                 submitted: Instant::now(),
                 trace,
-                tx,
+                tx: Some(tx),
                 meta: None,
+                failed: self.metrics.failed.clone(),
+                attempts: 0,
             },
             RequestHandle {
                 id,
@@ -589,7 +812,8 @@ impl Server {
                 // gauge never goes negative (counting a blocked submit
                 // as queued).
                 self.metrics.queue_depth.inc();
-                if tx.send(pending).is_err() {
+                if let Err(e) = tx.send(pending) {
+                    e.0.disarm_for_caller();
                     self.metrics.queue_depth.dec();
                     return Err(ServeError::ShutDown);
                 }
@@ -621,13 +845,15 @@ impl Server {
                         self.observe_admission(false);
                         Ok(handle)
                     }
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(mut p)) => {
+                        p.disarm();
                         self.metrics.queue_depth.dec();
                         self.metrics.shed.inc();
                         self.observe_admission(true);
                         Err(ServeError::Saturated)
                     }
-                    Err(TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Disconnected(mut p)) => {
+                        p.disarm();
                         self.metrics.queue_depth.dec();
                         Err(ServeError::ShutDown)
                     }
@@ -699,6 +925,7 @@ impl Server {
                 burning: self.monitor.burning(),
             },
         ) {
+            pending.disarm();
             tenant.note_rejected(&e);
             self.metrics.shed.inc();
             self.observe_admission(true);
@@ -719,7 +946,7 @@ impl Server {
             now_ns,
         ) {
             Ok(Pushed::Queued) => {}
-            Ok(Pushed::Displaced(victim)) => {
+            Ok(Pushed::Displaced(mut victim)) => {
                 // The new entry took the victim's slot: net queue depth
                 // is unchanged, the victim is shed.
                 self.metrics.queue_depth.dec();
@@ -728,9 +955,10 @@ impl Server {
                     meta.tenant.note_shed();
                 }
                 self.observe_admission(true);
-                let _ = victim.tx.send(Err(AdmissionError::Shed.into()));
+                victim.respond(Err(AdmissionError::Shed.into()));
             }
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(mut p)) => {
+                p.disarm();
                 self.metrics.queue_depth.dec();
                 let e = AdmissionError::QueueFull;
                 tenant.note_rejected(&e);
@@ -738,7 +966,8 @@ impl Server {
                 self.observe_admission(true);
                 return Err(e.into());
             }
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(mut p)) => {
+                p.disarm();
                 self.metrics.queue_depth.dec();
                 return Err(ServeError::ShutDown);
             }
@@ -798,11 +1027,11 @@ impl Server {
     }
 
     /// A live, point-in-time view of the server — queue depth,
-    /// in-flight batches and streaming latency quantiles — available
-    /// **while requests are running**, unlike [`Server::shutdown`]'s
-    /// [`ServerStats`]. With the default configuration (no injected
-    /// telemetry) the backing instance is always enabled, so this is
-    /// never empty once requests complete.
+    /// in-flight batches, pool health and streaming latency quantiles —
+    /// available **while requests are running**, unlike
+    /// [`Server::shutdown`]'s [`ServerStats`]. With the default
+    /// configuration (no injected telemetry) the backing instance is
+    /// always enabled, so this is never empty once requests complete.
     pub fn snapshot(&self) -> ServerSnapshot {
         ServerSnapshot {
             elapsed: self.started.elapsed(),
@@ -810,6 +1039,18 @@ impl Server {
             shed: self.metrics.shed.get(),
             queue_depth: self.metrics.queue_depth.get(),
             inflight_batches: self.metrics.inflight_batches.get(),
+            workers: self.worker_count,
+            live_workers: self.metrics.live_workers.get(),
+            worker_restarts: self.metrics.worker_restarts.get(),
+            retries: self.metrics.retries.get(),
+            failed: self.metrics.failed.get(),
+            quarantined_arrays: self
+                .healths
+                .iter()
+                .map(|h| h.quarantined_count() as u64)
+                .sum(),
+            faults_injected: self.faults.as_ref().map_or(0, |f| f.injected()),
+            faults_detected: self.tele.counter("sim.faults_detected").get(),
             cache: self.compiler.cache().stats(),
             queue_ns: self.metrics.queue_ns.snapshot(),
             compile_ns: self.metrics.compile_ns.snapshot(),
@@ -844,7 +1085,7 @@ impl Server {
         let Server {
             front,
             batcher,
-            workers,
+            supervisor,
             records,
             compiler,
             started,
@@ -852,17 +1093,16 @@ impl Server {
         } = self;
         match front {
             // Dropping the sender disconnects the channel: the batcher
-            // drains the queue, then exits.
+            // drains the queue, then exits (closing the batch queue
+            // behind itself).
             Front::Fifo(submit_tx) => drop(submit_tx),
             // Closing the ready queue has the same contract: blocked
             // consumers drain what is queued, then observe shutdown.
             Front::Sched(shared) => shared.queue.close(),
         }
         let _ = batcher.join();
-        for w in workers {
-            let _ = w.join();
-        }
-        let records = std::mem::take(&mut *records.lock().expect("records poisoned"));
+        let _ = supervisor.join();
+        let records = std::mem::take(&mut *records.lock().unwrap_or_else(PoisonError::into_inner));
         ServerStats {
             records,
             elapsed: started.elapsed(),
@@ -871,149 +1111,242 @@ impl Server {
     }
 }
 
+impl Pending {
+    /// [`Pending::disarm`] through an `mpsc::SendError` (the error owns
+    /// the value, so the by-value wrapper keeps call sites tidy).
+    fn disarm_for_caller(mut self) {
+        self.disarm();
+    }
+}
+
 /// One worker: picks whole batches off the shared queue and executes
-/// them on its private cluster until the queue disconnects.
-#[allow(clippy::too_many_arguments)]
+/// them on its private cluster under `catch_unwind`, retrying
+/// transiently-faulted batches, until the queue closes, the worker's
+/// last array is quarantined, or a panic kills it.
 fn worker_loop(
-    batch_rx: &Mutex<Receiver<Vec<Pending>>>,
-    net: &Network,
-    plans: &NetPlans,
+    idx: usize,
+    shared: &WorkerShared,
     cluster: &Cluster,
     mut pool_chip: Accelerator,
-    records: &Mutex<Vec<RequestRecord>>,
-    tele: &Telemetry,
-    metrics: &ServeTele,
-    monitor: &SloMonitor,
-    sched: Option<&SchedShared>,
-) {
-    let wants_records = !monitor.is_empty();
-    loop {
-        // Holding the lock only while *waiting* serializes batch pickup,
-        // not batch processing.
-        let batch = {
-            let rx = batch_rx.lock().expect("batch queue poisoned");
-            rx.recv()
+) -> WorkerExit {
+    while let Some(batch) = shared.queue.pop() {
+        let Some(batch) = recheck_deadlines(shared, batch) else {
+            continue;
         };
-        let Ok(mut batch) = batch else { break };
-        // Deadlines are re-checked here, not just at batcher dispatch:
-        // the dispatch channel holds several batches, so a request can
-        // outlive its deadline between dispatch and pickup. Expiring it
-        // now bounds a completed request's latency by its deadline plus
-        // one batch execution.
-        if sched.is_some() {
-            let now_ns = tele.since_epoch(Instant::now());
-            let mut live = Vec::with_capacity(batch.len());
-            for pending in batch {
-                let expired = pending
-                    .meta
-                    .as_ref()
-                    .and_then(|m| m.deadline_ns)
-                    .is_some_and(|d| d < now_ns);
-                if expired {
-                    metrics.expired.inc();
-                    if let Some(meta) = &pending.meta {
-                        meta.tenant.note_expired();
-                    }
-                    let _ = pending.tx.send(Err(AdmissionError::DeadlinePassed.into()));
-                } else {
-                    live.push(pending);
-                }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if shared.faults.as_ref().is_some_and(|f| f.poll_worker(idx)) {
+                panic!("injected worker panic (chaos)");
             }
-            batch = live;
-            if batch.is_empty() {
-                continue;
-            }
-        }
-        let outcome = {
-            // A panic in run_batch unwinds through the guard, so the
-            // inflight gauge can never leak an increment. The guard also
-            // drops before responses are delivered: a client that has
-            // seen its response never observes its batch as inflight.
-            let _inflight = metrics.inflight_batches.scoped_inc();
-            // The batch joins the first request's trace; every request's
-            // queue wait links into the batch span as a flow arrow, so
-            // multi-trace batches stay attributable.
-            let dispatch = Instant::now();
-            let batch_trace = batch.first().map_or(0, |p| p.trace.trace);
-            let _root = tele.in_context(TraceContext {
-                trace: batch_trace,
-                parent: 0,
-            });
-            let batch_span = tele.span_with("serve.batch", "serve", batch.len() as u64);
-            let bid = batch_span.id();
-            if bid != 0 {
-                for pending in &batch {
-                    tele.record_retro(RetroSpan {
-                        name: "serve.queue",
-                        cat: "serve",
-                        arg: pending.id,
-                        tid: REQUEST_ROW_TID,
-                        ctx: pending.trace,
-                        start: pending.submitted,
-                        dur: dispatch.duration_since(pending.submitted),
-                        link: bid,
-                    });
-                }
-            }
-            // `batch_span` is still live: spans opened inside run_batch
-            // on this thread parent to it through the ambient context.
-            run_batch(net, plans, cluster, &mut pool_chip, &batch, tele)
-        };
+            execute_batch(shared, cluster, &mut pool_chip, batch)
+        }));
         match outcome {
-            Ok(done) => {
-                // Calibrate the admission estimator: one sample per
-                // executed batch, its plan's analytic delay against the
-                // measured execute wall time.
-                if let Some(sched) = sched {
-                    if let (Some(first), Ok(plan)) = (done.first(), plans.get(batch.len())) {
-                        let execute_ns =
-                            first.0.latency.execute.as_nanos().min(u64::MAX as u128) as u64;
-                        let cycles = plans.attribution_basis(&plan).1;
-                        sched.admission.estimator().observe(cycles, execute_ns);
-                    }
-                }
-                let mut recs = records.lock().expect("records poisoned");
-                for (pending, response) in batch.into_iter().zip(done) {
-                    if let Some(meta) = &pending.meta {
-                        meta.tenant.note_completed();
-                    }
-                    let latency = response.0.latency;
-                    metrics.queue_ns.record_duration(latency.queue);
-                    metrics.compile_ns.record_duration(latency.compile);
-                    metrics.execute_ns.record_duration(latency.execute);
-                    metrics.total_ns.record_duration(latency.total());
-                    metrics.batch_size.record(response.0.batch_size as u64);
-                    metrics.completed.inc();
-                    if let Some(att) = &response.0.attribution {
-                        metrics
-                            .delay_residual
-                            .record(att.residual_cycles().abs() as u64);
-                        if wants_records {
-                            monitor.record(att.flight_record());
-                        }
-                    }
-                    recs.push(RequestRecord {
-                        id: response.0.id,
-                        batch_size: response.0.batch_size,
-                        latency,
-                        sim_cycles: response.1,
-                    });
-                    let _ = pending.tx.send(Ok(response.0));
-                }
-            }
-            Err(e) => {
-                for pending in batch {
-                    let _ = pending.tx.send(Err(e.clone()));
+            // The closure owned the batch, so it dropped during the
+            // unwind and every request's guard already delivered a
+            // typed `WorkerLost`. The supervisor respawns this slot.
+            Err(_) => return WorkerExit::Died,
+            Ok(Ok(())) => {}
+            Ok(Err((batch, err))) => {
+                if let Some(exit) = handle_failure(shared, cluster, batch, err) {
+                    return exit;
                 }
             }
         }
     }
+    WorkerExit::Shutdown
+}
+
+/// Re-checks deadlines at pickup (sched only): the dispatch queue holds
+/// several batches, so a request can outlive its deadline between
+/// dispatch and pickup. Expiring it now bounds a completed request's
+/// latency by its deadline plus one batch execution. Returns the live
+/// remainder, or `None` when nothing survived.
+fn recheck_deadlines(shared: &WorkerShared, batch: Vec<Pending>) -> Option<Vec<Pending>> {
+    if shared.sched.is_none() {
+        return Some(batch);
+    }
+    let now_ns = shared.tele.since_epoch(Instant::now());
+    let mut live = Vec::with_capacity(batch.len());
+    for mut pending in batch {
+        let expired = pending
+            .meta
+            .as_ref()
+            .and_then(|m| m.deadline_ns)
+            .is_some_and(|d| d < now_ns);
+        if expired {
+            shared.metrics.expired.inc();
+            if let Some(meta) = &pending.meta {
+                meta.tenant.note_expired();
+            }
+            pending.respond(Err(AdmissionError::DeadlinePassed.into()));
+        } else {
+            live.push(pending);
+        }
+    }
+    (!live.is_empty()).then_some(live)
+}
+
+/// Executes one batch end to end and delivers the responses. A typed
+/// execution error hands the batch back to the caller for retry /
+/// quarantine handling instead of consuming it.
+fn execute_batch(
+    shared: &WorkerShared,
+    cluster: &Cluster,
+    pool_chip: &mut Accelerator,
+    batch: Vec<Pending>,
+) -> Result<(), (Vec<Pending>, ServeError)> {
+    let metrics = &shared.metrics;
+    let tele = &shared.tele;
+    let outcome = {
+        // A panic in run_batch unwinds through the guard, so the
+        // inflight gauge can never leak an increment. The guard also
+        // drops before responses are delivered: a client that has
+        // seen its response never observes its batch as inflight.
+        let _inflight = metrics.inflight_batches.scoped_inc();
+        // The batch joins the first request's trace; every request's
+        // queue wait links into the batch span as a flow arrow, so
+        // multi-trace batches stay attributable.
+        let dispatch = Instant::now();
+        let batch_trace = batch.first().map_or(0, |p| p.trace.trace);
+        let _root = tele.in_context(TraceContext {
+            trace: batch_trace,
+            parent: 0,
+        });
+        let batch_span = tele.span_with("serve.batch", "serve", batch.len() as u64);
+        let bid = batch_span.id();
+        if bid != 0 {
+            for pending in &batch {
+                tele.record_retro(RetroSpan {
+                    name: "serve.queue",
+                    cat: "serve",
+                    arg: pending.id,
+                    tid: REQUEST_ROW_TID,
+                    ctx: pending.trace,
+                    start: pending.submitted,
+                    dur: dispatch.duration_since(pending.submitted),
+                    link: bid,
+                });
+            }
+        }
+        // `batch_span` is still live: spans opened inside run_batch
+        // on this thread parent to it through the ambient context.
+        run_batch(&shared.net, &shared.plans, cluster, pool_chip, &batch, tele)
+    };
+    match outcome {
+        Ok(done) => {
+            // Calibrate the admission estimator: one sample per
+            // executed batch, its plan's analytic delay against the
+            // measured execute wall time.
+            if let Some(sched) = &shared.sched {
+                if let (Some(first), Ok(plan)) = (done.first(), shared.plans.get(batch.len())) {
+                    let execute_ns =
+                        first.0.latency.execute.as_nanos().min(u64::MAX as u128) as u64;
+                    let cycles = shared.plans.attribution_basis(&plan).1;
+                    sched.admission.estimator().observe(cycles, execute_ns);
+                }
+            }
+            let wants_records = !shared.monitor.is_empty();
+            let mut recs = shared
+                .records
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (mut pending, response) in batch.into_iter().zip(done) {
+                if let Some(meta) = &pending.meta {
+                    meta.tenant.note_completed();
+                }
+                let latency = response.0.latency;
+                metrics.queue_ns.record_duration(latency.queue);
+                metrics.compile_ns.record_duration(latency.compile);
+                metrics.execute_ns.record_duration(latency.execute);
+                metrics.total_ns.record_duration(latency.total());
+                metrics.batch_size.record(response.0.batch_size as u64);
+                metrics.completed.inc();
+                if let Some(att) = &response.0.attribution {
+                    metrics
+                        .delay_residual
+                        .record(att.residual_cycles().abs() as u64);
+                    if wants_records {
+                        shared.monitor.record(att.flight_record());
+                    }
+                }
+                recs.push(RequestRecord {
+                    id: response.0.id,
+                    batch_size: response.0.batch_size,
+                    latency,
+                    sim_cycles: response.1,
+                });
+                pending.respond(Ok(response.0));
+            }
+            Ok(())
+        }
+        Err(e) => Err((batch, e)),
+    }
+}
+
+/// Decides what a typed batch failure means: strike → quarantine
+/// bookkeeping for the offending array, retirement when the worker's
+/// cluster has no healthy arrays left, bounded-backoff retry for
+/// transient faults, and a typed failure to every client once the
+/// budget is spent. Returns `Some(exit)` when the worker must leave
+/// the pool.
+fn handle_failure(
+    shared: &WorkerShared,
+    cluster: &Cluster,
+    mut batch: Vec<Pending>,
+    err: ServeError,
+) -> Option<WorkerExit> {
+    // Only the cluster's fault-typed errors are retryable: a clean
+    // re-execution can produce the bit-exact output a corrupted or
+    // crashed one could not. Everything else (no plan, bad input) would
+    // fail identically again.
+    let faulty_array = match &err {
+        ServeError::Cluster(
+            ClusterError::Corrupted { array } | ClusterError::Crashed { array },
+        ) => Some(*array),
+        _ => None,
+    };
+    if let Some(array) = faulty_array {
+        // The cluster already struck the array; consecutive strikes
+        // reaching the threshold mean the fault is persistent, not
+        // transient — quarantine it and re-plan on the healthy subset.
+        if cluster.health().strikes(array) >= shared.recovery.quarantine_after {
+            cluster.quarantine(array);
+        }
+        if cluster.healthy_arrays() == 0 {
+            // Nothing left to execute on: hand the batch to the rest of
+            // the pool and retire. The requeue bypasses the retry
+            // budget — another worker's healthy cluster may complete it
+            // first try.
+            shared.queue.requeue(batch);
+            shared.metrics.live_workers.dec();
+            if let Some(sched) = &shared.sched {
+                let live = shared.metrics.live_workers.get().max(1) as usize;
+                sched.admission.set_workers(live);
+            }
+            return Some(WorkerExit::Retired);
+        }
+    }
+    let attempt = batch.iter().map(|p| p.attempts).max().unwrap_or(0) + 1;
+    if faulty_array.is_some() && attempt <= shared.recovery.max_retries {
+        for pending in &mut batch {
+            pending.attempts = attempt;
+        }
+        shared.metrics.retries.add(batch.len() as u64);
+        std::thread::sleep(shared.recovery.backoff_for(attempt));
+        shared.queue.requeue(batch);
+    } else {
+        for mut pending in batch {
+            pending.fail(err.clone());
+        }
+    }
+    None
 }
 
 /// Executes one batch end-to-end; returns one `(response, sim_cycles)`
 /// per request, in batch order. With telemetry enabled, each response
 /// carries an [`Attribution`] built from the executed plan's cost
-/// report and the simulator's measured cycles.
+/// report and the simulator's measured cycles. Plans resolve at the
+/// cluster's *healthy* width, so a degraded worker transparently
+/// re-plans onto its surviving arrays.
 fn run_batch(
     net: &Network,
     plans: &NetPlans,
@@ -1036,7 +1369,7 @@ fn run_batch(
     // `Arc<ClusterPlan>` is already resolved, so the execute loop touches
     // no cache lock and clones nothing.
     let t0 = Instant::now();
-    let netplan = plans.get(b)?;
+    let netplan = plans.get_for(b, cluster.healthy_arrays())?;
     let compile = t0.elapsed();
     let mut sim_cycles = 0u64;
     // Weighted-stage cycles only: the residual compares against
@@ -1111,6 +1444,7 @@ mod tests {
     use eyeriss_arch::GridDims;
     use eyeriss_nn::network::NetworkBuilder;
     use eyeriss_nn::synth;
+    use eyeriss_sim::fault::{FaultKind, FaultSpec};
 
     fn tiny_net() -> Network {
         NetworkBuilder::new(3, 19)
@@ -1143,6 +1477,9 @@ mod tests {
             slos: Vec::new(),
             flight_capacity: 256,
             sched: None,
+            faults: None,
+            abft: false,
+            recovery: RecoveryPolicy::new(),
         }
     }
 
@@ -1195,6 +1532,11 @@ mod tests {
         assert!(snap.p99() >= snap.p50());
         assert!(snap.throughput_rps() > 0.0);
         assert!(snap.mean_batch() >= 1.0);
+        // A fault-free run reports a fully healthy pool.
+        assert_eq!((snap.workers, snap.live_workers), (2, 2));
+        assert_eq!((snap.worker_restarts, snap.retries, snap.failed), (0, 0, 0));
+        assert_eq!(snap.quarantined_arrays, 0);
+        assert_eq!((snap.faults_injected, snap.faults_detected), (0, 0));
         // The cluster and chip record spans into the server's instance.
         let tele = server.telemetry().snapshot();
         assert!(tele.spans.iter().any(|s| s.name == "serve.batch"));
@@ -1298,6 +1640,64 @@ mod tests {
         assert_eq!(stats.cache.hits, 0);
     }
 
+    #[test]
+    fn injected_worker_panic_restarts_worker_and_types_the_loss() {
+        let net = tiny_net();
+        let golden = net.clone();
+        let shape = net.stages()[0].shape;
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.policy = BatchPolicy::unbatched();
+        // The slot's first batch pickup panics; later pickups are clean.
+        cfg.faults =
+            Some(FaultPlan::new(11).spec(FaultSpec::once(FaultKind::WorkerPanic, 0).target(0)));
+        let server = Server::start(net, cfg);
+        let lost = server.submit(synth::ifmap(&shape, 1, 1)).unwrap().wait();
+        assert!(matches!(lost, Err(ServeError::WorkerLost)), "{lost:?}");
+        // The supervisor restarted the slot: follow-ups complete
+        // bit-exactly on the same server.
+        let input = synth::ifmap(&shape, 1, 2);
+        let response = server.submit(input.clone()).unwrap().wait().unwrap();
+        assert_eq!(response.output, golden.forward(1, &input));
+        let snap = server.snapshot();
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.live_workers, 1, "restart keeps the pool at size");
+        assert_eq!(snap.faults_injected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn transient_corruption_retries_to_bit_exact_output() {
+        let net = tiny_net();
+        let golden = net.clone();
+        let shape = net.stages()[0].shape;
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.policy = BatchPolicy::unbatched();
+        cfg.abft = true;
+        // One transient psum flip on global array 0's first execution:
+        // ABFT detects it, the batch retries, the clean pass is exact.
+        cfg.faults =
+            Some(FaultPlan::new(5).spec(FaultSpec::once(FaultKind::PsumBitFlip, 0).target(0)));
+        let server = Server::start(net, cfg);
+        let input = synth::ifmap(&shape, 1, 7);
+        let response = server.submit(input.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            response.output,
+            golden.forward(1, &input),
+            "retried output must be bit-exact"
+        );
+        let snap = server.snapshot();
+        assert_eq!(snap.retries, 1);
+        assert_eq!((snap.faults_injected, snap.faults_detected), (1, 1));
+        assert_eq!((snap.failed, snap.worker_restarts), (0, 0));
+        assert_eq!(snap.quarantined_arrays, 0, "one strike, then a clean run");
+        assert_eq!(snap.completed, 1);
+        server.shutdown();
+    }
+
     fn sched_cfg() -> ServeConfig {
         ServeConfig {
             sched: Some(SchedConfig::new()),
@@ -1335,6 +1735,7 @@ mod tests {
         assert_eq!(t.name, "default");
         assert_eq!((t.submitted, t.admitted, t.completed), (6, 6, 6));
         assert_eq!((t.rejected, t.shed, t.expired), (0, 0, 0));
+        assert_eq!(t.failed, 0);
         let stats = server.shutdown();
         assert_eq!(stats.completed(), 6);
     }

@@ -29,7 +29,8 @@
 
 use crate::sched::tenant::{Priority, TenantState};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Why admission rejected a request. Carried inside
 /// [`ServeError::Admission`](crate::ServeError::Admission).
@@ -115,7 +116,7 @@ impl ServiceEstimator {
             return;
         }
         let sample = execute_ns as f64 / analytic_cycles;
-        let mut state = self.state.lock().expect("estimator poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.ns_per_cycle = if state.samples == 0 {
             sample
         } else {
@@ -127,13 +128,16 @@ impl ServiceEstimator {
     /// The calibrated nanoseconds-per-cycle, `None` before the first
     /// observation.
     pub fn ns_per_cycle(&self) -> Option<f64> {
-        let state = self.state.lock().expect("estimator poisoned");
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         (state.samples > 0).then_some(state.ns_per_cycle)
     }
 
     /// Observations folded in so far.
     pub fn samples(&self) -> u64 {
-        self.state.lock().expect("estimator poisoned").samples
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .samples
     }
 }
 
@@ -172,7 +176,7 @@ pub struct AdmitRequest {
 #[derive(Debug)]
 pub struct AdmissionController {
     estimator: ServiceEstimator,
-    workers: usize,
+    workers: AtomicUsize,
     max_batch: usize,
 }
 
@@ -182,7 +186,7 @@ impl AdmissionController {
     pub fn new(workers: usize, max_batch: usize) -> AdmissionController {
         AdmissionController {
             estimator: ServiceEstimator::new(),
-            workers: workers.max(1),
+            workers: AtomicUsize::new(workers.max(1)),
             max_batch: max_batch.max(1),
         }
     }
@@ -190,6 +194,19 @@ impl AdmissionController {
     /// The calibration the workers feed ([`ServiceEstimator::observe`]).
     pub fn estimator(&self) -> &ServiceEstimator {
         &self.estimator
+    }
+
+    /// The live worker-pool size priced into completion estimates.
+    pub fn workers(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Re-prices completion estimates for a pool of `workers` live
+    /// workers (clamped to at least 1). The supervisor calls this when
+    /// a worker retires so degraded capacity shows up in admission
+    /// decisions immediately.
+    pub fn set_workers(&self, workers: usize) {
+        self.workers.store(workers.max(1), Ordering::Relaxed);
     }
 
     /// Estimated completion time (ns since the epoch) for a request of
@@ -206,7 +223,7 @@ impl AdmissionController {
         let service_ns = ns_per_cycle * unit_cycles?;
         let pending_batches = (backlog.queued.max(0) as f64 / self.max_batch as f64).ceil()
             + backlog.inflight.max(0) as f64;
-        let wait_ns = service_ns * pending_batches / self.workers as f64;
+        let wait_ns = service_ns * pending_batches / self.workers() as f64;
         Some(now_ns.saturating_add((wait_ns + service_ns) as u64))
     }
 
@@ -377,6 +394,31 @@ mod tests {
             ctl.admit(&t, req(1, Some(0), 1, None, b, false)),
             Err(AdmissionError::DeadlinePassed)
         );
+    }
+
+    #[test]
+    fn set_workers_reprices_queue_wait() {
+        let ctl = AdmissionController::new(4, 1);
+        ctl.estimator().observe(1_000.0, 1_000_000); // 1000 ns/cycle
+        let unit = Some(1_000.0); // service = 1ms
+        let backlog = Backlog {
+            queued: 4,
+            inflight: 0,
+        };
+        // 4 pending batches over 4 workers: 1ms wait + 1ms service.
+        assert_eq!(
+            ctl.estimate_completion_ns(0, unit, backlog),
+            Some(2_000_000)
+        );
+        ctl.set_workers(1);
+        assert_eq!(ctl.workers(), 1);
+        // Same backlog over 1 worker: 4ms wait + 1ms service.
+        assert_eq!(
+            ctl.estimate_completion_ns(0, unit, backlog),
+            Some(5_000_000)
+        );
+        ctl.set_workers(0);
+        assert_eq!(ctl.workers(), 1, "clamped to at least one worker");
     }
 
     #[test]

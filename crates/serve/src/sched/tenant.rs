@@ -185,6 +185,7 @@ struct TenantTele {
     completed: Counter,
     shed: Counter,
     expired: Counter,
+    failed: Counter,
 }
 
 /// Live state of one tenant: its spec, rate-limit bucket and lifetime
@@ -201,6 +202,7 @@ pub struct TenantState {
     completed: AtomicU64,
     shed: AtomicU64,
     expired: AtomicU64,
+    failed: AtomicU64,
 }
 
 impl TenantState {
@@ -214,6 +216,7 @@ impl TenantState {
                 completed: counter("completed"),
                 shed: counter("shed"),
                 expired: counter("expired"),
+                failed: counter("failed"),
             },
             id,
             spec,
@@ -223,6 +226,7 @@ impl TenantState {
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
         }
     }
 
@@ -291,6 +295,14 @@ impl TenantState {
         self.tele.expired.inc();
     }
 
+    /// Counts one admitted request that failed in execution — a worker
+    /// died or a fault exhausted its retry budget. Failed requests are
+    /// accounted here, never leaked as forever-`submitted`.
+    pub fn note_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.tele.failed.inc();
+    }
+
     fn snapshot(&self) -> TenantSnapshot {
         TenantSnapshot {
             id: self.id,
@@ -303,6 +315,7 @@ impl TenantState {
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -332,6 +345,9 @@ pub struct TenantSnapshot {
     pub shed: u64,
     /// Requests whose deadline expired in queue.
     pub expired: u64,
+    /// Admitted requests that failed in execution (worker death or
+    /// exhausted retry budget).
+    pub failed: u64,
 }
 
 /// The shared tenant registry. Cheap to clone (all clones share
@@ -475,13 +491,16 @@ mod tests {
         t.note_submitted();
         t.note_rejected(&AdmissionError::QueueFull);
         t.note_expired();
+        t.note_failed();
         let snap = &registry.snapshots()[id.index()];
         assert_eq!(snap.name, "acme");
         assert_eq!((snap.submitted, snap.admitted, snap.rejected), (2, 1, 1));
         assert_eq!((snap.completed, snap.shed, snap.expired), (1, 1, 1));
+        assert_eq!(snap.failed, 1);
         assert_eq!(tele.counter("serve.tenant.acme.completed").get(), 1);
         assert_eq!(tele.counter("serve.tenant.acme.shed").get(), 1);
         assert_eq!(tele.counter("serve.tenant.acme.expired").get(), 1);
+        assert_eq!(tele.counter("serve.tenant.acme.failed").get(), 1);
         // A deadline rejection is not a shed.
         t.note_rejected(&AdmissionError::DeadlinePassed);
         assert_eq!(registry.snapshots()[id.index()].shed, 1);

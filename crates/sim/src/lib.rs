@@ -25,6 +25,8 @@
 //!   processing passes (Section V-B), derived from the same mapping
 //!   optimizer the analysis framework uses.
 //! * [`chip`] — the accelerator: pass orchestration, CONV/FC/POOL layers.
+//! * [`fault`] — deterministic, seeded fault injection (bit flips, stalls,
+//!   crashes) for chaos testing the cluster and serving layers.
 //! * [`scratch`] — the reusable simulation arena: PE pools, psum strips
 //!   and RLC buffers recycled across passes, layers and runs so the
 //!   steady-state execute path is allocation-free.
@@ -53,6 +55,7 @@ pub mod chip;
 pub mod csc;
 pub mod dram;
 pub mod error;
+pub mod fault;
 pub mod gbuf;
 pub mod mesh;
 pub mod noc;
@@ -65,5 +68,6 @@ pub mod stats;
 
 pub use chip::Accelerator;
 pub use error::SimError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultWindow};
 pub use scratch::SimScratch;
 pub use stats::SimStats;

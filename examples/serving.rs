@@ -21,8 +21,12 @@
 //! (`--smoke` skips the heavier sweeps for CI). `--tenants` instead
 //! runs the multi-tenant scheduling demo: admission control under 2×
 //! overload versus the legacy FIFO, and weighted fair sharing between
-//! two tenants flooding one worker.
+//! two tenants flooding one worker. `--chaos` runs the seeded
+//! fault-injection experiment: transient psum flips retried to
+//! bit-exact outputs under ABFT, a persistent array crash quarantined,
+//! and degraded-pool throughput measured against the healthy baseline.
 
+use eyeriss::analysis::experiments::chaos;
 use eyeriss::analysis::experiments::serving;
 use eyeriss::prelude::*;
 use eyeriss::serve::SloSpec;
@@ -61,10 +65,31 @@ fn tenants_demo() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The `--chaos` mode: the seeded fault-injection run. Prints the
+/// chaos report table and asserts the fault-tolerance acceptance
+/// criteria (CI uploads the output as an artifact).
+fn chaos_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let report = chaos::run();
+    report.verify();
+    println!("{}", chaos::render(&report));
+    println!(
+        "chaos verdict: {} requests bit-exact through {} injections \
+         ({} ABFT-detected), 1 array quarantined, degraded pool at {:.0}% capacity",
+        report.completed,
+        report.faults_injected,
+        report.faults_detected,
+        report.throughput_ratio() * 100.0,
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if std::env::args().any(|a| a == "--tenants") {
         return tenants_demo();
+    }
+    if std::env::args().any(|a| a == "--chaos") {
+        return chaos_demo();
     }
 
     // ---- 1. Plan compilation through the content-keyed cache ---------------

@@ -7,7 +7,7 @@ use eyeriss::analysis::experiments::serving;
 use eyeriss::nn::network::NetworkBuilder;
 use eyeriss::nn::vgg;
 use eyeriss::prelude::*;
-use eyeriss::serve::{BatchPolicy, PlanCompiler, ServeConfig, Server};
+use eyeriss::serve::{BatchPolicy, PlanCompiler, RecoveryPolicy, ServeConfig, Server};
 use eyeriss::sim::runner::run_network;
 use std::time::Duration;
 
@@ -66,6 +66,9 @@ fn batched_execution_matches_single_array_simulation() {
         slos: Vec::new(),
         flight_capacity: 256,
         sched: None,
+        faults: None,
+        abft: false,
+        recovery: RecoveryPolicy::new(),
     };
     let server = Server::start(net, cfg);
     let inputs: Vec<Tensor4<Fix16>> = (0..4).map(|i| synth::ifmap(&shape, 1, 40 + i)).collect();

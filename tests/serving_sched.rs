@@ -9,8 +9,8 @@ use eyeriss::nn::synth;
 use eyeriss::prelude::*;
 use eyeriss::serve::sched::{AdmissionController, AdmitRequest, Backlog, ReadyQueue};
 use eyeriss::serve::{
-    AdmissionError, BatchPolicy, Priority, RateLimit, SchedConfig, ServeConfig, ServeError, Server,
-    SubmitOptions, TenantSpec,
+    AdmissionError, BatchPolicy, Priority, RateLimit, RecoveryPolicy, SchedConfig, ServeConfig,
+    ServeError, Server, SubmitOptions, TenantSpec,
 };
 use eyeriss::telemetry::Telemetry;
 use proptest::prelude::*;
@@ -231,6 +231,9 @@ fn sched_server(sched: SchedConfig) -> (Server, eyeriss::nn::LayerShape) {
         slos: Vec::new(),
         flight_capacity: 256,
         sched: Some(sched),
+        faults: None,
+        abft: false,
+        recovery: RecoveryPolicy::new(),
     };
     (Server::start(net, cfg), shape)
 }

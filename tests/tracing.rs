@@ -6,7 +6,7 @@
 
 use eyeriss::arch::{DataType, Level};
 use eyeriss::prelude::*;
-use eyeriss::serve::{BatchPolicy, PlanCompiler, ServeConfig, Server};
+use eyeriss::serve::{BatchPolicy, PlanCompiler, RecoveryPolicy, ServeConfig, Server};
 use eyeriss::telemetry::REQUEST_ROW_TID;
 use std::collections::HashSet;
 use std::time::Duration;
@@ -25,6 +25,9 @@ fn traced_config(tele: &Telemetry) -> ServeConfig {
         slos: Vec::new(),
         flight_capacity: 16,
         sched: None,
+        faults: None,
+        abft: false,
+        recovery: RecoveryPolicy::new(),
     }
 }
 
